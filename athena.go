@@ -1,0 +1,301 @@
+// Package athena is the public API of the Athena reproduction: a
+// framework for scalable anomaly detection in software-defined networks
+// (Lee et al., DSN 2017), implemented end to end in Go.
+//
+// The package re-exports the framework's northbound API (Table II of
+// the paper) together with every substrate a deployment needs — an
+// OpenFlow codec and software data plane, a distributed controller, a
+// sharded feature store, a compute cluster, and the Table IV detection
+// algorithm library — and a Stack builder that assembles a complete
+// multi-instance deployment in-process.
+//
+// # Quickstart
+//
+//	stack, _ := athena.NewStack(athena.StackConfig{Controllers: 1})
+//	defer stack.Close()
+//	net := athena.NewNetwork()
+//	sw := net.AddSwitch(1)
+//	// ... add hosts/links, then:
+//	stack.ConnectSwitch(sw)
+//	ath := stack.Instance(0)
+//	ath.AddEventHandler(athena.MustQuery("packet_count>1000"), func(f *athena.Feature) {
+//	    // react to heavy hitters
+//	})
+//
+// See examples/ for the paper's three use-case applications (DDoS
+// detection, link-flooding mitigation, and the Network Application
+// Effectiveness monitor).
+package athena
+
+import (
+	"io"
+
+	"github.com/athena-sdn/athena/internal/cluster"
+	"github.com/athena-sdn/athena/internal/compute"
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/dataplane"
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/query"
+	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/ui"
+)
+
+// Framework types (the paper's NB API surface).
+type (
+	// Instance is one Athena framework instance hosted on a controller.
+	Instance = core.Athena
+	// InstanceConfig assembles an Instance.
+	InstanceConfig = core.Config
+	// Feature is one Athena feature record (Fig. 4 of the paper).
+	Feature = core.Feature
+	// Preprocessor is the f parameter of the NB API.
+	Preprocessor = core.Preprocessor
+	// Algorithm is the a parameter of the NB API.
+	Algorithm = core.Algorithm
+	// DetectionModel is the m parameter of the NB API.
+	DetectionModel = core.DetectionModel
+	// ValidationResult is the r' result of ValidateFeatures.
+	ValidationResult = core.ValidationResult
+	// Reaction is the r parameter of the NB API.
+	Reaction = core.Reaction
+	// AppliedReaction records an enforced mitigation.
+	AppliedReaction = core.AppliedReaction
+	// MonitorTarget selects what ManageMonitor toggles.
+	MonitorTarget = core.MonitorTarget
+	// SouthboundConfig tunes the SB element.
+	SouthboundConfig = core.SouthboundConfig
+	// GeneratorConfig tunes the Feature Generator.
+	GeneratorConfig = core.GeneratorConfig
+	// PublishMode selects feature DB publication behaviour.
+	PublishMode = core.PublishMode
+	// SynthDDoSConfig shapes synthetic DDoS workloads (§V-A scale runs).
+	SynthDDoSConfig = core.SynthDDoSConfig
+)
+
+// Query types.
+type (
+	// Query couples a selection expression with result shaping.
+	Query = query.Query
+	// Expr is a parsed selection expression.
+	Expr = query.Expr
+)
+
+// Substrate types, re-exported so deployments can be assembled without
+// reaching into internal packages.
+type (
+	// Network is the software data plane fabric.
+	Network = dataplane.Network
+	// Switch is a software OpenFlow switch.
+	Switch = dataplane.Switch
+	// Host is an end station on the data plane.
+	Host = dataplane.Host
+	// FlowSpec describes one generated traffic flow.
+	FlowSpec = dataplane.FlowSpec
+	// TrafficGen synthesizes workload mixes.
+	TrafficGen = dataplane.TrafficGen
+	// Controller is one distributed-controller instance.
+	Controller = controller.Controller
+	// ControllerConfig parameterizes a controller instance.
+	ControllerConfig = controller.Config
+	// ClusterAgent is the coordination substrate of a controller.
+	ClusterAgent = cluster.Agent
+	// StoreNode is one feature database shard server.
+	StoreNode = store.Node
+	// StoreCluster is a client to the sharded feature database.
+	StoreCluster = store.Cluster
+	// ComputeWorker is one analysis cluster node.
+	ComputeWorker = compute.Worker
+	// MLParams carries algorithm parameters.
+	MLParams = ml.Params
+	// Confusion is a binary detection confusion matrix.
+	Confusion = ml.Confusion
+)
+
+// OpenFlow-facing types for application authors (packet processors and
+// rule installation through the controller proxy).
+type (
+	// Match selects packets in flow rules.
+	Match = openflow.Match
+	// PacketFields are the parsed header fields of a packet.
+	PacketFields = openflow.Fields
+	// FlowMod installs/modifies/deletes flow rules.
+	FlowMod = openflow.FlowMod
+	// Action is a flow rule action.
+	Action = openflow.Action
+	// ActionOutput forwards to a port.
+	ActionOutput = openflow.ActionOutput
+	// ActionDrop discards packets.
+	ActionDrop = openflow.ActionDrop
+	// PacketContext accompanies a PacketIn through processors.
+	PacketContext = controller.PacketContext
+	// PacketInMsg is the PacketIn message payload.
+	PacketInMsg = openflow.PacketIn
+	// PacketOutMsg emits a packet (or releases a buffered one).
+	PacketOutMsg = openflow.PacketOut
+)
+
+// Protocol constants.
+const (
+	ProtoTCP    = openflow.ProtoTCP
+	ProtoUDP    = openflow.ProtoUDP
+	ProtoICMP   = openflow.ProtoICMP
+	EthTypeIPv4 = openflow.EthTypeIPv4
+	PortFlood   = openflow.PortFlood
+)
+
+// MatchAll returns a match covering every packet.
+func MatchAll() Match { return openflow.MatchAll() }
+
+// ExactMatch returns a match requiring equality on every field.
+func ExactMatch(f PacketFields) Match { return openflow.ExactMatch(f) }
+
+// Wildcard bits for building partial matches.
+const (
+	WildAll     = openflow.WildAll
+	WildInPort  = openflow.WildInPort
+	WildEthSrc  = openflow.WildEthSrc
+	WildEthDst  = openflow.WildEthDst
+	WildEthType = openflow.WildEthType
+	WildIPProto = openflow.WildIPProto
+	WildIPSrc   = openflow.WildIPSrc
+	WildIPDst   = openflow.WildIPDst
+	WildTPSrc   = openflow.WildTPSrc
+	WildTPDst   = openflow.WildTPDst
+)
+
+// Publish modes for SouthboundConfig.Publish.
+const (
+	PublishSync    = core.PublishSync
+	PublishBatched = core.PublishBatched
+	PublishOff     = core.PublishOff
+)
+
+// Reaction kinds.
+const (
+	ReactBlock      = core.ReactBlock
+	ReactQuarantine = core.ReactQuarantine
+)
+
+// Feature origin classes (ManageMonitor targets).
+const (
+	OriginPacketIn    = core.OriginPacketIn
+	OriginFlowStats   = core.OriginFlowStats
+	OriginFlowRemoved = core.OriginFlowRemoved
+	OriginPortStats   = core.OriginPortStats
+)
+
+// Algorithm names (Table IV).
+const (
+	AlgoThreshold    = ml.AlgoThreshold
+	AlgoKMeans       = ml.AlgoKMeans
+	AlgoGMM          = ml.AlgoGMM
+	AlgoDecisionTree = ml.AlgoDecisionTree
+	AlgoRandomForest = ml.AlgoRandomForest
+	AlgoGBT          = ml.AlgoGBT
+	AlgoLogistic     = ml.AlgoLogistic
+	AlgoNaiveBayes   = ml.AlgoNaiveBayes
+	AlgoSVM          = ml.AlgoSVM
+	AlgoLinear       = ml.AlgoLinear
+	AlgoRidge        = ml.AlgoRidge
+	AlgoLasso        = ml.AlgoLasso
+)
+
+// Normalization kinds.
+const (
+	NormMinMax = ml.NormMinMax
+	NormZScore = ml.NormZScore
+)
+
+// Well-known feature field names (a representative slice of the
+// catalog; see internal/core/feature.go for the full set).
+const (
+	FPacketCount    = core.FPacketCount
+	FByteCount      = core.FByteCount
+	FDurationSec    = core.FDurationSec
+	FBytePerPacket  = core.FBytePerPacket
+	FPairFlow       = core.FPairFlow
+	FPairFlowRatio  = core.FPairFlowRatio
+	FFlowCount      = core.FFlowCount
+	FPortRxBytes    = core.FPortRxBytes
+	FPortTxBytes    = core.FPortTxBytes
+	FPortRxBytesVar = core.FPortRxBytesVar
+	FPortTxBytesVar = core.FPortTxBytesVar
+	FByteCountVar   = core.FByteCountVar
+	FPacketCountVar = core.FPacketCountVar
+	FPacketInLen    = core.FPacketInLen
+	LabelField      = core.LabelField
+)
+
+// DDoSFeatureNames is the §V-A detector's 10-tuple feature vector.
+var DDoSFeatureNames = core.DDoSFeatureNames
+
+// NewInstance creates an Athena instance over a controller.
+func NewInstance(cfg InstanceConfig) (*Instance, error) { return core.New(cfg) }
+
+// NewNetwork creates an empty software data plane.
+func NewNetwork(opts ...dataplane.NetworkOption) *Network { return dataplane.NewNetwork(opts...) }
+
+// NewTrafficGen returns a seeded workload generator.
+func NewTrafficGen(seed int64) *TrafficGen { return dataplane.NewTrafficGen(seed) }
+
+// ParseQuery parses the Athena query language (GenerateQuery).
+func ParseQuery(s string) (*Query, error) { return core.GenerateQuery(s) }
+
+// MustQuery parses a compile-time-constant query, panicking on error.
+func MustQuery(s string) *Query { return core.MustQuery(s) }
+
+// NewAlgorithm builds an algorithm descriptor (GenerateAlgorithm).
+func NewAlgorithm(name string, params MLParams) Algorithm {
+	return core.GenerateAlgorithm(name, params)
+}
+
+// GenerateDDoSFeatures synthesizes a labeled DDoS workload as feature
+// records.
+func GenerateDDoSFeatures(cfg SynthDDoSConfig) []*Feature {
+	return core.GenerateDDoSFeatures(cfg)
+}
+
+// UnmarshalDetectionModel deserializes a detection model produced by
+// DetectionModel.Marshal, enabling model exchange between instances.
+func UnmarshalDetectionModel(b []byte) (*DetectionModel, error) {
+	return core.UnmarshalDetectionModel(b)
+}
+
+// NewThresholdDetector builds a ready-to-use detection model for the
+// "Simple" algorithm class: the feature vector is the given columns, and
+// an entry is anomalous when columns[column] op value holds. Threshold
+// models need no learning phase (§IV-A).
+func NewThresholdDetector(features []string, column int, op string, value float64) *DetectionModel {
+	return &DetectionModel{
+		Algorithm: Algorithm{Name: ml.AlgoThreshold, Params: ml.Params{Column: column, Op: op, Value: value}},
+		Features:  append([]string(nil), features...),
+		Model: &ml.Model{
+			Algo:      ml.AlgoThreshold,
+			Threshold: &ml.Threshold{Column: column, Op: op, Value: value},
+		},
+	}
+}
+
+// IPv4 packs an address for use in reactions and traffic specs.
+func IPv4(a, b, c, d byte) uint32 { return openflow.IPv4(a, b, c, d) }
+
+// IPString renders a packed address.
+func IPString(ip uint32) string { return openflow.IPString(ip) }
+
+// WriteChart renders an ASCII time-series chart (UI Manager surface).
+func WriteChart(w io.Writer, title string, series []ChartSeries, height int) {
+	ui.WriteChart(w, title, series, height)
+}
+
+// ChartSeries is one line on a chart.
+type ChartSeries = ui.Series
+
+// WriteTable renders an aligned table.
+func WriteTable(w io.Writer, header []string, rows [][]string) { ui.Table(w, header, rows) }
+
+// WriteTopN renders a ranked listing ("top 10 congested links").
+func WriteTopN(w io.Writer, title string, items map[string]float64, n int) {
+	ui.TopN(w, title, items, n)
+}

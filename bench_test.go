@@ -1,0 +1,183 @@
+package athena
+
+import (
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/bench"
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/sloc"
+)
+
+// flowEventMsg builds a representative port-statistics control message.
+func flowEventMsg() controller.ControlMessage {
+	return controller.ControlMessage{
+		Time:         time.Unix(0, 1),
+		ControllerID: "bench",
+		DPID:         1,
+		Msg: &openflow.MultipartReply{
+			StatsType: openflow.StatsPort,
+			Ports: []openflow.PortStats{
+				{PortNo: 1, RxPackets: 100, RxBytes: 10_000, TxPackets: 90, TxBytes: 9_000},
+				{PortNo: 2, RxPackets: 50, RxBytes: 5_000, TxPackets: 40, TxBytes: 4_000},
+			},
+		},
+	}
+}
+
+// Each benchmark regenerates one table or figure of the paper's
+// evaluation. Shapes (who wins, rough factors) are asserted by the
+// tests in internal/bench; the benchmarks expose the underlying
+// measurements through `go test -bench`. cmd/athena-bench prints the
+// paper-formatted rows.
+
+// BenchmarkTable8SLoC — Table VIII: source lines of the Athena-based
+// DDoS detector versus the raw implementation.
+func BenchmarkTable8SLoC(b *testing.B) {
+	var r sloc.Result
+	for i := 0; i < b.N; i++ {
+		r = sloc.RunSLoC()
+	}
+	b.ReportMetric(float64(r.AthenaLines), "athena-lines")
+	b.ReportMetric(float64(r.RawLines), "raw-lines")
+	b.ReportMetric(100*r.Ratio(), "ratio-%")
+}
+
+// BenchmarkFig6DDoSDetection — §V-A / Fig. 6: K-Means DDoS model
+// training + validation on the synthetic workload; reports detection
+// quality alongside time.
+func BenchmarkFig6DDoSDetection(b *testing.B) {
+	var last *bench.DDoSResult
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunDDoS(bench.DDoSConfig{
+			BenignFlows: 400, MaliciousFlows: 2000, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Confusion.DetectionRate(), "DR-%")
+	b.ReportMetric(100*last.Confusion.FalseAlarmRate(), "FAR-%")
+}
+
+// BenchmarkFig10Scalability — Fig. 10: distributed validation makespan
+// at 1 and 4 compute workers (the full 1..6 sweep runs via
+// `athena-bench -exp scale`).
+func BenchmarkFig10Scalability(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers-1", 4: "workers-4"}[workers], func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunScale(bench.ScaleConfig{
+					Entries: 40_000, Workers: []int{workers}, Repetitions: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += points[0].AthenaTime
+			}
+			b.ReportMetric(total.Seconds()/float64(b.N), "makespan-s/op")
+		})
+	}
+}
+
+// BenchmarkTable9Cbench — Table IX: flow-install throughput in the
+// three configurations.
+func BenchmarkTable9Cbench(b *testing.B) {
+	for _, mode := range []string{"off", "sync", "nodb"} {
+		b.Run(mode, func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunCbench(bench.CbenchConfig{
+					Rounds: 3, RoundDuration: 100 * time.Millisecond,
+				}, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avg = res.Avg
+			}
+			b.ReportMetric(avg, "responses/s")
+		})
+	}
+}
+
+// BenchmarkFig11FlowEvents — Fig. 11: per-entry flow event handling
+// cost with and without Athena (the CPU usage proxy).
+func BenchmarkFig11FlowEvents(b *testing.B) {
+	for _, withAthena := range []bool{false, true} {
+		name := "without-athena"
+		if withAthena {
+			name = "with-athena"
+		}
+		b.Run(name, func(b *testing.B) {
+			points, err := bench.RunCPU(bench.CPUConfig{
+				FlowCounts: []int{50_000}, Repetitions: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate := points[0].WithoutRate
+			if withAthena {
+				rate = points[0].WithRate
+			}
+			b.ReportMetric(rate, "entries/s")
+			_ = b.N
+		})
+	}
+}
+
+// BenchmarkFig9NAEEventDelivery — the NAE monitor's substrate: query
+// evaluation + event delivery for flow-stats features (§V-C's
+// AddEventHandler path).
+func BenchmarkFig9NAEEventDelivery(b *testing.B) {
+	q := MustQuery("origin==flow_stats && DPID==(6 or 3)")
+	f := &core.Feature{
+		DPID:   6,
+		Origin: core.OriginFlowStats,
+		Values: map[string]float64{core.FPacketCount: 100, core.FPacketCountVar: 10},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !q.Match(f) {
+			b.Fatal("query must match")
+		}
+	}
+}
+
+// BenchmarkTable7LFAAttribution — §V-B's detection substrate: variation
+// feature generation for port statistics (the LFA detector's input).
+func BenchmarkTable7LFAAttribution(b *testing.B) {
+	gen := core.NewGenerator(core.GeneratorConfig{})
+	msg := flowEventMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if feats := gen.Process(msg); len(feats) == 0 {
+			b.Fatal("no features")
+		}
+	}
+}
+
+// BenchmarkModelScoring — online validation cost per feature (the
+// AddOnlineValidator fast path).
+func BenchmarkModelScoring(b *testing.B) {
+	train := core.GenerateDDoSDataset(core.SynthDDoSConfig{BenignFlows: 300, MaliciousFlows: 900, Seed: 1})
+	model, err := ml.Train(ml.AlgoKMeans, train, ml.Params{K: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm := &core.DetectionModel{Features: core.DDoSFeatureNames, Model: model}
+	f := &core.Feature{Values: map[string]float64{
+		core.FPairFlow: 1, core.FPairFlowRatio: 0.8, core.FPacketCount: 100,
+		core.FByteCount: 50_000, core.FBytePerPacket: 500,
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dm.IsAnomalous(f)
+	}
+}

@@ -1,0 +1,146 @@
+// Command athena-bench regenerates every table and figure of the
+// paper's evaluation (§V and §VII) and prints them in the paper's
+// row/series format. See EXPERIMENTS.md for the experiment index and
+// expected shapes.
+//
+// Usage:
+//
+//	athena-bench -exp all
+//	athena-bench -exp cbench -rounds 50
+//	athena-bench -exp scale -entries 1000000 -workers 1,2,3,4,5,6
+//	athena-bench -exp ddos -flows 40000
+//	athena-bench -exp cpu
+//	athena-bench -exp sloc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/bench"
+	"github.com/athena-sdn/athena/internal/sloc"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|all")
+		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
+		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
+		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
+		entries = flag.Int("entries", 200_000, "scale: validation entries")
+		workers = flag.String("workers", "1,2,3,4,5,6", "scale: worker sweep")
+		ddosWk  = flag.Int("ddos-workers", 0, "ddos: compute workers (0 = local)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "athena-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64) error {
+	todo := map[string]bool{}
+	if exp == "all" {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation"} {
+			todo[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(exp, ",") {
+			todo[strings.TrimSpace(e)] = true
+		}
+	}
+
+	if todo["sloc"] {
+		bench.WriteSLoCTable(os.Stdout, sloc.RunSLoC())
+		fmt.Println()
+	}
+	if todo["ddos"] {
+		r, err := bench.RunDDoS(bench.DDoSConfig{
+			BenignFlows:    flows / 5,
+			MaliciousFlows: 4 * flows / 5,
+			Seed:           seed,
+			Workers:        ddosWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteDDoSReport(os.Stdout, r)
+		if err := r.CheckQuality(); err != nil {
+			fmt.Println("WARNING:", err)
+		}
+		fmt.Println()
+	}
+	if todo["scale"] {
+		var ws []int
+		for _, s := range strings.Split(workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -workers: %w", err)
+			}
+			ws = append(ws, n)
+		}
+		points, err := bench.RunScale(bench.ScaleConfig{Entries: entries, Workers: ws, Seed: seed})
+		if err != nil {
+			return err
+		}
+		bench.WriteScaleFigure(os.Stdout, points)
+		fmt.Println()
+	}
+	if todo["cbench"] {
+		m, err := bench.RunCbenchModes(bench.CbenchConfig{
+			Rounds:        rounds,
+			RoundDuration: time.Duration(roundMS) * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteCbenchTable(os.Stdout, m)
+		fmt.Println()
+	}
+	if todo["cpu"] {
+		points, err := bench.RunCPU(bench.CPUConfig{})
+		if err != nil {
+			return err
+		}
+		bench.WriteCPUFigure(os.Stdout, points)
+		fmt.Println()
+	}
+	if todo["ablation"] {
+		pub, err := bench.RunPublishAblation(20_000)
+		if err != nil {
+			return err
+		}
+		bench.WritePublishAblation(os.Stdout, pub)
+		gc, err := bench.RunGCAblation(20_000, []time.Duration{time.Minute, time.Hour})
+		if err != nil {
+			return err
+		}
+		fmt.Println("ABLATION — variation-state GC (entries kept after sweep)")
+		for _, p := range gc {
+			fmt.Printf("  gc age %-8v: peak %d -> %d\n", p.GCAge, p.PeakEntries, p.PostGCEntries)
+		}
+		disp, err := bench.RunDispatchAblation(nil, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println("ABLATION — local vs distributed dispatch (end-to-end validation)")
+		for _, p := range disp {
+			winner := "local"
+			if p.ClusterWins() {
+				winner = "cluster"
+			}
+			fmt.Printf("  rows %-8d: local %-12v cluster %-12v -> %s\n",
+				p.Rows, p.LocalTime.Round(time.Microsecond), p.ClusterTime.Round(time.Microsecond), winner)
+		}
+		fmt.Println()
+	}
+	if len(todo) == 0 {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package athena_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/athena-sdn/athena"
+)
+
+// ExampleNewStack boots a single-controller deployment, attaches a
+// one-switch data plane, and watches live features.
+func ExampleNewStack() {
+	stack, err := athena.NewStack(athena.StackConfig{Controllers: 1, StoreNodes: 1})
+	if err != nil {
+		fmt.Println("boot:", err)
+		return
+	}
+	defer stack.Close()
+
+	net := athena.NewNetwork()
+	net.AddSwitch(1)
+	h1, _ := net.AddHost("h1", athena.IPv4(10, 0, 0, 1), 1, 1, 1000)
+	h2, _ := net.AddHost("h2", athena.IPv4(10, 0, 0, 2), 1, 2, 1000)
+	defer net.Close()
+	if err := stack.ConnectNetwork(net); err != nil {
+		fmt.Println("connect:", err)
+		return
+	}
+	if err := stack.WaitForDevices(1, 3*time.Second); err != nil {
+		fmt.Println("wait:", err)
+		return
+	}
+
+	seen := make(chan string, 1)
+	stack.Instance(0).AddEventHandler(
+		athena.MustQuery("origin==packet_in"),
+		func(f *athena.Feature) {
+			select {
+			case seen <- f.Origin:
+			default:
+			}
+		})
+
+	h1.Send(h2, athena.ProtoTCP, 40000, 80, 100)
+	select {
+	case origin := <-seen:
+		fmt.Println("live feature origin:", origin)
+	case <-time.After(3 * time.Second):
+		fmt.Println("timeout")
+	}
+	// Output: live feature origin: packet_in
+}
+
+// ExampleMustQuery shows the query language of Table IV.
+func ExampleMustQuery() {
+	q := athena.MustQuery("TP_DST==80 && BYTE_COUNT>1000").
+		WithSort(athena.FByteCount, true).
+		WithLimit(10)
+	f := &athena.Feature{
+		Values: map[string]float64{"tp_dst": 80, "byte_count": 5000},
+	}
+	fmt.Println(q.Match(f))
+	// Output: true
+}
+
+// ExampleInstance_GenerateDetectionModelFromFeatures walks the
+// Application 1 pseudocode of §V-A on a synthetic workload.
+func ExampleInstance_GenerateDetectionModelFromFeatures() {
+	stack, err := athena.NewStack(athena.StackConfig{Controllers: 1})
+	if err != nil {
+		fmt.Println("boot:", err)
+		return
+	}
+	defer stack.Close()
+	inst := stack.Instance(0)
+
+	train := athena.GenerateDDoSFeatures(athena.SynthDDoSConfig{
+		BenignFlows: 200, MaliciousFlows: 400, Seed: 1,
+	})
+	test := athena.GenerateDDoSFeatures(athena.SynthDDoSConfig{
+		BenignFlows: 100, MaliciousFlows: 200, Seed: 2,
+	})
+
+	p := &athena.Preprocessor{Normalize: athena.NormMinMax, LabelField: athena.LabelField}
+	p.AddFeatures(athena.DDoSFeatureNames...)
+	model, err := inst.GenerateDetectionModelFromFeatures(train, p,
+		athena.NewAlgorithm(athena.AlgoKMeans, athena.MLParams{K: 8, Iterations: 20, Seed: 7}))
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	res, err := inst.ValidateFeatureRecords(test, p, model)
+	if err != nil {
+		fmt.Println("validate:", err)
+		return
+	}
+	fmt.Printf("detection rate >= 0.95: %v\n", res.Confusion.DetectionRate() >= 0.95)
+	fmt.Printf("false alarms <= 0.15: %v\n", res.Confusion.FalseAlarmRate() <= 0.15)
+	// Output:
+	// detection rate >= 0.95: true
+	// false alarms <= 0.15: true
+}

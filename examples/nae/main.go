@@ -1,0 +1,314 @@
+// Command nae reproduces §V-C of the paper: the Network Application
+// Effectiveness (NAE) problem. A load-balancing application distributes
+// flows across two paths (via s3 and via s6) with soft-timeout rules;
+// a security application, activated mid-run, forces FTP traffic through
+// the inline security device at s6 with higher priority. Because the
+// workload is FTP-dominated, the security policy silently starves the
+// s3 path and saturates s6 — the LB app is still running but no longer
+// effective. The Athena monitor detects the violated "traffic evenly
+// distributed per switch" SLA from per-app flow features on
+// DPID==(6 or 3) and renders the Fig. 9-style view (the sawtooth comes
+// from soft-timeout rule expiry).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena"
+)
+
+// Topology of Fig. 8 (switch s4 of the figure is not on either path and
+// is omitted):
+//
+//	users -- s1 -- s2 --+-- s3 ------------+-- s5 -- {ftp, web}
+//	                    +-- s6 -- s7 ------+
+//	                        (security device)
+type hop struct {
+	dpid uint64
+	out  uint32
+}
+
+var (
+	pathViaS3 = []hop{{1, 3}, {2, 2}, {3, 2}}         // s5 egress appended per dst
+	pathViaS6 = []hop{{1, 3}, {2, 3}, {6, 2}, {7, 2}} //
+)
+
+const (
+	appLB  = "app.loadbalancer"
+	appSec = "app.security"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== Athena NAE monitor (paper §V-C) ==")
+
+	stack, err := athena.NewStack(athena.StackConfig{
+		Controllers: 1,
+		StoreNodes:  1,
+		Controller:  athena.ControllerConfig{DisableForwarding: true},
+		Southbound: athena.SouthboundConfig{
+			Publish:    athena.PublishBatched,
+			BatchDelay: 20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+
+	net := athena.NewNetwork()
+	for _, d := range []uint64{1, 2, 3, 5, 6, 7} {
+		net.AddSwitch(d)
+	}
+	links := [][4]uint32{
+		{1, 3, 2, 1}, // s1:3 - s2:1
+		{2, 2, 3, 1}, // s2:2 - s3:1
+		{3, 2, 5, 3}, // s3:2 - s5:3
+		{2, 3, 6, 1}, // s2:3 - s6:1
+		{6, 2, 7, 1}, // s6:2 - s7:1
+		{7, 2, 5, 4}, // s7:2 - s5:4
+	}
+	for _, l := range links {
+		if err := net.AddLink(uint64(l[0]), l[1], uint64(l[2]), l[3], 1_000_000); err != nil {
+			return err
+		}
+	}
+	user1, err := net.AddHost("user1", athena.IPv4(10, 0, 1, 1), 1, 1, 1_000_000)
+	if err != nil {
+		return err
+	}
+	user2, err := net.AddHost("user2", athena.IPv4(10, 0, 1, 2), 1, 2, 1_000_000)
+	if err != nil {
+		return err
+	}
+	ftp, err := net.AddHost("ftp", athena.IPv4(10, 0, 5, 1), 5, 1, 1_000_000)
+	if err != nil {
+		return err
+	}
+	web, err := net.AddHost("web", athena.IPv4(10, 0, 5, 2), 5, 2, 1_000_000)
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	if err := stack.ConnectNetwork(net); err != nil {
+		return err
+	}
+	if err := stack.WaitForDevices(6, 3*time.Second); err != nil {
+		return err
+	}
+	ctrl := stack.Controller(0)
+	inst := stack.Instance(0)
+
+	serverPort := map[uint32]uint32{ftp.IP: 1, web.IP: 2}
+
+	// installPath lays the remaining rules of a path starting at 'from'.
+	installPath := func(appID string, f athena.PacketFields, path []hop, from uint64,
+		priority uint16, idleSec uint16) {
+		started := false
+		full := append(append([]hop(nil), path...), hop{5, serverPort[f.IPDst]})
+		for _, h := range full {
+			if h.dpid == from {
+				started = true
+			}
+			if !started {
+				continue
+			}
+			match := f
+			match.InPort = 0 // rules match on the 5-tuple, not ingress
+			_, _ = ctrl.InstallFlow(appID, h.dpid, athena.FlowMod{
+				Priority:    priority,
+				IdleTimeout: idleSec,
+				Match: athena.Match{
+					Wildcards: athena.WildInPort | athena.WildEthSrc | athena.WildEthDst,
+					Fields:    match,
+				},
+				Actions: []athena.Action{athena.ActionOutput{Port: h.out}},
+			})
+		}
+	}
+
+	// The security application: when active, FTP traffic must traverse
+	// the security device at s6 (higher rule priority beats the LB app).
+	var (
+		secMu     sync.Mutex
+		secActive bool
+	)
+	ctrl.AddProcessor(5, appSec, func(ctx *athena.PacketContext) {
+		secMu.Lock()
+		active := secActive
+		secMu.Unlock()
+		f := ctx.Packet.Fields
+		if !active || f.EthType != athena.EthTypeIPv4 || f.TPDst != 21 {
+			return
+		}
+		installPath(appSec, f, pathViaS6, ctx.DPID, 300, 0)
+		_ = ctrl.SendPacketOut(ctx.DPID, release(ctx, nextHopOut(pathViaS6, ctx.DPID, serverPort[f.IPDst])))
+		ctx.Handled = true
+	})
+
+	// The load-balancing application: alternate *flows* across the two
+	// paths (the choice is memoized per flow so retransmitted PacketIns
+	// of one flow stay on one path), soft timeout so idle rules expire
+	// (the Fig. 9 sawtooth).
+	var (
+		lbMu     sync.Mutex
+		lbFlip   bool
+		lbChoice = map[athena.PacketFields][]hop{}
+	)
+	ctrl.AddProcessor(10, appLB, func(ctx *athena.PacketContext) {
+		f := ctx.Packet.Fields
+		if f.EthType != athena.EthTypeIPv4 || serverPort[f.IPDst] == 0 {
+			return
+		}
+		key := f
+		key.InPort = 0
+		lbMu.Lock()
+		path, seen := lbChoice[key]
+		if !seen {
+			lbFlip = !lbFlip
+			path = pathViaS3
+			if lbFlip {
+				path = pathViaS6
+			}
+			lbChoice[key] = path
+		}
+		lbMu.Unlock()
+		installPath(appLB, f, path, ctx.DPID, 200, 2 /* soft timeout, seconds */)
+		_ = ctrl.SendPacketOut(ctx.DPID, release(ctx, nextHopOut(path, ctx.DPID, serverPort[f.IPDst])))
+		ctx.Handled = true
+	})
+
+	// --- The Athena NAE monitor (the paper's ~30-line application). ---
+	type stepSample struct{ s3, s6 float64 }
+	var (
+		monMu    sync.Mutex
+		current  stepSample
+		perApp   = map[string]float64{}
+		violated bool
+	)
+	inst.AddEventHandler(athena.MustQuery("origin==flow_stats && DPID==(6 or 3)"),
+		func(f *athena.Feature) {
+			monMu.Lock()
+			defer monMu.Unlock()
+			pkts := f.Value(athena.FPacketCount)
+			if f.DPID == 3 {
+				current.s3 += pkts
+			} else {
+				current.s6 += pkts
+			}
+			perApp[f.AppID] += pkts
+		})
+	checkSLA := func(s stepSample) bool { // SLA: traffic evenly distributed
+		total := s.s3 + s.s6
+		return total < 100 || math.Abs(s.s3-s.s6)/total <= 0.6
+	}
+	// -------------------------------------------------------------------
+
+	// Drive the workload: FTP-dominated, in bursts, with gaps so soft
+	// timeouts expire some rules. The security app activates halfway.
+	var s3Series, s6Series []float64
+	fmt.Println("phase 1: load balancer only")
+	gen := athena.NewTrafficGen(3)
+	users := []*athena.Host{user1, user2}
+	const steps = 16
+	for step := 0; step < steps; step++ {
+		if step == steps/2 {
+			secMu.Lock()
+			secActive = true
+			secMu.Unlock()
+			fmt.Println("phase 2: security application activated (FTP via s6)")
+		}
+		if step%3 != 2 { // bursts with idle gaps drive rule expiry
+			for i := 0; i < 6; i++ {
+				u := users[gen.Intn(len(users))]
+				dst, port := ftp, uint16(21)
+				if i == 5 { // 1-in-6 flows are web; FTP dominates
+					dst, port = web, 80
+				}
+				athena.FlowSpec{
+					Src: u, Dst: dst, Proto: athena.ProtoTCP,
+					SrcPort: uint16(20000 + step*100 + i), DstPort: port,
+					Packets: 20, PacketSize: 900,
+				}.Send()
+			}
+		}
+		time.Sleep(450 * time.Millisecond)
+		net.SweepExpired(time.Now())
+		monMu.Lock()
+		current = stepSample{}
+		monMu.Unlock()
+		stack.PollStats()
+		time.Sleep(250 * time.Millisecond)
+		monMu.Lock()
+		s3Series = append(s3Series, current.s3)
+		s6Series = append(s6Series, current.s6)
+		if step%3 != 2 && !checkSLA(current) && !violated {
+			violated = true
+			fmt.Printf("SLA VIOLATION at step %d: s3=%.0f pkts, s6=%.0f pkts (uneven distribution)\n",
+				step, current.s3, current.s6)
+		}
+		monMu.Unlock()
+	}
+
+	// Phase summary: evenness before activation, skew after.
+	phaseAvg := func(series []float64, from, to int) float64 {
+		sum := 0.0
+		for _, v := range series[from:to] {
+			sum += v
+		}
+		return sum / float64(to-from)
+	}
+	fmt.Printf("\nphase averages (pkts/step): phase1 s3=%.0f s6=%.0f | phase2 s3=%.0f s6=%.0f\n",
+		phaseAvg(s3Series, 2, steps/2), phaseAvg(s6Series, 2, steps/2),
+		phaseAvg(s3Series, steps/2+1, steps), phaseAvg(s6Series, steps/2+1, steps))
+
+	// ShowResults: the Fig. 9-style per-switch view.
+	fmt.Println()
+	athena.WriteChart(os.Stdout, "packet counts per switch (flow rules on s3 vs s6)",
+		[]athena.ChartSeries{
+			{Name: "s3 (load-balanced path)", Points: s3Series},
+			{Name: "s6 (security device path)", Points: s6Series},
+		}, 12)
+
+	monMu.Lock()
+	defer monMu.Unlock()
+	fmt.Println("\nper-application forwarding share (packet growth on s3/s6):")
+	athena.WriteTopN(os.Stdout, "", map[string]float64{
+		"load balancer": perApp[appLB],
+		"security app":  perApp[appSec],
+	}, 0)
+	if !violated {
+		return fmt.Errorf("NAE condition never detected")
+	}
+	fmt.Println("\nNAE detected: the security app took over forwarding; the LB app is active but ineffective")
+	return nil
+}
+
+// release builds the PacketOut freeing the buffered packet toward out.
+func release(ctx *athena.PacketContext, out uint32) *athena.PacketOutMsg {
+	return &athena.PacketOutMsg{
+		BufferID: ctx.Packet.BufferID,
+		InPort:   ctx.Packet.Fields.InPort,
+		Actions:  []athena.Action{athena.ActionOutput{Port: out}},
+	}
+}
+
+// nextHopOut returns the egress port at 'from' along the path.
+func nextHopOut(path []hop, from uint64, serverPort uint32) uint32 {
+	for _, h := range path {
+		if h.dpid == from {
+			return h.out
+		}
+	}
+	return serverPort // from == s5
+}

@@ -1,0 +1,3 @@
+module github.com/athena-sdn/athena
+
+go 1.23

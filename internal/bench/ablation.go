@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// --- Publish-mode ablation (§VII-C3's "replace MongoDB" discussion) ---
+
+// PublishPoint measures one feature-publication strategy.
+type PublishPoint struct {
+	Mode      string
+	BatchSize int
+	// Rate is sustained documents/second into the store.
+	Rate float64
+}
+
+// RunPublishAblation measures synchronous publication against batched
+// publication at several batch sizes — quantifying how much of the
+// Table IX overhead is the per-event round trip rather than the
+// database itself.
+func RunPublishAblation(docs int) ([]PublishPoint, error) {
+	if docs <= 0 {
+		docs = 20_000
+	}
+	node, err := store.NewNode("")
+	if err != nil {
+		return nil, err
+	}
+	defer node.Close()
+	cl, err := store.Dial(node.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	doc := store.Document{
+		Time:   1,
+		Tags:   map[string]string{"dpid": "1", "flow": "f", "origin": "flow_stats"},
+		Fields: map[string]float64{"packet_count": 1, "byte_count": 100},
+	}
+
+	var out []PublishPoint
+	// Synchronous: one round trip per document.
+	start := time.Now()
+	one := []store.Document{doc}
+	for i := 0; i < docs; i++ {
+		if err := cl.Insert(one); err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, PublishPoint{
+		Mode: "sync",
+		Rate: float64(docs) / time.Since(start).Seconds(),
+	})
+	if _, err := cl.Delete(store.Filter{}); err != nil {
+		return nil, err
+	}
+
+	for _, batch := range []int{16, 128, 1024} {
+		w := store.NewWriter(cl, batch, 5*time.Millisecond)
+		start := time.Now()
+		for i := 0; i < docs; i++ {
+			w.Publish(doc)
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		out = append(out, PublishPoint{
+			Mode:      "batched",
+			BatchSize: batch,
+			Rate:      float64(docs) / time.Since(start).Seconds(),
+		})
+		if _, err := cl.Delete(store.Filter{}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- Local vs distributed dispatch (§III-A 1C) -------------------------
+
+// DispatchPoint measures one dataset size on both engines.
+type DispatchPoint struct {
+	Rows int
+	// LocalTime / ClusterTime include dataset shipping plus the
+	// validation job — the communication-versus-parallelism tradeoff the
+	// Attack Detector's size threshold encodes.
+	LocalTime   time.Duration
+	ClusterTime time.Duration
+}
+
+// ClusterWins reports whether cluster dispatch beat local execution.
+func (p DispatchPoint) ClusterWins() bool { return p.ClusterTime < p.LocalTime }
+
+// RunDispatchAblation sweeps dataset sizes and measures end-to-end
+// validation (load + job) on the local engine versus a worker cluster,
+// exposing the crossover the DistributedThreshold encodes.
+func RunDispatchAblation(sizes []int, workers int) ([]DispatchPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2_000, 20_000, 100_000}
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	cluster, cleanup, err := engineFor(workers)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	var out []DispatchPoint
+	for _, rows := range sizes {
+		ds := core.GenerateDDoSDataset(core.SynthDDoSConfig{
+			BenignFlows:    rows / 16,
+			MaliciousFlows: rows / 8,
+			Seed:           int64(rows),
+		})
+		model, err := ml.Train(ml.AlgoKMeans, ds, ml.Params{K: 8, Iterations: 5, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+
+		local := core.NewDetectorManager(nil, 0)
+		start := time.Now()
+		if _, _, _, err := local.Validate(ds, model); err != nil {
+			return nil, err
+		}
+		localTime := time.Since(start)
+
+		dm := core.NewDetectorManager(cluster, 1)
+		start = time.Now()
+		if _, _, _, err := dm.Validate(ds, model); err != nil {
+			return nil, err
+		}
+		clusterTime := time.Since(start)
+
+		out = append(out, DispatchPoint{Rows: ds.Len(), LocalTime: localTime, ClusterTime: clusterTime})
+	}
+	return out, nil
+}
+
+// --- Variation-state GC (§III-A 1B) ------------------------------------
+
+// GCPoint measures generator state under one GC age.
+type GCPoint struct {
+	GCAge time.Duration
+	// PeakEntries / PostGCEntries are tracked hash-table entries before
+	// and after the sweep.
+	PeakEntries   int
+	PostGCEntries int
+}
+
+// RunGCAblation feeds a churning flow population through the Feature
+// Generator under different GC ages and reports how much state the
+// garbage collector reclaims.
+func RunGCAblation(flowChurn int, ages []time.Duration) ([]GCPoint, error) {
+	if flowChurn <= 0 {
+		flowChurn = 20_000
+	}
+	if len(ages) == 0 {
+		ages = []time.Duration{time.Minute, 10 * time.Minute}
+	}
+	var out []GCPoint
+	for _, age := range ages {
+		gen := core.NewGenerator(core.GeneratorConfig{GCAge: age})
+		base := time.Unix(0, 0)
+		// Each flow is observed once, spread over 2x the smallest age so
+		// part of the population is stale at sweep time.
+		window := 2 * ages[0]
+		for i := 0; i < flowChurn; i++ {
+			ts := base.Add(time.Duration(int64(window) * int64(i) / int64(flowChurn)))
+			gen.Process(syntheticFlowStats(uint64(i%8+1), uint16(i), ts))
+		}
+		prevN, flowN := gen.StateSize()
+		peak := prevN + flowN
+		gen.GC(base.Add(window))
+		prevN, flowN = gen.StateSize()
+		out = append(out, GCPoint{GCAge: age, PeakEntries: peak, PostGCEntries: prevN + flowN})
+	}
+	return out, nil
+}
+
+func syntheticFlowStats(dpid uint64, src uint16, ts time.Time) controllerMessage {
+	return controllerMessageAt(dpid, src, ts)
+}
+
+// WritePublishAblation renders the publish-mode ablation.
+func WritePublishAblation(w interface{ Write([]byte) (int, error) }, points []PublishPoint) {
+	fmt.Fprintln(w, "ABLATION — feature publication strategy (docs/s into the store)")
+	for _, p := range points {
+		if p.Mode == "sync" {
+			fmt.Fprintf(w, "  sync (per-event round trip) : %10.0f docs/s\n", p.Rate)
+		} else {
+			fmt.Fprintf(w, "  batched (batch=%4d)        : %10.0f docs/s\n", p.BatchSize, p.Rate)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// controllerMessage aliases the control-message type for the ablation
+// helpers.
+type controllerMessage = controller.ControlMessage
+
+// controllerMessageAt builds one flow-stats control message with a
+// distinct 5-tuple, timestamped at ts.
+func controllerMessageAt(dpid uint64, src uint16, ts time.Time) controllerMessage {
+	return controllerMessage{
+		Time:         ts,
+		ControllerID: "ablation",
+		DPID:         dpid,
+		Msg: &openflow.MultipartReply{
+			StatsType: openflow.StatsFlow,
+			Flows: []openflow.FlowStats{{
+				PacketCount: 10,
+				ByteCount:   1000,
+				DurationSec: 1,
+				Match: openflow.ExactMatch(openflow.Fields{
+					EthType: openflow.EthTypeIPv4,
+					IPProto: openflow.ProtoTCP,
+					IPSrc:   openflow.IPv4(10, 0, byte(src>>8), byte(src)),
+					IPDst:   openflow.IPv4(10, 99, 0, 1),
+					TPSrc:   src,
+					TPDst:   80,
+				}),
+			}},
+		},
+	}
+}

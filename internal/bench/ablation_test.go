@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublishAblationBatchingWins(t *testing.T) {
+	points, err := RunPublishAblation(3_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	syncRate := points[0].Rate
+	for _, p := range points[1:] {
+		if p.Rate <= syncRate {
+			t.Errorf("batched (batch=%d, %.0f/s) not faster than sync (%.0f/s)",
+				p.BatchSize, p.Rate, syncRate)
+		}
+	}
+	var b strings.Builder
+	WritePublishAblation(&b, points)
+	if !strings.Contains(b.String(), "ABLATION") {
+		t.Error("header missing")
+	}
+	t.Logf("\n%s", b.String())
+}
+
+func TestDispatchAblationCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	points, err := RunDispatchAblation([]int{1_000, 60_000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small datasets: local wins (no shipping); the paper's 1C design
+	// point. Note wall times include dataset shipping, so at small sizes
+	// the cluster pays pure overhead.
+	if points[0].ClusterWins() {
+		t.Errorf("cluster won at %d rows (local %v vs cluster %v); expected local",
+			points[0].Rows, points[0].LocalTime, points[0].ClusterTime)
+	}
+	for _, p := range points {
+		t.Logf("rows=%d local=%v cluster=%v", p.Rows, p.LocalTime, p.ClusterTime)
+	}
+}
+
+func TestGCAblationReclaimsStaleState(t *testing.T) {
+	points, err := RunGCAblation(10_000, []time.Duration{time.Minute, time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, long := points[0], points[1]
+	if short.PostGCEntries >= short.PeakEntries {
+		t.Errorf("short GC age reclaimed nothing: %+v", short)
+	}
+	// A GC age longer than the whole run keeps everything.
+	if long.PostGCEntries != long.PeakEntries {
+		t.Errorf("hour-long GC age dropped state: %+v", long)
+	}
+	// The short age must keep strictly less than the long one.
+	if short.PostGCEntries >= long.PostGCEntries {
+		t.Errorf("short age (%d kept) >= long age (%d kept)",
+			short.PostGCEntries, long.PostGCEntries)
+	}
+	t.Logf("gc: peak=%d, 1m->%d, 1h->%d", short.PeakEntries, short.PostGCEntries, long.PostGCEntries)
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunCbenchModesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m, err := RunCbenchModes(CbenchConfig{Rounds: 3, RoundDuration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Without.Avg <= 0 || m.With.Avg <= 0 || m.WithNoDB.Avg <= 0 {
+		t.Fatalf("non-positive throughput: %+v", m)
+	}
+	// The paper's ordering: without > with(no DB) > with(sync DB).
+	if m.With.Avg >= m.Without.Avg {
+		t.Errorf("Athena with sync DB (%.0f/s) not slower than baseline (%.0f/s)", m.With.Avg, m.Without.Avg)
+	}
+	if m.With.Avg >= m.WithNoDB.Avg {
+		t.Errorf("sync-DB mode (%.0f/s) not slower than no-DB mode (%.0f/s)", m.With.Avg, m.WithNoDB.Avg)
+	}
+	var b strings.Builder
+	WriteCbenchTable(&b, m)
+	for _, want := range []string{"TABLE IX", "Without", "With (no DB)", "Overhead"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, b.String())
+		}
+	}
+	t.Logf("\n%s", b.String())
+}
+
+func TestRunDDoSQuality(t *testing.T) {
+	r, err := RunDDoS(DDoSConfig{BenignFlows: 600, MaliciousFlows: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckQuality(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	WriteDDoSReport(&b, r)
+	for _, want := range []string{"Detection Rate", "False Alarm Rate", "Cluster #0"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	t.Logf("DR=%.4f FAR=%.4f", r.Confusion.DetectionRate(), r.Confusion.FalseAlarmRate())
+}
+
+func TestRunDDoSOnCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := RunDDoS(DDoSConfig{BenignFlows: 500, MaliciousFlows: 2500, Seed: 5, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckQuality(); err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainTime <= 0 || r.ValidateTime <= 0 {
+		t.Fatalf("job times not accounted: %+v", r)
+	}
+}
+
+func TestRunScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	points, err := RunScale(ScaleConfig{Entries: 60_000, Workers: []int{1, 2, 4}, Repetitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Fig. 10 shape: more nodes, less time (makespan accounting).
+	if points[2].AthenaTime >= points[0].AthenaTime {
+		t.Errorf("4 workers (%v) not faster than 1 (%v)", points[2].AthenaTime, points[0].AthenaTime)
+	}
+	// Athena overhead over the raw job stays small (paper: under 10%;
+	// we allow slack for scheduler noise on a loaded CI machine).
+	for _, p := range points {
+		if p.OverheadPct() > 50 {
+			t.Errorf("athena overhead at %d workers = %.1f%%", p.Workers, p.OverheadPct())
+		}
+	}
+	var b strings.Builder
+	WriteScaleFigure(&b, points)
+	if !strings.Contains(b.String(), "FIG. 10") {
+		t.Error("figure header missing")
+	}
+	t.Logf("\n%s", b.String())
+}
+
+func TestRunCPUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	points, err := RunCPU(CPUConfig{FlowCounts: []int{50_000, 200_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		// Athena adds work on the event path: never faster than baseline.
+		if p.WithTime < p.WithoutTime {
+			t.Errorf("with-athena %v faster than without %v at %d flows",
+				p.WithTime, p.WithoutTime, p.FlowCount)
+		}
+	}
+	// More offered load, more processing time (both configs).
+	if points[1].WithTime <= points[0].WithTime {
+		t.Errorf("processing time did not grow with load: %+v", points)
+	}
+	var b strings.Builder
+	WriteCPUFigure(&b, points)
+	if !strings.Contains(b.String(), "FIG. 11") {
+		t.Error("figure header missing")
+	}
+	t.Logf("\n%s", b.String())
+}
+
+func TestOverheadPct(t *testing.T) {
+	if got := OverheadPct(1000, 500); got != 50 {
+		t.Fatalf("OverheadPct = %v", got)
+	}
+	if got := OverheadPct(0, 500); got != 0 {
+		t.Fatalf("OverheadPct(0) = %v", got)
+	}
+}

@@ -1,0 +1,314 @@
+// Package bench implements the paper's evaluation harness: one entry
+// point per table/figure of §VII (and the §V use-case measurements),
+// each returning structured results that cmd/athena-bench renders in the
+// paper's row/series format and bench_test.go wraps as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// CbenchConfig parameterizes the Table IX reproduction.
+type CbenchConfig struct {
+	// Rounds of measurement (paper: 50).
+	Rounds int
+	// RoundDuration is each round's measurement window.
+	RoundDuration time.Duration
+	// Hosts is the emulated host pool cycled through PacketIns.
+	Hosts int
+}
+
+func (c CbenchConfig) withDefaults() CbenchConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.RoundDuration <= 0 {
+		c.RoundDuration = 200 * time.Millisecond
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 64
+	}
+	return c
+}
+
+// CbenchResult summarizes flow-install throughput over the rounds.
+type CbenchResult struct {
+	Min, Max, Avg float64 // responses/second
+}
+
+// CbenchModes runs the three Table IX configurations against fresh
+// controller instances: without Athena, with Athena (synchronous DB
+// publication), and with Athena but DB publication disabled.
+type CbenchModes struct {
+	Without  CbenchResult
+	With     CbenchResult
+	WithNoDB CbenchResult
+}
+
+// OverheadPct reports the percentage throughput loss of a configuration
+// against the baseline, per paper Table IX's Overhead row.
+func OverheadPct(base, with float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - with) / base
+}
+
+// RunCbenchModes measures all three configurations.
+func RunCbenchModes(cfg CbenchConfig) (CbenchModes, error) {
+	var out CbenchModes
+	var err error
+	if out.Without, err = RunCbench(cfg, "off"); err != nil {
+		return out, fmt.Errorf("cbench without athena: %w", err)
+	}
+	if out.With, err = RunCbench(cfg, "sync"); err != nil {
+		return out, fmt.Errorf("cbench with athena: %w", err)
+	}
+	if out.WithNoDB, err = RunCbench(cfg, "nodb"); err != nil {
+		return out, fmt.Errorf("cbench with athena no-db: %w", err)
+	}
+	return out, nil
+}
+
+// RunCbench measures one configuration. athenaMode is "off" (no Athena),
+// "sync" (Athena with synchronous DB publication), or "nodb" (Athena
+// with publication disabled).
+func RunCbench(cfg CbenchConfig, athenaMode string) (CbenchResult, error) {
+	cfg = cfg.withDefaults()
+
+	ctrl, err := controller.New(controller.Config{ID: "cbench-" + athenaMode})
+	if err != nil {
+		return CbenchResult{}, err
+	}
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	var inst *core.Athena
+	var node *store.Node
+	switch athenaMode {
+	case "off":
+	case "sync", "nodb":
+		coreCfg := core.Config{Proxy: ctrl}
+		if athenaMode == "sync" {
+			node, err = store.NewNode("")
+			if err != nil {
+				return CbenchResult{}, err
+			}
+			defer node.Close()
+			coreCfg.StoreAddrs = []string{node.Addr()}
+			coreCfg.Southbound.Publish = core.PublishSync
+		} else {
+			coreCfg.Southbound.Publish = core.PublishOff
+		}
+		inst, err = core.New(coreCfg)
+		if err != nil {
+			return CbenchResult{}, err
+		}
+		defer inst.Close()
+	default:
+		return CbenchResult{}, fmt.Errorf("cbench: unknown mode %q", athenaMode)
+	}
+
+	gen, err := newCbenchSwitch(ctrl.Addr(), cfg.Hosts)
+	if err != nil {
+		return CbenchResult{}, err
+	}
+	defer gen.close()
+	// The session must be registered before load is offered; frames
+	// arriving mid-handshake are discarded.
+	for deadline := time.Now().Add(3 * time.Second); len(ctrl.Devices()) == 0; {
+		if time.Now().After(deadline) {
+			return CbenchResult{}, fmt.Errorf("cbench: switch session never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := gen.warmup(); err != nil {
+		return CbenchResult{}, err
+	}
+
+	var res CbenchResult
+	res.Min = -1
+	var sum float64
+	for round := 0; round < cfg.Rounds; round++ {
+		rate, err := gen.round(cfg.RoundDuration)
+		if err != nil {
+			return CbenchResult{}, fmt.Errorf("round %d: %w", round, err)
+		}
+		sum += rate
+		if res.Min < 0 || rate < res.Min {
+			res.Min = rate
+		}
+		if rate > res.Max {
+			res.Max = rate
+		}
+	}
+	res.Avg = sum / float64(cfg.Rounds)
+	return res, nil
+}
+
+// cbenchSwitch is the throughput-mode load generator: a fake switch
+// that floods PacketIns and counts flow-install responses.
+type cbenchSwitch struct {
+	conn  *openflow.Conn
+	hosts int
+
+	responses atomic.Uint64
+	readDone  chan struct{}
+
+	seq uint32
+}
+
+func newCbenchSwitch(addr string, hosts int) (*cbenchSwitch, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cbench dial: %w", err)
+	}
+	s := &cbenchSwitch{
+		conn:     openflow.NewConn(nc),
+		hosts:    hosts,
+		readDone: make(chan struct{}),
+	}
+	// Handshake: Hello + answer the features request.
+	if _, err := s.conn.Send(&openflow.Hello{}); err != nil {
+		return nil, err
+	}
+	ports := make([]openflow.PortDesc, 16)
+	for i := range ports {
+		ports[i] = openflow.PortDesc{No: uint32(i + 1), Name: fmt.Sprintf("cb%d", i+1)}
+	}
+	go s.readLoop(ports)
+	return s, nil
+}
+
+// readLoop answers the controller's handshake and counts flow-install
+// responses (FlowMods, as cbench does).
+func (s *cbenchSwitch) readLoop(ports []openflow.PortDesc) {
+	defer close(s.readDone)
+	for {
+		msg, h, err := s.conn.Receive()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *openflow.FeaturesRequest:
+			_ = s.conn.SendXID(&openflow.FeaturesReply{DPID: 0xcb, NumTables: 1, Ports: ports}, h.XID)
+		case *openflow.EchoRequest:
+			_ = s.conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+		case *openflow.FlowMod:
+			s.responses.Add(1)
+		case *openflow.MultipartRequest:
+			_ = s.conn.SendXID(&openflow.MultipartReply{StatsType: m.StatsType}, h.XID)
+		}
+	}
+}
+
+func (s *cbenchSwitch) hostIP(i int) uint32 {
+	return openflow.IPv4(10, 200, byte(i/250), byte(i%250+1))
+}
+
+func (s *cbenchSwitch) hostPort(i int) uint32 { return uint32(i%16) + 1 }
+
+// warmup teaches the controller every emulated host location, then
+// waits for the pipeline to drain.
+func (s *cbenchSwitch) warmup() error {
+	for i := 0; i < s.hosts; i++ {
+		pi := &openflow.PacketIn{
+			BufferID: 0,
+			Reason:   openflow.ReasonNoMatch,
+			Fields: openflow.Fields{
+				InPort:  s.hostPort(i),
+				EthType: openflow.EthTypeIPv4,
+				IPProto: openflow.ProtoTCP,
+				IPSrc:   s.hostIP(i),
+				IPDst:   s.hostIP((i + 1) % s.hosts),
+				TPSrc:   1,
+				TPDst:   80,
+			},
+		}
+		if _, err := s.conn.Send(pi); err != nil {
+			return err
+		}
+	}
+	return s.drain()
+}
+
+// drain barriers on an echo round trip, guaranteeing all prior messages
+// were dispatched by the controller.
+func (s *cbenchSwitch) drain() error {
+	// The controller answers EchoRequest inline on the session goroutine,
+	// so one extra PacketIn followed by a short settle keeps ordering
+	// without a dedicated barrier message. Use a bounded settle loop on
+	// the response counter instead.
+	prev := s.responses.Load()
+	for i := 0; i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+		cur := s.responses.Load()
+		if cur == prev {
+			return nil
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// round floods PacketIns for the window and reports responses/second.
+// Like cbench, the generator keeps a bounded number of requests in
+// flight so a slow controller is measured rather than buried under an
+// unbounded backlog.
+func (s *cbenchSwitch) round(window time.Duration) (float64, error) {
+	const (
+		batch          = 32
+		maxOutstanding = 512
+	)
+	start := time.Now()
+	startResponses := s.responses.Load()
+	var frames []byte
+	sent := uint64(0)
+	for time.Since(start) < window {
+		if sent-(s.responses.Load()-startResponses) >= maxOutstanding {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		frames = frames[:0]
+		for i := 0; i < batch; i++ {
+			s.seq++
+			src := int(s.seq) % s.hosts
+			dst := (src + 1 + int(s.seq)%(s.hosts-1)) % s.hosts
+			pi := &openflow.PacketIn{
+				Reason: openflow.ReasonNoMatch,
+				Fields: openflow.Fields{
+					InPort:  s.hostPort(src),
+					EthType: openflow.EthTypeIPv4,
+					IPProto: openflow.ProtoTCP,
+					IPSrc:   s.hostIP(src),
+					IPDst:   s.hostIP(dst),
+					TPSrc:   uint16(s.seq),
+					TPDst:   80,
+				},
+			}
+			frames = openflow.AppendMessage(frames, pi, s.seq)
+		}
+		if err := s.conn.SendBatch(frames); err != nil {
+			return 0, err
+		}
+		sent += batch
+	}
+	// Allow in-flight responses to land, then measure.
+	_ = s.drain()
+	elapsed := time.Since(start).Seconds()
+	responses := s.responses.Load() - startResponses
+	return float64(responses) / elapsed, nil
+}
+
+func (s *cbenchSwitch) close() {
+	s.conn.Close()
+	<-s.readDone
+}

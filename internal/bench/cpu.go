@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// CPUConfig parameterizes the Fig. 11 reproduction: flow-event handling
+// load with and without Athena attached.
+type CPUConfig struct {
+	// FlowCounts sweeps the number of flow entries reported per second
+	// (the paper's x axis: 20K..180K flows).
+	FlowCounts []int
+	// FlowsPerMessage shapes the statistics replies.
+	FlowsPerMessage int
+	// Repetitions per point; the minimum time is kept (cold-cache noise
+	// only ever inflates a measurement).
+	Repetitions int
+}
+
+func (c CPUConfig) withDefaults() CPUConfig {
+	if len(c.FlowCounts) == 0 {
+		c.FlowCounts = []int{20_000, 60_000, 100_000, 140_000, 180_000}
+	}
+	if c.FlowsPerMessage <= 0 {
+		c.FlowsPerMessage = 200
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	return c
+}
+
+// CPUPoint is one Fig. 11 data point. FlowCount is the offered load in
+// flow entries per second; the batch is processed flat-out and the CPU
+// usage proxy is the fraction of one second the control plane spent
+// handling that second's worth of events (>= 100% means saturated, the
+// paper's "ONOS with Athena saturates at about 140K flows" behaviour).
+type CPUPoint struct {
+	FlowCount int
+	// WithoutTime / WithTime are the measured processing times for the
+	// batch.
+	WithoutTime time.Duration
+	WithTime    time.Duration
+	// WithoutRate / WithRate are the sustained entries/second capacities.
+	WithoutRate float64
+	WithRate    float64
+	// WithoutUtilPct / WithUtilPct are the CPU usage proxies.
+	WithoutUtilPct float64
+	WithUtilPct    float64
+}
+
+// RunCPU measures flow-event handling with and without Athena
+// (Athena in batched-publication mode, as deployed).
+func RunCPU(cfg CPUConfig) ([]CPUPoint, error) {
+	cfg = cfg.withDefaults()
+	measure := func(n int, withAthena bool) (time.Duration, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			took, err := driveFlowEvents(n, cfg.FlowsPerMessage, withAthena)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || took < best {
+				best = took
+			}
+		}
+		return best, nil
+	}
+	// Warm the runtime (listener setup, JSON paths) before measuring.
+	if _, err := driveFlowEvents(cfg.FlowCounts[0], cfg.FlowsPerMessage, true); err != nil {
+		return nil, err
+	}
+	var out []CPUPoint
+	for _, n := range cfg.FlowCounts {
+		withoutTime, err := measure(n, false)
+		if err != nil {
+			return nil, fmt.Errorf("cpu without athena: %w", err)
+		}
+		withTime, err := measure(n, true)
+		if err != nil {
+			return nil, fmt.Errorf("cpu with athena: %w", err)
+		}
+		p := CPUPoint{
+			FlowCount:      n,
+			WithoutTime:    withoutTime,
+			WithTime:       withTime,
+			WithoutRate:    float64(n) / withoutTime.Seconds(),
+			WithRate:       float64(n) / withTime.Seconds(),
+			WithoutUtilPct: 100 * withoutTime.Seconds(),
+			WithUtilPct:    100 * withTime.Seconds(),
+		}
+		if p.WithoutUtilPct > 100 {
+			p.WithoutUtilPct = 100
+		}
+		if p.WithUtilPct > 100 {
+			p.WithUtilPct = 100
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// driveFlowEvents pushes n flow-stat entries through a controller
+// session and measures the drain time.
+func driveFlowEvents(n, perMessage int, withAthena bool) (time.Duration, error) {
+	ctrl, err := controller.New(controller.Config{ID: "cpu-bench", DisableForwarding: true})
+	if err != nil {
+		return 0, err
+	}
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	if withAthena {
+		node, err := store.NewNode("")
+		if err != nil {
+			return 0, err
+		}
+		defer node.Close()
+		inst, err := core.New(core.Config{
+			Proxy:      ctrl,
+			StoreAddrs: []string{node.Addr()},
+			Southbound: core.SouthboundConfig{
+				Publish:    core.PublishBatched,
+				BatchSize:  512,
+				BatchDelay: 20 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer inst.Close()
+	}
+
+	nc, err := net.Dial("tcp", ctrl.Addr())
+	if err != nil {
+		return 0, err
+	}
+	conn := openflow.NewConn(nc)
+	defer conn.Close()
+	if _, err := conn.Send(&openflow.Hello{}); err != nil {
+		return 0, err
+	}
+	// Serve the handshake and wait for the echo barrier at the end.
+	echoDone := make(chan error, 1)
+	go func() {
+		for {
+			msg, h, err := conn.Receive()
+			if err != nil {
+				echoDone <- err
+				return
+			}
+			switch m := msg.(type) {
+			case *openflow.FeaturesRequest:
+				_ = conn.SendXID(&openflow.FeaturesReply{DPID: 0xcc, NumTables: 1,
+					Ports: []openflow.PortDesc{{No: 1, Name: "p1"}}}, h.XID)
+			case *openflow.EchoReply:
+				_ = m
+				echoDone <- nil
+				return
+			}
+		}
+	}()
+
+	// Wait for the handshake to finish (the session must be registered
+	// before load frames are sent, or they are discarded as
+	// pre-handshake noise).
+	for deadline := time.Now().Add(3 * time.Second); len(ctrl.Devices()) == 0; {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("cpu bench: switch session never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Pre-encode the message batches outside the timed window.
+	messages := n / perMessage
+	if messages == 0 {
+		messages = 1
+		perMessage = n
+	}
+	frames := make([][]byte, messages)
+	for mi := 0; mi < messages; mi++ {
+		reply := &openflow.MultipartReply{StatsType: openflow.StatsFlow}
+		for f := 0; f < perMessage; f++ {
+			id := mi*perMessage + f
+			reply.Flows = append(reply.Flows, openflow.FlowStats{
+				Priority:    100,
+				DurationSec: uint32(1 + id%300),
+				PacketCount: uint64(10 + id%1000),
+				ByteCount:   uint64(1000 + id%100000),
+				Match: openflow.ExactMatch(openflow.Fields{
+					EthType: openflow.EthTypeIPv4,
+					IPProto: openflow.ProtoTCP,
+					IPSrc:   openflow.IPv4(10, byte(id>>16), byte(id>>8), byte(id)),
+					IPDst:   openflow.IPv4(10, 99, 0, 1),
+					TPSrc:   uint16(id),
+					TPDst:   80,
+				}),
+			})
+		}
+		frames[mi] = openflow.AppendMessage(nil, reply, uint32(mi+10))
+	}
+
+	start := time.Now()
+	for _, frame := range frames {
+		if err := conn.SendBatch(frame); err != nil {
+			return 0, err
+		}
+	}
+	// Echo barrier: the controller answers echo on the session goroutine
+	// after all prior messages were dispatched (and Athena's listener ran).
+	if _, err := conn.Send(&openflow.EchoRequest{Data: []byte("end")}); err != nil {
+		return 0, err
+	}
+	if err := <-echoDone; err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/sloc"
+	"github.com/athena-sdn/athena/internal/ui"
+)
+
+// WriteCbenchTable renders Table IX.
+func WriteCbenchTable(w io.Writer, m CbenchModes) {
+	fmt.Fprintln(w, "TABLE IX — Cbench flow-install throughput (responses/s)")
+	rows := [][]string{
+		{"Without", f0(m.Without.Min), f0(m.Without.Max), f0(m.Without.Avg)},
+		{"With", f0(m.With.Min), f0(m.With.Max), f0(m.With.Avg)},
+		{"With (no DB)", f0(m.WithNoDB.Min), f0(m.WithNoDB.Max), f0(m.WithNoDB.Avg)},
+		{"Overhead", pct(OverheadPct(m.Without.Min, m.With.Min)),
+			pct(OverheadPct(m.Without.Max, m.With.Max)),
+			pct(OverheadPct(m.Without.Avg, m.With.Avg))},
+		{"(no DB)", pct(OverheadPct(m.Without.Min, m.WithNoDB.Min)),
+			pct(OverheadPct(m.Without.Max, m.WithNoDB.Max)),
+			pct(OverheadPct(m.Without.Avg, m.WithNoDB.Avg))},
+	}
+	ui.Table(w, []string{"", "MIN", "MAX", "AVG"}, rows)
+}
+
+// WriteDDoSReport renders the Fig. 6 summary.
+func WriteDDoSReport(w io.Writer, r *DDoSResult) {
+	fmt.Fprintln(w, "FIG. 6 — DDoS detector validation summary")
+	ui.WriteValidation(w, ui.ValidationReport{
+		Confusion:       r.Confusion,
+		Clusters:        r.Clusters,
+		UniqueBenign:    r.UniqueBenign,
+		UniqueMalicious: r.UniqueMalicious,
+		AlgorithmName:   core.AlgorithmDisplayName(r.Algorithm.Name),
+		AlgorithmLine:   r.Algorithm.Describe(),
+	})
+	fmt.Fprintf(w, "Train time   : %v\n", r.TrainTime)
+	fmt.Fprintf(w, "Validate time: %v (%d entries)\n", r.ValidateTime, r.Entries)
+}
+
+// WriteScaleFigure renders the Fig. 10 series.
+func WriteScaleFigure(w io.Writer, points []ScalePoint) {
+	fmt.Fprintln(w, "FIG. 10 — DDoS validation time vs compute nodes")
+	rows := make([][]string, 0, len(points))
+	var base float64
+	for i, p := range points {
+		if i == 0 {
+			base = p.AthenaTime.Seconds()
+		}
+		rel := 100.0
+		if base > 0 {
+			rel = 100 * p.AthenaTime.Seconds() / base
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(p.Workers),
+			fmt.Sprintf("%.3fs", p.AthenaTime.Seconds()),
+			fmt.Sprintf("%.3fs", p.RawTime.Seconds()),
+			fmt.Sprintf("%.1f%%", rel),
+			fmt.Sprintf("%+.1f%%", p.OverheadPct()),
+		})
+	}
+	ui.Table(w, []string{"nodes", "athena", "raw job", "vs 1 node", "athena overhead"}, rows)
+	series := make([]float64, len(points))
+	for i, p := range points {
+		series[i] = p.AthenaTime.Seconds()
+	}
+	ui.WriteChart(w, "total test time (s) vs nodes", []ui.Series{{Name: "athena", Points: series}}, 8)
+}
+
+// WriteCPUFigure renders the Fig. 11 series.
+func WriteCPUFigure(w io.Writer, points []CPUPoint) {
+	fmt.Fprintln(w, "FIG. 11 — flow event handling with/without Athena")
+	rows := make([][]string, 0, len(points))
+	withSeries := make([]float64, 0, len(points))
+	withoutSeries := make([]float64, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.FlowCount),
+			fmt.Sprintf("%.1f%%", p.WithoutUtilPct),
+			fmt.Sprintf("%.1f%%", p.WithUtilPct),
+			f0(p.WithoutRate),
+			f0(p.WithRate),
+		})
+		withoutSeries = append(withoutSeries, p.WithoutUtilPct)
+		withSeries = append(withSeries, p.WithUtilPct)
+	}
+	ui.Table(w, []string{"flows/s", "cpu w/o athena", "cpu w/ athena", "rate w/o", "rate w/"}, rows)
+	ui.WriteChart(w, "CPU usage proxy (%) vs offered flows/s", []ui.Series{
+		{Name: "without athena", Points: withoutSeries},
+		{Name: "with athena", Points: withSeries},
+	}, 8)
+}
+
+// WriteSLoCTable renders Table VIII.
+func WriteSLoCTable(w io.Writer, r sloc.Result) {
+	fmt.Fprintln(w, "TABLE VIII — DDoS detector source lines (excluding imports)")
+	ui.Table(w, []string{"implementation", "SLoC"}, [][]string{
+		{"Athena NB API", fmt.Sprint(r.AthenaLines)},
+		{"raw (Spark/Hama-style)", fmt.Sprint(r.RawLines)},
+		{"ratio", fmt.Sprintf("%.0f%%", 100*r.Ratio())},
+	})
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// ScaleConfig parameterizes the Fig. 10 reproduction: total validation
+// time of the DDoS detector as the compute cluster grows.
+type ScaleConfig struct {
+	// Entries is the validation dataset size (paper: 37,370,466 over a
+	// 50GB dataset; default here 200k — scale up via cmd/athena-bench).
+	Entries int
+	// Workers lists the cluster sizes to sweep (paper: 1..6).
+	Workers []int
+	// Repetitions averages each point.
+	Repetitions int
+	Seed        int64
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Entries <= 0 {
+		c.Entries = 200_000
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 3, 4, 5, 6}
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	return c
+}
+
+// ScalePoint is one Fig. 10 data point.
+type ScalePoint struct {
+	Workers int
+	// AthenaTime is the accounted job time through the Athena detector
+	// path (parallel makespan; see internal/compute's package comment).
+	AthenaTime time.Duration
+	// RawTime is the same job driven directly against the compute
+	// cluster, bypassing Athena (the paper's "application on Spark").
+	RawTime time.Duration
+}
+
+// OverheadPct reports Athena's overhead versus the raw job.
+func (p ScalePoint) OverheadPct() float64 {
+	if p.RawTime == 0 {
+		return 0
+	}
+	return 100 * float64(p.AthenaTime-p.RawTime) / float64(p.RawTime)
+}
+
+// RunScale sweeps worker counts and measures validation time, Fig. 10
+// style. The model is trained once on a smaller set; each point
+// validates the same large dataset.
+func RunScale(cfg ScaleConfig) ([]ScalePoint, error) {
+	cfg = cfg.withDefaults()
+
+	flows := cfg.Entries / 4 // EntriesPerFlow mean is 4
+	ds := core.GenerateDDoSDataset(core.SynthDDoSConfig{
+		BenignFlows:    flows / 4,
+		MaliciousFlows: 3 * flows / 4,
+		Seed:           cfg.Seed + 7,
+	})
+	norm := &ml.Normalization{Kind: ml.NormMinMax}
+	dsN, err := norm.Apply(ds)
+	if err != nil {
+		return nil, err
+	}
+	// Train once, locally, on a subsample.
+	sample, err := (ml.Sampling{Fraction: 0.1, Seed: cfg.Seed}).Apply(dsN)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ml.Train(ml.AlgoKMeans, sample, ml.Params{K: 8, Iterations: 10, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ScalePoint
+	for _, workers := range cfg.Workers {
+		engine, cleanup, err := engineFor(workers)
+		if err != nil {
+			return nil, err
+		}
+		if err := engine.LoadDataset("scale", dsN); err != nil {
+			cleanup()
+			return nil, err
+		}
+
+		// Athena path: the Detector Manager dispatches to the cluster.
+		dm := core.NewDetectorManager(engine, 1 /* always distribute */)
+		var athenaTotal, rawTotal time.Duration
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			if _, _, took, err := dm.Validate(dsN, model); err != nil {
+				cleanup()
+				return nil, err
+			} else {
+				athenaTotal += took
+			}
+			if _, _, err := engine.Validate("scale", model); err != nil {
+				cleanup()
+				return nil, err
+			}
+			rawTotal += engine.JobTime()
+		}
+		out = append(out, ScalePoint{
+			Workers:    workers,
+			AthenaTime: athenaTotal / time.Duration(cfg.Repetitions),
+			RawTime:    rawTotal / time.Duration(cfg.Repetitions),
+		})
+		cleanup()
+	}
+	return out, nil
+}

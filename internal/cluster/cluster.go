@@ -1,0 +1,386 @@
+// Package cluster provides the coordination substrate a distributed SDN
+// controller needs: peer membership with failure detection, eventually
+// consistent replicated maps (gossip anti-entropy, last-writer-wins), and
+// per-switch mastership via rendezvous hashing over the live members.
+//
+// The design follows the shape of ONOS's clustering services at the
+// scale this reproduction needs: replicated state is small (topology,
+// hosts, mastership hints), so each gossip round exchanges full map
+// state push-pull style rather than Merkle digests.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config describes one cluster member.
+type Config struct {
+	// ID is this node's unique name.
+	ID string
+	// Addr is the listen address for gossip ("host:port", empty picks an
+	// ephemeral port on localhost).
+	Addr string
+	// Peers maps peer IDs to their gossip addresses. It may include this
+	// node; the entry is ignored.
+	Peers map[string]string
+	// GossipInterval is the period between anti-entropy rounds. Zero
+	// selects the default of 100ms.
+	GossipInterval time.Duration
+	// FailureTimeout is how long a silent peer stays "alive". Zero
+	// selects the default of 1s.
+	FailureTimeout time.Duration
+}
+
+const (
+	defaultGossipInterval = 100 * time.Millisecond
+	defaultFailureTimeout = time.Second
+)
+
+// Member is a point-in-time view of one cluster node.
+type Member struct {
+	ID       string
+	Addr     string
+	Alive    bool
+	LastSeen time.Time
+}
+
+// entry is one replicated map cell with its version vector component.
+type entry struct {
+	Value   json.RawMessage `json:"v,omitempty"`
+	TS      uint64          `json:"ts"`
+	Node    string          `json:"n"`
+	Deleted bool            `json:"d,omitempty"`
+}
+
+// newer reports whether e should replace old under last-writer-wins.
+func (e entry) newer(old entry) bool {
+	if e.TS != old.TS {
+		return e.TS > old.TS
+	}
+	return e.Node > old.Node
+}
+
+// syncMsg is the gossip wire format: full state of every map.
+type syncMsg struct {
+	From string                      `json:"from"`
+	Maps map[string]map[string]entry `json:"maps"`
+}
+
+// Agent is one cluster member's runtime: it serves gossip, runs the
+// anti-entropy loop, and hosts the replicated maps.
+type Agent struct {
+	id             string
+	gossipInterval time.Duration
+	failureTimeout time.Duration
+
+	mu       sync.Mutex
+	peers    map[string]string // id -> addr
+	lastSeen map[string]time.Time
+	maps     map[string]*ECMap
+	clock    uint64 // Lamport clock shared by all maps
+
+	ln      net.Listener
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewAgent creates an agent; call Start to begin serving.
+func NewAgent(cfg Config) (*Agent, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("cluster: empty node id")
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster listen: %w", err)
+	}
+	a := &Agent{
+		id:             cfg.ID,
+		gossipInterval: cfg.GossipInterval,
+		failureTimeout: cfg.FailureTimeout,
+		peers:          make(map[string]string),
+		lastSeen:       make(map[string]time.Time),
+		maps:           make(map[string]*ECMap),
+		ln:             ln,
+	}
+	if a.gossipInterval <= 0 {
+		a.gossipInterval = defaultGossipInterval
+	}
+	if a.failureTimeout <= 0 {
+		a.failureTimeout = defaultFailureTimeout
+	}
+	for id, peerAddr := range cfg.Peers {
+		if id == cfg.ID {
+			continue
+		}
+		a.peers[id] = peerAddr
+	}
+	return a, nil
+}
+
+// ID returns this node's identity.
+func (a *Agent) ID() string { return a.id }
+
+// Addr returns the bound gossip address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// AddPeer registers (or updates) a peer after construction.
+func (a *Agent) AddPeer(id, addr string) {
+	if id == a.id {
+		return
+	}
+	a.mu.Lock()
+	a.peers[id] = addr
+	a.mu.Unlock()
+}
+
+// Start launches the gossip server and anti-entropy loop.
+func (a *Agent) Start() {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+
+	go a.serve(stop)
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(a.gossipInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				a.GossipOnce()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop shuts down gossip; replicated map contents remain readable.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	if !a.started {
+		a.mu.Unlock()
+		a.ln.Close()
+		return
+	}
+	a.started = false
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+	close(stop)
+	a.ln.Close()
+	<-done
+}
+
+func (a *Agent) serve(stop chan struct{}) {
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			select {
+			case <-stop:
+			default:
+			}
+			return
+		}
+		go a.handleConn(conn)
+	}
+}
+
+func (a *Agent) handleConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	var msg syncMsg
+	if err := json.NewDecoder(conn).Decode(&msg); err != nil {
+		return
+	}
+	reply := a.mergeAndSnapshot(msg)
+	_ = json.NewEncoder(conn).Encode(reply)
+}
+
+// mergeAndSnapshot folds remote state in and returns our full state.
+func (a *Agent) mergeAndSnapshot(msg syncMsg) syncMsg {
+	a.markSeen(msg.From)
+	for name, remote := range msg.Maps {
+		a.Map(name).merge(remote)
+	}
+	return a.snapshot()
+}
+
+func (a *Agent) snapshot() syncMsg {
+	a.mu.Lock()
+	maps := make([]*ECMap, 0, len(a.maps))
+	for _, m := range a.maps {
+		maps = append(maps, m)
+	}
+	a.mu.Unlock()
+	out := syncMsg{From: a.id, Maps: make(map[string]map[string]entry, len(maps))}
+	for _, m := range maps {
+		out.Maps[m.name] = m.entriesCopy()
+	}
+	return out
+}
+
+func (a *Agent) markSeen(id string) {
+	if id == "" || id == a.id {
+		return
+	}
+	a.mu.Lock()
+	a.lastSeen[id] = time.Now()
+	a.mu.Unlock()
+}
+
+// GossipOnce performs one anti-entropy exchange with every peer. Exposed
+// so tests can drive convergence deterministically.
+func (a *Agent) GossipOnce() {
+	a.mu.Lock()
+	peers := make(map[string]string, len(a.peers))
+	for id, addr := range a.peers {
+		peers[id] = addr
+	}
+	a.mu.Unlock()
+	state := a.snapshot()
+	for id, addr := range peers {
+		a.exchange(id, addr, state)
+	}
+}
+
+func (a *Agent) exchange(id, addr string, state syncMsg) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := json.NewEncoder(conn).Encode(state); err != nil {
+		return
+	}
+	var reply syncMsg
+	if err := json.NewDecoder(conn).Decode(&reply); err != nil {
+		return
+	}
+	a.markSeen(id)
+	for name, remote := range reply.Maps {
+		a.Map(name).merge(remote)
+	}
+}
+
+// Members reports the current membership view, self included, sorted by
+// ID.
+func (a *Agent) Members() []Member {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Member, 0, len(a.peers)+1)
+	out = append(out, Member{ID: a.id, Addr: a.Addr(), Alive: true, LastSeen: now})
+	for id, addr := range a.peers {
+		seen := a.lastSeen[id]
+		out = append(out, Member{
+			ID:       id,
+			Addr:     addr,
+			Alive:    !seen.IsZero() && now.Sub(seen) < a.failureTimeout,
+			LastSeen: seen,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// aliveIDs lists members currently considered alive (self included).
+func (a *Agent) aliveIDs() []string {
+	members := a.Members()
+	ids := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.Alive {
+			ids = append(ids, m.ID)
+		}
+	}
+	return ids
+}
+
+// MasterOf elects the master controller for a switch by rendezvous
+// hashing over the live members: every node with the same membership
+// view picks the same master, and mastership rebalances automatically
+// when members fail or join.
+func (a *Agent) MasterOf(dpid uint64) string {
+	var (
+		best      string
+		bestScore uint64
+	)
+	for _, id := range a.aliveIDs() {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		// FNV alone avalanches poorly across near-identical keys, which
+		// makes rendezvous scores correlate; a murmur-style finalizer
+		// restores independence between (node, switch) pairs.
+		score := mix64(h.Sum64() ^ mix64(dpid))
+		if best == "" || score > bestScore || (score == bestScore && id > best) {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+// mix64 is the murmur3 64-bit finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// IsMaster reports whether this node currently masters the switch.
+func (a *Agent) IsMaster(dpid uint64) bool {
+	return a.MasterOf(dpid) == a.id
+}
+
+// nextTS advances the shared Lamport clock.
+func (a *Agent) nextTS() uint64 {
+	a.mu.Lock()
+	a.clock++
+	ts := a.clock
+	a.mu.Unlock()
+	return ts
+}
+
+// observeTS folds a remote timestamp into the Lamport clock.
+func (a *Agent) observeTS(ts uint64) {
+	a.mu.Lock()
+	if ts > a.clock {
+		a.clock = ts
+	}
+	a.mu.Unlock()
+}
+
+// Map returns the replicated map with the given name, creating it on
+// first use. Maps spring into existence cluster-wide as soon as any node
+// writes to them.
+func (a *Agent) Map(name string) *ECMap {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.maps[name]
+	if !ok {
+		m = &ECMap{name: name, agent: a, entries: make(map[string]entry)}
+		a.maps[name] = m
+	}
+	return m
+}

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// newTestCluster builds n agents fully meshed over loopback, gossip loop
+// not started (tests drive GossipOnce explicitly for determinism).
+func newTestCluster(t *testing.T, n int) []*Agent {
+	t.Helper()
+	agents := make([]*Agent, n)
+	for i := range agents {
+		a, err := NewAgent(Config{
+			ID:             fmt.Sprintf("node-%d", i),
+			FailureTimeout: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	for _, a := range agents {
+		for _, b := range agents {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	for _, a := range agents {
+		go a.serveForTest()
+		t.Cleanup(a.Stop)
+	}
+	return agents
+}
+
+// serveForTest runs only the gossip server, not the periodic loop.
+func (a *Agent) serveForTest() {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	a.serve(stop)
+}
+
+func TestECMapLocalSemantics(t *testing.T) {
+	agents := newTestCluster(t, 1)
+	m := agents[0].Map("hosts")
+
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("Get on empty map succeeded")
+	}
+	m.Put("a", []byte(`"v1"`))
+	if got, ok := m.Get("a"); !ok || string(got) != `"v1"` {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	m.Put("a", []byte(`"v2"`))
+	if got, _ := m.Get("a"); string(got) != `"v2"` {
+		t.Fatalf("overwrite Get = %q", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Delete("a")
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after delete = %d", m.Len())
+	}
+}
+
+func TestECMapJSONHelpers(t *testing.T) {
+	agents := newTestCluster(t, 1)
+	m := agents[0].Map("x")
+	type rec struct{ A, B int }
+	if err := m.PutJSON("k", rec{A: 1, B: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	ok, err := m.GetJSON("k", &out)
+	if !ok || err != nil || out != (rec{A: 1, B: 2}) {
+		t.Fatalf("GetJSON = %v, %v, %+v", ok, err, out)
+	}
+	ok, err = m.GetJSON("missing", &out)
+	if ok || err != nil {
+		t.Fatalf("GetJSON(missing) = %v, %v", ok, err)
+	}
+}
+
+func TestGossipConvergence(t *testing.T) {
+	agents := newTestCluster(t, 3)
+	agents[0].Map("topo").Put("k1", []byte(`1`))
+	agents[1].Map("topo").Put("k2", []byte(`2`))
+	agents[2].Map("topo").Put("k3", []byte(`3`))
+
+	// One round from each agent fully meshes the state.
+	for _, a := range agents {
+		a.GossipOnce()
+	}
+	for i, a := range agents {
+		m := a.Map("topo")
+		for _, k := range []string{"k1", "k2", "k3"} {
+			if _, ok := m.Get(k); !ok {
+				t.Fatalf("agent %d missing %s after gossip", i, k)
+			}
+		}
+	}
+}
+
+func TestGossipLastWriterWins(t *testing.T) {
+	agents := newTestCluster(t, 2)
+	a, b := agents[0], agents[1]
+
+	a.Map("m").Put("k", []byte(`"from-a"`))
+	a.GossipOnce()
+	// b now has the entry; b overwrites with a later Lamport timestamp
+	// (merge advanced b's clock past a's write).
+	b.Map("m").Put("k", []byte(`"from-b"`))
+	b.GossipOnce()
+
+	for i, ag := range agents {
+		got, ok := ag.Map("m").Get("k")
+		if !ok || string(got) != `"from-b"` {
+			t.Fatalf("agent %d sees %q, want later write from-b", i, got)
+		}
+	}
+}
+
+func TestGossipDeletePropagates(t *testing.T) {
+	agents := newTestCluster(t, 2)
+	a, b := agents[0], agents[1]
+	a.Map("m").Put("k", []byte(`1`))
+	a.GossipOnce()
+	if _, ok := b.Map("m").Get("k"); !ok {
+		t.Fatal("entry did not replicate")
+	}
+	b.Map("m").Delete("k")
+	b.GossipOnce()
+	if _, ok := a.Map("m").Get("k"); ok {
+		t.Fatal("tombstone did not replicate")
+	}
+}
+
+func TestWatchersFireOnRemoteUpdates(t *testing.T) {
+	agents := newTestCluster(t, 2)
+	a, b := agents[0], agents[1]
+	got := make(chan string, 10)
+	b.Map("m").Watch(func(key string, value []byte, deleted bool) {
+		got <- fmt.Sprintf("%s=%s del=%v", key, value, deleted)
+	})
+	a.Map("m").Put("k", []byte(`9`))
+	a.GossipOnce()
+	select {
+	case ev := <-got:
+		if ev != "k=9 del=false" {
+			t.Fatalf("event = %q", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher never fired")
+	}
+}
+
+func TestMembershipAndFailureDetection(t *testing.T) {
+	agents := newTestCluster(t, 3)
+	for _, a := range agents {
+		a.GossipOnce()
+	}
+	members := agents[0].Members()
+	if len(members) != 3 {
+		t.Fatalf("members = %d, want 3", len(members))
+	}
+	for _, m := range members {
+		if !m.Alive {
+			t.Fatalf("member %s not alive after gossip", m.ID)
+		}
+	}
+	// Let the failure timeout lapse without gossip: peers become dead.
+	time.Sleep(250 * time.Millisecond)
+	members = agents[0].Members()
+	aliveCount := 0
+	for _, m := range members {
+		if m.Alive {
+			aliveCount++
+			if m.ID != agents[0].ID() {
+				t.Fatalf("silent peer %s still alive", m.ID)
+			}
+		}
+	}
+	if aliveCount != 1 {
+		t.Fatalf("alive = %d, want 1 (self)", aliveCount)
+	}
+}
+
+func TestMastershipAgreementAndBalance(t *testing.T) {
+	agents := newTestCluster(t, 3)
+	for _, a := range agents {
+		a.GossipOnce()
+	}
+	counts := make(map[string]int)
+	for dpid := uint64(1); dpid <= 64; dpid++ {
+		master := agents[0].MasterOf(dpid)
+		for i, a := range agents[1:] {
+			if got := a.MasterOf(dpid); got != master {
+				t.Fatalf("agent %d disagrees on master of %d: %s vs %s", i+1, dpid, got, master)
+			}
+		}
+		counts[master]++
+		if agents[0].IsMaster(dpid) != (master == agents[0].ID()) {
+			t.Fatal("IsMaster inconsistent with MasterOf")
+		}
+	}
+	// Rendezvous hashing over 64 switches across 3 nodes should not be
+	// degenerate: every node masters something.
+	for _, a := range agents {
+		if counts[a.ID()] == 0 {
+			t.Fatalf("node %s masters nothing: %v", a.ID(), counts)
+		}
+	}
+}
+
+func TestMastershipFailover(t *testing.T) {
+	agents := newTestCluster(t, 3)
+	for _, a := range agents {
+		a.GossipOnce()
+	}
+	// Find a switch mastered by agent 2 from agent 0's perspective.
+	var dpid uint64
+	for d := uint64(1); d < 1000; d++ {
+		if agents[0].MasterOf(d) == agents[2].ID() {
+			dpid = d
+			break
+		}
+	}
+	if dpid == 0 {
+		t.Fatal("agent 2 masters nothing in 1..999")
+	}
+	// Kill agent 2; once the failure timeout lapses, mastership must move
+	// to a surviving node, and the survivors — who keep gossiping and so
+	// keep each other alive — must agree.
+	agents[2].Stop()
+	time.Sleep(250 * time.Millisecond)
+	agents[0].GossipOnce()
+	agents[1].GossipOnce()
+	m0 := agents[0].MasterOf(dpid)
+	m1 := agents[1].MasterOf(dpid)
+	if m0 == agents[2].ID() || m0 != m1 {
+		t.Fatalf("failover: masters %s/%s (dead node %s)", m0, m1, agents[2].ID())
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	if _, err := NewAgent(Config{}); err == nil {
+		t.Fatal("NewAgent accepted empty ID")
+	}
+	a, err := NewAgent(Config{ID: "x", Peers: map[string]string{"x": "self-should-be-ignored"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	if len(a.Members()) != 1 {
+		t.Fatalf("self-peer not ignored: %v", a.Members())
+	}
+}
+
+func TestBackgroundGossipLoop(t *testing.T) {
+	a, err := NewAgent(Config{ID: "a", GossipInterval: 20 * time.Millisecond, FailureTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAgent(Config{ID: "b", GossipInterval: 20 * time.Millisecond, FailureTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	a.Map("m").Put("k", []byte(`1`))
+	deadline := time.After(3 * time.Second)
+	for {
+		if _, ok := b.Map("m").Get("k"); ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background gossip never converged")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Property: merging any two entry versions is commutative — both orders
+// agree on the winner.
+func TestMergeCommutativityProperty(t *testing.T) {
+	prop := func(ts1, ts2 uint64, n1, n2 string) bool {
+		e1 := entry{TS: ts1, Node: n1}
+		e2 := entry{TS: ts2, Node: n2}
+		if ts1 == ts2 && n1 == n2 {
+			return true
+		}
+		// winner(a,b): b replaces a iff b.newer(a)
+		winAB := e1
+		if e2.newer(e1) {
+			winAB = e2
+		}
+		winBA := e2
+		if e1.newer(e2) {
+			winBA = e1
+		}
+		return winAB.TS == winBA.TS && winAB.Node == winBA.Node
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// ECMap is an eventually consistent replicated key/value map. Writes are
+// local and propagate by gossip; conflicts resolve last-writer-wins on
+// (Lamport timestamp, node id). Values are JSON documents.
+type ECMap struct {
+	name  string
+	agent *Agent
+
+	mu       sync.Mutex
+	entries  map[string]entry
+	watchers []func(key string, value []byte, deleted bool)
+}
+
+// Name returns the map's cluster-wide name.
+func (m *ECMap) Name() string { return m.name }
+
+// Put stores value under key. value is retained; callers must not
+// mutate it afterwards.
+func (m *ECMap) Put(key string, value []byte) {
+	e := entry{Value: json.RawMessage(value), TS: m.agent.nextTS(), Node: m.agent.id}
+	m.mu.Lock()
+	m.entries[key] = e
+	watchers := m.watchersLocked()
+	m.mu.Unlock()
+	for _, w := range watchers {
+		w(key, value, false)
+	}
+}
+
+// PutJSON marshals v and stores it under key.
+func (m *ECMap) PutJSON(key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	m.Put(key, b)
+	return nil
+}
+
+// Delete tombstones key; the tombstone replicates like a write.
+func (m *ECMap) Delete(key string) {
+	e := entry{TS: m.agent.nextTS(), Node: m.agent.id, Deleted: true}
+	m.mu.Lock()
+	m.entries[key] = e
+	watchers := m.watchersLocked()
+	m.mu.Unlock()
+	for _, w := range watchers {
+		w(key, nil, true)
+	}
+}
+
+// Get returns the value stored under key.
+func (m *ECMap) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok || e.Deleted {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// GetJSON unmarshals the value stored under key into out.
+func (m *ECMap) GetJSON(key string, out any) (bool, error) {
+	b, ok := m.Get(key)
+	if !ok {
+		return false, nil
+	}
+	return true, json.Unmarshal(b, out)
+}
+
+// Len counts live (non-tombstoned) keys.
+func (m *ECMap) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.entries {
+		if !e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys lists live keys in unspecified order.
+func (m *ECMap) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.entries))
+	for k, e := range m.entries {
+		if !e.Deleted {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Range calls fn for every live entry; fn must not call back into the
+// map. Iteration stops if fn returns false.
+func (m *ECMap) Range(fn func(key string, value []byte) bool) {
+	m.mu.Lock()
+	type kv struct {
+		k string
+		v []byte
+	}
+	items := make([]kv, 0, len(m.entries))
+	for k, e := range m.entries {
+		if !e.Deleted {
+			items = append(items, kv{k, e.Value})
+		}
+	}
+	m.mu.Unlock()
+	for _, it := range items {
+		if !fn(it.k, it.v) {
+			return
+		}
+	}
+}
+
+// Watch registers fn to run after every local write and every remote
+// update merged by gossip.
+func (m *ECMap) Watch(fn func(key string, value []byte, deleted bool)) {
+	m.mu.Lock()
+	m.watchers = append(m.watchers, fn)
+	m.mu.Unlock()
+}
+
+func (m *ECMap) watchersLocked() []func(string, []byte, bool) {
+	out := make([]func(string, []byte, bool), len(m.watchers))
+	copy(out, m.watchers)
+	return out
+}
+
+// merge folds remote entries in under last-writer-wins.
+func (m *ECMap) merge(remote map[string]entry) {
+	type change struct {
+		key string
+		e   entry
+	}
+	var changes []change
+	m.mu.Lock()
+	for k, re := range remote {
+		old, ok := m.entries[k]
+		if !ok || re.newer(old) {
+			m.entries[k] = re
+			changes = append(changes, change{k, re})
+		}
+	}
+	watchers := m.watchersLocked()
+	m.mu.Unlock()
+	for _, c := range changes {
+		m.agent.observeTS(c.e.TS)
+		for _, w := range watchers {
+			w(c.key, c.e.Value, c.e.Deleted)
+		}
+	}
+}
+
+// entriesCopy snapshots the raw entries (tombstones included) for gossip.
+func (m *ECMap) entriesCopy() map[string]entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]entry, len(m.entries))
+	for k, e := range m.entries {
+		out[k] = e
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package compute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+func blobs(n, dim int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &ml.Dataset{}
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		label := float64(i % 2)
+		for j := range row {
+			row[j] = label*5 + rng.NormFloat64()
+		}
+		d.X = append(d.X, row)
+		d.Labels = append(d.Labels, label)
+	}
+	return d
+}
+
+func newCluster(t *testing.T, workers int) (*Driver, []*Worker) {
+	t.Helper()
+	var addrs []string
+	var ws []*Worker
+	for i := 0; i < workers; i++ {
+		w, err := NewWorker("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		ws = append(ws, w)
+		addrs = append(addrs, w.Addr())
+	}
+	d, err := NewDriver(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d, ws
+}
+
+func TestLoadDistributesPartitions(t *testing.T) {
+	drv, ws := newCluster(t, 3)
+	ds := blobs(100, 2, 1)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, w := range ws {
+		n := w.PartitionRows("d")
+		if n == 0 {
+			t.Fatalf("worker %d got no rows", i)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("total rows = %d", total)
+	}
+	if err := drv.DropDataset("d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.PartitionRows("d") != 0 {
+			t.Fatal("drop did not clear partitions")
+		}
+	}
+}
+
+func TestDistributedKMeansMatchesLocalQuality(t *testing.T) {
+	ds := blobs(600, 3, 5)
+
+	local := NewLocal()
+	if err := local.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := local.Train("d", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lconf, _, err := local.Validate("d", lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drv, _ := newCluster(t, 3)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	dm, err := drv.Train("d", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dconf, comps, err := drv.Validate("d", dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lconf.Accuracy() < 0.95 || dconf.Accuracy() < 0.95 {
+		t.Fatalf("accuracy local %v distributed %v", lconf.Accuracy(), dconf.Accuracy())
+	}
+	if dconf.Total() != int64(ds.Len()) {
+		t.Fatalf("distributed validation covered %d rows, want %d", dconf.Total(), ds.Len())
+	}
+	if len(comps) != 2 {
+		t.Fatalf("cluster compositions = %d", len(comps))
+	}
+	if drv.JobTime() <= 0 {
+		t.Fatal("driver job time not accounted")
+	}
+}
+
+func TestDistributedLogisticRegression(t *testing.T) {
+	ds := blobs(800, 4, 9)
+	drv, _ := newCluster(t, 2)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	m, err := drv.Train("d", ml.AlgoLogistic, ml.Params{Epochs: 60, LearningRate: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, _, err := drv.Validate("d", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.95 {
+		t.Fatalf("distributed logistic accuracy = %v", conf.Accuracy())
+	}
+}
+
+func TestDriverFallbackTrainsNonDistributedAlgos(t *testing.T) {
+	ds := blobs(300, 3, 13)
+	drv, _ := newCluster(t, 2)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	m, err := drv.Train("d", ml.AlgoDecisionTree, ml.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, _, err := drv.Validate("d", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.95 {
+		t.Fatalf("tree via driver accuracy = %v", conf.Accuracy())
+	}
+}
+
+func TestValidateMergeEqualsWholeDataset(t *testing.T) {
+	ds := blobs(500, 2, 17)
+	model, err := ml.Train(ml.AlgoKMeans, ds, ml.Params{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := NewLocal()
+	_ = local.LoadDataset("d", ds)
+	want, wantComps, err := local.Validate("d", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drv, _ := newCluster(t, 4)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	got, gotComps, err := drv.Validate("d", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("confusions differ: %+v vs %+v", got, want)
+	}
+	if len(gotComps) != len(wantComps) {
+		t.Fatalf("comps differ in length: %d vs %d", len(gotComps), len(wantComps))
+	}
+	for i := range gotComps {
+		if gotComps[i] != wantComps[i] {
+			t.Fatalf("comp %d differs: %+v vs %+v", i, gotComps[i], wantComps[i])
+		}
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	drv, _ := newCluster(t, 2)
+	if _, err := drv.Train("missing", ml.AlgoKMeans, ml.Params{K: 2}); err == nil {
+		t.Fatal("train on missing dataset succeeded")
+	}
+	model := &ml.Model{Algo: ml.AlgoThreshold, Threshold: &ml.Threshold{Op: ">", Value: 1}}
+	if _, _, err := drv.Validate("missing", model); err == nil {
+		t.Fatal("validate on missing dataset succeeded")
+	}
+	if _, err := NewDriver(nil); err == nil {
+		t.Fatal("driver with no workers accepted")
+	}
+	if _, err := NewDriver([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("driver to dead worker accepted")
+	}
+}
+
+func TestWorkerAppendLoad(t *testing.T) {
+	w, err := NewWorker("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	conn, err := dialWorker(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if _, err := conn.call(taskRequest{Op: opLoad, Name: "x", Rows: [][]float64{{1}}, Labels: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.call(taskRequest{Op: opLoad, Name: "x", Append: true, Rows: [][]float64{{2}}, Labels: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 2 {
+		t.Fatalf("append N = %d, want 2", resp.N)
+	}
+	if w.PartitionRows("x") != 2 {
+		t.Fatalf("rows = %d", w.PartitionRows("x"))
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	w, err := NewWorker("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	conn, err := dialWorker(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if _, err := conn.call(taskRequest{Op: "nonsense"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// Makespan accounting: with more workers, the per-round makespan (the
+// simulated parallel time) must not grow; over a compute-heavy
+// validation it should shrink substantially.
+func TestMakespanShrinksWithWorkers(t *testing.T) {
+	ds := blobs(30_000, 10, 23)
+	model, err := ml.Train(ml.AlgoKMeans, ds, ml.Params{K: 8, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeFor := func(workers int) float64 {
+		drv, _ := newCluster(t, workers)
+		if err := drv.LoadDataset("d", ds); err != nil {
+			t.Fatal(err)
+		}
+		// Average a few runs to damp scheduler noise.
+		var total float64
+		const reps = 3
+		for r := 0; r < reps; r++ {
+			if _, _, err := drv.Validate("d", model); err != nil {
+				t.Fatal(err)
+			}
+			total += drv.JobTime().Seconds()
+		}
+		return total / reps
+	}
+	t1 := timeFor(1)
+	t4 := timeFor(4)
+	if t4 > 0.6*t1 {
+		t.Fatalf("4-worker makespan %v not substantially below 1-worker %v", t4, t1)
+	}
+	if math.IsNaN(t1) || t1 <= 0 {
+		t.Fatalf("bad t1 = %v", t1)
+	}
+}
+
+func TestWorkerDeathMidJobFailsFast(t *testing.T) {
+	drv, ws := newCluster(t, 3)
+	ds := blobs(300, 2, 99)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	model, err := ml.Train(ml.AlgoKMeans, ds, ml.Params{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill one worker: the next fan-out must error, not hang.
+	ws[1].Close()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := drv.Validate("d", model)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("validate succeeded with a dead worker")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("validate hung on a dead worker")
+	}
+}

@@ -1,0 +1,415 @@
+package compute
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// Engine is the analysis surface Athena's Attack Detector programs
+// against. The Driver implements it against a worker cluster; Local
+// implements it in-process.
+type Engine interface {
+	// LoadDataset partitions and ships a dataset under a name.
+	LoadDataset(name string, d *ml.Dataset) error
+	// DropDataset releases a dataset.
+	DropDataset(name string) error
+	// Train fits a model on the named dataset.
+	Train(name, algo string, p ml.Params) (*ml.Model, error)
+	// Validate scores the named dataset with a model.
+	Validate(name string, m *ml.Model) (ml.Confusion, []ml.ClusterComposition, error)
+	// Workers reports the degree of parallelism.
+	Workers() int
+	// JobTime reports the accounted compute time of the last Train or
+	// Validate call (parallel makespan for the Driver, wall time for
+	// Local).
+	JobTime() time.Duration
+}
+
+// workerConn is the driver's connection to one worker.
+type workerConn struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+func dialWorker(addr string) (*workerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("compute dial %s: %w", addr, err)
+	}
+	return &workerConn{
+		addr: addr,
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+	}, nil
+}
+
+func (w *workerConn) call(req taskRequest) (taskResponse, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(req); err != nil {
+		return taskResponse{}, fmt.Errorf("compute call %s: %w", w.addr, err)
+	}
+	var resp taskResponse
+	if err := w.dec.Decode(&resp); err != nil {
+		return taskResponse{}, fmt.Errorf("compute reply %s: %w", w.addr, err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("compute %s: %s", w.addr, resp.Err)
+	}
+	return resp, nil
+}
+
+func (w *workerConn) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+}
+
+// Driver coordinates a worker cluster.
+type Driver struct {
+	workers []*workerConn
+
+	mu      sync.Mutex
+	local   map[string]*ml.Dataset // driver-side copy for non-distributed algorithms
+	jobTime time.Duration
+}
+
+// NewDriver connects to the given worker addresses.
+func NewDriver(addrs []string) (*Driver, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("compute: no workers")
+	}
+	d := &Driver{local: make(map[string]*ml.Dataset)}
+	for _, a := range addrs {
+		w, err := dialWorker(a)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.workers = append(d.workers, w)
+	}
+	return d, nil
+}
+
+// Close disconnects from all workers.
+func (d *Driver) Close() {
+	for _, w := range d.workers {
+		w.close()
+	}
+}
+
+// Workers implements Engine.
+func (d *Driver) Workers() int { return len(d.workers) }
+
+// JobTime implements Engine.
+func (d *Driver) JobTime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.jobTime
+}
+
+func (d *Driver) setJobTime(t time.Duration) {
+	d.mu.Lock()
+	d.jobTime = t
+	d.mu.Unlock()
+}
+
+// LoadDataset implements Engine: contiguous partitions, one per worker.
+func (d *Driver) LoadDataset(name string, ds *ml.Dataset) error {
+	if err := ds.Validate(false); err != nil {
+		return err
+	}
+	parts := ds.Split(len(d.workers))
+	errs := d.fanOut(func(i int, w *workerConn) error {
+		_, err := w.call(taskRequest{Op: opLoad, Name: name, Rows: parts[i].X, Labels: parts[i].Labels})
+		return err
+	})
+	if errs != nil {
+		return errs
+	}
+	d.mu.Lock()
+	d.local[name] = ds
+	d.mu.Unlock()
+	return nil
+}
+
+// DropDataset implements Engine.
+func (d *Driver) DropDataset(name string) error {
+	err := d.fanOut(func(i int, w *workerConn) error {
+		_, e := w.call(taskRequest{Op: opDrop, Name: name})
+		return e
+	})
+	d.mu.Lock()
+	delete(d.local, name)
+	d.mu.Unlock()
+	return err
+}
+
+// fanOut runs fn against every worker concurrently, returning the first
+// error.
+func (d *Driver) fanOut(fn func(i int, w *workerConn) error) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, w := range d.workers {
+		wg.Add(1)
+		go func(i int, w *workerConn) {
+			defer wg.Done()
+			if err := fn(i, w); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// gather runs a task on every worker and returns the responses plus the
+// round makespan (max measured on-worker time).
+func (d *Driver) gather(req func(i int) taskRequest) ([]taskResponse, time.Duration, error) {
+	resps := make([]taskResponse, len(d.workers))
+	err := d.fanOut(func(i int, w *workerConn) error {
+		r, e := w.call(req(i))
+		resps[i] = r
+		return e
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var makespan time.Duration
+	for _, r := range resps {
+		if t := time.Duration(r.ElapsedNS); t > makespan {
+			makespan = t
+		}
+	}
+	return resps, makespan, nil
+}
+
+// Train implements Engine. K-Means and logistic regression run truly
+// distributed (broadcast-aggregate rounds); the remaining algorithms
+// train on the driver against its dataset copy, mirroring how small or
+// non-parallelizable jobs are collected in Spark deployments.
+func (d *Driver) Train(name, algo string, p ml.Params) (*ml.Model, error) {
+	switch algo {
+	case ml.AlgoKMeans:
+		return d.trainKMeans(name, p)
+	case ml.AlgoLogistic:
+		return d.trainLogistic(name, p)
+	default:
+		ds, err := d.localDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		m, err := ml.Train(algo, ds, p)
+		d.setJobTime(time.Since(start))
+		return m, err
+	}
+}
+
+func (d *Driver) localDataset(name string) (*ml.Dataset, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ds, ok := d.local[name]
+	if !ok {
+		return nil, fmt.Errorf("compute: dataset %q not loaded", name)
+	}
+	return ds, nil
+}
+
+func (d *Driver) trainKMeans(name string, p ml.Params) (*ml.Model, error) {
+	ds, err := d.localDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ml.KMeansConfig{
+		K: p.K, Iterations: p.Iterations, Runs: p.Runs,
+		Seed: p.Seed, Epsilon: p.Epsilon, InitMode: p.InitMode,
+	}
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 20
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-4
+	}
+
+	// Initialize centroids on a driver-side sample (k-means|| style).
+	sample := ds
+	if ds.Len() > 10_000 {
+		s := ml.Sampling{Fraction: 10_000 / float64(ds.Len()), Seed: cfg.Seed}
+		if sampled, err := s.Apply(ds); err == nil {
+			sample = sampled
+		}
+	}
+	seedModel, err := ml.TrainKMeans(sample, ml.KMeansConfig{
+		K: cfg.K, Iterations: 1, Seed: cfg.Seed, InitMode: cfg.InitMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	centroids := seedModel.Centroids
+
+	var total time.Duration
+	dim := ds.Dim()
+	inertia := 0.0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		resps, makespan, err := d.gather(func(int) taskRequest {
+			return taskRequest{Op: opKMeansAssign, Name: name, Centroids: centroids}
+		})
+		if err != nil {
+			return nil, err
+		}
+		mergeStart := time.Now()
+		sums := make([][]float64, cfg.K)
+		counts := make([]int64, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		inertia = 0
+		for _, r := range resps {
+			inertia += r.Inertia
+			for c := range r.Sums {
+				counts[c] += r.Counts[c]
+				for j := range r.Sums[c] {
+					sums[c][j] += r.Sums[c][j]
+				}
+			}
+		}
+		moved := 0.0
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			next := make([]float64, dim)
+			for j := range next {
+				next[j] = sums[c][j] / float64(counts[c])
+			}
+			moved += distance(centroids[c], next)
+			centroids[c] = next
+		}
+		total += makespan + time.Since(mergeStart)
+		if moved < cfg.Epsilon {
+			break
+		}
+	}
+	d.setJobTime(total)
+	m := &ml.Model{Algo: ml.AlgoKMeans, KMeans: &ml.KMeans{Centroids: centroids, Inertia: inertia}}
+	m.CalibrateClusters(ds)
+	return m, nil
+}
+
+func (d *Driver) trainLogistic(name string, p ml.Params) (*ml.Model, error) {
+	ds, err := d.localDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(true); err != nil {
+		return nil, err
+	}
+	epochs := p.Epochs
+	if epochs <= 0 {
+		epochs = 50
+	}
+	lr := p.LearningRate
+	if lr <= 0 {
+		lr = 0.5
+	}
+	weights := make([]float64, ds.Dim())
+	bias := 0.0
+	var total time.Duration
+	for epoch := 0; epoch < epochs; epoch++ {
+		resps, makespan, err := d.gather(func(int) taskRequest {
+			return taskRequest{Op: opGradient, Name: name, Weights: weights, Bias: bias}
+		})
+		if err != nil {
+			return nil, err
+		}
+		mergeStart := time.Now()
+		grad := make([]float64, len(weights))
+		gb, n := 0.0, int64(0)
+		for _, r := range resps {
+			n += r.N
+			gb += r.GradBias
+			for j := range r.Grad {
+				grad[j] += r.Grad[j]
+			}
+		}
+		if n == 0 {
+			break
+		}
+		step := lr / float64(n)
+		for j := range weights {
+			weights[j] -= step*grad[j] + lr*p.L2*weights[j]/float64(n)
+		}
+		bias -= step * gb
+		total += makespan + time.Since(mergeStart)
+	}
+	d.setJobTime(total)
+	return &ml.Model{
+		Algo:     ml.AlgoLogistic,
+		Logistic: &ml.LogisticRegression{Weights: weights, Bias: bias},
+	}, nil
+}
+
+// Validate implements Engine: shard-parallel scoring with merged
+// confusion matrices and cluster compositions.
+func (d *Driver) Validate(name string, m *ml.Model) (ml.Confusion, []ml.ClusterComposition, error) {
+	blob, err := m.Marshal()
+	if err != nil {
+		return ml.Confusion{}, nil, err
+	}
+	resps, makespan, err := d.gather(func(int) taskRequest {
+		return taskRequest{Op: opValidate, Name: name, Model: blob}
+	})
+	if err != nil {
+		return ml.Confusion{}, nil, err
+	}
+	mergeStart := time.Now()
+	var conf ml.Confusion
+	var comps []ml.ClusterComposition
+	for _, r := range resps {
+		if r.Confusion != nil {
+			conf.Merge(*r.Confusion)
+		}
+		for _, cc := range r.Clusters {
+			for len(comps) <= cc.Cluster {
+				comps = append(comps, ml.ClusterComposition{Cluster: len(comps)})
+			}
+			comps[cc.Cluster].Benign += cc.Benign
+			comps[cc.Cluster].Malicious += cc.Malicious
+		}
+	}
+	d.setJobTime(makespan + time.Since(mergeStart))
+	return conf, comps, nil
+}
+
+func distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,92 @@
+package compute
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// Local is the single-instance Engine the Attack Detector uses for small
+// datasets, avoiding cluster communication overhead (§III-A 1C).
+type Local struct {
+	mu      sync.Mutex
+	data    map[string]*ml.Dataset
+	jobTime time.Duration
+}
+
+// NewLocal returns an in-process engine.
+func NewLocal() *Local {
+	return &Local{data: make(map[string]*ml.Dataset)}
+}
+
+// LoadDataset implements Engine.
+func (l *Local) LoadDataset(name string, d *ml.Dataset) error {
+	if err := d.Validate(false); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.data[name] = d
+	l.mu.Unlock()
+	return nil
+}
+
+// DropDataset implements Engine.
+func (l *Local) DropDataset(name string) error {
+	l.mu.Lock()
+	delete(l.data, name)
+	l.mu.Unlock()
+	return nil
+}
+
+// Workers implements Engine.
+func (l *Local) Workers() int { return 1 }
+
+// JobTime implements Engine.
+func (l *Local) JobTime() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.jobTime
+}
+
+func (l *Local) dataset(name string) (*ml.Dataset, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.data[name]
+	if !ok {
+		return nil, fmt.Errorf("compute: dataset %q not loaded", name)
+	}
+	return d, nil
+}
+
+// Train implements Engine.
+func (l *Local) Train(name, algo string, p ml.Params) (*ml.Model, error) {
+	d, err := l.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := ml.Train(algo, d, p)
+	l.mu.Lock()
+	l.jobTime = time.Since(start)
+	l.mu.Unlock()
+	return m, err
+}
+
+// Validate implements Engine.
+func (l *Local) Validate(name string, m *ml.Model) (ml.Confusion, []ml.ClusterComposition, error) {
+	d, err := l.dataset(name)
+	if err != nil {
+		return ml.Confusion{}, nil, err
+	}
+	start := time.Now()
+	conf, comps, err := m.Validate(d)
+	l.mu.Lock()
+	l.jobTime = time.Since(start)
+	l.mu.Unlock()
+	return conf, comps, err
+}
+
+var _ Engine = (*Local)(nil)
+var _ Engine = (*Driver)(nil)

@@ -1,0 +1,271 @@
+// Package compute implements the distributed analysis substrate Athena
+// uses in place of Spark/MLlib: a driver library that partitions
+// datasets across worker processes, runs iterative broadcast-aggregate
+// jobs (distributed K-Means, distributed gradient descent), and
+// shard-parallel model validation, plus an in-process Engine for small
+// datasets (the paper's §III-A 1C local/distributed dispatch).
+//
+// Workers report the measured compute duration of every task. Because
+// the development sandbox may have fewer cores than simulated workers,
+// drivers account job time as the per-round parallel makespan
+// (max over workers of measured task time, plus driver merge time):
+// the per-task costs are real measurements; only the assumption that
+// distinct workers run on distinct machines is modeled.
+package compute
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// Task operations.
+const (
+	opPing         = "ping"
+	opLoad         = "load"
+	opDrop         = "drop"
+	opKMeansAssign = "kmeans_assign"
+	opGradient     = "gradient"
+	opValidate     = "validate"
+)
+
+// taskRequest is the driver->worker wire format.
+type taskRequest struct {
+	Op   string `json:"op"`
+	Name string `json:"name,omitempty"`
+
+	// load
+	Rows   [][]float64 `json:"rows,omitempty"`
+	Labels []float64   `json:"labels,omitempty"`
+	Append bool        `json:"append,omitempty"`
+
+	// kmeans_assign
+	Centroids [][]float64 `json:"centroids,omitempty"`
+
+	// gradient (logistic regression)
+	Weights []float64 `json:"weights,omitempty"`
+	Bias    float64   `json:"bias,omitempty"`
+
+	// validate
+	Model json.RawMessage `json:"model,omitempty"`
+}
+
+// taskResponse is the worker->driver wire format.
+type taskResponse struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	// ElapsedNS is the measured on-worker compute time for the task.
+	ElapsedNS int64 `json:"elapsed_ns"`
+
+	// kmeans_assign
+	Sums    [][]float64 `json:"sums,omitempty"`
+	Counts  []int64     `json:"counts,omitempty"`
+	Inertia float64     `json:"inertia,omitempty"`
+
+	// gradient
+	Grad     []float64 `json:"grad,omitempty"`
+	GradBias float64   `json:"grad_bias,omitempty"`
+	N        int64     `json:"n,omitempty"`
+
+	// validate
+	Confusion *ml.Confusion           `json:"confusion,omitempty"`
+	Clusters  []ml.ClusterComposition `json:"clusters,omitempty"`
+}
+
+// Worker is one compute node: it caches dataset partitions and executes
+// tasks against them.
+type Worker struct {
+	ln net.Listener
+
+	mu   sync.RWMutex
+	data map[string]*ml.Dataset
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// NewWorker starts a worker listening on addr (empty picks an ephemeral
+// localhost port).
+func NewWorker(addr string) (*Worker, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("compute worker listen: %w", err)
+	}
+	w := &Worker{
+		ln:    ln,
+		data:  make(map[string]*ml.Dataset),
+		conns: make(map[net.Conn]struct{}),
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.serve()
+	}()
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops the worker.
+func (w *Worker) Close() {
+	w.ln.Close()
+	w.connMu.Lock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.connMu.Unlock()
+	w.wg.Wait()
+}
+
+// PartitionRows reports how many rows of a dataset the worker holds.
+func (w *Worker) PartitionRows(name string) int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if d, ok := w.data[name]; ok {
+		return d.Len()
+	}
+	return 0
+}
+
+func (w *Worker) serve() {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		w.connMu.Lock()
+		w.conns[conn] = struct{}{}
+		w.connMu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer func() {
+				conn.Close()
+				w.connMu.Lock()
+				delete(w.conns, conn)
+				w.connMu.Unlock()
+			}()
+			dec := json.NewDecoder(conn)
+			enc := json.NewEncoder(conn)
+			for {
+				var req taskRequest
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := w.execute(req)
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (w *Worker) execute(req taskRequest) taskResponse {
+	start := time.Now()
+	resp := w.run(req)
+	resp.ElapsedNS = time.Since(start).Nanoseconds()
+	return resp
+}
+
+func (w *Worker) run(req taskRequest) taskResponse {
+	switch req.Op {
+	case opPing:
+		return taskResponse{OK: true}
+	case opLoad:
+		w.mu.Lock()
+		if req.Append {
+			if cur, ok := w.data[req.Name]; ok {
+				cur.X = append(cur.X, req.Rows...)
+				cur.Labels = append(cur.Labels, req.Labels...)
+				w.mu.Unlock()
+				return taskResponse{OK: true, N: int64(cur.Len())}
+			}
+		}
+		w.data[req.Name] = &ml.Dataset{X: req.Rows, Labels: req.Labels}
+		w.mu.Unlock()
+		return taskResponse{OK: true, N: int64(len(req.Rows))}
+	case opDrop:
+		w.mu.Lock()
+		delete(w.data, req.Name)
+		w.mu.Unlock()
+		return taskResponse{OK: true}
+	case opKMeansAssign:
+		d, err := w.dataset(req.Name)
+		if err != nil {
+			return taskResponse{Err: err.Error()}
+		}
+		sums, counts, inertia := ml.AssignStep(d, req.Centroids)
+		return taskResponse{OK: true, Sums: sums, Counts: counts, Inertia: inertia}
+	case opGradient:
+		d, err := w.dataset(req.Name)
+		if err != nil {
+			return taskResponse{Err: err.Error()}
+		}
+		grad, gb, n := logisticGradient(d, req.Weights, req.Bias)
+		return taskResponse{OK: true, Grad: grad, GradBias: gb, N: n}
+	case opValidate:
+		d, err := w.dataset(req.Name)
+		if err != nil {
+			return taskResponse{Err: err.Error()}
+		}
+		model, err := ml.UnmarshalModel(req.Model)
+		if err != nil {
+			return taskResponse{Err: err.Error()}
+		}
+		conf, comps, err := model.Validate(d)
+		if err != nil {
+			return taskResponse{Err: err.Error()}
+		}
+		return taskResponse{OK: true, Confusion: &conf, Clusters: comps}
+	default:
+		return taskResponse{Err: fmt.Sprintf("compute: unknown op %q", req.Op)}
+	}
+}
+
+func (w *Worker) dataset(name string) (*ml.Dataset, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	d, ok := w.data[name]
+	if !ok {
+		return nil, fmt.Errorf("compute: dataset %q not loaded", name)
+	}
+	return d, nil
+}
+
+// logisticGradient computes the full-batch log-loss gradient over a
+// partition for distributed gradient descent.
+func logisticGradient(d *ml.Dataset, weights []float64, bias float64) ([]float64, float64, int64) {
+	grad := make([]float64, len(weights))
+	gb := 0.0
+	for i, row := range d.X {
+		z := bias
+		for j, v := range row {
+			z += weights[j] * v
+		}
+		if z < -30 {
+			z = -30
+		} else if z > 30 {
+			z = 30
+		}
+		p := 1 / (1 + math.Exp(-z))
+		e := p - d.Labels[i]
+		for j, v := range row {
+			grad[j] += e * v
+		}
+		gb += e
+	}
+	return grad, gb, int64(d.Len())
+}

@@ -1,0 +1,358 @@
+// Package controller implements a distributed OpenFlow controller in the
+// style of ONOS: each instance terminates control channels for the
+// switches it masters, maintains device/host/link/topology state in
+// cluster-replicated maps, runs packet-processing applications (reactive
+// shortest-path forwarding, LLDP-style link discovery), tracks flow rules
+// per application, polls statistics with marked transaction ids, and
+// exposes the proxy surface Athena's southbound element hooks into.
+package controller
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/cluster"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// Well-known application ids.
+const (
+	AppForwarding = "athena.fwd"
+	AppDiscovery  = "athena.discovery"
+)
+
+// Names of the cluster-replicated stores.
+const (
+	mapDevices  = "ctrl.devices"
+	mapHosts    = "ctrl.hosts"
+	mapLinks    = "ctrl.links"
+	mapFlowApps = "ctrl.flowapps"
+)
+
+// Config parameterizes a controller instance.
+type Config struct {
+	// ID names the instance. Defaults to the cluster agent's id, or
+	// "controller" when standalone.
+	ID string
+	// ListenAddr is the OpenFlow listen address; empty picks an
+	// ephemeral localhost port.
+	ListenAddr string
+	// Cluster connects the instance to its peers. Nil runs standalone
+	// (a private, peerless agent backs the stores).
+	Cluster *cluster.Agent
+	// DisableForwarding turns off the reactive forwarding application.
+	DisableForwarding bool
+	// StatsInterval is the statistics polling period; zero disables the
+	// poller (PollStats can still be called manually).
+	StatsInterval time.Duration
+	// DiscoveryInterval is the LLDP probe period; zero disables the
+	// periodic prober (ProbeLinks can still be called manually).
+	DiscoveryInterval time.Duration
+	// FlowIdleTimeout and FlowHardTimeout shape the rules the forwarding
+	// application installs. Zero values install permanent rules.
+	FlowIdleTimeout time.Duration
+	FlowHardTimeout time.Duration
+}
+
+// ControlMessage is one southbound event delivered to message listeners
+// (the Athena proxy surface).
+type ControlMessage struct {
+	Time         time.Time
+	ControllerID string
+	DPID         uint64
+	XID          uint32
+	// Marked reports that the message answers a statistics request this
+	// controller issued with a marked XID (see §VI of the paper), so
+	// variation features can be computed against a known polling cadence.
+	Marked bool
+	Msg    openflow.Message
+}
+
+// MessageListener consumes southbound control messages. Listeners run
+// synchronously on the control-channel goroutine and must be fast or
+// hand off.
+type MessageListener func(ControlMessage)
+
+// PacketContext accompanies a PacketIn through the processor chain.
+type PacketContext struct {
+	DPID    uint64
+	Packet  *openflow.PacketIn
+	XID     uint32
+	Handled bool
+}
+
+// Controller is one controller instance.
+type Controller struct {
+	cfg   Config
+	id    string
+	agent *cluster.Agent
+	// ownAgent reports whether the agent is private and must be stopped
+	// with the controller.
+	ownAgent bool
+
+	ln net.Listener
+
+	mu         sync.RWMutex
+	sessions   map[uint64]*session
+	processors []registeredProcessor
+	listeners  []MessageListener
+	stopped    bool
+
+	hosts   *hostStore
+	links   *linkStore
+	flows   *flowRuleStore
+	devices *cluster.ECMap
+
+	statsMu  sync.Mutex
+	statsXID map[uint64]map[uint32]bool // dpid -> marked xids
+
+	counters Counters
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Counters aggregates fast-path event counts for overhead measurements.
+type Counters struct {
+	PacketIns    atomic.Uint64
+	FlowModsSent atomic.Uint64
+	PacketOuts   atomic.Uint64
+	StatsReplies atomic.Uint64
+}
+
+type registeredProcessor struct {
+	priority int
+	appID    string
+	proc     func(*PacketContext)
+}
+
+// New creates a controller and binds its OpenFlow listener; call Start
+// to begin accepting switches.
+func New(cfg Config) (*Controller, error) {
+	agent := cfg.Cluster
+	own := false
+	if agent == nil {
+		id := cfg.ID
+		if id == "" {
+			id = "controller"
+		}
+		var err error
+		agent, err = cluster.NewAgent(cluster.Config{ID: id})
+		if err != nil {
+			return nil, fmt.Errorf("controller: standalone agent: %w", err)
+		}
+		own = true
+	}
+	id := cfg.ID
+	if id == "" {
+		id = agent.ID()
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if own {
+			agent.Stop()
+		}
+		return nil, fmt.Errorf("controller listen: %w", err)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		id:       id,
+		agent:    agent,
+		ownAgent: own,
+		ln:       ln,
+		sessions: make(map[uint64]*session),
+		statsXID: make(map[uint64]map[uint32]bool),
+		stop:     make(chan struct{}),
+	}
+	c.hosts = newHostStore(agent.Map(mapHosts))
+	c.links = newLinkStore(agent.Map(mapLinks))
+	c.flows = newFlowRuleStore(c.id, agent.Map(mapFlowApps))
+	c.devices = agent.Map(mapDevices)
+
+	c.AddProcessor(0, AppDiscovery, c.processLLDP)
+	if !cfg.DisableForwarding {
+		c.AddProcessor(10, AppForwarding, c.processForwarding)
+	}
+	return c, nil
+}
+
+// ID returns the instance identity.
+func (c *Controller) ID() string { return c.id }
+
+// Addr returns the OpenFlow listen address switches dial.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Agent exposes the backing cluster agent.
+func (c *Controller) Agent() *cluster.Agent { return c.agent }
+
+// CounterSnapshot reports cumulative event counts.
+func (c *Controller) CounterSnapshot() (packetIns, flowMods, packetOuts, statsReplies uint64) {
+	return c.counters.PacketIns.Load(), c.counters.FlowModsSent.Load(),
+		c.counters.PacketOuts.Load(), c.counters.StatsReplies.Load()
+}
+
+// Start launches the accept loop and periodic tasks.
+func (c *Controller) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.acceptLoop()
+	}()
+	if c.cfg.StatsInterval > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.loop(c.cfg.StatsInterval, c.PollStats)
+		}()
+	}
+	if c.cfg.DiscoveryInterval > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.loop(c.cfg.DiscoveryInterval, c.ProbeLinks)
+		}()
+	}
+}
+
+func (c *Controller) loop(interval time.Duration, fn func()) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			fn()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Stop closes all switch sessions and background work.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	sessions := make([]*session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	c.ln.Close()
+	for _, s := range sessions {
+		s.close()
+	}
+	c.wg.Wait()
+	if c.ownAgent {
+		c.agent.Stop()
+	}
+}
+
+func (c *Controller) acceptLoop() {
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serveSwitch(nc)
+		}()
+	}
+}
+
+// AddProcessor registers a packet processor. Lower priority runs first.
+func (c *Controller) AddProcessor(priority int, appID string, proc func(*PacketContext)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.processors = append(c.processors, registeredProcessor{priority: priority, appID: appID, proc: proc})
+	sort.SliceStable(c.processors, func(i, j int) bool {
+		return c.processors[i].priority < c.processors[j].priority
+	})
+}
+
+// AddMessageListener subscribes to southbound control messages.
+func (c *Controller) AddMessageListener(fn MessageListener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+// runProcessor isolates one application's packet processor: a panicking
+// app is logged and skipped rather than tearing down the switch session
+// (a misbehaving network application must not take the control plane
+// with it).
+func (c *Controller) runProcessor(p registeredProcessor, ctx *PacketContext) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.logf("processor %s panicked: %v", p.appID, r)
+		}
+	}()
+	p.proc(ctx)
+}
+
+func (c *Controller) emit(msg ControlMessage) {
+	c.mu.RLock()
+	listeners := c.listeners
+	c.mu.RUnlock()
+	for _, fn := range listeners {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.logf("message listener panicked: %v", r)
+				}
+			}()
+			fn(msg)
+		}()
+	}
+}
+
+// Devices lists switches currently connected to this instance.
+func (c *Controller) Devices() []uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]uint64, 0, len(c.sessions))
+	for dpid := range c.sessions {
+		out = append(out, dpid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Hosts lists the cluster-wide host inventory.
+func (c *Controller) Hosts() []HostInfo { return c.hosts.all() }
+
+// HostByIP resolves a host location.
+func (c *Controller) HostByIP(ip uint32) (HostInfo, bool) { return c.hosts.byIP(ip) }
+
+// Links lists the cluster-wide link inventory.
+func (c *Controller) Links() []LinkInfo { return c.links.all() }
+
+// AppOfCookie attributes an installed flow rule to its application.
+func (c *Controller) AppOfCookie(cookie uint64) (string, bool) { return c.flows.appOf(cookie) }
+
+// FlowsOfApp lists the live rules installed by one application.
+func (c *Controller) FlowsOfApp(appID string) []FlowRuleInfo { return c.flows.ofApp(appID) }
+
+func (c *Controller) session(dpid uint64) *session {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sessions[dpid]
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	log.Printf("controller %s: "+format, append([]any{c.id}, args...)...)
+}

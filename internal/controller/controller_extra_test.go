@@ -1,0 +1,193 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/dataplane"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+func TestDeviceRecordReplicated(t *testing.T) {
+	st, _, _ := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+	raw, ok := c.DeviceRecordJSON(1)
+	if !ok {
+		t.Fatal("no device record for connected switch")
+	}
+	s := string(raw)
+	for _, want := range []string{`"dpid":1`, `"controller"`, `"ports"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("device record %s missing %s", s, want)
+		}
+	}
+	if _, ok := c.DeviceRecordJSON(99); ok {
+		t.Error("record for unknown switch")
+	}
+}
+
+func TestLLDPCodec(t *testing.T) {
+	payload := encodeLLDP(0xdeadbeef, 42)
+	dpid, port, ok := decodeLLDP(payload)
+	if !ok || dpid != 0xdeadbeef || port != 42 {
+		t.Fatalf("decode = %d/%d/%v", dpid, port, ok)
+	}
+	if _, _, ok := decodeLLDP([]byte("short")); ok {
+		t.Error("short payload accepted")
+	}
+	if _, _, ok := decodeLLDP([]byte("NOT-LLDPxxxxxxxxxxxx")); ok {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestProcessLLDPIgnoresNonProbes(t *testing.T) {
+	st, _, _ := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+	ctx := &PacketContext{DPID: 1, Packet: &openflow.PacketIn{Data: []byte("just a payload")}}
+	c.processLLDP(ctx)
+	if ctx.Handled {
+		t.Fatal("non-LLDP packet marked handled")
+	}
+}
+
+func TestRemoveFlowsNonStrict(t *testing.T) {
+	st, _, _ := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+	for i := 0; i < 3; i++ {
+		if _, err := c.InstallFlow("app", 1, openflow.FlowMod{
+			Priority: uint16(10 + i),
+			Match: openflow.Match{
+				Wildcards: openflow.WildAll &^ openflow.WildTPDst,
+				Fields:    openflow.Fields{TPDst: uint16(80 + i)},
+			},
+			Actions: []openflow.Action{openflow.ActionDrop{}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return st.net.Switch(1).Table().Len() == 3
+	})
+	if err := c.RemoveFlows(1, openflow.MatchAll(), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return st.net.Switch(1).Table().Len() == 0
+	})
+	// Rule store converges to empty as FlowRemoved messages arrive.
+	waitFor(t, 2*time.Second, func() bool {
+		return len(c.FlowsOfApp("app")) == 0
+	})
+}
+
+func TestTimeoutSeconds(t *testing.T) {
+	tests := []struct {
+		in   time.Duration
+		want uint16
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Second, 1},
+		{90 * time.Second, 90},
+		{20 * time.Hour, 0xffff}, // clamped
+	}
+	for _, tt := range tests {
+		if got := timeoutSeconds(tt.in); got != tt.want {
+			t.Errorf("timeoutSeconds(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestHostLearningSkipsInfrastructurePorts(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 2, 1)
+	discover(st, t, 2)
+	c := st.ctrls[0]
+	// Traffic crosses the inter-switch link; the source must be learned
+	// at its edge port only, never relocated to the link port.
+	h1.Send(h2, openflow.ProtoTCP, 4000, 80, 64)
+	waitFor(t, 2*time.Second, func() bool {
+		_, ok := c.HostByIP(h1.IP)
+		return ok
+	})
+	info, _ := c.HostByIP(h1.IP)
+	if info.DPID != 1 || info.Port != 1 {
+		t.Fatalf("h1 learned at %d/%d, want edge 1/1", info.DPID, info.Port)
+	}
+	// Send more transit traffic; location must not flap to s2's link port.
+	for i := 0; i < 5; i++ {
+		h1.Send(h2, openflow.ProtoTCP, uint16(4001+i), 80, 64)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		info, _ := c.HostByIP(h1.IP)
+		return info.DPID == 1 && info.Port == 1
+	})
+}
+
+func TestStatsPollerBackgroundLoop(t *testing.T) {
+	// A controller configured with periodic polling emits marked stats
+	// replies without manual PollStats calls.
+	agentless, err := New(Config{ID: "poller", StatsInterval: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentless.Start()
+	t.Cleanup(agentless.Stop)
+
+	nw := dataplane.NewNetwork()
+	t.Cleanup(nw.Close)
+	sw := nw.AddSwitch(42)
+	sw.AddPort(1, "p1", 1000)
+	if err := sw.Connect(agentless.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan struct{}, 1)
+	agentless.AddMessageListener(func(m ControlMessage) {
+		if m.Msg.MsgType() == openflow.TypeMultipartReply && m.Marked {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+		}
+	})
+	select {
+	case <-got:
+	case <-time.After(3 * time.Second):
+		t.Fatal("background poller never produced a marked stats reply")
+	}
+}
+
+func TestPanickingProcessorDoesNotKillSession(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+	c.AddProcessor(1, "bad.app", func(ctx *PacketContext) {
+		panic("application bug")
+	})
+	// The panicking app runs first on every PacketIn; forwarding (and the
+	// session itself) must survive it.
+	h1.Send(h2, openflow.ProtoTCP, 40000, 80, 64)
+	h2.Send(h1, openflow.ProtoTCP, 80, 40000, 64)
+	h1.Send(h2, openflow.ProtoTCP, 40001, 80, 64)
+	waitFor(t, 3*time.Second, func() bool {
+		p, _ := h2.Received()
+		return p >= 1
+	})
+	if len(c.Devices()) != 1 {
+		t.Fatal("session died after processor panic")
+	}
+}
+
+func TestPanickingListenerDoesNotKillSession(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+	c.AddMessageListener(func(ControlMessage) { panic("listener bug") })
+	h1.Send(h2, openflow.ProtoTCP, 40000, 80, 64)
+	waitFor(t, 3*time.Second, func() bool {
+		pi, _, _, _ := c.CounterSnapshot()
+		return pi >= 1
+	})
+	if len(c.Devices()) != 1 {
+		t.Fatal("session died after listener panic")
+	}
+}

@@ -1,0 +1,424 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/cluster"
+	"github.com/athena-sdn/athena/internal/dataplane"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// stack is a full test deployment: a data plane wired to one or more
+// clustered controller instances.
+type stack struct {
+	net   *dataplane.Network
+	ctrls []*Controller
+}
+
+func (st *stack) close() {
+	st.net.Close()
+	for _, c := range st.ctrls {
+		c.Stop()
+	}
+}
+
+// masterFor picks the controller that masters dpid.
+func (st *stack) masterFor(dpid uint64) *Controller {
+	id := st.ctrls[0].Agent().MasterOf(dpid)
+	for _, c := range st.ctrls {
+		if c.ID() == id {
+			return c
+		}
+	}
+	return st.ctrls[0]
+}
+
+// buildLinear builds h1 - s1 - s2 - ... - sN - h2 with nCtrl controllers.
+func buildLinear(t *testing.T, nSwitches, nCtrl int) (*stack, *dataplane.Host, *dataplane.Host) {
+	t.Helper()
+	st := &stack{net: dataplane.NewNetwork()}
+
+	agents := make([]*cluster.Agent, nCtrl)
+	for i := range agents {
+		a, err := cluster.NewAgent(cluster.Config{
+			ID:             fmt.Sprintf("c%d", i),
+			GossipInterval: 20 * time.Millisecond,
+			FailureTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	for _, a := range agents {
+		for _, b := range agents {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	for i := range agents {
+		agents[i].Start()
+		c, err := New(Config{Cluster: agents[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		st.ctrls = append(st.ctrls, c)
+	}
+	// Agents are owned by the test; stop them after controllers.
+	t.Cleanup(func() {
+		for _, a := range agents {
+			a.Stop()
+		}
+	})
+
+	for i := 1; i <= nSwitches; i++ {
+		st.net.AddSwitch(uint64(i))
+	}
+	for i := 1; i < nSwitches; i++ {
+		// Port 2 goes "right", port 3 goes "left".
+		if err := st.net.AddLink(uint64(i), 2, uint64(i+1), 3, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, err := st.net.AddHost("h1", openflow.IPv4(10, 0, 0, 1), 1, 1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := st.net.AddHost("h2", openflow.IPv4(10, 0, 0, 2), uint64(nSwitches), 4, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Connect every switch to its master instance.
+	for _, sw := range st.net.Switches() {
+		master := st.masterFor(sw.DPID)
+		if err := sw.Connect(master.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for all sessions to register.
+	waitFor(t, 2*time.Second, func() bool {
+		total := 0
+		for _, c := range st.ctrls {
+			total += len(c.Devices())
+		}
+		return total == nSwitches
+	})
+	t.Cleanup(st.close)
+	return st, h1, h2
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// discover runs LLDP probes and waits until every instance knows all
+// expected directed links.
+func discover(st *stack, t *testing.T, wantLinks int) {
+	t.Helper()
+	waitFor(t, 5*time.Second, func() bool {
+		for _, c := range st.ctrls {
+			c.ProbeLinks()
+		}
+		for _, c := range st.ctrls {
+			if len(c.Links()) < wantLinks {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestSingleSwitchReactiveForwarding(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+
+	// First packet misses, floods (dst unknown) and learns h1.
+	h1.Send(h2, openflow.ProtoTCP, 40000, 80, 100)
+	waitFor(t, 2*time.Second, func() bool {
+		_, ok := c.HostByIP(h1.IP)
+		return ok
+	})
+	// The flood delivered the packet to h2.
+	waitFor(t, 2*time.Second, func() bool {
+		p, _ := h2.Received()
+		return p == 1
+	})
+
+	// Reverse traffic teaches h2's location and installs a rule.
+	h2.Send(h1, openflow.ProtoTCP, 80, 40000, 100)
+	waitFor(t, 2*time.Second, func() bool {
+		p, _ := h1.Received()
+		return p == 1
+	})
+	waitFor(t, 2*time.Second, func() bool {
+		return st.net.Switch(1).Table().Len() >= 1
+	})
+
+	// Now h1 -> h2 again: reactive rule install (dst known).
+	h1.Send(h2, openflow.ProtoTCP, 40001, 80, 100)
+	waitFor(t, 2*time.Second, func() bool {
+		p, _ := h2.Received()
+		return p == 2
+	})
+
+	// Flow rules are attributed to the forwarding app.
+	rules := c.FlowsOfApp(AppForwarding)
+	if len(rules) == 0 {
+		t.Fatal("no rules attributed to forwarding app")
+	}
+	if app, ok := c.AppOfCookie(rules[0].Cookie); !ok || app != AppForwarding {
+		t.Fatalf("AppOfCookie = %q, %v", app, ok)
+	}
+}
+
+func TestLLDPDiscoveryBuildsTopology(t *testing.T) {
+	st, _, _ := buildLinear(t, 3, 1)
+	discover(st, t, 4) // 2 physical links, 2 directions each
+	links := st.ctrls[0].Links()
+	if len(links) != 4 {
+		t.Fatalf("links = %d, want 4: %+v", len(links), links)
+	}
+	// next hop from s1 to s3 must leave via port 2 (rightward).
+	port, ok := st.ctrls[0].links.nextHop(1, 3)
+	if !ok || port != 2 {
+		t.Fatalf("nextHop(1,3) = %d, %v; want 2, true", port, ok)
+	}
+	// And s3 to s1 leaves via port 3.
+	port, ok = st.ctrls[0].links.nextHop(3, 1)
+	if !ok || port != 3 {
+		t.Fatalf("nextHop(3,1) = %d, %v; want 3, true", port, ok)
+	}
+}
+
+func TestMultiHopForwardingAcrossDistributedControllers(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 4, 3)
+	discover(st, t, 6)
+
+	// Warm up host learning in both directions (floods reach the edges).
+	h1.Send(h2, openflow.ProtoTCP, 40000, 80, 100)
+	h2.Send(h1, openflow.ProtoTCP, 80, 40000, 100)
+	waitFor(t, 5*time.Second, func() bool {
+		for _, c := range st.ctrls {
+			if _, ok := c.HostByIP(h1.IP); !ok {
+				return false
+			}
+			if _, ok := c.HostByIP(h2.IP); !ok {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A fresh flow now crosses 4 switches mastered by 3 instances,
+	// getting a reactive rule at each hop.
+	before, _ := h2.Received()
+	h1.Send(h2, openflow.ProtoTCP, 41000, 80, 100)
+	waitFor(t, 5*time.Second, func() bool {
+		p, _ := h2.Received()
+		return p > before
+	})
+	// Every switch on the path eventually holds a rule for the flow.
+	waitFor(t, 5*time.Second, func() bool {
+		for i := 1; i <= 4; i++ {
+			if st.net.Switch(uint64(i)).Table().Len() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	// Mastership must actually be distributed for this to be a real
+	// multi-instance test.
+	masters := make(map[string]bool)
+	for i := 1; i <= 4; i++ {
+		masters[st.ctrls[0].Agent().MasterOf(uint64(i))] = true
+	}
+	if len(masters) < 2 {
+		t.Skip("rendezvous placed all switches on one instance; topology too small to assert distribution")
+	}
+}
+
+func TestMessageListenerSeesControlMessages(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+
+	var mu sync.Mutex
+	byType := make(map[openflow.Type]int)
+	c.AddMessageListener(func(m ControlMessage) {
+		mu.Lock()
+		byType[m.Msg.MsgType()]++
+		mu.Unlock()
+	})
+
+	h1.Send(h2, openflow.ProtoTCP, 40000, 80, 100)
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return byType[openflow.TypePacketIn] >= 1
+	})
+
+	c.PollStats()
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return byType[openflow.TypeMultipartReply] >= 2
+	})
+}
+
+func TestStatsRepliesAreMarked(t *testing.T) {
+	st, _, _ := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+
+	marked := make(chan bool, 16)
+	c.AddMessageListener(func(m ControlMessage) {
+		if m.Msg.MsgType() == openflow.TypeMultipartReply {
+			marked <- m.Marked
+		}
+	})
+	c.PollStats()
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-marked:
+			if !ok {
+				t.Fatal("poller-triggered stats reply was not marked")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("no stats reply")
+		}
+	}
+}
+
+func TestInstallFlowOnUnknownSwitchFails(t *testing.T) {
+	st, _, _ := buildLinear(t, 1, 1)
+	if _, err := st.ctrls[0].InstallFlow("app", 999, openflow.FlowMod{}); err == nil {
+		t.Fatal("InstallFlow on unknown switch succeeded")
+	}
+	if err := st.ctrls[0].SendPacketOut(999, &openflow.PacketOut{}); err == nil {
+		t.Fatal("SendPacketOut on unknown switch succeeded")
+	}
+	if err := st.ctrls[0].RemoveFlows(999, openflow.MatchAll(), 0, false); err == nil {
+		t.Fatal("RemoveFlows on unknown switch succeeded")
+	}
+}
+
+func TestFlowRemovedUpdatesRuleStore(t *testing.T) {
+	st, _, _ := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+
+	cookie, err := c.InstallFlow("test.app", 1, openflow.FlowMod{
+		Priority: 50,
+		Match:    openflow.MatchAll(),
+		Actions:  []openflow.Action{openflow.ActionDrop{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return len(c.FlowsOfApp("test.app")) == 1
+	})
+
+	if err := c.RemoveFlows(1, openflow.MatchAll(), 50, true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return len(c.FlowsOfApp("test.app")) == 0
+	})
+	// Attribution survives removal (late stats must still attribute).
+	if app, ok := c.AppOfCookie(cookie); !ok || app != "test.app" {
+		t.Fatalf("post-removal AppOfCookie = %q, %v", app, ok)
+	}
+}
+
+func TestCustomProcessorPriorityAndHandled(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+
+	var order []string
+	var mu sync.Mutex
+	c.AddProcessor(5, "first", func(ctx *PacketContext) {
+		mu.Lock()
+		order = append(order, "first")
+		mu.Unlock()
+		ctx.Handled = true // blocks the forwarding app
+	})
+	c.AddProcessor(7, "second", func(ctx *PacketContext) {
+		mu.Lock()
+		order = append(order, "second")
+		mu.Unlock()
+	})
+
+	h1.Send(h2, openflow.ProtoTCP, 40000, 80, 100)
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) >= 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != "first" {
+		t.Fatalf("order = %v", order)
+	}
+	for _, o := range order {
+		if o == "second" {
+			t.Fatal("Handled did not stop the chain")
+		}
+	}
+	if p, _ := h2.Received(); p != 0 {
+		t.Fatal("packet was forwarded despite Handled")
+	}
+}
+
+func TestControllerFailoverRehomesSwitch(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 1, 1)
+
+	// Second controller (standalone stores, same network).
+	c2, err := New(Config{ID: "standby"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	t.Cleanup(c2.Stop)
+
+	sw := st.net.Switch(1)
+	sw.Disconnect()
+	if err := sw.Connect(c2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return len(c2.Devices()) == 1
+	})
+
+	// Forwarding still works through the new instance.
+	h1.Send(h2, openflow.ProtoTCP, 42000, 80, 100)
+	waitFor(t, 2*time.Second, func() bool {
+		p, _ := h2.Received()
+		return p >= 1
+	})
+}
+
+func TestCounters(t *testing.T) {
+	st, h1, h2 := buildLinear(t, 1, 1)
+	c := st.ctrls[0]
+	h1.Send(h2, openflow.ProtoTCP, 40000, 80, 100)
+	waitFor(t, 2*time.Second, func() bool {
+		pi, _, po, _ := c.CounterSnapshot()
+		return pi >= 1 && po >= 1
+	})
+	c.PollStats()
+	waitFor(t, 2*time.Second, func() bool {
+		_, _, _, sr := c.CounterSnapshot()
+		return sr >= 2
+	})
+}

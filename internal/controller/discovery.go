@@ -1,0 +1,88 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// lldpMagic prefixes discovery probe payloads.
+var lldpMagic = []byte("ATH-LLDP")
+
+const lldpPayloadLen = 8 + 8 + 4
+
+func encodeLLDP(dpid uint64, port uint32) []byte {
+	buf := make([]byte, lldpPayloadLen)
+	copy(buf, lldpMagic)
+	binary.BigEndian.PutUint64(buf[8:16], dpid)
+	binary.BigEndian.PutUint32(buf[16:20], port)
+	return buf
+}
+
+func decodeLLDP(b []byte) (dpid uint64, port uint32, ok bool) {
+	if len(b) < lldpPayloadLen || !bytes.HasPrefix(b, lldpMagic) {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(b[8:16]), binary.BigEndian.Uint32(b[16:20]), true
+}
+
+// ProbeLinks emits one LLDP-style probe on every port of every switch
+// this instance controls. Probes that land on a neighboring switch come
+// back as PacketIn (to that switch's master), yielding directed links in
+// the replicated link store.
+func (c *Controller) ProbeLinks() {
+	c.mu.RLock()
+	sessions := make([]*session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.mu.RUnlock()
+	for _, s := range sessions {
+		var rec deviceRecord
+		found, err := c.devices.GetJSON(dpidKey(s.dpid), &rec)
+		if err != nil || !found {
+			continue
+		}
+		for _, port := range rec.Ports {
+			po := &openflow.PacketOut{
+				Actions: []openflow.Action{openflow.ActionOutput{Port: port}},
+				Data:    encodeLLDP(s.dpid, port),
+			}
+			if err := s.send(po); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// processLLDP consumes discovery probes arriving as PacketIn.
+func (c *Controller) processLLDP(ctx *PacketContext) {
+	srcDPID, srcPort, ok := decodeLLDP(ctx.Packet.Data)
+	if !ok {
+		return
+	}
+	ctx.Handled = true
+	c.links.add(LinkInfo{
+		SrcDPID: srcDPID,
+		SrcPort: srcPort,
+		DstDPID: ctx.DPID,
+		DstPort: ctx.Packet.Fields.InPort,
+	})
+	// Record the reverse direction optimistically as well: links in this
+	// fabric are bidirectional, and the reverse probe may be mastered by
+	// another instance whose gossip has not arrived yet.
+	c.links.add(LinkInfo{
+		SrcDPID: ctx.DPID,
+		SrcPort: ctx.Packet.Fields.InPort,
+		DstDPID: srcDPID,
+		DstPort: srcPort,
+	})
+}
+
+// DeviceRecordJSON exposes the replicated device record for debugging.
+func (c *Controller) DeviceRecordJSON(dpid uint64) (json.RawMessage, bool) {
+	b, ok := c.devices.Get(dpidKey(dpid))
+	return json.RawMessage(b), ok
+}

@@ -1,0 +1,175 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/cluster"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// FlowRuleInfo records one rule installed through the FlowRule subsystem.
+type FlowRuleInfo struct {
+	Cookie   uint64         `json:"cookie"`
+	AppID    string         `json:"app"`
+	DPID     uint64         `json:"dpid"`
+	Priority uint16         `json:"priority"`
+	Match    openflow.Match `json:"-"`
+}
+
+// flowAppRecord is the replicated cookie->app attribution record.
+type flowAppRecord struct {
+	App  string `json:"app"`
+	DPID uint64 `json:"dpid"`
+}
+
+// flowRuleStore tracks rules by cookie and application, replicating the
+// cookie attribution cluster-wide so any Athena instance can map a
+// FlowRemoved or FlowStats record back to the owning application.
+type flowRuleStore struct {
+	m      *cluster.ECMap
+	prefix uint64
+	seq    atomic.Uint64
+
+	mu    sync.RWMutex
+	rules map[uint64]FlowRuleInfo
+	byApp map[string]map[uint64]struct{}
+}
+
+func newFlowRuleStore(controllerID string, m *cluster.ECMap) *flowRuleStore {
+	h := fnv.New64a()
+	h.Write([]byte(controllerID))
+	return &flowRuleStore{
+		m:      m,
+		prefix: uint64(h.Sum64()&0xffff) << 48, // disambiguate cookie spaces per instance
+		rules:  make(map[uint64]FlowRuleInfo),
+		byApp:  make(map[string]map[uint64]struct{}),
+	}
+}
+
+// nextCookie mints a cluster-unique cookie for a new rule.
+func (s *flowRuleStore) nextCookie() uint64 {
+	return s.prefix | (s.seq.Add(1) & 0xffff_ffff_ffff)
+}
+
+func (s *flowRuleStore) record(info FlowRuleInfo) {
+	s.mu.Lock()
+	s.rules[info.Cookie] = info
+	set, ok := s.byApp[info.AppID]
+	if !ok {
+		set = make(map[uint64]struct{})
+		s.byApp[info.AppID] = set
+	}
+	set[info.Cookie] = struct{}{}
+	s.mu.Unlock()
+	b, _ := json.Marshal(flowAppRecord{App: info.AppID, DPID: info.DPID})
+	s.m.Put(cookieKey(info.Cookie), b)
+}
+
+func (s *flowRuleStore) removed(cookie uint64) {
+	s.mu.Lock()
+	if info, ok := s.rules[cookie]; ok {
+		delete(s.rules, cookie)
+		if set, ok := s.byApp[info.AppID]; ok {
+			delete(set, cookie)
+		}
+	}
+	s.mu.Unlock()
+	// Attribution records stay in the replicated map: late FlowRemoved or
+	// statistics messages referencing the cookie must still attribute.
+}
+
+func (s *flowRuleStore) appOf(cookie uint64) (string, bool) {
+	s.mu.RLock()
+	info, ok := s.rules[cookie]
+	s.mu.RUnlock()
+	if ok {
+		return info.AppID, true
+	}
+	var rec flowAppRecord
+	if found, err := s.m.GetJSON(cookieKey(cookie), &rec); err == nil && found {
+		return rec.App, true
+	}
+	return "", false
+}
+
+func (s *flowRuleStore) ofApp(appID string) []FlowRuleInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []FlowRuleInfo
+	for cookie := range s.byApp[appID] {
+		out = append(out, s.rules[cookie])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cookie < out[j].Cookie })
+	return out
+}
+
+func cookieKey(cookie uint64) string { return fmt.Sprintf("%016x", cookie) }
+
+// InstallFlow installs a rule on dpid attributed to appID. The cookie is
+// assigned by the controller and returned; fm.Cookie is ignored. The
+// FlagSendFlowRemoved flag is forced on so Athena observes rule expiry.
+func (c *Controller) InstallFlow(appID string, dpid uint64, fm openflow.FlowMod) (uint64, error) {
+	s := c.session(dpid)
+	if s == nil {
+		return 0, fmt.Errorf("controller %s: switch %d not connected", c.id, dpid)
+	}
+	fm.Command = openflow.FlowAdd
+	fm.Cookie = c.flows.nextCookie()
+	fm.Flags |= openflow.FlagSendFlowRemoved
+	if err := s.send(&fm); err != nil {
+		return 0, fmt.Errorf("install flow on %d: %w", dpid, err)
+	}
+	c.counters.FlowModsSent.Add(1)
+	c.flows.record(FlowRuleInfo{
+		Cookie:   fm.Cookie,
+		AppID:    appID,
+		DPID:     dpid,
+		Priority: fm.Priority,
+		Match:    fm.Match,
+	})
+	return fm.Cookie, nil
+}
+
+// RemoveFlows deletes rules matching the given match on dpid.
+func (c *Controller) RemoveFlows(dpid uint64, match openflow.Match, priority uint16, strict bool) error {
+	s := c.session(dpid)
+	if s == nil {
+		return fmt.Errorf("controller %s: switch %d not connected", c.id, dpid)
+	}
+	cmd := openflow.FlowDelete
+	if strict {
+		cmd = openflow.FlowDeleteStrict
+	}
+	return s.send(&openflow.FlowMod{Command: cmd, Match: match, Priority: priority})
+}
+
+// SendPacketOut emits a packet on a switch this instance controls.
+func (c *Controller) SendPacketOut(dpid uint64, po *openflow.PacketOut) error {
+	s := c.session(dpid)
+	if s == nil {
+		return fmt.Errorf("controller %s: switch %d not connected", c.id, dpid)
+	}
+	if err := s.send(po); err != nil {
+		return err
+	}
+	c.counters.PacketOuts.Add(1)
+	return nil
+}
+
+// timeoutSeconds converts a duration to the 16-bit OpenFlow timeout field.
+func timeoutSeconds(d time.Duration) uint16 {
+	secs := int64(d / time.Second)
+	if secs < 0 {
+		return 0
+	}
+	if secs > 0xffff {
+		return 0xffff
+	}
+	return uint16(secs)
+}

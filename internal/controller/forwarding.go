@@ -1,0 +1,71 @@
+package controller
+
+import (
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// fwdPriority is the priority of reactively installed forwarding rules.
+const fwdPriority = 100
+
+// processForwarding is the reactive shortest-path forwarding application:
+// learn the source host's attachment point, resolve the destination from
+// the cluster host store, install the next-hop rule on the current
+// switch, and release the buffered packet. Unknown destinations flood.
+func (c *Controller) processForwarding(ctx *PacketContext) {
+	pkt := ctx.Packet
+	f := pkt.Fields
+	if f.EthType != openflow.EthTypeIPv4 {
+		return
+	}
+
+	// Host learning, suppressed on infrastructure (inter-switch) ports so
+	// transit traffic does not relocate hosts.
+	if f.IPSrc != 0 && !c.links.isInfrastructure(ctx.DPID, f.InPort) {
+		c.hosts.learn(HostInfo{IP: f.IPSrc, MAC: f.EthSrc, DPID: ctx.DPID, Port: f.InPort})
+	}
+
+	dst, ok := c.hosts.byIP(f.IPDst)
+	if !ok {
+		c.flood(ctx)
+		ctx.Handled = true
+		return
+	}
+
+	var outPort uint32
+	if dst.DPID == ctx.DPID {
+		outPort = dst.Port
+	} else {
+		hop, found := c.links.nextHop(ctx.DPID, dst.DPID)
+		if !found {
+			c.flood(ctx)
+			ctx.Handled = true
+			return
+		}
+		outPort = hop
+	}
+
+	fm := openflow.FlowMod{
+		Priority:    fwdPriority,
+		IdleTimeout: timeoutSeconds(c.cfg.FlowIdleTimeout),
+		HardTimeout: timeoutSeconds(c.cfg.FlowHardTimeout),
+		Match:       openflow.ExactMatch(f),
+		Actions:     []openflow.Action{openflow.ActionOutput{Port: outPort}},
+	}
+	if _, err := c.InstallFlow(AppForwarding, ctx.DPID, fm); err != nil {
+		return
+	}
+	_ = c.SendPacketOut(ctx.DPID, &openflow.PacketOut{
+		BufferID: pkt.BufferID,
+		InPort:   f.InPort,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},
+	})
+	ctx.Handled = true
+}
+
+func (c *Controller) flood(ctx *PacketContext) {
+	_ = c.SendPacketOut(ctx.DPID, &openflow.PacketOut{
+		BufferID: ctx.Packet.BufferID,
+		InPort:   ctx.Packet.Fields.InPort,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: openflow.PortFlood}},
+	})
+}

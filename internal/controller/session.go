@@ -1,0 +1,145 @@
+package controller
+
+import (
+	"encoding/json"
+	"net"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// deviceRecord is the replicated view of a connected switch.
+type deviceRecord struct {
+	DPID       uint64   `json:"dpid"`
+	Controller string   `json:"controller"`
+	Ports      []uint32 `json:"ports"`
+}
+
+// session is one switch control channel.
+type session struct {
+	ctrl *Controller
+	conn *openflow.Conn
+	dpid uint64
+}
+
+func (c *Controller) serveSwitch(nc net.Conn) {
+	conn := openflow.NewConn(nc)
+	defer conn.Close()
+
+	if _, err := conn.Send(&openflow.Hello{}); err != nil {
+		return
+	}
+	if _, err := conn.Send(&openflow.FeaturesRequest{}); err != nil {
+		return
+	}
+
+	// Handshake: wait for the features reply, tolerating the peer Hello.
+	var features *openflow.FeaturesReply
+	deadline := time.Now().Add(5 * time.Second)
+	for features == nil {
+		if time.Now().After(deadline) {
+			return
+		}
+		msg, _, err := conn.Receive()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *openflow.FeaturesReply:
+			features = m
+		case *openflow.Hello, *openflow.EchoReply:
+			// keep waiting
+		case *openflow.EchoRequest:
+			_ = conn.SendXID(&openflow.EchoReply{Data: m.Data}, 0)
+		default:
+			// Pre-handshake noise; ignore.
+		}
+	}
+
+	s := &session{ctrl: c, conn: conn, dpid: features.DPID}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	if old, ok := c.sessions[s.dpid]; ok {
+		old.conn.Close()
+	}
+	c.sessions[s.dpid] = s
+	c.mu.Unlock()
+
+	ports := make([]uint32, 0, len(features.Ports))
+	for _, p := range features.Ports {
+		ports = append(ports, p.No)
+	}
+	rec, _ := json.Marshal(deviceRecord{DPID: s.dpid, Controller: c.id, Ports: ports})
+	c.devices.Put(dpidKey(s.dpid), rec)
+
+	defer func() {
+		c.mu.Lock()
+		if c.sessions[s.dpid] == s {
+			delete(c.sessions, s.dpid)
+		}
+		c.mu.Unlock()
+	}()
+
+	for {
+		msg, h, err := conn.Receive()
+		if err != nil {
+			return
+		}
+		s.dispatch(msg, h)
+	}
+}
+
+func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
+	c := s.ctrl
+	now := time.Now()
+	switch m := msg.(type) {
+	case *openflow.Hello:
+		return
+	case *openflow.EchoRequest:
+		_ = s.conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+		return
+	case *openflow.EchoReply, *openflow.BarrierReply:
+		return
+	case *openflow.PacketIn:
+		c.counters.PacketIns.Add(1)
+		ctx := &PacketContext{DPID: s.dpid, Packet: m, XID: h.XID}
+		c.mu.RLock()
+		procs := c.processors
+		c.mu.RUnlock()
+		for _, p := range procs {
+			c.runProcessor(p, ctx)
+			if ctx.Handled {
+				break
+			}
+		}
+	case *openflow.FlowRemoved:
+		c.flows.removed(m.Cookie)
+	case *openflow.MultipartReply:
+		c.counters.StatsReplies.Add(1)
+	case *openflow.PortStatus:
+		// Fall through to listener delivery; topology reacts lazily.
+	case *openflow.ErrorMsg:
+		c.logf("switch %d error type=%d code=%d", s.dpid, m.ErrType, m.Code)
+	}
+
+	c.emit(ControlMessage{
+		Time:         now,
+		ControllerID: c.id,
+		DPID:         s.dpid,
+		XID:          h.XID,
+		Marked:       c.consumeMarkedXID(s.dpid, h.XID),
+		Msg:          msg,
+	})
+}
+
+func (s *session) send(msg openflow.Message) error {
+	_, err := s.conn.Send(msg)
+	return err
+}
+
+func (s *session) close() {
+	s.conn.Close()
+}

@@ -1,0 +1,56 @@
+package controller
+
+import (
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// PollStats issues flow and port statistics requests to every switch this
+// instance controls. Requests carry marked transaction ids (the paper's
+// §VI XID-marking technique) so that replies triggered by Athena's
+// polling cadence are distinguishable from ad-hoc controller requests,
+// which keeps variation features on an exact timebase.
+func (c *Controller) PollStats() {
+	c.mu.RLock()
+	sessions := make([]*session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.mu.RUnlock()
+	for _, s := range sessions {
+		c.pollSwitch(s)
+	}
+}
+
+func (c *Controller) pollSwitch(s *session) {
+	flowXID := s.conn.NextXID()
+	portXID := s.conn.NextXID()
+	c.markXID(s.dpid, flowXID)
+	c.markXID(s.dpid, portXID)
+	if err := s.conn.SendXID(&openflow.MultipartRequest{StatsType: openflow.StatsFlow}, flowXID); err != nil {
+		return
+	}
+	_ = s.conn.SendXID(&openflow.MultipartRequest{StatsType: openflow.StatsPort}, portXID)
+}
+
+func (c *Controller) markXID(dpid uint64, xid uint32) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	set, ok := c.statsXID[dpid]
+	if !ok {
+		set = make(map[uint32]bool)
+		c.statsXID[dpid] = set
+	}
+	set[xid] = true
+}
+
+// consumeMarkedXID reports whether xid was marked for dpid, clearing it.
+func (c *Controller) consumeMarkedXID(dpid uint64, xid uint32) bool {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	set, ok := c.statsXID[dpid]
+	if !ok || !set[xid] {
+		return false
+	}
+	delete(set, xid)
+	return true
+}

@@ -1,0 +1,206 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/athena-sdn/athena/internal/cluster"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+func dpidKey(dpid uint64) string { return strconv.FormatUint(dpid, 10) }
+
+// HostInfo is the cluster-wide record of a learned end station.
+type HostInfo struct {
+	IP   uint32           `json:"ip"`
+	MAC  openflow.EthAddr `json:"mac"`
+	DPID uint64           `json:"dpid"`
+	Port uint32           `json:"port"`
+}
+
+// hostStore caches the replicated host map for fast-path lookups.
+type hostStore struct {
+	m *cluster.ECMap
+
+	mu    sync.RWMutex
+	cache map[uint32]HostInfo
+}
+
+func newHostStore(m *cluster.ECMap) *hostStore {
+	s := &hostStore{m: m, cache: make(map[uint32]HostInfo)}
+	m.Watch(func(key string, value []byte, deleted bool) {
+		var h HostInfo
+		if !deleted && json.Unmarshal(value, &h) == nil {
+			s.mu.Lock()
+			s.cache[h.IP] = h
+			s.mu.Unlock()
+			return
+		}
+		if ip, err := strconv.ParseUint(key, 10, 32); err == nil {
+			s.mu.Lock()
+			delete(s.cache, uint32(ip))
+			s.mu.Unlock()
+		}
+	})
+	return s
+}
+
+func (s *hostStore) learn(h HostInfo) {
+	s.mu.RLock()
+	cur, ok := s.cache[h.IP]
+	s.mu.RUnlock()
+	if ok && cur == h {
+		return // already known at this location; avoid a replicated write
+	}
+	s.mu.Lock()
+	s.cache[h.IP] = h
+	s.mu.Unlock()
+	b, _ := json.Marshal(h)
+	s.m.Put(strconv.FormatUint(uint64(h.IP), 10), b)
+}
+
+func (s *hostStore) byIP(ip uint32) (HostInfo, bool) {
+	s.mu.RLock()
+	h, ok := s.cache[ip]
+	s.mu.RUnlock()
+	return h, ok
+}
+
+func (s *hostStore) all() []HostInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]HostInfo, 0, len(s.cache))
+	for _, h := range s.cache {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}
+
+// LinkInfo is one directed switch-to-switch adjacency discovered by LLDP
+// probing.
+type LinkInfo struct {
+	SrcDPID uint64 `json:"src_dpid"`
+	SrcPort uint32 `json:"src_port"`
+	DstDPID uint64 `json:"dst_dpid"`
+	DstPort uint32 `json:"dst_port"`
+}
+
+func (l LinkInfo) key() string {
+	return fmt.Sprintf("%d/%d", l.SrcDPID, l.SrcPort)
+}
+
+// linkStore caches the replicated link map and derived adjacency.
+type linkStore struct {
+	m *cluster.ECMap
+
+	mu    sync.RWMutex
+	cache map[string]LinkInfo
+}
+
+func newLinkStore(m *cluster.ECMap) *linkStore {
+	s := &linkStore{m: m, cache: make(map[string]LinkInfo)}
+	m.Watch(func(key string, value []byte, deleted bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if deleted {
+			delete(s.cache, key)
+			return
+		}
+		var l LinkInfo
+		if json.Unmarshal(value, &l) == nil {
+			s.cache[key] = l
+		}
+	})
+	return s
+}
+
+func (s *linkStore) add(l LinkInfo) {
+	s.mu.RLock()
+	cur, ok := s.cache[l.key()]
+	s.mu.RUnlock()
+	if ok && cur == l {
+		return
+	}
+	b, _ := json.Marshal(l)
+	s.m.Put(l.key(), b) // the watcher updates the cache
+}
+
+// isInfrastructure reports whether (dpid, port) is a known link endpoint,
+// meaning hosts must not be learned there.
+func (s *linkStore) isInfrastructure(dpid uint64, port uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.cache[fmt.Sprintf("%d/%d", dpid, port)]
+	return ok
+}
+
+func (s *linkStore) all() []LinkInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]LinkInfo, 0, len(s.cache))
+	for _, l := range s.cache {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SrcDPID != out[j].SrcDPID {
+			return out[i].SrcDPID < out[j].SrcDPID
+		}
+		return out[i].SrcPort < out[j].SrcPort
+	})
+	return out
+}
+
+// nextHop returns the output port on src that advances one hop along a
+// shortest path toward dst, using BFS over the discovered adjacency.
+func (s *linkStore) nextHop(src, dst uint64) (uint32, bool) {
+	if src == dst {
+		return 0, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// adjacency: dpid -> list of (neighbor dpid, local out port)
+	type edge struct {
+		to   uint64
+		port uint32
+	}
+	adj := make(map[uint64][]edge)
+	for _, l := range s.cache {
+		adj[l.SrcDPID] = append(adj[l.SrcDPID], edge{to: l.DstDPID, port: l.SrcPort})
+	}
+	// BFS from src; track first hop.
+	type state struct {
+		node     uint64
+		firstHop uint32
+	}
+	visited := map[uint64]bool{src: true}
+	var queue []state
+	edges := adj[src]
+	sort.Slice(edges, func(i, j int) bool { return edges[i].port < edges[j].port })
+	for _, e := range edges {
+		if e.to == dst {
+			return e.port, true
+		}
+		if !visited[e.to] {
+			visited[e.to] = true
+			queue = append(queue, state{node: e.to, firstHop: e.port})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur.node] {
+			if e.to == dst {
+				return cur.firstHop, true
+			}
+			if !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, state{node: e.to, firstHop: cur.firstHop})
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/query"
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+func TestSouthboundPublishErrorCounted(t *testing.T) {
+	proxy := newFakeProxy()
+	node, addrs := newStoreNode(t)
+	a, err := New(Config{
+		Proxy:      proxy,
+		StoreAddrs: addrs,
+		Southbound: SouthboundConfig{Publish: PublishSync},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	// Kill the store: the SB keeps running, publication errors counted.
+	node.Close()
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 1, DurationSec: 1}
+	proxy.inject(flowStatsMsg(1, time.Now(), fs))
+	ok, errs := a.Southbound().Published()
+	if ok != 0 || errs != 1 {
+		t.Fatalf("published = %d/%d, want 0/1", ok, errs)
+	}
+	// Live delivery still works despite the dead store.
+	delivered := 0
+	a.AddEventHandler(nil, func(*Feature) { delivered++ })
+	proxy.inject(flowStatsMsg(1, time.Now(), fs))
+	if delivered != 1 {
+		t.Fatalf("live delivery = %d after store failure", delivered)
+	}
+}
+
+func TestRequestFeaturesWithoutStore(t *testing.T) {
+	proxy := newFakeProxy()
+	a, err := New(Config{Proxy: proxy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	if _, err := a.RequestFeatures(MustQuery("")); err == nil {
+		t.Error("RequestFeatures without a store succeeded")
+	}
+	if _, err := a.RequestAggregate(MustQuery("").WithAggregate([]string{"dpid"}, store.AggSum, "x")); err == nil {
+		t.Error("RequestAggregate without a store succeeded")
+	}
+}
+
+func TestRequestFeaturesTimeWindow(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishSync)
+	base := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 1, DurationSec: 1}
+	for i := 0; i < 5; i++ {
+		proxy.inject(flowStatsMsg(1, base.Add(time.Duration(i)*time.Minute), fs))
+	}
+	q := MustQuery("").WithTimeWindow(
+		base.Add(1*time.Minute).UnixNano(),
+		base.Add(3*time.Minute).UnixNano())
+	feats, err := a.RequestFeatures(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 { // minutes 1 and 2 (window end exclusive)
+		t.Fatalf("windowed features = %d, want 2", len(feats))
+	}
+}
+
+func TestValidateRequiresLabels(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishOff)
+	feats := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 50, MaliciousFlows: 100, Seed: 1})
+	p := &Preprocessor{LabelField: LabelField}
+	p.AddFeatures(DDoSFeatureNames...)
+	model, err := a.GenerateDetectionModelFromFeatures(feats, p,
+		GenerateAlgorithm(ml.AlgoKMeans, ml.Params{K: 2, Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlabeled := &Preprocessor{} // no Mark, no LabelField
+	unlabeled.AddFeatures(DDoSFeatureNames...)
+	if _, err := a.ValidateFeatureRecords(feats, unlabeled, model); err == nil {
+		t.Fatal("validation without labels succeeded")
+	}
+}
+
+func TestDetectionModelWeightAndNormOrder(t *testing.T) {
+	// A model trained with normalization+weights must score live features
+	// identically to the batch pipeline.
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishOff)
+	feats := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 200, MaliciousFlows: 400, Seed: 9})
+	p := &Preprocessor{
+		Normalize:  ml.NormMinMax,
+		Weights:    map[string]float64{FPairFlow: 2, FPairFlowRatio: 2},
+		LabelField: LabelField,
+	}
+	p.AddFeatures(DDoSFeatureNames...)
+	model, err := a.GenerateDetectionModelFromFeatures(feats, p,
+		GenerateAlgorithm(ml.AlgoKMeans, ml.Params{K: 4, Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch pipeline verdicts.
+	ds, err := p.BuildDataset(feats[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.transform(ds, model.Norm); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range ds.X {
+		batchVerdict := model.Model.IsAnomalous(row)
+		liveVerdict := model.IsAnomalous(feats[i])
+		if batchVerdict != liveVerdict {
+			t.Fatalf("row %d: batch=%v live=%v (pipeline order mismatch)", i, batchVerdict, liveVerdict)
+		}
+	}
+}
+
+func TestFeatureRecordInterface(t *testing.T) {
+	f := &Feature{
+		ControllerID: "c9",
+		DPID:         12,
+		Port:         3,
+		FlowKey:      "fk",
+		Origin:       OriginPortStats,
+		AppID:        "appX",
+		Time:         time.Unix(5, 0),
+		Values:       map[string]float64{"x": 1.5},
+	}
+	numTests := map[string]float64{"x": 1.5, "dpid": 12, "port": 3, "time": float64(time.Unix(5, 0).UnixNano())}
+	for name, want := range numTests {
+		if got, ok := f.NumField(name); !ok || got != want {
+			t.Errorf("NumField(%s) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := f.NumField("missing"); ok {
+		t.Error("NumField(missing) = ok")
+	}
+	strTests := map[string]string{
+		"controller": "c9", "dpid": "12", "port": "3",
+		"flow": "fk", "origin": OriginPortStats, "app": "appX",
+	}
+	for name, want := range strTests {
+		if got, ok := f.StrField(name); !ok || got != want {
+			t.Errorf("StrField(%s) = %q, %v", name, got, ok)
+		}
+	}
+	if _, ok := f.StrField("missing"); ok {
+		t.Error("StrField(missing) = ok")
+	}
+	if f.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestGeneratorDisableVariationAndStateful(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{DisableVariation: true, DisableStateful: true})
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 5, DurationSec: 1}
+	feats := g.Process(flowStatsMsg(1, time.Now(), fs))
+	f := feats[0]
+	if _, ok := f.Values[FPacketCountVar]; ok {
+		t.Error("variation generated despite DisableVariation")
+	}
+	if _, ok := f.Values[FPairFlowRatio]; ok {
+		t.Error("stateful generated despite DisableStateful")
+	}
+	if f.Value(FPacketCount) != 5 {
+		t.Error("protocol-centric features must survive the toggles")
+	}
+}
+
+func TestOnlineValidatorQueryGating(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishOff)
+	model := &DetectionModel{
+		Algorithm: GenerateAlgorithm(ml.AlgoThreshold, ml.Params{Column: 0, Op: ">", Value: 0}),
+		Features:  []string{FPacketCount},
+		Model: &ml.Model{
+			Algo:      ml.AlgoThreshold,
+			Threshold: &ml.Threshold{Column: 0, Op: ">", Value: 0},
+		},
+	}
+	seen := 0
+	a.AddOnlineValidator(query.New(query.MustParse("dpid==7")), model, func(*Feature, bool) { seen++ })
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 5, DurationSec: 1}
+	proxy.inject(flowStatsMsg(1, time.Now(), fs))
+	proxy.inject(flowStatsMsg(7, time.Now(), fs))
+	if seen != 1 {
+		t.Fatalf("gated validator fired %d times, want 1", seen)
+	}
+}
+
+func TestSouthboundBatchedClosesCleanly(t *testing.T) {
+	proxy := newFakeProxy()
+	node, addrs := newStoreNode(t)
+	a, err := New(Config{
+		Proxy:      proxy,
+		StoreAddrs: addrs,
+		Southbound: SouthboundConfig{
+			Publish:    PublishBatched,
+			BatchSize:  1000,
+			BatchDelay: time.Hour, // only Close flushes
+			GCInterval: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 1, DurationSec: 1}
+	proxy.inject(flowStatsMsg(1, time.Now(), fs))
+	a.Close()
+	if node.Len() != 1 {
+		t.Fatalf("store holds %d docs after Close, want flushed 1", node.Len())
+	}
+	a.Close() // double close must not hang or panic
+}
+
+func TestDetectionModelSerializationRoundTrip(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishOff)
+	feats := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 150, MaliciousFlows: 300, Seed: 4})
+	p := &Preprocessor{
+		Normalize:  ml.NormMinMax,
+		Weights:    map[string]float64{FPairFlow: 2},
+		LabelField: LabelField,
+	}
+	p.AddFeatures(DDoSFeatureNames...)
+	model, err := a.GenerateDetectionModelFromFeatures(feats, p,
+		GenerateAlgorithm(ml.AlgoKMeans, ml.Params{K: 4, Seed: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := model.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDetectionModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range feats[:100] {
+		if model.IsAnomalous(f) != back.IsAnomalous(f) {
+			t.Fatal("shared model disagrees with the original")
+		}
+	}
+	if _, err := UnmarshalDetectionModel([]byte("{}")); err == nil {
+		t.Fatal("model without inner model accepted")
+	}
+	if _, err := UnmarshalDetectionModel([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,677 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/query"
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// fakeProxy is a controller stand-in that records rule installs and
+// lets tests inject control messages.
+type fakeProxy struct {
+	mu         sync.Mutex
+	listeners  []controller.MessageListener
+	installed  []openflow.FlowMod
+	removed    []openflow.Match
+	hosts      []controller.HostInfo
+	devices    []uint64
+	cookies    map[uint64]string
+	nextCookie uint64
+}
+
+func newFakeProxy() *fakeProxy {
+	return &fakeProxy{
+		devices: []uint64{1, 2},
+		cookies: make(map[uint64]string),
+	}
+}
+
+func (p *fakeProxy) ID() string { return "fake" }
+
+func (p *fakeProxy) AddMessageListener(fn controller.MessageListener) {
+	p.mu.Lock()
+	p.listeners = append(p.listeners, fn)
+	p.mu.Unlock()
+}
+
+func (p *fakeProxy) inject(msg controller.ControlMessage) {
+	p.mu.Lock()
+	ls := p.listeners
+	p.mu.Unlock()
+	for _, fn := range ls {
+		fn(msg)
+	}
+}
+
+func (p *fakeProxy) InstallFlow(appID string, dpid uint64, fm openflow.FlowMod) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextCookie++
+	fm.Cookie = p.nextCookie
+	p.installed = append(p.installed, fm)
+	p.cookies[fm.Cookie] = appID
+	return fm.Cookie, nil
+}
+
+func (p *fakeProxy) SendPacketOut(uint64, *openflow.PacketOut) error { return nil }
+
+func (p *fakeProxy) RemoveFlows(dpid uint64, match openflow.Match, priority uint16, strict bool) error {
+	p.mu.Lock()
+	p.removed = append(p.removed, match)
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *fakeProxy) Devices() []uint64            { return p.devices }
+func (p *fakeProxy) Hosts() []controller.HostInfo { return p.hosts }
+func (p *fakeProxy) Links() []controller.LinkInfo { return nil }
+func (p *fakeProxy) PollStats()                   {}
+func (p *fakeProxy) AppOfCookie(c uint64) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	app, ok := p.cookies[c]
+	return app, ok
+}
+
+var _ Proxy = (*fakeProxy)(nil)
+
+func sampleFields(src, dst byte, sport, dport uint16) openflow.Fields {
+	return openflow.Fields{
+		EthType: openflow.EthTypeIPv4,
+		IPProto: openflow.ProtoTCP,
+		IPSrc:   openflow.IPv4(10, 0, 0, src),
+		IPDst:   openflow.IPv4(10, 0, 0, dst),
+		TPSrc:   sport,
+		TPDst:   dport,
+	}
+}
+
+func flowStatsMsg(dpid uint64, t time.Time, flows ...openflow.FlowStats) controller.ControlMessage {
+	return controller.ControlMessage{
+		Time:         t,
+		ControllerID: "c0",
+		DPID:         dpid,
+		Marked:       true,
+		Msg:          &openflow.MultipartReply{StatsType: openflow.StatsFlow, Flows: flows},
+	}
+}
+
+func TestGeneratorFlowStatsFeatures(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	now := time.Now()
+	fs := openflow.FlowStats{
+		Match:       openflow.ExactMatch(sampleFields(1, 2, 1000, 80)),
+		PacketCount: 100,
+		ByteCount:   50_000,
+		DurationSec: 10,
+		Priority:    100,
+	}
+	feats := g.Process(flowStatsMsg(1, now, fs))
+	if len(feats) != 1 {
+		t.Fatalf("features = %d", len(feats))
+	}
+	f := feats[0]
+	if f.Origin != OriginFlowStats || f.DPID != 1 {
+		t.Fatalf("meta = %+v", f)
+	}
+	checks := map[string]float64{
+		FPacketCount:       100,
+		FByteCount:         50_000,
+		FDurationSec:       10,
+		FBytePerPacket:     500,
+		FPacketPerDuration: 10,
+		FBytePerDuration:   5_000,
+		FPairFlow:          0,
+		FFlowCount:         1,
+		FPacketCountVar:    0, // first observation
+	}
+	for name, want := range checks {
+		if got := f.Value(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	// Second poll: variation features reflect the delta.
+	fs.PacketCount = 150
+	fs.ByteCount = 80_000
+	feats = g.Process(flowStatsMsg(1, now.Add(time.Second), fs))
+	f = feats[0]
+	if got := f.Value(FPacketCountVar); got != 50 {
+		t.Errorf("packet_count_var = %v, want 50", got)
+	}
+	if got := f.Value(FByteCountVar); got != 30_000 {
+		t.Errorf("byte_count_var = %v, want 30000", got)
+	}
+}
+
+func TestGeneratorPairFlowTracking(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	now := time.Now()
+	fwd := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1000, 80)), PacketCount: 1, DurationSec: 1}
+	rev := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(2, 1, 80, 1000)), PacketCount: 1, DurationSec: 1}
+	lone := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(3, 4, 5, 6)), PacketCount: 1, DurationSec: 1}
+
+	feats := g.Process(flowStatsMsg(1, now, fwd))
+	if feats[0].Value(FPairFlow) != 0 {
+		t.Fatal("forward flow paired before reverse exists")
+	}
+	feats = g.Process(flowStatsMsg(1, now, rev))
+	if feats[0].Value(FPairFlow) != 1 {
+		t.Fatal("reverse flow not paired")
+	}
+	feats = g.Process(flowStatsMsg(1, now, lone, fwd))
+	// lone: unpaired; fwd now paired. Ratio = 2 paired / 3 total.
+	if feats[0].Value(FPairFlow) != 0 || feats[1].Value(FPairFlow) != 1 {
+		t.Fatalf("pair flags = %v/%v", feats[0].Value(FPairFlow), feats[1].Value(FPairFlow))
+	}
+	wantRatio := 2.0 / 3.0
+	if got := feats[1].Value(FPairFlowRatio); got != wantRatio {
+		t.Fatalf("pair_flow_ratio = %v, want %v", got, wantRatio)
+	}
+
+	// Pair state is per-switch: same flows on another switch are fresh.
+	feats = g.Process(flowStatsMsg(2, now, fwd))
+	if feats[0].Value(FPairFlow) != 0 {
+		t.Fatal("pair state leaked across switches")
+	}
+}
+
+func TestGeneratorFlowRemovedClearsState(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	now := time.Now()
+	fields := sampleFields(1, 2, 1000, 80)
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(fields), PacketCount: 10, DurationSec: 1}
+	g.Process(flowStatsMsg(1, now, fs))
+	prevN, flowN := g.StateSize()
+	if prevN != 1 || flowN != 1 {
+		t.Fatalf("state = %d/%d, want 1/1", prevN, flowN)
+	}
+	fr := controller.ControlMessage{
+		Time: now, ControllerID: "c0", DPID: 1,
+		Msg: &openflow.FlowRemoved{
+			Match: openflow.ExactMatch(fields), PacketCount: 12, ByteCount: 1200,
+			DurationSec: 30, Reason: openflow.RemovedIdleTimeout,
+		},
+	}
+	feats := g.Process(fr)
+	if len(feats) != 1 || feats[0].Origin != OriginFlowRemoved {
+		t.Fatalf("flow removed features = %+v", feats)
+	}
+	if feats[0].Value(FByteCount) != 1200 || feats[0].Value("removed_reason") != 0 {
+		t.Fatalf("values = %+v", feats[0].Values)
+	}
+	prevN, flowN = g.StateSize()
+	if prevN != 0 || flowN != 0 {
+		t.Fatalf("state after removal = %d/%d, want 0/0", prevN, flowN)
+	}
+}
+
+func TestGeneratorPortStatsVariation(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	now := time.Now()
+	msg := func(rx uint64) controller.ControlMessage {
+		return controller.ControlMessage{
+			Time: now, ControllerID: "c0", DPID: 3,
+			Msg: &openflow.MultipartReply{
+				StatsType: openflow.StatsPort,
+				Ports:     []openflow.PortStats{{PortNo: 7, RxBytes: rx, RxPackets: rx / 100}},
+			},
+		}
+	}
+	g.Process(msg(1000))
+	feats := g.Process(msg(6000))
+	if len(feats) != 1 {
+		t.Fatalf("features = %d", len(feats))
+	}
+	f := feats[0]
+	if f.Origin != OriginPortStats || f.Port != 7 {
+		t.Fatalf("meta = %+v", f)
+	}
+	if got := f.Value(FPortRxBytesVar); got != 5000 {
+		t.Fatalf("port_rx_bytes_var = %v, want 5000", got)
+	}
+}
+
+func TestGeneratorGC(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{GCAge: time.Minute})
+	base := time.Now()
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 2)), PacketCount: 1, DurationSec: 1}
+	g.Process(flowStatsMsg(1, base, fs))
+	if removed := g.GC(base.Add(30 * time.Second)); removed != 0 {
+		t.Fatalf("early GC removed %d", removed)
+	}
+	if removed := g.GC(base.Add(2 * time.Minute)); removed != 2 { // prev entry + flow state
+		t.Fatalf("GC removed %d, want 2", removed)
+	}
+	prevN, flowN := g.StateSize()
+	if prevN != 0 || flowN != 0 {
+		t.Fatalf("state after GC = %d/%d", prevN, flowN)
+	}
+}
+
+func TestGeneratorMonitorToggles(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	now := time.Now()
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 2)), PacketCount: 1, DurationSec: 1}
+
+	g.SetOriginEnabled(OriginFlowStats, false)
+	if feats := g.Process(flowStatsMsg(1, now, fs)); len(feats) != 0 {
+		t.Fatal("disabled origin still generated")
+	}
+	g.SetOriginEnabled(OriginFlowStats, true)
+	if feats := g.Process(flowStatsMsg(1, now, fs)); len(feats) != 1 {
+		t.Fatal("re-enabled origin did not generate")
+	}
+	g.SetSwitchEnabled(1, false)
+	if feats := g.Process(flowStatsMsg(1, now, fs)); len(feats) != 0 {
+		t.Fatal("disabled switch still generated")
+	}
+	if feats := g.Process(flowStatsMsg(2, now, fs)); len(feats) != 1 {
+		t.Fatal("other switch affected by toggle")
+	}
+}
+
+func newStoreNode(t *testing.T) (*store.Node, []string) {
+	t.Helper()
+	n, err := store.NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n, []string{n.Addr()}
+}
+
+func newAthena(t *testing.T, proxy Proxy, mode PublishMode) *Athena {
+	t.Helper()
+	_, addrs := newStoreNode(t)
+	a, err := New(Config{
+		Proxy:      proxy,
+		StoreAddrs: addrs,
+		Southbound: SouthboundConfig{
+			Publish: mode,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	return a
+}
+
+func TestSouthboundPublishesAndDispatches(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishSync)
+
+	var got []*Feature
+	var mu sync.Mutex
+	a.AddEventHandler(MustQuery("packet_count>50"), func(f *Feature) {
+		mu.Lock()
+		got = append(got, f)
+		mu.Unlock()
+	})
+
+	now := time.Now()
+	small := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 10, DurationSec: 1}
+	big := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(3, 4, 1, 80)), PacketCount: 100, DurationSec: 1}
+	proxy.inject(flowStatsMsg(1, now, small, big))
+
+	mu.Lock()
+	if len(got) != 1 || got[0].Value(FPacketCount) != 100 {
+		t.Fatalf("event handler got %d features", len(got))
+	}
+	mu.Unlock()
+
+	ok, errs := a.Southbound().Published()
+	if ok != 2 || errs != 0 {
+		t.Fatalf("published = %d/%d, want 2/0", ok, errs)
+	}
+	// Stored features are queryable through RequestFeatures.
+	feats, err := a.RequestFeatures(MustQuery("packet_count>50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 1 || feats[0].Value(FPacketCount) != 100 {
+		t.Fatalf("RequestFeatures = %+v", feats)
+	}
+}
+
+func TestRequestFeaturesResidualAndAggregate(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishSync)
+	now := time.Now()
+	for dpid := uint64(1); dpid <= 4; dpid++ {
+		fs := openflow.FlowStats{
+			Match:       openflow.ExactMatch(sampleFields(byte(dpid), 9, 1, 80)),
+			PacketCount: 10 * dpid, DurationSec: 1,
+		}
+		proxy.inject(flowStatsMsg(dpid, now, fs))
+	}
+	// Disjunctive query exercises residual client-side filtering.
+	feats, err := a.RequestFeatures(MustQuery("DPID==(2 or 3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 {
+		t.Fatalf("residual query returned %d features", len(feats))
+	}
+	// Aggregation: sum of packet counts per dpid.
+	groups, err := a.RequestAggregate(MustQuery("").WithAggregate([]string{"dpid"}, store.AggSum, FPacketCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// Aggregation over a disjunction is rejected.
+	if _, err := a.RequestAggregate(MustQuery("DPID==(2 or 3)").WithAggregate([]string{"dpid"}, store.AggSum, FPacketCount)); err == nil {
+		t.Fatal("aggregate over residual query accepted")
+	}
+}
+
+func TestManageMonitor(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishSync)
+	now := time.Now()
+	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 1, DurationSec: 1}
+
+	a.ManageMonitor(MonitorTarget{Origin: OriginFlowStats}, false)
+	proxy.inject(flowStatsMsg(1, now, fs))
+	if ok, _ := a.Southbound().Published(); ok != 0 {
+		t.Fatal("monitoring off but features published")
+	}
+	a.ManageMonitor(MonitorTarget{Origin: OriginFlowStats}, true)
+	proxy.inject(flowStatsMsg(1, now, fs))
+	if ok, _ := a.Southbound().Published(); ok != 1 {
+		t.Fatal("monitoring on but nothing published")
+	}
+}
+
+func TestDDoSModelTrainValidateShowResults(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishOff)
+
+	train := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 400, MaliciousFlows: 800, Seed: 1})
+	test := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 300, MaliciousFlows: 600, Seed: 2})
+
+	p := &Preprocessor{
+		Normalize:  ml.NormMinMax,
+		LabelField: LabelField,
+	}
+	p.AddFeatures(DDoSFeatureNames...)
+
+	algo := GenerateAlgorithm(ml.AlgoKMeans, ml.Params{K: 8, Iterations: 20, Runs: 2, Seed: 7})
+	model, err := a.GenerateDetectionModelFromFeatures(train, p, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.TrainRows == 0 || model.Norm == nil {
+		t.Fatalf("model = %+v", model)
+	}
+
+	res, err := a.ValidateFeatureRecords(test, p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, far := res.Confusion.DetectionRate(), res.Confusion.FalseAlarmRate()
+	if dr < 0.9 {
+		t.Fatalf("detection rate = %v, want >= 0.9", dr)
+	}
+	if far > 0.15 {
+		t.Fatalf("false alarm rate = %v, want <= 0.15", far)
+	}
+	if res.UniqueMalicious == 0 || res.UniqueBenign == 0 {
+		t.Fatalf("unique flows = %d/%d", res.UniqueBenign, res.UniqueMalicious)
+	}
+
+	var b strings.Builder
+	a.ShowResults(&b, res)
+	out := b.String()
+	for _, want := range []string{"Detection Rate", "False Alarm Rate", "Cluster (K-Means)", "InitializedMode(k-means||)", "Cluster #0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ShowResults missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOnlineValidator(t *testing.T) {
+	proxy := newFakeProxy()
+	a := newAthena(t, proxy, PublishOff)
+
+	train := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 300, MaliciousFlows: 600, Seed: 3})
+	p := &Preprocessor{Normalize: ml.NormMinMax, LabelField: LabelField}
+	p.AddFeatures(DDoSFeatureNames...)
+	model, err := a.GenerateDetectionModelFromFeatures(train, p,
+		GenerateAlgorithm(ml.AlgoKMeans, ml.Params{K: 4, Seed: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	verdicts := map[bool]int{}
+	a.AddOnlineValidator(nil, model, func(f *Feature, anomalous bool) {
+		mu.Lock()
+		verdicts[anomalous]++
+		mu.Unlock()
+	})
+
+	// Live flow stats: one benign-looking, one flood-looking.
+	now := time.Now()
+	benign := openflow.FlowStats{
+		Match:       openflow.ExactMatch(sampleFields(1, 2, 999, 80)),
+		PacketCount: 200, ByteCount: 200 * 800, DurationSec: 60,
+	}
+	proxy.inject(flowStatsMsg(1, now, benign))
+	// Reverse direction makes it a pair flow, then re-observe.
+	rev := openflow.FlowStats{
+		Match:       openflow.ExactMatch(sampleFields(2, 1, 80, 999)),
+		PacketCount: 300, ByteCount: 300 * 900, DurationSec: 60,
+	}
+	proxy.inject(flowStatsMsg(1, now, rev, benign))
+	for i := 0; i < 50; i++ {
+		flood := openflow.FlowStats{
+			Match:       openflow.ExactMatch(sampleFields(100, 2, uint16(2000+i), 80)),
+			PacketCount: 2, ByteCount: 2 * 50, DurationSec: 1,
+		}
+		proxy.inject(flowStatsMsg(1, now, flood))
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	total := verdicts[true] + verdicts[false]
+	if total < 50 {
+		t.Fatalf("validator saw %d features", total)
+	}
+	if verdicts[true] == 0 {
+		t.Fatal("no anomalies flagged among flood flows")
+	}
+}
+
+func TestReactorBlockAndLift(t *testing.T) {
+	proxy := newFakeProxy()
+	badHost := openflow.IPv4(10, 0, 0, 66)
+	proxy.hosts = []controller.HostInfo{{IP: badHost, DPID: 2, Port: 3}}
+	a := newAthena(t, proxy, PublishOff)
+
+	applied, err := a.Reactor(Reaction{Kind: ReactBlock, Hosts: []uint32{badHost}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].DPID != 2 {
+		t.Fatalf("applied = %+v", applied)
+	}
+	proxy.mu.Lock()
+	if len(proxy.installed) != 1 {
+		t.Fatalf("installed = %d rules", len(proxy.installed))
+	}
+	fm := proxy.installed[0]
+	proxy.mu.Unlock()
+	if fm.Match.IPSrc != badHost || fm.Match.Wildcards&openflow.WildIPSrc != 0 {
+		t.Fatalf("block match = %+v", fm.Match)
+	}
+	if _, isDrop := fm.Actions[0].(openflow.ActionDrop); !isDrop {
+		t.Fatalf("block action = %+v", fm.Actions)
+	}
+	if len(a.AppliedReactions()) != 1 {
+		t.Fatal("reaction not recorded")
+	}
+
+	if err := a.LiftReaction(badHost); err != nil {
+		t.Fatal(err)
+	}
+	proxy.mu.Lock()
+	defer proxy.mu.Unlock()
+	if len(proxy.removed) != 1 {
+		t.Fatal("lift did not remove rules")
+	}
+	if len(a.AppliedReactions()) != 0 {
+		t.Fatal("lift did not clear records")
+	}
+}
+
+func TestReactorUnknownHostBlocksEverywhere(t *testing.T) {
+	proxy := newFakeProxy() // no hosts known; devices = {1,2}
+	a := newAthena(t, proxy, PublishOff)
+	applied, err := a.Reactor(Reaction{Kind: ReactBlock, Hosts: []uint32{openflow.IPv4(1, 2, 3, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("applied on %d switches, want 2", len(applied))
+	}
+}
+
+func TestReactorQuarantine(t *testing.T) {
+	proxy := newFakeProxy()
+	bad := openflow.IPv4(10, 0, 0, 66)
+	honeypot := openflow.IPv4(10, 0, 0, 200)
+	proxy.hosts = []controller.HostInfo{
+		{IP: bad, DPID: 2, Port: 3},
+		{IP: honeypot, DPID: 2, Port: 9},
+	}
+	a := newAthena(t, proxy, PublishOff)
+	if _, err := a.Reactor(Reaction{Kind: ReactQuarantine, Hosts: []uint32{bad}, QuarantineTo: honeypot}); err != nil {
+		t.Fatal(err)
+	}
+	proxy.mu.Lock()
+	defer proxy.mu.Unlock()
+	out, ok := proxy.installed[0].Actions[0].(openflow.ActionOutput)
+	if !ok || out.Port != 9 {
+		t.Fatalf("quarantine action = %+v", proxy.installed[0].Actions)
+	}
+	// Unknown quarantine destination errors.
+	proxy.mu.Unlock()
+	_, err := a.Reactor(Reaction{Kind: ReactQuarantine, Hosts: []uint32{bad}, QuarantineTo: openflow.IPv4(9, 9, 9, 9)})
+	proxy.mu.Lock()
+	if err == nil {
+		t.Fatal("quarantine to unknown destination accepted")
+	}
+}
+
+func TestPreprocessorBuildDataset(t *testing.T) {
+	p := &Preprocessor{LabelField: LabelField}
+	p.AddFeatures(FPacketCount, FByteCount)
+	feats := []*Feature{
+		{Values: map[string]float64{FPacketCount: 1, FByteCount: 10, LabelField: 0}},
+		{Values: map[string]float64{FPacketCount: 2, FByteCount: 20, LabelField: 1}},
+	}
+	ds, err := p.BuildDataset(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dim() != 2 {
+		t.Fatalf("dataset = %dx%d", ds.Len(), ds.Dim())
+	}
+	if ds.Labels[1] != 1 {
+		t.Fatalf("labels = %v", ds.Labels)
+	}
+	// Marking via query expression.
+	p2 := &Preprocessor{Mark: query.MustParse("byte_count>=20")}
+	p2.AddFeatures(FPacketCount)
+	ds2, err := p2.BuildDataset(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Labels[0] != 0 || ds2.Labels[1] != 1 {
+		t.Fatalf("marked labels = %v", ds2.Labels)
+	}
+	// Empty feature list errors.
+	if _, err := (&Preprocessor{}).BuildDataset(feats); err == nil {
+		t.Fatal("empty preprocessor accepted")
+	}
+}
+
+func TestSynthDatasetSeparability(t *testing.T) {
+	ds := GenerateDDoSDataset(SynthDDoSConfig{BenignFlows: 500, MaliciousFlows: 1000, Seed: 11})
+	if ds.Len() == 0 || ds.Dim() != len(DDoSFeatureNames) {
+		t.Fatalf("dataset shape = %dx%d", ds.Len(), ds.Dim())
+	}
+	norm := &ml.Normalization{Kind: ml.NormMinMax}
+	nds, err := norm.Apply(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ml.Train(ml.AlgoKMeans, nds, ml.Params{K: 8, Iterations: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, _, err := model.Validate(nds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr := conf.DetectionRate(); dr < 0.95 {
+		t.Fatalf("synthetic DR = %v", dr)
+	}
+	if far := conf.FalseAlarmRate(); far > 0.12 {
+		t.Fatalf("synthetic FAR = %v", far)
+	}
+	// Determinism.
+	again := GenerateDDoSDataset(SynthDDoSConfig{BenignFlows: 500, MaliciousFlows: 1000, Seed: 11})
+	if again.Len() != ds.Len() || again.X[0][2] != ds.X[0][2] {
+		t.Fatal("synthetic dataset not reproducible")
+	}
+}
+
+func TestFeatureDocumentRoundTrip(t *testing.T) {
+	f := &Feature{
+		ControllerID: "c1",
+		DPID:         6,
+		FlowKey:      "6/10.0.0.1:5>10.0.0.2:80",
+		Time:         time.Unix(0, 12345),
+		Origin:       OriginFlowStats,
+		AppID:        "lb",
+		Values:       map[string]float64{FPacketCount: 7},
+	}
+	back := FeatureFromDocument(f.Document())
+	if back.ControllerID != "c1" || back.DPID != 6 || back.FlowKey != f.FlowKey ||
+		back.Origin != OriginFlowStats || back.AppID != "lb" ||
+		back.Value(FPacketCount) != 7 || !back.Time.Equal(f.Time) {
+		t.Fatalf("round trip = %+v", back)
+	}
+	// Port-scoped record carries the port tag.
+	pf := &Feature{DPID: 2, Port: 9, Origin: OriginPortStats, Time: time.Unix(1, 0),
+		Values: map[string]float64{FPortRxBytes: 1}}
+	pback := FeatureFromDocument(pf.Document())
+	if pback.Port != 9 {
+		t.Fatalf("port round trip = %+v", pback)
+	}
+}
+
+func TestAlgorithmDescribe(t *testing.T) {
+	a := GenerateAlgorithm(ml.AlgoKMeans, ml.Params{K: 8, Iterations: 20, Runs: 5, Epsilon: 1e-4})
+	line := a.Describe()
+	for _, want := range []string{"K(8)", "Iterations(20)", "Runs(5)", "InitializedMode(k-means||)", "Epsilon(0.0001)"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Describe = %q missing %q", line, want)
+		}
+	}
+	if AlgorithmDisplayName(ml.AlgoLogistic) != "Logistic Regression" {
+		t.Errorf("display name = %q", AlgorithmDisplayName(ml.AlgoLogistic))
+	}
+}

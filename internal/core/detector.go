@@ -1,0 +1,339 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/compute"
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/query"
+)
+
+// Preprocessor is the NB API's f parameter (GeneratePreprocessor): it
+// declares the feature columns of the model vector and the Table IV
+// transformations to apply before training or validation.
+type Preprocessor struct {
+	// Features lists the feature-field names forming the vector, in
+	// column order (the pseudocode's f.addAll(candidate features)).
+	Features []string
+	// Normalize standardizes columns ("" disables). Fitted parameters
+	// are captured into the detection model for reuse at validation.
+	Normalize ml.NormKind
+	// Weights emphasizes columns by name (Table IV "Weighting").
+	Weights map[string]float64
+	// SampleFraction keeps a uniform subset during training (0 or 1
+	// disables).
+	SampleFraction float64
+	Seed           int64
+	// Mark labels entries matching the expression as malicious
+	// (Table IV "Marking"); required by supervised algorithms and by
+	// cluster calibration/validation.
+	Mark query.Expr
+	// LabelField, when set, reads labels from a numeric feature field
+	// instead of Mark (useful for pre-labeled synthetic datasets).
+	LabelField string
+}
+
+// AddFeatures appends candidate feature columns (f.addAll in the
+// paper's Application 1 pseudocode).
+func (p *Preprocessor) AddFeatures(names ...string) {
+	p.Features = append(p.Features, names...)
+}
+
+// vector builds the raw (unnormalized, unweighted) column vector.
+func (p *Preprocessor) vector(f *Feature) []float64 {
+	row := make([]float64, len(p.Features))
+	for i, name := range p.Features {
+		if v, ok := f.NumField(name); ok {
+			row[i] = v
+		}
+	}
+	return row
+}
+
+// label computes the training label for one record.
+func (p *Preprocessor) label(f *Feature) (float64, bool) {
+	if p.LabelField != "" {
+		v, ok := f.NumField(p.LabelField)
+		return v, ok
+	}
+	if p.Mark != nil {
+		if p.Mark.Eval(f) {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// BuildDataset converts feature records into an ML dataset: column
+// extraction, labeling, sampling.
+func (p *Preprocessor) BuildDataset(features []*Feature) (*ml.Dataset, error) {
+	if len(p.Features) == 0 {
+		return nil, fmt.Errorf("core: preprocessor has no feature columns")
+	}
+	ds := &ml.Dataset{Names: append([]string(nil), p.Features...)}
+	labeled := p.LabelField != "" || p.Mark != nil
+	if labeled {
+		ds.Labels = make([]float64, 0, len(features))
+	}
+	ds.X = make([][]float64, 0, len(features))
+	for _, f := range features {
+		ds.X = append(ds.X, p.vector(f))
+		if labeled {
+			l, _ := p.label(f)
+			ds.Labels = append(ds.Labels, l)
+		}
+	}
+	if p.SampleFraction > 0 && p.SampleFraction < 1 {
+		sampled, err := ml.Sampling{Fraction: p.SampleFraction, Seed: p.Seed}.Apply(ds)
+		if err != nil {
+			return nil, err
+		}
+		ds = sampled
+	}
+	return ds, nil
+}
+
+// transform applies (fitted) normalization and then weighting in place,
+// returning the fitted normalization for capture into the model.
+// Normalization runs first: emphasis factors applied before min-max
+// scaling would be cancelled by it.
+func (p *Preprocessor) transform(ds *ml.Dataset, norm *ml.Normalization) (*ml.Normalization, error) {
+	if p.Normalize != "" || norm != nil {
+		if norm == nil {
+			norm = &ml.Normalization{Kind: p.Normalize}
+		}
+		normalized, err := norm.Apply(ds)
+		if err != nil {
+			return nil, err
+		}
+		*ds = *normalized
+	}
+	if len(p.Weights) > 0 {
+		factors := make(map[int]float64)
+		for i, name := range p.Features {
+			if w, ok := p.Weights[name]; ok {
+				factors[i] = w
+			}
+		}
+		weighted, err := ml.Weighting{Factors: factors}.Apply(ds)
+		if err != nil {
+			return nil, err
+		}
+		*ds = *weighted
+	}
+	return norm, nil
+}
+
+// Algorithm is the NB API's a parameter (GenerateAlgorithm).
+type Algorithm struct {
+	Name   string
+	Params ml.Params
+}
+
+// Describe renders the Fig. 6 "Cluster Information" line.
+func (a Algorithm) Describe() string {
+	switch a.Name {
+	case ml.AlgoKMeans:
+		k := a.Params.K
+		if k == 0 {
+			k = 8
+		}
+		iters := a.Params.Iterations
+		if iters == 0 {
+			iters = 20
+		}
+		runs := a.Params.Runs
+		if runs == 0 {
+			runs = 1
+		}
+		eps := a.Params.Epsilon
+		if eps == 0 {
+			eps = 1e-4
+		}
+		init := a.Params.InitMode
+		if init == "" {
+			init = "k-means||"
+		}
+		return fmt.Sprintf("K(%d), Iterations(%d), Runs(%d), Seed(%d), InitializedMode(%s), Epsilon(%g)",
+			k, iters, runs, a.Params.Seed, init, eps)
+	default:
+		return fmt.Sprintf("Algorithm(%s)", a.Name)
+	}
+}
+
+// DetectionModel is a trained model plus the feature pipeline needed to
+// score raw feature records, as produced by GenerateDetectionModel.
+type DetectionModel struct {
+	Algorithm Algorithm
+	Features  []string
+	Weights   map[string]float64
+	Norm      *ml.Normalization
+	Model     *ml.Model
+	// TrainRows and TrainTime describe the training job.
+	TrainRows int
+	TrainTime time.Duration
+	// Distributed reports whether the job ran on the compute cluster.
+	Distributed bool
+}
+
+// Vector builds the model-space vector for one feature record, applying
+// the captured normalization and then the emphasis weights (the same
+// order as training-time preprocessing).
+func (m *DetectionModel) Vector(f *Feature) []float64 {
+	row := make([]float64, len(m.Features))
+	for i, name := range m.Features {
+		if v, ok := f.NumField(name); ok {
+			row[i] = v
+		}
+	}
+	if m.Norm != nil && len(m.Norm.Offset) == len(row) {
+		for j := range row {
+			row[j] = (row[j] - m.Norm.Offset[j]) / m.Norm.Scale[j]
+		}
+	}
+	for i, name := range m.Features {
+		if w, ok := m.Weights[name]; ok {
+			row[i] *= w
+		}
+	}
+	return row
+}
+
+// IsAnomalous scores one live feature record (the online validator
+// path).
+func (m *DetectionModel) IsAnomalous(f *Feature) bool {
+	return m.Model.IsAnomalous(m.Vector(f))
+}
+
+// DetectorManager decides where analysis jobs run (§III-A 1C): small
+// datasets stay on the local engine to avoid communication overhead,
+// large ones dispatch to the compute cluster.
+type DetectorManager struct {
+	local   *compute.Local
+	cluster compute.Engine
+	// DistributedThreshold is the row count at which jobs move to the
+	// cluster.
+	DistributedThreshold int
+
+	seq atomic.Uint64
+}
+
+// NewDetectorManager builds a manager; cluster may be nil (everything
+// runs locally).
+func NewDetectorManager(cluster compute.Engine, threshold int) *DetectorManager {
+	if threshold <= 0 {
+		threshold = 100_000
+	}
+	return &DetectorManager{
+		local:                compute.NewLocal(),
+		cluster:              cluster,
+		DistributedThreshold: threshold,
+	}
+}
+
+func (dm *DetectorManager) engineFor(rows int) (compute.Engine, bool) {
+	if dm.cluster != nil && rows >= dm.DistributedThreshold {
+		return dm.cluster, true
+	}
+	return dm.local, false
+}
+
+// Train fits a model on the dataset, dispatching by size.
+func (dm *DetectorManager) Train(ds *ml.Dataset, algo Algorithm) (*ml.Model, time.Duration, bool, error) {
+	eng, distributed := dm.engineFor(ds.Len())
+	name := fmt.Sprintf("train-%d", dm.seq.Add(1))
+	if err := eng.LoadDataset(name, ds); err != nil {
+		return nil, 0, distributed, err
+	}
+	defer func() { _ = eng.DropDataset(name) }()
+	model, err := eng.Train(name, algo.Name, algo.Params)
+	if err != nil {
+		return nil, 0, distributed, err
+	}
+	return model, eng.JobTime(), distributed, nil
+}
+
+// Validate scores the dataset, dispatching by size.
+func (dm *DetectorManager) Validate(ds *ml.Dataset, model *ml.Model) (ml.Confusion, []ml.ClusterComposition, time.Duration, error) {
+	eng, _ := dm.engineFor(ds.Len())
+	name := fmt.Sprintf("validate-%d", dm.seq.Add(1))
+	if err := eng.LoadDataset(name, ds); err != nil {
+		return ml.Confusion{}, nil, 0, err
+	}
+	defer func() { _ = eng.DropDataset(name) }()
+	conf, comps, err := eng.Validate(name, model)
+	if err != nil {
+		return ml.Confusion{}, nil, 0, err
+	}
+	return conf, comps, eng.JobTime(), nil
+}
+
+// AlgorithmDisplayName pretty-prints an algorithm name for reports
+// ("kmeans" -> "K-Means", "logistic_regression" -> "Logistic Regression").
+func AlgorithmDisplayName(name string) string {
+	switch name {
+	case ml.AlgoKMeans:
+		return "K-Means"
+	case ml.AlgoGMM:
+		return "Gaussian Mixture"
+	case ml.AlgoSVM:
+		return "SVM"
+	case ml.AlgoGBT:
+		return "Gradient Boosted Tree"
+	}
+	words := strings.Split(strings.ReplaceAll(name, "_", " "), " ")
+	for i, w := range words {
+		if len(w) > 0 {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// MarshalJSON-able form of a detection model: everything needed to score
+// features on another Athena instance (the paper's off-the-shelf sharing
+// of detection strategies).
+type detectionModelWire struct {
+	Algorithm Algorithm          `json:"algorithm"`
+	Features  []string           `json:"features"`
+	Weights   map[string]float64 `json:"weights,omitempty"`
+	Norm      *ml.Normalization  `json:"norm,omitempty"`
+	Model     *ml.Model          `json:"model"`
+	TrainRows int                `json:"train_rows,omitempty"`
+}
+
+// Marshal serializes the model for exchange between instances.
+func (m *DetectionModel) Marshal() ([]byte, error) {
+	return json.Marshal(detectionModelWire{
+		Algorithm: m.Algorithm,
+		Features:  m.Features,
+		Weights:   m.Weights,
+		Norm:      m.Norm,
+		Model:     m.Model,
+		TrainRows: m.TrainRows,
+	})
+}
+
+// UnmarshalDetectionModel reverses Marshal.
+func UnmarshalDetectionModel(b []byte) (*DetectionModel, error) {
+	var w detectionModelWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, fmt.Errorf("core: unmarshal detection model: %w", err)
+	}
+	if w.Model == nil {
+		return nil, fmt.Errorf("core: detection model without inner model")
+	}
+	return &DetectionModel{
+		Algorithm: w.Algorithm,
+		Features:  w.Features,
+		Weights:   w.Weights,
+		Norm:      w.Norm,
+		Model:     w.Model,
+		TrainRows: w.TrainRows,
+	}, nil
+}

@@ -1,0 +1,188 @@
+// Package core implements the Athena framework itself: the southbound
+// element (SB interface, Feature Generator, Attack Detector, Attack
+// Reactor) and the northbound element (Feature / Detector / Reaction /
+// Resource / UI managers) with the eight core NB API functions of
+// Table II. It composes the substrate packages: the controller proxy
+// for control messages and rule injection, the store cluster for
+// feature persistence, the compute cluster for scalable analysis, and
+// the ml library for detection models.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// Feature origins: which control-plane event produced the record.
+const (
+	OriginPacketIn    = "packet_in"
+	OriginFlowStats   = "flow_stats"
+	OriginFlowRemoved = "flow_removed"
+	OriginPortStats   = "port_stats"
+)
+
+// Canonical feature field names (the catalog Athena's NB API exposes).
+// Protocol-centric features come straight off control messages;
+// combination features apply the pre-defined formulas of Table I;
+// stateful features reflect tracked network state; the "_var" suffix
+// marks variation features computed against the previous observation.
+const (
+	// Protocol-centric (flow scope).
+	FPacketCount = "packet_count"
+	FByteCount   = "byte_count"
+	FDurationSec = "duration_sec"
+	FPriority    = "priority"
+	FIdleTimeout = "idle_timeout"
+	FHardTimeout = "hard_timeout"
+
+	// Protocol-centric (port scope).
+	FPortRxPackets = "port_rx_packets"
+	FPortTxPackets = "port_tx_packets"
+	FPortRxBytes   = "port_rx_bytes"
+	FPortTxBytes   = "port_tx_bytes"
+	FPortRxDropped = "port_rx_dropped"
+	FPortTxDropped = "port_tx_dropped"
+
+	// Protocol-centric (packet-in scope).
+	FPacketInLen = "packet_in_len"
+
+	// Combination features.
+	FBytePerPacket     = "byte_per_packet"
+	FPacketPerDuration = "packet_per_duration"
+	FBytePerDuration   = "byte_per_duration"
+	FFlowUtilization   = "flow_utilization"
+
+	// Stateful features.
+	FPairFlow      = "pair_flow"
+	FPairFlowRatio = "pair_flow_ratio"
+	FFlowCount     = "flow_count"
+
+	// Variation suffix.
+	VarSuffix = "_var"
+)
+
+// Variation feature names (convenience constants).
+const (
+	FPacketCountVar = FPacketCount + VarSuffix
+	FByteCountVar   = FByteCount + VarSuffix
+	FPortRxBytesVar = FPortRxBytes + VarSuffix
+	FPortTxBytesVar = FPortTxBytes + VarSuffix
+)
+
+// Feature is one Athena feature record (Fig. 4): index fields that
+// locate its origin, meta data, and the numeric feature fields.
+type Feature struct {
+	// Index fields.
+	ControllerID string
+	DPID         uint64
+	Port         uint32 // port-scoped records only
+	FlowKey      string // flow-scoped records only (canonical 5-tuple)
+	// Meta data.
+	Time   time.Time
+	Origin string
+	AppID  string // owning application, when attributable
+	// Feature fields.
+	Values map[string]float64
+}
+
+// Value returns a feature field (zero when absent).
+func (f *Feature) Value(name string) float64 { return f.Values[name] }
+
+// NumField implements query.Record over the feature fields, exposing a
+// few index fields under numeric names as well.
+func (f *Feature) NumField(name string) (float64, bool) {
+	if v, ok := f.Values[name]; ok {
+		return v, true
+	}
+	switch name {
+	case "dpid":
+		return float64(f.DPID), true
+	case "port":
+		return float64(f.Port), true
+	case "time":
+		return float64(f.Time.UnixNano()), true
+	default:
+		return 0, false
+	}
+}
+
+// StrField implements query.Record over the index fields.
+func (f *Feature) StrField(name string) (string, bool) {
+	switch name {
+	case "controller":
+		return f.ControllerID, true
+	case "dpid":
+		return strconv.FormatUint(f.DPID, 10), true
+	case "port":
+		return strconv.FormatUint(uint64(f.Port), 10), true
+	case "flow":
+		return f.FlowKey, true
+	case "origin":
+		return f.Origin, true
+	case "app":
+		return f.AppID, true
+	default:
+		return "", false
+	}
+}
+
+// TagFields names the index fields that translate to store tags; used
+// for query pushdown.
+var TagFields = map[string]bool{
+	"controller": true,
+	"dpid":       true,
+	"port":       true,
+	"flow":       true,
+	"origin":     true,
+	"app":        true,
+}
+
+// Document converts the feature to its stored form.
+func (f *Feature) Document() store.Document {
+	tags := map[string]string{
+		"controller": f.ControllerID,
+		"dpid":       strconv.FormatUint(f.DPID, 10),
+		"origin":     f.Origin,
+	}
+	if f.FlowKey != "" {
+		tags["flow"] = f.FlowKey
+	}
+	if f.Origin == OriginPortStats {
+		tags["port"] = strconv.FormatUint(uint64(f.Port), 10)
+	}
+	if f.AppID != "" {
+		tags["app"] = f.AppID
+	}
+	return store.Document{
+		Time:   f.Time.UnixNano(),
+		Tags:   tags,
+		Fields: f.Values,
+	}
+}
+
+// FeatureFromDocument reverses Document (used by RequestFeatures).
+func FeatureFromDocument(d store.Document) *Feature {
+	f := &Feature{
+		ControllerID: d.Tag("controller"),
+		Origin:       d.Tag("origin"),
+		AppID:        d.Tag("app"),
+		FlowKey:      d.Tag("flow"),
+		Time:         time.Unix(0, d.Time),
+		Values:       d.Fields,
+	}
+	if v, err := strconv.ParseUint(d.Tag("dpid"), 10, 64); err == nil {
+		f.DPID = v
+	}
+	if v, err := strconv.ParseUint(d.Tag("port"), 10, 32); err == nil {
+		f.Port = uint32(v)
+	}
+	return f
+}
+
+func (f *Feature) String() string {
+	return fmt.Sprintf("feature(%s dpid=%d flow=%q port=%d fields=%d)",
+		f.Origin, f.DPID, f.FlowKey, f.Port, len(f.Values))
+}

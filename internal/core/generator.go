@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// FlowKeyOf canonicalizes a flow identity from match fields.
+func FlowKeyOf(f openflow.Fields) string {
+	return fmt.Sprintf("%d/%s:%d>%s:%d", f.IPProto,
+		openflow.IPString(f.IPSrc), f.TPSrc,
+		openflow.IPString(f.IPDst), f.TPDst)
+}
+
+// reverseKey is the canonical identity of the reverse direction.
+func reverseKey(f openflow.Fields) string {
+	return fmt.Sprintf("%d/%s:%d>%s:%d", f.IPProto,
+		openflow.IPString(f.IPDst), f.TPDst,
+		openflow.IPString(f.IPSrc), f.TPSrc)
+}
+
+// prevEntry is one remembered observation for variation features.
+type prevEntry struct {
+	values   map[string]float64
+	lastSeen time.Time
+}
+
+// flowState tracks one active flow on one switch.
+type flowState struct {
+	reverse  string
+	lastSeen time.Time
+}
+
+// switchFlows tracks one switch's active flows with an incrementally
+// maintained pair count so stateful features stay O(1) per event.
+type switchFlows struct {
+	flows map[string]*flowState
+	// pairs counts flows whose reverse direction is also active.
+	pairs int
+}
+
+// GeneratorConfig tunes the Feature Generator.
+type GeneratorConfig struct {
+	// GCAge bounds how long inactive variation/state entries are kept
+	// (the generator's garbage collector, §III-A 1B). Zero selects 5m.
+	GCAge time.Duration
+	// DisableVariation turns off "_var" feature computation.
+	DisableVariation bool
+	// DisableStateful turns off pair-flow tracking.
+	DisableStateful bool
+}
+
+// Generator is the Feature Generator: it turns control messages into
+// Athena feature records, maintaining hash tables for variation features
+// and network state for stateful features (Table I).
+type Generator struct {
+	cfg GeneratorConfig
+
+	mu sync.Mutex
+	// prev holds previous observations keyed by scope
+	// ("dpid/flow" or "dpid:port").
+	prev map[string]*prevEntry
+	// flows tracks active flows per switch.
+	flows map[uint64]*switchFlows
+	// monitor gates per-origin generation (Resource Manager surface).
+	disabledOrigins map[string]bool
+	disabledSwitch  map[uint64]bool
+
+	generated uint64
+}
+
+// NewGenerator returns a Feature Generator.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.GCAge <= 0 {
+		cfg.GCAge = 5 * time.Minute
+	}
+	return &Generator{
+		cfg:             cfg,
+		prev:            make(map[string]*prevEntry),
+		flows:           make(map[uint64]*switchFlows),
+		disabledOrigins: make(map[string]bool),
+		disabledSwitch:  make(map[uint64]bool),
+	}
+}
+
+// Generated reports how many feature records have been produced.
+func (g *Generator) Generated() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.generated
+}
+
+// SetOriginEnabled toggles generation for one origin class.
+func (g *Generator) SetOriginEnabled(origin string, enabled bool) {
+	g.mu.Lock()
+	g.disabledOrigins[origin] = !enabled
+	g.mu.Unlock()
+}
+
+// SetSwitchEnabled toggles generation for one switch.
+func (g *Generator) SetSwitchEnabled(dpid uint64, enabled bool) {
+	g.mu.Lock()
+	g.disabledSwitch[dpid] = !enabled
+	g.mu.Unlock()
+}
+
+// Process converts one control message into zero or more features.
+func (g *Generator) Process(msg controller.ControlMessage) []*Feature {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.disabledSwitch[msg.DPID] {
+		return nil
+	}
+	var out []*Feature
+	switch m := msg.Msg.(type) {
+	case *openflow.PacketIn:
+		if !g.disabledOrigins[OriginPacketIn] {
+			out = g.packetIn(msg, m)
+		}
+	case *openflow.FlowRemoved:
+		if !g.disabledOrigins[OriginFlowRemoved] {
+			out = g.flowRemoved(msg, m)
+		}
+	case *openflow.MultipartReply:
+		switch m.StatsType {
+		case openflow.StatsFlow:
+			if !g.disabledOrigins[OriginFlowStats] {
+				out = g.flowStats(msg, m)
+			}
+		case openflow.StatsPort:
+			if !g.disabledOrigins[OriginPortStats] {
+				out = g.portStats(msg, m)
+			}
+		}
+	}
+	g.generated += uint64(len(out))
+	return out
+}
+
+func (g *Generator) packetIn(msg controller.ControlMessage, m *openflow.PacketIn) []*Feature {
+	if m.Fields.EthType != openflow.EthTypeIPv4 {
+		return nil
+	}
+	key := FlowKeyOf(m.Fields)
+	pair := g.trackFlow(msg.DPID, key, m.Fields, msg.Time)
+	f := &Feature{
+		ControllerID: msg.ControllerID,
+		DPID:         msg.DPID,
+		FlowKey:      key,
+		Time:         msg.Time,
+		Origin:       OriginPacketIn,
+		Values: map[string]float64{
+			FPacketInLen: float64(m.TotalLen),
+			FPairFlow:    pair,
+			FFlowCount:   g.flowCount(msg.DPID),
+		},
+	}
+	if !g.cfg.DisableStateful {
+		f.Values[FPairFlowRatio] = g.pairRatio(msg.DPID)
+	}
+	return []*Feature{f}
+}
+
+func (g *Generator) flowStats(msg controller.ControlMessage, m *openflow.MultipartReply) []*Feature {
+	out := make([]*Feature, 0, len(m.Flows))
+	for i := range m.Flows {
+		fs := &m.Flows[i]
+		key := FlowKeyOf(fs.Match.Fields)
+		pair := g.trackFlow(msg.DPID, key, fs.Match.Fields, msg.Time)
+		dur := float64(fs.DurationSec) + float64(fs.DurationNSec)/1e9
+		values := map[string]float64{
+			FPacketCount: float64(fs.PacketCount),
+			FByteCount:   float64(fs.ByteCount),
+			FDurationSec: dur,
+			FPriority:    float64(fs.Priority),
+			FIdleTimeout: float64(fs.IdleTimeout),
+			FHardTimeout: float64(fs.HardTimeout),
+		}
+		addCombinations(values, float64(fs.PacketCount), float64(fs.ByteCount), dur)
+		if !g.cfg.DisableStateful {
+			values[FPairFlow] = pair
+			values[FPairFlowRatio] = g.pairRatio(msg.DPID)
+			values[FFlowCount] = g.flowCount(msg.DPID)
+		}
+		if !g.cfg.DisableVariation {
+			g.addVariation(flowScope(msg.DPID, key), values, msg.Time,
+				FPacketCount, FByteCount)
+		}
+		out = append(out, &Feature{
+			ControllerID: msg.ControllerID,
+			DPID:         msg.DPID,
+			FlowKey:      key,
+			Time:         msg.Time,
+			Origin:       OriginFlowStats,
+			Values:       values,
+		})
+	}
+	return out
+}
+
+func (g *Generator) portStats(msg controller.ControlMessage, m *openflow.MultipartReply) []*Feature {
+	out := make([]*Feature, 0, len(m.Ports))
+	for _, ps := range m.Ports {
+		values := map[string]float64{
+			FPortRxPackets: float64(ps.RxPackets),
+			FPortTxPackets: float64(ps.TxPackets),
+			FPortRxBytes:   float64(ps.RxBytes),
+			FPortTxBytes:   float64(ps.TxBytes),
+			FPortRxDropped: float64(ps.RxDropped),
+			FPortTxDropped: float64(ps.TxDropped),
+		}
+		if !g.cfg.DisableVariation {
+			g.addVariation(portScope(msg.DPID, ps.PortNo), values, msg.Time,
+				FPortRxBytes, FPortTxBytes, FPortRxPackets, FPortTxPackets)
+		}
+		out = append(out, &Feature{
+			ControllerID: msg.ControllerID,
+			DPID:         msg.DPID,
+			Port:         ps.PortNo,
+			Time:         msg.Time,
+			Origin:       OriginPortStats,
+			Values:       values,
+		})
+	}
+	return out
+}
+
+func (g *Generator) flowRemoved(msg controller.ControlMessage, m *openflow.FlowRemoved) []*Feature {
+	key := FlowKeyOf(m.Match.Fields)
+	dur := float64(m.DurationSec) + float64(m.DurationNSec)/1e9
+	values := map[string]float64{
+		FPacketCount:     float64(m.PacketCount),
+		FByteCount:       float64(m.ByteCount),
+		FDurationSec:     dur,
+		FPriority:        float64(m.Priority),
+		FIdleTimeout:     float64(m.IdleTimeout),
+		FHardTimeout:     float64(m.HardTimeout),
+		"removed_reason": float64(m.Reason),
+	}
+	addCombinations(values, float64(m.PacketCount), float64(m.ByteCount), dur)
+	if !g.cfg.DisableStateful {
+		values[FPairFlow] = g.pairFlowValue(msg.DPID, key)
+		values[FPairFlowRatio] = g.pairRatio(msg.DPID)
+	}
+	// The flow is gone: clear its state and variation history.
+	g.forgetFlow(msg.DPID, key)
+	return []*Feature{{
+		ControllerID: msg.ControllerID,
+		DPID:         msg.DPID,
+		FlowKey:      key,
+		Time:         msg.Time,
+		Origin:       OriginFlowRemoved,
+		Values:       values,
+	}}
+}
+
+// addCombinations applies the Table I pre-defined formulas.
+func addCombinations(values map[string]float64, packets, bytes, dur float64) {
+	if packets > 0 {
+		values[FBytePerPacket] = bytes / packets
+	} else {
+		values[FBytePerPacket] = 0
+	}
+	if dur > 0 {
+		values[FPacketPerDuration] = packets / dur
+		values[FBytePerDuration] = bytes / dur
+		// Flow utilization: traffic the flow delivers to its output port,
+		// normalized per second (Table I's "Packets / Duration" family).
+		values[FFlowUtilization] = bytes / dur
+	} else {
+		values[FPacketPerDuration] = 0
+		values[FBytePerDuration] = 0
+		values[FFlowUtilization] = 0
+	}
+}
+
+func flowScope(dpid uint64, key string) string { return fmt.Sprintf("%d/%s", dpid, key) }
+
+func portScope(dpid uint64, port uint32) string { return fmt.Sprintf("%d:%d", dpid, port) }
+
+// addVariation computes "_var" deltas against the previous observation
+// of the same scope and updates the hash table.
+func (g *Generator) addVariation(scope string, values map[string]float64, now time.Time, names ...string) {
+	entry, ok := g.prev[scope]
+	if !ok {
+		entry = &prevEntry{values: make(map[string]float64, len(names))}
+		g.prev[scope] = entry
+	}
+	for _, name := range names {
+		cur := values[name]
+		if ok {
+			values[name+VarSuffix] = cur - entry.values[name]
+		} else {
+			values[name+VarSuffix] = 0
+		}
+		entry.values[name] = cur
+	}
+	entry.lastSeen = now
+}
+
+// trackFlow records a flow observation and returns its pair-flow value
+// (1 when the reverse direction is also active). The switch's pair
+// count is maintained incrementally.
+func (g *Generator) trackFlow(dpid uint64, key string, fields openflow.Fields, now time.Time) float64 {
+	if g.cfg.DisableStateful {
+		return 0
+	}
+	sf, ok := g.flows[dpid]
+	if !ok {
+		sf = &switchFlows{flows: make(map[string]*flowState)}
+		g.flows[dpid] = sf
+	}
+	st, ok := sf.flows[key]
+	if !ok {
+		st = &flowState{reverse: reverseKey(fields)}
+		sf.flows[key] = st
+		if _, rev := sf.flows[st.reverse]; rev {
+			sf.pairs += 2 // both directions just became paired
+		}
+	}
+	st.lastSeen = now
+	if _, rev := sf.flows[st.reverse]; rev {
+		return 1
+	}
+	return 0
+}
+
+func (g *Generator) pairFlowValue(dpid uint64, key string) float64 {
+	sf, ok := g.flows[dpid]
+	if !ok {
+		return 0
+	}
+	st, ok := sf.flows[key]
+	if !ok {
+		return 0
+	}
+	if _, rev := sf.flows[st.reverse]; rev {
+		return 1
+	}
+	return 0
+}
+
+// pairRatio reads the incrementally maintained pair flows / total flows.
+func (g *Generator) pairRatio(dpid uint64) float64 {
+	sf, ok := g.flows[dpid]
+	if !ok || len(sf.flows) == 0 {
+		return 0
+	}
+	return float64(sf.pairs) / float64(len(sf.flows))
+}
+
+func (g *Generator) flowCount(dpid uint64) float64 {
+	if sf, ok := g.flows[dpid]; ok {
+		return float64(len(sf.flows))
+	}
+	return 0
+}
+
+func (g *Generator) forgetFlow(dpid uint64, key string) {
+	if sf, ok := g.flows[dpid]; ok {
+		sf.remove(key)
+	}
+	delete(g.prev, flowScope(dpid, key))
+}
+
+// remove deletes a flow, keeping the pair count consistent.
+func (sf *switchFlows) remove(key string) {
+	st, ok := sf.flows[key]
+	if !ok {
+		return
+	}
+	if _, rev := sf.flows[st.reverse]; rev {
+		sf.pairs -= 2
+	}
+	delete(sf.flows, key)
+}
+
+// GC removes state and variation entries not seen since the GC age.
+// It returns the number of entries removed.
+func (g *Generator) GC(now time.Time) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cutoff := now.Add(-g.cfg.GCAge)
+	removed := 0
+	for scope, entry := range g.prev {
+		if entry.lastSeen.Before(cutoff) {
+			delete(g.prev, scope)
+			removed++
+		}
+	}
+	for dpid, sf := range g.flows {
+		for key, st := range sf.flows {
+			if st.lastSeen.Before(cutoff) {
+				sf.remove(key)
+				removed++
+			}
+		}
+		if len(sf.flows) == 0 {
+			delete(g.flows, dpid)
+		}
+	}
+	return removed
+}
+
+// StateSize reports tracked entry counts (for the GC ablation).
+func (g *Generator) StateSize() (prevEntries, flowEntries int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, sf := range g.flows {
+		flowEntries += len(sf.flows)
+	}
+	return len(g.prev), flowEntries
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/compute"
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/query"
+	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/ui"
+)
+
+// Config assembles an Athena instance.
+type Config struct {
+	// Proxy is the hosting controller instance.
+	Proxy Proxy
+	// StoreAddrs are the feature DB cluster nodes (empty disables
+	// persistence and store-backed queries).
+	StoreAddrs []string
+	// ComputeAddrs are the compute cluster workers (empty keeps all
+	// analysis local).
+	ComputeAddrs []string
+	// Southbound tunes the SB element.
+	Southbound SouthboundConfig
+	// DistributedThreshold is the dataset size at which analysis moves
+	// to the compute cluster (default 100000 rows).
+	DistributedThreshold int
+}
+
+// Athena is one framework instance hosted above a controller, exporting
+// the NB API of Table II.
+type Athena struct {
+	id string
+
+	sb       *Southbound
+	storeCl  *store.Cluster
+	detector *DetectorManager
+	reactor  *Reactor
+	driver   *compute.Driver
+
+	mu         sync.RWMutex
+	handlers   []eventHandler
+	validators []onlineValidator
+}
+
+type eventHandler struct {
+	q  *query.Query
+	fn func(*Feature)
+}
+
+type onlineValidator struct {
+	q     *query.Query
+	model *DetectionModel
+	fn    func(*Feature, bool)
+}
+
+// New assembles and starts an Athena instance over a controller proxy.
+func New(cfg Config) (*Athena, error) {
+	if cfg.Proxy == nil {
+		return nil, fmt.Errorf("core: config requires a controller proxy")
+	}
+	a := &Athena{id: cfg.Proxy.ID()}
+
+	if len(cfg.StoreAddrs) > 0 {
+		cl, err := store.Connect(cfg.StoreAddrs)
+		if err != nil {
+			return nil, fmt.Errorf("core: store cluster: %w", err)
+		}
+		a.storeCl = cl
+	}
+	var engine compute.Engine
+	if len(cfg.ComputeAddrs) > 0 {
+		drv, err := compute.NewDriver(cfg.ComputeAddrs)
+		if err != nil {
+			if a.storeCl != nil {
+				a.storeCl.Close()
+			}
+			return nil, fmt.Errorf("core: compute cluster: %w", err)
+		}
+		a.driver = drv
+		engine = drv
+	}
+	a.detector = NewDetectorManager(engine, cfg.DistributedThreshold)
+	a.reactor = NewReactor(cfg.Proxy)
+
+	var sink store.Sink
+	if a.storeCl != nil {
+		sink = a.storeCl
+	}
+	a.sb = NewSouthbound(cfg.Proxy, sink, cfg.Southbound)
+	a.sb.AddFeatureListener(a.dispatch)
+	return a, nil
+}
+
+// Close stops the instance.
+func (a *Athena) Close() {
+	a.sb.Close()
+	if a.storeCl != nil {
+		a.storeCl.Close()
+	}
+	if a.driver != nil {
+		a.driver.Close()
+	}
+}
+
+// ID names the instance (matches the hosting controller).
+func (a *Athena) ID() string { return a.id }
+
+// Southbound exposes the SB element.
+func (a *Athena) Southbound() *Southbound { return a.sb }
+
+// Detector exposes the Detector Manager.
+func (a *Athena) Detector() *DetectorManager { return a.detector }
+
+// Store exposes the feature DB cluster (nil when persistence is off).
+func (a *Athena) Store() *store.Cluster { return a.storeCl }
+
+// --- Table II core API ----------------------------------------------
+
+// RequestFeatures retrieves stored features under user-defined
+// constraints (query pushdown where expressible, residual evaluation
+// otherwise).
+func (a *Athena) RequestFeatures(q *query.Query) ([]*Feature, error) {
+	if a.storeCl == nil {
+		return nil, fmt.Errorf("core: no feature store configured")
+	}
+	sq, residual := q.ToStore(TagFields)
+	docs, err := a.storeCl.Query(sq)
+	if err != nil {
+		return nil, fmt.Errorf("request features: %w", err)
+	}
+	out := make([]*Feature, 0, len(docs))
+	for _, d := range docs {
+		f := FeatureFromDocument(d)
+		if residual && !q.Match(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	if residual && q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// RequestAggregate retrieves aggregated features ("flow utilization per
+// network application", "top 10 congested links").
+func (a *Athena) RequestAggregate(q *query.Query) ([]store.GroupResult, error) {
+	if a.storeCl == nil {
+		return nil, fmt.Errorf("core: no feature store configured")
+	}
+	sq, residual := q.ToStore(TagFields)
+	if residual {
+		return nil, fmt.Errorf("core: aggregation requires a fully push-down query (no disjunctions)")
+	}
+	return a.storeCl.Aggregate(sq)
+}
+
+// MonitorTarget selects what ManageMonitor toggles.
+type MonitorTarget struct {
+	// Origin toggles one feature origin class ("" leaves origins alone).
+	Origin string
+	// DPID toggles one switch (0 leaves switches alone).
+	DPID uint64
+}
+
+// ManageMonitor turns feature generation on or off for the target
+// (Table II; the o parameter is the enabled flag).
+func (a *Athena) ManageMonitor(target MonitorTarget, enabled bool) {
+	if target.Origin != "" {
+		a.sb.Generator().SetOriginEnabled(target.Origin, enabled)
+	}
+	if target.DPID != 0 {
+		a.sb.Generator().SetSwitchEnabled(target.DPID, enabled)
+	}
+}
+
+// GenerateDetectionModel trains a detection model from stored features
+// selected by q, shaped by the preprocessor, using the given algorithm
+// (learning jobs are dispatched to the compute cluster when large).
+func (a *Athena) GenerateDetectionModel(q *query.Query, p *Preprocessor, algo Algorithm) (*DetectionModel, error) {
+	features, err := a.RequestFeatures(q)
+	if err != nil {
+		return nil, err
+	}
+	return a.GenerateDetectionModelFromFeatures(features, p, algo)
+}
+
+// GenerateDetectionModelFromFeatures is the utility-API form used when
+// the caller already holds feature records (synthetic datasets, event
+// handler captures).
+func (a *Athena) GenerateDetectionModelFromFeatures(features []*Feature, p *Preprocessor, algo Algorithm) (*DetectionModel, error) {
+	ds, err := p.BuildDataset(features)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := p.transform(ds, nil)
+	if err != nil {
+		return nil, err
+	}
+	model, took, distributed, err := a.detector.Train(ds, algo)
+	if err != nil {
+		return nil, fmt.Errorf("generate detection model: %w", err)
+	}
+	return &DetectionModel{
+		Algorithm:   algo,
+		Features:    append([]string(nil), p.Features...),
+		Weights:     p.Weights,
+		Norm:        norm,
+		Model:       model,
+		TrainRows:   ds.Len(),
+		TrainTime:   took,
+		Distributed: distributed,
+	}, nil
+}
+
+// ValidationResult summarizes a ValidateFeatures run (the Fig. 6
+// report).
+type ValidationResult struct {
+	Confusion ml.Confusion
+	Clusters  []ml.ClusterComposition
+	Model     *DetectionModel
+	// UniqueBenign / UniqueMalicious count distinct flows per class.
+	UniqueBenign    int64
+	UniqueMalicious int64
+	// JobTime is the accounted analysis time; Rows the validated count.
+	JobTime time.Duration
+	Rows    int
+}
+
+// ValidateFeatures validates stored features selected by q against a
+// detection model (Table II).
+func (a *Athena) ValidateFeatures(q *query.Query, p *Preprocessor, m *DetectionModel) (*ValidationResult, error) {
+	features, err := a.RequestFeatures(q)
+	if err != nil {
+		return nil, err
+	}
+	return a.ValidateFeatureRecords(features, p, m)
+}
+
+// ValidateFeatureRecords is the utility-API form over in-memory records.
+func (a *Athena) ValidateFeatureRecords(features []*Feature, p *Preprocessor, m *DetectionModel) (*ValidationResult, error) {
+	eff := *p
+	eff.Features = m.Features // the model dictates the vector layout
+	ds, err := eff.BuildDataset(features)
+	if err != nil {
+		return nil, err
+	}
+	if len(ds.Labels) == 0 {
+		return nil, fmt.Errorf("core: validation requires labels (set Preprocessor.Mark or LabelField)")
+	}
+	if _, err := eff.transform(ds, m.Norm); err != nil {
+		return nil, err
+	}
+	conf, comps, took, err := a.detector.Validate(ds, m.Model)
+	if err != nil {
+		return nil, fmt.Errorf("validate features: %w", err)
+	}
+	res := &ValidationResult{
+		Confusion: conf,
+		Clusters:  comps,
+		Model:     m,
+		JobTime:   took,
+		Rows:      ds.Len(),
+	}
+	benignFlows := make(map[string]struct{})
+	maliciousFlows := make(map[string]struct{})
+	for _, f := range features {
+		label, ok := eff.label(f)
+		if !ok || f.FlowKey == "" {
+			continue
+		}
+		if label >= 0.5 {
+			maliciousFlows[f.FlowKey] = struct{}{}
+		} else {
+			benignFlows[f.FlowKey] = struct{}{}
+		}
+	}
+	res.UniqueBenign = int64(len(benignFlows))
+	res.UniqueMalicious = int64(len(maliciousFlows))
+	return res, nil
+}
+
+// AddEventHandler registers a live feature consumer gated by a query
+// (Table II). Handlers run on the SB delivery path and must be fast.
+func (a *Athena) AddEventHandler(q *query.Query, fn func(*Feature)) {
+	if q == nil {
+		q = query.New(nil)
+	}
+	a.mu.Lock()
+	a.handlers = append(a.handlers, eventHandler{q: q, fn: fn})
+	a.mu.Unlock()
+}
+
+// AddOnlineValidator scores every matching live feature against a model
+// and reports the verdict (Table II).
+func (a *Athena) AddOnlineValidator(q *query.Query, m *DetectionModel, fn func(*Feature, bool)) {
+	if q == nil {
+		q = query.New(nil)
+	}
+	a.mu.Lock()
+	a.validators = append(a.validators, onlineValidator{q: q, model: m, fn: fn})
+	a.mu.Unlock()
+}
+
+// Reactor enforces a mitigation (Table II).
+func (a *Athena) Reactor(r Reaction) ([]AppliedReaction, error) {
+	return a.reactor.Enforce(r)
+}
+
+// LiftReaction removes mitigations previously applied to a host.
+func (a *Athena) LiftReaction(host uint32) error { return a.reactor.Lift(host) }
+
+// AppliedReactions lists enforced mitigations.
+func (a *Athena) AppliedReactions() []AppliedReaction { return a.reactor.Applied() }
+
+// ShowResults renders a validation result in the Fig. 6 layout
+// (Table II).
+func (a *Athena) ShowResults(w io.Writer, r *ValidationResult) {
+	report := ui.ValidationReport{
+		Confusion:       r.Confusion,
+		Clusters:        r.Clusters,
+		UniqueBenign:    r.UniqueBenign,
+		UniqueMalicious: r.UniqueMalicious,
+	}
+	if r.Model != nil {
+		report.AlgorithmName = AlgorithmDisplayName(r.Model.Algorithm.Name)
+		report.AlgorithmLine = r.Model.Algorithm.Describe()
+	}
+	ui.WriteValidation(w, report)
+}
+
+// dispatch routes one live feature through the event delivery table.
+func (a *Athena) dispatch(f *Feature) {
+	a.mu.RLock()
+	handlers := a.handlers
+	validators := a.validators
+	a.mu.RUnlock()
+	for _, h := range handlers {
+		if h.q.Match(f) {
+			h.fn(f)
+		}
+	}
+	for _, v := range validators {
+		if v.q.Match(f) {
+			v.fn(f, v.model.IsAnomalous(f))
+		}
+	}
+}
+
+// --- Utility API (a representative slice of the 70) -------------------
+
+// GenerateQuery parses the query language (utility API).
+func GenerateQuery(s string) (*query.Query, error) {
+	e, err := query.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return query.New(e), nil
+}
+
+// MustQuery is GenerateQuery for compile-time-constant queries.
+func MustQuery(s string) *query.Query {
+	return query.New(query.MustParse(s))
+}
+
+// GeneratePreprocessor builds a preprocessor (utility API).
+func GeneratePreprocessor(normalize ml.NormKind, weights map[string]float64) *Preprocessor {
+	return &Preprocessor{Normalize: normalize, Weights: weights}
+}
+
+// GenerateAlgorithm builds an algorithm descriptor (utility API).
+func GenerateAlgorithm(name string, params ml.Params) Algorithm {
+	return Algorithm{Name: name, Params: params}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// Reaction kinds (Table IV): Block drops a host's traffic at its edge
+// switch; Quarantine redirects it to a designated destination (honeynet).
+type ReactionKind string
+
+// Supported reactions.
+const (
+	ReactBlock      ReactionKind = "block"
+	ReactQuarantine ReactionKind = "quarantine"
+)
+
+// reactionPriority outranks reactive forwarding rules so mitigation
+// takes effect immediately.
+const reactionPriority = 40_000
+
+// Reaction describes one mitigation to enforce.
+type Reaction struct {
+	Kind ReactionKind
+	// Hosts are the suspicious host addresses to act on.
+	Hosts []uint32
+	// QuarantineTo is the redirect destination for ReactQuarantine.
+	QuarantineTo uint32
+}
+
+// AppliedReaction records an enforced mitigation.
+type AppliedReaction struct {
+	Kind   ReactionKind
+	Host   uint32
+	DPID   uint64
+	Cookie uint64
+}
+
+// Reactor is the Attack Reactor: it translates mitigation requests into
+// flow rules issued through the Athena proxy (§III-A 1D).
+type Reactor struct {
+	proxy Proxy
+
+	mu      sync.Mutex
+	applied []AppliedReaction
+}
+
+// NewReactor returns an Attack Reactor bound to a controller proxy.
+func NewReactor(proxy Proxy) *Reactor {
+	return &Reactor{proxy: proxy}
+}
+
+// appID tags reactor-installed rules in the FlowRule subsystem.
+const reactorAppID = "athena.reactor"
+
+// Enforce applies a reaction, returning the rules it installed. Hosts
+// whose attachment point is unknown are blocked network-wide on every
+// switch this instance controls.
+func (r *Reactor) Enforce(react Reaction) ([]AppliedReaction, error) {
+	var out []AppliedReaction
+	for _, host := range react.Hosts {
+		targets := r.targetsFor(host)
+		for _, dpid := range targets {
+			fm := openflow.FlowMod{
+				Priority: reactionPriority,
+				Match: openflow.Match{
+					Wildcards: openflow.WildAll &^ openflow.WildIPSrc,
+					Fields:    openflow.Fields{IPSrc: host},
+				},
+			}
+			switch react.Kind {
+			case ReactBlock:
+				fm.Actions = []openflow.Action{openflow.ActionDrop{}}
+			case ReactQuarantine:
+				qHost, ok := r.lookupHost(react.QuarantineTo)
+				if !ok {
+					return out, fmt.Errorf("reactor: quarantine destination %s unknown",
+						openflow.IPString(react.QuarantineTo))
+				}
+				if qHost.DPID == dpid {
+					fm.Actions = []openflow.Action{openflow.ActionOutput{Port: qHost.Port}}
+				} else if hop, found := r.nextHopTo(dpid, qHost.DPID); found {
+					// Redirect along the discovered topology toward the
+					// quarantine destination's switch.
+					fm.Actions = []openflow.Action{openflow.ActionOutput{Port: hop}}
+				} else {
+					// No known path: punt to the controller so the packet at
+					// least leaves the fast path.
+					fm.Actions = []openflow.Action{openflow.ActionOutput{Port: openflow.PortController}}
+				}
+			default:
+				return out, fmt.Errorf("reactor: unknown reaction %q", string(react.Kind))
+			}
+			cookie, err := r.proxy.InstallFlow(reactorAppID, dpid, fm)
+			if err != nil {
+				return out, fmt.Errorf("reactor: enforce %s on %d: %w", string(react.Kind), dpid, err)
+			}
+			applied := AppliedReaction{Kind: react.Kind, Host: host, DPID: dpid, Cookie: cookie}
+			out = append(out, applied)
+			r.mu.Lock()
+			r.applied = append(r.applied, applied)
+			r.mu.Unlock()
+		}
+	}
+	return out, nil
+}
+
+// Lift removes the mitigation rules previously applied to a host.
+func (r *Reactor) Lift(host uint32) error {
+	r.mu.Lock()
+	var keep []AppliedReaction
+	var lift []AppliedReaction
+	for _, a := range r.applied {
+		if a.Host == host {
+			lift = append(lift, a)
+		} else {
+			keep = append(keep, a)
+		}
+	}
+	r.applied = keep
+	r.mu.Unlock()
+	for _, a := range lift {
+		match := openflow.Match{
+			Wildcards: openflow.WildAll &^ openflow.WildIPSrc,
+			Fields:    openflow.Fields{IPSrc: host},
+		}
+		if err := r.proxy.RemoveFlows(a.DPID, match, reactionPriority, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Applied lists enforced mitigations.
+func (r *Reactor) Applied() []AppliedReaction {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AppliedReaction, len(r.applied))
+	copy(out, r.applied)
+	return out
+}
+
+// targetsFor picks the switches to install mitigation on: the host's
+// edge switch when its location is known, else every controlled switch.
+func (r *Reactor) targetsFor(host uint32) []uint64 {
+	for _, h := range r.proxy.Hosts() {
+		if h.IP == host {
+			return []uint64{h.DPID}
+		}
+	}
+	return r.proxy.Devices()
+}
+
+// nextHopTo finds the egress port at src advancing toward dst over the
+// proxy's discovered links (BFS shortest path).
+func (r *Reactor) nextHopTo(src, dst uint64) (uint32, bool) {
+	type edge struct {
+		to   uint64
+		port uint32
+	}
+	adj := make(map[uint64][]edge)
+	for _, l := range r.proxy.Links() {
+		adj[l.SrcDPID] = append(adj[l.SrcDPID], edge{to: l.DstDPID, port: l.SrcPort})
+	}
+	type state struct {
+		node     uint64
+		firstHop uint32
+	}
+	visited := map[uint64]bool{src: true}
+	var queue []state
+	for _, e := range adj[src] {
+		if e.to == dst {
+			return e.port, true
+		}
+		if !visited[e.to] {
+			visited[e.to] = true
+			queue = append(queue, state{node: e.to, firstHop: e.port})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur.node] {
+			if e.to == dst {
+				return cur.firstHop, true
+			}
+			if !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, state{node: e.to, firstHop: cur.firstHop})
+			}
+		}
+	}
+	return 0, false
+}
+
+func (r *Reactor) lookupHost(ip uint32) (controller.HostInfo, bool) {
+	for _, h := range r.proxy.Hosts() {
+		if h.IP == ip {
+			return h, true
+		}
+	}
+	return controller.HostInfo{}, false
+}

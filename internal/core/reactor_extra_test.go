@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// routedProxy is a fakeProxy with a small known topology:
+// s1 -(p9/p9)- s2 -(p8/p8)- s3.
+type routedProxy struct {
+	*fakeProxy
+}
+
+func (p routedProxy) Links() []controller.LinkInfo {
+	return []controller.LinkInfo{
+		{SrcDPID: 1, SrcPort: 9, DstDPID: 2, DstPort: 9},
+		{SrcDPID: 2, SrcPort: 9, DstDPID: 1, DstPort: 9},
+		{SrcDPID: 2, SrcPort: 8, DstDPID: 3, DstPort: 8},
+		{SrcDPID: 3, SrcPort: 8, DstDPID: 2, DstPort: 8},
+	}
+}
+
+func TestReactorQuarantineRoutesAcrossSwitches(t *testing.T) {
+	fp := newFakeProxy()
+	bad := openflow.IPv4(10, 0, 0, 66)
+	honeypot := openflow.IPv4(10, 0, 0, 200)
+	fp.hosts = []controller.HostInfo{
+		{IP: bad, DPID: 1, Port: 3},      // attacker on s1
+		{IP: honeypot, DPID: 3, Port: 5}, // honeypot on s3
+	}
+	proxy := routedProxy{fp}
+	r := NewReactor(proxy)
+
+	applied, err := r.Enforce(Reaction{Kind: ReactQuarantine, Hosts: []uint32{bad}, QuarantineTo: honeypot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].DPID != 1 {
+		t.Fatalf("applied = %+v", applied)
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	out, ok := fp.installed[0].Actions[0].(openflow.ActionOutput)
+	if !ok || out.Port != 9 { // toward s2, the first hop to s3
+		t.Fatalf("quarantine redirect = %+v, want output(9)", fp.installed[0].Actions)
+	}
+}
+
+func TestReactorQuarantineNoPathFallsBackToController(t *testing.T) {
+	fp := newFakeProxy() // no links at all
+	bad := openflow.IPv4(10, 0, 0, 66)
+	honeypot := openflow.IPv4(10, 0, 0, 200)
+	fp.hosts = []controller.HostInfo{
+		{IP: bad, DPID: 1, Port: 3},
+		{IP: honeypot, DPID: 3, Port: 5},
+	}
+	r := NewReactor(fp)
+	if _, err := r.Enforce(Reaction{Kind: ReactQuarantine, Hosts: []uint32{bad}, QuarantineTo: honeypot}); err != nil {
+		t.Fatal(err)
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	out, ok := fp.installed[0].Actions[0].(openflow.ActionOutput)
+	if !ok || out.Port != openflow.PortController {
+		t.Fatalf("fallback = %+v, want output(controller)", fp.installed[0].Actions)
+	}
+}
+
+func TestReactorUnknownReactionKind(t *testing.T) {
+	fp := newFakeProxy()
+	fp.hosts = []controller.HostInfo{{IP: 1, DPID: 1, Port: 1}}
+	r := NewReactor(fp)
+	if _, err := r.Enforce(Reaction{Kind: "destroy", Hosts: []uint32{1}}); err == nil {
+		t.Fatal("unknown reaction accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// PublishMode selects how the SB element publishes features to the DB
+// cluster. Sync reproduces the prototype's per-event MongoDB writes
+// (the Table IX overhead); Batched is the §VII-C3 mitigation; Off
+// disables persistence (Table IX's "no DB" row).
+type PublishMode int
+
+// Publish modes.
+const (
+	PublishSync PublishMode = iota + 1
+	PublishBatched
+	PublishOff
+)
+
+// Proxy is the controller surface the SB element needs — implemented by
+// *controller.Controller. Narrowing it to an interface keeps the SB
+// testable against fakes and the framework controller-agnostic (the
+// paper's "SDN implementation transparency").
+type Proxy interface {
+	ID() string
+	AddMessageListener(fn controller.MessageListener)
+	InstallFlow(appID string, dpid uint64, fm openflow.FlowMod) (uint64, error)
+	SendPacketOut(dpid uint64, po *openflow.PacketOut) error
+	RemoveFlows(dpid uint64, match openflow.Match, priority uint16, strict bool) error
+	Devices() []uint64
+	Hosts() []controller.HostInfo
+	Links() []controller.LinkInfo
+	AppOfCookie(cookie uint64) (string, bool)
+	PollStats()
+}
+
+// SouthboundConfig parameterizes the SB element.
+type SouthboundConfig struct {
+	Generator GeneratorConfig
+	// Publish selects the DB publication mode (default PublishBatched).
+	Publish PublishMode
+	// BatchSize/BatchDelay tune PublishBatched.
+	BatchSize  int
+	BatchDelay time.Duration
+	// GCInterval drives the generator's garbage collector; zero disables
+	// the background sweep.
+	GCInterval time.Duration
+}
+
+// Southbound is the SB element: it hooks the controller proxy, runs the
+// Feature Generator on every control message, publishes features to the
+// store cluster, and fans live features out to the NB element.
+type Southbound struct {
+	proxy Proxy
+	gen   *Generator
+	mode  PublishMode
+
+	sink   store.Sink
+	writer *store.Writer
+
+	mu        sync.RWMutex
+	listeners []func(*Feature)
+
+	published   atomic.Uint64
+	publishErrs atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSouthbound wires an SB element to a controller proxy and a feature
+// sink (a store cluster; nil forces PublishOff).
+func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbound {
+	mode := cfg.Publish
+	if mode == 0 {
+		mode = PublishBatched
+	}
+	if sink == nil {
+		mode = PublishOff
+	}
+	sb := &Southbound{
+		proxy: proxy,
+		gen:   NewGenerator(cfg.Generator),
+		mode:  mode,
+		sink:  sink,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if mode == PublishBatched {
+		sb.writer = store.NewWriter(sink, cfg.BatchSize, cfg.BatchDelay)
+	}
+	proxy.AddMessageListener(sb.handle)
+	if cfg.GCInterval > 0 {
+		go func() {
+			defer close(sb.done)
+			ticker := time.NewTicker(cfg.GCInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					sb.gen.GC(time.Now())
+				case <-sb.stop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(sb.done)
+	}
+	return sb
+}
+
+// Close flushes and stops background work.
+func (sb *Southbound) Close() {
+	select {
+	case <-sb.stop:
+	default:
+		close(sb.stop)
+	}
+	<-sb.done
+	if sb.writer != nil {
+		_ = sb.writer.Close()
+	}
+}
+
+// Generator exposes the Feature Generator (Resource Manager surface).
+func (sb *Southbound) Generator() *Generator { return sb.gen }
+
+// Published reports how many features reached the sink, and how many
+// publication errors occurred.
+func (sb *Southbound) Published() (ok, errs uint64) {
+	return sb.published.Load(), sb.publishErrs.Load()
+}
+
+// AddFeatureListener registers a live feature consumer (the Feature
+// Manager). Listeners run on the control-channel goroutine.
+func (sb *Southbound) AddFeatureListener(fn func(*Feature)) {
+	sb.mu.Lock()
+	sb.listeners = append(sb.listeners, fn)
+	sb.mu.Unlock()
+}
+
+// handle is the SB interface: it receives every control message from the
+// proxy and drives feature generation and publication.
+func (sb *Southbound) handle(msg controller.ControlMessage) {
+	features := sb.gen.Process(msg)
+	if len(features) == 0 {
+		return
+	}
+	// Attribute flow-scoped stats to owning applications via cookie
+	// lookups where available.
+	if fr, ok := msg.Msg.(*openflow.FlowRemoved); ok {
+		if app, found := sb.proxy.AppOfCookie(fr.Cookie); found {
+			for _, f := range features {
+				f.AppID = app
+			}
+		}
+	}
+	if mp, ok := msg.Msg.(*openflow.MultipartReply); ok && mp.StatsType == openflow.StatsFlow {
+		for i := range mp.Flows {
+			if i >= len(features) {
+				break
+			}
+			if app, found := sb.proxy.AppOfCookie(mp.Flows[i].Cookie); found {
+				features[i].AppID = app
+			}
+		}
+	}
+
+	switch sb.mode {
+	case PublishSync:
+		docs := make([]store.Document, len(features))
+		for i, f := range features {
+			docs[i] = f.Document()
+		}
+		if err := sb.sink.Insert(docs); err != nil {
+			sb.publishErrs.Add(1)
+		} else {
+			sb.published.Add(uint64(len(docs)))
+		}
+	case PublishBatched:
+		for _, f := range features {
+			sb.writer.Publish(f.Document())
+		}
+		sb.published.Add(uint64(len(features)))
+	case PublishOff:
+		// persistence disabled
+	}
+
+	sb.mu.RLock()
+	listeners := sb.listeners
+	sb.mu.RUnlock()
+	for _, fn := range listeners {
+		for _, f := range features {
+			fn(f)
+		}
+	}
+}

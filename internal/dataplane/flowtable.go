@@ -1,0 +1,205 @@
+package dataplane
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// FlowEntry is one installed rule with its live counters.
+type FlowEntry struct {
+	Match       openflow.Match
+	Priority    uint16
+	Cookie      uint64
+	IdleTimeout time.Duration // zero disables
+	HardTimeout time.Duration // zero disables
+	Flags       uint16
+	Actions     []openflow.Action
+
+	Installed time.Time
+	LastHit   time.Time
+
+	Packets uint64
+	Bytes   uint64
+}
+
+// Duration reports how long the entry has been installed as of now.
+func (e *FlowEntry) Duration(now time.Time) time.Duration {
+	return now.Sub(e.Installed)
+}
+
+func (e *FlowEntry) expired(now time.Time) (bool, uint8) {
+	if e.HardTimeout > 0 && now.Sub(e.Installed) >= e.HardTimeout {
+		return true, openflow.RemovedHardTimeout
+	}
+	if e.IdleTimeout > 0 && now.Sub(e.LastHit) >= e.IdleTimeout {
+		return true, openflow.RemovedIdleTimeout
+	}
+	return false, 0
+}
+
+// Removed couples an expired entry with the OpenFlow removal reason.
+type Removed struct {
+	Entry  *FlowEntry
+	Reason uint8
+}
+
+// FlowTable is a priority-ordered rule table with an exact-match fast
+// path. All methods are safe for concurrent use.
+type FlowTable struct {
+	mu sync.Mutex
+	// rules holds all entries sorted by descending priority, then by
+	// descending match specificity for deterministic tie-breaks.
+	rules []*FlowEntry
+	// exact indexes fully-specified matches for O(1) lookup.
+	exact map[openflow.MatchKey]*FlowEntry
+
+	lookups uint64
+	matched uint64
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{exact: make(map[openflow.MatchKey]*FlowEntry)}
+}
+
+// Len reports the number of installed entries.
+func (t *FlowTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rules)
+}
+
+// Stats reports cumulative lookup and match counters.
+func (t *FlowTable) Stats() (lookups, matched uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lookups, t.matched
+}
+
+// Add installs a rule, replacing any entry with an identical match and
+// priority (OpenFlow modify-or-add semantics).
+func (t *FlowTable) Add(e *FlowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := e.Match.Key()
+	for i, r := range t.rules {
+		if r.Priority == e.Priority && r.Match.Key() == key {
+			t.rules[i] = e
+			if e.Match.Wildcards == 0 {
+				t.exact[key] = e
+			}
+			return
+		}
+	}
+	t.rules = append(t.rules, e)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		if t.rules[i].Priority != t.rules[j].Priority {
+			return t.rules[i].Priority > t.rules[j].Priority
+		}
+		return t.rules[i].Match.Specificity() > t.rules[j].Match.Specificity()
+	})
+	if e.Match.Wildcards == 0 {
+		t.exact[key] = e
+	}
+}
+
+// Lookup finds the highest-priority entry matching f and, when hit,
+// updates its counters under the table lock.
+func (t *FlowTable) Lookup(f openflow.Fields, size int, now time.Time) *FlowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	// Exact fast path: only valid if no higher-priority wildcard rule
+	// could shadow it, so check it against the sorted scan result. With
+	// typical reactive tables (exact rules at one priority) the fast path
+	// wins; correctness is preserved by comparing priorities.
+	exactHit := t.exact[openflow.MatchKey{Fields: f}]
+	for _, r := range t.rules {
+		if exactHit != nil && r.Priority <= exactHit.Priority {
+			r = exactHit
+			t.hit(r, size, now)
+			return r
+		}
+		if r.Match.Matches(f) {
+			t.hit(r, size, now)
+			return r
+		}
+	}
+	if exactHit != nil {
+		t.hit(exactHit, size, now)
+		return exactHit
+	}
+	return nil
+}
+
+func (t *FlowTable) hit(e *FlowEntry, size int, now time.Time) {
+	t.matched++
+	e.Packets++
+	e.Bytes += uint64(size)
+	e.LastHit = now
+}
+
+// Delete removes entries covered by match (and priority, when strict),
+// returning the removed entries so FlowRemoved messages can be emitted.
+func (t *FlowTable) Delete(match openflow.Match, priority uint16, strict bool) []*FlowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*FlowEntry
+	kept := t.rules[:0]
+	key := match.Key()
+	for _, r := range t.rules {
+		del := false
+		if strict {
+			del = r.Priority == priority && r.Match.Key() == key
+		} else {
+			// Non-strict delete removes any rule whose match is subsumed:
+			// for this codec we use equality of concrete fields under the
+			// delete-match's wildcards.
+			del = match.Matches(r.Match.Fields) || r.Match.Key() == key
+		}
+		if del {
+			removed = append(removed, r)
+			if r.Match.Wildcards == 0 {
+				delete(t.exact, r.Match.Key())
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return removed
+}
+
+// Expire removes timed-out entries as of now.
+func (t *FlowTable) Expire(now time.Time) []Removed {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Removed
+	kept := t.rules[:0]
+	for _, r := range t.rules {
+		if ok, reason := r.expired(now); ok {
+			out = append(out, Removed{Entry: r, Reason: reason})
+			if r.Match.Wildcards == 0 {
+				delete(t.exact, r.Match.Key())
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return out
+}
+
+// Entries returns a snapshot of all rules (copies, counters frozen).
+func (t *FlowTable) Entries() []FlowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]FlowEntry, len(t.rules))
+	for i, r := range t.rules {
+		out[i] = *r
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package dataplane
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+func fields(srcLast, dstLast byte, dstPort uint16) openflow.Fields {
+	return openflow.Fields{
+		EthType: openflow.EthTypeIPv4,
+		IPProto: openflow.ProtoTCP,
+		IPSrc:   openflow.IPv4(10, 0, 0, srcLast),
+		IPDst:   openflow.IPv4(10, 0, 0, dstLast),
+		TPSrc:   12345,
+		TPDst:   dstPort,
+	}
+}
+
+func TestFlowTablePriorityOrder(t *testing.T) {
+	ft := NewFlowTable()
+	now := time.Now()
+	low := &FlowEntry{Match: openflow.MatchAll(), Priority: 1, Cookie: 1, Installed: now, LastHit: now}
+	high := &FlowEntry{
+		Match:     openflow.Match{Wildcards: openflow.WildAll &^ openflow.WildTPDst, Fields: openflow.Fields{TPDst: 80}},
+		Priority:  10,
+		Cookie:    2,
+		Installed: now,
+		LastHit:   now,
+	}
+	ft.Add(low)
+	ft.Add(high)
+
+	if got := ft.Lookup(fields(1, 2, 80), 100, now); got.Cookie != 2 {
+		t.Fatalf("port-80 packet hit cookie %d, want 2", got.Cookie)
+	}
+	if got := ft.Lookup(fields(1, 2, 443), 100, now); got.Cookie != 1 {
+		t.Fatalf("port-443 packet hit cookie %d, want 1", got.Cookie)
+	}
+}
+
+func TestFlowTableExactFastPathRespectsPriority(t *testing.T) {
+	ft := NewFlowTable()
+	now := time.Now()
+	f := fields(1, 2, 80)
+	exact := &FlowEntry{Match: openflow.ExactMatch(f), Priority: 5, Cookie: 1, Installed: now, LastHit: now}
+	// A higher-priority wildcard rule must shadow the exact rule.
+	shadow := &FlowEntry{
+		Match:     openflow.Match{Wildcards: openflow.WildAll &^ openflow.WildTPDst, Fields: openflow.Fields{TPDst: 80}},
+		Priority:  50,
+		Cookie:    2,
+		Installed: now,
+		LastHit:   now,
+	}
+	ft.Add(exact)
+	ft.Add(shadow)
+	if got := ft.Lookup(f, 10, now); got.Cookie != 2 {
+		t.Fatalf("hit cookie %d, want shadowing rule 2", got.Cookie)
+	}
+	// Remove the shadow: exact must win again.
+	ft.Delete(shadow.Match, shadow.Priority, true)
+	if got := ft.Lookup(f, 10, now); got.Cookie != 1 {
+		t.Fatalf("hit cookie %d, want exact rule 1", got.Cookie)
+	}
+}
+
+func TestFlowTableCounters(t *testing.T) {
+	ft := NewFlowTable()
+	now := time.Now()
+	f := fields(1, 2, 80)
+	e := &FlowEntry{Match: openflow.ExactMatch(f), Priority: 1, Installed: now, LastHit: now}
+	ft.Add(e)
+	for i := 0; i < 5; i++ {
+		ft.Lookup(f, 100, now.Add(time.Duration(i)*time.Second))
+	}
+	if e.Packets != 5 || e.Bytes != 500 {
+		t.Fatalf("counters = %d pkts / %d bytes, want 5/500", e.Packets, e.Bytes)
+	}
+	if !e.LastHit.Equal(now.Add(4 * time.Second)) {
+		t.Fatalf("LastHit = %v, want %v", e.LastHit, now.Add(4*time.Second))
+	}
+	lookups, matched := ft.Stats()
+	if lookups != 5 || matched != 5 {
+		t.Fatalf("table stats = %d/%d, want 5/5", lookups, matched)
+	}
+	// A miss bumps lookups only.
+	if got := ft.Lookup(fields(9, 9, 9), 10, now); got != nil {
+		t.Fatalf("unexpected hit: %+v", got)
+	}
+	lookups, matched = ft.Stats()
+	if lookups != 6 || matched != 5 {
+		t.Fatalf("table stats after miss = %d/%d, want 6/5", lookups, matched)
+	}
+}
+
+func TestFlowTableReplaceSamePriorityAndMatch(t *testing.T) {
+	ft := NewFlowTable()
+	now := time.Now()
+	f := fields(1, 2, 80)
+	ft.Add(&FlowEntry{Match: openflow.ExactMatch(f), Priority: 1, Cookie: 1, Installed: now, LastHit: now})
+	ft.Add(&FlowEntry{Match: openflow.ExactMatch(f), Priority: 1, Cookie: 2, Installed: now, LastHit: now})
+	if ft.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replace, not duplicate)", ft.Len())
+	}
+	if got := ft.Lookup(f, 1, now); got.Cookie != 2 {
+		t.Fatalf("cookie = %d, want replacement 2", got.Cookie)
+	}
+}
+
+func TestFlowTableExpiry(t *testing.T) {
+	ft := NewFlowTable()
+	base := time.Now()
+	idle := &FlowEntry{
+		Match: openflow.ExactMatch(fields(1, 2, 80)), Priority: 1, Cookie: 1,
+		IdleTimeout: 10 * time.Second, Installed: base, LastHit: base,
+	}
+	hard := &FlowEntry{
+		Match: openflow.ExactMatch(fields(1, 3, 80)), Priority: 1, Cookie: 2,
+		HardTimeout: 30 * time.Second, Installed: base, LastHit: base,
+	}
+	forever := &FlowEntry{
+		Match: openflow.ExactMatch(fields(1, 4, 80)), Priority: 1, Cookie: 3,
+		Installed: base, LastHit: base,
+	}
+	ft.Add(idle)
+	ft.Add(hard)
+	ft.Add(forever)
+
+	if removed := ft.Expire(base.Add(5 * time.Second)); len(removed) != 0 {
+		t.Fatalf("early expiry removed %d entries", len(removed))
+	}
+	// Traffic refreshes the idle timer.
+	ft.Lookup(fields(1, 2, 80), 10, base.Add(8*time.Second))
+	removed := ft.Expire(base.Add(15 * time.Second))
+	if len(removed) != 0 {
+		t.Fatalf("refreshed idle rule expired: %+v", removed)
+	}
+	removed = ft.Expire(base.Add(19 * time.Second))
+	if len(removed) != 1 || removed[0].Entry.Cookie != 1 || removed[0].Reason != openflow.RemovedIdleTimeout {
+		t.Fatalf("idle expiry = %+v", removed)
+	}
+	removed = ft.Expire(base.Add(31 * time.Second))
+	if len(removed) != 1 || removed[0].Entry.Cookie != 2 || removed[0].Reason != openflow.RemovedHardTimeout {
+		t.Fatalf("hard expiry = %+v", removed)
+	}
+	if ft.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (only the timerless rule)", ft.Len())
+	}
+}
+
+func TestFlowTableDelete(t *testing.T) {
+	ft := NewFlowTable()
+	now := time.Now()
+	a := &FlowEntry{Match: openflow.ExactMatch(fields(1, 2, 80)), Priority: 1, Cookie: 1, Installed: now, LastHit: now}
+	b := &FlowEntry{Match: openflow.ExactMatch(fields(1, 3, 80)), Priority: 2, Cookie: 2, Installed: now, LastHit: now}
+	ft.Add(a)
+	ft.Add(b)
+
+	// Strict delete with wrong priority removes nothing.
+	if removed := ft.Delete(a.Match, 99, true); len(removed) != 0 {
+		t.Fatalf("strict delete with wrong priority removed %d", len(removed))
+	}
+	if removed := ft.Delete(a.Match, 1, true); len(removed) != 1 || removed[0].Cookie != 1 {
+		t.Fatalf("strict delete = %+v", removed)
+	}
+	// Non-strict delete-all via MatchAll.
+	if removed := ft.Delete(openflow.MatchAll(), 0, false); len(removed) != 1 || removed[0].Cookie != 2 {
+		t.Fatalf("wildcard delete = %+v", removed)
+	}
+	if ft.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ft.Len())
+	}
+}
+
+// Property: after adding arbitrary exact rules, looking up each rule's own
+// fields always hits, and the hit entry's match covers the fields.
+func TestFlowTableLookupProperty(t *testing.T) {
+	now := time.Now()
+	prop := func(fs []openflow.Fields, prios []uint16) bool {
+		if len(fs) == 0 {
+			return true
+		}
+		ft := NewFlowTable()
+		for i, f := range fs {
+			prio := uint16(1)
+			if i < len(prios) {
+				prio = prios[i]
+			}
+			ft.Add(&FlowEntry{Match: openflow.ExactMatch(f), Priority: prio, Installed: now, LastHit: now})
+		}
+		for _, f := range fs {
+			e := ft.Lookup(f, 1, now)
+			if e == nil || !e.Match.Matches(f) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFlowTableLookupExact(b *testing.B) {
+	ft := NewFlowTable()
+	now := time.Now()
+	var probes []openflow.Fields
+	for i := 0; i < 1000; i++ {
+		f := fields(byte(i%250), byte(i/250), uint16(1000+i))
+		ft.Add(&FlowEntry{Match: openflow.ExactMatch(f), Priority: 1, Installed: now, LastHit: now})
+		probes = append(probes, f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Lookup(probes[i%len(probes)], 100, now)
+	}
+}

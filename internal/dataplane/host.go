@@ -1,0 +1,77 @@
+package dataplane
+
+import (
+	"sync"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// Host is an end station attached to a switch port. It originates traffic
+// and counts what it receives.
+type Host struct {
+	Name string
+	IP   uint32
+	MAC  openflow.EthAddr
+
+	sw   *Switch
+	port uint32
+
+	mu        sync.Mutex
+	rxPackets uint64
+	rxBytes   uint64
+	onPacket  func(*Packet)
+}
+
+// AttachedTo reports the switch and port the host hangs off.
+func (h *Host) AttachedTo() (dpid uint64, port uint32) {
+	return h.sw.DPID, h.port
+}
+
+// OnPacket registers a callback invoked for every delivered packet.
+// Pass nil to clear. The callback runs on the forwarding goroutine and
+// must be fast.
+func (h *Host) OnPacket(fn func(*Packet)) {
+	h.mu.Lock()
+	h.onPacket = fn
+	h.mu.Unlock()
+}
+
+// Received reports cumulative delivery counters.
+func (h *Host) Received() (packets, bytes uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rxPackets, h.rxBytes
+}
+
+func (h *Host) deliver(pkt *Packet) {
+	h.mu.Lock()
+	h.rxPackets++
+	h.rxBytes += uint64(pkt.Size)
+	fn := h.onPacket
+	h.mu.Unlock()
+	if fn != nil {
+		fn(pkt)
+	}
+}
+
+// Send injects a packet into the network with this host's addresses as
+// the source. Destination addressing comes from to.
+func (h *Host) Send(to *Host, proto uint8, srcPort, dstPort uint16, size int) {
+	h.SendFields(openflow.Fields{
+		EthSrc:  h.MAC,
+		EthDst:  to.MAC,
+		EthType: openflow.EthTypeIPv4,
+		IPProto: proto,
+		IPSrc:   h.IP,
+		IPDst:   to.IP,
+		TPSrc:   srcPort,
+		TPDst:   dstPort,
+	}, size)
+}
+
+// SendFields injects a packet with fully caller-controlled header fields,
+// which spoofed-source attack generators need.
+func (h *Host) SendFields(f openflow.Fields, size int) {
+	pkt := NewPacket(f, size)
+	h.sw.Input(pkt, h.port)
+}

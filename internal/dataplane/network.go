@@ -1,0 +1,224 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// Endpoint names one side of a link: a switch port.
+type Endpoint struct {
+	DPID uint64
+	Port uint32
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("s%d/p%d", e.DPID, e.Port) }
+
+// Link is a bidirectional connection between two switch ports.
+type Link struct {
+	A, B      Endpoint
+	SpeedKbps uint32
+}
+
+// peer is what sits on the far side of a switch port.
+type peer struct {
+	sw   *Switch
+	port uint32
+	host *Host
+}
+
+// Network wires switches and hosts together and carries packets across
+// links. It implements the delivery fabric switches egress into.
+type Network struct {
+	mu       sync.RWMutex
+	switches map[uint64]*Switch
+	hosts    map[string]*Host
+	hostByIP map[uint32]*Host
+	peers    map[Endpoint]peer
+	links    []Link
+	swOpts   []SwitchOption
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithSwitchOptions applies the given options to every switch the network
+// creates (for example a shared virtual clock).
+func WithSwitchOptions(opts ...SwitchOption) NetworkOption {
+	return func(n *Network) { n.swOpts = opts }
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(opts ...NetworkOption) *Network {
+	n := &Network{
+		switches: make(map[uint64]*Switch),
+		hosts:    make(map[string]*Host),
+		hostByIP: make(map[uint32]*Host),
+		peers:    make(map[Endpoint]peer),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// AddSwitch creates a switch and attaches it to the fabric.
+func (n *Network) AddSwitch(dpid uint64) *Switch {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if sw, ok := n.switches[dpid]; ok {
+		return sw
+	}
+	sw := NewSwitch(dpid, n.swOpts...)
+	sw.fab = n
+	n.switches[dpid] = sw
+	return sw
+}
+
+// Switch returns the switch with the given datapath id, or nil.
+func (n *Network) Switch(dpid uint64) *Switch {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.switches[dpid]
+}
+
+// Switches returns all switches sorted by datapath id.
+func (n *Network) Switches() []*Switch {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*Switch, 0, len(n.switches))
+	for _, sw := range n.switches {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DPID < out[j].DPID })
+	return out
+}
+
+// AddLink connects port pa on switch a to port pb on switch b, creating
+// the ports. Both switches must already exist.
+func (n *Network) AddLink(a uint64, pa uint32, b uint64, pb uint32, speedKbps uint32) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	swA, okA := n.switches[a]
+	swB, okB := n.switches[b]
+	if !okA || !okB {
+		return fmt.Errorf("dataplane: link %d/%d-%d/%d references unknown switch", a, pa, b, pb)
+	}
+	epA, epB := Endpoint{DPID: a, Port: pa}, Endpoint{DPID: b, Port: pb}
+	if _, busy := n.peers[epA]; busy {
+		return fmt.Errorf("dataplane: %v already wired", epA)
+	}
+	if _, busy := n.peers[epB]; busy {
+		return fmt.Errorf("dataplane: %v already wired", epB)
+	}
+	swA.AddPort(pa, fmt.Sprintf("s%d-eth%d", a, pa), speedKbps)
+	swB.AddPort(pb, fmt.Sprintf("s%d-eth%d", b, pb), speedKbps)
+	n.peers[epA] = peer{sw: swB, port: pb}
+	n.peers[epB] = peer{sw: swA, port: pa}
+	n.links = append(n.links, Link{A: epA, B: epB, SpeedKbps: speedKbps})
+	return nil
+}
+
+// Links returns the switch-to-switch links.
+func (n *Network) Links() []Link {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Link, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
+// AddHost attaches a host to a switch port, creating the port.
+func (n *Network) AddHost(name string, ip uint32, dpid uint64, port uint32, speedKbps uint32) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sw, ok := n.switches[dpid]
+	if !ok {
+		return nil, fmt.Errorf("dataplane: host %s references unknown switch %d", name, dpid)
+	}
+	ep := Endpoint{DPID: dpid, Port: port}
+	if _, busy := n.peers[ep]; busy {
+		return nil, fmt.Errorf("dataplane: %v already wired", ep)
+	}
+	if _, dup := n.hosts[name]; dup {
+		return nil, fmt.Errorf("dataplane: duplicate host %s", name)
+	}
+	sw.AddPort(port, fmt.Sprintf("s%d-eth%d", dpid, port), speedKbps)
+	h := &Host{
+		Name: name,
+		IP:   ip,
+		MAC:  MACFromIP(ip),
+		sw:   sw,
+		port: port,
+	}
+	n.hosts[name] = h
+	n.hostByIP[ip] = h
+	n.peers[ep] = peer{host: h}
+	return h, nil
+}
+
+// Host returns a host by name, or nil.
+func (n *Network) Host(name string) *Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.hosts[name]
+}
+
+// HostByIP returns a host by address, or nil.
+func (n *Network) HostByIP(ip uint32) *Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.hostByIP[ip]
+}
+
+// Hosts returns all hosts sorted by name.
+func (n *Network) Hosts() []*Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// deliver implements the fabric interface.
+func (n *Network) deliver(from *Switch, outPort uint32, pkt *Packet) {
+	n.mu.RLock()
+	p, ok := n.peers[Endpoint{DPID: from.DPID, Port: outPort}]
+	n.mu.RUnlock()
+	if !ok {
+		return
+	}
+	if p.host != nil {
+		p.host.deliver(pkt)
+		return
+	}
+	p.sw.Input(pkt, p.port)
+}
+
+// SweepExpired expires rules on every switch as of now, returning the
+// total number of removed entries.
+func (n *Network) SweepExpired(now time.Time) int {
+	total := 0
+	for _, sw := range n.Switches() {
+		total += sw.SweepExpired(now)
+	}
+	return total
+}
+
+// Close shuts down all switches.
+func (n *Network) Close() {
+	for _, sw := range n.Switches() {
+		sw.Close()
+	}
+}
+
+// MACFromIP derives a stable host MAC address from an IPv4 address.
+func MACFromIP(ip uint32) openflow.EthAddr {
+	return openflow.EthAddr{0x02, 0x00, byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}
+}

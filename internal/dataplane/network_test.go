@@ -1,0 +1,191 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+func TestNetworkWiringErrors(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSwitch(1)
+	t.Cleanup(nw.Close)
+
+	if err := nw.AddLink(1, 1, 99, 1, 1000); err == nil {
+		t.Error("link to unknown switch accepted")
+	}
+	if _, err := nw.AddHost("h", openflow.IPv4(10, 0, 0, 1), 99, 1, 1000); err == nil {
+		t.Error("host on unknown switch accepted")
+	}
+	if _, err := nw.AddHost("h1", openflow.IPv4(10, 0, 0, 1), 1, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddHost("h2", openflow.IPv4(10, 0, 0, 2), 1, 1, 1000); err == nil {
+		t.Error("port double-booking accepted")
+	}
+	if _, err := nw.AddHost("h1", openflow.IPv4(10, 0, 0, 3), 1, 2, 1000); err == nil {
+		t.Error("duplicate host name accepted")
+	}
+	nw.AddSwitch(2)
+	if err := nw.AddLink(1, 1, 2, 1, 1000); err == nil {
+		t.Error("link onto host-occupied port accepted")
+	}
+}
+
+func TestNetworkLookups(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSwitch(1)
+	t.Cleanup(nw.Close)
+	h, err := nw.AddHost("h1", openflow.IPv4(10, 0, 0, 1), 1, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Host("h1") != h || nw.Host("nope") != nil {
+		t.Error("Host lookup broken")
+	}
+	if nw.HostByIP(h.IP) != h || nw.HostByIP(1) != nil {
+		t.Error("HostByIP lookup broken")
+	}
+	if nw.Switch(1) == nil || nw.Switch(9) != nil {
+		t.Error("Switch lookup broken")
+	}
+	if len(nw.Hosts()) != 1 {
+		t.Error("Hosts listing broken")
+	}
+	if dpid, port := h.AttachedTo(); dpid != 1 || port != 1 {
+		t.Errorf("AttachedTo = %d/%d", dpid, port)
+	}
+	// AddSwitch is idempotent per dpid.
+	if nw.AddSwitch(1) != nw.Switch(1) {
+		t.Error("AddSwitch created a duplicate")
+	}
+}
+
+func TestHostOnPacketCallback(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSwitch(1)
+	t.Cleanup(nw.Close)
+	h1, _ := nw.AddHost("h1", openflow.IPv4(10, 0, 0, 1), 1, 1, 1000)
+	h2, _ := nw.AddHost("h2", openflow.IPv4(10, 0, 0, 2), 1, 2, 1000)
+	nw.Switch(1).InstallRule(&FlowEntry{
+		Match:    openflow.MatchAll(),
+		Priority: 1,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: 2}},
+	})
+	var seen []*Packet
+	h2.OnPacket(func(p *Packet) { seen = append(seen, p) })
+	h1.Send(h2, openflow.ProtoTCP, 1, 2, 77)
+	if len(seen) != 1 || seen[0].Size != 77 {
+		t.Fatalf("OnPacket saw %v", seen)
+	}
+	h2.OnPacket(nil)
+	h1.Send(h2, openflow.ProtoTCP, 1, 2, 77)
+	if len(seen) != 1 {
+		t.Fatal("cleared callback still fired")
+	}
+}
+
+func TestMACFromIPStable(t *testing.T) {
+	ip := openflow.IPv4(10, 1, 2, 3)
+	a, b := MACFromIP(ip), MACFromIP(ip)
+	if a != b {
+		t.Fatal("MACFromIP not deterministic")
+	}
+	if MACFromIP(ip) == MACFromIP(ip+1) {
+		t.Fatal("MACFromIP collision on adjacent IPs")
+	}
+}
+
+func TestSwitchExpiryBackgroundLoop(t *testing.T) {
+	clock := newFakeClock()
+	sw := NewSwitch(1, WithClock(clock.Now))
+	sw.AddPort(1, "p1", 1000)
+	t.Cleanup(sw.Close)
+	sw.InstallRule(&FlowEntry{
+		Match:       openflow.MatchAll(),
+		Priority:    1,
+		IdleTimeout: time.Second,
+		Actions:     []openflow.Action{openflow.ActionDrop{}},
+	})
+	sw.StartExpiry(10 * time.Millisecond)
+	sw.StartExpiry(10 * time.Millisecond) // idempotent
+	clock.Advance(5 * time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.Table().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background expiry never swept the rule")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPacketInBufferEviction(t *testing.T) {
+	nw, h1, h2 := twoSwitchNet(t, nil)
+	s1 := nw.Switch(1)
+	tc := attachController(t, s1)
+	// Drain the controller side so the unbuffered pipe never
+	// backpressures the flood.
+	stopDrain := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-tc.msgs:
+			case <-stopDrain:
+				return
+			}
+		}
+	}()
+	defer close(stopDrain)
+	// Overflow the buffer pool: all misses buffer a packet.
+	for i := 0; i < maxBufferedPackets+100; i++ {
+		h1.Send(h2, openflow.ProtoUDP, uint16(i), uint16(i%1000), 10)
+	}
+	s1.mu.Lock()
+	n := len(s1.buffers)
+	s1.mu.Unlock()
+	if n > maxBufferedPackets {
+		t.Fatalf("buffer pool grew to %d (cap %d)", n, maxBufferedPackets)
+	}
+}
+
+func TestNetworkSweepExpired(t *testing.T) {
+	clock := newFakeClock()
+	nw, _, _ := twoSwitchNet(t, clock)
+	nw.Switch(1).InstallRule(&FlowEntry{
+		Match: openflow.MatchAll(), Priority: 1, HardTimeout: time.Second,
+		Actions: []openflow.Action{openflow.ActionDrop{}},
+	})
+	nw.Switch(2).InstallRule(&FlowEntry{
+		Match: openflow.MatchAll(), Priority: 1, HardTimeout: time.Second,
+		Actions: []openflow.Action{openflow.ActionDrop{}},
+	})
+	clock.Advance(2 * time.Second)
+	if n := nw.SweepExpired(clock.Now()); n != 2 {
+		t.Fatalf("SweepExpired = %d, want 2", n)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := NewPacket(openflow.Fields{
+		IPProto: openflow.ProtoTCP,
+		IPSrc:   openflow.IPv4(10, 0, 0, 1),
+		IPDst:   openflow.IPv4(10, 0, 0, 2),
+		TPSrc:   1, TPDst: 2,
+	}, 99)
+	s := p.String()
+	for _, want := range []string{"10.0.0.1", "10.0.0.2", "99B"} {
+		if !contains(s, want) {
+			t.Errorf("String = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

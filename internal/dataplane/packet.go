@@ -1,0 +1,50 @@
+// Package dataplane implements a software OpenFlow data plane: switches
+// with priority flow tables and OpenFlow-faithful counter/expiry
+// semantics, a link fabric connecting switches and hosts, and traffic
+// generators for the workloads Athena's evaluation uses (benign
+// enterprise mixes, DDoS floods, link-flooding attacks, and the NAE
+// application-conflict scenario).
+//
+// Switches speak the internal/openflow codec over real TCP (or in-memory)
+// connections to a controller, so the control channel exercised in tests
+// and benchmarks is the same one a hardware deployment would use.
+package dataplane
+
+import (
+	"fmt"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// DefaultTTL bounds the number of switch hops a packet may traverse,
+// protecting the fabric against forwarding loops.
+const DefaultTTL = 32
+
+// Packet is one unit of simulated traffic.
+type Packet struct {
+	Fields openflow.Fields
+	// Size is the frame length in bytes, used for byte counters.
+	Size int
+	// TTL is decremented at each switch hop; the packet drops at zero.
+	TTL int
+	// Payload optionally carries protocol data (used by LLDP discovery).
+	Payload []byte
+}
+
+// NewPacket builds a packet with the default TTL.
+func NewPacket(f openflow.Fields, size int) *Packet {
+	return &Packet{Fields: f, Size: size, TTL: DefaultTTL}
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt(%s->%s proto=%d %d->%d %dB)",
+		openflow.IPString(p.Fields.IPSrc), openflow.IPString(p.Fields.IPDst),
+		p.Fields.IPProto, p.Fields.TPSrc, p.Fields.TPDst, p.Size)
+}
+
+// clone returns a copy so that multi-port output (flood) does not share
+// mutable TTL state between branches.
+func (p *Packet) clone() *Packet {
+	cp := *p
+	return &cp
+}

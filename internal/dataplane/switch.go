@@ -1,0 +1,542 @@
+package dataplane
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// maxBufferedPackets bounds the PacketIn buffer pool per switch.
+const maxBufferedPackets = 4096
+
+// Port is one switch port with its cumulative counters.
+type Port struct {
+	No        uint32
+	Name      string
+	SpeedKbps uint32
+
+	mu        sync.Mutex
+	rxPackets uint64
+	txPackets uint64
+	rxBytes   uint64
+	txBytes   uint64
+	rxDropped uint64
+	txDropped uint64
+}
+
+func (p *Port) countRx(size int) {
+	p.mu.Lock()
+	p.rxPackets++
+	p.rxBytes += uint64(size)
+	p.mu.Unlock()
+}
+
+func (p *Port) countTx(size int) {
+	p.mu.Lock()
+	p.txPackets++
+	p.txBytes += uint64(size)
+	p.mu.Unlock()
+}
+
+func (p *Port) countDrop(rx bool) {
+	p.mu.Lock()
+	if rx {
+		p.rxDropped++
+	} else {
+		p.txDropped++
+	}
+	p.mu.Unlock()
+}
+
+// Counters returns a snapshot of the port statistics.
+func (p *Port) Counters() openflow.PortStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return openflow.PortStats{
+		PortNo:    p.No,
+		RxPackets: p.rxPackets,
+		TxPackets: p.txPackets,
+		RxBytes:   p.rxBytes,
+		TxBytes:   p.txBytes,
+		RxDropped: p.rxDropped,
+		TxDropped: p.txDropped,
+	}
+}
+
+// Switch is a software OpenFlow switch. It forwards packets according to
+// its flow table, emits PacketIn on table miss, honors FlowMod/PacketOut
+// from its controller, answers statistics requests, and expires rules on
+// idle/hard timeouts.
+type Switch struct {
+	DPID uint64
+
+	table *FlowTable
+	clock func() time.Time
+	fab   fabric // delivery fabric (set by Network)
+
+	mu      sync.Mutex
+	ports   map[uint32]*Port
+	conn    *openflow.Conn
+	buffers map[uint32]*Packet
+	nextBuf uint32
+	stopped bool
+
+	stopExpiry chan struct{}
+	expiryDone chan struct{}
+	connDone   chan struct{}
+}
+
+// fabric is the delivery surface a switch egresses packets into.
+type fabric interface {
+	deliver(from *Switch, outPort uint32, pkt *Packet)
+}
+
+// SwitchOption configures a Switch.
+type SwitchOption func(*Switch)
+
+// WithClock substitutes the time source, letting tests drive expiry
+// deterministically.
+func WithClock(clock func() time.Time) SwitchOption {
+	return func(s *Switch) { s.clock = clock }
+}
+
+// NewSwitch creates a switch with the given datapath id.
+func NewSwitch(dpid uint64, opts ...SwitchOption) *Switch {
+	s := &Switch{
+		DPID:    dpid,
+		table:   NewFlowTable(),
+		clock:   time.Now,
+		ports:   make(map[uint32]*Port),
+		buffers: make(map[uint32]*Packet),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// AddPort registers a port. Ports are normally added by Network wiring.
+func (s *Switch) AddPort(no uint32, name string, speedKbps uint32) *Port {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &Port{No: no, Name: name, SpeedKbps: speedKbps}
+	s.ports[no] = p
+	return p
+}
+
+// Port returns the port with the given number, or nil.
+func (s *Switch) Port(no uint32) *Port {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ports[no]
+}
+
+// Ports returns a snapshot of all ports sorted by creation order is not
+// guaranteed; callers sort if needed.
+func (s *Switch) Ports() []*Port {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Port, 0, len(s.ports))
+	for _, p := range s.ports {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Table exposes the flow table (used by tests and feature extraction).
+func (s *Switch) Table() *FlowTable { return s.table }
+
+// InstallRule adds a rule directly, bypassing the control channel. Used
+// by tests and by proactive setups.
+func (s *Switch) InstallRule(e *FlowEntry) {
+	now := s.clock()
+	if e.Installed.IsZero() {
+		e.Installed = now
+	}
+	if e.LastHit.IsZero() {
+		e.LastHit = now
+	}
+	s.table.Add(e)
+}
+
+// Input processes a packet arriving on inPort.
+func (s *Switch) Input(pkt *Packet, inPort uint32) {
+	port := s.Port(inPort)
+	if port == nil {
+		return
+	}
+	port.countRx(pkt.Size)
+	if pkt.TTL <= 0 {
+		port.countDrop(true)
+		return
+	}
+	f := pkt.Fields
+	f.InPort = inPort
+	entry := s.table.Lookup(f, pkt.Size, s.clock())
+	if entry == nil {
+		s.packetIn(pkt, inPort, openflow.ReasonNoMatch)
+		return
+	}
+	s.applyActions(entry.Actions, pkt, inPort)
+}
+
+func (s *Switch) applyActions(actions []openflow.Action, pkt *Packet, inPort uint32) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case openflow.ActionOutput:
+			s.output(act.Port, pkt, inPort)
+		case openflow.ActionDrop:
+			return
+		}
+	}
+}
+
+func (s *Switch) output(port uint32, pkt *Packet, inPort uint32) {
+	switch port {
+	case openflow.PortController:
+		s.packetIn(pkt, inPort, openflow.ReasonAction)
+	case openflow.PortFlood:
+		for _, p := range s.Ports() {
+			if p.No == inPort {
+				continue
+			}
+			s.egress(p, pkt.clone())
+		}
+	case openflow.PortIngress:
+		if p := s.Port(inPort); p != nil {
+			s.egress(p, pkt)
+		}
+	default:
+		p := s.Port(port)
+		if p == nil {
+			return
+		}
+		s.egress(p, pkt)
+	}
+}
+
+func (s *Switch) egress(p *Port, pkt *Packet) {
+	p.countTx(pkt.Size)
+	if s.fab == nil {
+		return
+	}
+	out := pkt.clone()
+	out.TTL--
+	s.fab.deliver(s, p.No, out)
+}
+
+func (s *Switch) packetIn(pkt *Packet, inPort uint32, reason uint8) {
+	s.mu.Lock()
+	conn := s.conn
+	var bufID uint32
+	if conn != nil {
+		s.nextBuf++
+		bufID = s.nextBuf
+		if len(s.buffers) >= maxBufferedPackets {
+			// Evict arbitrarily; a lost buffer degrades to a retransmit in
+			// real networks and to a dropped first packet here.
+			for k := range s.buffers {
+				delete(s.buffers, k)
+				break
+			}
+		}
+		stored := pkt.clone()
+		stored.Fields.InPort = inPort
+		s.buffers[bufID] = stored
+	}
+	s.mu.Unlock()
+	if conn == nil {
+		if p := s.Port(inPort); p != nil {
+			p.countDrop(true)
+		}
+		return
+	}
+	f := pkt.Fields
+	f.InPort = inPort
+	msg := &openflow.PacketIn{
+		BufferID: bufID,
+		TotalLen: uint16(pkt.Size),
+		Reason:   reason,
+		Cookie:   0,
+		Fields:   f,
+		Data:     pkt.Payload,
+	}
+	if _, err := conn.Send(msg); err != nil {
+		s.dropController(conn)
+	}
+}
+
+// Connect dials the controller at addr over TCP and starts serving the
+// control channel.
+func (s *Switch) Connect(addr string) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("switch %d dial controller: %w", s.DPID, err)
+	}
+	return s.ConnectConn(nc)
+}
+
+// ConnectConn attaches the switch to a controller over an existing
+// transport (used by tests with net.Pipe).
+func (s *Switch) ConnectConn(nc net.Conn) error {
+	conn := openflow.NewConn(nc)
+	if _, err := conn.Send(&openflow.Hello{}); err != nil {
+		conn.Close()
+		return fmt.Errorf("switch %d hello: %w", s.DPID, err)
+	}
+	s.mu.Lock()
+	if s.conn != nil {
+		old := s.conn
+		s.mu.Unlock()
+		old.Close()
+		s.mu.Lock()
+	}
+	s.conn = conn
+	s.connDone = make(chan struct{})
+	done := s.connDone
+	s.mu.Unlock()
+	go s.serveController(conn, done)
+	return nil
+}
+
+// Disconnect drops the controller channel, if any.
+func (s *Switch) Disconnect() {
+	s.mu.Lock()
+	conn := s.conn
+	done := s.connDone
+	s.conn = nil
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+		<-done
+	}
+}
+
+func (s *Switch) dropController(conn *openflow.Conn) {
+	s.mu.Lock()
+	if s.conn == conn {
+		s.conn = nil
+	}
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Switch) serveController(conn *openflow.Conn, done chan struct{}) {
+	defer close(done)
+	for {
+		msg, h, err := conn.Receive()
+		if err != nil {
+			s.dropController(conn)
+			return
+		}
+		if err := s.handleControl(conn, msg, h); err != nil {
+			log.Printf("switch %d: control error: %v", s.DPID, err)
+		}
+	}
+}
+
+func (s *Switch) handleControl(conn *openflow.Conn, msg openflow.Message, h openflow.Header) error {
+	switch m := msg.(type) {
+	case *openflow.Hello:
+		return nil
+	case *openflow.EchoRequest:
+		return conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+	case *openflow.FeaturesRequest:
+		return conn.SendXID(s.featuresReply(), h.XID)
+	case *openflow.FlowMod:
+		return s.handleFlowMod(conn, m)
+	case *openflow.PacketOut:
+		s.handlePacketOut(m)
+		return nil
+	case *openflow.MultipartRequest:
+		return conn.SendXID(s.statsReply(m), h.XID)
+	case *openflow.BarrierRequest:
+		return conn.SendXID(&openflow.BarrierReply{}, h.XID)
+	default:
+		return conn.SendXID(&openflow.ErrorMsg{ErrType: openflow.ErrTypeBadRequest}, h.XID)
+	}
+}
+
+func (s *Switch) featuresReply() *openflow.FeaturesReply {
+	ports := s.Ports()
+	descs := make([]openflow.PortDesc, 0, len(ports))
+	for _, p := range ports {
+		descs = append(descs, openflow.PortDesc{No: p.No, Name: p.Name, SpeedKbps: p.SpeedKbps})
+	}
+	return &openflow.FeaturesReply{DPID: s.DPID, NumTables: 1, Ports: descs}
+}
+
+func (s *Switch) handleFlowMod(conn *openflow.Conn, m *openflow.FlowMod) error {
+	now := s.clock()
+	switch m.Command {
+	case openflow.FlowAdd, openflow.FlowModify:
+		s.table.Add(&FlowEntry{
+			Match:       m.Match,
+			Priority:    m.Priority,
+			Cookie:      m.Cookie,
+			IdleTimeout: time.Duration(m.IdleTimeout) * time.Second,
+			HardTimeout: time.Duration(m.HardTimeout) * time.Second,
+			Flags:       m.Flags,
+			Actions:     m.Actions,
+			Installed:   now,
+			LastHit:     now,
+		})
+	case openflow.FlowDelete, openflow.FlowDeleteStrict:
+		removed := s.table.Delete(m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
+		for _, e := range removed {
+			if e.Flags&openflow.FlagSendFlowRemoved != 0 {
+				if err := s.sendFlowRemoved(conn, e, openflow.RemovedDelete, now); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Switch) handlePacketOut(m *openflow.PacketOut) {
+	var pkt *Packet
+	if m.BufferID != 0 {
+		s.mu.Lock()
+		pkt = s.buffers[m.BufferID]
+		delete(s.buffers, m.BufferID)
+		s.mu.Unlock()
+	}
+	if pkt == nil {
+		// Unbuffered PacketOut: synthesize a packet from the message.
+		pkt = NewPacket(openflow.Fields{InPort: m.InPort}, len(m.Data))
+		pkt.Payload = m.Data
+	}
+	s.applyActions(m.Actions, pkt, m.InPort)
+}
+
+func (s *Switch) statsReply(m *openflow.MultipartRequest) *openflow.MultipartReply {
+	now := s.clock()
+	reply := &openflow.MultipartReply{StatsType: m.StatsType}
+	switch m.StatsType {
+	case openflow.StatsFlow:
+		for _, e := range s.table.Entries() {
+			if m.Flow != nil && !m.Flow.Match.Matches(e.Match.Fields) && m.Flow.Match.Wildcards != openflow.WildAll {
+				continue
+			}
+			d := now.Sub(e.Installed)
+			reply.Flows = append(reply.Flows, openflow.FlowStats{
+				Priority:     e.Priority,
+				DurationSec:  uint32(d / time.Second),
+				DurationNSec: uint32(d % time.Second),
+				IdleTimeout:  uint16(e.IdleTimeout / time.Second),
+				HardTimeout:  uint16(e.HardTimeout / time.Second),
+				Cookie:       e.Cookie,
+				PacketCount:  e.Packets,
+				ByteCount:    e.Bytes,
+				Match:        e.Match,
+				Actions:      e.Actions,
+			})
+		}
+	case openflow.StatsPort:
+		want := openflow.PortAny
+		if m.Port != nil {
+			want = m.Port.PortNo
+		}
+		for _, p := range s.Ports() {
+			if want != openflow.PortAny && p.No != want {
+				continue
+			}
+			reply.Ports = append(reply.Ports, p.Counters())
+		}
+	case openflow.StatsTable:
+		lookups, matched := s.table.Stats()
+		reply.Tables = []openflow.TableStats{{
+			TableID:      0,
+			ActiveCount:  uint32(s.table.Len()),
+			LookupCount:  lookups,
+			MatchedCount: matched,
+		}}
+	}
+	return reply
+}
+
+func (s *Switch) sendFlowRemoved(conn *openflow.Conn, e *FlowEntry, reason uint8, now time.Time) error {
+	d := now.Sub(e.Installed)
+	msg := &openflow.FlowRemoved{
+		Cookie:       e.Cookie,
+		Priority:     e.Priority,
+		Reason:       reason,
+		DurationSec:  uint32(d / time.Second),
+		DurationNSec: uint32(d % time.Second),
+		IdleTimeout:  uint16(e.IdleTimeout / time.Second),
+		HardTimeout:  uint16(e.HardTimeout / time.Second),
+		PacketCount:  e.Packets,
+		ByteCount:    e.Bytes,
+		Match:        e.Match,
+	}
+	_, err := conn.Send(msg)
+	return err
+}
+
+// SweepExpired removes timed-out rules as of now and notifies the
+// controller for entries flagged with FlagSendFlowRemoved. It returns the
+// number of entries removed.
+func (s *Switch) SweepExpired(now time.Time) int {
+	removed := s.table.Expire(now)
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	for _, r := range removed {
+		if conn != nil && r.Entry.Flags&openflow.FlagSendFlowRemoved != 0 {
+			if err := s.sendFlowRemoved(conn, r.Entry, r.Reason, now); err != nil {
+				s.dropController(conn)
+				conn = nil
+			}
+		}
+	}
+	return len(removed)
+}
+
+// StartExpiry launches a background sweeper with the given interval.
+func (s *Switch) StartExpiry(interval time.Duration) {
+	s.mu.Lock()
+	if s.stopExpiry != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stopExpiry = make(chan struct{})
+	s.expiryDone = make(chan struct{})
+	stop, done := s.stopExpiry, s.expiryDone
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s.SweepExpired(s.clock())
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops background work and drops the controller channel.
+func (s *Switch) Close() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	stop, done := s.stopExpiry, s.expiryDone
+	s.stopExpiry = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	s.Disconnect()
+}

@@ -1,0 +1,427 @@
+package dataplane
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// testController is a minimal controller endpoint for driving one switch.
+type testController struct {
+	conn *openflow.Conn
+	msgs chan openflow.Message
+}
+
+func attachController(t *testing.T, sw *Switch) *testController {
+	t.Helper()
+	a, b := net.Pipe()
+	tc := &testController{conn: openflow.NewConn(a), msgs: make(chan openflow.Message, 256)}
+	go func() {
+		for {
+			msg, _, err := tc.conn.Receive()
+			if err != nil {
+				close(tc.msgs)
+				return
+			}
+			tc.msgs <- msg
+		}
+	}()
+	if err := sw.ConnectConn(b); err != nil {
+		t.Fatalf("ConnectConn: %v", err)
+	}
+	t.Cleanup(func() { tc.conn.Close() })
+	// Consume the switch's Hello.
+	if msg := tc.expect(t, openflow.TypeHello); msg == nil {
+		t.Fatal("no hello from switch")
+	}
+	return tc
+}
+
+func (tc *testController) expect(t *testing.T, want openflow.Type) openflow.Message {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case msg, ok := <-tc.msgs:
+			if !ok {
+				t.Fatalf("connection closed while waiting for %v", want)
+				return nil
+			}
+			if msg.MsgType() == want {
+				return msg
+			}
+			// Skip unrelated asynchronous messages.
+		case <-deadline:
+			t.Fatalf("timeout waiting for %v", want)
+			return nil
+		}
+	}
+}
+
+func twoSwitchNet(t *testing.T, clock *fakeClock) (*Network, *Host, *Host) {
+	t.Helper()
+	var opts []NetworkOption
+	if clock != nil {
+		opts = append(opts, WithSwitchOptions(WithClock(clock.Now)))
+	}
+	nw := NewNetwork(opts...)
+	nw.AddSwitch(1)
+	nw.AddSwitch(2)
+	if err := nw.AddLink(1, 2, 2, 2, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := nw.AddHost("h1", openflow.IPv4(10, 0, 0, 1), 1, 1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := nw.AddHost("h2", openflow.IPv4(10, 0, 0, 2), 2, 1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	return nw, h1, h2
+}
+
+func TestForwardingAcrossInstalledPath(t *testing.T) {
+	nw, h1, h2 := twoSwitchNet(t, nil)
+	s1, s2 := nw.Switch(1), nw.Switch(2)
+
+	// Proactively install h1->h2 path: s1 port2 -> s2 port1.
+	m := openflow.Match{
+		Wildcards: openflow.WildAll &^ openflow.WildIPDst,
+		Fields:    openflow.Fields{IPDst: h2.IP},
+	}
+	s1.InstallRule(&FlowEntry{Match: m, Priority: 10, Actions: []openflow.Action{openflow.ActionOutput{Port: 2}}})
+	s2.InstallRule(&FlowEntry{Match: m, Priority: 10, Actions: []openflow.Action{openflow.ActionOutput{Port: 1}}})
+
+	h1.Send(h2, openflow.ProtoTCP, 12345, 80, 100)
+	h1.Send(h2, openflow.ProtoTCP, 12345, 80, 200)
+
+	pkts, bytes := h2.Received()
+	if pkts != 2 || bytes != 300 {
+		t.Fatalf("h2 received %d pkts / %d bytes, want 2/300", pkts, bytes)
+	}
+	// Port counters along the path.
+	if got := s1.Port(2).Counters(); got.TxPackets != 2 || got.TxBytes != 300 {
+		t.Fatalf("s1 port2 tx = %+v", got)
+	}
+	if got := s2.Port(2).Counters(); got.RxPackets != 2 {
+		t.Fatalf("s2 port2 rx = %+v", got)
+	}
+}
+
+func TestTableMissSendsPacketInAndBuffers(t *testing.T) {
+	nw, h1, h2 := twoSwitchNet(t, nil)
+	s1 := nw.Switch(1)
+	tc := attachController(t, s1)
+
+	h1.Send(h2, openflow.ProtoTCP, 999, 80, 64)
+
+	msg := tc.expect(t, openflow.TypePacketIn).(*openflow.PacketIn)
+	if msg.Fields.IPDst != h2.IP || msg.Fields.InPort != 1 {
+		t.Fatalf("PacketIn fields = %+v", msg.Fields)
+	}
+	if msg.BufferID == 0 {
+		t.Fatal("PacketIn without buffer id")
+	}
+	if msg.Reason != openflow.ReasonNoMatch {
+		t.Fatalf("reason = %d", msg.Reason)
+	}
+
+	// Release the buffered packet toward port 2 (the inter-switch link)
+	// after installing a rule, as a reactive controller would.
+	fm := &openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: 10,
+		Match:    openflow.ExactMatch(msg.Fields),
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: 2}},
+	}
+	if _, err := tc.conn.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	po := &openflow.PacketOut{BufferID: msg.BufferID, InPort: msg.Fields.InPort,
+		Actions: []openflow.Action{openflow.ActionOutput{Port: 2}}}
+	if _, err := tc.conn.Send(po); err != nil {
+		t.Fatal(err)
+	}
+	// Barrier guarantees the switch processed both.
+	if _, err := tc.conn.Send(&openflow.BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	tc.expect(t, openflow.TypeBarrierReply)
+
+	if s1.Table().Len() != 1 {
+		t.Fatalf("table len = %d, want 1", s1.Table().Len())
+	}
+	// The buffered packet crossed to s2 and missed there (s2 has no
+	// controller), so it must have left s1 on port 2.
+	if got := s1.Port(2).Counters(); got.TxPackets != 1 {
+		t.Fatalf("s1 port2 tx = %+v, want 1 packet", got)
+	}
+
+	// Second packet of the flow is forwarded in the fast path.
+	h1.Send(h2, openflow.ProtoTCP, 999, 80, 64)
+	if got := s1.Port(2).Counters(); got.TxPackets != 2 {
+		t.Fatalf("s1 port2 tx after rule = %+v, want 2 packets", got)
+	}
+}
+
+func TestControlChannelEchoFeaturesStats(t *testing.T) {
+	nw, h1, h2 := twoSwitchNet(t, nil)
+	s1 := nw.Switch(1)
+	tc := attachController(t, s1)
+
+	if _, err := tc.conn.Send(&openflow.EchoRequest{Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	echo := tc.expect(t, openflow.TypeEchoReply).(*openflow.EchoReply)
+	if string(echo.Data) != "x" {
+		t.Fatalf("echo data = %q", echo.Data)
+	}
+
+	if _, err := tc.conn.Send(&openflow.FeaturesRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	feat := tc.expect(t, openflow.TypeFeaturesReply).(*openflow.FeaturesReply)
+	if feat.DPID != 1 || len(feat.Ports) != 2 {
+		t.Fatalf("features = %+v", feat)
+	}
+
+	// Install a rule and push traffic so the counters move.
+	s1.InstallRule(&FlowEntry{
+		Match:    openflow.MatchAll(),
+		Priority: 1,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: 2}},
+	})
+	h1.Send(h2, openflow.ProtoTCP, 999, 80, 150)
+
+	if _, err := tc.conn.Send(&openflow.MultipartRequest{StatsType: openflow.StatsFlow}); err != nil {
+		t.Fatal(err)
+	}
+	fs := tc.expect(t, openflow.TypeMultipartReply).(*openflow.MultipartReply)
+	if len(fs.Flows) != 1 || fs.Flows[0].PacketCount != 1 || fs.Flows[0].ByteCount != 150 {
+		t.Fatalf("flow stats = %+v", fs.Flows)
+	}
+
+	if _, err := tc.conn.Send(&openflow.MultipartRequest{StatsType: openflow.StatsPort}); err != nil {
+		t.Fatal(err)
+	}
+	ps := tc.expect(t, openflow.TypeMultipartReply).(*openflow.MultipartReply)
+	if len(ps.Ports) != 2 {
+		t.Fatalf("port stats = %+v", ps.Ports)
+	}
+
+	if _, err := tc.conn.Send(&openflow.MultipartRequest{StatsType: openflow.StatsTable}); err != nil {
+		t.Fatal(err)
+	}
+	ts := tc.expect(t, openflow.TypeMultipartReply).(*openflow.MultipartReply)
+	if len(ts.Tables) != 1 || ts.Tables[0].ActiveCount != 1 {
+		t.Fatalf("table stats = %+v", ts.Tables)
+	}
+}
+
+func TestFlowRemovedOnIdleExpiry(t *testing.T) {
+	clock := newFakeClock()
+	nw, h1, h2 := twoSwitchNet(t, clock)
+	s1 := nw.Switch(1)
+	tc := attachController(t, s1)
+
+	fm := &openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		Priority:    10,
+		IdleTimeout: 5,
+		Flags:       openflow.FlagSendFlowRemoved,
+		Match:       openflow.MatchAll(),
+		Actions:     []openflow.Action{openflow.ActionOutput{Port: 2}},
+	}
+	if _, err := tc.conn.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.conn.Send(&openflow.BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	tc.expect(t, openflow.TypeBarrierReply)
+
+	h1.Send(h2, openflow.ProtoTCP, 999, 80, 500)
+	clock.Advance(10 * time.Second)
+	if n := s1.SweepExpired(clock.Now()); n != 1 {
+		t.Fatalf("SweepExpired = %d, want 1", n)
+	}
+	fr := tc.expect(t, openflow.TypeFlowRemoved).(*openflow.FlowRemoved)
+	if fr.Reason != openflow.RemovedIdleTimeout {
+		t.Fatalf("reason = %d", fr.Reason)
+	}
+	if fr.PacketCount != 1 || fr.ByteCount != 500 {
+		t.Fatalf("final counters = %d/%d, want 1/500", fr.PacketCount, fr.ByteCount)
+	}
+	if fr.DurationSec != 10 {
+		t.Fatalf("duration = %d, want 10", fr.DurationSec)
+	}
+}
+
+func TestFloodExcludesIngress(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSwitch(1)
+	hosts := make([]*Host, 3)
+	for i := range hosts {
+		h, err := nw.AddHost(
+			string(rune('a'+i)), openflow.IPv4(10, 0, 1, byte(i+1)), 1, uint32(i+1), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+	}
+	t.Cleanup(nw.Close)
+	sw := nw.Switch(1)
+	sw.InstallRule(&FlowEntry{
+		Match:    openflow.MatchAll(),
+		Priority: 1,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: openflow.PortFlood}},
+	})
+	hosts[0].Send(hosts[2], openflow.ProtoUDP, 1, 2, 100)
+	if p, _ := hosts[0].Received(); p != 0 {
+		t.Fatalf("sender received its own flood (%d pkts)", p)
+	}
+	for i := 1; i < 3; i++ {
+		if p, _ := hosts[i].Received(); p != 1 {
+			t.Fatalf("host %d received %d pkts, want 1", i, p)
+		}
+	}
+}
+
+func TestTTLStopsForwardingLoops(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSwitch(1)
+	nw.AddSwitch(2)
+	if err := nw.AddLink(1, 1, 2, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddLink(1, 2, 2, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	h, err := nw.AddHost("h", openflow.IPv4(10, 9, 9, 9), 1, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	// Deliberate loop: s1 sends everything to s2 via port1; s2 sends
+	// everything back via its port1.
+	loop := []openflow.Action{openflow.ActionOutput{Port: 1}}
+	nw.Switch(1).InstallRule(&FlowEntry{Match: openflow.MatchAll(), Priority: 1, Actions: loop})
+	nw.Switch(2).InstallRule(&FlowEntry{Match: openflow.MatchAll(), Priority: 1, Actions: loop})
+
+	done := make(chan struct{})
+	go func() {
+		h.Send(h, openflow.ProtoUDP, 1, 1, 50)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("forwarding loop did not terminate")
+	}
+	lookups, _ := nw.Switch(1).Table().Stats()
+	if lookups == 0 || lookups > DefaultTTL {
+		t.Fatalf("loop lookups = %d, want 1..%d", lookups, DefaultTTL)
+	}
+}
+
+func TestDisconnectedSwitchDropsMisses(t *testing.T) {
+	nw, h1, h2 := twoSwitchNet(t, nil)
+	h1.Send(h2, openflow.ProtoTCP, 1, 2, 100)
+	if p, _ := h2.Received(); p != 0 {
+		t.Fatalf("packet delivered without any rules or controller")
+	}
+	if got := nw.Switch(1).Port(1).Counters(); got.RxDropped != 1 {
+		t.Fatalf("drop counter = %+v, want RxDropped 1", got)
+	}
+}
+
+func TestSwitchReconnectReplacesChannel(t *testing.T) {
+	nw, h1, h2 := twoSwitchNet(t, nil)
+	s1 := nw.Switch(1)
+	_ = attachController(t, s1)
+	tc2 := attachController(t, s1) // second connect replaces the first
+	h1.Send(h2, openflow.ProtoTCP, 999, 80, 64)
+	pi := tc2.expect(t, openflow.TypePacketIn).(*openflow.PacketIn)
+	if pi.Fields.IPSrc != h1.IP {
+		t.Fatalf("PacketIn src = %v", pi.Fields.IPSrc)
+	}
+}
+
+func TestTrafficGenShapes(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSwitch(1)
+	var hosts []*Host
+	for i := 0; i < 4; i++ {
+		h, err := nw.AddHost(
+			string(rune('a'+i)), openflow.IPv4(10, 0, 2, byte(i+1)), 1, uint32(i+1), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	t.Cleanup(nw.Close)
+	nw.Switch(1).InstallRule(&FlowEntry{
+		Match:    openflow.MatchAll(),
+		Priority: 1,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: openflow.PortFlood}},
+	})
+
+	g := NewTrafficGen(42)
+	benign := g.BenignFlow(hosts)
+	if benign.Src == benign.Dst {
+		t.Fatal("benign flow with identical endpoints")
+	}
+	if benign.Reverse == 0 {
+		t.Fatal("benign flow must be bidirectional")
+	}
+	ddos := g.DDoSFlow(hosts[:2], hosts[3])
+	if ddos.SpoofedSrc == 0 {
+		t.Fatal("ddos flow must spoof its source")
+	}
+	if ddos.Reverse != 0 {
+		t.Fatal("ddos flow must be unidirectional")
+	}
+	lfa := g.LFAFlow(hosts[:2], hosts[2:])
+	if lfa.PacketSize != 1400 {
+		t.Fatalf("lfa packet size = %d", lfa.PacketSize)
+	}
+
+	// Determinism: same seed, same first flow.
+	g2 := NewTrafficGen(42)
+	again := g2.BenignFlow(hosts)
+	if again.Src.Name != benign.Src.Name || again.Packets != benign.Packets {
+		t.Fatal("traffic generation is not reproducible for equal seeds")
+	}
+
+	benign.Send()
+	if p, _ := benign.Dst.Received(); p == 0 {
+		t.Fatal("benign flow delivered nothing")
+	}
+}

@@ -1,0 +1,141 @@
+package dataplane
+
+import (
+	"math/rand"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// FlowSpec describes one application flow pushed through the network.
+type FlowSpec struct {
+	Src, Dst         *Host
+	Proto            uint8
+	SrcPort, DstPort uint16
+	// Packets / PacketSize shape the forward direction.
+	Packets    int
+	PacketSize int
+	// Reverse is the number of reverse-direction packets. A value > 0
+	// makes the flow a "pair flow" in Athena's stateful-feature sense.
+	Reverse     int
+	ReverseSize int
+	// SpoofedSrc overrides the source IP (the MAC remains the sending
+	// host's), modelling source-spoofed flood traffic.
+	SpoofedSrc uint32
+}
+
+// Send pushes the flow's packets through the network synchronously.
+func (s FlowSpec) Send() {
+	fwd := openflow.Fields{
+		EthSrc:  s.Src.MAC,
+		EthDst:  s.Dst.MAC,
+		EthType: openflow.EthTypeIPv4,
+		IPProto: s.Proto,
+		IPSrc:   s.Src.IP,
+		IPDst:   s.Dst.IP,
+		TPSrc:   s.SrcPort,
+		TPDst:   s.DstPort,
+	}
+	if s.SpoofedSrc != 0 {
+		fwd.IPSrc = s.SpoofedSrc
+	}
+	for i := 0; i < s.Packets; i++ {
+		s.Src.SendFields(fwd, s.PacketSize)
+	}
+	if s.Reverse <= 0 {
+		return
+	}
+	size := s.ReverseSize
+	if size == 0 {
+		size = s.PacketSize
+	}
+	rev := openflow.Fields{
+		EthSrc:  s.Dst.MAC,
+		EthDst:  s.Src.MAC,
+		EthType: openflow.EthTypeIPv4,
+		IPProto: s.Proto,
+		IPSrc:   fwd.IPDst,
+		IPDst:   fwd.IPSrc,
+		TPSrc:   s.DstPort,
+		TPDst:   s.SrcPort,
+	}
+	for i := 0; i < s.Reverse; i++ {
+		s.Dst.SendFields(rev, size)
+	}
+}
+
+// TrafficGen synthesizes workload mixes. All randomness flows from the
+// seeded source so runs are reproducible.
+type TrafficGen struct {
+	rng *rand.Rand
+}
+
+// NewTrafficGen returns a generator with the given seed.
+func NewTrafficGen(seed int64) *TrafficGen {
+	return &TrafficGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Intn exposes the generator's random source for workload scripting.
+func (g *TrafficGen) Intn(n int) int { return g.rng.Intn(n) }
+
+// Well-known service ports used by the benign mix.
+var benignPorts = []uint16{80, 443, 21, 22, 25, 53, 8080}
+
+// BenignFlow draws one enterprise-style flow between two distinct hosts:
+// bidirectional, service-port destination, request/response volume
+// asymmetry.
+func (g *TrafficGen) BenignFlow(hosts []*Host) FlowSpec {
+	src := hosts[g.rng.Intn(len(hosts))]
+	dst := src
+	for dst == src {
+		dst = hosts[g.rng.Intn(len(hosts))]
+	}
+	pkts := 4 + g.rng.Intn(40)
+	return FlowSpec{
+		Src:         src,
+		Dst:         dst,
+		Proto:       openflow.ProtoTCP,
+		SrcPort:     uint16(20000 + g.rng.Intn(40000)),
+		DstPort:     benignPorts[g.rng.Intn(len(benignPorts))],
+		Packets:     pkts,
+		PacketSize:  200 + g.rng.Intn(1200),
+		Reverse:     pkts + g.rng.Intn(3*pkts+1), // responses dominate
+		ReverseSize: 600 + g.rng.Intn(800),
+	}
+}
+
+// DDoSFlow draws one flood flow: spoofed source, unidirectional, small
+// constant-size packets, high per-flow uniformity — the signature the
+// Table V features separate on.
+func (g *TrafficGen) DDoSFlow(attackers []*Host, victim *Host) FlowSpec {
+	src := attackers[g.rng.Intn(len(attackers))]
+	return FlowSpec{
+		Src:        src,
+		Dst:        victim,
+		Proto:      openflow.ProtoTCP,
+		SrcPort:    uint16(1024 + g.rng.Intn(60000)),
+		DstPort:    80,
+		Packets:    1 + g.rng.Intn(4),
+		PacketSize: 40 + g.rng.Intn(20),
+		SpoofedSrc: openflow.IPv4(198, byte(g.rng.Intn(32)), byte(g.rng.Intn(256)), byte(1+g.rng.Intn(254))),
+	}
+}
+
+// LFAFlow draws one low-rate bot flow between a bot and a decoy server,
+// designed so that (with suitable topology placement) many such flows
+// converge on and saturate a single target link while each flow stays
+// individually unremarkable.
+func (g *TrafficGen) LFAFlow(bots, decoys []*Host) FlowSpec {
+	src := bots[g.rng.Intn(len(bots))]
+	dst := decoys[g.rng.Intn(len(decoys))]
+	pkts := 30 + g.rng.Intn(60)
+	return FlowSpec{
+		Src:        src,
+		Dst:        dst,
+		Proto:      openflow.ProtoTCP,
+		SrcPort:    uint16(30000 + g.rng.Intn(30000)),
+		DstPort:    80,
+		Packets:    pkts,
+		PacketSize: 1400, // full-size frames to congest the link
+		Reverse:    2,    // minimal ACK traffic keeps flows looking alive
+	}
+}

@@ -1,0 +1,163 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig parameterizes random-forest training.
+type ForestConfig struct {
+	Trees int `json:"trees"`
+	Tree  TreeConfig
+	Seed  int64 `json:"seed"`
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 20
+	}
+	return c
+}
+
+// RandomForest bags CART trees over bootstrap samples with per-node
+// feature subsetting.
+type RandomForest struct {
+	Trees []*DecisionTree `json:"trees"`
+}
+
+// TrainRandomForest fits a bagged forest for binary classification.
+func TrainRandomForest(d *Dataset, cfg ForestConfig) (*RandomForest, error) {
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Tree.FeatureSubset == 0 {
+		cfg.Tree.FeatureSubset = int(math.Ceil(math.Sqrt(float64(d.Dim()))))
+	}
+	forest := &RandomForest{}
+	n := d.Len()
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := d.Subset(idx)
+		treeCfg := cfg.Tree
+		treeCfg.Seed = rng.Int63()
+		tree, err := TrainDecisionTree(boot, treeCfg)
+		if err != nil {
+			return nil, err
+		}
+		forest.Trees = append(forest.Trees, tree)
+	}
+	return forest, nil
+}
+
+// Predict averages leaf probabilities across the forest.
+func (f *RandomForest) Predict(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.Trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// PredictClass thresholds the averaged probability at 0.5.
+func (f *RandomForest) PredictClass(x []float64) int {
+	if f.Predict(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// GBTConfig parameterizes gradient-boosted-tree training.
+type GBTConfig struct {
+	Trees        int     `json:"trees"`
+	LearningRate float64 `json:"learning_rate"`
+	Tree         TreeConfig
+	Seed         int64 `json:"seed"`
+}
+
+func (c GBTConfig) withDefaults() GBTConfig {
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.2
+	}
+	if c.Tree.MaxDepth == 0 {
+		c.Tree.MaxDepth = 3
+	}
+	return c
+}
+
+// GradientBoostedTrees boosts shallow regression trees on the logistic
+// loss for binary classification (Table IV's "Boosting" row).
+type GradientBoostedTrees struct {
+	Bias         float64         `json:"bias"`
+	LearningRate float64         `json:"learning_rate"`
+	Trees        []*DecisionTree `json:"trees"`
+}
+
+// TrainGBT fits gradient boosting with logistic loss.
+func TrainGBT(d *Dataset, cfg GBTConfig) (*GradientBoostedTrees, error) {
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := d.Len()
+
+	// Initialize with the log-odds of the base rate.
+	pos := 0.0
+	for _, y := range d.Labels {
+		pos += y
+	}
+	p := (pos + 1) / (float64(n) + 2)
+	model := &GradientBoostedTrees{
+		Bias:         math.Log(p / (1 - p)),
+		LearningRate: cfg.LearningRate,
+	}
+
+	margin := make([]float64, n)
+	for i := range margin {
+		margin[i] = model.Bias
+	}
+	residual := make([]float64, n)
+	work := &Dataset{X: d.X, Labels: residual}
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range residual {
+			residual[i] = d.Labels[i] - sigmoid(margin[i])
+		}
+		treeCfg := cfg.Tree
+		treeCfg.Regression = true
+		treeCfg.Seed = rng.Int63()
+		tree, err := TrainDecisionTree(work, treeCfg)
+		if err != nil {
+			return nil, err
+		}
+		model.Trees = append(model.Trees, tree)
+		for i, row := range d.X {
+			margin[i] += cfg.LearningRate * tree.Predict(row)
+		}
+	}
+	return model, nil
+}
+
+// Predict returns the positive-class probability.
+func (g *GradientBoostedTrees) Predict(x []float64) float64 {
+	margin := g.Bias
+	for _, t := range g.Trees {
+		margin += g.LearningRate * t.Predict(x)
+	}
+	return sigmoid(margin)
+}
+
+// PredictClass thresholds the probability at 0.5.
+func (g *GradientBoostedTrees) PredictClass(x []float64) int {
+	if g.Predict(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}

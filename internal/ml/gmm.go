@@ -1,0 +1,199 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GMMConfig parameterizes Gaussian-mixture training.
+type GMMConfig struct {
+	Components int     `json:"components"`
+	Iterations int     `json:"iterations"`
+	Seed       int64   `json:"seed"`
+	Epsilon    float64 `json:"epsilon"`
+}
+
+func (c GMMConfig) withDefaults() GMMConfig {
+	if c.Components <= 0 {
+		c.Components = 2
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 50
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-4
+	}
+	return c
+}
+
+// GaussianMixture is a diagonal-covariance mixture model fit by EM.
+type GaussianMixture struct {
+	Pi     []float64   `json:"pi"`
+	Means  [][]float64 `json:"means"`
+	Vars   [][]float64 `json:"vars"`
+	LogLik float64     `json:"loglik"`
+}
+
+const minVariance = 1e-6
+
+// TrainGMM fits a diagonal-covariance Gaussian mixture with EM,
+// initialized from a short K-Means run.
+func TrainGMM(d *Dataset, cfg GMMConfig) (*GaussianMixture, error) {
+	if err := d.Validate(false); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Components > d.Len() {
+		cfg.Components = d.Len()
+	}
+	k, n, dim := cfg.Components, d.Len(), d.Dim()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initialize from K-Means centroids with global variance.
+	km, err := TrainKMeans(d, KMeansConfig{K: k, Iterations: 5, Seed: rng.Int63()})
+	if err != nil {
+		return nil, err
+	}
+	m := &GaussianMixture{
+		Pi:    make([]float64, k),
+		Means: km.Centroids,
+		Vars:  make([][]float64, k),
+	}
+	globalVar := columnVariance(d)
+	for c := 0; c < k; c++ {
+		m.Pi[c] = 1 / float64(k)
+		m.Vars[c] = append([]float64(nil), globalVar...)
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// E-step.
+		ll := 0.0
+		for i, row := range d.X {
+			var max float64 = math.Inf(-1)
+			logs := make([]float64, k)
+			for c := 0; c < k; c++ {
+				logs[c] = math.Log(m.Pi[c]+1e-300) + m.logGauss(c, row)
+				if logs[c] > max {
+					max = logs[c]
+				}
+			}
+			sum := 0.0
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Exp(logs[c] - max)
+				sum += resp[i][c]
+			}
+			for c := 0; c < k; c++ {
+				resp[i][c] /= sum
+			}
+			ll += max + math.Log(sum)
+		}
+		m.LogLik = ll
+		// M-step.
+		for c := 0; c < k; c++ {
+			nc := 0.0
+			for i := 0; i < n; i++ {
+				nc += resp[i][c]
+			}
+			if nc < 1e-12 {
+				continue
+			}
+			m.Pi[c] = nc / float64(n)
+			mean := make([]float64, dim)
+			for i, row := range d.X {
+				for j, v := range row {
+					mean[j] += resp[i][c] * v
+				}
+			}
+			for j := range mean {
+				mean[j] /= nc
+			}
+			vr := make([]float64, dim)
+			for i, row := range d.X {
+				for j, v := range row {
+					dv := v - mean[j]
+					vr[j] += resp[i][c] * dv * dv
+				}
+			}
+			for j := range vr {
+				vr[j] = vr[j]/nc + minVariance
+			}
+			m.Means[c], m.Vars[c] = mean, vr
+		}
+		if math.Abs(ll-prevLL) < cfg.Epsilon*(math.Abs(prevLL)+1) {
+			break
+		}
+		prevLL = ll
+	}
+	return m, nil
+}
+
+func columnVariance(d *Dataset) []float64 {
+	dim, n := d.Dim(), float64(d.Len())
+	mean := make([]float64, dim)
+	for _, row := range d.X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	vr := make([]float64, dim)
+	for _, row := range d.X {
+		for j, v := range row {
+			dv := v - mean[j]
+			vr[j] += dv * dv
+		}
+	}
+	for j := range vr {
+		vr[j] = vr[j]/n + minVariance
+	}
+	return vr
+}
+
+func (m *GaussianMixture) logGauss(c int, x []float64) float64 {
+	s := 0.0
+	for j, v := range x {
+		d := v - m.Means[c][j]
+		s += -0.5*(d*d/m.Vars[c][j]) - 0.5*math.Log(2*math.Pi*m.Vars[c][j])
+	}
+	return s
+}
+
+// K returns the number of mixture components.
+func (m *GaussianMixture) K() int { return len(m.Means) }
+
+// Assign returns the most probable component for x.
+func (m *GaussianMixture) Assign(x []float64) int {
+	best, bestLL := 0, math.Inf(-1)
+	for c := range m.Means {
+		ll := math.Log(m.Pi[c]+1e-300) + m.logGauss(c, x)
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best
+}
+
+// LogDensity returns the log of the mixture density at x; low values
+// flag outliers.
+func (m *GaussianMixture) LogDensity(x []float64) float64 {
+	max := math.Inf(-1)
+	logs := make([]float64, len(m.Means))
+	for c := range m.Means {
+		logs[c] = math.Log(m.Pi[c]+1e-300) + m.logGauss(c, x)
+		if logs[c] > max {
+			max = logs[c]
+		}
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - max)
+	}
+	return max + math.Log(sum)
+}

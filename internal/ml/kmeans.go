@@ -1,0 +1,228 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansConfig mirrors the knobs in the paper's Fig. 6 cluster report:
+// K, Iterations, Runs, Seed, InitMode (k-means‖), Epsilon.
+type KMeansConfig struct {
+	K          int     `json:"k"`
+	Iterations int     `json:"iterations"`
+	Runs       int     `json:"runs"`
+	Seed       int64   `json:"seed"`
+	Epsilon    float64 `json:"epsilon"`
+	// InitMode is "kmeans||" (default) or "random".
+	InitMode string `json:"init_mode"`
+}
+
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 20
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-4
+	}
+	if c.InitMode == "" {
+		c.InitMode = "kmeans||"
+	}
+	return c
+}
+
+// KMeans is a trained clustering model.
+type KMeans struct {
+	Centroids [][]float64 `json:"centroids"`
+	// Inertia is the final within-cluster sum of squared distances.
+	Inertia float64 `json:"inertia"`
+}
+
+// TrainKMeans fits K-Means with Lloyd iterations, choosing the best of
+// cfg.Runs restarts by inertia.
+func TrainKMeans(d *Dataset, cfg KMeansConfig) (*KMeans, error) {
+	if err := d.Validate(false); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.K > d.Len() {
+		cfg.K = d.Len()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best *KMeans
+	for run := 0; run < cfg.Runs; run++ {
+		m := trainKMeansOnce(d, cfg, rng)
+		if best == nil || m.Inertia < best.Inertia {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func trainKMeansOnce(d *Dataset, cfg KMeansConfig, rng *rand.Rand) *KMeans {
+	var centroids [][]float64
+	if cfg.InitMode == "random" {
+		centroids = initRandom(d, cfg.K, rng)
+	} else {
+		centroids = initKMeansParallel(d, cfg.K, rng)
+	}
+	assign := make([]int, d.Len())
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		moved := lloydStep(d, centroids, assign)
+		if moved < cfg.Epsilon {
+			break
+		}
+	}
+	inertia := 0.0
+	for i, row := range d.X {
+		inertia += sqDist(row, centroids[assign[i]])
+	}
+	return &KMeans{Centroids: centroids, Inertia: inertia}
+}
+
+// lloydStep reassigns points and recomputes centroids, returning the
+// total centroid movement.
+func lloydStep(d *Dataset, centroids [][]float64, assign []int) float64 {
+	k, dim := len(centroids), d.Dim()
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for i, row := range d.X {
+		c := nearestCentroid(row, centroids)
+		assign[i] = c
+		counts[c]++
+		for j, v := range row {
+			sums[c][j] += v
+		}
+	}
+	moved := 0.0
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue // empty cluster keeps its centroid
+		}
+		next := make([]float64, dim)
+		for j := range next {
+			next[j] = sums[c][j] / float64(counts[c])
+		}
+		moved += euclidean(centroids[c], next)
+		centroids[c] = next
+	}
+	return moved
+}
+
+func nearestCentroid(row []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if dist := sqDist(row, cent); dist < bestD {
+			best, bestD = c, dist
+		}
+	}
+	return best
+}
+
+func initRandom(d *Dataset, k int, rng *rand.Rand) [][]float64 {
+	idx := shuffledIndices(d.Len(), rng)[:k]
+	out := make([][]float64, k)
+	for i, j := range idx {
+		out[i] = append([]float64(nil), d.X[j]...)
+	}
+	return out
+}
+
+// initKMeansParallel implements a single-machine rendition of the
+// k-means‖ oversampling scheme: sample candidates proportional to
+// distance cost over a few rounds, then reduce to k by weighted
+// farthest-point selection.
+func initKMeansParallel(d *Dataset, k int, rng *rand.Rand) [][]float64 {
+	n := d.Len()
+	candidates := [][]float64{append([]float64(nil), d.X[rng.Intn(n)]...)}
+	cost := make([]float64, n)
+	total := 0.0
+	for i, row := range d.X {
+		cost[i] = sqDist(row, candidates[0])
+		total += cost[i]
+	}
+	const rounds = 5
+	oversample := 2 * k
+	for r := 0; r < rounds && total > 0; r++ {
+		for i, row := range d.X {
+			p := float64(oversample) * cost[i] / total
+			if rng.Float64() < p {
+				candidates = append(candidates, append([]float64(nil), row...))
+			}
+		}
+		total = 0
+		for i, row := range d.X {
+			cost[i] = math.Inf(1)
+			for _, c := range candidates {
+				if dist := sqDist(row, c); dist < cost[i] {
+					cost[i] = dist
+				}
+			}
+			total += cost[i]
+		}
+	}
+	// Reduce candidates to k by greedy farthest-point traversal.
+	if len(candidates) < k {
+		candidates = append(candidates, initRandom(d, k-len(candidates), rng)...)
+	}
+	chosen := [][]float64{candidates[0]}
+	for len(chosen) < k {
+		bestIdx, bestDist := -1, -1.0
+		for i, c := range candidates {
+			dmin := math.Inf(1)
+			for _, ch := range chosen {
+				if dist := sqDist(c, ch); dist < dmin {
+					dmin = dist
+				}
+			}
+			if dmin > bestDist {
+				bestIdx, bestDist = i, dmin
+			}
+		}
+		chosen = append(chosen, candidates[bestIdx])
+	}
+	return chosen
+}
+
+// K returns the number of clusters.
+func (m *KMeans) K() int { return len(m.Centroids) }
+
+// Assign returns the nearest centroid index for x.
+func (m *KMeans) Assign(x []float64) int {
+	return nearestCentroid(x, m.Centroids)
+}
+
+// Distance returns the Euclidean distance from x to its centroid.
+func (m *KMeans) Distance(x []float64) float64 {
+	return euclidean(x, m.Centroids[m.Assign(x)])
+}
+
+// AssignStep is one distributed Lloyd iteration's map task: given the
+// current centroids, compute per-cluster partial sums over a data
+// partition. The driver merges partials and recomputes centroids,
+// mirroring how MLlib distributes K-Means.
+func AssignStep(part *Dataset, centroids [][]float64) (sums [][]float64, counts []int64, inertia float64) {
+	k, dim := len(centroids), part.Dim()
+	sums = make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	counts = make([]int64, k)
+	for _, row := range part.X {
+		c := nearestCentroid(row, centroids)
+		counts[c]++
+		inertia += sqDist(row, centroids[c])
+		for j, v := range row {
+			sums[c][j] += v
+		}
+	}
+	return sums, counts, inertia
+}

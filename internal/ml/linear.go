@@ -1,0 +1,277 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LinearConfig parameterizes the SGD-trained linear models.
+type LinearConfig struct {
+	Epochs       int     `json:"epochs"`
+	LearningRate float64 `json:"learning_rate"`
+	// L2 is the ridge penalty; L1 the lasso penalty.
+	L2   float64 `json:"l2"`
+	L1   float64 `json:"l1"`
+	Seed int64   `json:"seed"`
+}
+
+func (c LinearConfig) withDefaults() LinearConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	return c
+}
+
+// LogisticRegression is a binary classifier trained by SGD on log loss.
+type LogisticRegression struct {
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+}
+
+// TrainLogisticRegression fits logistic regression with optional L2.
+func TrainLogisticRegression(d *Dataset, cfg LinearConfig) (*LogisticRegression, error) {
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &LogisticRegression{Weights: make([]float64, d.Dim())}
+	n := d.Len()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.05*float64(epoch))
+		for _, i := range shuffledIndices(n, rng) {
+			x, y := d.X[i], d.Labels[i]
+			err := sigmoid(dot(m.Weights, x)+m.Bias) - y
+			for j, v := range x {
+				m.Weights[j] -= lr * (err*v + cfg.L2*m.Weights[j])
+			}
+			m.Bias -= lr * err
+		}
+	}
+	return m, nil
+}
+
+// Predict returns P(class=1 | x).
+func (m *LogisticRegression) Predict(x []float64) float64 {
+	return sigmoid(dot(m.Weights, x) + m.Bias)
+}
+
+// PredictClass thresholds the probability at 0.5.
+func (m *LogisticRegression) PredictClass(x []float64) int {
+	if m.Predict(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// SVM is a linear support-vector classifier trained with the Pegasos
+// style sub-gradient method on hinge loss.
+type SVM struct {
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+}
+
+// TrainSVM fits a linear SVM. cfg.L2 acts as the regularization
+// strength lambda (default 1e-3).
+func TrainSVM(d *Dataset, cfg LinearConfig) (*SVM, error) {
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	lambda := cfg.L2
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &SVM{Weights: make([]float64, d.Dim())}
+	n := d.Len()
+	t := 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, i := range shuffledIndices(n, rng) {
+			lr := 1 / (lambda * float64(t))
+			t++
+			x := d.X[i]
+			y := 2*d.Labels[i] - 1 // map {0,1} -> {-1,+1}
+			margin := y * (dot(m.Weights, x) + m.Bias)
+			for j := range m.Weights {
+				m.Weights[j] *= 1 - lr*lambda
+			}
+			if margin < 1 {
+				for j, v := range x {
+					m.Weights[j] += lr * y * v
+				}
+				m.Bias += lr * y
+			}
+		}
+	}
+	return m, nil
+}
+
+// Margin returns the signed distance proxy w·x+b.
+func (m *SVM) Margin(x []float64) float64 { return dot(m.Weights, x) + m.Bias }
+
+// PredictClass returns 1 for positive margins.
+func (m *SVM) PredictClass(x []float64) int {
+	if m.Margin(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// LinearRegression is an ordinary/ridge/lasso least-squares model; the
+// penalty mix is chosen by the training function used.
+type LinearRegression struct {
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+	Kind    string    `json:"kind"` // "linear", "ridge", "lasso"
+}
+
+// TrainLinearRegression fits ordinary least squares by SGD.
+func TrainLinearRegression(d *Dataset, cfg LinearConfig) (*LinearRegression, error) {
+	cfg.L1, cfg.L2 = 0, 0
+	return trainRegression(d, cfg, "linear")
+}
+
+// TrainRidgeRegression fits L2-penalized least squares.
+func TrainRidgeRegression(d *Dataset, cfg LinearConfig) (*LinearRegression, error) {
+	if cfg.L2 <= 0 {
+		cfg.L2 = 0.01
+	}
+	cfg.L1 = 0
+	return trainRegression(d, cfg, "ridge")
+}
+
+// TrainLassoRegression fits L1-penalized least squares with
+// soft-thresholding updates.
+func TrainLassoRegression(d *Dataset, cfg LinearConfig) (*LinearRegression, error) {
+	if cfg.L1 <= 0 {
+		cfg.L1 = 0.01
+	}
+	cfg.L2 = 0
+	return trainRegression(d, cfg, "lasso")
+}
+
+func trainRegression(d *Dataset, cfg LinearConfig, kind string) (*LinearRegression, error) {
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &LinearRegression{Weights: make([]float64, d.Dim()), Kind: kind}
+	n := d.Len()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.1*float64(epoch))
+		for _, i := range shuffledIndices(n, rng) {
+			x, y := d.X[i], d.Labels[i]
+			err := dot(m.Weights, x) + m.Bias - y
+			for j, v := range x {
+				grad := err*v + cfg.L2*m.Weights[j]
+				m.Weights[j] -= lr * grad
+				if cfg.L1 > 0 {
+					m.Weights[j] = softThreshold(m.Weights[j], lr*cfg.L1)
+				}
+			}
+			m.Bias -= lr * err
+		}
+	}
+	return m, nil
+}
+
+func softThreshold(w, t float64) float64 {
+	switch {
+	case w > t:
+		return w - t
+	case w < -t:
+		return w + t
+	default:
+		return 0
+	}
+}
+
+// PredictValue returns the regression estimate.
+func (m *LinearRegression) PredictValue(x []float64) float64 {
+	return dot(m.Weights, x) + m.Bias
+}
+
+// NaiveBayes is a Gaussian naive Bayes binary classifier.
+type NaiveBayes struct {
+	Prior [2]float64   `json:"prior"`
+	Mean  [2][]float64 `json:"mean"`
+	Var   [2][]float64 `json:"var"`
+}
+
+// TrainNaiveBayes fits per-class feature Gaussians.
+func TrainNaiveBayes(d *Dataset, _ LinearConfig) (*NaiveBayes, error) {
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	dim := d.Dim()
+	m := &NaiveBayes{}
+	counts := [2]float64{}
+	for c := 0; c < 2; c++ {
+		m.Mean[c] = make([]float64, dim)
+		m.Var[c] = make([]float64, dim)
+	}
+	for i, row := range d.X {
+		c := 0
+		if d.Labels[i] >= 0.5 {
+			c = 1
+		}
+		counts[c]++
+		for j, v := range row {
+			m.Mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range m.Mean[c] {
+			m.Mean[c][j] /= counts[c]
+		}
+	}
+	for i, row := range d.X {
+		c := 0
+		if d.Labels[i] >= 0.5 {
+			c = 1
+		}
+		for j, v := range row {
+			dv := v - m.Mean[c][j]
+			m.Var[c][j] += dv * dv
+		}
+	}
+	total := counts[0] + counts[1]
+	for c := 0; c < 2; c++ {
+		m.Prior[c] = (counts[c] + 1) / (total + 2)
+		if counts[c] > 0 {
+			for j := range m.Var[c] {
+				m.Var[c][j] = m.Var[c][j]/counts[c] + minVariance
+			}
+		} else {
+			for j := range m.Var[c] {
+				m.Var[c][j] = 1
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *NaiveBayes) logLik(c int, x []float64) float64 {
+	s := math.Log(m.Prior[c])
+	for j, v := range x {
+		d := v - m.Mean[c][j]
+		s += -0.5*(d*d/m.Var[c][j]) - 0.5*math.Log(2*math.Pi*m.Var[c][j])
+	}
+	return s
+}
+
+// PredictClass returns the maximum a-posteriori class.
+func (m *NaiveBayes) PredictClass(x []float64) int {
+	if m.logLik(1, x) > m.logLik(0, x) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package ml
+
+// Confusion accumulates binary detection outcomes. "Positive" means
+// flagged anomalous.
+type Confusion struct {
+	TP, FP, TN, FN int64
+}
+
+// Add records one (predicted, actual) outcome.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Merge folds another confusion matrix in (for shard-parallel
+// validation).
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total is the number of recorded outcomes.
+func (c Confusion) Total() int64 { return c.TP + c.FP + c.TN + c.FN }
+
+// DetectionRate is TP / (TP + FN) — the paper's headline DDoS metric.
+func (c Confusion) DetectionRate() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FalseAlarmRate is FP / (FP + TN).
+func (c Confusion) FalseAlarmRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Accuracy is (TP + TN) / total.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Precision is TP / (TP + FP).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.DetectionRate()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ClusterComposition summarizes one cluster's label mix in a clustering
+// validation (the Fig. 6 per-cluster report lines).
+type ClusterComposition struct {
+	Cluster   int
+	Benign    int64
+	Malicious int64
+}
+
+// MaliciousMajority reports whether the cluster is anomaly-dominated.
+func (cc ClusterComposition) MaliciousMajority() bool {
+	return cc.Malicious > cc.Benign
+}

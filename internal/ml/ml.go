@@ -1,0 +1,161 @@
+// Package ml implements the detection-algorithm library of Table IV from
+// scratch: threshold detection, K-Means (with k-means‖ initialization)
+// and Gaussian mixtures for clustering, decision trees / random forests /
+// gradient-boosted trees / logistic regression / naive Bayes / linear SVM
+// for classification, and linear / ridge / lasso regression — plus the
+// preprocessors (weighting, sampling, normalization, marking) Athena's
+// GeneratePreprocessor API exposes.
+//
+// Models serialize to JSON so the compute cluster can ship them between
+// driver and workers.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Errors shared by the trainers.
+var (
+	ErrEmptyDataset  = errors.New("ml: empty dataset")
+	ErrBadDimensions = errors.New("ml: inconsistent feature dimensions")
+	ErrNeedLabels    = errors.New("ml: labels required for supervised training")
+)
+
+// Dataset is a dense numeric design matrix with optional labels.
+// Labels[i] corresponds to X[i]; for binary classifiers labels are 0/1.
+type Dataset struct {
+	X      [][]float64
+	Labels []float64
+	// Names optionally documents feature columns.
+	Names []string
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the number of feature columns (0 when empty).
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks shape invariants.
+func (d *Dataset) Validate(needLabels bool) error {
+	if len(d.X) == 0 {
+		return ErrEmptyDataset
+	}
+	dim := len(d.X[0])
+	for _, row := range d.X {
+		if len(row) != dim {
+			return ErrBadDimensions
+		}
+	}
+	if needLabels {
+		if len(d.Labels) != len(d.X) {
+			return ErrNeedLabels
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		X:      make([][]float64, len(d.X)),
+		Names:  append([]string(nil), d.Names...),
+		Labels: append([]float64(nil), d.Labels...),
+	}
+	for i, row := range d.X {
+		out.X[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Subset returns the rows selected by idx (shared backing rows).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{X: make([][]float64, len(idx)), Names: d.Names}
+	if d.Labels != nil {
+		out.Labels = make([]float64, len(idx))
+	}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		if d.Labels != nil {
+			out.Labels[i] = d.Labels[j]
+		}
+	}
+	return out
+}
+
+// Split partitions the dataset into n contiguous, near-equal parts.
+func (d *Dataset) Split(n int) []*Dataset {
+	if n <= 0 {
+		n = 1
+	}
+	total := d.Len()
+	out := make([]*Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		lo := total * i / n
+		hi := total * (i + 1) / n
+		part := &Dataset{X: d.X[lo:hi], Names: d.Names}
+		if d.Labels != nil {
+			part.Labels = d.Labels[lo:hi]
+		}
+		out = append(out, part)
+	}
+	return out
+}
+
+func euclidean(a, b []float64) float64 {
+	return math.Sqrt(sqDist(a, b))
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// sigmoid is the logistic function, clipped for numeric stability.
+func sigmoid(z float64) float64 {
+	if z < -30 {
+		return 0
+	}
+	if z > 30 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// shuffledIndices returns a permutation of [0, n).
+func shuffledIndices(n int, rng *rand.Rand) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx
+}
+
+// describeDim validates that a probe row matches the model dimension.
+func describeDim(want, got int) error {
+	if want != got {
+		return fmt.Errorf("%w: model %d, input %d", ErrBadDimensions, want, got)
+	}
+	return nil
+}

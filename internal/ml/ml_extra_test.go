@@ -1,0 +1,189 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGMMSerializationRoundTrip(t *testing.T) {
+	d := blobs(200, 2, 51)
+	m, err := Train(AlgoGMM, d, Params{Components: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.X[:50] {
+		if m.GMM.Assign(row) != back.GMM.Assign(row) {
+			t.Fatal("GMM assignment changed after serialization")
+		}
+	}
+}
+
+func TestUnmarshalModelRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalModel([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestModelClusterOnNonClusteringModels(t *testing.T) {
+	d := blobs(100, 2, 5)
+	m, err := Train(AlgoDecisionTree, d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cluster(d.X[0]) != -1 {
+		t.Fatal("Cluster() on classifier must be -1")
+	}
+	conf, comps, err := m.Validate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps != nil {
+		t.Fatal("classifier validation produced cluster compositions")
+	}
+	if conf.Total() != int64(d.Len()) {
+		t.Fatal("validation row count mismatch")
+	}
+}
+
+func TestEmptyModelIsBenign(t *testing.T) {
+	var m Model
+	if m.IsAnomalous([]float64{1, 2, 3}) {
+		t.Fatal("empty model flagged an anomaly")
+	}
+	if m.Cluster([]float64{1}) != -1 {
+		t.Fatal("empty model returned a cluster")
+	}
+}
+
+// Property: SVM margin sign agrees with PredictClass.
+func TestSVMMarginProperty(t *testing.T) {
+	d := blobs(300, 3, 61)
+	m, err := TrainSVM(d, LinearConfig{Epochs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b, c float64) bool {
+		x := []float64{math.Mod(a, 10), math.Mod(b, 10), math.Mod(c, 10)}
+		for _, v := range x {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		return (m.Margin(x) >= 0) == (m.PredictClass(x) == 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: z-score normalization is idempotent up to numerical noise
+// when re-applied with its fitted parameters to the same data.
+func TestNormalizationFittedReuseProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		d := &Dataset{}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+			d.X = append(d.X, []float64{v})
+		}
+		n := &Normalization{Kind: NormZScore}
+		a, err := n.Apply(d)
+		if err != nil {
+			return false
+		}
+		// Re-apply the fitted transform to the ORIGINAL data: same result.
+		b, err := n.Apply(d)
+		if err != nil {
+			return false
+		}
+		for i := range a.X {
+			if math.Abs(a.X[i][0]-b.X[i][0]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tree predictions are deterministic and bounded to [0,1] for
+// classification trees.
+func TestTreePredictionBoundsProperty(t *testing.T) {
+	d := blobs(300, 2, 71)
+	tree, err := TrainDecisionTree(d, TreeConfig{MaxDepth: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() == 0 {
+		t.Fatal("tree did not split at all")
+	}
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x := []float64{a, b}
+		p := tree.Predict(x)
+		return p >= 0 && p <= 1 && tree.Predict(x) == p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGBTImprovesOverSingleStump(t *testing.T) {
+	train := blobs(500, 4, 81)
+	test := blobs(300, 4, 82)
+	stump, err := TrainGBT(train, GBTConfig{Trees: 1, Tree: TreeConfig{MaxDepth: 1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := TrainGBT(train, GBTConfig{Trees: 30, Tree: TreeConfig{MaxDepth: 1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := func(g *GradientBoostedTrees) float64 {
+		right := 0
+		for i, row := range test.X {
+			if float64(g.PredictClass(row)) == test.Labels[i] {
+				right++
+			}
+		}
+		return float64(right) / float64(test.Len())
+	}
+	if acc(boosted) < acc(stump) {
+		t.Fatalf("boosting hurt: stump %.3f vs boosted %.3f", acc(stump), acc(boosted))
+	}
+}
+
+func TestDatasetCloneIsolation(t *testing.T) {
+	d := blobs(10, 2, 91)
+	c := d.Clone()
+	c.X[0][0] = 999
+	c.Labels[0] = 42
+	if d.X[0][0] == 999 || d.Labels[0] == 42 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestSubsetSharesRows(t *testing.T) {
+	d := blobs(10, 2, 92)
+	s := d.Subset([]int{3, 7})
+	if s.Len() != 2 || s.Labels[0] != d.Labels[3] {
+		t.Fatalf("Subset = %+v", s)
+	}
+}

@@ -1,0 +1,567 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs builds a two-cluster dataset: class 0 around origin, class 1
+// around (5,5,...), with unit-ish noise.
+func blobs(n, dim int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		label := float64(i % 2)
+		for j := range row {
+			row[j] = label*5 + rng.NormFloat64()
+		}
+		d.X = append(d.X, row)
+		d.Labels = append(d.Labels, label)
+	}
+	return d
+}
+
+// linearData builds y = 2*x0 - 3*x1 + 1 + noise.
+func linearData(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.Float64()*4-2, rng.Float64()*4-2
+		d.X = append(d.X, []float64{x0, x1})
+		d.Labels = append(d.Labels, 2*x0-3*x1+1+rng.NormFloat64()*0.05)
+	}
+	return d
+}
+
+func classifierAccuracy(t *testing.T, m *Model, d *Dataset) float64 {
+	t.Helper()
+	conf, _, err := m.Validate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conf.Accuracy()
+}
+
+func TestDatasetValidate(t *testing.T) {
+	var empty Dataset
+	if err := empty.Validate(false); err != ErrEmptyDataset {
+		t.Fatalf("empty err = %v", err)
+	}
+	ragged := &Dataset{X: [][]float64{{1, 2}, {1}}}
+	if err := ragged.Validate(false); err != ErrBadDimensions {
+		t.Fatalf("ragged err = %v", err)
+	}
+	unlabeled := &Dataset{X: [][]float64{{1, 2}}}
+	if err := unlabeled.Validate(true); err != ErrNeedLabels {
+		t.Fatalf("unlabeled err = %v", err)
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	d := blobs(103, 2, 1)
+	parts := d.Split(4)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		if p.Labels == nil {
+			t.Fatal("split dropped labels")
+		}
+	}
+	if total != 103 {
+		t.Fatalf("total after split = %d", total)
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	d := blobs(400, 3, 7)
+	m, err := Train(AlgoKMeans, d, Params{K: 2, Iterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With labels present, clusters calibrate and validation is strong.
+	conf, comps, err := m.Validate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := conf.Accuracy(); acc < 0.95 {
+		t.Fatalf("kmeans accuracy = %v", acc)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("cluster compositions = %d", len(comps))
+	}
+	// Exactly one cluster should be malicious-majority.
+	mal := 0
+	for _, cc := range comps {
+		if cc.MaliciousMajority() {
+			mal++
+		}
+	}
+	if mal != 1 {
+		t.Fatalf("malicious clusters = %d, want 1", mal)
+	}
+}
+
+func TestKMeansRunsPickBestInertia(t *testing.T) {
+	d := blobs(200, 2, 3)
+	single, err := TrainKMeans(d, KMeansConfig{K: 4, Runs: 1, Seed: 42, InitMode: "random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := TrainKMeans(d, KMeansConfig{K: 4, Runs: 8, Seed: 42, InitMode: "random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Inertia > single.Inertia+1e-9 {
+		t.Fatalf("multi-run inertia %v worse than single %v", multi.Inertia, single.Inertia)
+	}
+}
+
+func TestKMeansKLargerThanData(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}, {3}}}
+	m, err := TrainKMeans(d, KMeansConfig{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 3 {
+		t.Fatalf("K = %d, want clamped 3", m.K())
+	}
+}
+
+func TestGMMSeparatesBlobs(t *testing.T) {
+	d := blobs(400, 2, 11)
+	m, err := Train(AlgoGMM, d, Params{Components: 2, Iterations: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := classifierAccuracy(t, m, d); acc < 0.95 {
+		t.Fatalf("gmm accuracy = %v", acc)
+	}
+	// Density at a blob center far exceeds density far away.
+	in := m.GMM.LogDensity([]float64{0, 0})
+	out := m.GMM.LogDensity([]float64{50, 50})
+	if in <= out {
+		t.Fatalf("LogDensity(in)=%v <= LogDensity(out)=%v", in, out)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	train := blobs(600, 4, 21)
+	test := blobs(300, 4, 22)
+	algos := []string{AlgoDecisionTree, AlgoRandomForest, AlgoGBT, AlgoLogistic, AlgoNaiveBayes, AlgoSVM}
+	for _, algo := range algos {
+		t.Run(algo, func(t *testing.T) {
+			m, err := Train(algo, train, Params{Seed: 9, Epochs: 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc := classifierAccuracy(t, m, test); acc < 0.93 {
+				t.Fatalf("%s accuracy = %v", algo, acc)
+			}
+		})
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	train := linearData(800, 31)
+	algos := []string{AlgoLinear, AlgoRidge, AlgoLasso}
+	for _, algo := range algos {
+		t.Run(algo, func(t *testing.T) {
+			m, err := Train(algo, train, Params{Seed: 3, Epochs: 80, LearningRate: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lr := m.Linear
+			if math.Abs(lr.Weights[0]-2) > 0.25 || math.Abs(lr.Weights[1]+3) > 0.25 || math.Abs(lr.Bias-1) > 0.25 {
+				t.Fatalf("%s coefficients = %v bias %v, want ~[2 -3] 1", algo, lr.Weights, lr.Bias)
+			}
+		})
+	}
+}
+
+func TestLassoSparsity(t *testing.T) {
+	// y depends only on x0; lasso should zero the irrelevant weight
+	// harder than ridge.
+	rng := rand.New(rand.NewSource(8))
+	d := &Dataset{}
+	for i := 0; i < 600; i++ {
+		x0, x1 := rng.NormFloat64(), rng.NormFloat64()
+		d.X = append(d.X, []float64{x0, x1})
+		d.Labels = append(d.Labels, 3*x0+rng.NormFloat64()*0.01)
+	}
+	lasso, err := TrainLassoRegression(d, LinearConfig{Epochs: 60, LearningRate: 0.05, L1: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lasso.Weights[1]) > 0.05 {
+		t.Fatalf("lasso irrelevant weight = %v, want ~0", lasso.Weights[1])
+	}
+	if math.Abs(lasso.Weights[0]) < 2 {
+		t.Fatalf("lasso relevant weight = %v, want ~3", lasso.Weights[0])
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	th := &Threshold{Column: 1, Op: ">", Value: 10}
+	if th.PredictClass([]float64{0, 11}) != 1 {
+		t.Fatal("11 > 10 must be anomalous")
+	}
+	if th.PredictClass([]float64{0, 10}) != 0 {
+		t.Fatal("10 > 10 must be benign")
+	}
+	if th.PredictClass([]float64{5}) != 0 {
+		t.Fatal("out-of-range column must be benign")
+	}
+	m := &Model{Algo: AlgoThreshold, Threshold: th}
+	if !m.IsAnomalous([]float64{0, 12}) {
+		t.Fatal("model threshold disagrees")
+	}
+}
+
+func TestSupervisedNeedsLabels(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1, 2}, {3, 4}}}
+	for _, algo := range []string{AlgoDecisionTree, AlgoLogistic, AlgoSVM, AlgoGBT, AlgoRandomForest, AlgoNaiveBayes, AlgoLinear} {
+		if _, err := Train(algo, d, Params{}); err == nil {
+			t.Fatalf("%s trained without labels", algo)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := Train("voodoo", blobs(10, 2, 1), Params{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := CategoryOf("voodoo"); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestCategoryOfCoversAllAlgorithms(t *testing.T) {
+	want := map[string]string{
+		AlgoGBT:          CategoryBoosting,
+		AlgoKMeans:       CategoryClustering,
+		AlgoGMM:          CategoryClustering,
+		AlgoDecisionTree: CategoryClassification,
+		AlgoRandomForest: CategoryClassification,
+		AlgoLogistic:     CategoryClassification,
+		AlgoNaiveBayes:   CategoryClassification,
+		AlgoSVM:          CategoryClassification,
+		AlgoLinear:       CategoryRegression,
+		AlgoRidge:        CategoryRegression,
+		AlgoLasso:        CategoryRegression,
+		AlgoThreshold:    CategorySimple,
+	}
+	for _, algo := range Algorithms() {
+		got, err := CategoryOf(algo)
+		if err != nil || got != want[algo] {
+			t.Fatalf("CategoryOf(%s) = %q, %v", algo, got, err)
+		}
+	}
+}
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	train := blobs(200, 3, 41)
+	for _, algo := range []string{AlgoKMeans, AlgoDecisionTree, AlgoLogistic, AlgoGBT} {
+		m, err := Train(algo, train, Params{K: 2, Seed: 1, Epochs: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalModel(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range train.X[:50] {
+			if m.IsAnomalous(row) != back.IsAnomalous(row) {
+				t.Fatalf("%s: serialized model disagrees", algo)
+			}
+		}
+	}
+}
+
+func TestPreprocessors(t *testing.T) {
+	d := &Dataset{X: [][]float64{{0, 100}, {5, 200}, {10, 300}}}
+
+	t.Run("minmax", func(t *testing.T) {
+		n := &Normalization{Kind: NormMinMax}
+		out, err := n.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range out.X {
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					t.Fatalf("minmax out of range: %v", v)
+				}
+			}
+		}
+		// Re-application to new data uses fitted params.
+		probe := &Dataset{X: [][]float64{{5, 200}}}
+		out2, err := n.Apply(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out2.X[0][0] != 0.5 || out2.X[0][1] != 0.5 {
+			t.Fatalf("refit transform = %v", out2.X[0])
+		}
+	})
+
+	t.Run("zscore", func(t *testing.T) {
+		n := &Normalization{Kind: NormZScore}
+		out, err := n.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			mean := (out.X[0][j] + out.X[1][j] + out.X[2][j]) / 3
+			if math.Abs(mean) > 1e-9 {
+				t.Fatalf("zscore mean = %v", mean)
+			}
+		}
+	})
+
+	t.Run("weighting", func(t *testing.T) {
+		w := Weighting{Factors: map[int]float64{1: 0.01}}
+		out, err := w.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.X[0][1] != 1 || out.X[0][0] != 0 {
+			t.Fatalf("weighting = %v", out.X[0])
+		}
+		if d.X[0][1] != 100 {
+			t.Fatal("weighting mutated the input dataset")
+		}
+		if _, err := (Weighting{Factors: map[int]float64{9: 1}}).Apply(d); err == nil {
+			t.Fatal("out-of-range weighting column accepted")
+		}
+	})
+
+	t.Run("sampling", func(t *testing.T) {
+		big := blobs(1000, 2, 5)
+		s := Sampling{Fraction: 0.2, Seed: 1}
+		out, err := s.Apply(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 200 {
+			t.Fatalf("sample size = %d", out.Len())
+		}
+		if _, err := (Sampling{Fraction: 0}).Apply(big); err == nil {
+			t.Fatal("zero fraction accepted")
+		}
+		if _, err := (Sampling{Fraction: 1.5}).Apply(big); err == nil {
+			t.Fatal("fraction > 1 accepted")
+		}
+	})
+
+	t.Run("marking", func(t *testing.T) {
+		mk := Marking{Column: 0, Op: ">=", Value: 5}
+		out, err := mk.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{0, 1, 1}
+		for i, l := range out.Labels {
+			if l != want[i] {
+				t.Fatalf("labels = %v, want %v", out.Labels, want)
+			}
+		}
+	})
+
+	t.Run("chain", func(t *testing.T) {
+		c := Chain{
+			Marking{Column: 0, Op: ">=", Value: 5},
+			&Normalization{Kind: NormMinMax},
+		}
+		out, err := c.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Labels == nil {
+			t.Fatal("chain lost labels")
+		}
+		if out.X[2][0] != 1 {
+			t.Fatalf("chain normalization = %v", out.X[2])
+		}
+	})
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, false) // TN
+	c.Add(false, true)  // FN
+	if c.TP != 2 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.DetectionRate(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("DR = %v", got)
+	}
+	if got := c.FalseAlarmRate(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("FAR = %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("precision = %v", got)
+	}
+	if c.F1() <= 0 {
+		t.Fatal("F1 = 0")
+	}
+	var zero Confusion
+	if zero.DetectionRate() != 0 || zero.FalseAlarmRate() != 0 || zero.Accuracy() != 0 || zero.Precision() != 0 || zero.F1() != 0 {
+		t.Fatal("zero confusion must report zero rates")
+	}
+
+	var merged Confusion
+	merged.Merge(Confusion{TP: 1, FP: 2, TN: 3, FN: 4})
+	merged.Merge(Confusion{TP: 10, FP: 20, TN: 30, FN: 40})
+	if merged.TP != 11 || merged.Total() != 110 {
+		t.Fatalf("merged = %+v", merged)
+	}
+}
+
+// Property: K-Means assignment always picks the nearest centroid.
+func TestKMeansAssignProperty(t *testing.T) {
+	d := blobs(100, 2, 77)
+	m, err := TrainKMeans(d, KMeansConfig{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b float64) bool {
+		x := []float64{math.Mod(a, 20), math.Mod(b, 20)}
+		c := m.Assign(x)
+		for other := range m.Centroids {
+			if sqDist(x, m.Centroids[other]) < sqDist(x, m.Centroids[c])-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min-max normalization of the training data stays in [0,1].
+func TestNormalizationRangeProperty(t *testing.T) {
+	prop := func(vals []float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		d := &Dataset{}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			d.X = append(d.X, []float64{v})
+		}
+		n := &Normalization{Kind: NormMinMax}
+		out, err := n.Apply(d)
+		if err != nil {
+			return false
+		}
+		for _, row := range out.X {
+			if row[0] < -1e-12 || row[0] > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: confusion Merge is equivalent to adding outcomes on one
+// matrix.
+func TestConfusionMergeProperty(t *testing.T) {
+	prop := func(outcomes []bool) bool {
+		var whole, a, b Confusion
+		for i := 0; i+1 < len(outcomes); i += 2 {
+			pred, act := outcomes[i], outcomes[i+1]
+			whole.Add(pred, act)
+			if i%4 == 0 {
+				a.Add(pred, act)
+			} else {
+				b.Add(pred, act)
+			}
+		}
+		a.Merge(b)
+		return a == whole
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignStepMatchesLocalLloyd(t *testing.T) {
+	d := blobs(300, 3, 55)
+	centroids := [][]float64{{0, 0, 0}, {5, 5, 5}}
+	parts := d.Split(3)
+	dim := d.Dim()
+	sums := [][]float64{make([]float64, dim), make([]float64, dim)}
+	counts := []int64{0, 0}
+	inertia := 0.0
+	for _, p := range parts {
+		ps, pc, pi := AssignStep(p, centroids)
+		for c := range sums {
+			counts[c] += pc[c]
+			for j := range sums[c] {
+				sums[c][j] += ps[c][j]
+			}
+		}
+		inertia += pi
+	}
+	// Compare with single-shot assignment.
+	wantSums, wantCounts, wantInertia := AssignStep(d, centroids)
+	for c := range sums {
+		if counts[c] != wantCounts[c] {
+			t.Fatalf("counts[%d] = %d, want %d", c, counts[c], wantCounts[c])
+		}
+		for j := range sums[c] {
+			if math.Abs(sums[c][j]-wantSums[c][j]) > 1e-9 {
+				t.Fatalf("sums differ at [%d][%d]", c, j)
+			}
+		}
+	}
+	if math.Abs(inertia-wantInertia) > 1e-6 {
+		t.Fatalf("inertia %v vs %v", inertia, wantInertia)
+	}
+}
+
+func BenchmarkKMeansTrain(b *testing.B) {
+	d := blobs(2000, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainKMeans(d, KMeansConfig{K: 8, Iterations: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	d := blobs(1000, 8, 2)
+	f, err := TrainRandomForest(d, ForestConfig{Trees: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictClass(d.X[i%d.Len()])
+	}
+}

@@ -1,0 +1,350 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Algorithm names accepted by Train and used in model envelopes. These
+// are the eleven algorithms of Table IV plus "threshold".
+const (
+	AlgoThreshold    = "threshold"
+	AlgoKMeans       = "kmeans"
+	AlgoGMM          = "gmm"
+	AlgoDecisionTree = "decision_tree"
+	AlgoRandomForest = "random_forest"
+	AlgoGBT          = "gbt"
+	AlgoLogistic     = "logistic_regression"
+	AlgoNaiveBayes   = "naive_bayes"
+	AlgoSVM          = "svm"
+	AlgoLinear       = "linear_regression"
+	AlgoRidge        = "ridge_regression"
+	AlgoLasso        = "lasso_regression"
+)
+
+// Categories per Table IV.
+const (
+	CategoryBoosting       = "boosting"
+	CategoryClassification = "classification"
+	CategoryClustering     = "clustering"
+	CategoryRegression     = "regression"
+	CategorySimple         = "simple"
+)
+
+// CategoryOf maps an algorithm name to its Table IV category.
+func CategoryOf(algo string) (string, error) {
+	switch algo {
+	case AlgoGBT:
+		return CategoryBoosting, nil
+	case AlgoDecisionTree, AlgoLogistic, AlgoNaiveBayes, AlgoRandomForest, AlgoSVM:
+		return CategoryClassification, nil
+	case AlgoGMM, AlgoKMeans:
+		return CategoryClustering, nil
+	case AlgoLasso, AlgoLinear, AlgoRidge:
+		return CategoryRegression, nil
+	case AlgoThreshold:
+		return CategorySimple, nil
+	default:
+		return "", fmt.Errorf("ml: unknown algorithm %q", algo)
+	}
+}
+
+// Algorithms lists every supported algorithm name.
+func Algorithms() []string {
+	return []string{
+		AlgoThreshold, AlgoKMeans, AlgoGMM, AlgoDecisionTree,
+		AlgoRandomForest, AlgoGBT, AlgoLogistic, AlgoNaiveBayes,
+		AlgoSVM, AlgoLinear, AlgoRidge, AlgoLasso,
+	}
+}
+
+// Params is the bag of algorithm parameters Athena's GenerateAlgorithm
+// passes through. Unknown keys are ignored by each trainer.
+type Params struct {
+	K          int     `json:"k,omitempty"`
+	Components int     `json:"components,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Runs       int     `json:"runs,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	InitMode   string  `json:"init_mode,omitempty"`
+
+	Trees        int     `json:"trees,omitempty"`
+	MaxDepth     int     `json:"max_depth,omitempty"`
+	MinLeafSize  int     `json:"min_leaf,omitempty"`
+	LearningRate float64 `json:"learning_rate,omitempty"`
+	Epochs       int     `json:"epochs,omitempty"`
+	L1           float64 `json:"l1,omitempty"`
+	L2           float64 `json:"l2,omitempty"`
+
+	// Threshold parameters.
+	Column int     `json:"column,omitempty"`
+	Op     string  `json:"op,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// Model wraps a trained model of any supported algorithm with a uniform
+// anomaly-scoring surface and JSON serialization.
+type Model struct {
+	Algo string `json:"algo"`
+
+	Threshold *Threshold            `json:"threshold,omitempty"`
+	KMeans    *KMeans               `json:"kmeans,omitempty"`
+	GMM       *GaussianMixture      `json:"gmm,omitempty"`
+	Tree      *DecisionTree         `json:"tree,omitempty"`
+	Forest    *RandomForest         `json:"forest,omitempty"`
+	GBT       *GradientBoostedTrees `json:"gbt,omitempty"`
+	Logistic  *LogisticRegression   `json:"logistic,omitempty"`
+	Bayes     *NaiveBayes           `json:"bayes,omitempty"`
+	SVM       *SVM                  `json:"svm,omitempty"`
+	Linear    *LinearRegression     `json:"linear,omitempty"`
+
+	// MaliciousClusters marks which cluster ids a clustering model treats
+	// as anomalous (filled by label-aware calibration).
+	MaliciousClusters []int `json:"malicious_clusters,omitempty"`
+}
+
+// Train dispatches to the trainer for algo. Supervised algorithms
+// require d.Labels; clustering uses labels only to calibrate which
+// clusters are anomalous (when present).
+func Train(algo string, d *Dataset, p Params) (*Model, error) {
+	switch algo {
+	case AlgoThreshold:
+		return &Model{Algo: algo, Threshold: &Threshold{Column: p.Column, Op: p.Op, Value: p.Value}}, nil
+	case AlgoKMeans:
+		km, err := TrainKMeans(d, KMeansConfig{
+			K: p.K, Iterations: p.Iterations, Runs: p.Runs,
+			Seed: p.Seed, Epsilon: p.Epsilon, InitMode: p.InitMode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := &Model{Algo: algo, KMeans: km}
+		m.CalibrateClusters(d)
+		return m, nil
+	case AlgoGMM:
+		k := p.Components
+		if k == 0 {
+			k = p.K
+		}
+		gmm, err := TrainGMM(d, GMMConfig{Components: k, Iterations: p.Iterations, Seed: p.Seed, Epsilon: p.Epsilon})
+		if err != nil {
+			return nil, err
+		}
+		m := &Model{Algo: algo, GMM: gmm}
+		m.CalibrateClusters(d)
+		return m, nil
+	case AlgoDecisionTree:
+		t, err := TrainDecisionTree(d, TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, Tree: t}, nil
+	case AlgoRandomForest:
+		f, err := TrainRandomForest(d, ForestConfig{
+			Trees: p.Trees,
+			Tree:  TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize},
+			Seed:  p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, Forest: f}, nil
+	case AlgoGBT:
+		g, err := TrainGBT(d, GBTConfig{
+			Trees: p.Trees, LearningRate: p.LearningRate,
+			Tree: TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize},
+			Seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, GBT: g}, nil
+	case AlgoLogistic:
+		lr, err := TrainLogisticRegression(d, linearCfg(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, Logistic: lr}, nil
+	case AlgoNaiveBayes:
+		nb, err := TrainNaiveBayes(d, linearCfg(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, Bayes: nb}, nil
+	case AlgoSVM:
+		svm, err := TrainSVM(d, linearCfg(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, SVM: svm}, nil
+	case AlgoLinear:
+		m, err := TrainLinearRegression(d, linearCfg(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, Linear: m}, nil
+	case AlgoRidge:
+		m, err := TrainRidgeRegression(d, linearCfg(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, Linear: m}, nil
+	case AlgoLasso:
+		m, err := TrainLassoRegression(d, linearCfg(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Algo: algo, Linear: m}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown algorithm %q", algo)
+	}
+}
+
+func linearCfg(p Params) LinearConfig {
+	return LinearConfig{Epochs: p.Epochs, LearningRate: p.LearningRate, L1: p.L1, L2: p.L2, Seed: p.Seed}
+}
+
+// CalibrateClusters marks clusters whose members are majority-labeled
+// malicious (requires labels; no-op otherwise). Exposed so distributed
+// trainers can calibrate models they assembled themselves.
+func (m *Model) CalibrateClusters(d *Dataset) {
+	if len(d.Labels) != d.Len() {
+		return
+	}
+	k := 0
+	assign := func(x []float64) int { return 0 }
+	switch {
+	case m.KMeans != nil:
+		k = m.KMeans.K()
+		assign = m.KMeans.Assign
+	case m.GMM != nil:
+		k = m.GMM.K()
+		assign = m.GMM.Assign
+	default:
+		return
+	}
+	malicious := make([]int64, k)
+	benign := make([]int64, k)
+	for i, row := range d.X {
+		c := assign(row)
+		if d.Labels[i] >= 0.5 {
+			malicious[c]++
+		} else {
+			benign[c]++
+		}
+	}
+	m.MaliciousClusters = nil
+	for c := 0; c < k; c++ {
+		if malicious[c] > benign[c] {
+			m.MaliciousClusters = append(m.MaliciousClusters, c)
+		}
+	}
+}
+
+// IsAnomalous classifies one feature vector: clustering models report
+// membership in a malicious-calibrated cluster; classifiers report the
+// positive class; threshold reports the condition.
+func (m *Model) IsAnomalous(x []float64) bool {
+	switch {
+	case m.Threshold != nil:
+		return m.Threshold.PredictClass(x) == 1
+	case m.KMeans != nil:
+		c := m.KMeans.Assign(x)
+		for _, mc := range m.MaliciousClusters {
+			if c == mc {
+				return true
+			}
+		}
+		return false
+	case m.GMM != nil:
+		c := m.GMM.Assign(x)
+		for _, mc := range m.MaliciousClusters {
+			if c == mc {
+				return true
+			}
+		}
+		return false
+	case m.Tree != nil:
+		return m.Tree.PredictClass(x) == 1
+	case m.Forest != nil:
+		return m.Forest.PredictClass(x) == 1
+	case m.GBT != nil:
+		return m.GBT.PredictClass(x) == 1
+	case m.Logistic != nil:
+		return m.Logistic.PredictClass(x) == 1
+	case m.Bayes != nil:
+		return m.Bayes.PredictClass(x) == 1
+	case m.SVM != nil:
+		return m.SVM.PredictClass(x) == 1
+	case m.Linear != nil:
+		return m.Linear.PredictValue(x) >= 0.5
+	default:
+		return false
+	}
+}
+
+// Cluster returns the cluster assignment for clustering models (-1 for
+// non-clustering models).
+func (m *Model) Cluster(x []float64) int {
+	switch {
+	case m.KMeans != nil:
+		return m.KMeans.Assign(x)
+	case m.GMM != nil:
+		return m.GMM.Assign(x)
+	default:
+		return -1
+	}
+}
+
+// Validate scores a labeled dataset, returning the confusion matrix and
+// per-cluster composition (clustering models only).
+func (m *Model) Validate(d *Dataset) (Confusion, []ClusterComposition, error) {
+	if err := d.Validate(true); err != nil {
+		return Confusion{}, nil, err
+	}
+	var conf Confusion
+	var comps []ClusterComposition
+	if k := m.clusterCount(); k > 0 {
+		comps = make([]ClusterComposition, k)
+		for c := range comps {
+			comps[c].Cluster = c
+		}
+	}
+	for i, row := range d.X {
+		actual := d.Labels[i] >= 0.5
+		conf.Add(m.IsAnomalous(row), actual)
+		if comps != nil {
+			c := m.Cluster(row)
+			if actual {
+				comps[c].Malicious++
+			} else {
+				comps[c].Benign++
+			}
+		}
+	}
+	return conf, comps, nil
+}
+
+func (m *Model) clusterCount() int {
+	switch {
+	case m.KMeans != nil:
+		return m.KMeans.K()
+	case m.GMM != nil:
+		return m.GMM.K()
+	default:
+		return 0
+	}
+}
+
+// Marshal serializes the model.
+func (m *Model) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// UnmarshalModel deserializes a model produced by Marshal.
+func UnmarshalModel(b []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("ml: unmarshal model: %w", err)
+	}
+	return &m, nil
+}

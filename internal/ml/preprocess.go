@@ -1,0 +1,206 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Preprocessor transforms a dataset before training or validation. The
+// four kinds mirror Table IV: Weighting, Sampling, Normalization,
+// Marking.
+type Preprocessor interface {
+	Apply(d *Dataset) (*Dataset, error)
+}
+
+// Weighting multiplies selected feature columns by emphasis factors.
+type Weighting struct {
+	// Factors maps column index to multiplier.
+	Factors map[int]float64 `json:"factors"`
+}
+
+// Apply implements Preprocessor.
+func (w Weighting) Apply(d *Dataset) (*Dataset, error) {
+	if err := d.Validate(false); err != nil {
+		return nil, err
+	}
+	for col := range w.Factors {
+		if col < 0 || col >= d.Dim() {
+			return nil, fmt.Errorf("ml: weighting column %d out of range [0,%d)", col, d.Dim())
+		}
+	}
+	out := d.Clone()
+	for _, row := range out.X {
+		for col, factor := range w.Factors {
+			row[col] *= factor
+		}
+	}
+	return out, nil
+}
+
+// Sampling keeps a uniform fraction of rows.
+type Sampling struct {
+	// Fraction in (0, 1]; e.g. 0.2 keeps 20% of rows.
+	Fraction float64 `json:"fraction"`
+	Seed     int64   `json:"seed"`
+}
+
+// Apply implements Preprocessor.
+func (s Sampling) Apply(d *Dataset) (*Dataset, error) {
+	if err := d.Validate(false); err != nil {
+		return nil, err
+	}
+	if s.Fraction <= 0 || s.Fraction > 1 {
+		return nil, fmt.Errorf("ml: sampling fraction %v out of (0,1]", s.Fraction)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	keep := int(math.Ceil(s.Fraction * float64(d.Len())))
+	idx := shuffledIndices(d.Len(), rng)[:keep]
+	return d.Subset(idx), nil
+}
+
+// NormKind selects the normalization flavour.
+type NormKind string
+
+// Supported normalizations.
+const (
+	NormMinMax NormKind = "minmax"
+	NormZScore NormKind = "zscore"
+)
+
+// Normalization standardizes the range of every feature column. The
+// fitted parameters are stored so the same transform can be re-applied
+// to validation data.
+type Normalization struct {
+	Kind NormKind `json:"kind"`
+	// Fitted parameters: per-column (offset, scale) so that
+	// x' = (x - Offset) / Scale.
+	Offset []float64 `json:"offset,omitempty"`
+	Scale  []float64 `json:"scale,omitempty"`
+}
+
+// Apply fits the parameters on first use and transforms the dataset.
+func (n *Normalization) Apply(d *Dataset) (*Dataset, error) {
+	if err := d.Validate(false); err != nil {
+		return nil, err
+	}
+	if n.Kind == "" {
+		n.Kind = NormMinMax
+	}
+	if n.Offset == nil {
+		if err := n.fit(d); err != nil {
+			return nil, err
+		}
+	}
+	if len(n.Offset) != d.Dim() {
+		return nil, describeDim(len(n.Offset), d.Dim())
+	}
+	out := d.Clone()
+	for _, row := range out.X {
+		for j := range row {
+			row[j] = (row[j] - n.Offset[j]) / n.Scale[j]
+		}
+	}
+	return out, nil
+}
+
+func (n *Normalization) fit(d *Dataset) error {
+	dim := d.Dim()
+	n.Offset = make([]float64, dim)
+	n.Scale = make([]float64, dim)
+	switch n.Kind {
+	case NormMinMax:
+		mins := make([]float64, dim)
+		maxs := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			mins[j], maxs[j] = math.Inf(1), math.Inf(-1)
+		}
+		for _, row := range d.X {
+			for j, v := range row {
+				if v < mins[j] {
+					mins[j] = v
+				}
+				if v > maxs[j] {
+					maxs[j] = v
+				}
+			}
+		}
+		for j := 0; j < dim; j++ {
+			n.Offset[j] = mins[j]
+			n.Scale[j] = maxs[j] - mins[j]
+			if n.Scale[j] == 0 {
+				n.Scale[j] = 1
+			}
+		}
+	case NormZScore:
+		mean := make([]float64, dim)
+		for _, row := range d.X {
+			for j, v := range row {
+				mean[j] += v
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(d.Len())
+		}
+		std := make([]float64, dim)
+		for _, row := range d.X {
+			for j, v := range row {
+				dv := v - mean[j]
+				std[j] += dv * dv
+			}
+		}
+		for j := range std {
+			std[j] = math.Sqrt(std[j] / float64(d.Len()))
+			if std[j] == 0 {
+				std[j] = 1
+			}
+		}
+		n.Offset, n.Scale = mean, std
+	default:
+		return fmt.Errorf("ml: unknown normalization %q", string(n.Kind))
+	}
+	return nil
+}
+
+// Marking labels rows: rows matching the predicate get label 1
+// (malicious), the rest 0. It implements the paper's "mark a set of
+// entries labeled as malicious" preprocessor.
+type Marking struct {
+	// Column/Op/Value select malicious rows by a feature condition.
+	Column int     `json:"column"`
+	Op     string  `json:"op"`
+	Value  float64 `json:"value"`
+}
+
+// Apply implements Preprocessor.
+func (m Marking) Apply(d *Dataset) (*Dataset, error) {
+	if err := d.Validate(false); err != nil {
+		return nil, err
+	}
+	if m.Column < 0 || m.Column >= d.Dim() {
+		return nil, fmt.Errorf("ml: marking column %d out of range [0,%d)", m.Column, d.Dim())
+	}
+	out := d.Clone()
+	out.Labels = make([]float64, out.Len())
+	th := &Threshold{Column: m.Column, Op: m.Op, Value: m.Value}
+	for i, row := range out.X {
+		out.Labels[i] = float64(th.PredictClass(row))
+	}
+	return out, nil
+}
+
+// Chain applies preprocessors in order.
+type Chain []Preprocessor
+
+// Apply implements Preprocessor.
+func (c Chain) Apply(d *Dataset) (*Dataset, error) {
+	cur := d
+	for _, p := range c {
+		next, err := p.Apply(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}

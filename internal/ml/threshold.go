@@ -1,0 +1,39 @@
+package ml
+
+// Threshold is the "Simple" detection algorithm of Table IV: an anomaly
+// fires when a chosen feature column crosses a bound. It requires no
+// learning phase; Athena exports it as a pre-defined model.
+type Threshold struct {
+	// Column indexes the feature vector.
+	Column int `json:"column"`
+	// Op compares feature to Value ( ">", ">=", "==", "!=", "<=", "<" ).
+	Op    string  `json:"op"`
+	Value float64 `json:"value"`
+}
+
+// PredictClass returns 1 (anomalous) when the condition holds, else 0.
+func (t *Threshold) PredictClass(x []float64) int {
+	if t.Column < 0 || t.Column >= len(x) {
+		return 0
+	}
+	v := x[t.Column]
+	var hit bool
+	switch t.Op {
+	case ">":
+		hit = v > t.Value
+	case ">=":
+		hit = v >= t.Value
+	case "==":
+		hit = v == t.Value
+	case "!=":
+		hit = v != t.Value
+	case "<=":
+		hit = v <= t.Value
+	case "<":
+		hit = v < t.Value
+	}
+	if hit {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,206 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig parameterizes CART training.
+type TreeConfig struct {
+	MaxDepth    int `json:"max_depth"`
+	MinLeafSize int `json:"min_leaf"`
+	// FeatureSubset caps the number of candidate split features per node
+	// (0 uses all); random forests set this to sqrt(dim).
+	FeatureSubset int   `json:"feature_subset"`
+	Seed          int64 `json:"seed"`
+	// Regression grows a variance-reduction regression tree instead of a
+	// Gini classification tree.
+	Regression bool `json:"regression"`
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeafSize <= 0 {
+		c.MinLeafSize = 2
+	}
+	return c
+}
+
+// TreeNode is one node of a decision tree, serialized as a flat struct.
+type TreeNode struct {
+	// Leaf nodes predict Value (class probability or regression value).
+	Leaf  bool    `json:"leaf"`
+	Value float64 `json:"value"`
+	// Split nodes route x[Feature] <= Thresh to Left, else Right.
+	Feature int       `json:"feature,omitempty"`
+	Thresh  float64   `json:"thresh,omitempty"`
+	Left    *TreeNode `json:"left,omitempty"`
+	Right   *TreeNode `json:"right,omitempty"`
+}
+
+// DecisionTree is a trained CART model. For classification, Predict
+// returns the positive-class probability at the leaf.
+type DecisionTree struct {
+	Root       *TreeNode `json:"root"`
+	Regression bool      `json:"regression"`
+}
+
+// TrainDecisionTree fits a CART tree on binary labels (classification)
+// or real targets (regression).
+func TrainDecisionTree(d *Dataset, cfg TreeConfig) (*DecisionTree, error) {
+	if err := d.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := growTree(d, idx, cfg, rng, 0)
+	return &DecisionTree{Root: root, Regression: cfg.Regression}, nil
+}
+
+func growTree(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int) *TreeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += d.Labels[i]
+	}
+	mean /= float64(len(idx))
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeafSize || pure(d, idx) {
+		return &TreeNode{Leaf: true, Value: mean}
+	}
+	feat, thresh, ok := bestSplit(d, idx, cfg, rng)
+	if !ok {
+		return &TreeNode{Leaf: true, Value: mean}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeafSize || len(right) < cfg.MinLeafSize {
+		return &TreeNode{Leaf: true, Value: mean}
+	}
+	return &TreeNode{
+		Feature: feat,
+		Thresh:  thresh,
+		Left:    growTree(d, left, cfg, rng, depth+1),
+		Right:   growTree(d, right, cfg, rng, depth+1),
+	}
+}
+
+func pure(d *Dataset, idx []int) bool {
+	first := d.Labels[idx[0]]
+	for _, i := range idx[1:] {
+		if d.Labels[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit scans candidate features for the split minimizing impurity
+// (Gini for classification, variance for regression).
+func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feat int, thresh float64, ok bool) {
+	dim := d.Dim()
+	features := make([]int, dim)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.FeatureSubset > 0 && cfg.FeatureSubset < dim {
+		rng.Shuffle(dim, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.FeatureSubset]
+	}
+
+	bestScore := math.Inf(1)
+	type pair struct {
+		v, y float64
+	}
+	pairs := make([]pair, len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			pairs[k] = pair{v: d.X[i][f], y: d.Labels[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+
+		// Prefix sums enable O(n) impurity scan after the sort.
+		n := len(pairs)
+		sumL, sumSqL := 0.0, 0.0
+		sumTot, sumSqTot := 0.0, 0.0
+		for _, p := range pairs {
+			sumTot += p.y
+			sumSqTot += p.y * p.y
+		}
+		for k := 0; k < n-1; k++ {
+			sumL += pairs[k].y
+			sumSqL += pairs[k].y * pairs[k].y
+			if pairs[k].v == pairs[k+1].v {
+				continue // cannot split between equal values
+			}
+			nl, nr := float64(k+1), float64(n-k-1)
+			var score float64
+			if cfg.Regression {
+				varL := sumSqL - sumL*sumL/nl
+				sumR := sumTot - sumL
+				varR := (sumSqTot - sumSqL) - sumR*sumR/nr
+				score = varL + varR
+			} else {
+				pl := sumL / nl
+				pr := (sumTot - sumL) / nr
+				score = nl*gini(pl) + nr*gini(pr)
+			}
+			if score < bestScore {
+				bestScore = score
+				feat = f
+				thresh = (pairs[k].v + pairs[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+func gini(p float64) float64 { return 2 * p * (1 - p) }
+
+// Predict returns the leaf value for x (positive-class probability for
+// classification trees).
+func (t *DecisionTree) Predict(x []float64) float64 {
+	n := t.Root
+	for !n.Leaf {
+		if x[n.Feature] <= n.Thresh {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// PredictClass thresholds the leaf probability at 0.5.
+func (t *DecisionTree) PredictClass(x []float64) int {
+	if t.Predict(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Depth reports the tree height (useful in tests).
+func (t *DecisionTree) Depth() int { return nodeDepth(t.Root) }
+
+func nodeDepth(n *TreeNode) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

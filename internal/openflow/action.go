@@ -1,0 +1,119 @@
+package openflow
+
+import "fmt"
+
+// Special port numbers used in actions and PacketOut.
+const (
+	// PortController directs packets to the controller (PacketIn).
+	PortController uint32 = 0xfffffffd
+	// PortFlood outputs on all ports except the ingress port.
+	PortFlood uint32 = 0xfffffffb
+	// PortAny wildcards the port in statistics requests.
+	PortAny uint32 = 0xffffffff
+	// PortIngress re-emits on the packet's ingress port.
+	PortIngress uint32 = 0xfffffff8
+)
+
+// ActionType discriminates action encodings.
+type ActionType uint16
+
+// Action type values.
+const (
+	ActionTypeOutput ActionType = 0
+	ActionTypeDrop   ActionType = 1
+)
+
+// Action is one element of a flow rule's or PacketOut's action list.
+type Action interface {
+	ActionType() ActionType
+	appendAction(b []byte) []byte
+}
+
+// ActionOutput forwards the packet to a port (or the controller/flood
+// pseudo-ports).
+type ActionOutput struct {
+	Port uint32
+	// MaxLen bounds the bytes sent to the controller for PortController.
+	MaxLen uint16
+}
+
+// ActionType implements Action.
+func (ActionOutput) ActionType() ActionType { return ActionTypeOutput }
+
+func (a ActionOutput) appendAction(b []byte) []byte {
+	b = appendU16(b, uint16(ActionTypeOutput))
+	b = appendU16(b, 12) // total encoded length
+	b = appendU32(b, a.Port)
+	b = appendU16(b, a.MaxLen)
+	b = appendU16(b, 0) // pad
+	return b
+}
+
+func (a ActionOutput) String() string {
+	switch a.Port {
+	case PortController:
+		return "output(controller)"
+	case PortFlood:
+		return "output(flood)"
+	default:
+		return fmt.Sprintf("output(%d)", a.Port)
+	}
+}
+
+// ActionDrop explicitly discards the packet. An empty action list also
+// drops, but an explicit drop reads better in rule dumps.
+type ActionDrop struct{}
+
+// ActionType implements Action.
+func (ActionDrop) ActionType() ActionType { return ActionTypeDrop }
+
+func (ActionDrop) appendAction(b []byte) []byte {
+	b = appendU16(b, uint16(ActionTypeDrop))
+	b = appendU16(b, 4)
+	return b
+}
+
+func (ActionDrop) String() string { return "drop" }
+
+func appendActions(b []byte, actions []Action) []byte {
+	b = appendU16(b, uint16(len(actions)))
+	for _, a := range actions {
+		b = a.appendAction(b)
+	}
+	return b
+}
+
+func decodeActions(r *reader) []Action {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	var actions []Action
+	for i := 0; i < n; i++ {
+		at := ActionType(r.u16())
+		length := int(r.u16())
+		if r.err != nil {
+			return nil
+		}
+		switch at {
+		case ActionTypeOutput:
+			port := r.u32()
+			maxLen := r.u16()
+			r.u16() // pad
+			actions = append(actions, ActionOutput{Port: port, MaxLen: maxLen})
+		case ActionTypeDrop:
+			actions = append(actions, ActionDrop{})
+		default:
+			// Skip unknown actions by their declared length.
+			if length < 4 {
+				r.err = ErrTruncated
+				return nil
+			}
+			r.take(length - 4)
+		}
+		if r.err != nil {
+			return nil
+		}
+	}
+	return actions
+}

@@ -1,0 +1,111 @@
+package openflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn frames OpenFlow messages over a stream transport. Reads and writes
+// are independently safe for one reader goroutine and many writers.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+
+	xid    atomic.Uint32
+	closed atomic.Bool
+
+	readBuf []byte
+}
+
+// NewConn wraps nc with message framing.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// NextXID returns a fresh transaction id.
+func (c *Conn) NextXID() uint32 {
+	return c.xid.Add(1)
+}
+
+// Send encodes and writes msg with a fresh transaction id, returning the
+// id used. The message is flushed immediately.
+func (c *Conn) Send(msg Message) (uint32, error) {
+	xid := c.NextXID()
+	return xid, c.SendXID(msg, xid)
+}
+
+// SendXID encodes and writes msg under the caller-chosen transaction id.
+func (c *Conn) SendXID(msg Message, xid uint32) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	buf := AppendMessage(nil, msg, xid)
+	if _, err := c.bw.Write(buf); err != nil {
+		return fmt.Errorf("openflow send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("openflow flush: %w", err)
+	}
+	return nil
+}
+
+// SendBatch writes several pre-encoded frames under one lock/flush, which
+// matters on the PacketIn fast path.
+func (c *Conn) SendBatch(frames []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.bw.Write(frames); err != nil {
+		return fmt.Errorf("openflow send batch: %w", err)
+	}
+	return c.bw.Flush()
+}
+
+// Receive blocks until one complete message arrives and returns it with
+// its header.
+func (c *Conn) Receive() (Message, Header, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, Header{}, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < HeaderLen {
+		return nil, Header{}, ErrTruncated
+	}
+	if length > MaxMessageLen {
+		return nil, Header{}, ErrTooLong
+	}
+	if cap(c.readBuf) < length {
+		c.readBuf = make([]byte, length)
+	}
+	buf := c.readBuf[:length]
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(c.br, buf[HeaderLen:]); err != nil {
+		return nil, Header{}, err
+	}
+	return Decode(buf)
+}
+
+// Close tears down the underlying transport. It is safe to call twice.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.nc.Close()
+}
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// LocalAddr reports the local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }

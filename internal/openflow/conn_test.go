@@ -1,0 +1,142 @@
+package openflow
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func pipeConns(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	t.Cleanup(func() {
+		ca.Close()
+		cb.Close()
+	})
+	return ca, cb
+}
+
+func TestConnSendReceive(t *testing.T) {
+	a, b := pipeConns(t)
+
+	want := &PacketIn{Fields: sampleFields(), Data: []byte("hi")}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Send(want)
+		done <- err
+	}()
+	got, h, err := b.Receive()
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if h.XID == 0 {
+		t.Error("Send assigned xid 0")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestConnXIDPropagation(t *testing.T) {
+	a, b := pipeConns(t)
+	go func() {
+		_ = a.SendXID(&BarrierRequest{}, 4242)
+	}()
+	_, h, err := b.Receive()
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if h.XID != 4242 {
+		t.Fatalf("xid = %d, want 4242", h.XID)
+	}
+}
+
+func TestConnConcurrentWriters(t *testing.T) {
+	a, b := pipeConns(t)
+	const writers, per = 8, 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := a.Send(&EchoRequest{Data: []byte{byte(i)}}); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	received := 0
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for received < writers*per {
+			msg, _, err := b.Receive()
+			if err != nil {
+				t.Errorf("Receive: %v", err)
+				return
+			}
+			if _, ok := msg.(*EchoRequest); !ok {
+				t.Errorf("interleaved frame corrupted: got %T", msg)
+				return
+			}
+			received++
+		}
+	}()
+	wg.Wait()
+	<-recvDone
+	if received != writers*per {
+		t.Fatalf("received %d messages, want %d", received, writers*per)
+	}
+}
+
+func TestConnSendBatch(t *testing.T) {
+	a, b := pipeConns(t)
+	var frames []byte
+	for i := 0; i < 5; i++ {
+		frames = AppendMessage(frames, &EchoRequest{Data: []byte{byte(i)}}, uint32(i+1))
+	}
+	go func() {
+		_ = a.SendBatch(frames)
+	}()
+	for i := 0; i < 5; i++ {
+		msg, h, err := b.Receive()
+		if err != nil {
+			t.Fatalf("Receive %d: %v", i, err)
+		}
+		if h.XID != uint32(i+1) {
+			t.Fatalf("xid = %d, want %d", h.XID, i+1)
+		}
+		echo := msg.(*EchoRequest)
+		if len(echo.Data) != 1 || echo.Data[0] != byte(i) {
+			t.Fatalf("data = %v, want [%d]", echo.Data, i)
+		}
+	}
+}
+
+func TestConnCloseIdempotent(t *testing.T) {
+	a, _ := net.Pipe()
+	c := NewConn(a)
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestConnReceiveAfterPeerClose(t *testing.T) {
+	a, b := pipeConns(t)
+	a.Close()
+	if _, _, err := b.Receive(); err == nil {
+		t.Fatal("Receive after peer close returned nil error")
+	}
+}

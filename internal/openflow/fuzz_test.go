@@ -1,0 +1,47 @@
+package openflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Random byte soup must never panic the decoder — it may only return
+// errors or (rarely) a structurally valid message.
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20_000; i++ {
+		n := rng.Intn(128)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n >= 4 {
+			// Half the time, make the frame pass the header checks so the
+			// body decoders get exercised too.
+			if rng.Intn(2) == 0 {
+				buf[0] = Version
+				buf[1] = byte(rng.Intn(24))
+				buf[2] = byte(n >> 8)
+				buf[3] = byte(n)
+			}
+		}
+		_, _, _ = Decode(buf)
+	}
+}
+
+// Mutating single bytes of valid frames must never panic.
+func TestDecodeBitflippedFramesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	frames := [][]byte{
+		Encode(&PacketIn{Fields: sampleFields(), Data: []byte("abc")}, 1),
+		Encode(&FlowMod{Match: MatchAll(), Actions: []Action{ActionOutput{Port: 1}}}, 2),
+		Encode(&MultipartReply{StatsType: StatsFlow, Flows: []FlowStats{{Match: MatchAll()}}}, 3),
+		Encode(&FeaturesReply{DPID: 9, Ports: []PortDesc{{No: 1, Name: "x"}}}, 4),
+	}
+	for _, frame := range frames {
+		for trial := 0; trial < 2_000; trial++ {
+			buf := make([]byte, len(frame))
+			copy(buf, frame)
+			buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+			_, _, _ = Decode(buf)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package openflow
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Wildcard bits: a set bit means the corresponding field is wildcarded
+// (ignored during matching).
+const (
+	WildInPort uint32 = 1 << iota
+	WildEthSrc
+	WildEthDst
+	WildEthType
+	WildIPProto
+	WildIPSrc
+	WildIPDst
+	WildTPSrc
+	WildTPDst
+
+	// WildAll wildcards every field; the resulting match covers all packets.
+	WildAll = WildInPort | WildEthSrc | WildEthDst | WildEthType |
+		WildIPProto | WildIPSrc | WildIPDst | WildTPSrc | WildTPDst
+)
+
+const matchLen = 4 + 4 + 6 + 6 + 2 + 1 + 1 + 4 + 4 + 2 + 2 // 36 bytes
+
+// EthAddr is a 48-bit Ethernet hardware address.
+type EthAddr [6]byte
+
+func (a EthAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IPProto values used by the traffic generators and detectors.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// EtherType values.
+const (
+	EthTypeIPv4 uint16 = 0x0800
+	EthTypeARP  uint16 = 0x0806
+	EthTypeLLDP uint16 = 0x88cc
+)
+
+// Fields carries the concrete header values of a packet, used both as the
+// key a Match is tested against and as the source for exact-match rules.
+type Fields struct {
+	InPort  uint32
+	EthSrc  EthAddr
+	EthDst  EthAddr
+	EthType uint16
+	IPProto uint8
+	IPSrc   uint32
+	IPDst   uint32
+	TPSrc   uint16
+	TPDst   uint16
+}
+
+// Match selects packets by comparing non-wildcarded fields for equality.
+// The zero value matches nothing useful; use MatchAll or ExactMatch.
+type Match struct {
+	Wildcards uint32
+	Fields
+}
+
+// MatchAll returns a match that covers every packet.
+func MatchAll() Match {
+	return Match{Wildcards: WildAll}
+}
+
+// ExactMatch returns a match requiring equality on every field of f.
+func ExactMatch(f Fields) Match {
+	return Match{Fields: f}
+}
+
+// Matches reports whether packet fields f satisfy the match.
+func (m Match) Matches(f Fields) bool {
+	w := m.Wildcards
+	switch {
+	case w&WildInPort == 0 && m.InPort != f.InPort:
+		return false
+	case w&WildEthSrc == 0 && m.EthSrc != f.EthSrc:
+		return false
+	case w&WildEthDst == 0 && m.EthDst != f.EthDst:
+		return false
+	case w&WildEthType == 0 && m.EthType != f.EthType:
+		return false
+	case w&WildIPProto == 0 && m.IPProto != f.IPProto:
+		return false
+	case w&WildIPSrc == 0 && m.IPSrc != f.IPSrc:
+		return false
+	case w&WildIPDst == 0 && m.IPDst != f.IPDst:
+		return false
+	case w&WildTPSrc == 0 && m.TPSrc != f.TPSrc:
+		return false
+	case w&WildTPDst == 0 && m.TPDst != f.TPDst:
+		return false
+	}
+	return true
+}
+
+// Specificity counts the number of concrete (non-wildcarded) fields; a
+// higher value means a narrower match. Useful as a priority tiebreaker.
+func (m Match) Specificity() int {
+	n := 0
+	for bit := uint32(1); bit <= WildTPDst; bit <<= 1 {
+		if m.Wildcards&bit == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Key returns a comparable value usable as a map key for exact rule lookup.
+func (m Match) Key() MatchKey {
+	return MatchKey{Wildcards: m.Wildcards, Fields: m.Fields}
+}
+
+// MatchKey is the comparable form of a Match.
+type MatchKey struct {
+	Wildcards uint32
+	Fields
+}
+
+func (m Match) String() string {
+	var parts []string
+	add := func(bit uint32, name, val string) {
+		if m.Wildcards&bit == 0 {
+			parts = append(parts, name+"="+val)
+		}
+	}
+	add(WildInPort, "in_port", fmt.Sprint(m.InPort))
+	add(WildEthSrc, "eth_src", m.EthSrc.String())
+	add(WildEthDst, "eth_dst", m.EthDst.String())
+	add(WildEthType, "eth_type", fmt.Sprintf("0x%04x", m.EthType))
+	add(WildIPProto, "ip_proto", fmt.Sprint(m.IPProto))
+	add(WildIPSrc, "ip_src", IPString(m.IPSrc))
+	add(WildIPDst, "ip_dst", IPString(m.IPDst))
+	add(WildTPSrc, "tp_src", fmt.Sprint(m.TPSrc))
+	add(WildTPDst, "tp_dst", fmt.Sprint(m.TPDst))
+	if len(parts) == 0 {
+		return "match(*)"
+	}
+	return "match(" + strings.Join(parts, ",") + ")"
+}
+
+func (m Match) append(b []byte) []byte {
+	b = appendU32(b, m.Wildcards)
+	b = appendU32(b, m.InPort)
+	b = append(b, m.EthSrc[:]...)
+	b = append(b, m.EthDst[:]...)
+	b = appendU16(b, m.EthType)
+	b = append(b, m.IPProto, 0) // pad to keep 16-bit alignment
+	b = appendU32(b, m.IPSrc)
+	b = appendU32(b, m.IPDst)
+	b = appendU16(b, m.TPSrc)
+	b = appendU16(b, m.TPDst)
+	return b
+}
+
+func (m *Match) decode(r *reader) {
+	m.Wildcards = r.u32()
+	m.InPort = r.u32()
+	copy(m.EthSrc[:], r.take(6))
+	copy(m.EthDst[:], r.take(6))
+	m.EthType = r.u16()
+	m.IPProto = r.u8()
+	r.u8() // pad
+	m.IPSrc = r.u32()
+	m.IPDst = r.u32()
+	m.TPSrc = r.u16()
+	m.TPDst = r.u16()
+}
+
+// IPv4 packs four octets into the uint32 representation used on the wire.
+func IPv4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// IPString renders the packed address in dotted-quad form.
+func IPString(ip uint32) string {
+	addr := netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)})
+	return addr.String()
+}
+
+// ParseIP converts a dotted-quad string to the packed representation.
+func ParseIP(s string) (uint32, error) {
+	addr, err := netip.ParseAddr(s)
+	if err != nil || !addr.Is4() {
+		return 0, fmt.Errorf("openflow: bad IPv4 address %q", s)
+	}
+	b := addr.As4()
+	return IPv4(b[0], b[1], b[2], b[3]), nil
+}

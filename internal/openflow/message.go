@@ -1,0 +1,366 @@
+package openflow
+
+// Hello opens the handshake; both sides send it on connect.
+type Hello struct{}
+
+// MsgType implements Message.
+func (*Hello) MsgType() Type              { return TypeHello }
+func (*Hello) appendBody(b []byte) []byte { return b }
+func (*Hello) decodeBody(b []byte) error  { return nil }
+
+// EchoRequest is a liveness probe; the peer mirrors Data in an EchoReply.
+type EchoRequest struct{ Data []byte }
+
+// MsgType implements Message.
+func (*EchoRequest) MsgType() Type                { return TypeEchoRequest }
+func (m *EchoRequest) appendBody(b []byte) []byte { return append(b, m.Data...) }
+func (m *EchoRequest) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Data = r.rest()
+	return r.err
+}
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct{ Data []byte }
+
+// MsgType implements Message.
+func (*EchoReply) MsgType() Type                { return TypeEchoReply }
+func (m *EchoReply) appendBody(b []byte) []byte { return append(b, m.Data...) }
+func (m *EchoReply) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Data = r.rest()
+	return r.err
+}
+
+// Error type values.
+const (
+	ErrTypeBadRequest uint16 = 1
+	ErrTypeBadMatch   uint16 = 4
+	ErrTypeFlowMod    uint16 = 5
+)
+
+// ErrorMsg reports a protocol-level failure back to the sender.
+type ErrorMsg struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// MsgType implements Message.
+func (*ErrorMsg) MsgType() Type { return TypeError }
+
+func (m *ErrorMsg) appendBody(b []byte) []byte {
+	b = appendU16(b, m.ErrType)
+	b = appendU16(b, m.Code)
+	return append(b, m.Data...)
+}
+
+func (m *ErrorMsg) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.ErrType = r.u16()
+	m.Code = r.u16()
+	m.Data = r.rest()
+	return r.err
+}
+
+// FeaturesRequest asks the switch for its datapath description.
+type FeaturesRequest struct{}
+
+// MsgType implements Message.
+func (*FeaturesRequest) MsgType() Type              { return TypeFeaturesRequest }
+func (*FeaturesRequest) appendBody(b []byte) []byte { return b }
+func (*FeaturesRequest) decodeBody(b []byte) error  { return nil }
+
+// PortDesc describes one switch port.
+type PortDesc struct {
+	No     uint32
+	HWAddr EthAddr
+	Name   string // truncated to 16 bytes on the wire
+	// SpeedKbps is the port's current speed in kilobits per second.
+	SpeedKbps uint32
+}
+
+func (p PortDesc) append(b []byte) []byte {
+	b = appendU32(b, p.No)
+	b = append(b, p.HWAddr[:]...)
+	var name [16]byte
+	copy(name[:], p.Name)
+	b = append(b, name[:]...)
+	b = appendU32(b, p.SpeedKbps)
+	return b
+}
+
+func (p *PortDesc) decode(r *reader) {
+	p.No = r.u32()
+	copy(p.HWAddr[:], r.take(6))
+	name := r.take(16)
+	if r.err == nil {
+		n := 0
+		for n < len(name) && name[n] != 0 {
+			n++
+		}
+		p.Name = string(name[:n])
+	}
+	p.SpeedKbps = r.u32()
+}
+
+// FeaturesReply carries the datapath id and port inventory.
+type FeaturesReply struct {
+	DPID      uint64
+	NumTables uint8
+	Ports     []PortDesc
+}
+
+// MsgType implements Message.
+func (*FeaturesReply) MsgType() Type { return TypeFeaturesReply }
+
+func (m *FeaturesReply) appendBody(b []byte) []byte {
+	b = appendU64(b, m.DPID)
+	b = append(b, m.NumTables, 0, 0, 0)
+	b = appendU16(b, uint16(len(m.Ports)))
+	for _, p := range m.Ports {
+		b = p.append(b)
+	}
+	return b
+}
+
+func (m *FeaturesReply) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.DPID = r.u64()
+	m.NumTables = r.u8()
+	r.take(3)
+	n := int(r.u16())
+	if r.err != nil {
+		return r.err
+	}
+	m.Ports = make([]PortDesc, n)
+	for i := range m.Ports {
+		m.Ports[i].decode(&r)
+	}
+	return r.err
+}
+
+// PacketIn reason values.
+const (
+	ReasonNoMatch uint8 = 0
+	ReasonAction  uint8 = 1
+)
+
+// PacketIn delivers a packet (or its prefix) to the controller.
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	Reason   uint8
+	TableID  uint8
+	Cookie   uint64
+	Fields   Fields // parsed header fields of the packet
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (*PacketIn) MsgType() Type { return TypePacketIn }
+
+func (m *PacketIn) appendBody(b []byte) []byte {
+	b = appendU32(b, m.BufferID)
+	b = appendU16(b, m.TotalLen)
+	b = append(b, m.Reason, m.TableID)
+	b = appendU64(b, m.Cookie)
+	b = ExactMatch(m.Fields).append(b)
+	return append(b, m.Data...)
+}
+
+func (m *PacketIn) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.BufferID = r.u32()
+	m.TotalLen = r.u16()
+	m.Reason = r.u8()
+	m.TableID = r.u8()
+	m.Cookie = r.u64()
+	var match Match
+	match.decode(&r)
+	m.Fields = match.Fields
+	m.Data = r.rest()
+	return r.err
+}
+
+// PacketOut instructs the switch to emit a packet.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint32
+	Actions  []Action
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (*PacketOut) MsgType() Type { return TypePacketOut }
+
+func (m *PacketOut) appendBody(b []byte) []byte {
+	b = appendU32(b, m.BufferID)
+	b = appendU32(b, m.InPort)
+	b = appendActions(b, m.Actions)
+	return append(b, m.Data...)
+}
+
+func (m *PacketOut) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.BufferID = r.u32()
+	m.InPort = r.u32()
+	m.Actions = decodeActions(&r)
+	m.Data = r.rest()
+	return r.err
+}
+
+// FlowMod command values.
+const (
+	FlowAdd          uint8 = 0
+	FlowModify       uint8 = 1
+	FlowDelete       uint8 = 3
+	FlowDeleteStrict uint8 = 4
+)
+
+// FlowMod flag values.
+const (
+	// FlagSendFlowRemoved requests a FlowRemoved message on rule expiry.
+	FlagSendFlowRemoved uint16 = 1
+)
+
+// FlowMod installs, modifies, or deletes flow table rules.
+type FlowMod struct {
+	Cookie      uint64
+	TableID     uint8
+	Command     uint8
+	IdleTimeout uint16 // seconds; 0 disables
+	HardTimeout uint16 // seconds; 0 disables
+	Priority    uint16
+	Flags       uint16
+	Match       Match
+	Actions     []Action
+}
+
+// MsgType implements Message.
+func (*FlowMod) MsgType() Type { return TypeFlowMod }
+
+func (m *FlowMod) appendBody(b []byte) []byte {
+	b = appendU64(b, m.Cookie)
+	b = append(b, m.TableID, m.Command)
+	b = appendU16(b, m.IdleTimeout)
+	b = appendU16(b, m.HardTimeout)
+	b = appendU16(b, m.Priority)
+	b = appendU16(b, m.Flags)
+	b = m.Match.append(b)
+	return appendActions(b, m.Actions)
+}
+
+func (m *FlowMod) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Cookie = r.u64()
+	m.TableID = r.u8()
+	m.Command = r.u8()
+	m.IdleTimeout = r.u16()
+	m.HardTimeout = r.u16()
+	m.Priority = r.u16()
+	m.Flags = r.u16()
+	m.Match.decode(&r)
+	m.Actions = decodeActions(&r)
+	return r.err
+}
+
+// FlowRemoved reason values.
+const (
+	RemovedIdleTimeout uint8 = 0
+	RemovedHardTimeout uint8 = 1
+	RemovedDelete      uint8 = 2
+)
+
+// FlowRemoved reports the final counters of an expired or deleted rule.
+type FlowRemoved struct {
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	TableID      uint8
+	DurationSec  uint32
+	DurationNSec uint32
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+	Match        Match
+}
+
+// MsgType implements Message.
+func (*FlowRemoved) MsgType() Type { return TypeFlowRemoved }
+
+func (m *FlowRemoved) appendBody(b []byte) []byte {
+	b = appendU64(b, m.Cookie)
+	b = appendU16(b, m.Priority)
+	b = append(b, m.Reason, m.TableID)
+	b = appendU32(b, m.DurationSec)
+	b = appendU32(b, m.DurationNSec)
+	b = appendU16(b, m.IdleTimeout)
+	b = appendU16(b, m.HardTimeout)
+	b = appendU64(b, m.PacketCount)
+	b = appendU64(b, m.ByteCount)
+	return m.Match.append(b)
+}
+
+func (m *FlowRemoved) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Cookie = r.u64()
+	m.Priority = r.u16()
+	m.Reason = r.u8()
+	m.TableID = r.u8()
+	m.DurationSec = r.u32()
+	m.DurationNSec = r.u32()
+	m.IdleTimeout = r.u16()
+	m.HardTimeout = r.u16()
+	m.PacketCount = r.u64()
+	m.ByteCount = r.u64()
+	m.Match.decode(&r)
+	return r.err
+}
+
+// PortStatus reason values.
+const (
+	PortAdded    uint8 = 0
+	PortDeleted  uint8 = 1
+	PortModified uint8 = 2
+)
+
+// PortStatus announces a port lifecycle change.
+type PortStatus struct {
+	Reason uint8
+	Desc   PortDesc
+}
+
+// MsgType implements Message.
+func (*PortStatus) MsgType() Type { return TypePortStatus }
+
+func (m *PortStatus) appendBody(b []byte) []byte {
+	b = append(b, m.Reason, 0, 0, 0)
+	return m.Desc.append(b)
+}
+
+func (m *PortStatus) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Reason = r.u8()
+	r.take(3)
+	m.Desc.decode(&r)
+	return r.err
+}
+
+// BarrierRequest forces the switch to finish processing earlier messages
+// before replying.
+type BarrierRequest struct{}
+
+// MsgType implements Message.
+func (*BarrierRequest) MsgType() Type              { return TypeBarrierRequest }
+func (*BarrierRequest) appendBody(b []byte) []byte { return b }
+func (*BarrierRequest) decodeBody(b []byte) error  { return nil }
+
+// BarrierReply acknowledges a BarrierRequest.
+type BarrierReply struct{}
+
+// MsgType implements Message.
+func (*BarrierReply) MsgType() Type              { return TypeBarrierReply }
+func (*BarrierReply) appendBody(b []byte) []byte { return b }
+func (*BarrierReply) decodeBody(b []byte) error  { return nil }

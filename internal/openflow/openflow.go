@@ -1,0 +1,276 @@
+// Package openflow implements a compact OpenFlow-1.3-style wire protocol:
+// binary message framing, a fixed-layout match structure, actions, and the
+// message set Athena's control-plane monitoring depends on (PacketIn,
+// FlowMod, FlowRemoved, PortStatus, and Multipart statistics).
+//
+// The codec is a faithful subset rather than a byte-compatible OpenFlow
+// implementation: header layout (version/type/length/xid) and message
+// semantics follow the specification, while TLV-heavy structures (OXM
+// matches, full action lists) are replaced by fixed-layout equivalents so
+// that encoding stays allocation-light on the flow-setup fast path.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version identifies the protocol dialect spoken by this codec.
+const Version uint8 = 0x04
+
+// HeaderLen is the length in bytes of the fixed message header.
+const HeaderLen = 8
+
+// MaxMessageLen bounds a single framed message; longer frames are rejected
+// to keep a malformed peer from forcing unbounded allocation.
+const MaxMessageLen = 1 << 20
+
+// Type enumerates the supported message types. Values track the OpenFlow
+// 1.3 numbering so captures read naturally.
+type Type uint8
+
+// Message type values.
+const (
+	TypeHello            Type = 0
+	TypeError            Type = 1
+	TypeEchoRequest      Type = 2
+	TypeEchoReply        Type = 3
+	TypeFeaturesRequest  Type = 5
+	TypeFeaturesReply    Type = 6
+	TypePacketIn         Type = 10
+	TypeFlowRemoved      Type = 11
+	TypePortStatus       Type = 12
+	TypePacketOut        Type = 13
+	TypeFlowMod          Type = 14
+	TypeMultipartRequest Type = 18
+	TypeMultipartReply   Type = 19
+	TypeBarrierRequest   Type = 20
+	TypeBarrierReply     Type = 21
+)
+
+var typeNames = map[Type]string{
+	TypeHello:            "HELLO",
+	TypeError:            "ERROR",
+	TypeEchoRequest:      "ECHO_REQUEST",
+	TypeEchoReply:        "ECHO_REPLY",
+	TypeFeaturesRequest:  "FEATURES_REQUEST",
+	TypeFeaturesReply:    "FEATURES_REPLY",
+	TypePacketIn:         "PACKET_IN",
+	TypeFlowRemoved:      "FLOW_REMOVED",
+	TypePortStatus:       "PORT_STATUS",
+	TypePacketOut:        "PACKET_OUT",
+	TypeFlowMod:          "FLOW_MOD",
+	TypeMultipartRequest: "MULTIPART_REQUEST",
+	TypeMultipartReply:   "MULTIPART_REPLY",
+	TypeBarrierRequest:   "BARRIER_REQUEST",
+	TypeBarrierReply:     "BARRIER_REPLY",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// Errors returned by the codec.
+var (
+	ErrTruncated   = errors.New("openflow: truncated message")
+	ErrBadVersion  = errors.New("openflow: unsupported protocol version")
+	ErrUnknownType = errors.New("openflow: unknown message type")
+	ErrTooLong     = errors.New("openflow: message exceeds maximum length")
+)
+
+// Header is the fixed 8-byte prefix of every message.
+type Header struct {
+	Version uint8
+	Type    Type
+	Length  uint16
+	XID     uint32
+}
+
+// DecodeHeader parses the fixed header from the front of b.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, ErrTruncated
+	}
+	h := Header{
+		Version: b[0],
+		Type:    Type(b[1]),
+		Length:  binary.BigEndian.Uint16(b[2:4]),
+		XID:     binary.BigEndian.Uint32(b[4:8]),
+	}
+	if h.Version != Version {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	if int(h.Length) < HeaderLen {
+		return h, ErrTruncated
+	}
+	return h, nil
+}
+
+// Message is implemented by every protocol message body.
+type Message interface {
+	// MsgType reports the wire type of the message.
+	MsgType() Type
+	// appendBody appends the encoded body (everything after the header).
+	appendBody(b []byte) []byte
+	// decodeBody parses the body from b (header already stripped).
+	decodeBody(b []byte) error
+}
+
+// Encode serializes msg with the given transaction id into a fresh buffer.
+func Encode(msg Message, xid uint32) []byte {
+	return AppendMessage(nil, msg, xid)
+}
+
+// AppendMessage appends the framed encoding of msg to dst and returns the
+// extended slice. It is the allocation-friendly form of Encode.
+func AppendMessage(dst []byte, msg Message, xid uint32) []byte {
+	start := len(dst)
+	dst = append(dst, Version, byte(msg.MsgType()), 0, 0, 0, 0, 0, 0)
+	dst = msg.appendBody(dst)
+	n := len(dst) - start
+	binary.BigEndian.PutUint16(dst[start+2:start+4], uint16(n))
+	binary.BigEndian.PutUint32(dst[start+4:start+8], xid)
+	return dst
+}
+
+// Decode parses one complete framed message. b must contain exactly the
+// frame (header plus body as declared by the header length).
+func Decode(b []byte) (Message, Header, error) {
+	h, err := DecodeHeader(b)
+	if err != nil {
+		return nil, h, err
+	}
+	if len(b) < int(h.Length) {
+		return nil, h, ErrTruncated
+	}
+	body := b[HeaderLen:h.Length]
+	msg, err := newMessage(h.Type)
+	if err != nil {
+		return nil, h, err
+	}
+	if err := msg.decodeBody(body); err != nil {
+		return nil, h, fmt.Errorf("decode %v: %w", h.Type, err)
+	}
+	return msg, h, nil
+}
+
+func newMessage(t Type) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	case TypeEchoRequest:
+		return &EchoRequest{}, nil
+	case TypeEchoReply:
+		return &EchoReply{}, nil
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}, nil
+	case TypeFeaturesReply:
+		return &FeaturesReply{}, nil
+	case TypePacketIn:
+		return &PacketIn{}, nil
+	case TypeFlowRemoved:
+		return &FlowRemoved{}, nil
+	case TypePortStatus:
+		return &PortStatus{}, nil
+	case TypePacketOut:
+		return &PacketOut{}, nil
+	case TypeFlowMod:
+		return &FlowMod{}, nil
+	case TypeMultipartRequest:
+		return &MultipartRequest{}, nil
+	case TypeMultipartReply:
+		return &MultipartReply{}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
+	}
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return appendU32(appendU32(b, uint32(v>>32)), uint32(v))
+}
+
+// reader is a bounds-checked cursor over a message body.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) remain() int { return len(r.b) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.remain() < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *reader) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(s)
+}
+
+func (r *reader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s)
+}
+
+func (r *reader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(s)
+}
+
+func (r *reader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	s := r.b[r.off:]
+	r.off = len(r.b)
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]byte, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,256 @@
+package openflow
+
+import "fmt"
+
+// StatsType discriminates multipart request/reply bodies.
+type StatsType uint16
+
+// Multipart statistics types.
+const (
+	StatsFlow  StatsType = 1
+	StatsPort  StatsType = 4
+	StatsTable StatsType = 3
+)
+
+// FlowStatsRequest selects the flow rules whose counters are wanted.
+type FlowStatsRequest struct {
+	TableID uint8
+	OutPort uint32
+	Match   Match
+}
+
+// PortStatsRequest selects a port (or PortAny for all ports).
+type PortStatsRequest struct {
+	PortNo uint32
+}
+
+// MultipartRequest asks the switch for statistics.
+type MultipartRequest struct {
+	StatsType StatsType
+	Flow      *FlowStatsRequest
+	Port      *PortStatsRequest
+}
+
+// MsgType implements Message.
+func (*MultipartRequest) MsgType() Type { return TypeMultipartRequest }
+
+func (m *MultipartRequest) appendBody(b []byte) []byte {
+	b = appendU16(b, uint16(m.StatsType))
+	b = appendU16(b, 0) // flags
+	switch m.StatsType {
+	case StatsFlow:
+		req := m.Flow
+		if req == nil {
+			req = &FlowStatsRequest{OutPort: PortAny, Match: MatchAll()}
+		}
+		b = append(b, req.TableID, 0, 0, 0)
+		b = appendU32(b, req.OutPort)
+		b = req.Match.append(b)
+	case StatsPort:
+		req := m.Port
+		if req == nil {
+			req = &PortStatsRequest{PortNo: PortAny}
+		}
+		b = appendU32(b, req.PortNo)
+	}
+	return b
+}
+
+func (m *MultipartRequest) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.StatsType = StatsType(r.u16())
+	r.u16() // flags
+	switch m.StatsType {
+	case StatsFlow:
+		var req FlowStatsRequest
+		req.TableID = r.u8()
+		r.take(3)
+		req.OutPort = r.u32()
+		req.Match.decode(&r)
+		m.Flow = &req
+	case StatsPort:
+		var req PortStatsRequest
+		req.PortNo = r.u32()
+		m.Port = &req
+	case StatsTable:
+		// no body
+	default:
+		return fmt.Errorf("openflow: unknown stats type %d", m.StatsType)
+	}
+	return r.err
+}
+
+// FlowStats is one flow rule's counters.
+type FlowStats struct {
+	TableID      uint8
+	Priority     uint16
+	DurationSec  uint32
+	DurationNSec uint32
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Match        Match
+	Actions      []Action
+}
+
+func (s FlowStats) append(b []byte) []byte {
+	b = append(b, s.TableID, 0)
+	b = appendU16(b, s.Priority)
+	b = appendU32(b, s.DurationSec)
+	b = appendU32(b, s.DurationNSec)
+	b = appendU16(b, s.IdleTimeout)
+	b = appendU16(b, s.HardTimeout)
+	b = appendU64(b, s.Cookie)
+	b = appendU64(b, s.PacketCount)
+	b = appendU64(b, s.ByteCount)
+	b = s.Match.append(b)
+	return appendActions(b, s.Actions)
+}
+
+func (s *FlowStats) decode(r *reader) {
+	s.TableID = r.u8()
+	r.u8()
+	s.Priority = r.u16()
+	s.DurationSec = r.u32()
+	s.DurationNSec = r.u32()
+	s.IdleTimeout = r.u16()
+	s.HardTimeout = r.u16()
+	s.Cookie = r.u64()
+	s.PacketCount = r.u64()
+	s.ByteCount = r.u64()
+	s.Match.decode(r)
+	s.Actions = decodeActions(r)
+}
+
+// PortStats is one port's cumulative counters.
+type PortStats struct {
+	PortNo    uint32
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+	RxErrors  uint64
+	TxErrors  uint64
+}
+
+func (s PortStats) append(b []byte) []byte {
+	b = appendU32(b, s.PortNo)
+	b = appendU64(b, s.RxPackets)
+	b = appendU64(b, s.TxPackets)
+	b = appendU64(b, s.RxBytes)
+	b = appendU64(b, s.TxBytes)
+	b = appendU64(b, s.RxDropped)
+	b = appendU64(b, s.TxDropped)
+	b = appendU64(b, s.RxErrors)
+	b = appendU64(b, s.TxErrors)
+	return b
+}
+
+func (s *PortStats) decode(r *reader) {
+	s.PortNo = r.u32()
+	s.RxPackets = r.u64()
+	s.TxPackets = r.u64()
+	s.RxBytes = r.u64()
+	s.TxBytes = r.u64()
+	s.RxDropped = r.u64()
+	s.TxDropped = r.u64()
+	s.RxErrors = r.u64()
+	s.TxErrors = r.u64()
+}
+
+// TableStats is one flow table's occupancy counters.
+type TableStats struct {
+	TableID      uint8
+	ActiveCount  uint32
+	LookupCount  uint64
+	MatchedCount uint64
+}
+
+func (s TableStats) append(b []byte) []byte {
+	b = append(b, s.TableID, 0, 0, 0)
+	b = appendU32(b, s.ActiveCount)
+	b = appendU64(b, s.LookupCount)
+	b = appendU64(b, s.MatchedCount)
+	return b
+}
+
+func (s *TableStats) decode(r *reader) {
+	s.TableID = r.u8()
+	r.take(3)
+	s.ActiveCount = r.u32()
+	s.LookupCount = r.u64()
+	s.MatchedCount = r.u64()
+}
+
+// MultipartReply carries statistics back to the controller. Exactly one of
+// the slices is populated according to StatsType.
+type MultipartReply struct {
+	StatsType StatsType
+	Flows     []FlowStats
+	Ports     []PortStats
+	Tables    []TableStats
+}
+
+// MsgType implements Message.
+func (*MultipartReply) MsgType() Type { return TypeMultipartReply }
+
+func (m *MultipartReply) appendBody(b []byte) []byte {
+	b = appendU16(b, uint16(m.StatsType))
+	b = appendU16(b, 0) // flags
+	switch m.StatsType {
+	case StatsFlow:
+		b = appendU32(b, uint32(len(m.Flows)))
+		for _, s := range m.Flows {
+			b = s.append(b)
+		}
+	case StatsPort:
+		b = appendU32(b, uint32(len(m.Ports)))
+		for _, s := range m.Ports {
+			b = s.append(b)
+		}
+	case StatsTable:
+		b = appendU32(b, uint32(len(m.Tables)))
+		for _, s := range m.Tables {
+			b = s.append(b)
+		}
+	}
+	return b
+}
+
+func (m *MultipartReply) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.StatsType = StatsType(r.u16())
+	r.u16() // flags
+	n := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	const maxEntries = 1 << 20
+	if n < 0 || n > maxEntries {
+		return fmt.Errorf("openflow: implausible stats entry count %d", n)
+	}
+	switch m.StatsType {
+	case StatsFlow:
+		m.Flows = make([]FlowStats, n)
+		for i := range m.Flows {
+			m.Flows[i].decode(&r)
+		}
+	case StatsPort:
+		m.Ports = make([]PortStats, n)
+		for i := range m.Ports {
+			m.Ports[i].decode(&r)
+		}
+	case StatsTable:
+		m.Tables = make([]TableStats, n)
+		for i := range m.Tables {
+			m.Tables[i].decode(&r)
+		}
+	default:
+		return fmt.Errorf("openflow: unknown stats type %d", m.StatsType)
+	}
+	return r.err
+}

@@ -1,0 +1,249 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds an expression from Athena's query syntax, e.g.
+//
+//	TP_DST==80 && BYTE_COUNT>1000
+//	IP_DST=="10.0.0.2" || DPID==(6 or 3)
+//	PAIR_FLOW_RATIO<0.2 and DURATION_SEC<=5
+//
+// Identifiers are case-insensitive (folded to lower case). "&&"/"and"
+// and "||"/"or" are interchangeable. The membership form
+// FIELD==(a or b or c) expands to a disjunction of equality tests.
+func Parse(s string) (Expr, error) {
+	p := &parser{toks: lex(s)}
+	if len(p.toks) == 0 {
+		return True{}, nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("query: trailing input at %q", p.peek())
+	}
+	return e, nil
+}
+
+// MustParse panics on error; for tests and compile-time-constant queries.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for {
+		t := strings.ToLower(p.peek())
+		if t != "||" && t != "or" {
+			break
+		}
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return Or(terms), nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for {
+		t := strings.ToLower(p.peek())
+		if t != "&&" && t != "and" {
+			break
+		}
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return And(terms), nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	if p.peek() == "(" {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("query: missing )")
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[string]bool{"==": true, "!=": true, ">": true, ">=": true, "<": true, "<=": true}
+
+func (p *parser) parseComparison() (Expr, error) {
+	field := p.next()
+	if field == "" {
+		return nil, fmt.Errorf("query: expected field name")
+	}
+	if !isIdent(field) {
+		return nil, fmt.Errorf("query: bad field name %q", field)
+	}
+	field = strings.ToLower(field)
+	op := p.next()
+	if !comparisonOps[op] {
+		return nil, fmt.Errorf("query: bad operator %q after %q", op, field)
+	}
+	// Membership list: FIELD==(a or b or c).
+	if p.peek() == "(" {
+		if op != "==" && op != "!=" {
+			return nil, fmt.Errorf("query: membership list requires == or !=")
+		}
+		p.next()
+		var values []string
+		for {
+			v := p.next()
+			if v == "" {
+				return nil, fmt.Errorf("query: unterminated membership list")
+			}
+			values = append(values, v)
+			sep := p.next()
+			if sep == ")" {
+				break
+			}
+			if strings.ToLower(sep) != "or" && sep != "||" && sep != "," {
+				return nil, fmt.Errorf("query: bad separator %q in membership list", sep)
+			}
+		}
+		terms := make([]Expr, 0, len(values))
+		for _, v := range values {
+			terms = append(terms, makeCmp(field, "==", v))
+		}
+		if op == "==" {
+			return Or(terms), nil
+		}
+		// !=(a or b) means not any: conjunction of !=.
+		all := make(And, 0, len(values))
+		for _, v := range values {
+			all = append(all, makeCmp(field, "!=", v))
+		}
+		return all, nil
+	}
+	val := p.next()
+	if val == "" {
+		return nil, fmt.Errorf("query: missing value after %s%s", field, op)
+	}
+	return makeCmp(field, op, val), nil
+}
+
+func makeCmp(field, op, raw string) Cmp {
+	if strings.HasPrefix(raw, `"`) && strings.HasSuffix(raw, `"`) && len(raw) >= 2 {
+		return Cmp{Field: field, Op: op, Str: raw[1 : len(raw)-1], IsStr: true}
+	}
+	if n, err := strconv.ParseFloat(raw, 64); err == nil {
+		return Cmp{Field: field, Op: op, Num: n}
+	}
+	// Bare words (including dotted IPs) are string operands.
+	return Cmp{Field: field, Op: op, Str: raw, IsStr: true}
+}
+
+func isIdent(s string) bool {
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '.' {
+			return false
+		}
+	}
+	return len(s) > 0 && !unicode.IsDigit(rune(s[0]))
+}
+
+// lex splits the input into identifiers, numbers, quoted strings,
+// operators, and parentheses.
+func lex(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j < len(s) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case strings.HasPrefix(s[i:], "&&") || strings.HasPrefix(s[i:], "||") ||
+			strings.HasPrefix(s[i:], "==") || strings.HasPrefix(s[i:], "!=") ||
+			strings.HasPrefix(s[i:], ">=") || strings.HasPrefix(s[i:], "<="):
+			toks = append(toks, s[i:i+2])
+			i += 2
+		case c == '>' || c == '<':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n(),\"&|<>=!", rune(s[j])) {
+				j++
+			}
+			if j == i { // unknown single char like '=' alone
+				toks = append(toks, string(c))
+				i++
+				continue
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}

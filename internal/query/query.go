@@ -1,0 +1,300 @@
+// Package query implements Athena's unified query language (Table IV):
+// arithmetic comparisons over feature fields, and/or composition,
+// membership lists ("DPID==(6 or 3)"), and the result-shaping options —
+// sorting, aggregation, limiting. Queries evaluate against any record
+// source and translate (where expressible) into store filters so that
+// selection pushes down to the feature database.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// Record is anything a condition can be evaluated against. Numeric
+// feature fields and string index fields live in separate namespaces,
+// looked up by name.
+type Record interface {
+	NumField(name string) (float64, bool)
+	StrField(name string) (string, bool)
+}
+
+// MapRecord adapts plain maps to Record (used in tests and by the store
+// document bridge).
+type MapRecord struct {
+	Num map[string]float64
+	Str map[string]string
+}
+
+// NumField implements Record.
+func (m MapRecord) NumField(name string) (float64, bool) {
+	v, ok := m.Num[name]
+	return v, ok
+}
+
+// StrField implements Record.
+func (m MapRecord) StrField(name string) (string, bool) {
+	v, ok := m.Str[name]
+	return v, ok
+}
+
+// Expr is a boolean expression over a record.
+type Expr interface {
+	Eval(r Record) bool
+	String() string
+}
+
+// Cmp is one comparison: Field op Value, where Value is numeric or a
+// string literal. A string-valued comparison supports == and != only.
+type Cmp struct {
+	Field string
+	Op    string // ==, !=, >, >=, <, <=
+	// Num is the numeric operand when IsStr is false.
+	Num float64
+	// Str is the string operand when IsStr is true.
+	Str   string
+	IsStr bool
+}
+
+// Eval implements Expr. Comparisons against missing fields are false.
+func (c Cmp) Eval(r Record) bool {
+	if c.IsStr {
+		v, ok := r.StrField(c.Field)
+		if !ok {
+			return false
+		}
+		switch c.Op {
+		case "==":
+			return v == c.Str
+		case "!=":
+			return v != c.Str
+		default:
+			return false
+		}
+	}
+	v, ok := r.NumField(c.Field)
+	if !ok {
+		// Fall back to the string namespace for numeric-looking tags
+		// (e.g. DPID==6 where dpid is stored as an index string).
+		s, sok := r.StrField(c.Field)
+		if !sok {
+			return false
+		}
+		parsed, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return false
+		}
+		v = parsed
+	}
+	switch c.Op {
+	case "==":
+		return v == c.Num
+	case "!=":
+		return v != c.Num
+	case ">":
+		return v > c.Num
+	case ">=":
+		return v >= c.Num
+	case "<":
+		return v < c.Num
+	case "<=":
+		return v <= c.Num
+	default:
+		return false
+	}
+}
+
+func (c Cmp) String() string {
+	if c.IsStr {
+		return fmt.Sprintf("%s%s%q", c.Field, c.Op, c.Str)
+	}
+	return fmt.Sprintf("%s%s%s", c.Field, c.Op, strconv.FormatFloat(c.Num, 'g', -1, 64))
+}
+
+// And is the conjunction of its children.
+type And []Expr
+
+// Eval implements Expr.
+func (a And) Eval(r Record) bool {
+	for _, e := range a {
+		if !e.Eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) String() string { return joinExprs(a, " && ") }
+
+// Or is the disjunction of its children.
+type Or []Expr
+
+// Eval implements Expr.
+func (o Or) Eval(r Record) bool {
+	for _, e := range o {
+		if e.Eval(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Or) String() string { return "(" + joinExprs(o, " || ") + ")" }
+
+func joinExprs[T Expr](es []T, sep string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// True matches every record (the empty query).
+type True struct{}
+
+// Eval implements Expr.
+func (True) Eval(Record) bool { return true }
+func (True) String() string   { return "true" }
+
+// AggKind re-exports the store aggregation kinds for the query surface.
+type AggKind = store.AggKind
+
+// Query couples a selection expression with result-shaping options.
+type Query struct {
+	Where Expr
+	// TimeFrom/TimeTo bound the record timestamp (Unix nanos; zero is
+	// unbounded).
+	TimeFrom, TimeTo int64
+	// SortBy / Desc / Limit shape plain results.
+	SortBy string
+	Desc   bool
+	Limit  int
+	// GroupBy + Agg + AggField switch to aggregation mode.
+	GroupBy  []string
+	Agg      AggKind
+	AggField string
+}
+
+// New starts a query with the given selection expression (nil matches
+// everything).
+func New(where Expr) *Query {
+	if where == nil {
+		where = True{}
+	}
+	return &Query{Where: where}
+}
+
+// Match reports whether a record satisfies the selection (the
+// time-window bounds are checked by the storage layer or caller).
+func (q *Query) Match(r Record) bool {
+	if q.Where == nil {
+		return true
+	}
+	return q.Where.Eval(r)
+}
+
+// WithSort orders results.
+func (q *Query) WithSort(field string, desc bool) *Query {
+	q.SortBy, q.Desc = field, desc
+	return q
+}
+
+// WithLimit caps result count.
+func (q *Query) WithLimit(n int) *Query {
+	q.Limit = n
+	return q
+}
+
+// WithTimeWindow bounds timestamps.
+func (q *Query) WithTimeWindow(from, to int64) *Query {
+	q.TimeFrom, q.TimeTo = from, to
+	return q
+}
+
+// WithAggregate switches to aggregation mode.
+func (q *Query) WithAggregate(groupBy []string, agg AggKind, field string) *Query {
+	q.GroupBy, q.Agg, q.AggField = groupBy, agg, field
+	return q
+}
+
+func (q *Query) String() string {
+	s := q.Where.String()
+	if len(q.GroupBy) > 0 {
+		s += fmt.Sprintf(" group by %s %s(%s)", strings.Join(q.GroupBy, ","), string(q.Agg), q.AggField)
+	}
+	if q.SortBy != "" {
+		dir := "asc"
+		if q.Desc {
+			dir = "desc"
+		}
+		s += fmt.Sprintf(" sort %s %s", q.SortBy, dir)
+	}
+	if q.Limit > 0 {
+		s += fmt.Sprintf(" limit %d", q.Limit)
+	}
+	return s
+}
+
+// ToStore translates the query into a store query plus a residual flag.
+// Top-level conjunctions of comparisons push down exactly; anything with
+// disjunctions translates to an unfiltered scan with residual=true,
+// meaning the caller must re-check records with Match. Sorting,
+// limiting, grouping and time bounds always push down (except the limit,
+// which is withheld when a residual filter would otherwise starve the
+// result set).
+func (q *Query) ToStore(tagFields map[string]bool) (store.Query, bool) {
+	sq := store.Query{
+		Filter:   store.Filter{TimeFrom: q.TimeFrom, TimeTo: q.TimeTo},
+		SortBy:   q.SortBy,
+		Desc:     q.Desc,
+		GroupBy:  q.GroupBy,
+		Agg:      q.Agg,
+		AggField: q.AggField,
+	}
+	residual := false
+	push := func(c Cmp) bool {
+		if c.IsStr || tagFields[c.Field] {
+			eq := c.Op == "=="
+			if !eq && c.Op != "!=" {
+				return false
+			}
+			val := c.Str
+			if !c.IsStr {
+				val = strconv.FormatFloat(c.Num, 'g', -1, 64)
+			}
+			sq.Filter.Tags = append(sq.Filter.Tags, store.TagCond{Tag: c.Field, Equals: eq, Value: val})
+			return true
+		}
+		sq.Filter.Num = append(sq.Filter.Num, store.NumCond{Field: c.Field, Op: store.Op(c.Op), Value: c.Num})
+		return true
+	}
+	var walk func(e Expr) bool
+	walk = func(e Expr) bool {
+		switch t := e.(type) {
+		case True:
+			return true
+		case Cmp:
+			return push(t)
+		case And:
+			ok := true
+			for _, child := range t {
+				if !walk(child) {
+					ok = false
+				}
+			}
+			return ok
+		default:
+			return false
+		}
+	}
+	if q.Where != nil && !walk(q.Where) {
+		residual = true
+	}
+	if !residual {
+		sq.Limit = q.Limit
+	}
+	return sq, residual
+}

@@ -1,0 +1,255 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+func rec(num map[string]float64, str map[string]string) MapRecord {
+	return MapRecord{Num: num, Str: str}
+}
+
+var sample = rec(
+	map[string]float64{"byte_count": 1000, "packet_count": 10, "tp_dst": 80, "pair_flow_ratio": 0.1},
+	map[string]string{"dpid": "6", "app": "lb", "ip_dst": "10.0.0.2"},
+)
+
+func TestParseAndEval(t *testing.T) {
+	tests := []struct {
+		q    string
+		want bool
+	}{
+		{"", true},
+		{"BYTE_COUNT==1000", true},
+		{"byte_count == 1000", true},
+		{"BYTE_COUNT>999", true},
+		{"BYTE_COUNT>=1000", true},
+		{"BYTE_COUNT<1000", false},
+		{"BYTE_COUNT<=999", false},
+		{"BYTE_COUNT!=1000", false},
+		{"TP_DST==80 && BYTE_COUNT>500", true},
+		{"TP_DST==80 and BYTE_COUNT<500", false},
+		{"TP_DST==443 || BYTE_COUNT>500", true},
+		{"TP_DST==443 or BYTE_COUNT<500", false},
+		{"DPID==6", true},  // numeric comparison against string tag
+		{"DPID==7", false}, //
+		{"DPID==(6 or 3)", true},
+		{"DPID==(3 or 7)", false},
+		{"DPID!=(3 or 7)", true},
+		{"DPID!=(6 or 7)", false},
+		{`APP=="lb"`, true},
+		{`APP=="security"`, false},
+		{`APP!="security"`, true},
+		{`IP_DST==10.0.0.2`, true},
+		{`IP_DST==10.0.0.3`, false},
+		{"(TP_DST==443 || TP_DST==80) && PACKET_COUNT>=10", true},
+		{"missing_field==0", false},
+		{"PAIR_FLOW_RATIO<0.2 and PACKET_COUNT>5", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.q, func(t *testing.T) {
+			e, err := Parse(tt.q)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if got := e.Eval(sample); got != tt.want {
+				t.Fatalf("Eval(%q) = %v, want %v", tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"&&",
+		"BYTE_COUNT==",
+		"BYTE_COUNT ! 5",
+		"==5",
+		"(BYTE_COUNT==5",
+		"BYTE_COUNT==5 extra",
+		"FIELD>(1 or 2)", // membership needs ==/!=
+		"FIELD==(1 or",
+		"FIELD==(1 x 2)",
+		"9field==1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("&&")
+}
+
+func TestQueryOptionsAndString(t *testing.T) {
+	q := New(MustParse("TP_DST==80")).
+		WithSort("byte_count", true).
+		WithLimit(10).
+		WithTimeWindow(100, 200).
+		WithAggregate([]string{"dpid"}, store.AggSum, "byte_count")
+	s := q.String()
+	for _, want := range []string{"tp_dst==80", "sort byte_count desc", "limit 10", "group by dpid sum(byte_count)"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if !q.Match(sample) {
+		t.Fatal("Match failed")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+var tagFields = map[string]bool{"dpid": true, "app": true, "flow": true, "ip_dst": true, "ip_src": true}
+
+func TestToStorePushdown(t *testing.T) {
+	q := New(MustParse(`BYTE_COUNT>100 && DPID==6 && APP=="lb"`)).
+		WithLimit(5).WithSort("byte_count", true).WithTimeWindow(10, 20)
+	sq, residual := q.ToStore(tagFields)
+	if residual {
+		t.Fatal("conjunctive query should push down fully")
+	}
+	if len(sq.Filter.Num) != 1 || sq.Filter.Num[0].Field != "byte_count" || sq.Filter.Num[0].Op != store.OpGt {
+		t.Fatalf("numeric pushdown = %+v", sq.Filter.Num)
+	}
+	if len(sq.Filter.Tags) != 2 {
+		t.Fatalf("tag pushdown = %+v", sq.Filter.Tags)
+	}
+	if sq.Limit != 5 || !sq.Desc || sq.SortBy != "byte_count" {
+		t.Fatalf("options = %+v", sq)
+	}
+	if sq.Filter.TimeFrom != 10 || sq.Filter.TimeTo != 20 {
+		t.Fatalf("time bounds = %+v", sq.Filter)
+	}
+}
+
+func TestToStoreResidualForDisjunction(t *testing.T) {
+	q := New(MustParse("DPID==(6 or 3)")).WithLimit(5)
+	sq, residual := q.ToStore(tagFields)
+	if !residual {
+		t.Fatal("disjunction must be residual")
+	}
+	if sq.Limit != 0 {
+		t.Fatal("limit must be withheld under residual filtering")
+	}
+	if len(sq.Filter.Num) != 0 || len(sq.Filter.Tags) != 0 {
+		t.Fatalf("residual query must not push partial disjunctions: %+v", sq.Filter)
+	}
+}
+
+func TestToStoreTagInequalityResidual(t *testing.T) {
+	// Tag fields only support ==/!= in the store; a range comparison on a
+	// tag field must flag residual.
+	q := New(And{Cmp{Field: "dpid", Op: ">", Num: 3}})
+	_, residual := q.ToStore(tagFields)
+	if !residual {
+		t.Fatal("range on tag field must be residual")
+	}
+}
+
+// Property: ToStore with residual=false is faithful — a document matches
+// the store filter iff the query matches the equivalent record.
+func TestPushdownFaithfulProperty(t *testing.T) {
+	prop := func(bc, pc float64, dpid uint8, op uint8) bool {
+		ops := []string{"==", "!=", ">", ">=", "<", "<="}
+		q := New(And{
+			Cmp{Field: "byte_count", Op: ops[int(op)%len(ops)], Num: 500},
+			Cmp{Field: "dpid", Op: "==", Num: float64(dpid % 4)},
+		})
+		sq, residual := q.ToStore(tagFields)
+		if residual {
+			return false
+		}
+		doc := store.Document{
+			Time:   1,
+			Tags:   map[string]string{"dpid": itoa(int(dpid % 4))},
+			Fields: map[string]float64{"byte_count": bc, "packet_count": pc},
+		}
+		r := rec(doc.Fields, doc.Tags)
+		return sq.Filter.Matches(doc) == q.Match(r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}
+
+// Property: parser round-trip — rendering an expression and re-parsing
+// yields an expression with identical evaluation on sample records.
+func TestParseRenderRoundTripProperty(t *testing.T) {
+	prop := func(v float64, opIdx uint8, conj bool) bool {
+		ops := []string{"==", "!=", ">", ">=", "<", "<="}
+		e1 := Cmp{Field: "byte_count", Op: ops[int(opIdx)%len(ops)], Num: float64(int(v*100) % 1000)}
+		var expr Expr = e1
+		if conj {
+			expr = And{e1, Cmp{Field: "tp_dst", Op: "==", Num: 80}}
+		}
+		back, err := Parse(expr.String())
+		if err != nil {
+			return false
+		}
+		for _, probe := range []MapRecord{
+			sample,
+			rec(map[string]float64{"byte_count": 0, "tp_dst": 80}, nil),
+			rec(map[string]float64{"byte_count": 999, "tp_dst": 443}, nil),
+		} {
+			if expr.Eval(probe) != back.Eval(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := MustParse("(TP_DST==443 || TP_DST==80) && PACKET_COUNT>=10 && BYTE_COUNT>500")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !e.Eval(sample) {
+			b.Fatal("eval false")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(`TP_DST==80 && BYTE_COUNT>500 && APP=="lb"`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

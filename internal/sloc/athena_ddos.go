@@ -1,0 +1,41 @@
+// Package sloc reproduces Table VIII: the source-lines-of-code
+// usability comparison between a DDoS detector written against the
+// Athena NB API and the same functionality written "raw" (directly
+// managing feature matrices, normalization, distributed K-Means, and
+// validation — the work Spark/Hama application authors do themselves).
+//
+// Both implementations are real, tested code paths producing equivalent
+// detection results; RunSLoC counts their effective source lines.
+package sloc
+
+import (
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// AthenaDDoS is the detector of §V-A written on the Athena NB API — the
+// Application 1 pseudocode, line for line. This function's line count
+// is the Table VIII "Athena" entry.
+func AthenaDDoS(inst *core.Athena, train, test []*core.Feature) (dr, far float64, err error) {
+	// Define data pre-processing: normalization, weighting, marking.
+	f := &core.Preprocessor{
+		Normalize:  ml.NormMinMax,
+		Weights:    map[string]float64{core.FPairFlow: 2, core.FPairFlowRatio: 2},
+		LabelField: core.LabelField,
+	}
+	// Register the features used in the algorithm.
+	f.AddFeatures(core.DDoSFeatureNames...)
+	// Define an algorithm with parameters.
+	a := core.GenerateAlgorithm(ml.AlgoKMeans, ml.Params{K: 8, Iterations: 20, Runs: 5, Seed: 42})
+	// Generate a detection model.
+	m, err := inst.GenerateDetectionModelFromFeatures(train, f, a)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Test the features.
+	r, err := inst.ValidateFeatureRecords(test, f, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.Confusion.DetectionRate(), r.Confusion.FalseAlarmRate(), nil
+}

@@ -1,0 +1,254 @@
+package sloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/athena-sdn/athena/internal/core"
+)
+
+// RawDDoS is the same DDoS detector implemented without the Athena
+// framework: the author hand-rolls feature-matrix extraction, labeling,
+// min-max normalization, feature weighting, K-Means training (k-means‖
+// style seeding, Lloyd iterations, restarts), cluster calibration, and
+// validation — the plumbing a Spark or Hama application carries itself
+// in the paper's Table VIII comparison. This file's line count is the
+// "raw" entry.
+func RawDDoS(train, test []*core.Feature) (dr, far float64, err error) {
+	trainX, trainY, err := rawExtract(train)
+	if err != nil {
+		return 0, 0, err
+	}
+	testX, testY, err := rawExtract(test)
+	if err != nil {
+		return 0, 0, err
+	}
+	offset, scale := rawFitMinMax(trainX)
+	rawApplyMinMax(trainX, offset, scale)
+	rawApplyMinMax(testX, offset, scale)
+	rawWeight(trainX)
+	rawWeight(testX)
+
+	centroids, err := rawKMeansBestOf(trainX, 8, 20, 5, 42)
+	if err != nil {
+		return 0, 0, err
+	}
+	malicious := rawCalibrate(trainX, trainY, centroids)
+	tp, fp, tn, fn := rawValidate(testX, testY, centroids, malicious)
+	if tp+fn == 0 || fp+tn == 0 {
+		return 0, 0, errors.New("raw ddos: degenerate test set")
+	}
+	dr = float64(tp) / float64(tp+fn)
+	far = float64(fp) / float64(fp+tn)
+	return dr, far, nil
+}
+
+// rawExtract turns feature records into a dense matrix plus labels.
+func rawExtract(records []*core.Feature) ([][]float64, []float64, error) {
+	if len(records) == 0 {
+		return nil, nil, errors.New("raw ddos: empty record set")
+	}
+	names := core.DDoSFeatureNames
+	x := make([][]float64, len(records))
+	y := make([]float64, len(records))
+	for i, rec := range records {
+		row := make([]float64, len(names))
+		for j, name := range names {
+			row[j] = rec.Values[name]
+		}
+		x[i] = row
+		y[i] = rec.Values[core.LabelField]
+	}
+	return x, y, nil
+}
+
+// rawWeight emphasizes the pair-flow columns (columns 0 and 1 of the
+// canonical 10-tuple) by a factor of two, mirroring the Athena app's
+// Weighting preprocessor.
+func rawWeight(x [][]float64) {
+	for _, row := range x {
+		row[0] *= 2
+		row[1] *= 2
+	}
+}
+
+// rawFitMinMax computes per-column (min, max-min) on the training set.
+func rawFitMinMax(x [][]float64) (offset, scale []float64) {
+	dim := len(x[0])
+	offset = make([]float64, dim)
+	scale = make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range x {
+			if row[j] < lo {
+				lo = row[j]
+			}
+			if row[j] > hi {
+				hi = row[j]
+			}
+		}
+		offset[j] = lo
+		scale[j] = hi - lo
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	return offset, scale
+}
+
+func rawApplyMinMax(x [][]float64, offset, scale []float64) {
+	for _, row := range x {
+		for j := range row {
+			row[j] = (row[j] - offset[j]) / scale[j]
+		}
+	}
+}
+
+// rawKMeansBestOf runs several restarts and keeps the lowest-inertia
+// clustering.
+func rawKMeansBestOf(x [][]float64, k, iterations, runs int, seed int64) ([][]float64, error) {
+	if len(x) < k {
+		return nil, fmt.Errorf("raw ddos: %d rows for k=%d", len(x), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var best [][]float64
+	bestInertia := math.Inf(1)
+	for run := 0; run < runs; run++ {
+		centroids := rawSeedCentroids(x, k, rng)
+		for iter := 0; iter < iterations; iter++ {
+			moved := rawLloydStep(x, centroids)
+			if moved < 1e-4 {
+				break
+			}
+		}
+		inertia := 0.0
+		for _, row := range x {
+			_, d := rawNearest(row, centroids)
+			inertia += d
+		}
+		if inertia < bestInertia {
+			bestInertia = inertia
+			best = centroids
+		}
+	}
+	return best, nil
+}
+
+// rawSeedCentroids implements distance-weighted seeding (the k-means‖
+// flavour of initialization).
+func rawSeedCentroids(x [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := [][]float64{append([]float64(nil), x[rng.Intn(len(x))]...)}
+	for len(centroids) < k {
+		costs := make([]float64, len(x))
+		total := 0.0
+		for i, row := range x {
+			_, d := rawNearest(row, centroids)
+			costs[i] = d
+			total += d
+		}
+		if total == 0 {
+			centroids = append(centroids, append([]float64(nil), x[rng.Intn(len(x))]...))
+			continue
+		}
+		pick := rng.Float64() * total
+		acc := 0.0
+		for i, c := range costs {
+			acc += c
+			if acc >= pick {
+				centroids = append(centroids, append([]float64(nil), x[i]...))
+				break
+			}
+		}
+	}
+	return centroids
+}
+
+// rawLloydStep performs one assignment + centroid update, returning the
+// total centroid movement.
+func rawLloydStep(x [][]float64, centroids [][]float64) float64 {
+	k, dim := len(centroids), len(x[0])
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for _, row := range x {
+		c, _ := rawNearest(row, centroids)
+		counts[c]++
+		for j, v := range row {
+			sums[c][j] += v
+		}
+	}
+	moved := 0.0
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		next := make([]float64, dim)
+		dist := 0.0
+		for j := range next {
+			next[j] = sums[c][j] / float64(counts[c])
+			d := next[j] - centroids[c][j]
+			dist += d * d
+		}
+		moved += math.Sqrt(dist)
+		centroids[c] = next
+	}
+	return moved
+}
+
+func rawNearest(row []float64, centroids [][]float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		d := 0.0
+		for j := range row {
+			dv := row[j] - cent[j]
+			d += dv * dv
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// rawCalibrate marks clusters whose members are majority-malicious.
+func rawCalibrate(x [][]float64, y []float64, centroids [][]float64) []bool {
+	mal := make([]int, len(centroids))
+	ben := make([]int, len(centroids))
+	for i, row := range x {
+		c, _ := rawNearest(row, centroids)
+		if y[i] >= 0.5 {
+			mal[c]++
+		} else {
+			ben[c]++
+		}
+	}
+	out := make([]bool, len(centroids))
+	for c := range out {
+		out[c] = mal[c] > ben[c]
+	}
+	return out
+}
+
+// rawValidate scores the test matrix against the calibrated clustering.
+func rawValidate(x [][]float64, y []float64, centroids [][]float64, malicious []bool) (tp, fp, tn, fn int64) {
+	for i, row := range x {
+		c, _ := rawNearest(row, centroids)
+		predicted := malicious[c]
+		actual := y[i] >= 0.5
+		switch {
+		case predicted && actual:
+			tp++
+		case predicted && !actual:
+			fp++
+		case !predicted && !actual:
+			tn++
+		default:
+			fn++
+		}
+	}
+	return tp, fp, tn, fn
+}

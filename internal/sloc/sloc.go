@@ -1,0 +1,81 @@
+package sloc
+
+import (
+	_ "embed"
+	"strings"
+)
+
+//go:embed athena_ddos.go
+var athenaSource string
+
+//go:embed raw_ddos.go
+var rawSource string
+
+// Result is the Table VIII row for one detector implementation pair.
+type Result struct {
+	AthenaLines int
+	RawLines    int
+}
+
+// Ratio is Athena's size as a fraction of the raw implementation.
+func (r Result) Ratio() float64 {
+	if r.RawLines == 0 {
+		return 0
+	}
+	return float64(r.AthenaLines) / float64(r.RawLines)
+}
+
+// RunSLoC counts effective source lines of both implementations
+// (excluding imports, comments, and blank lines, as the paper does).
+func RunSLoC() Result {
+	return Result{
+		AthenaLines: CountSLoC(athenaSource),
+		RawLines:    CountSLoC(rawSource),
+	}
+}
+
+// CountSLoC counts effective Go source lines: blank lines, comment
+// lines, the package clause, and import blocks are excluded.
+func CountSLoC(src string) int {
+	count := 0
+	inBlockComment := false
+	inImport := false
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if inBlockComment {
+			if idx := strings.Index(t, "*/"); idx >= 0 {
+				t = strings.TrimSpace(t[idx+2:])
+				inBlockComment = false
+			} else {
+				continue
+			}
+		}
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		if strings.HasPrefix(t, "/*") {
+			if !strings.Contains(t, "*/") {
+				inBlockComment = true
+			}
+			continue
+		}
+		if strings.HasPrefix(t, "package ") {
+			continue
+		}
+		if inImport {
+			if t == ")" {
+				inImport = false
+			}
+			continue
+		}
+		if strings.HasPrefix(t, "import (") {
+			inImport = true
+			continue
+		}
+		if strings.HasPrefix(t, "import ") {
+			continue
+		}
+		count++
+	}
+	return count
+}

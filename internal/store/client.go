@@ -1,0 +1,128 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a connection to one storage node. It keeps a persistent
+// connection, reconnecting transparently; calls are serialized.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a node.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("store dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.dec = json.NewDecoder(conn)
+	return nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func (c *Client) call(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				return response{}, err
+			}
+		}
+		if err := c.enc.Encode(req); err == nil {
+			var resp response
+			if err := c.dec.Decode(&resp); err == nil {
+				if resp.Err != "" {
+					return resp, errors.New(resp.Err)
+				}
+				return resp, nil
+			}
+		}
+		// Broken connection: drop it and retry once.
+		c.conn.Close()
+		c.conn = nil
+	}
+	return response{}, fmt.Errorf("store: node %s unreachable", c.addr)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(request{Op: "ping"})
+	return err
+}
+
+// Insert stores documents on this node.
+func (c *Client) Insert(docs []Document) error {
+	_, err := c.call(request{Op: "insert", Docs: docs})
+	return err
+}
+
+// Query runs a document query on this node.
+func (c *Client) Query(q Query) ([]Document, error) {
+	resp, err := c.call(request{Op: "query", Query: &q})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// Aggregate runs an aggregation query, returning partial buckets.
+func (c *Client) Aggregate(q Query) ([]GroupResult, error) {
+	resp, err := c.call(request{Op: "query", Query: &q})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Groups, nil
+}
+
+// Count counts matching documents.
+func (c *Client) Count(f Filter) (int, error) {
+	resp, err := c.call(request{Op: "count", Query: &Query{Filter: f}})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Delete removes matching documents, returning how many were removed.
+func (c *Client) Delete(f Filter) (int, error) {
+	resp, err := c.call(request{Op: "delete", Query: &Query{Filter: f}})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}

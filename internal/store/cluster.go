@@ -1,0 +1,193 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Cluster is a client to a sharded store deployment: inserts shard by
+// key, queries fan out to every node and merge.
+type Cluster struct {
+	clients []*Client
+}
+
+// Connect dials every node of a cluster.
+func Connect(addrs []string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("store: empty cluster")
+	}
+	c := &Cluster{}
+	for _, a := range addrs {
+		cl, err := Dial(a)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Close disconnects from all nodes.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+}
+
+// Nodes reports the cluster size.
+func (c *Cluster) Nodes() int { return len(c.clients) }
+
+// shardOf picks the home node for a document. Documents with a "shard"
+// tag shard by it; otherwise the flow identity tags are used so that one
+// flow's history stays co-located.
+func (c *Cluster) shardOf(d Document) int {
+	h := fnv.New64a()
+	if s := d.Tag("shard"); s != "" {
+		h.Write([]byte(s))
+	} else {
+		h.Write([]byte(d.Tag("dpid")))
+		h.Write([]byte(d.Tag("flow")))
+		h.Write([]byte(d.ID))
+	}
+	return int(h.Sum64() % uint64(len(c.clients)))
+}
+
+// Insert distributes documents to their shards. Batches per node are
+// written in parallel.
+func (c *Cluster) Insert(docs []Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	batches := make([][]Document, len(c.clients))
+	for _, d := range docs {
+		i := c.shardOf(d)
+		batches[i] = append(batches[i], d)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cl *Client, b []Document) {
+			defer wg.Done()
+			if err := cl.Insert(b); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(c.clients[i], batch)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Query fans the query out and merges results, re-applying sort and
+// limit across shards.
+func (c *Cluster) Query(q Query) ([]Document, error) {
+	if len(q.GroupBy) > 0 {
+		return nil, fmt.Errorf("store: use Aggregate for group-by queries")
+	}
+	results := make([][]Document, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			results[i], errs[i] = cl.Query(q)
+		}(i, cl)
+	}
+	wg.Wait()
+	var out []Document
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	sortDocs(out, q.SortBy, q.Desc)
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// Aggregate fans out an aggregation and merges partial buckets into
+// final values.
+func (c *Cluster) Aggregate(q Query) ([]GroupResult, error) {
+	if len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("store: Aggregate requires GroupBy")
+	}
+	partials := make([][]GroupResult, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			partials[i], errs[i] = cl.Aggregate(q)
+		}(i, cl)
+	}
+	wg.Wait()
+	merged := make(map[string]*GroupResult)
+	for i := range partials {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for _, g := range partials[i] {
+			key := strings.Join(g.Keys, "\x00")
+			cur, ok := merged[key]
+			if !ok {
+				cur = &GroupResult{Keys: g.Keys}
+				merged[key] = cur
+			}
+			cur.merge(g)
+		}
+	}
+	out := make([]GroupResult, 0, len(merged))
+	for _, g := range merged {
+		g.finalize(q.Agg)
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Keys, "\x00") < strings.Join(out[j].Keys, "\x00")
+	})
+	return out, nil
+}
+
+// Count sums counts across shards.
+func (c *Cluster) Count(f Filter) (int, error) {
+	total := 0
+	for _, cl := range c.clients {
+		n, err := cl.Count(f)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Delete removes matching documents everywhere.
+func (c *Cluster) Delete(f Filter) (int, error) {
+	total := 0
+	for _, cl := range c.clients {
+		n, err := cl.Delete(f)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,178 @@
+// Package store implements the distributed feature database Athena
+// publishes to: a sharded, in-memory document store with a TCP wire
+// protocol, numeric/tag/time filters, sorting, limiting, and group-by
+// aggregation. It fills the role MongoDB plays in the paper's prototype,
+// and deliberately reproduces the cost structure the evaluation measures
+// (a network hop plus serialization on every synchronous publication).
+package store
+
+import (
+	"fmt"
+)
+
+// Document is one stored record: string index fields (Tags), numeric
+// feature fields (Fields), and a timestamp in Unix nanoseconds.
+type Document struct {
+	ID     string             `json:"id,omitempty"`
+	Time   int64              `json:"t"`
+	Tags   map[string]string  `json:"tags,omitempty"`
+	Fields map[string]float64 `json:"f,omitempty"`
+}
+
+// Field returns a numeric field (zero when absent).
+func (d Document) Field(name string) float64 { return d.Fields[name] }
+
+// Tag returns a tag value (empty when absent).
+func (d Document) Tag(name string) string { return d.Tags[name] }
+
+// Comparison operators for numeric conditions.
+type Op string
+
+// Supported numeric operators.
+const (
+	OpEq Op = "=="
+	OpNe Op = "!="
+	OpGt Op = ">"
+	OpGe Op = ">="
+	OpLt Op = "<"
+	OpLe Op = "<="
+)
+
+// Apply evaluates "a op b".
+func (o Op) Apply(a, b float64) (bool, error) {
+	switch o {
+	case OpEq:
+		return a == b, nil
+	case OpNe:
+		return a != b, nil
+	case OpGt:
+		return a > b, nil
+	case OpGe:
+		return a >= b, nil
+	case OpLt:
+		return a < b, nil
+	case OpLe:
+		return a <= b, nil
+	default:
+		return false, fmt.Errorf("store: unknown operator %q", string(o))
+	}
+}
+
+// NumCond compares a numeric field to a constant.
+type NumCond struct {
+	Field string  `json:"field"`
+	Op    Op      `json:"op"`
+	Value float64 `json:"value"`
+}
+
+// TagCond compares a tag to a constant.
+type TagCond struct {
+	Tag    string `json:"tag"`
+	Equals bool   `json:"eq"` // true: ==, false: !=
+	Value  string `json:"value"`
+}
+
+// Filter is the conjunction of its conditions. The zero Filter matches
+// every document.
+type Filter struct {
+	Num  []NumCond `json:"num,omitempty"`
+	Tags []TagCond `json:"tags,omitempty"`
+	// TimeFrom/TimeTo bound the timestamp (inclusive from, exclusive to);
+	// zero means unbounded.
+	TimeFrom int64 `json:"from,omitempty"`
+	TimeTo   int64 `json:"to,omitempty"`
+}
+
+// Matches reports whether d satisfies every condition.
+func (f Filter) Matches(d Document) bool {
+	if f.TimeFrom != 0 && d.Time < f.TimeFrom {
+		return false
+	}
+	if f.TimeTo != 0 && d.Time >= f.TimeTo {
+		return false
+	}
+	for _, c := range f.Tags {
+		if (d.Tag(c.Tag) == c.Value) != c.Equals {
+			return false
+		}
+	}
+	for _, c := range f.Num {
+		ok, err := c.Op.Apply(d.Field(c.Field), c.Value)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// AggKind selects the aggregation function.
+type AggKind string
+
+// Supported aggregations.
+const (
+	AggCount AggKind = "count"
+	AggSum   AggKind = "sum"
+	AggAvg   AggKind = "avg"
+	AggMin   AggKind = "min"
+	AggMax   AggKind = "max"
+)
+
+// Query selects, orders, limits, and optionally aggregates documents.
+type Query struct {
+	Filter Filter `json:"filter"`
+	// SortBy orders results by a numeric field ("" keeps insertion
+	// order); the special value "time" sorts by timestamp.
+	SortBy string `json:"sort,omitempty"`
+	Desc   bool   `json:"desc,omitempty"`
+	Limit  int    `json:"limit,omitempty"`
+	// GroupBy switches the query into aggregation mode: results are one
+	// GroupResult per distinct combination of the named tags.
+	GroupBy  []string `json:"group,omitempty"`
+	Agg      AggKind  `json:"agg,omitempty"`
+	AggField string   `json:"agg_field,omitempty"`
+}
+
+// GroupResult is one aggregation bucket. Count/Sum/Min/Max are partial
+// aggregates that merge across shards; Value is the final answer.
+type GroupResult struct {
+	Keys  []string `json:"keys"`
+	Count int64    `json:"count"`
+	Sum   float64  `json:"sum"`
+	Min   float64  `json:"min"`
+	Max   float64  `json:"max"`
+	Value float64  `json:"value"`
+}
+
+// finalize computes Value from the partial aggregates.
+func (g *GroupResult) finalize(kind AggKind) {
+	switch kind {
+	case AggCount:
+		g.Value = float64(g.Count)
+	case AggSum:
+		g.Value = g.Sum
+	case AggAvg:
+		if g.Count > 0 {
+			g.Value = g.Sum / float64(g.Count)
+		}
+	case AggMin:
+		g.Value = g.Min
+	case AggMax:
+		g.Value = g.Max
+	}
+}
+
+// merge folds another partial bucket into g.
+func (g *GroupResult) merge(o GroupResult) {
+	if g.Count == 0 {
+		g.Min, g.Max = o.Min, o.Max
+	} else if o.Count > 0 {
+		if o.Min < g.Min {
+			g.Min = o.Min
+		}
+		if o.Max > g.Max {
+			g.Max = o.Max
+		}
+	}
+	g.Count += o.Count
+	g.Sum += o.Sum
+}

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// request is the wire format for client->node messages.
+type request struct {
+	Op    string     `json:"op"` // insert, query, delete, count, ping
+	Docs  []Document `json:"docs,omitempty"`
+	Query *Query     `json:"query,omitempty"`
+}
+
+// response is the wire format for node->client messages.
+type response struct {
+	OK     bool          `json:"ok"`
+	Err    string        `json:"err,omitempty"`
+	Docs   []Document    `json:"docs,omitempty"`
+	Groups []GroupResult `json:"groups,omitempty"`
+	N      int           `json:"n"`
+}
+
+// Node is one storage server holding an in-memory document shard.
+type Node struct {
+	ln net.Listener
+
+	mu   sync.RWMutex
+	docs []Document
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// Retention bounds document age; zero keeps everything.
+	retention time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NodeOption configures a Node.
+type NodeOption func(*Node)
+
+// WithRetention enables age-based garbage collection.
+func WithRetention(d time.Duration) NodeOption {
+	return func(n *Node) { n.retention = d }
+}
+
+// NewNode starts a storage node listening on addr (empty picks an
+// ephemeral localhost port).
+func NewNode(addr string, opts ...NodeOption) (*Node, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("store node listen: %w", err)
+	}
+	n := &Node{ln: ln, conns: make(map[net.Conn]struct{}), stop: make(chan struct{})}
+	for _, o := range opts {
+		o(n)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.serve()
+	}()
+	if n.retention > 0 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.gcLoop()
+		}()
+	}
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close stops the node.
+func (n *Node) Close() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	n.ln.Close()
+	n.connMu.Lock()
+	for conn := range n.conns {
+		conn.Close()
+	}
+	n.connMu.Unlock()
+	n.wg.Wait()
+}
+
+// Len reports the number of stored documents.
+func (n *Node) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.docs)
+}
+
+func (n *Node) serve() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handle(conn)
+		}()
+	}
+}
+
+func (n *Node) handle(conn net.Conn) {
+	n.connMu.Lock()
+	n.conns[conn] = struct{}{}
+	n.connMu.Unlock()
+	defer func() {
+		conn.Close()
+		n.connMu.Lock()
+		delete(n.conns, conn)
+		n.connMu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := n.execute(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) execute(req request) response {
+	switch req.Op {
+	case "ping":
+		return response{OK: true}
+	case "insert":
+		n.insert(req.Docs)
+		return response{OK: true, N: len(req.Docs)}
+	case "query":
+		if req.Query == nil {
+			return response{Err: "query missing"}
+		}
+		return n.query(*req.Query)
+	case "count":
+		if req.Query == nil {
+			return response{Err: "query missing"}
+		}
+		return response{OK: true, N: n.count(req.Query.Filter)}
+	case "delete":
+		if req.Query == nil {
+			return response{Err: "query missing"}
+		}
+		return response{OK: true, N: n.delete(req.Query.Filter)}
+	default:
+		return response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (n *Node) insert(docs []Document) {
+	n.mu.Lock()
+	n.docs = append(n.docs, docs...)
+	n.mu.Unlock()
+}
+
+func (n *Node) count(f Filter) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c := 0
+	for _, d := range n.docs {
+		if f.Matches(d) {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *Node) delete(f Filter) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.docs[:0]
+	removed := 0
+	for _, d := range n.docs {
+		if f.Matches(d) {
+			removed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	n.docs = kept
+	return removed
+}
+
+func (n *Node) query(q Query) response {
+	if len(q.GroupBy) > 0 {
+		return n.aggregate(q)
+	}
+	n.mu.RLock()
+	var out []Document
+	for _, d := range n.docs {
+		if q.Filter.Matches(d) {
+			out = append(out, d)
+		}
+	}
+	n.mu.RUnlock()
+	sortDocs(out, q.SortBy, q.Desc)
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return response{OK: true, Docs: out, N: len(out)}
+}
+
+func sortDocs(docs []Document, by string, desc bool) {
+	if by == "" {
+		return
+	}
+	key := func(d Document) float64 {
+		if by == "time" {
+			return float64(d.Time)
+		}
+		return d.Field(by)
+	}
+	sort.SliceStable(docs, func(i, j int) bool {
+		if desc {
+			return key(docs[i]) > key(docs[j])
+		}
+		return key(docs[i]) < key(docs[j])
+	})
+}
+
+func (n *Node) aggregate(q Query) response {
+	n.mu.RLock()
+	groups := make(map[string]*GroupResult)
+	for _, d := range n.docs {
+		if !q.Filter.Matches(d) {
+			continue
+		}
+		keys := make([]string, len(q.GroupBy))
+		for i, tag := range q.GroupBy {
+			keys[i] = d.Tag(tag)
+		}
+		gk := strings.Join(keys, "\x00")
+		g, ok := groups[gk]
+		if !ok {
+			g = &GroupResult{Keys: keys}
+			groups[gk] = g
+		}
+		v := d.Field(q.AggField)
+		g.merge(GroupResult{Count: 1, Sum: v, Min: v, Max: v})
+	}
+	n.mu.RUnlock()
+	out := make([]GroupResult, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Keys, "\x00") < strings.Join(out[j].Keys, "\x00")
+	})
+	return response{OK: true, Groups: out, N: len(out)}
+}
+
+func (n *Node) gcLoop() {
+	ticker := time.NewTicker(n.retention / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			cutoff := time.Now().Add(-n.retention).UnixNano()
+			n.delete(Filter{TimeTo: cutoff})
+		case <-n.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SaveSnapshot streams the node's documents as JSON lines. It is safe
+// to call while the node serves traffic (documents inserted during the
+// snapshot may or may not be included).
+func (n *Node) SaveSnapshot(w io.Writer) error {
+	n.mu.RLock()
+	docs := make([]Document, len(n.docs))
+	copy(docs, n.docs)
+	n.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range docs {
+		if err := enc.Encode(&docs[i]); err != nil {
+			return fmt.Errorf("store snapshot: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot appends documents from a JSON-lines stream produced by
+// SaveSnapshot.
+func (n *Node) LoadSnapshot(r io.Reader) (int, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	count := 0
+	var batch []Document
+	for {
+		var d Document
+		if err := dec.Decode(&d); err != nil {
+			if err == io.EOF {
+				break
+			}
+			// Keep the valid prefix: a truncated snapshot still restores
+			// everything readable before the corruption point.
+			if len(batch) > 0 {
+				n.insert(batch)
+			}
+			return count, fmt.Errorf("store snapshot load: %w", err)
+		}
+		batch = append(batch, d)
+		count++
+		if len(batch) >= 4096 {
+			n.insert(batch)
+			batch = nil
+		}
+	}
+	if len(batch) > 0 {
+		n.insert(batch)
+	}
+	return count, nil
+}
+
+// SaveSnapshotFile writes the snapshot atomically (temp file + rename).
+func (n *Node) SaveSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store snapshot: %w", err)
+	}
+	if err := n.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store snapshot: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile restores documents from a snapshot file; a missing
+// file is not an error (fresh node).
+func (n *Node) LoadSnapshotFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("store snapshot: %w", err)
+	}
+	defer f.Close()
+	return n.LoadSnapshot(f)
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	var docs []Document
+	for i := 0; i < 100; i++ {
+		docs = append(docs, Document{
+			Time:   int64(i),
+			Tags:   map[string]string{"dpid": "1"},
+			Fields: map[string]float64{"bytes": float64(i)},
+		})
+	}
+	n.insert(docs)
+
+	var buf bytes.Buffer
+	if err := n.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restored.Close)
+	count, err := restored.LoadSnapshot(&buf)
+	if err != nil || count != 100 {
+		t.Fatalf("LoadSnapshot = %d, %v", count, err)
+	}
+	if restored.Len() != 100 {
+		t.Fatalf("restored Len = %d", restored.Len())
+	}
+	// Query equivalence after restore.
+	got := restored.query(Query{Filter: Filter{Num: []NumCond{{Field: "bytes", Op: OpGe, Value: 90}}}})
+	if got.N != 10 {
+		t.Fatalf("restored query N = %d, want 10", got.N)
+	}
+}
+
+func TestSnapshotFileMissingIsFresh(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	count, err := n.LoadSnapshotFile(filepath.Join(t.TempDir(), "missing.jsonl"))
+	if err != nil || count != 0 {
+		t.Fatalf("missing snapshot = %d, %v", count, err)
+	}
+}
+
+func TestSnapshotFileAtomicSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.jsonl")
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	n.insert([]Document{{Time: 1, Fields: map[string]float64{"x": 7}}})
+	if err := n.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	count, err := m.LoadSnapshotFile(path)
+	if err != nil || count != 1 {
+		t.Fatalf("load = %d, %v", count, err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestSnapshotRejectsCorruptStream(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	if _, err := n.LoadSnapshot(strings.NewReader("{\"t\":1}\n{broken")); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	// The valid prefix was still loaded.
+	if n.Len() != 1 {
+		t.Fatalf("Len = %d after partial load", n.Len())
+	}
+}

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Sink is anything documents can be published to. Both Cluster and
+// Client satisfy it.
+type Sink interface {
+	Insert(docs []Document) error
+}
+
+// Writer batches document publication: callers enqueue without blocking
+// on the network, and a background goroutine flushes by size or age.
+// This is the "replace synchronous MongoDB writes" ablation the paper's
+// §VII-C3 discussion motivates.
+type Writer struct {
+	sink      Sink
+	batchSize int
+	maxDelay  time.Duration
+
+	mu      sync.Mutex
+	pending []Document
+	err     error
+
+	flushCh chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewWriter starts a batching writer. batchSize bounds batch length;
+// maxDelay bounds how long a document may sit unflushed.
+func NewWriter(sink Sink, batchSize int, maxDelay time.Duration) *Writer {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	if maxDelay <= 0 {
+		maxDelay = 50 * time.Millisecond
+	}
+	w := &Writer{
+		sink:      sink,
+		batchSize: batchSize,
+		maxDelay:  maxDelay,
+		flushCh:   make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// Publish enqueues one document. It never blocks on the network.
+func (w *Writer) Publish(d Document) {
+	w.mu.Lock()
+	w.pending = append(w.pending, d)
+	full := len(w.pending) >= w.batchSize
+	w.mu.Unlock()
+	if full {
+		select {
+		case w.flushCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Err reports the last flush error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Flush synchronously writes everything pending.
+func (w *Writer) Flush() error {
+	w.flushOnce()
+	return w.Err()
+}
+
+// Close flushes and stops the writer.
+func (w *Writer) Close() error {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+		<-w.done
+	}
+	return w.Flush()
+}
+
+func (w *Writer) run() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.maxDelay)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.flushOnce()
+		case <-w.flushCh:
+			w.flushOnce()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *Writer) flushOnce() {
+	w.mu.Lock()
+	batch := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if err := w.sink.Insert(batch); err != nil {
+		w.mu.Lock()
+		w.err = err
+		w.mu.Unlock()
+	}
+}

@@ -1,0 +1,204 @@
+// Package ui renders Athena results for operators: the validation
+// summary block of Fig. 6, ASCII time-series charts in the spirit of the
+// Fig. 9 NAE view, and aligned tables. It stands in for the prototype's
+// JFreeChart GUI; the observable artifact (the report) is the same.
+package ui
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// ValidationReport is the data behind a Fig. 6-style summary.
+type ValidationReport struct {
+	Confusion ml.Confusion
+	Clusters  []ml.ClusterComposition
+	// AlgorithmLine describes the model, e.g.
+	// "K(8), Iterations(20), Runs(5), Seed(Random), InitializedMode(k-means||), Epsilon(1e-4)".
+	AlgorithmLine string
+	AlgorithmName string
+	// UniqueBenign/UniqueMalicious optionally report distinct flow counts.
+	UniqueBenign    int64
+	UniqueMalicious int64
+}
+
+// WriteValidation renders the report in the paper's Fig. 6 layout.
+func WriteValidation(w io.Writer, r ValidationReport) {
+	c := r.Confusion
+	benign := c.TN + c.FP
+	malicious := c.TP + c.FN
+	fmt.Fprintf(w, "Total     : %s entries\n", comma(c.Total()))
+	if r.UniqueBenign > 0 || r.UniqueMalicious > 0 {
+		fmt.Fprintf(w, "Benign    : %s entries (%s unique flows)\n", comma(benign), comma(r.UniqueBenign))
+		fmt.Fprintf(w, "Malicious : %s entries (%s unique flows)\n", comma(malicious), comma(r.UniqueMalicious))
+	} else {
+		fmt.Fprintf(w, "Benign    : %s entries\n", comma(benign))
+		fmt.Fprintf(w, "Malicious : %s entries\n", comma(malicious))
+	}
+	fmt.Fprintf(w, "True Positive : %s entries\n", comma(c.TP))
+	fmt.Fprintf(w, "False Positive: %s entries\n", comma(c.FP))
+	fmt.Fprintf(w, "True Negative : %s entries\n", comma(c.TN))
+	fmt.Fprintf(w, "False Negative: %s entries\n", comma(c.FN))
+	fmt.Fprintf(w, "Detection Rate : %.16f\n", c.DetectionRate())
+	fmt.Fprintf(w, "False Alarm Rate: %.16f\n", c.FalseAlarmRate())
+	if r.AlgorithmName != "" {
+		fmt.Fprintf(w, "Cluster (%s)\n", r.AlgorithmName)
+	}
+	if r.AlgorithmLine != "" {
+		fmt.Fprintf(w, "Cluster Information : %s\n", r.AlgorithmLine)
+	}
+	for _, cc := range r.Clusters {
+		fmt.Fprintf(w, "Cluster #%d: Benign (%s entries), Malicious (%s entries)\n",
+			cc.Cluster, comma(cc.Benign), comma(cc.Malicious))
+	}
+}
+
+// comma formats n with thousands separators, matching the paper's
+// report style.
+func comma(n int64) string {
+	s := fmt.Sprint(n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// WriteChart renders aligned ASCII line charts: one row block per
+// series, sharing the x axis (sample index) and a global y scale.
+// Height is the number of character rows (default 10).
+func WriteChart(w io.Writer, title string, series []Series, height int) {
+	if height <= 0 {
+		height = 10
+	}
+	maxLen := 0
+	maxVal := math.Inf(-1)
+	minVal := math.Inf(1)
+	for _, s := range series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+		for _, v := range s.Points {
+			if v > maxVal {
+				maxVal = v
+			}
+			if v < minVal {
+				minVal = v
+			}
+		}
+	}
+	if maxLen == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if maxVal == minVal {
+		maxVal = minVal + 1
+	}
+	fmt.Fprintf(w, "%s  [y: %.4g .. %.4g, x: 0 .. %d]\n", title, minVal, maxVal, maxLen-1)
+	marks := []byte("*+o#@%&")
+	for si, s := range series {
+		fmt.Fprintf(w, "-- %s (%c)\n", s.Name, marks[si%len(marks)])
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", maxLen))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for x, v := range s.Points {
+			yf := (v - minVal) / (maxVal - minVal)
+			y := int(math.Round(yf * float64(height-1)))
+			row := height - 1 - y
+			grid[row][x] = mark
+		}
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s\n", string(row))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", maxLen))
+}
+
+// Table renders rows with aligned columns.
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// TopN renders a "top N by value" listing, a common ShowResults shape
+// ("top 10 congested links").
+func TopN(w io.Writer, title string, items map[string]float64, n int) {
+	type kv struct {
+		k string
+		v float64
+	}
+	sorted := make([]kv, 0, len(items))
+	for k, v := range items {
+		sorted = append(sorted, kv{k, v})
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].v != sorted[j].v {
+			return sorted[i].v > sorted[j].v
+		}
+		return sorted[i].k < sorted[j].k
+	})
+	if n > 0 && len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	fmt.Fprintln(w, title)
+	for i, it := range sorted {
+		fmt.Fprintf(w, "%2d. %-24s %12.2f\n", i+1, it.k, it.v)
+	}
+}

@@ -1,0 +1,129 @@
+package ui
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+func TestWriteValidationFig6Layout(t *testing.T) {
+	var b strings.Builder
+	WriteValidation(&b, ValidationReport{
+		Confusion: ml.Confusion{
+			TP: 27_780_926, FP: 419_095, TN: 8_956_753, FN: 213_692,
+		},
+		UniqueBenign:    25_559,
+		UniqueMalicious: 166_213,
+		AlgorithmName:   "K-Means",
+		AlgorithmLine:   "K(8), Iterations(20), Runs(5), Seed(Random), InitializedMode(k-means||), Epsilon(1e-4)",
+		Clusters: []ml.ClusterComposition{
+			{Cluster: 0, Benign: 156_328, Malicious: 21_342_482},
+			{Cluster: 1, Benign: 2_548_345, Malicious: 29_500},
+		},
+	})
+	out := b.String()
+	for _, want := range []string{
+		"Total     : 37,370,466 entries",
+		"Benign    : 9,375,848 entries (25,559 unique flows)",
+		"Malicious : 27,994,618 entries (166,213 unique flows)",
+		"True Positive : 27,780,926 entries",
+		"False Positive: 419,095 entries",
+		"True Negative : 8,956,753 entries",
+		"False Negative: 213,692 entries",
+		"Detection Rate : 0.99",
+		"False Alarm Rate: 0.04",
+		"Cluster (K-Means)",
+		"InitializedMode(k-means||)",
+		"Cluster #0: Benign (156,328 entries), Malicious (21,342,482 entries)",
+		"Cluster #1: Benign (2,548,345 entries), Malicious (29,500 entries)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComma(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"}, {5, "5"}, {999, "999"}, {1000, "1,000"},
+		{1234567, "1,234,567"}, {-42000, "-42,000"},
+	}
+	for _, tt := range tests {
+		if got := comma(tt.in); got != tt.want {
+			t.Errorf("comma(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWriteChart(t *testing.T) {
+	var b strings.Builder
+	WriteChart(&b, "pkt counts", []Series{
+		{Name: "s6", Points: []float64{0, 5, 10, 5, 0, 5, 10}},
+		{Name: "s3", Points: []float64{10, 8, 6, 4, 2, 0, 0}},
+	}, 5)
+	out := b.String()
+	if !strings.Contains(out, "pkt counts") || !strings.Contains(out, "-- s6 (*)") || !strings.Contains(out, "-- s3 (+)") {
+		t.Fatalf("chart header wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 2 legends + 5 rows + axis = 9
+	if len(lines) != 9 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "+---") {
+		t.Fatalf("missing axis: %q", lines[len(lines)-1])
+	}
+	// The sawtooth peak (value 10 at x=2) must appear in the top row.
+	if !strings.Contains(lines[3], "*") {
+		t.Fatalf("peak not on top row: %q", lines[3])
+	}
+}
+
+func TestWriteChartEmpty(t *testing.T) {
+	var b strings.Builder
+	WriteChart(&b, "empty", nil, 5)
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Fatalf("empty chart = %q", b.String())
+	}
+}
+
+func TestWriteChartFlatSeries(t *testing.T) {
+	var b strings.Builder
+	WriteChart(&b, "flat", []Series{{Name: "x", Points: []float64{3, 3, 3}}}, 4)
+	if !strings.Contains(b.String(), "|") {
+		t.Fatal("flat chart did not render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"Config", "AVG"}, [][]string{
+		{"Without", "831366"},
+		{"With", "389584"},
+	})
+	out := b.String()
+	if !strings.Contains(out, "Config   AVG") {
+		t.Fatalf("header misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "Without  831366") {
+		t.Fatalf("row misaligned:\n%s", out)
+	}
+}
+
+func TestTopN(t *testing.T) {
+	var b strings.Builder
+	TopN(&b, "top congested links", map[string]float64{
+		"s1-s2": 100, "s2-s3": 900, "s3-s4": 500,
+	}, 2)
+	out := b.String()
+	if !strings.Contains(out, " 1. s2-s3") || !strings.Contains(out, " 2. s3-s4") {
+		t.Fatalf("TopN order wrong:\n%s", out)
+	}
+	if strings.Contains(out, "s1-s2") {
+		t.Fatalf("TopN did not truncate:\n%s", out)
+	}
+}

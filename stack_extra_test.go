@@ -1,0 +1,128 @@
+package athena
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStackWithoutAthenaInstances(t *testing.T) {
+	stack, err := NewStack(StackConfig{Controllers: 1, DisableAthena: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if len(stack.Instances()) != 0 {
+		t.Fatal("DisableAthena still created instances")
+	}
+	if stack.InstanceFor(1) != nil {
+		t.Fatal("InstanceFor returned an instance with Athena disabled")
+	}
+	// The controller itself still serves switches.
+	net := NewNetwork()
+	net.AddSwitch(1)
+	defer net.Close()
+	if err := stack.ConnectSwitch(net.Switch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.WaitForDevices(1, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackInstanceForFollowsMastership(t *testing.T) {
+	stack, err := NewStack(StackConfig{Controllers: 3, StoreNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	for dpid := uint64(1); dpid <= 12; dpid++ {
+		master := stack.MasterOf(dpid)
+		inst := stack.InstanceFor(dpid)
+		if inst == nil {
+			t.Fatalf("no instance for dpid %d", dpid)
+		}
+		if inst.ID() != master.ID() {
+			t.Fatalf("dpid %d: instance %s != master %s", dpid, inst.ID(), master.ID())
+		}
+	}
+}
+
+func TestStackWaitForDevicesTimeout(t *testing.T) {
+	stack, err := NewStack(StackConfig{Controllers: 1, StoreNodes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if err := stack.WaitForDevices(1, 50*time.Millisecond); err == nil {
+		t.Fatal("WaitForDevices with no switches succeeded")
+	}
+	if err := stack.DiscoverLinks(1, 50*time.Millisecond); err == nil {
+		t.Fatal("DiscoverLinks with no links succeeded")
+	}
+}
+
+func TestStackStoreDisabled(t *testing.T) {
+	stack, err := NewStack(StackConfig{Controllers: 1, StoreNodes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if len(stack.StoreAddrs()) != 0 {
+		t.Fatal("StoreNodes<0 still created store nodes")
+	}
+	// The instance exists but store-backed queries fail cleanly.
+	if _, err := stack.Instance(0).RequestFeatures(MustQuery("")); err == nil {
+		t.Fatal("RequestFeatures without store succeeded")
+	}
+}
+
+func TestStackSwitchRehomesAfterControllerLoss(t *testing.T) {
+	stack, err := NewStack(StackConfig{Controllers: 2, StoreNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+
+	net := NewNetwork()
+	sw := net.AddSwitch(1)
+	h1, err := net.AddHost("h1", IPv4(10, 0, 0, 1), 1, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := net.AddHost("h2", IPv4(10, 0, 0, 2), 1, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := stack.ConnectSwitch(sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.WaitForDevices(1, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate controller loss: the switch re-homes to the other one.
+	master := stack.MasterOf(1)
+	var standby *Controller
+	for _, c := range stack.Controllers() {
+		if c != master {
+			standby = c
+		}
+	}
+	sw.Disconnect()
+	if err := sw.Connect(standby.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 3*time.Second, "standby session", func() bool {
+		return len(standby.Devices()) == 1
+	})
+	// Forwarding works through the standby (host state is in the shared
+	// cluster maps, so learning resumes seamlessly).
+	h1.Send(h2, ProtoTCP, 1000, 80, 64)
+	h2.Send(h1, ProtoTCP, 80, 1000, 64)
+	h1.Send(h2, ProtoTCP, 1001, 80, 64)
+	waitUntil(t, 3*time.Second, "delivery via standby", func() bool {
+		p, _ := h2.Received()
+		return p >= 1
+	})
+}

@@ -1,0 +1,220 @@
+package athena
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// waitUntil polls cond until true or the timeout lapses.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStackEndToEnd(t *testing.T) {
+	stack, err := NewStack(StackConfig{
+		Controllers:    3,
+		StoreNodes:     2,
+		ComputeWorkers: 2,
+		Southbound: SouthboundConfig{
+			Publish:    PublishBatched,
+			BatchDelay: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+
+	net, hosts, err := EnterpriseTopology(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if len(net.Switches()) != 18 {
+		t.Fatalf("switches = %d, want 18", len(net.Switches()))
+	}
+	if got := len(net.Links()); got != 30 { // 6 ring + 24 edge-homing physical links
+		t.Fatalf("links = %d, want 30", got)
+	}
+	if err := stack.ConnectNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.WaitForDevices(18, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// All three controllers should master something on an 18-switch
+	// fabric (overwhelmingly likely under rendezvous hashing).
+	masters := map[string]bool{}
+	for dpid := uint64(1); dpid <= 18; dpid++ {
+		masters[stack.Controller(0).Agent().MasterOf(dpid)] = true
+	}
+	if len(masters) < 2 {
+		t.Fatalf("mastership not distributed: %v", masters)
+	}
+
+	if err := stack.DiscoverLinks(40, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push traffic: a benign mix between edge hosts.
+	gen := NewTrafficGen(7)
+	for i := 0; i < 30; i++ {
+		gen.BenignFlow(hosts).Send()
+	}
+	// Let host learning converge across instances, then send more so
+	// reactive paths install.
+	stack.Gossip()
+	for i := 0; i < 30; i++ {
+		gen.BenignFlow(hosts).Send()
+	}
+
+	// Poll stats and wait for features to land in the store.
+	inst := stack.Instance(0)
+	waitUntil(t, 10*time.Second, "features in store", func() bool {
+		stack.PollStats()
+		feats, err := inst.RequestFeatures(MustQuery("packet_count>0"))
+		return err == nil && len(feats) > 0
+	})
+
+	// Features are queryable with field constraints and carry the
+	// Table I catalog.
+	feats, err := inst.RequestFeatures(MustQuery("byte_count>0 && packet_count>=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) == 0 {
+		t.Fatal("no features matched")
+	}
+	f := feats[0]
+	for _, name := range []string{FPacketCount, FByteCount, FBytePerPacket, FPairFlowRatio} {
+		if _, ok := f.NumField(name); !ok {
+			t.Errorf("feature missing %s: %+v", name, f.Values)
+		}
+	}
+}
+
+func TestStackOnlineDetectionAndMitigation(t *testing.T) {
+	stack, err := NewStack(StackConfig{
+		Controllers: 1,
+		StoreNodes:  1,
+		Southbound: SouthboundConfig{
+			Publish:    PublishBatched,
+			BatchDelay: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+
+	net := NewNetwork()
+	net.AddSwitch(1)
+	victim, err := net.AddHost("victim", IPv4(10, 0, 0, 100), 1, 1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := net.AddHost("attacker", IPv4(10, 0, 0, 66), 1, 2, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := stack.ConnectNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.WaitForDevices(1, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	inst := stack.Instance(0)
+
+	// Threshold detector on live packet-in features: many unidirectional
+	// flows from one host trigger the reactor.
+	var mu sync.Mutex
+	flagged := map[string]bool{}
+	model := NewThresholdDetector([]string{FPairFlowRatio}, 0, "<", 0.05)
+
+	inst.AddOnlineValidator(MustQuery("origin==packet_in"), model, func(f *Feature, anomalous bool) {
+		if anomalous {
+			mu.Lock()
+			flagged[f.FlowKey] = true
+			mu.Unlock()
+		}
+	})
+
+	// Attack: 30 unidirectional spoofed-port flows victim-ward.
+	for i := 0; i < 30; i++ {
+		attacker.Send(victim, openflow.ProtoTCP, uint16(40000+i), 80, 60)
+	}
+	waitUntil(t, 5*time.Second, "flows flagged", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(flagged) >= 10
+	})
+
+	// Mitigate: block the attacker at its edge switch.
+	applied, err := inst.Reactor(Reaction{Kind: ReactBlock, Hosts: []uint32{attacker.IP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].DPID != 1 {
+		t.Fatalf("applied = %+v", applied)
+	}
+	waitUntil(t, 3*time.Second, "drop rule installed", func() bool {
+		for _, e := range net.Switch(1).Table().Entries() {
+			if e.Priority == 40_000 {
+				return true
+			}
+		}
+		return false
+	})
+	before, _ := victim.Received()
+	for i := 0; i < 10; i++ {
+		attacker.Send(victim, openflow.ProtoTCP, 50000, 80, 60)
+	}
+	after, _ := victim.Received()
+	if after != before {
+		t.Fatalf("blocked attacker still delivered %d packets", after-before)
+	}
+}
+
+func TestStackShowResultsOverSyntheticDDoS(t *testing.T) {
+	stack, err := NewStack(StackConfig{Controllers: 1, StoreNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	inst := stack.Instance(0)
+
+	train := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 300, MaliciousFlows: 600, Seed: 1})
+	test := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 200, MaliciousFlows: 400, Seed: 2})
+	p := &Preprocessor{Normalize: NormMinMax, LabelField: LabelField}
+	p.AddFeatures(DDoSFeatureNames...)
+	model, err := inst.GenerateDetectionModelFromFeatures(train, p,
+		NewAlgorithm(AlgoKMeans, MLParams{K: 8, Iterations: 20, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.ValidateFeatureRecords(test, p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.DetectionRate() < 0.9 {
+		t.Fatalf("DR = %v", res.Confusion.DetectionRate())
+	}
+	var b strings.Builder
+	inst.ShowResults(&b, res)
+	if !strings.Contains(b.String(), "Detection Rate") {
+		t.Fatalf("ShowResults output:\n%s", b.String())
+	}
+}
