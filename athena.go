@@ -39,6 +39,7 @@ import (
 	"github.com/athena-sdn/athena/internal/openflow"
 	"github.com/athena-sdn/athena/internal/query"
 	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/telemetry"
 	"github.com/athena-sdn/athena/internal/ui"
 )
 
@@ -111,6 +112,12 @@ type (
 	MLParams = ml.Params
 	// Confusion is a binary detection confusion matrix.
 	Confusion = ml.Confusion
+	// TelemetryRegistry holds a deployment's metrics.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryFamily is one gathered metric family.
+	TelemetryFamily = telemetry.Family
+	// TraceRecord is one sampled feature-lifecycle trace.
+	TraceRecord = telemetry.TraceRecord
 )
 
 // OpenFlow-facing types for application authors (packet processors and
@@ -298,4 +305,14 @@ func WriteTable(w io.Writer, header []string, rows [][]string) { ui.Table(w, hea
 // WriteTopN renders a ranked listing ("top 10 congested links").
 func WriteTopN(w io.Writer, title string, items map[string]float64, n int) {
 	ui.TopN(w, title, items, n)
+}
+
+// NewTelemetryRegistry creates a metrics registry to share across
+// components (StackConfig.Telemetry, bench configs).
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// WriteTelemetry renders a registry's non-zero series as an aligned
+// table (athenad's end-of-run summary).
+func WriteTelemetry(w io.Writer, reg *TelemetryRegistry) {
+	ui.WriteTelemetry(w, reg.Gather())
 }

@@ -23,6 +23,7 @@ import (
 
 	"github.com/athena-sdn/athena/internal/bench"
 	"github.com/athena-sdn/athena/internal/sloc"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 func main() {
@@ -35,15 +36,23 @@ func main() {
 		workers = flag.String("workers", "1,2,3,4,5,6", "scale: worker sweep")
 		ddosWk  = flag.Int("ddos-workers", 0, "ddos: compute workers (0 = local)")
 		seed    = flag.Int64("seed", 42, "workload seed")
+		metrics = flag.String("metrics-out", "", "write a /metrics exposition dump here after the run (\"-\" for stdout)")
 	)
 	flag.Parse()
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed); err != nil {
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64) error {
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string) error {
+	// One shared registry across all experiments: the dump then reads
+	// like a scrape of a deployment that ran the whole evaluation.
+	var reg *telemetry.Registry
+	if metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+
 	todo := map[string]bool{}
 	if exp == "all" {
 		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation"} {
@@ -65,6 +74,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 			MaliciousFlows: 4 * flows / 5,
 			Seed:           seed,
 			Workers:        ddosWorkers,
+			Telemetry:      reg,
 		})
 		if err != nil {
 			return err
@@ -95,6 +105,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 		m, err := bench.RunCbenchModes(bench.CbenchConfig{
 			Rounds:        rounds,
 			RoundDuration: time.Duration(roundMS) * time.Millisecond,
+			Telemetry:     reg,
 		})
 		if err != nil {
 			return err
@@ -142,5 +153,33 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 	if len(todo) == 0 {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	if reg != nil {
+		if err := dumpMetrics(metricsOut, reg); err != nil {
+			return fmt.Errorf("metrics dump: %w", err)
+		}
+	}
+	return nil
+}
+
+// dumpMetrics writes the shared registry in Prometheus exposition
+// format, so a bench run leaves the same artifact a /metrics scrape of
+// a live deployment would.
+func dumpMetrics(path string, reg *telemetry.Registry) error {
+	if path == "-" {
+		fmt.Println("METRICS — exposition dump")
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics dump written to %s\n", path)
 	return nil
 }

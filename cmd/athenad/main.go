@@ -30,24 +30,27 @@ func main() {
 		noTopo      = flag.Bool("no-topology", false, "skip the demo data plane")
 		hostsPer    = flag.Int("hosts-per-edge", 1, "hosts per edge switch")
 		seed        = flag.Int64("seed", 1, "traffic seed")
+		opsAddr     = flag.String("ops-addr", "", "ops HTTP server address (/metrics, /healthz, /debug/vars, /traces, /debug/pprof/); empty disables")
 	)
 	flag.Parse()
-	if err := run(*controllers, *storeNodes, *workers, *duration, !*noTopo, *hostsPer, *seed); err != nil {
+	if err := run(*controllers, *storeNodes, *workers, *duration, !*noTopo, *hostsPer, *seed, *opsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "athenad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(controllers, storeNodes, workers int, duration time.Duration, topo bool, hostsPer int, seed int64) error {
+func run(controllers, storeNodes, workers int, duration time.Duration, topo bool, hostsPer int, seed int64, opsAddr string) error {
 	stack, err := athena.NewStack(athena.StackConfig{
 		Controllers:    controllers,
 		StoreNodes:     storeNodes,
 		ComputeWorkers: workers,
 		Southbound: athena.SouthboundConfig{
-			Publish:    athena.PublishBatched,
-			BatchDelay: 50 * time.Millisecond,
-			GCInterval: 30 * time.Second,
+			Publish:     athena.PublishBatched,
+			BatchDelay:  50 * time.Millisecond,
+			GCInterval:  30 * time.Second,
+			TraceSample: 64,
 		},
+		OpsAddr: opsAddr,
 	})
 	if err != nil {
 		return err
@@ -57,6 +60,9 @@ func run(controllers, storeNodes, workers int, duration time.Duration, topo bool
 		controllers, storeNodes, workers)
 	for i, c := range stack.Controllers() {
 		fmt.Printf("  controller %d: id=%s openflow=%s\n", i, c.ID(), c.Addr())
+	}
+	if addr := stack.OpsAddr(); addr != "" {
+		fmt.Printf("  ops: http://%s/metrics\n", addr)
 	}
 
 	var net *athena.Network
@@ -99,7 +105,12 @@ func run(controllers, storeNodes, workers int, duration time.Duration, topo bool
 			return nil
 		case <-deadline:
 			fmt.Println("athenad: done")
-			return summarize(inst)
+			if err := summarize(inst); err != nil {
+				return err
+			}
+			fmt.Println("\ntelemetry:")
+			athena.WriteTelemetry(os.Stdout, stack.Telemetry())
+			return nil
 		case <-ticker.C:
 			if gen != nil {
 				for i := 0; i < 20; i++ {

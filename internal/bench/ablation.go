@@ -107,7 +107,7 @@ func RunDispatchAblation(sizes []int, workers int) ([]DispatchPoint, error) {
 	if workers <= 0 {
 		workers = 4
 	}
-	cluster, cleanup, err := engineFor(workers)
+	cluster, cleanup, err := engineFor(workers, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"github.com/athena-sdn/athena/internal/core"
 	"github.com/athena-sdn/athena/internal/openflow"
 	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // CbenchConfig parameterizes the Table IX reproduction.
@@ -24,6 +25,9 @@ type CbenchConfig struct {
 	RoundDuration time.Duration
 	// Hosts is the emulated host pool cycled through PacketIns.
 	Hosts int
+	// Telemetry, when set, receives controller/pipeline/store metrics so
+	// the bench run can be dumped in exposition format afterwards.
+	Telemetry *telemetry.Registry
 }
 
 func (c CbenchConfig) withDefaults() CbenchConfig {
@@ -84,7 +88,7 @@ func RunCbenchModes(cfg CbenchConfig) (CbenchModes, error) {
 func RunCbench(cfg CbenchConfig, athenaMode string) (CbenchResult, error) {
 	cfg = cfg.withDefaults()
 
-	ctrl, err := controller.New(controller.Config{ID: "cbench-" + athenaMode})
+	ctrl, err := controller.New(controller.Config{ID: "cbench-" + athenaMode, Telemetry: cfg.Telemetry})
 	if err != nil {
 		return CbenchResult{}, err
 	}
@@ -96,9 +100,13 @@ func RunCbench(cfg CbenchConfig, athenaMode string) (CbenchResult, error) {
 	switch athenaMode {
 	case "off":
 	case "sync", "nodb":
-		coreCfg := core.Config{Proxy: ctrl}
+		coreCfg := core.Config{Proxy: ctrl, Telemetry: cfg.Telemetry}
 		if athenaMode == "sync" {
-			node, err = store.NewNode("")
+			var nodeOpts []store.NodeOption
+			if cfg.Telemetry != nil {
+				nodeOpts = append(nodeOpts, store.WithTelemetry(cfg.Telemetry))
+			}
+			node, err = store.NewNode("", nodeOpts...)
 			if err != nil {
 				return CbenchResult{}, err
 			}

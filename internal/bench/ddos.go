@@ -7,6 +7,7 @@ import (
 	"github.com/athena-sdn/athena/internal/compute"
 	"github.com/athena-sdn/athena/internal/core"
 	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // DDoSConfig parameterizes the §V-A / Fig. 6 reproduction.
@@ -23,6 +24,9 @@ type DDoSConfig struct {
 	Runs       int
 	// Workers >0 trains/validates on a compute cluster of that size.
 	Workers int
+	// Telemetry, when set, receives worker/driver metrics so a bench run
+	// can be scraped like a live deployment.
+	Telemetry *telemetry.Registry
 }
 
 func (c DDoSConfig) withDefaults() DDoSConfig {
@@ -98,7 +102,7 @@ func RunDDoS(cfg DDoSConfig) (*DDoSResult, error) {
 		return nil, err
 	}
 
-	engine, cleanup, err := engineFor(cfg.Workers)
+	engine, cleanup, err := engineFor(cfg.Workers, cfg.Telemetry)
 	if err != nil {
 		return nil, err
 	}
@@ -142,9 +146,15 @@ func RunDDoS(cfg DDoSConfig) (*DDoSResult, error) {
 }
 
 // engineFor builds a local or clustered analysis engine.
-func engineFor(workers int) (compute.Engine, func(), error) {
+func engineFor(workers int, reg *telemetry.Registry) (compute.Engine, func(), error) {
 	if workers <= 0 {
 		return compute.NewLocal(), func() {}, nil
+	}
+	var wopts []compute.WorkerOption
+	var dopts []compute.DriverOption
+	if reg != nil {
+		wopts = append(wopts, compute.WithWorkerTelemetry(reg))
+		dopts = append(dopts, compute.WithDriverTelemetry(reg))
 	}
 	ws := make([]*compute.Worker, 0, workers)
 	addrs := make([]string, 0, workers)
@@ -154,7 +164,7 @@ func engineFor(workers int) (compute.Engine, func(), error) {
 		}
 	}
 	for i := 0; i < workers; i++ {
-		w, err := compute.NewWorker("")
+		w, err := compute.NewWorker("", wopts...)
 		if err != nil {
 			cleanup()
 			return nil, nil, err
@@ -162,7 +172,7 @@ func engineFor(workers int) (compute.Engine, func(), error) {
 		ws = append(ws, w)
 		addrs = append(addrs, w.Addr())
 	}
-	drv, err := compute.NewDriver(addrs)
+	drv, err := compute.NewDriver(addrs, dopts...)
 	if err != nil {
 		cleanup()
 		return nil, nil, err

@@ -81,7 +81,7 @@ func RunScale(cfg ScaleConfig) ([]ScalePoint, error) {
 
 	var out []ScalePoint
 	for _, workers := range cfg.Workers {
-		engine, cleanup, err := engineFor(workers)
+		engine, cleanup, err := engineFor(workers, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // Config describes one cluster member.
@@ -36,6 +38,9 @@ type Config struct {
 	// FailureTimeout is how long a silent peer stays "alive". Zero
 	// selects the default of 1s.
 	FailureTimeout time.Duration
+	// Telemetry receives the agent's metrics; nil creates a private
+	// registry.
+	Telemetry *telemetry.Registry
 }
 
 const (
@@ -90,6 +95,29 @@ type Agent struct {
 	stop    chan struct{}
 	done    chan struct{}
 	started bool
+
+	metrics agentMetrics
+}
+
+// agentMetrics caches the agent's telemetry series.
+type agentMetrics struct {
+	gossipRounds *telemetry.Counter
+	exchangeOK   *telemetry.Counter
+	exchangeErr  *telemetry.Counter
+	deltaEntries *telemetry.Counter
+}
+
+func newAgentMetrics(reg *telemetry.Registry, id string) agentMetrics {
+	exchanges := reg.CounterVec("athena_cluster_gossip_exchanges_total",
+		"Per-peer anti-entropy exchanges attempted, by result.", "node", "result")
+	return agentMetrics{
+		gossipRounds: reg.CounterVec("athena_cluster_gossip_rounds_total",
+			"Anti-entropy rounds driven by this agent.", "node").WithLabelValues(id),
+		exchangeOK:  exchanges.WithLabelValues(id, "ok"),
+		exchangeErr: exchanges.WithLabelValues(id, "error"),
+		deltaEntries: reg.CounterVec("athena_cluster_delta_entries_total",
+			"Replicated-map entries changed by incoming anti-entropy merges.", "node").WithLabelValues(id),
+	}
 }
 
 // NewAgent creates an agent; call Start to begin serving.
@@ -120,6 +148,16 @@ func NewAgent(cfg Config) (*Agent, error) {
 	if a.failureTimeout <= 0 {
 		a.failureTimeout = defaultFailureTimeout
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	a.metrics = newAgentMetrics(reg, cfg.ID)
+	reg.GaugeVec("athena_cluster_members_alive",
+		"Cluster members currently considered alive (self included).", "node").
+		WithLabelValues(cfg.ID).Func(func() float64 {
+		return float64(len(a.aliveIDs()))
+	})
 	for id, peerAddr := range cfg.Peers {
 		if id == cfg.ID {
 			continue
@@ -218,9 +256,11 @@ func (a *Agent) handleConn(conn net.Conn) {
 // mergeAndSnapshot folds remote state in and returns our full state.
 func (a *Agent) mergeAndSnapshot(msg syncMsg) syncMsg {
 	a.markSeen(msg.From)
+	changed := 0
 	for name, remote := range msg.Maps {
-		a.Map(name).merge(remote)
+		changed += a.Map(name).merge(remote)
 	}
+	a.metrics.deltaEntries.Add(uint64(changed))
 	return a.snapshot()
 }
 
@@ -256,6 +296,7 @@ func (a *Agent) GossipOnce() {
 		peers[id] = addr
 	}
 	a.mu.Unlock()
+	a.metrics.gossipRounds.Inc()
 	state := a.snapshot()
 	for id, addr := range peers {
 		a.exchange(id, addr, state)
@@ -265,21 +306,27 @@ func (a *Agent) GossipOnce() {
 func (a *Agent) exchange(id, addr string, state syncMsg) {
 	conn, err := net.DialTimeout("tcp", addr, time.Second)
 	if err != nil {
+		a.metrics.exchangeErr.Inc()
 		return
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 	if err := json.NewEncoder(conn).Encode(state); err != nil {
+		a.metrics.exchangeErr.Inc()
 		return
 	}
 	var reply syncMsg
 	if err := json.NewDecoder(conn).Decode(&reply); err != nil {
+		a.metrics.exchangeErr.Inc()
 		return
 	}
 	a.markSeen(id)
+	changed := 0
 	for name, remote := range reply.Maps {
-		a.Map(name).merge(remote)
+		changed += a.Map(name).merge(remote)
 	}
+	a.metrics.deltaEntries.Add(uint64(changed))
+	a.metrics.exchangeOK.Inc()
 }
 
 // Members reports the current membership view, self included, sorted by

@@ -137,8 +137,9 @@ func (m *ECMap) watchersLocked() []func(string, []byte, bool) {
 	return out
 }
 
-// merge folds remote entries in under last-writer-wins.
-func (m *ECMap) merge(remote map[string]entry) {
+// merge folds remote entries in under last-writer-wins, reporting how
+// many entries changed (the anti-entropy delta).
+func (m *ECMap) merge(remote map[string]entry) int {
 	type change struct {
 		key string
 		e   entry
@@ -160,6 +161,7 @@ func (m *ECMap) merge(remote map[string]entry) {
 			w(c.key, c.e.Value, c.e.Deleted)
 		}
 	}
+	return len(changes)
 }
 
 // entriesCopy snapshots the raw entries (tombstones included) for gossip.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // Engine is the analysis surface Athena's Attack Detector programs
@@ -85,14 +86,34 @@ type Driver struct {
 	mu      sync.Mutex
 	local   map[string]*ml.Dataset // driver-side copy for non-distributed algorithms
 	jobTime time.Duration
+
+	// Set by WithDriverTelemetry; nil fields mean unobserved.
+	inflight *telemetry.Gauge
+	rounds   *telemetry.Counter
+}
+
+// DriverOption configures a Driver.
+type DriverOption func(*Driver)
+
+// WithDriverTelemetry registers job-level queue metrics on reg.
+func WithDriverTelemetry(reg *telemetry.Registry) DriverOption {
+	return func(d *Driver) {
+		d.inflight = reg.Gauge("athena_compute_inflight_tasks",
+			"Tasks currently dispatched to workers.")
+		d.rounds = reg.Counter("athena_compute_rounds_total",
+			"Broadcast-aggregate rounds driven.")
+	}
 }
 
 // NewDriver connects to the given worker addresses.
-func NewDriver(addrs []string) (*Driver, error) {
+func NewDriver(addrs []string, opts ...DriverOption) (*Driver, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("compute: no workers")
 	}
 	d := &Driver{local: make(map[string]*ml.Dataset)}
+	for _, o := range opts {
+		o(d)
+	}
 	for _, a := range addrs {
 		w, err := dialWorker(a)
 		if err != nil {
@@ -168,8 +189,14 @@ func (d *Driver) fanOut(fn func(i int, w *workerConn) error) error {
 	)
 	for i, w := range d.workers {
 		wg.Add(1)
+		if d.inflight != nil {
+			d.inflight.Inc()
+		}
 		go func(i int, w *workerConn) {
 			defer wg.Done()
+			if d.inflight != nil {
+				defer d.inflight.Dec()
+			}
 			if err := fn(i, w); err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -186,6 +213,9 @@ func (d *Driver) fanOut(fn func(i int, w *workerConn) error) error {
 // gather runs a task on every worker and returns the responses plus the
 // round makespan (max measured on-worker time).
 func (d *Driver) gather(req func(i int) taskRequest) ([]taskResponse, time.Duration, error) {
+	if d.rounds != nil {
+		d.rounds.Inc()
+	}
 	resps := make([]taskResponse, len(d.workers))
 	err := d.fanOut(func(i int, w *workerConn) error {
 		r, e := w.call(req(i))

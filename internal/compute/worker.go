@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // Task operations.
@@ -89,12 +90,24 @@ type Worker struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	tele     *telemetry.Registry
+	tasks    *telemetry.CounterVec
+	taskTime *telemetry.HistogramVec
+
 	wg sync.WaitGroup
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*Worker)
+
+// WithWorkerTelemetry registers the worker's task metrics on reg.
+func WithWorkerTelemetry(reg *telemetry.Registry) WorkerOption {
+	return func(w *Worker) { w.tele = reg }
 }
 
 // NewWorker starts a worker listening on addr (empty picks an ephemeral
 // localhost port).
-func NewWorker(addr string) (*Worker, error) {
+func NewWorker(addr string, opts ...WorkerOption) (*Worker, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
@@ -107,6 +120,23 @@ func NewWorker(addr string) (*Worker, error) {
 		data:  make(map[string]*ml.Dataset),
 		conns: make(map[net.Conn]struct{}),
 	}
+	for _, o := range opts {
+		o(w)
+	}
+	if w.tele == nil {
+		w.tele = telemetry.NewRegistry()
+	}
+	w.tasks = w.tele.CounterVec("athena_compute_tasks_total",
+		"Tasks executed by a compute worker, by operation.", "worker", "op")
+	w.taskTime = w.tele.HistogramVec("athena_compute_task_seconds",
+		"Measured on-worker task compute time.", nil, "worker", "op")
+	w.tele.GaugeVec("athena_compute_datasets",
+		"Dataset partitions resident on a worker.", "worker").
+		WithLabelValues(w.Addr()).Func(func() float64 {
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+		return float64(len(w.data))
+	})
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
@@ -176,7 +206,10 @@ func (w *Worker) serve() {
 func (w *Worker) execute(req taskRequest) taskResponse {
 	start := time.Now()
 	resp := w.run(req)
-	resp.ElapsedNS = time.Since(start).Nanoseconds()
+	elapsed := time.Since(start)
+	resp.ElapsedNS = elapsed.Nanoseconds()
+	w.tasks.WithLabelValues(w.Addr(), req.Op).Inc()
+	w.taskTime.WithLabelValues(w.Addr(), req.Op).Observe(elapsed.Seconds())
 	return resp
 }
 

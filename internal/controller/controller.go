@@ -18,6 +18,7 @@ import (
 
 	"github.com/athena-sdn/athena/internal/cluster"
 	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // Well-known application ids.
@@ -57,6 +58,10 @@ type Config struct {
 	// application installs. Zero values install permanent rules.
 	FlowIdleTimeout time.Duration
 	FlowHardTimeout time.Duration
+	// Telemetry receives the instance's metrics; nil registers them on a
+	// private registry (per-instance counts still work, nothing scrapes
+	// them).
+	Telemetry *telemetry.Registry
 }
 
 // ControlMessage is one southbound event delivered to message listeners
@@ -113,8 +118,40 @@ type Controller struct {
 
 	counters Counters
 
+	tele    *telemetry.Registry
+	metrics ctrlMetrics
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// ctrlMetrics caches the controller's telemetry series so hot-path
+// increments skip label lookup.
+type ctrlMetrics struct {
+	rx                *telemetry.CounterVec
+	tx                *telemetry.CounterVec
+	sessionsTotal     *telemetry.Counter
+	mastershipChanges *telemetry.Counter
+	statsPolls        *telemetry.Counter
+	dispatchTimer     telemetry.Timer
+}
+
+func newCtrlMetrics(reg *telemetry.Registry, id string) ctrlMetrics {
+	return ctrlMetrics{
+		rx: reg.CounterVec("athena_controller_messages_rx_total",
+			"Control messages received from switches, by type.", "controller", "type"),
+		tx: reg.CounterVec("athena_controller_messages_tx_total",
+			"Control messages sent to switches, by type.", "controller", "type"),
+		sessionsTotal: reg.CounterVec("athena_controller_sessions_total",
+			"Switch control sessions accepted (churn).", "controller").WithLabelValues(id),
+		mastershipChanges: reg.CounterVec("athena_controller_mastership_changes_total",
+			"Devices adopted from another instance.", "controller").WithLabelValues(id),
+		statsPolls: reg.CounterVec("athena_controller_stats_polls_total",
+			"Statistics polling rounds issued.", "controller").WithLabelValues(id),
+		dispatchTimer: telemetry.NewTimer(reg.HistogramVec("athena_controller_dispatch_seconds",
+			"Control-channel dispatch latency (handlers plus listener fan-out).",
+			nil, "controller").WithLabelValues(id)),
+	}
 }
 
 // Counters aggregates fast-path event counts for overhead measurements.
@@ -173,6 +210,19 @@ func New(cfg Config) (*Controller, error) {
 		statsXID: make(map[uint64]map[uint32]bool),
 		stop:     make(chan struct{}),
 	}
+	c.tele = cfg.Telemetry
+	if c.tele == nil {
+		c.tele = telemetry.NewRegistry()
+	}
+	c.metrics = newCtrlMetrics(c.tele, c.id)
+	c.tele.GaugeVec("athena_controller_sessions_active",
+		"Switch control sessions currently open.", "controller").
+		WithLabelValues(c.id).Func(func() float64 {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return float64(len(c.sessions))
+	})
+
 	c.hosts = newHostStore(agent.Map(mapHosts))
 	c.links = newLinkStore(agent.Map(mapLinks))
 	c.flows = newFlowRuleStore(c.id, agent.Map(mapFlowApps))
@@ -193,6 +243,9 @@ func (c *Controller) Addr() string { return c.ln.Addr().String() }
 
 // Agent exposes the backing cluster agent.
 func (c *Controller) Agent() *cluster.Agent { return c.agent }
+
+// Telemetry exposes the registry holding this instance's metrics.
+func (c *Controller) Telemetry() *telemetry.Registry { return c.tele }
 
 // CounterSnapshot reports cumulative event counts.
 func (c *Controller) CounterSnapshot() (packetIns, flowMods, packetOuts, statsReplies uint64) {

@@ -126,6 +126,7 @@ func (c *Controller) InstallFlow(appID string, dpid uint64, fm openflow.FlowMod)
 		return 0, fmt.Errorf("install flow on %d: %w", dpid, err)
 	}
 	c.counters.FlowModsSent.Add(1)
+	c.metrics.tx.WithLabelValues(c.id, "flow_mod").Inc()
 	c.flows.record(FlowRuleInfo{
 		Cookie:   fm.Cookie,
 		AppID:    appID,
@@ -159,6 +160,7 @@ func (c *Controller) SendPacketOut(dpid uint64, po *openflow.PacketOut) error {
 		return err
 	}
 	c.counters.PacketOuts.Add(1)
+	c.metrics.tx.WithLabelValues(c.id, "packet_out").Inc()
 	return nil
 }
 

@@ -67,10 +67,16 @@ func (c *Controller) serveSwitch(nc net.Conn) {
 	}
 	c.sessions[s.dpid] = s
 	c.mu.Unlock()
+	c.metrics.sessionsTotal.Inc()
 
 	ports := make([]uint32, 0, len(features.Ports))
 	for _, p := range features.Ports {
 		ports = append(ports, p.No)
+	}
+	var prev deviceRecord
+	if ok, err := c.devices.GetJSON(dpidKey(s.dpid), &prev); err == nil && ok &&
+		prev.Controller != "" && prev.Controller != c.id {
+		c.metrics.mastershipChanges.Inc()
 	}
 	rec, _ := json.Marshal(deviceRecord{DPID: s.dpid, Controller: c.id, Ports: ports})
 	c.devices.Put(dpidKey(s.dpid), rec)
@@ -95,6 +101,8 @@ func (c *Controller) serveSwitch(nc net.Conn) {
 func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 	c := s.ctrl
 	now := time.Now()
+	c.metrics.rx.WithLabelValues(c.id, rxType(msg)).Inc()
+	defer c.metrics.dispatchTimer.Observe()()
 	switch m := msg.(type) {
 	case *openflow.Hello:
 		return
@@ -133,6 +141,26 @@ func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 		Marked:       c.consumeMarkedXID(s.dpid, h.XID),
 		Msg:          msg,
 	})
+}
+
+// rxType maps a message to its metric label.
+func rxType(msg openflow.Message) string {
+	switch msg.(type) {
+	case *openflow.PacketIn:
+		return "packet_in"
+	case *openflow.FlowRemoved:
+		return "flow_removed"
+	case *openflow.MultipartReply:
+		return "stats_reply"
+	case *openflow.EchoRequest, *openflow.EchoReply:
+		return "echo"
+	case *openflow.PortStatus:
+		return "port_status"
+	case *openflow.ErrorMsg:
+		return "error"
+	default:
+		return "other"
+	}
 }
 
 func (s *session) send(msg openflow.Message) error {

@@ -16,6 +16,7 @@ func (c *Controller) PollStats() {
 		sessions = append(sessions, s)
 	}
 	c.mu.RUnlock()
+	c.metrics.statsPolls.Inc()
 	for _, s := range sessions {
 		c.pollSwitch(s)
 	}
@@ -29,7 +30,10 @@ func (c *Controller) pollSwitch(s *session) {
 	if err := s.conn.SendXID(&openflow.MultipartRequest{StatsType: openflow.StatsFlow}, flowXID); err != nil {
 		return
 	}
-	_ = s.conn.SendXID(&openflow.MultipartRequest{StatsType: openflow.StatsPort}, portXID)
+	c.metrics.tx.WithLabelValues(c.id, "stats_request").Inc()
+	if s.conn.SendXID(&openflow.MultipartRequest{StatsType: openflow.StatsPort}, portXID) == nil {
+		c.metrics.tx.WithLabelValues(c.id, "stats_request").Inc()
+	}
 }
 
 func (c *Controller) markXID(dpid uint64, xid uint32) {

@@ -10,6 +10,7 @@ import (
 	"github.com/athena-sdn/athena/internal/compute"
 	"github.com/athena-sdn/athena/internal/ml"
 	"github.com/athena-sdn/athena/internal/query"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // Preprocessor is the NB API's f parameter (GeneratePreprocessor): it
@@ -221,6 +222,11 @@ type DetectorManager struct {
 	DistributedThreshold int
 
 	seq atomic.Uint64
+
+	// Set by bindTelemetry; nil fields mean unobserved.
+	jobsLocal       *telemetry.Counter
+	jobsDistributed *telemetry.Counter
+	jobSeconds      *telemetry.HistogramVec
 }
 
 // NewDetectorManager builds a manager; cluster may be nil (everything
@@ -236,11 +242,34 @@ func NewDetectorManager(cluster compute.Engine, threshold int) *DetectorManager 
 	}
 }
 
+// bindTelemetry registers job-dispatch metrics on reg. Kept unexported
+// so NewDetectorManager's signature stays stable for bench callers.
+func (dm *DetectorManager) bindTelemetry(reg *telemetry.Registry) {
+	jobs := reg.CounterVec("athena_detector_jobs_total",
+		"Analysis jobs dispatched, by engine placement.", "mode")
+	dm.jobsLocal = jobs.WithLabelValues("local")
+	dm.jobsDistributed = jobs.WithLabelValues("distributed")
+	dm.jobSeconds = reg.HistogramVec("athena_detector_job_seconds",
+		"Accounted analysis job time, by kind.", nil, "kind")
+}
+
 func (dm *DetectorManager) engineFor(rows int) (compute.Engine, bool) {
 	if dm.cluster != nil && rows >= dm.DistributedThreshold {
 		return dm.cluster, true
 	}
 	return dm.local, false
+}
+
+func (dm *DetectorManager) observeJob(kind string, distributed bool, took time.Duration) {
+	if dm.jobSeconds == nil {
+		return
+	}
+	if distributed {
+		dm.jobsDistributed.Inc()
+	} else {
+		dm.jobsLocal.Inc()
+	}
+	dm.jobSeconds.WithLabelValues(kind).Observe(took.Seconds())
 }
 
 // Train fits a model on the dataset, dispatching by size.
@@ -255,12 +284,14 @@ func (dm *DetectorManager) Train(ds *ml.Dataset, algo Algorithm) (*ml.Model, tim
 	if err != nil {
 		return nil, 0, distributed, err
 	}
-	return model, eng.JobTime(), distributed, nil
+	took := eng.JobTime()
+	dm.observeJob("train", distributed, took)
+	return model, took, distributed, nil
 }
 
 // Validate scores the dataset, dispatching by size.
 func (dm *DetectorManager) Validate(ds *ml.Dataset, model *ml.Model) (ml.Confusion, []ml.ClusterComposition, time.Duration, error) {
-	eng, _ := dm.engineFor(ds.Len())
+	eng, distributed := dm.engineFor(ds.Len())
 	name := fmt.Sprintf("validate-%d", dm.seq.Add(1))
 	if err := eng.LoadDataset(name, ds); err != nil {
 		return ml.Confusion{}, nil, 0, err
@@ -270,7 +301,9 @@ func (dm *DetectorManager) Validate(ds *ml.Dataset, model *ml.Model) (ml.Confusi
 	if err != nil {
 		return ml.Confusion{}, nil, 0, err
 	}
-	return conf, comps, eng.JobTime(), nil
+	took := eng.JobTime()
+	dm.observeJob("validate", distributed, took)
+	return conf, comps, took, nil
 }
 
 // AlgorithmDisplayName pretty-prints an algorithm name for reports

@@ -7,6 +7,7 @@ import (
 
 	"github.com/athena-sdn/athena/internal/controller"
 	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // FlowKeyOf canonicalizes a flow identity from match fields.
@@ -52,6 +53,11 @@ type GeneratorConfig struct {
 	DisableVariation bool
 	// DisableStateful turns off pair-flow tracking.
 	DisableStateful bool
+	// Telemetry receives the generator's metrics; nil uses a private
+	// registry. InstanceID labels them (defaults to "local"; the SB
+	// element fills in the controller id).
+	Telemetry  *telemetry.Registry
+	InstanceID string
 }
 
 // Generator is the Feature Generator: it turns control messages into
@@ -70,7 +76,38 @@ type Generator struct {
 	disabledOrigins map[string]bool
 	disabledSwitch  map[uint64]bool
 
-	generated uint64
+	metrics genMetrics
+}
+
+// genMetrics caches the generator's telemetry series. Per-origin
+// counters are pre-created so Process never does label lookups.
+type genMetrics struct {
+	byOrigin     map[string]*telemetry.Counter
+	dropped      *telemetry.CounterVec
+	instance     string
+	processTimer telemetry.Timer
+	gcRemoved    *telemetry.Counter
+}
+
+func newGenMetrics(reg *telemetry.Registry, instance string) genMetrics {
+	generated := reg.CounterVec("athena_features_generated_total",
+		"Feature records produced, by control-message origin.", "controller", "origin")
+	byOrigin := make(map[string]*telemetry.Counter, 4)
+	for _, origin := range []string{OriginPacketIn, OriginFlowRemoved, OriginFlowStats, OriginPortStats} {
+		byOrigin[origin] = generated.WithLabelValues(instance, origin)
+	}
+	return genMetrics{
+		byOrigin: byOrigin,
+		dropped: reg.CounterVec("athena_features_dropped_total",
+			"Feature-bearing events gated off before generation.", "controller", "reason"),
+		instance: instance,
+		processTimer: telemetry.NewTimer(reg.HistogramVec("athena_generator_process_seconds",
+			"Feature Generator processing latency per control message.",
+			nil, "controller").WithLabelValues(instance)),
+		gcRemoved: reg.CounterVec("athena_generator_gc_removed_total",
+			"State entries swept by the generator's garbage collector.",
+			"controller").WithLabelValues(instance),
+	}
 }
 
 // NewGenerator returns a Feature Generator.
@@ -78,20 +115,43 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 	if cfg.GCAge <= 0 {
 		cfg.GCAge = 5 * time.Minute
 	}
-	return &Generator{
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	instance := cfg.InstanceID
+	if instance == "" {
+		instance = "local"
+	}
+	g := &Generator{
 		cfg:             cfg,
 		prev:            make(map[string]*prevEntry),
 		flows:           make(map[uint64]*switchFlows),
 		disabledOrigins: make(map[string]bool),
 		disabledSwitch:  make(map[uint64]bool),
+		metrics:         newGenMetrics(reg, instance),
 	}
+	entries := reg.GaugeVec("athena_generator_state_entries",
+		"Tracked generator state, by kind.", "controller", "kind")
+	entries.WithLabelValues(instance, "variation").Func(func() float64 {
+		prev, _ := g.StateSize()
+		return float64(prev)
+	})
+	entries.WithLabelValues(instance, "flow").Func(func() float64 {
+		_, flows := g.StateSize()
+		return float64(flows)
+	})
+	return g
 }
 
-// Generated reports how many feature records have been produced.
+// Generated reports how many feature records have been produced. It is
+// a thin wrapper over the per-origin telemetry counters.
 func (g *Generator) Generated() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.generated
+	var total uint64
+	for _, c := range g.metrics.byOrigin {
+		total += c.Value()
+	}
+	return total
 }
 
 // SetOriginEnabled toggles generation for one origin class.
@@ -110,39 +170,57 @@ func (g *Generator) SetSwitchEnabled(dpid uint64, enabled bool) {
 
 // Process converts one control message into zero or more features.
 func (g *Generator) Process(msg controller.ControlMessage) []*Feature {
+	defer g.metrics.processTimer.Observe()()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.disabledSwitch[msg.DPID] {
+		g.drop("switch_disabled")
 		return nil
 	}
 	var out []*Feature
+	origin := ""
 	switch m := msg.Msg.(type) {
 	case *openflow.PacketIn:
-		if !g.disabledOrigins[OriginPacketIn] {
+		origin = OriginPacketIn
+		if !g.disabledOrigins[origin] {
 			out = g.packetIn(msg, m)
 		}
 	case *openflow.FlowRemoved:
-		if !g.disabledOrigins[OriginFlowRemoved] {
+		origin = OriginFlowRemoved
+		if !g.disabledOrigins[origin] {
 			out = g.flowRemoved(msg, m)
 		}
 	case *openflow.MultipartReply:
 		switch m.StatsType {
 		case openflow.StatsFlow:
-			if !g.disabledOrigins[OriginFlowStats] {
+			origin = OriginFlowStats
+			if !g.disabledOrigins[origin] {
 				out = g.flowStats(msg, m)
 			}
 		case openflow.StatsPort:
-			if !g.disabledOrigins[OriginPortStats] {
+			origin = OriginPortStats
+			if !g.disabledOrigins[origin] {
 				out = g.portStats(msg, m)
 			}
 		}
 	}
-	g.generated += uint64(len(out))
+	if origin != "" {
+		if g.disabledOrigins[origin] {
+			g.drop("origin_disabled")
+		} else {
+			g.metrics.byOrigin[origin].Add(uint64(len(out)))
+		}
+	}
 	return out
+}
+
+func (g *Generator) drop(reason string) {
+	g.metrics.dropped.WithLabelValues(g.metrics.instance, reason).Inc()
 }
 
 func (g *Generator) packetIn(msg controller.ControlMessage, m *openflow.PacketIn) []*Feature {
 	if m.Fields.EthType != openflow.EthTypeIPv4 {
+		g.drop("unsupported")
 		return nil
 	}
 	key := FlowKeyOf(m.Fields)
@@ -403,6 +481,7 @@ func (g *Generator) GC(now time.Time) int {
 			delete(g.flows, dpid)
 		}
 	}
+	g.metrics.gcRemoved.Add(uint64(removed))
 	return removed
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/athena-sdn/athena/internal/ml"
 	"github.com/athena-sdn/athena/internal/query"
 	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/telemetry"
 	"github.com/athena-sdn/athena/internal/ui"
 )
 
@@ -28,6 +29,10 @@ type Config struct {
 	// DistributedThreshold is the dataset size at which analysis moves
 	// to the compute cluster (default 100000 rows).
 	DistributedThreshold int
+	// Telemetry receives the instance's metrics (SB element, generator,
+	// detector, compute driver, store writer); nil keeps them on private
+	// registries.
+	Telemetry *telemetry.Registry
 }
 
 // Athena is one framework instance hosted above a controller, exporting
@@ -73,7 +78,11 @@ func New(cfg Config) (*Athena, error) {
 	}
 	var engine compute.Engine
 	if len(cfg.ComputeAddrs) > 0 {
-		drv, err := compute.NewDriver(cfg.ComputeAddrs)
+		var dopts []compute.DriverOption
+		if cfg.Telemetry != nil {
+			dopts = append(dopts, compute.WithDriverTelemetry(cfg.Telemetry))
+		}
+		drv, err := compute.NewDriver(cfg.ComputeAddrs, dopts...)
 		if err != nil {
 			if a.storeCl != nil {
 				a.storeCl.Close()
@@ -84,13 +93,20 @@ func New(cfg Config) (*Athena, error) {
 		engine = drv
 	}
 	a.detector = NewDetectorManager(engine, cfg.DistributedThreshold)
+	if cfg.Telemetry != nil {
+		a.detector.bindTelemetry(cfg.Telemetry)
+	}
 	a.reactor = NewReactor(cfg.Proxy)
 
 	var sink store.Sink
 	if a.storeCl != nil {
 		sink = a.storeCl
 	}
-	a.sb = NewSouthbound(cfg.Proxy, sink, cfg.Southbound)
+	sbcfg := cfg.Southbound
+	if sbcfg.Telemetry == nil {
+		sbcfg.Telemetry = cfg.Telemetry
+	}
+	a.sb = NewSouthbound(cfg.Proxy, sink, sbcfg)
 	a.sb.AddFeatureListener(a.dispatch)
 	return a, nil
 }

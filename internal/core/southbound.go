@@ -2,12 +2,12 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/controller"
 	"github.com/athena-sdn/athena/internal/openflow"
 	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // PublishMode selects how the SB element publishes features to the DB
@@ -51,6 +51,13 @@ type SouthboundConfig struct {
 	// GCInterval drives the generator's garbage collector; zero disables
 	// the background sweep.
 	GCInterval time.Duration
+	// Telemetry receives the SB element's metrics (and, unless the
+	// generator config names its own registry, the generator's); nil
+	// uses a private registry.
+	Telemetry *telemetry.Registry
+	// TraceSample records one feature-lifecycle trace per this many
+	// control messages; zero or negative disables tracing.
+	TraceSample int
 }
 
 // Southbound is the SB element: it hooks the controller proxy, runs the
@@ -67,8 +74,10 @@ type Southbound struct {
 	mu        sync.RWMutex
 	listeners []func(*Feature)
 
-	published   atomic.Uint64
-	publishErrs atomic.Uint64
+	pubOK       *telemetry.Counter
+	pubErr      *telemetry.Counter
+	handleTimer telemetry.Timer
+	tracer      *telemetry.Tracer
 
 	stop chan struct{}
 	done chan struct{}
@@ -84,16 +93,36 @@ func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbou
 	if sink == nil {
 		mode = PublishOff
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	gcfg := cfg.Generator
+	if gcfg.Telemetry == nil {
+		gcfg.Telemetry = reg
+	}
+	if gcfg.InstanceID == "" {
+		gcfg.InstanceID = proxy.ID()
+	}
+	published := reg.CounterVec("athena_features_published_total",
+		"Features handed to the store sink, by result.", "controller", "result")
 	sb := &Southbound{
-		proxy: proxy,
-		gen:   NewGenerator(cfg.Generator),
-		mode:  mode,
-		sink:  sink,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		proxy:  proxy,
+		gen:    NewGenerator(gcfg),
+		mode:   mode,
+		sink:   sink,
+		pubOK:  published.WithLabelValues(proxy.ID(), "ok"),
+		pubErr: published.WithLabelValues(proxy.ID(), "error"),
+		handleTimer: telemetry.NewTimer(reg.HistogramVec("athena_southbound_handle_seconds",
+			"SB element end-to-end handling latency per control message.",
+			nil, "controller").WithLabelValues(proxy.ID())),
+		tracer: telemetry.NewTracer(cfg.TraceSample, 0),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	if mode == PublishBatched {
-		sb.writer = store.NewWriter(sink, cfg.BatchSize, cfg.BatchDelay)
+		sb.writer = store.NewWriter(sink, cfg.BatchSize, cfg.BatchDelay,
+			store.WithWriterTelemetry(reg, proxy.ID()))
 	}
 	proxy.AddMessageListener(sb.handle)
 	if cfg.GCInterval > 0 {
@@ -133,10 +162,15 @@ func (sb *Southbound) Close() {
 func (sb *Southbound) Generator() *Generator { return sb.gen }
 
 // Published reports how many features reached the sink, and how many
-// publication errors occurred.
+// publication errors occurred. It is a thin wrapper over the telemetry
+// counters.
 func (sb *Southbound) Published() (ok, errs uint64) {
-	return sb.published.Load(), sb.publishErrs.Load()
+	return sb.pubOK.Value(), sb.pubErr.Value()
 }
+
+// Tracer exposes the feature-lifecycle tracer (nil when sampling is
+// disabled).
+func (sb *Southbound) Tracer() *telemetry.Tracer { return sb.tracer }
 
 // AddFeatureListener registers a live feature consumer (the Feature
 // Manager). Listeners run on the control-channel goroutine.
@@ -149,7 +183,13 @@ func (sb *Southbound) AddFeatureListener(fn func(*Feature)) {
 // handle is the SB interface: it receives every control message from the
 // proxy and drives feature generation and publication.
 func (sb *Southbound) handle(msg controller.ControlMessage) {
+	defer sb.handleTimer.Observe()()
+	tr := sb.tracer.Start("feature_lifecycle")
+	defer tr.Finish()
+
+	endGen := tr.Span("generate")
 	features := sb.gen.Process(msg)
+	endGen()
 	if len(features) == 0 {
 		return
 	}
@@ -173,6 +213,7 @@ func (sb *Southbound) handle(msg controller.ControlMessage) {
 		}
 	}
 
+	endPub := tr.Span("publish")
 	switch sb.mode {
 	case PublishSync:
 		docs := make([]store.Document, len(features))
@@ -180,19 +221,21 @@ func (sb *Southbound) handle(msg controller.ControlMessage) {
 			docs[i] = f.Document()
 		}
 		if err := sb.sink.Insert(docs); err != nil {
-			sb.publishErrs.Add(1)
+			sb.pubErr.Inc()
 		} else {
-			sb.published.Add(uint64(len(docs)))
+			sb.pubOK.Add(uint64(len(docs)))
 		}
 	case PublishBatched:
 		for _, f := range features {
 			sb.writer.Publish(f.Document())
 		}
-		sb.published.Add(uint64(len(features)))
+		sb.pubOK.Add(uint64(len(features)))
 	case PublishOff:
 		// persistence disabled
 	}
+	endPub()
 
+	endDispatch := tr.Span("dispatch")
 	sb.mu.RLock()
 	listeners := sb.listeners
 	sb.mu.RUnlock()
@@ -201,4 +244,5 @@ func (sb *Southbound) handle(msg controller.ControlMessage) {
 			fn(f)
 		}
 	}
+	endDispatch()
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // request is the wire format for client->node messages.
@@ -39,8 +41,39 @@ type Node struct {
 	// Retention bounds document age; zero keeps everything.
 	retention time.Duration
 
+	tele    *telemetry.Registry
+	metrics nodeMetrics
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// nodeMetrics caches the node's telemetry series (labeled by listen
+// address, the node's identity in a store cluster).
+type nodeMetrics struct {
+	requests     *telemetry.CounterVec
+	requestTimer telemetry.Timer
+	inserted     *telemetry.Counter
+	deleted      *telemetry.Counter
+	snapshots    *telemetry.Counter
+	snapshotSize *telemetry.Gauge
+}
+
+func newNodeMetrics(reg *telemetry.Registry, node string) nodeMetrics {
+	return nodeMetrics{
+		requests: reg.CounterVec("athena_store_requests_total",
+			"Wire requests served, by operation.", "node", "op"),
+		requestTimer: telemetry.NewTimer(reg.HistogramVec("athena_store_request_seconds",
+			"Wire request service latency.", nil, "node").WithLabelValues(node)),
+		inserted: reg.CounterVec("athena_store_docs_inserted_total",
+			"Documents appended to this shard.", "node").WithLabelValues(node),
+		deleted: reg.CounterVec("athena_store_docs_deleted_total",
+			"Documents removed by deletes and retention GC.", "node").WithLabelValues(node),
+		snapshots: reg.CounterVec("athena_store_snapshots_total",
+			"Snapshots written.", "node").WithLabelValues(node),
+		snapshotSize: reg.GaugeVec("athena_store_snapshot_bytes",
+			"Size of the most recent snapshot.", "node").WithLabelValues(node),
+	}
 }
 
 // NodeOption configures a Node.
@@ -49,6 +82,12 @@ type NodeOption func(*Node)
 // WithRetention enables age-based garbage collection.
 func WithRetention(d time.Duration) NodeOption {
 	return func(n *Node) { n.retention = d }
+}
+
+// WithTelemetry registers the node's metrics on reg instead of a
+// private registry.
+func WithTelemetry(reg *telemetry.Registry) NodeOption {
+	return func(n *Node) { n.tele = reg }
 }
 
 // NewNode starts a storage node listening on addr (empty picks an
@@ -65,6 +104,12 @@ func NewNode(addr string, opts ...NodeOption) (*Node, error) {
 	for _, o := range opts {
 		o(n)
 	}
+	if n.tele == nil {
+		n.tele = telemetry.NewRegistry()
+	}
+	n.metrics = newNodeMetrics(n.tele, n.Addr())
+	n.tele.GaugeVec("athena_store_docs", "Documents held by this shard.", "node").
+		WithLabelValues(n.Addr()).Func(func() float64 { return float64(n.Len()) })
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -146,6 +191,8 @@ func (n *Node) handle(conn net.Conn) {
 }
 
 func (n *Node) execute(req request) response {
+	n.metrics.requests.WithLabelValues(n.Addr(), req.Op).Inc()
+	defer n.metrics.requestTimer.Observe()()
 	switch req.Op {
 	case "ping":
 		return response{OK: true}
@@ -176,6 +223,7 @@ func (n *Node) insert(docs []Document) {
 	n.mu.Lock()
 	n.docs = append(n.docs, docs...)
 	n.mu.Unlock()
+	n.metrics.inserted.Add(uint64(len(docs)))
 }
 
 func (n *Node) count(f Filter) int {
@@ -203,6 +251,7 @@ func (n *Node) delete(f Filter) int {
 		kept = append(kept, d)
 	}
 	n.docs = kept
+	n.metrics.deleted.Add(uint64(removed))
 	return removed
 }
 

@@ -16,14 +16,33 @@ func (n *Node) SaveSnapshot(w io.Writer) error {
 	docs := make([]Document, len(n.docs))
 	copy(docs, n.docs)
 	n.mu.RUnlock()
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	enc := json.NewEncoder(bw)
 	for i := range docs {
 		if err := enc.Encode(&docs[i]); err != nil {
 			return fmt.Errorf("store snapshot: %w", err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	n.metrics.snapshots.Inc()
+	n.metrics.snapshotSize.Set(float64(cw.n))
+	return nil
+}
+
+// countingWriter tracks bytes written so snapshot size can be reported
+// without buffering the whole stream.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // LoadSnapshot appends documents from a JSON-lines stream produced by

@@ -3,6 +3,8 @@ package store
 import (
 	"sync"
 	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // Sink is anything documents can be published to. Both Cluster and
@@ -24,14 +26,42 @@ type Writer struct {
 	pending []Document
 	err     error
 
+	flushOK   *telemetry.Counter
+	flushErr  *telemetry.Counter
+	batchDocs *telemetry.Histogram
+
 	flushCh chan struct{}
 	stop    chan struct{}
 	done    chan struct{}
 }
 
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithWriterTelemetry registers the writer's flush metrics on reg,
+// labeled with the owning instance (typically the controller id).
+func WithWriterTelemetry(reg *telemetry.Registry, instance string) WriterOption {
+	return func(w *Writer) {
+		flushes := reg.CounterVec("athena_store_writer_flushes_total",
+			"Batched-writer flushes, by result.", "controller", "result")
+		w.flushOK = flushes.WithLabelValues(instance, "ok")
+		w.flushErr = flushes.WithLabelValues(instance, "error")
+		w.batchDocs = reg.HistogramVec("athena_store_writer_flush_docs",
+			"Documents per flushed batch.", telemetry.SizeBuckets, "controller").
+			WithLabelValues(instance)
+		reg.GaugeVec("athena_store_writer_pending",
+			"Documents enqueued but not yet flushed.", "controller").
+			WithLabelValues(instance).Func(func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(len(w.pending))
+		})
+	}
+}
+
 // NewWriter starts a batching writer. batchSize bounds batch length;
 // maxDelay bounds how long a document may sit unflushed.
-func NewWriter(sink Sink, batchSize int, maxDelay time.Duration) *Writer {
+func NewWriter(sink Sink, batchSize int, maxDelay time.Duration, opts ...WriterOption) *Writer {
 	if batchSize <= 0 {
 		batchSize = 256
 	}
@@ -45,6 +75,9 @@ func NewWriter(sink Sink, batchSize int, maxDelay time.Duration) *Writer {
 		flushCh:   make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(w)
 	}
 	go w.run()
 	return w
@@ -112,9 +145,19 @@ func (w *Writer) flushOnce() {
 	if len(batch) == 0 {
 		return
 	}
+	if w.batchDocs != nil {
+		w.batchDocs.Observe(float64(len(batch)))
+	}
 	if err := w.sink.Insert(batch); err != nil {
 		w.mu.Lock()
 		w.err = err
 		w.mu.Unlock()
+		if w.flushErr != nil {
+			w.flushErr.Inc()
+		}
+		return
+	}
+	if w.flushOK != nil {
+		w.flushOK.Inc()
 	}
 }

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one name/value pair on a series.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"` // observations <= UpperBound
+}
+
+// Metric is one series of a family at gather time.
+type Metric struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries counters (as a whole number) and gauges.
+	Value float64 `json:"value"`
+	// Histogram payload (Kind == KindHistogram only).
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+}
+
+// Family is one named metric family at gather time.
+type Family struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help"`
+	Kind    Kind     `json:"-"`
+	Type    string   `json:"type"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Gather snapshots every family, sorted by name, series sorted by label
+// values.
+func (r *Registry) Gather() []Family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		fam := Family{Name: f.name, Help: f.help, Kind: f.kind, Type: f.kind.String()}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := f.children[k]
+			m := Metric{}
+			for i, ln := range f.labels {
+				m.Labels = append(m.Labels, Label{Name: ln, Value: c.labelValues[i]})
+			}
+			switch f.kind {
+			case KindCounter:
+				m.Value = float64(c.bits.Load())
+			case KindGauge:
+				if fn := c.fn.Load(); fn != nil {
+					m.Value = (*fn)()
+				} else {
+					m.Value = math.Float64frombits(c.bits.Load())
+				}
+			case KindHistogram:
+				cum := uint64(0)
+				for i := range f.buckets {
+					cum += c.hcounts[i].Load()
+					m.Buckets = append(m.Buckets, Bucket{UpperBound: f.buckets[i], Count: cum})
+				}
+				cum += c.hcounts[len(f.buckets)].Load()
+				m.Buckets = append(m.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+				m.Count = cum
+				m.Sum = math.Float64frombits(c.hsum.Load())
+			}
+			fam.Metrics = append(fam.Metrics, m)
+		}
+		f.mu.RUnlock()
+		out = append(out, fam)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			bw.WriteString("# HELP " + fam.Name + " " + escapeHelp(fam.Help) + "\n")
+		}
+		bw.WriteString("# TYPE " + fam.Name + " " + fam.Type + "\n")
+		for _, m := range fam.Metrics {
+			switch fam.Kind {
+			case KindHistogram:
+				for _, b := range m.Buckets {
+					bw.WriteString(fam.Name + "_bucket" + renderLabels(m.Labels, Label{Name: "le", Value: formatFloat(b.UpperBound)}))
+					bw.WriteString(" " + strconv.FormatUint(b.Count, 10) + "\n")
+				}
+				bw.WriteString(fam.Name + "_sum" + renderLabels(m.Labels) + " " + formatFloat(m.Sum) + "\n")
+				bw.WriteString(fam.Name + "_count" + renderLabels(m.Labels) + " " + strconv.FormatUint(m.Count, 10) + "\n")
+			case KindCounter:
+				bw.WriteString(fam.Name + renderLabels(m.Labels) + " " + strconv.FormatUint(uint64(m.Value), 10) + "\n")
+			default:
+				bw.WriteString(fam.Name + renderLabels(m.Labels) + " " + formatFloat(m.Value) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Snapshot renders the registry as a flat JSON-friendly map (the
+// /debug/vars payload): series identity -> value, histograms as
+// {count, sum, avg}.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, fam := range r.Gather() {
+		for _, m := range fam.Metrics {
+			key := fam.Name + renderLabels(m.Labels)
+			switch fam.Kind {
+			case KindHistogram:
+				avg := 0.0
+				if m.Count > 0 {
+					avg = m.Sum / float64(m.Count)
+				}
+				out[key] = map[string]any{"count": m.Count, "sum": m.Sum, "avg": avg}
+			case KindCounter:
+				out[key] = uint64(m.Value)
+			default:
+				out[key] = m.Value
+			}
+		}
+	}
+	return out
+}
+
+// renderLabels renders {a="b",c="d"} with escaping, or "" when empty.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsConfig wires an ops server to the stack it observes.
+type OpsConfig struct {
+	// Registry backs /metrics and /debug/vars. Required.
+	Registry *Registry
+	// Health reports readiness for /healthz; nil means always healthy.
+	Health func() error
+	// Vars contributes extra /debug/vars entries (merged under the
+	// metric snapshot). May be nil.
+	Vars func() map[string]any
+	// Traces backs /traces. May be nil.
+	Traces func() []TraceRecord
+}
+
+// OpsServer is the embedded operations endpoint: /metrics (Prometheus
+// text), /healthz, /debug/vars (JSON snapshot), /traces (sampled
+// feature-lifecycle traces), and the net/http/pprof suite under
+// /debug/pprof/.
+type OpsServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// NewOpsServer binds addr (host:port; ":0" picks an ephemeral port) and
+// starts serving.
+func NewOpsServer(addr string, cfg OpsConfig) (*OpsServer, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("telemetry: ops server requires a registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: ops listen: %w", err)
+	}
+	s := &OpsServer{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(s.start).Round(time.Second))
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		vars := map[string]any{
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"metrics":        cfg.Registry.Snapshot(),
+		}
+		if cfg.Vars != nil {
+			for k, v := range cfg.Vars() {
+				vars[k] = v
+			}
+		}
+		writeJSON(w, vars)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		var traces []TraceRecord
+		if cfg.Traces != nil {
+			traces = cfg.Traces()
+		}
+		if traces == nil {
+			traces = []TraceRecord{}
+		}
+		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *OpsServer) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

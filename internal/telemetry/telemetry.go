@@ -1,0 +1,334 @@
+// Package telemetry is the observability substrate of the Athena stack:
+// a stdlib-only metrics subsystem (atomic counters, gauges, fixed-bucket
+// latency histograms, and labeled metric vectors) whose registry
+// serializes to the Prometheus text exposition format, plus a sampling
+// span tracer for the feature lifecycle and an embeddable HTTP ops
+// server (/metrics, /healthz, /debug/vars, /traces, /debug/pprof).
+//
+// Every runtime component (controller, SB element, store node, compute
+// worker, cluster agent) accepts a *Registry; components created without
+// one get a private registry so their counter accessors keep
+// per-instance semantics. A Stack shares one registry across all of its
+// components, which is what the ops endpoint scrapes.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+// Metric kinds, matching the Prometheus TYPE keywords.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets spans the stack's latency range: sub-microsecond message
+// handling up to multi-second analysis jobs (seconds).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets suits count-valued histograms (batch sizes, row counts).
+var SizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000}
+
+// Registry holds metric families and renders them for scraping. The
+// zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry for components instrumented
+// outside any Stack.
+var Default = NewRegistry()
+
+// family is one named metric with a fixed label schema; scalar metrics
+// are families with zero labels and a single child.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histogram upper bounds, sorted ascending
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+// child is one (label-values) series. Counters store their count in
+// bits; gauges store math.Float64bits; histograms use hcounts/hsum.
+type child struct {
+	labelValues []string
+	bits        atomic.Uint64
+	fn          atomic.Pointer[func() float64]
+	hcounts     []atomic.Uint64 // per-bucket, non-cumulative; last is +Inf
+	hsum        atomic.Uint64   // float bits
+}
+
+func (r *Registry) family(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different schema (have %s%v, want %s%v)",
+				name, f.kind, f.labels, kind, labels))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const labelSep = "\xff"
+
+func (f *family) child(vals []string) *child {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q expects %d label values, got %d",
+			f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, labelSep)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = &child{labelValues: append([]string(nil), vals...)}
+	if f.kind == KindHistogram {
+		c.hcounts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.children[key] = c
+	return c
+}
+
+// --- Counter ----------------------------------------------------------
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ c *child }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.c.bits.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.c.bits.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.c.bits.Load() }
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// WithLabelValues returns (creating on first use) the child counter for
+// the given label values. Safe for concurrent use; hot paths should
+// cache the returned *Counter.
+func (v *CounterVec) WithLabelValues(vals ...string) *Counter {
+	return &Counter{c: v.f.child(vals)}
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).WithLabelValues()
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, KindCounter, labels, nil)}
+}
+
+// --- Gauge ------------------------------------------------------------
+
+// Gauge is a value that can go up and down, or be computed at scrape
+// time via Func.
+type Gauge struct{ c *child }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Func makes the gauge scrape-time computed: fn is called on every
+// Gather/Value instead of the stored value.
+func (g *Gauge) Func(fn func() float64) { g.c.fn.Store(&fn) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if fn := g.c.fn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return math.Float64frombits(g.c.bits.Load())
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// WithLabelValues returns the child gauge for the given label values.
+func (v *GaugeVec) WithLabelValues(vals ...string) *Gauge {
+	return &Gauge{c: v.f.child(vals)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).WithLabelValues()
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, KindGauge, labels, nil)}
+}
+
+// GaugeFunc registers an unlabeled scrape-time computed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Gauge(name, help).Func(fn)
+}
+
+// --- Histogram --------------------------------------------------------
+
+// Histogram samples observations into fixed cumulative buckets.
+type Histogram struct {
+	c       *child
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v) // first bound >= v; len(buckets) = +Inf
+	h.c.hcounts[i].Add(1)
+	for {
+		old := h.c.hsum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.c.hsum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.c.hcounts {
+		n += h.c.hcounts[i].Load()
+	}
+	return n
+}
+
+// Sum reads the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.c.hsum.Load()) }
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// WithLabelValues returns the child histogram for the given label
+// values.
+func (v *HistogramVec) WithLabelValues(vals ...string) *Histogram {
+	return &Histogram{c: v.f.child(vals), buckets: v.f.buckets}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. Nil buckets
+// select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).WithLabelValues()
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family. Nil
+// buckets select DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, buckets)}
+}
+
+// --- Timer ------------------------------------------------------------
+
+// Timer wraps a histogram for defer-style latency measurement:
+//
+//	defer t.Observe()()
+//
+// records the elapsed seconds between the two calls. The zero Timer is
+// a no-op, so optional instrumentation needs no branching.
+type Timer struct{ h *Histogram }
+
+// NewTimer wraps h.
+func NewTimer(h *Histogram) Timer { return Timer{h: h} }
+
+// Observe starts timing and returns the function that stops it and
+// records the elapsed seconds.
+func (t Timer) Observe() func() {
+	if t.h == nil {
+		return noopFunc
+	}
+	start := time.Now()
+	return func() { t.h.Observe(time.Since(start).Seconds()) }
+}
+
+var noopFunc = func() {}

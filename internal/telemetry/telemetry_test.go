@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fixed contents exercising every
+// kind, label escaping, and histogram rendering.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	ev := r.Counter("test_events_total", "Total events.")
+	ev.Inc()
+	ev.Add(2)
+
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.0625, 0.5, 0.5, 5, 48} {
+		h.Observe(v)
+	}
+
+	msgs := r.CounterVec("test_msgs_total", "Messages by type.", "controller", "type")
+	msgs.WithLabelValues("c1", "packet_in").Add(2)
+	msgs.WithLabelValues("c1", `say "hi"`).Inc()
+	msgs.WithLabelValues("c2", `back\slash`).Inc()
+
+	r.Gauge("test_queue_depth", "Queue depth.\nSecond line.").Set(4.5)
+	r.GaugeFunc("test_workers", "Pool size.", func() float64 { return 3 })
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestHistogramInvariants checks the exposition-level histogram
+// contract: cumulative buckets are monotone, the +Inf bucket equals
+// _count, and _sum matches the observations.
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inv_seconds", "", []float64{0.01, 0.1, 1})
+	var sum float64
+	vals := []float64{0.005, 0.005, 0.05, 0.5, 0.5, 0.5, 2, 100}
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if got := h.Count(); got != uint64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", got, len(vals))
+	}
+	if got := h.Sum(); math.Abs(got-sum) > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", got, sum)
+	}
+
+	fams := r.Gather()
+	if len(fams) != 1 || fams[0].Kind != KindHistogram {
+		t.Fatalf("unexpected gather: %+v", fams)
+	}
+	m := fams[0].Metrics[0]
+	if len(m.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4 (3 bounds + +Inf)", len(m.Buckets))
+	}
+	prev := uint64(0)
+	for _, b := range m.Buckets {
+		if b.Count < prev {
+			t.Fatalf("bucket le=%g count %d < previous %d (not cumulative)", b.UpperBound, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	last := m.Buckets[len(m.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Fatalf("last bucket bound = %g, want +Inf", last.UpperBound)
+	}
+	if last.Count != m.Count {
+		t.Fatalf("+Inf bucket %d != count %d", last.Count, m.Count)
+	}
+	wantCum := []uint64{2, 3, 6, 8}
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d count = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+// TestCounterVecRace hammers one labeled counter from 16 goroutines,
+// resolving the child through the vec on every increment. Run under
+// -race this doubles as the concurrency safety check.
+func TestCounterVecRace(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("race_total", "", "worker")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				vec.WithLabelValues("shared").Inc()
+				vec.WithLabelValues("w" + strconv.Itoa(g)).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := vec.WithLabelValues("shared").Value(); got != goroutines*perG {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := vec.WithLabelValues("w" + strconv.Itoa(g)).Value(); got != perG {
+			t.Fatalf("w%d = %d, want %d", g, got, perG)
+		}
+	}
+}
+
+func TestGaugeAddAndFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %g, want 7.5", got)
+	}
+	n := 0
+	g.Func(func() float64 { n++; return float64(n) })
+	if g.Value() != 1 || g.Value() != 2 {
+		t.Fatal("Func gauge not recomputed per read")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var zero Timer
+	zero.Observe()() // must not panic
+
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "", nil)
+	tm := NewTimer(h)
+	done := tm.Observe()
+	time.Sleep(time.Millisecond)
+	done()
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("sum = %g, want > 0", h.Sum())
+	}
+}
+
+func TestSchemaConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("dup_total", "", "a")
+	// Same name + same schema is the idempotent shared-registry path.
+	r.CounterVec("dup_total", "", "a").WithLabelValues("x").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.GaugeVec("dup_total", "", "a")
+}
+
+func TestTracerSampling(t *testing.T) {
+	if tr := NewTracer(0, 8); tr != nil {
+		t.Fatal("sampleEvery<=0 must disable tracing")
+	}
+	var nilTracer *Tracer
+	trace := nilTracer.Start("x")
+	trace.Span("s")()
+	trace.Finish() // all nil-safe
+	if nilTracer.Sampled() != 0 || nilTracer.Snapshot() != nil {
+		t.Fatal("nil tracer must report nothing")
+	}
+
+	tr := NewTracer(4, 8)
+	for i := 0; i < 16; i++ {
+		trace := tr.Start("feature_lifecycle")
+		sampled := i%4 == 0
+		if sampled != (trace != nil) {
+			t.Fatalf("root %d: sampled = %v, want %v", i, trace != nil, sampled)
+		}
+		end := trace.Span("generate")
+		end()
+		trace.Finish()
+	}
+	if got := tr.Sampled(); got != 4 {
+		t.Fatalf("Sampled = %d, want 4 (1 in 4 of 16 roots)", got)
+	}
+	for _, rec := range tr.Snapshot() {
+		if rec.Name != "feature_lifecycle" || len(rec.Spans) != 1 || rec.Spans[0].Name != "generate" {
+			t.Fatalf("bad trace record: %+v", rec)
+		}
+	}
+
+	// Ring eviction keeps the most recent capacity traces.
+	small := NewTracer(1, 2)
+	for i := 0; i < 5; i++ {
+		small.Start("t").Finish()
+	}
+	recs := small.Snapshot()
+	if len(recs) != 2 || recs[0].ID != 4 || recs[1].ID != 5 {
+		t.Fatalf("ring = %+v, want IDs [4 5]", recs)
+	}
+}
+
+func TestOpsServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_events_total", "Events.").Add(7)
+	tr := NewTracer(1, 8)
+	tr.Start("lifecycle").Finish()
+
+	var healthy error
+	var mu sync.Mutex
+	srv, err := NewOpsServer("127.0.0.1:0", OpsConfig{
+		Registry: r,
+		Health:   func() error { mu.Lock(); defer mu.Unlock(); return healthy },
+		Vars:     func() map[string]any { return map[string]any{"controllers": 3} },
+		Traces:   tr.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE ops_events_total counter") ||
+		!strings.Contains(body, "ops_events_total 7") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	if code, body, _ = get("/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars["controllers"] != float64(3) {
+		t.Fatalf("/debug/vars missing extra var: %v", vars)
+	}
+	if _, ok := vars["metrics"].(map[string]any)["ops_events_total"]; !ok {
+		t.Fatalf("/debug/vars missing metric snapshot: %v", vars["metrics"])
+	}
+
+	code, body, _ = get("/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces status = %d", code)
+	}
+	var traces []TraceRecord
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces not JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].Name != "lifecycle" {
+		t.Fatalf("/traces = %+v", traces)
+	}
+
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+
+	mu.Lock()
+	healthy = io.ErrUnexpectedEOF
+	mu.Unlock()
+	if code, _, _ = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status = %d, want 503", code)
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	r := goldenRegistry()
+	snap := r.Snapshot()
+	if snap[`test_msgs_total{controller="c1",type="packet_in"}`] != uint64(2) {
+		t.Fatalf("counter snapshot: %v", snap)
+	}
+	hv, ok := snap["test_latency_seconds"].(map[string]any)
+	if !ok || hv["count"] != uint64(5) {
+		t.Fatalf("histogram snapshot: %v", snap["test_latency_seconds"])
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed stage of a trace, with offsets relative
+// to the trace start.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Offset   time.Duration `json:"offset_ns"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// TraceRecord is one completed feature-lifecycle trace.
+type TraceRecord struct {
+	ID       uint64        `json:"id"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []SpanRecord  `json:"spans"`
+}
+
+// Tracer samples span-style traces of the feature pipeline. It records
+// one trace per sampleEvery roots into a bounded ring, so tracing cost
+// on the hot path is one atomic add for unsampled events. A nil *Tracer
+// is valid and records nothing.
+type Tracer struct {
+	every    uint64
+	capacity int
+
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+}
+
+// NewTracer returns a tracer keeping the last capacity traces (default
+// 256), sampling one of every sampleEvery roots. sampleEvery <= 0
+// disables tracing entirely (Start always returns nil).
+func NewTracer(sampleEvery, capacity int) *Tracer {
+	if sampleEvery <= 0 {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{every: uint64(sampleEvery), capacity: capacity}
+}
+
+// Trace is one in-flight sampled trace. All methods are nil-safe, so
+// callers thread the pointer through unconditionally.
+type Trace struct {
+	tracer *Tracer
+	start  time.Time
+	rec    TraceRecord
+}
+
+// Start begins a trace for one pipeline root, or returns nil when the
+// root is not sampled.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	n := t.seq.Add(1)
+	if (n-1)%t.every != 0 {
+		return nil
+	}
+	return &Trace{tracer: t, start: time.Now(), rec: TraceRecord{ID: n, Name: name, Start: time.Now()}}
+}
+
+// Span opens a named stage and returns the function closing it.
+func (tr *Trace) Span(name string) func() {
+	if tr == nil {
+		return noopFunc
+	}
+	begin := time.Now()
+	return func() {
+		tr.rec.Spans = append(tr.rec.Spans, SpanRecord{
+			Name:     name,
+			Offset:   begin.Sub(tr.start),
+			Duration: time.Since(begin),
+		})
+	}
+}
+
+// Finish completes the trace and commits it to the tracer's ring.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.rec.Duration = time.Since(tr.start)
+	t := tr.tracer
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, tr.rec)
+	} else {
+		t.ring[t.next] = tr.rec
+		t.next = (t.next + 1) % t.capacity
+	}
+	t.mu.Unlock()
+}
+
+// Sampled reports how many traces have been committed so far (bounded
+// by ring eviction, this is min(total sampled, capacity) recent ones).
+func (t *Tracer) Sampled() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Snapshot copies out the retained traces, oldest first.
+func (t *Tracer) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

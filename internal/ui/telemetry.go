@@ -1,0 +1,59 @@
+package ui
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// WriteTelemetry renders gathered metric families as an aligned table
+// (athenad's end-of-run summary). Zero-valued series are skipped so the
+// table shows what actually moved; histograms render as count/avg.
+func WriteTelemetry(w io.Writer, families []telemetry.Family) {
+	var rows [][]string
+	for _, fam := range families {
+		for _, m := range fam.Metrics {
+			var value string
+			switch fam.Kind {
+			case telemetry.KindHistogram:
+				if m.Count == 0 {
+					continue
+				}
+				unit := ""
+				if strings.HasSuffix(fam.Name, "_seconds") {
+					unit = "s"
+				}
+				value = fmt.Sprintf("%s obs, avg %.3g%s", comma(int64(m.Count)), m.Sum/float64(m.Count), unit)
+			case telemetry.KindCounter:
+				if m.Value == 0 {
+					continue
+				}
+				value = comma(int64(m.Value))
+			default:
+				if m.Value == 0 {
+					continue
+				}
+				value = fmt.Sprintf("%g", m.Value)
+			}
+			rows = append(rows, []string{fam.Name, labelString(m.Labels), value})
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no telemetry recorded)")
+		return
+	}
+	Table(w, []string{"METRIC", "LABELS", "VALUE"}, rows)
+}
+
+func labelString(labels []telemetry.Label) string {
+	if len(labels) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + l.Value
+	}
+	return strings.Join(parts, ",")
+}

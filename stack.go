@@ -10,6 +10,7 @@ import (
 	"github.com/athena-sdn/athena/internal/core"
 	"github.com/athena-sdn/athena/internal/dataplane"
 	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // StackConfig sizes a complete in-process Athena deployment: clustered
@@ -36,6 +37,13 @@ type StackConfig struct {
 	// DisableAthena boots the controllers without Athena instances
 	// (the Table IX "without" baseline).
 	DisableAthena bool
+	// Telemetry is the registry every component registers its metrics
+	// on; nil creates a fresh registry per stack.
+	Telemetry *telemetry.Registry
+	// OpsAddr, when non-empty, binds the embedded ops HTTP server
+	// (/metrics, /healthz, /debug/vars, /traces, /debug/pprof/) there;
+	// ":0" picks an ephemeral port.
+	OpsAddr string
 }
 
 // Stack is a running deployment.
@@ -46,6 +54,8 @@ type Stack struct {
 	workers     []*compute.Worker
 	instances   []*core.Athena
 	storeAddrs  []string
+	tele        *telemetry.Registry
+	ops         *telemetry.OpsServer
 }
 
 // NewStack boots a deployment per cfg.
@@ -56,7 +66,11 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	if cfg.StoreNodes == 0 {
 		cfg.StoreNodes = 1
 	}
-	s := &Stack{}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Stack{tele: reg}
 	ok := false
 	defer func() {
 		if !ok {
@@ -67,7 +81,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	// Store cluster.
 	if cfg.StoreNodes > 0 {
 		for i := 0; i < cfg.StoreNodes; i++ {
-			n, err := store.NewNode("")
+			n, err := store.NewNode("", store.WithTelemetry(reg))
 			if err != nil {
 				return nil, fmt.Errorf("stack: store node %d: %w", i, err)
 			}
@@ -79,7 +93,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	// Compute cluster.
 	var computeAddrs []string
 	for i := 0; i < cfg.ComputeWorkers; i++ {
-		w, err := compute.NewWorker("")
+		w, err := compute.NewWorker("", compute.WithWorkerTelemetry(reg))
 		if err != nil {
 			return nil, fmt.Errorf("stack: compute worker %d: %w", i, err)
 		}
@@ -93,6 +107,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			ID:             fmt.Sprintf("athena-%d", i),
 			GossipInterval: 50 * time.Millisecond,
 			FailureTimeout: 3 * time.Second,
+			Telemetry:      reg,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("stack: cluster agent %d: %w", i, err)
@@ -120,6 +135,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		ctrlCfg.ID = a.ID()
 		ctrlCfg.ListenAddr = ""
 		ctrlCfg.Cluster = a
+		ctrlCfg.Telemetry = reg
 		c, err := controller.New(ctrlCfg)
 		if err != nil {
 			return nil, fmt.Errorf("stack: controller %d: %w", i, err)
@@ -137,6 +153,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 				ComputeAddrs:         computeAddrs,
 				Southbound:           cfg.Southbound,
 				DistributedThreshold: cfg.DistributedThreshold,
+				Telemetry:            reg,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("stack: athena instance %d: %w", i, err)
@@ -144,12 +161,39 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			s.instances = append(s.instances, inst)
 		}
 	}
+
+	if cfg.OpsAddr != "" {
+		ops, err := telemetry.NewOpsServer(cfg.OpsAddr, telemetry.OpsConfig{
+			Registry: reg,
+			Vars: func() map[string]any {
+				return map[string]any{
+					"controllers":     len(s.controllers),
+					"store_nodes":     len(s.storeNodes),
+					"compute_workers": len(s.workers),
+				}
+			},
+			Traces: func() []telemetry.TraceRecord {
+				var out []telemetry.TraceRecord
+				for _, inst := range s.instances {
+					out = append(out, inst.Southbound().Tracer().Snapshot()...)
+				}
+				return out
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stack: ops server: %w", err)
+		}
+		s.ops = ops
+	}
 	ok = true
 	return s, nil
 }
 
 // Close tears the deployment down.
 func (s *Stack) Close() {
+	if s.ops != nil {
+		_ = s.ops.Close()
+	}
 	for _, inst := range s.instances {
 		inst.Close()
 	}
@@ -165,6 +209,18 @@ func (s *Stack) Close() {
 	for _, n := range s.storeNodes {
 		n.Close()
 	}
+}
+
+// Telemetry returns the registry the whole deployment reports into.
+func (s *Stack) Telemetry() *telemetry.Registry { return s.tele }
+
+// OpsAddr returns the bound ops-server address, or "" when no ops
+// server was configured.
+func (s *Stack) OpsAddr() string {
+	if s.ops == nil {
+		return ""
+	}
+	return s.ops.Addr()
 }
 
 // Controllers returns the controller instances.

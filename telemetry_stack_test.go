@@ -1,0 +1,164 @@
+package athena
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// TestStackTelemetryEndToEnd drives traffic through a 1-controller
+// stack and checks that the shared registry's pipeline metrics agree
+// with the component accessors, and that the ops endpoint serves a
+// scrape spanning every layer.
+func TestStackTelemetryEndToEnd(t *testing.T) {
+	stack, err := NewStack(StackConfig{
+		Controllers:    1,
+		StoreNodes:     1,
+		ComputeWorkers: 1,
+		Southbound: SouthboundConfig{
+			Publish:     PublishBatched,
+			BatchDelay:  10 * time.Millisecond,
+			TraceSample: 8,
+		},
+		OpsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if stack.OpsAddr() == "" {
+		t.Fatal("ops server not bound")
+	}
+
+	net, hosts, err := EnterpriseTopology(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := stack.ConnectNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.WaitForDevices(18, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := NewTrafficGen(3)
+	for i := 0; i < 30; i++ {
+		gen.BenignFlow(hosts).Send()
+	}
+	inst := stack.Instance(0)
+	waitUntil(t, 10*time.Second, "features published", func() bool {
+		stack.PollStats()
+		ok, _ := inst.Southbound().Published()
+		return ok > 0
+	})
+
+	// The generated-features counter and the public accessor read the
+	// same series, so a gather between two accessor reads must land in
+	// the monotonic window they bound.
+	g1 := inst.Southbound().Generator().Generated()
+	fams := stack.Telemetry().Gather()
+	g2 := inst.Southbound().Generator().Generated()
+	if g1 == 0 {
+		t.Fatal("Generator.Generated() = 0 after traffic")
+	}
+	var genTotal, handleCount uint64
+	for _, fam := range fams {
+		switch fam.Name {
+		case "athena_features_generated_total":
+			for _, m := range fam.Metrics {
+				genTotal += uint64(m.Value)
+			}
+		case "athena_southbound_handle_seconds":
+			for _, m := range fam.Metrics {
+				handleCount += m.Count
+			}
+		}
+	}
+	if genTotal < g1 || genTotal > g2 {
+		t.Fatalf("athena_features_generated_total = %d, want within [%d, %d]", genTotal, g1, g2)
+	}
+	if handleCount == 0 {
+		t.Fatal("southbound handle latency histogram recorded no observations")
+	}
+
+	// The ops scrape must expose a wide catalogue: >= 20 athena_*
+	// families spanning the controller, store, compute, and core layers.
+	resp, err := http.Get("http://" + stack.OpsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	families := map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if name, ok := strings.CutPrefix(line, "# TYPE athena_"); ok {
+			families["athena_"+strings.Fields(name)[0]] = true
+		}
+	}
+	if len(families) < 20 {
+		t.Fatalf("scrape exposes %d athena_* families, want >= 20:\n%v", len(families), families)
+	}
+	for _, layer := range []string{"athena_controller_", "athena_store_", "athena_compute_"} {
+		found := false
+		for name := range families {
+			if strings.HasPrefix(name, layer) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("scrape has no %s* family", layer)
+		}
+	}
+	if !families["athena_features_generated_total"] || !families["athena_features_published_total"] {
+		t.Fatalf("scrape missing core pipeline families: %v", families)
+	}
+
+	// With TraceSample 8 the first pipeline root is always sampled, so
+	// /traces must already hold feature-lifecycle records.
+	resp, err = http.Get("http://" + stack.OpsAddr() + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []telemetry.TraceRecord
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatalf("/traces not JSON: %v", err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("/traces empty despite sampling 1 in 8 roots")
+	}
+	if traces[0].Name != "feature_lifecycle" || len(traces[0].Spans) == 0 {
+		t.Fatalf("unexpected trace record: %+v", traces[0])
+	}
+
+	// /healthz reports readiness for the whole stack.
+	resp, err = http.Get("http://" + stack.OpsAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+}
