@@ -1,0 +1,34 @@
+# Athena build/verify/bench entry points. `make verify` is the
+# tier-1 gate referenced from ROADMAP.md.
+
+GO ?= go
+
+.PHONY: build verify test race bench microbench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate: static checks, build, race-enabled tests.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# Appends a labeled feature-pipeline run to BENCH_pipeline.json so
+# before/after numbers accumulate in one artifact. Override LABEL to
+# tag the run, e.g. `make bench LABEL="my change"`.
+LABEL ?= current
+bench:
+	$(GO) run ./cmd/athena-bench -exp pipeline \
+		-pipeline-out BENCH_pipeline.json -pipeline-label "$(LABEL)"
+
+# The per-op Go benchmarks behind the pipeline numbers.
+microbench:
+	$(GO) test -bench 'BenchmarkGeneratorProcess|BenchmarkSouthboundHandle' -run XXX ./internal/core/
+	$(GO) test -bench BenchmarkFlowKey -run XXX ./internal/openflow/

@@ -238,6 +238,11 @@ const (
 // DDoSFeatureNames is the §V-A detector's 10-tuple feature vector.
 var DDoSFeatureNames = core.DDoSFeatureNames
 
+// NewFeature returns a feature record initialized from a name -> value
+// map (convenience constructor; the generator's fast path uses interned
+// field ids internally).
+func NewFeature(values map[string]float64) *Feature { return core.NewFeature(values) }
+
 // NewInstance creates an Athena instance over a controller.
 func NewInstance(cfg InstanceConfig) (*Instance, error) { return core.New(cfg) }
 

@@ -138,8 +138,8 @@ func BenchmarkFig9NAEEventDelivery(b *testing.B) {
 	f := &core.Feature{
 		DPID:   6,
 		Origin: core.OriginFlowStats,
-		Values: map[string]float64{core.FPacketCount: 100, core.FPacketCountVar: 10},
 	}
+	f.SetValues(map[string]float64{core.FPacketCount: 100, core.FPacketCountVar: 10})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if !q.Match(f) {
@@ -171,10 +171,10 @@ func BenchmarkModelScoring(b *testing.B) {
 		b.Fatal(err)
 	}
 	dm := &core.DetectionModel{Features: core.DDoSFeatureNames, Model: model}
-	f := &core.Feature{Values: map[string]float64{
+	f := core.NewFeature(map[string]float64{
 		core.FPairFlow: 1, core.FPairFlowRatio: 0.8, core.FPacketCount: 100,
 		core.FByteCount: 50_000, core.FBytePerPacket: 500,
-	}}
+	})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

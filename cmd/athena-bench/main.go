@@ -37,15 +37,34 @@ func main() {
 		ddosWk  = flag.Int("ddos-workers", 0, "ddos: compute workers (0 = local)")
 		seed    = flag.Int64("seed", 42, "workload seed")
 		metrics = flag.String("metrics-out", "", "write a /metrics exposition dump here after the run (\"-\" for stdout)")
+
+		pipeMsgs    = flag.Int("pipeline-msgs", 200_000, "pipeline: messages per segment")
+		pipeStreams = flag.Int("pipeline-streams", 8, "pipeline: concurrent per-DPID streams")
+		pipeWorkers = flag.Int("pipeline-workers", 0, "pipeline: SB dispatch workers (0 = inline)")
+		pipeOut     = flag.String("pipeline-out", "", "pipeline: append a labeled run to this JSON log (e.g. BENCH_pipeline.json)")
+		pipeLabel   = flag.String("pipeline-label", "current", "pipeline: label for the appended run")
 	)
 	flag.Parse()
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics); err != nil {
+	pcfg := pipelineFlags{
+		Messages: *pipeMsgs, Streams: *pipeStreams, Workers: *pipeWorkers,
+		Out: *pipeOut, Label: *pipeLabel,
+	}
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string) error {
+// pipelineFlags carries the -pipeline-* command-line knobs.
+type pipelineFlags struct {
+	Messages int
+	Streams  int
+	Workers  int
+	Out      string
+	Label    string
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags) error {
 	// One shared registry across all experiments: the dump then reads
 	// like a scrape of a deployment that ran the whole evaluation.
 	var reg *telemetry.Registry
@@ -55,7 +74,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline"} {
 			todo[e] = true
 		}
 	} else {
@@ -147,6 +166,24 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 			}
 			fmt.Printf("  rows %-8d: local %-12v cluster %-12v -> %s\n",
 				p.Rows, p.LocalTime.Round(time.Microsecond), p.ClusterTime.Round(time.Microsecond), winner)
+		}
+		fmt.Println()
+	}
+	if todo["pipeline"] {
+		r, err := bench.RunPipeline(bench.PipelineConfig{
+			Messages:          pcfg.Messages,
+			Streams:           pcfg.Streams,
+			SouthboundWorkers: pcfg.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WritePipelineReport(os.Stdout, r)
+		if pcfg.Out != "" {
+			if err := bench.AppendPipelineJSON(pcfg.Out, pcfg.Label, r); err != nil {
+				return fmt.Errorf("pipeline log: %w", err)
+			}
+			fmt.Printf("pipeline run %q appended to %s\n", pcfg.Label, pcfg.Out)
 		}
 		fmt.Println()
 	}

@@ -56,9 +56,7 @@ func ExampleMustQuery() {
 	q := athena.MustQuery("TP_DST==80 && BYTE_COUNT>1000").
 		WithSort(athena.FByteCount, true).
 		WithLimit(10)
-	f := &athena.Feature{
-		Values: map[string]float64{"tp_dst": 80, "byte_count": 5000},
-	}
+	f := athena.NewFeature(map[string]float64{"tp_dst": 80, "byte_count": 5000})
 	fmt.Println(q.Match(f))
 	// Output: true
 }

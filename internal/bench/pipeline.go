@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// PipelineConfig parameterizes the feature-generation fast-path
+// measurement (the "runs as fast as the hardware allows" evidence for
+// the sharded generator work).
+type PipelineConfig struct {
+	// Messages per measured segment (default 200_000 for PacketIn
+	// segments, scaled down for multi-entry segments).
+	Messages int
+	// Streams is the number of concurrent per-DPID generators offered
+	// in the contended segment (default 8).
+	Streams int
+	// FlowStatsEntries is the multipart-reply batch size (default 16).
+	FlowStatsEntries int
+	// SouthboundWorkers configures the SB dispatch pool for the
+	// southbound segment (0 = inline handling).
+	SouthboundWorkers int
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Messages <= 0 {
+		c.Messages = 200_000
+	}
+	if c.Streams <= 0 {
+		c.Streams = 8
+	}
+	if c.FlowStatsEntries <= 0 {
+		c.FlowStatsEntries = 16
+	}
+	return c
+}
+
+// PipelineResult is one measured run of the feature-generation fast
+// path. Rates are control messages per second through Generator.Process
+// (or Southbound handling for the end-to-end segment).
+type PipelineResult struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+
+	Config PipelineConfig `json:"config"`
+
+	// PacketInSerial is single-stream PacketIn throughput (msgs/s).
+	PacketInSerial float64 `json:"packetin_serial_msgs_per_sec"`
+	// PacketInParallel is aggregate throughput with Streams concurrent
+	// per-DPID goroutines driving one shared generator (msgs/s).
+	PacketInParallel float64 `json:"packetin_parallel_msgs_per_sec"`
+	// PacketInAllocsPerOp is heap allocations per PacketIn Process call.
+	PacketInAllocsPerOp float64 `json:"packetin_allocs_per_op"`
+	// PacketInBytesPerOp is heap bytes per PacketIn Process call.
+	PacketInBytesPerOp float64 `json:"packetin_bytes_per_op"`
+	// FlowStatsSerial is single-stream multi-entry FlowStats throughput
+	// (msgs/s; each message carries Config.FlowStatsEntries entries).
+	FlowStatsSerial float64 `json:"flowstats_serial_msgs_per_sec"`
+	// FlowStatsParallel is the contended FlowStats aggregate (msgs/s).
+	FlowStatsParallel float64 `json:"flowstats_parallel_msgs_per_sec"`
+	// SouthboundMsgsPerSec is end-to-end SB handling throughput
+	// (generation + attribution + fan-out, persistence off).
+	SouthboundMsgsPerSec float64 `json:"southbound_msgs_per_sec"`
+}
+
+// pipeProxy is the minimal controller stand-in the southbound segment
+// hooks; it lets the harness drive handle() directly.
+type pipeProxy struct {
+	mu        sync.Mutex
+	listeners []controller.MessageListener
+}
+
+func (p *pipeProxy) ID() string { return "pipe" }
+func (p *pipeProxy) AddMessageListener(fn controller.MessageListener) {
+	p.mu.Lock()
+	p.listeners = append(p.listeners, fn)
+	p.mu.Unlock()
+}
+func (p *pipeProxy) inject(msg controller.ControlMessage) {
+	p.mu.Lock()
+	ls := p.listeners
+	p.mu.Unlock()
+	for _, fn := range ls {
+		fn(msg)
+	}
+}
+func (p *pipeProxy) InstallFlow(string, uint64, openflow.FlowMod) (uint64, error) { return 0, nil }
+func (p *pipeProxy) SendPacketOut(uint64, *openflow.PacketOut) error              { return nil }
+func (p *pipeProxy) RemoveFlows(uint64, openflow.Match, uint16, bool) error       { return nil }
+func (p *pipeProxy) Devices() []uint64                                            { return nil }
+func (p *pipeProxy) Hosts() []controller.HostInfo                                 { return nil }
+func (p *pipeProxy) Links() []controller.LinkInfo                                 { return nil }
+func (p *pipeProxy) AppOfCookie(uint64) (string, bool)                            { return "", false }
+func (p *pipeProxy) PollStats()                                                   {}
+
+var _ core.Proxy = (*pipeProxy)(nil)
+
+// packetInMsg synthesizes one IPv4 PacketIn on dpid; seq varies the
+// 5-tuple so the generator tracks a realistic working set of flows.
+func packetInMsg(dpid uint64, seq int, now time.Time) controller.ControlMessage {
+	const hosts = 4096
+	src := seq % hosts
+	dst := (src + 1 + seq%(hosts-1)) % hosts
+	return controller.ControlMessage{
+		Time:         now,
+		ControllerID: "pipe",
+		DPID:         dpid,
+		Msg: &openflow.PacketIn{
+			TotalLen: 1400,
+			Reason:   openflow.ReasonNoMatch,
+			Fields: openflow.Fields{
+				EthType: openflow.EthTypeIPv4,
+				IPProto: openflow.ProtoTCP,
+				IPSrc:   openflow.IPv4(10, 10, byte(src/250), byte(src%250+1)),
+				IPDst:   openflow.IPv4(10, 20, byte(dst/250), byte(dst%250+1)),
+				TPSrc:   uint16(seq),
+				TPDst:   80,
+			},
+		},
+	}
+}
+
+// flowStatsPipeMsg synthesizes one multi-entry flow-stats reply.
+func flowStatsPipeMsg(dpid uint64, seq, entries int, now time.Time) controller.ControlMessage {
+	flows := make([]openflow.FlowStats, entries)
+	for i := range flows {
+		flows[i] = openflow.FlowStats{
+			Match: openflow.ExactMatch(openflow.Fields{
+				EthType: openflow.EthTypeIPv4,
+				IPProto: openflow.ProtoTCP,
+				IPSrc:   openflow.IPv4(10, 10, byte(i), byte(seq%200+1)),
+				IPDst:   openflow.IPv4(10, 20, byte(i), 1),
+				TPSrc:   uint16(seq + i),
+				TPDst:   443,
+			}),
+			PacketCount: uint64(100 + seq),
+			ByteCount:   uint64(5000 + seq),
+			DurationSec: 10,
+			Priority:    100,
+			Cookie:      uint64(i + 1),
+		}
+	}
+	return controller.ControlMessage{
+		Time:         now,
+		ControllerID: "pipe",
+		DPID:         dpid,
+		Marked:       true,
+		Msg:          &openflow.MultipartReply{StatsType: openflow.StatsFlow, Flows: flows},
+	}
+}
+
+// RunPipeline measures the feature-generation fast path.
+func RunPipeline(cfg PipelineConfig) (PipelineResult, error) {
+	cfg = cfg.withDefaults()
+	res := PipelineResult{
+		Label:     "current",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config:    cfg,
+	}
+	now := time.Now()
+
+	// Segment 1: serial PacketIn throughput.
+	{
+		gen := core.NewGenerator(core.GeneratorConfig{})
+		msgs := prebuildPacketIns(1, cfg.Messages, now)
+		start := time.Now()
+		for i := range msgs {
+			gen.Process(msgs[i])
+		}
+		res.PacketInSerial = float64(len(msgs)) / time.Since(start).Seconds()
+	}
+
+	// Segment 2: contended PacketIn throughput, Streams per-DPID goroutines.
+	{
+		gen := core.NewGenerator(core.GeneratorConfig{})
+		per := cfg.Messages / cfg.Streams
+		streams := make([][]controller.ControlMessage, cfg.Streams)
+		for s := range streams {
+			streams[s] = prebuildPacketIns(uint64(s+1), per, now)
+		}
+		var wg sync.WaitGroup
+		var ready, total atomic.Int64
+		gate := make(chan struct{})
+		for s := range streams {
+			wg.Add(1)
+			go func(msgs []controller.ControlMessage) {
+				defer wg.Done()
+				ready.Add(1)
+				<-gate
+				for i := range msgs {
+					gen.Process(msgs[i])
+				}
+				total.Add(int64(len(msgs)))
+			}(streams[s])
+		}
+		for ready.Load() != int64(cfg.Streams) {
+			time.Sleep(time.Millisecond)
+		}
+		start := time.Now()
+		close(gate)
+		wg.Wait()
+		res.PacketInParallel = float64(total.Load()) / time.Since(start).Seconds()
+	}
+
+	// Segment 3: allocations per PacketIn op (single goroutine, steady
+	// state: flows already tracked).
+	{
+		gen := core.NewGenerator(core.GeneratorConfig{})
+		const n = 50_000
+		msgs := prebuildPacketIns(1, n, now)
+		for i := range msgs {
+			gen.Process(msgs[i]) // warm flow/variation state
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := range msgs {
+			gen.Process(msgs[i])
+		}
+		runtime.ReadMemStats(&after)
+		res.PacketInAllocsPerOp = float64(after.Mallocs-before.Mallocs) / n
+		res.PacketInBytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / n
+	}
+
+	// Segment 4: serial multi-entry FlowStats.
+	{
+		gen := core.NewGenerator(core.GeneratorConfig{})
+		n := cfg.Messages / cfg.FlowStatsEntries
+		if n < 1000 {
+			n = 1000
+		}
+		msgs := make([]controller.ControlMessage, n)
+		for i := range msgs {
+			msgs[i] = flowStatsPipeMsg(1, i, cfg.FlowStatsEntries, now)
+		}
+		start := time.Now()
+		for i := range msgs {
+			gen.Process(msgs[i])
+		}
+		res.FlowStatsSerial = float64(n) / time.Since(start).Seconds()
+	}
+
+	// Segment 5: contended multi-entry FlowStats.
+	{
+		gen := core.NewGenerator(core.GeneratorConfig{})
+		per := cfg.Messages / cfg.FlowStatsEntries / cfg.Streams
+		if per < 500 {
+			per = 500
+		}
+		streams := make([][]controller.ControlMessage, cfg.Streams)
+		for s := range streams {
+			msgs := make([]controller.ControlMessage, per)
+			for i := range msgs {
+				msgs[i] = flowStatsPipeMsg(uint64(s+1), i, cfg.FlowStatsEntries, now)
+			}
+			streams[s] = msgs
+		}
+		var wg sync.WaitGroup
+		var ready, total atomic.Int64
+		gate := make(chan struct{})
+		for s := range streams {
+			wg.Add(1)
+			go func(msgs []controller.ControlMessage) {
+				defer wg.Done()
+				ready.Add(1)
+				<-gate
+				for i := range msgs {
+					gen.Process(msgs[i])
+				}
+				total.Add(int64(len(msgs)))
+			}(streams[s])
+		}
+		for ready.Load() != int64(cfg.Streams) {
+			time.Sleep(time.Millisecond)
+		}
+		start := time.Now()
+		close(gate)
+		wg.Wait()
+		res.FlowStatsParallel = float64(total.Load()) / time.Since(start).Seconds()
+	}
+
+	// Segment 6: end-to-end southbound handling (persistence off), with
+	// one listener so fan-out cost is represented.
+	{
+		proxy := &pipeProxy{}
+		sbCfg := core.SouthboundConfig{Publish: core.PublishOff}
+		applyPipelineSouthbound(&sbCfg, cfg)
+		inst, err := core.New(core.Config{Proxy: proxy, Southbound: sbCfg})
+		if err != nil {
+			return res, fmt.Errorf("pipeline southbound: %w", err)
+		}
+		defer inst.Close()
+		var seen atomic.Int64
+		inst.Southbound().AddFeatureListener(func(*core.Feature) { seen.Add(1) })
+		n := cfg.Messages / 2
+		streams := make([][]controller.ControlMessage, cfg.Streams)
+		for s := range streams {
+			streams[s] = prebuildPacketIns(uint64(s+1), n/cfg.Streams, now)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := range streams {
+			wg.Add(1)
+			go func(msgs []controller.ControlMessage) {
+				defer wg.Done()
+				for i := range msgs {
+					proxy.inject(msgs[i])
+				}
+			}(streams[s])
+		}
+		wg.Wait()
+		drainPipelineSouthbound(inst)
+		res.SouthboundMsgsPerSec = float64(cfg.Streams*(n/cfg.Streams)) / time.Since(start).Seconds()
+		if seen.Load() == 0 {
+			return res, fmt.Errorf("pipeline southbound: no features dispatched")
+		}
+	}
+
+	return res, nil
+}
+
+func prebuildPacketIns(dpid uint64, n int, now time.Time) []controller.ControlMessage {
+	msgs := make([]controller.ControlMessage, n)
+	for i := range msgs {
+		msgs[i] = packetInMsg(dpid, i, now)
+	}
+	return msgs
+}
+
+// pipelineRuns is the on-disk shape of BENCH_pipeline.json: an append-
+// only log of labeled runs, so before/after evidence lives in one file.
+type pipelineRuns struct {
+	Runs []PipelineResult `json:"runs"`
+}
+
+// AppendPipelineJSON appends one labeled run to path (creating it when
+// absent) and pretty-prints the whole log.
+func AppendPipelineJSON(path, label string, r PipelineResult) error {
+	r.Label = label
+	var log pipelineRuns
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &log)
+	}
+	log.Runs = append(log.Runs, r)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WritePipelineReport prints one run in the human bench format.
+func WritePipelineReport(w io.Writer, r PipelineResult) {
+	fmt.Fprintf(w, "PIPELINE — feature-generation fast path (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.MaxProcs)
+	fmt.Fprintf(w, "  packet_in   serial    %12.0f msgs/s\n", r.PacketInSerial)
+	fmt.Fprintf(w, "  packet_in   %d-stream  %12.0f msgs/s\n", r.Config.Streams, r.PacketInParallel)
+	fmt.Fprintf(w, "  packet_in   allocs    %12.1f allocs/op  %.0f B/op\n", r.PacketInAllocsPerOp, r.PacketInBytesPerOp)
+	fmt.Fprintf(w, "  flow_stats  serial    %12.0f msgs/s (%d entries/msg)\n", r.FlowStatsSerial, r.Config.FlowStatsEntries)
+	fmt.Fprintf(w, "  flow_stats  %d-stream  %12.0f msgs/s\n", r.Config.Streams, r.FlowStatsParallel)
+	fmt.Fprintf(w, "  southbound  e2e       %12.0f msgs/s\n", r.SouthboundMsgsPerSec)
+}

@@ -1,0 +1,19 @@
+package bench
+
+import "github.com/athena-sdn/athena/internal/core"
+
+// applyPipelineSouthbound maps PipelineConfig knobs onto the SB config.
+func applyPipelineSouthbound(sbCfg *core.SouthboundConfig, cfg PipelineConfig) {
+	sbCfg.Workers = cfg.SouthboundWorkers
+	if cfg.SouthboundWorkers > 0 {
+		// Deep queues: the bench injects bursts far faster than a real
+		// control channel and measures throughput, not drop behavior.
+		sbCfg.QueueDepth = 4096
+	}
+}
+
+// drainPipelineSouthbound waits for asynchronously dispatched messages
+// to finish before the clock stops.
+func drainPipelineSouthbound(inst *core.Athena) {
+	inst.Southbound().Drain()
+}

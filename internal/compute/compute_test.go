@@ -3,6 +3,7 @@ package compute
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -251,6 +252,13 @@ func TestUnknownOp(t *testing.T) {
 // simulated parallel time) must not grow; over a compute-heavy
 // validation it should shrink substantially.
 func TestMakespanShrinksWithWorkers(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// Makespan is the max of measured per-task wall times; with a
+		// single CPU the 4 workers time-slice one core, each task's
+		// measured time inflates ~4x, and the expected shrink cannot
+		// materialize no matter how correct the scheduler is.
+		t.Skip("parallel speedup unmeasurable with GOMAXPROCS=1")
+	}
 	ds := blobs(30_000, 10, 23)
 	model, err := ml.Train(ml.AlgoKMeans, ds, ml.Params{K: 8, Iterations: 5, Seed: 1})
 	if err != nil {

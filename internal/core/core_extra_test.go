@@ -136,8 +136,8 @@ func TestFeatureRecordInterface(t *testing.T) {
 		Origin:       OriginPortStats,
 		AppID:        "appX",
 		Time:         time.Unix(5, 0),
-		Values:       map[string]float64{"x": 1.5},
 	}
+	f.SetName("x", 1.5)
 	numTests := map[string]float64{"x": 1.5, "dpid": 12, "port": 3, "time": float64(time.Unix(5, 0).UnixNano())}
 	for name, want := range numTests {
 		if got, ok := f.NumField(name); !ok || got != want {
@@ -169,10 +169,10 @@ func TestGeneratorDisableVariationAndStateful(t *testing.T) {
 	fs := openflow.FlowStats{Match: openflow.ExactMatch(sampleFields(1, 2, 1, 80)), PacketCount: 5, DurationSec: 1}
 	feats := g.Process(flowStatsMsg(1, time.Now(), fs))
 	f := feats[0]
-	if _, ok := f.Values[FPacketCountVar]; ok {
+	if _, ok := f.Lookup(FPacketCountVar); ok {
 		t.Error("variation generated despite DisableVariation")
 	}
-	if _, ok := f.Values[FPairFlowRatio]; ok {
+	if _, ok := f.Lookup(FPairFlowRatio); ok {
 		t.Error("stateful generated despite DisableStateful")
 	}
 	if f.Value(FPacketCount) != 5 {

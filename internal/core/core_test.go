@@ -205,7 +205,7 @@ func TestGeneratorFlowRemovedClearsState(t *testing.T) {
 		t.Fatalf("flow removed features = %+v", feats)
 	}
 	if feats[0].Value(FByteCount) != 1200 || feats[0].Value("removed_reason") != 0 {
-		t.Fatalf("values = %+v", feats[0].Values)
+		t.Fatalf("values = %+v", feats[0].Values())
 	}
 	prevN, flowN = g.StateSize()
 	if prevN != 0 || flowN != 0 {
@@ -578,8 +578,8 @@ func TestPreprocessorBuildDataset(t *testing.T) {
 	p := &Preprocessor{LabelField: LabelField}
 	p.AddFeatures(FPacketCount, FByteCount)
 	feats := []*Feature{
-		{Values: map[string]float64{FPacketCount: 1, FByteCount: 10, LabelField: 0}},
-		{Values: map[string]float64{FPacketCount: 2, FByteCount: 20, LabelField: 1}},
+		NewFeature(map[string]float64{FPacketCount: 1, FByteCount: 10, LabelField: 0}),
+		NewFeature(map[string]float64{FPacketCount: 2, FByteCount: 20, LabelField: 1}),
 	}
 	ds, err := p.BuildDataset(feats)
 	if err != nil {
@@ -646,8 +646,8 @@ func TestFeatureDocumentRoundTrip(t *testing.T) {
 		Time:         time.Unix(0, 12345),
 		Origin:       OriginFlowStats,
 		AppID:        "lb",
-		Values:       map[string]float64{FPacketCount: 7},
 	}
+	f.SetName(FPacketCount, 7)
 	back := FeatureFromDocument(f.Document())
 	if back.ControllerID != "c1" || back.DPID != 6 || back.FlowKey != f.FlowKey ||
 		back.Origin != OriginFlowStats || back.AppID != "lb" ||
@@ -655,8 +655,8 @@ func TestFeatureDocumentRoundTrip(t *testing.T) {
 		t.Fatalf("round trip = %+v", back)
 	}
 	// Port-scoped record carries the port tag.
-	pf := &Feature{DPID: 2, Port: 9, Origin: OriginPortStats, Time: time.Unix(1, 0),
-		Values: map[string]float64{FPortRxBytes: 1}}
+	pf := &Feature{DPID: 2, Port: 9, Origin: OriginPortStats, Time: time.Unix(1, 0)}
+	pf.SetName(FPortRxBytes, 1)
 	pback := FeatureFromDocument(pf.Document())
 	if pback.Port != 9 {
 		t.Fatalf("port round trip = %+v", pback)

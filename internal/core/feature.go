@@ -10,11 +10,26 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/store"
 )
+
+// dpidStrings caches the decimal form of datapath ids for document
+// tags (bounded by the number of switches ever seen).
+var dpidStrings sync.Map // uint64 -> string
+
+func dpidString(dpid uint64) string {
+	if s, ok := dpidStrings.Load(dpid); ok {
+		return s.(string)
+	}
+	s := strconv.FormatUint(dpid, 10)
+	dpidStrings.Store(dpid, s)
+	return s
+}
 
 // Feature origins: which control-plane event produced the record.
 const (
@@ -60,6 +75,9 @@ const (
 	FPairFlowRatio = "pair_flow_ratio"
 	FFlowCount     = "flow_count"
 
+	// FRemovedReason carries the FlowRemoved reason code.
+	FRemovedReason = "removed_reason"
+
 	// Variation suffix.
 	VarSuffix = "_var"
 )
@@ -74,6 +92,12 @@ const (
 
 // Feature is one Athena feature record (Fig. 4): index fields that
 // locate its origin, meta data, and the numeric feature fields.
+//
+// Numeric fields live in a dense vector indexed by interned FeatureID
+// (NaN marks an absent field), replacing the historical per-record
+// map[string]float64 — no string hashing on the generation fast path
+// and a single backing allocation per record. Use Set/ValueID with
+// interned ids on hot paths and Value/Lookup/Values elsewhere.
 type Feature struct {
 	// Index fields.
 	ControllerID string
@@ -84,17 +108,136 @@ type Feature struct {
 	Time   time.Time
 	Origin string
 	AppID  string // owning application, when attributable
-	// Feature fields.
-	Values map[string]float64
+	// Cookie is the flow rule that produced a flow-scoped record (zero
+	// when unknown); the SB element resolves it to AppID.
+	Cookie uint64
+
+	// vals is dense by FeatureID; NaN means absent. Field values are
+	// feature measurements (counts, ratios, durations), for which NaN
+	// is never a meaningful value.
+	vals []float64
+}
+
+// NewFeature returns a feature whose numeric fields are initialized
+// from a name -> value map (the convenience constructor for tests and
+// synthetic workloads; hot paths use Set with interned ids).
+func NewFeature(values map[string]float64) *Feature {
+	f := &Feature{}
+	f.SetValues(values)
+	return f
+}
+
+// ensure grows the dense vector to cover id.
+func (f *Feature) ensure(id FeatureID) {
+	if int(id) < len(f.vals) {
+		return
+	}
+	size := featureCatalogSize()
+	if size <= int(id) {
+		size = int(id) + 1
+	}
+	grown := make([]float64, size)
+	copy(grown, f.vals)
+	for i := len(f.vals); i < size; i++ {
+		grown[i] = math.NaN()
+	}
+	f.vals = grown
+}
+
+// Set stores a numeric field by interned id.
+func (f *Feature) Set(id FeatureID, v float64) {
+	f.ensure(id)
+	f.vals[id] = v
+}
+
+// SetName stores a numeric field by name, interning it if needed.
+func (f *Feature) SetName(name string, v float64) {
+	f.Set(InternFeature(name), v)
+}
+
+// SetValues stores every entry of a name -> value map.
+func (f *Feature) SetValues(values map[string]float64) {
+	for name, v := range values {
+		f.SetName(name, v)
+	}
+}
+
+// ValueID returns a field by interned id (zero when absent).
+func (f *Feature) ValueID(id FeatureID) float64 {
+	if int(id) >= len(f.vals) {
+		return 0
+	}
+	if v := f.vals[id]; !math.IsNaN(v) {
+		return v
+	}
+	return 0
+}
+
+// LookupID returns a field by interned id and whether it is present.
+func (f *Feature) LookupID(id FeatureID) (float64, bool) {
+	if int(id) >= len(f.vals) {
+		return 0, false
+	}
+	v := f.vals[id]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
 }
 
 // Value returns a feature field (zero when absent).
-func (f *Feature) Value(name string) float64 { return f.Values[name] }
+func (f *Feature) Value(name string) float64 {
+	id, ok := LookupFeatureID(name)
+	if !ok {
+		return 0
+	}
+	return f.ValueID(id)
+}
+
+// Lookup returns a feature field and whether it is present.
+func (f *Feature) Lookup(name string) (float64, bool) {
+	id, ok := LookupFeatureID(name)
+	if !ok {
+		return 0, false
+	}
+	return f.LookupID(id)
+}
+
+// NumFields reports how many numeric fields are set.
+func (f *Feature) NumFields() int {
+	n := 0
+	for _, v := range f.vals {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls fn for every set field. Iteration is in interned-id
+// order (stable for one process lifetime).
+func (f *Feature) Range(fn func(name string, v float64)) {
+	names := *featureTable.names.Load()
+	for id, v := range f.vals {
+		if !math.IsNaN(v) {
+			fn(names[id], v)
+		}
+	}
+}
+
+// Values materializes the numeric fields as a map — the compatibility
+// view for query handlers, ML preprocessing, and tests. Hot paths
+// should use ValueID/Range instead; every call allocates a fresh map.
+func (f *Feature) Values() map[string]float64 {
+	out := make(map[string]float64, len(f.vals))
+	f.Range(func(name string, v float64) { out[name] = v })
+	return out
+}
 
 // NumField implements query.Record over the feature fields, exposing a
 // few index fields under numeric names as well.
 func (f *Feature) NumField(name string) (float64, bool) {
-	if v, ok := f.Values[name]; ok {
+	if v, ok := f.Lookup(name); ok {
 		return v, true
 	}
 	switch name {
@@ -142,11 +285,10 @@ var TagFields = map[string]bool{
 
 // Document converts the feature to its stored form.
 func (f *Feature) Document() store.Document {
-	tags := map[string]string{
-		"controller": f.ControllerID,
-		"dpid":       strconv.FormatUint(f.DPID, 10),
-		"origin":     f.Origin,
-	}
+	tags := make(map[string]string, 6)
+	tags["controller"] = f.ControllerID
+	tags["dpid"] = dpidString(f.DPID)
+	tags["origin"] = f.Origin
 	if f.FlowKey != "" {
 		tags["flow"] = f.FlowKey
 	}
@@ -156,10 +298,12 @@ func (f *Feature) Document() store.Document {
 	if f.AppID != "" {
 		tags["app"] = f.AppID
 	}
+	fields := make(map[string]float64, len(f.vals))
+	f.Range(func(name string, v float64) { fields[name] = v })
 	return store.Document{
 		Time:   f.Time.UnixNano(),
 		Tags:   tags,
-		Fields: f.Values,
+		Fields: fields,
 	}
 }
 
@@ -171,8 +315,8 @@ func FeatureFromDocument(d store.Document) *Feature {
 		AppID:        d.Tag("app"),
 		FlowKey:      d.Tag("flow"),
 		Time:         time.Unix(0, d.Time),
-		Values:       d.Fields,
 	}
+	f.SetValues(d.Fields)
 	if v, err := strconv.ParseUint(d.Tag("dpid"), 10, 64); err == nil {
 		f.DPID = v
 	}
@@ -184,5 +328,5 @@ func FeatureFromDocument(d store.Document) *Feature {
 
 func (f *Feature) String() string {
 	return fmt.Sprintf("feature(%s dpid=%d flow=%q port=%d fields=%d)",
-		f.Origin, f.DPID, f.FlowKey, f.Port, len(f.Values))
+		f.Origin, f.DPID, f.FlowKey, f.Port, f.NumFields())
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FeatureID is the interned index of a feature-field name. Feature
+// records store their numeric fields in a dense vector indexed by
+// FeatureID instead of a per-record map, so the generator's hot path
+// does no string hashing and one slice allocation per record.
+//
+// The table only grows: names are interned on first use and keep their
+// id for the process lifetime. Field names are schema-bounded (the
+// Table I catalog plus a handful of labels), so the table stays small.
+type FeatureID uint16
+
+// featTab is the global name <-> id intern table. Reads on the hot
+// path go through an atomically swapped snapshot; the mutex only
+// serializes writers (interning a brand-new name, which is rare).
+type featTab struct {
+	mu     sync.Mutex
+	byName atomic.Pointer[map[string]FeatureID]
+	names  atomic.Pointer[[]string]
+}
+
+// featureTable is initialized through a plain var initializer (not
+// init()) so the interned-id vars below can depend on it safely.
+var featureTable = func() *featTab {
+	t := &featTab{}
+	empty := make(map[string]FeatureID)
+	var names []string
+	t.byName.Store(&empty)
+	t.names.Store(&names)
+	return t
+}()
+
+// InternFeature returns the stable id for a feature-field name,
+// creating one on first use.
+func InternFeature(name string) FeatureID {
+	if id, ok := (*featureTable.byName.Load())[name]; ok {
+		return id
+	}
+	featureTable.mu.Lock()
+	defer featureTable.mu.Unlock()
+	old := *featureTable.byName.Load()
+	if id, ok := old[name]; ok {
+		return id
+	}
+	oldNames := *featureTable.names.Load()
+	id := FeatureID(len(oldNames))
+	next := make(map[string]FeatureID, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = id
+	names := make([]string, len(oldNames)+1)
+	copy(names, oldNames)
+	names[id] = name
+	featureTable.byName.Store(&next)
+	featureTable.names.Store(&names)
+	return id
+}
+
+// LookupFeatureID resolves a name without interning it.
+func LookupFeatureID(name string) (FeatureID, bool) {
+	id, ok := (*featureTable.byName.Load())[name]
+	return id, ok
+}
+
+// FeatureNameOf returns the name behind an interned id ("" when the id
+// was never issued).
+func FeatureNameOf(id FeatureID) string {
+	names := *featureTable.names.Load()
+	if int(id) >= len(names) {
+		return ""
+	}
+	return names[id]
+}
+
+// featureCatalogSize reports how many names are interned; fresh dense
+// vectors are sized to it so in-catalog writes never reallocate.
+func featureCatalogSize() int {
+	return len(*featureTable.names.Load())
+}
+
+// Interned ids of the hot-path catalog (resolved once at package init;
+// the generator indexes with these so it never hashes a field name).
+var (
+	idPacketCount       = InternFeature(FPacketCount)
+	idByteCount         = InternFeature(FByteCount)
+	idDurationSec       = InternFeature(FDurationSec)
+	idPriority          = InternFeature(FPriority)
+	idIdleTimeout       = InternFeature(FIdleTimeout)
+	idHardTimeout       = InternFeature(FHardTimeout)
+	idPortRxPackets     = InternFeature(FPortRxPackets)
+	idPortTxPackets     = InternFeature(FPortTxPackets)
+	idPortRxBytes       = InternFeature(FPortRxBytes)
+	idPortTxBytes       = InternFeature(FPortTxBytes)
+	idPortRxDropped     = InternFeature(FPortRxDropped)
+	idPortTxDropped     = InternFeature(FPortTxDropped)
+	idPacketInLen       = InternFeature(FPacketInLen)
+	idBytePerPacket     = InternFeature(FBytePerPacket)
+	idPacketPerDuration = InternFeature(FPacketPerDuration)
+	idBytePerDuration   = InternFeature(FBytePerDuration)
+	idFlowUtilization   = InternFeature(FFlowUtilization)
+	idPairFlow          = InternFeature(FPairFlow)
+	idPairFlowRatio     = InternFeature(FPairFlowRatio)
+	idFlowCount         = InternFeature(FFlowCount)
+	idPacketCountVar    = InternFeature(FPacketCountVar)
+	idByteCountVar      = InternFeature(FByteCountVar)
+	idPortRxBytesVar    = InternFeature(FPortRxBytesVar)
+	idPortTxBytesVar    = InternFeature(FPortTxBytesVar)
+	idPortRxPacketsVar  = InternFeature(FPortRxPackets + VarSuffix)
+	idPortTxPacketsVar  = InternFeature(FPortTxPackets + VarSuffix)
+	idRemovedReason     = InternFeature(FRemovedReason)
+	idLabel             = InternFeature(LabelField)
+)

@@ -1,8 +1,10 @@
 package core
 
 import (
-	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/controller"
@@ -10,45 +12,81 @@ import (
 	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
-// FlowKeyOf canonicalizes a flow identity from match fields.
-func FlowKeyOf(f openflow.Fields) string {
-	return fmt.Sprintf("%d/%s:%d>%s:%d", f.IPProto,
-		openflow.IPString(f.IPSrc), f.TPSrc,
-		openflow.IPString(f.IPDst), f.TPDst)
-}
+// FlowKeyOf canonicalizes a flow identity from match fields as the
+// packed binary key the generator's hash tables use.
+func FlowKeyOf(f openflow.Fields) openflow.FlowKey { return openflow.KeyOf(f) }
 
-// reverseKey is the canonical identity of the reverse direction.
-func reverseKey(f openflow.Fields) string {
-	return fmt.Sprintf("%d/%s:%d>%s:%d", f.IPProto,
-		openflow.IPString(f.IPDst), f.TPDst,
-		openflow.IPString(f.IPSrc), f.TPSrc)
-}
+// FlowKeyString renders the canonical string form of a flow identity
+// ("proto/src:sport>dst:dport", the historical format).
+func FlowKeyString(f openflow.Fields) string { return openflow.KeyOf(f).String() }
 
-// prevEntry is one remembered observation for variation features.
+// prevEntry is one remembered observation for variation features. The
+// values are stored positionally, in the order of the var-pair table
+// of its scope kind, so no per-entry map is needed.
 type prevEntry struct {
-	values   map[string]float64
+	vals     []float64
 	lastSeen time.Time
 }
 
-// flowState tracks one active flow on one switch.
+// flowState tracks one active flow on one switch. keyStr interns the
+// canonical string form so it is rendered once per flow, not once per
+// observation.
 type flowState struct {
-	reverse  string
+	reverse  openflow.FlowKey
+	keyStr   string
 	lastSeen time.Time
 }
 
 // switchFlows tracks one switch's active flows with an incrementally
 // maintained pair count so stateful features stay O(1) per event.
 type switchFlows struct {
-	flows map[string]*flowState
+	flows map[openflow.FlowKey]*flowState
 	// pairs counts flows whose reverse direction is also active.
 	pairs int
 }
+
+// flowScopeKey / portScopeKey locate variation state without building
+// formatted scope strings.
+type flowScopeKey struct {
+	dpid uint64
+	key  openflow.FlowKey
+}
+
+type portScopeKey struct {
+	dpid uint64
+	port uint32
+}
+
+// varPair maps a source field to its "_var" output field.
+type varPair struct {
+	src, dst FeatureID
+}
+
+// Variation tables per scope kind (fixed order; prevEntry.vals is
+// positional against these).
+var (
+	flowVarPairs = []varPair{
+		{idPacketCount, idPacketCountVar},
+		{idByteCount, idByteCountVar},
+	}
+	portVarPairs = []varPair{
+		{idPortRxBytes, idPortRxBytesVar},
+		{idPortTxBytes, idPortTxBytesVar},
+		{idPortRxPackets, idPortRxPacketsVar},
+		{idPortTxPackets, idPortTxPacketsVar},
+	}
+)
 
 // GeneratorConfig tunes the Feature Generator.
 type GeneratorConfig struct {
 	// GCAge bounds how long inactive variation/state entries are kept
 	// (the generator's garbage collector, §III-A 1B). Zero selects 5m.
 	GCAge time.Duration
+	// Shards is the lock-stripe count of the generator's state tables.
+	// Stats replies from switches on different shards are processed
+	// without contending. Zero selects max(8, 2*GOMAXPROCS) rounded up
+	// to a power of two; 1 degenerates to the old single-mutex layout.
+	Shards int
 	// DisableVariation turns off "_var" feature computation.
 	DisableVariation bool
 	// DisableStateful turns off pair-flow tracking.
@@ -60,21 +98,38 @@ type GeneratorConfig struct {
 	InstanceID string
 }
 
+// genShard is one lock stripe of the generator state. A switch's whole
+// state (flows, variation history) lives on the shard its DPID hashes
+// to, so one Process call locks exactly one shard.
+type genShard struct {
+	mu       sync.Mutex
+	prevFlow map[flowScopeKey]*prevEntry
+	prevPort map[portScopeKey]*prevEntry
+	// flows tracks active flows per switch (several DPIDs may share a
+	// shard).
+	flows map[uint64]*switchFlows
+	_     [24]byte // pad toward a cache line to limit false sharing
+}
+
+// genGates is the copy-on-write view of the Resource Manager toggles,
+// read lock-free on every message.
+type genGates struct {
+	origins  map[string]bool // origin -> disabled
+	switches map[uint64]bool // dpid -> disabled
+}
+
 // Generator is the Feature Generator: it turns control messages into
 // Athena feature records, maintaining hash tables for variation features
-// and network state for stateful features (Table I).
+// and network state for stateful features (Table I). State is striped
+// over DPID-hashed shards so concurrent per-switch streams scale.
 type Generator struct {
 	cfg GeneratorConfig
 
-	mu sync.Mutex
-	// prev holds previous observations keyed by scope
-	// ("dpid/flow" or "dpid:port").
-	prev map[string]*prevEntry
-	// flows tracks active flows per switch.
-	flows map[uint64]*switchFlows
-	// monitor gates per-origin generation (Resource Manager surface).
-	disabledOrigins map[string]bool
-	disabledSwitch  map[uint64]bool
+	shards    []genShard
+	shardMask uint64
+
+	gateMu sync.Mutex // serializes toggle writers
+	gates  atomic.Pointer[genGates]
 
 	metrics genMetrics
 }
@@ -110,11 +165,26 @@ func newGenMetrics(reg *telemetry.Registry, instance string) genMetrics {
 	}
 }
 
+// defaultShards picks the lock-stripe count: enough stripes that a
+// realistic concurrent switch population rarely collides.
+func defaultShards() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
 // NewGenerator returns a Feature Generator.
 func NewGenerator(cfg GeneratorConfig) *Generator {
 	if cfg.GCAge <= 0 {
 		cfg.GCAge = 5 * time.Minute
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards()
+	}
+	// Round up to a power of two so routing is a mask, not a modulo.
+	shards := 1 << bits.Len(uint(cfg.Shards-1))
 	reg := cfg.Telemetry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -124,13 +194,18 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 		instance = "local"
 	}
 	g := &Generator{
-		cfg:             cfg,
-		prev:            make(map[string]*prevEntry),
-		flows:           make(map[uint64]*switchFlows),
-		disabledOrigins: make(map[string]bool),
-		disabledSwitch:  make(map[uint64]bool),
-		metrics:         newGenMetrics(reg, instance),
+		cfg:       cfg,
+		shards:    make([]genShard, shards),
+		shardMask: uint64(shards - 1),
+		metrics:   newGenMetrics(reg, instance),
 	}
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.prevFlow = make(map[flowScopeKey]*prevEntry)
+		sh.prevPort = make(map[portScopeKey]*prevEntry)
+		sh.flows = make(map[uint64]*switchFlows)
+	}
+	g.gates.Store(&genGates{})
 	entries := reg.GaugeVec("athena_generator_state_entries",
 		"Tracked generator state, by kind.", "controller", "kind")
 	entries.WithLabelValues(instance, "variation").Func(func() float64 {
@@ -142,6 +217,16 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 		return float64(flows)
 	})
 	return g
+}
+
+// Shards reports the effective lock-stripe count.
+func (g *Generator) Shards() int { return len(g.shards) }
+
+// shardOf routes a DPID to its stripe (Fibonacci hashing spreads
+// sequential DPIDs, the common assignment, across stripes).
+func (g *Generator) shardOf(dpid uint64) *genShard {
+	h := dpid * 0x9E3779B97F4A7C15
+	return &g.shards[(h>>32)&g.shardMask]
 }
 
 // Generated reports how many feature records have been produced. It is
@@ -156,245 +241,280 @@ func (g *Generator) Generated() uint64 {
 
 // SetOriginEnabled toggles generation for one origin class.
 func (g *Generator) SetOriginEnabled(origin string, enabled bool) {
-	g.mu.Lock()
-	g.disabledOrigins[origin] = !enabled
-	g.mu.Unlock()
+	g.gateMu.Lock()
+	defer g.gateMu.Unlock()
+	old := g.gates.Load()
+	next := &genGates{origins: make(map[string]bool, len(old.origins)+1), switches: old.switches}
+	for k, v := range old.origins {
+		next.origins[k] = v
+	}
+	next.origins[origin] = !enabled
+	g.gates.Store(next)
 }
 
 // SetSwitchEnabled toggles generation for one switch.
 func (g *Generator) SetSwitchEnabled(dpid uint64, enabled bool) {
-	g.mu.Lock()
-	g.disabledSwitch[dpid] = !enabled
-	g.mu.Unlock()
+	g.gateMu.Lock()
+	defer g.gateMu.Unlock()
+	old := g.gates.Load()
+	next := &genGates{origins: old.origins, switches: make(map[uint64]bool, len(old.switches)+1)}
+	for k, v := range old.switches {
+		next.switches[k] = v
+	}
+	next.switches[dpid] = !enabled
+	g.gates.Store(next)
 }
 
 // Process converts one control message into zero or more features.
 func (g *Generator) Process(msg controller.ControlMessage) []*Feature {
+	return g.ProcessAppend(nil, msg)
+}
+
+// ProcessAppend is Process with a caller-provided output buffer: the
+// generated features are appended to dst (which may be reused across
+// calls once its features are no longer referenced). This is the
+// allocation-lean entry the SB dispatch workers use.
+func (g *Generator) ProcessAppend(dst []*Feature, msg controller.ControlMessage) []*Feature {
 	defer g.metrics.processTimer.Observe()()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.disabledSwitch[msg.DPID] {
+	gates := g.gates.Load()
+	if gates.switches[msg.DPID] {
 		g.drop("switch_disabled")
-		return nil
+		return dst
 	}
-	var out []*Feature
 	origin := ""
+	before := len(dst)
 	switch m := msg.Msg.(type) {
 	case *openflow.PacketIn:
 		origin = OriginPacketIn
-		if !g.disabledOrigins[origin] {
-			out = g.packetIn(msg, m)
+		if !gates.origins[origin] {
+			dst = g.packetIn(dst, msg, m)
 		}
 	case *openflow.FlowRemoved:
 		origin = OriginFlowRemoved
-		if !g.disabledOrigins[origin] {
-			out = g.flowRemoved(msg, m)
+		if !gates.origins[origin] {
+			dst = g.flowRemoved(dst, msg, m)
 		}
 	case *openflow.MultipartReply:
 		switch m.StatsType {
 		case openflow.StatsFlow:
 			origin = OriginFlowStats
-			if !g.disabledOrigins[origin] {
-				out = g.flowStats(msg, m)
+			if !gates.origins[origin] {
+				dst = g.flowStats(dst, msg, m)
 			}
 		case openflow.StatsPort:
 			origin = OriginPortStats
-			if !g.disabledOrigins[origin] {
-				out = g.portStats(msg, m)
+			if !gates.origins[origin] {
+				dst = g.portStats(dst, msg, m)
 			}
 		}
 	}
 	if origin != "" {
-		if g.disabledOrigins[origin] {
+		if gates.origins[origin] {
 			g.drop("origin_disabled")
 		} else {
-			g.metrics.byOrigin[origin].Add(uint64(len(out)))
+			g.metrics.byOrigin[origin].Add(uint64(len(dst) - before))
 		}
 	}
-	return out
+	return dst
 }
 
 func (g *Generator) drop(reason string) {
 	g.metrics.dropped.WithLabelValues(g.metrics.instance, reason).Inc()
 }
 
-func (g *Generator) packetIn(msg controller.ControlMessage, m *openflow.PacketIn) []*Feature {
+func (g *Generator) packetIn(dst []*Feature, msg controller.ControlMessage, m *openflow.PacketIn) []*Feature {
 	if m.Fields.EthType != openflow.EthTypeIPv4 {
 		g.drop("unsupported")
-		return nil
+		return dst
 	}
-	key := FlowKeyOf(m.Fields)
-	pair := g.trackFlow(msg.DPID, key, m.Fields, msg.Time)
+	key := openflow.KeyOf(m.Fields)
+	sh := g.shardOf(msg.DPID)
+	sh.mu.Lock()
+	pair, keyStr := sh.trackFlow(g, msg.DPID, key, msg.Time)
 	f := &Feature{
 		ControllerID: msg.ControllerID,
 		DPID:         msg.DPID,
-		FlowKey:      key,
+		FlowKey:      keyStr,
 		Time:         msg.Time,
 		Origin:       OriginPacketIn,
-		Values: map[string]float64{
-			FPacketInLen: float64(m.TotalLen),
-			FPairFlow:    pair,
-			FFlowCount:   g.flowCount(msg.DPID),
-		},
+		Cookie:       m.Cookie,
 	}
+	f.Set(idPacketInLen, float64(m.TotalLen))
+	f.Set(idPairFlow, pair)
+	f.Set(idFlowCount, sh.flowCount(msg.DPID))
 	if !g.cfg.DisableStateful {
-		f.Values[FPairFlowRatio] = g.pairRatio(msg.DPID)
+		f.Set(idPairFlowRatio, sh.pairRatio(msg.DPID))
 	}
-	return []*Feature{f}
+	sh.mu.Unlock()
+	return append(dst, f)
 }
 
-func (g *Generator) flowStats(msg controller.ControlMessage, m *openflow.MultipartReply) []*Feature {
-	out := make([]*Feature, 0, len(m.Flows))
+func (g *Generator) flowStats(dst []*Feature, msg controller.ControlMessage, m *openflow.MultipartReply) []*Feature {
+	sh := g.shardOf(msg.DPID)
+	sh.mu.Lock()
 	for i := range m.Flows {
 		fs := &m.Flows[i]
-		key := FlowKeyOf(fs.Match.Fields)
-		pair := g.trackFlow(msg.DPID, key, fs.Match.Fields, msg.Time)
+		key := openflow.KeyOf(fs.Match.Fields)
+		pair, keyStr := sh.trackFlow(g, msg.DPID, key, msg.Time)
 		dur := float64(fs.DurationSec) + float64(fs.DurationNSec)/1e9
-		values := map[string]float64{
-			FPacketCount: float64(fs.PacketCount),
-			FByteCount:   float64(fs.ByteCount),
-			FDurationSec: dur,
-			FPriority:    float64(fs.Priority),
-			FIdleTimeout: float64(fs.IdleTimeout),
-			FHardTimeout: float64(fs.HardTimeout),
-		}
-		addCombinations(values, float64(fs.PacketCount), float64(fs.ByteCount), dur)
-		if !g.cfg.DisableStateful {
-			values[FPairFlow] = pair
-			values[FPairFlowRatio] = g.pairRatio(msg.DPID)
-			values[FFlowCount] = g.flowCount(msg.DPID)
-		}
-		if !g.cfg.DisableVariation {
-			g.addVariation(flowScope(msg.DPID, key), values, msg.Time,
-				FPacketCount, FByteCount)
-		}
-		out = append(out, &Feature{
+		f := &Feature{
 			ControllerID: msg.ControllerID,
 			DPID:         msg.DPID,
-			FlowKey:      key,
+			FlowKey:      keyStr,
 			Time:         msg.Time,
 			Origin:       OriginFlowStats,
-			Values:       values,
-		})
-	}
-	return out
-}
-
-func (g *Generator) portStats(msg controller.ControlMessage, m *openflow.MultipartReply) []*Feature {
-	out := make([]*Feature, 0, len(m.Ports))
-	for _, ps := range m.Ports {
-		values := map[string]float64{
-			FPortRxPackets: float64(ps.RxPackets),
-			FPortTxPackets: float64(ps.TxPackets),
-			FPortRxBytes:   float64(ps.RxBytes),
-			FPortTxBytes:   float64(ps.TxBytes),
-			FPortRxDropped: float64(ps.RxDropped),
-			FPortTxDropped: float64(ps.TxDropped),
+			Cookie:       fs.Cookie,
+		}
+		f.Set(idPacketCount, float64(fs.PacketCount))
+		f.Set(idByteCount, float64(fs.ByteCount))
+		f.Set(idDurationSec, dur)
+		f.Set(idPriority, float64(fs.Priority))
+		f.Set(idIdleTimeout, float64(fs.IdleTimeout))
+		f.Set(idHardTimeout, float64(fs.HardTimeout))
+		addCombinations(f, float64(fs.PacketCount), float64(fs.ByteCount), dur)
+		if !g.cfg.DisableStateful {
+			f.Set(idPairFlow, pair)
+			f.Set(idPairFlowRatio, sh.pairRatio(msg.DPID))
+			f.Set(idFlowCount, sh.flowCount(msg.DPID))
 		}
 		if !g.cfg.DisableVariation {
-			g.addVariation(portScope(msg.DPID, ps.PortNo), values, msg.Time,
-				FPortRxBytes, FPortTxBytes, FPortRxPackets, FPortTxPackets)
+			sh.addVariationFlow(flowScopeKey{msg.DPID, key}, f, msg.Time)
 		}
-		out = append(out, &Feature{
+		dst = append(dst, f)
+	}
+	sh.mu.Unlock()
+	return dst
+}
+
+func (g *Generator) portStats(dst []*Feature, msg controller.ControlMessage, m *openflow.MultipartReply) []*Feature {
+	sh := g.shardOf(msg.DPID)
+	sh.mu.Lock()
+	for i := range m.Ports {
+		ps := &m.Ports[i]
+		f := &Feature{
 			ControllerID: msg.ControllerID,
 			DPID:         msg.DPID,
 			Port:         ps.PortNo,
 			Time:         msg.Time,
 			Origin:       OriginPortStats,
-			Values:       values,
-		})
+		}
+		f.Set(idPortRxPackets, float64(ps.RxPackets))
+		f.Set(idPortTxPackets, float64(ps.TxPackets))
+		f.Set(idPortRxBytes, float64(ps.RxBytes))
+		f.Set(idPortTxBytes, float64(ps.TxBytes))
+		f.Set(idPortRxDropped, float64(ps.RxDropped))
+		f.Set(idPortTxDropped, float64(ps.TxDropped))
+		if !g.cfg.DisableVariation {
+			sh.addVariationPort(portScopeKey{msg.DPID, ps.PortNo}, f, msg.Time)
+		}
+		dst = append(dst, f)
 	}
-	return out
+	sh.mu.Unlock()
+	return dst
 }
 
-func (g *Generator) flowRemoved(msg controller.ControlMessage, m *openflow.FlowRemoved) []*Feature {
-	key := FlowKeyOf(m.Match.Fields)
+func (g *Generator) flowRemoved(dst []*Feature, msg controller.ControlMessage, m *openflow.FlowRemoved) []*Feature {
+	key := openflow.KeyOf(m.Match.Fields)
 	dur := float64(m.DurationSec) + float64(m.DurationNSec)/1e9
-	values := map[string]float64{
-		FPacketCount:     float64(m.PacketCount),
-		FByteCount:       float64(m.ByteCount),
-		FDurationSec:     dur,
-		FPriority:        float64(m.Priority),
-		FIdleTimeout:     float64(m.IdleTimeout),
-		FHardTimeout:     float64(m.HardTimeout),
-		"removed_reason": float64(m.Reason),
-	}
-	addCombinations(values, float64(m.PacketCount), float64(m.ByteCount), dur)
-	if !g.cfg.DisableStateful {
-		values[FPairFlow] = g.pairFlowValue(msg.DPID, key)
-		values[FPairFlowRatio] = g.pairRatio(msg.DPID)
-	}
-	// The flow is gone: clear its state and variation history.
-	g.forgetFlow(msg.DPID, key)
-	return []*Feature{{
+	sh := g.shardOf(msg.DPID)
+	sh.mu.Lock()
+	f := &Feature{
 		ControllerID: msg.ControllerID,
 		DPID:         msg.DPID,
-		FlowKey:      key,
 		Time:         msg.Time,
 		Origin:       OriginFlowRemoved,
-		Values:       values,
-	}}
+		Cookie:       m.Cookie,
+	}
+	f.Set(idPacketCount, float64(m.PacketCount))
+	f.Set(idByteCount, float64(m.ByteCount))
+	f.Set(idDurationSec, dur)
+	f.Set(idPriority, float64(m.Priority))
+	f.Set(idIdleTimeout, float64(m.IdleTimeout))
+	f.Set(idHardTimeout, float64(m.HardTimeout))
+	f.Set(idRemovedReason, float64(m.Reason))
+	addCombinations(f, float64(m.PacketCount), float64(m.ByteCount), dur)
+	if !g.cfg.DisableStateful {
+		f.Set(idPairFlow, sh.pairFlowValue(msg.DPID, key))
+		f.Set(idPairFlowRatio, sh.pairRatio(msg.DPID))
+	}
+	f.FlowKey = sh.flowKeyString(msg.DPID, key)
+	// The flow is gone: clear its state and variation history.
+	sh.forgetFlow(msg.DPID, key)
+	sh.mu.Unlock()
+	return append(dst, f)
 }
 
 // addCombinations applies the Table I pre-defined formulas.
-func addCombinations(values map[string]float64, packets, bytes, dur float64) {
+func addCombinations(f *Feature, packets, bytes, dur float64) {
 	if packets > 0 {
-		values[FBytePerPacket] = bytes / packets
+		f.Set(idBytePerPacket, bytes/packets)
 	} else {
-		values[FBytePerPacket] = 0
+		f.Set(idBytePerPacket, 0)
 	}
 	if dur > 0 {
-		values[FPacketPerDuration] = packets / dur
-		values[FBytePerDuration] = bytes / dur
+		f.Set(idPacketPerDuration, packets/dur)
+		f.Set(idBytePerDuration, bytes/dur)
 		// Flow utilization: traffic the flow delivers to its output port,
 		// normalized per second (Table I's "Packets / Duration" family).
-		values[FFlowUtilization] = bytes / dur
+		f.Set(idFlowUtilization, bytes/dur)
 	} else {
-		values[FPacketPerDuration] = 0
-		values[FBytePerDuration] = 0
-		values[FFlowUtilization] = 0
+		f.Set(idPacketPerDuration, 0)
+		f.Set(idBytePerDuration, 0)
+		f.Set(idFlowUtilization, 0)
 	}
 }
 
-func flowScope(dpid uint64, key string) string { return fmt.Sprintf("%d/%s", dpid, key) }
-
-func portScope(dpid uint64, port uint32) string { return fmt.Sprintf("%d:%d", dpid, port) }
-
-// addVariation computes "_var" deltas against the previous observation
-// of the same scope and updates the hash table.
-func (g *Generator) addVariation(scope string, values map[string]float64, now time.Time, names ...string) {
-	entry, ok := g.prev[scope]
+// addVariationFlow computes flow-scope "_var" deltas against the
+// previous observation and updates the hash table. Caller holds sh.mu.
+func (sh *genShard) addVariationFlow(scope flowScopeKey, f *Feature, now time.Time) {
+	entry, ok := sh.prevFlow[scope]
 	if !ok {
-		entry = &prevEntry{values: make(map[string]float64, len(names))}
-		g.prev[scope] = entry
+		entry = &prevEntry{vals: make([]float64, len(flowVarPairs))}
+		sh.prevFlow[scope] = entry
 	}
-	for _, name := range names {
-		cur := values[name]
-		if ok {
-			values[name+VarSuffix] = cur - entry.values[name]
-		} else {
-			values[name+VarSuffix] = 0
-		}
-		entry.values[name] = cur
-	}
+	applyVariation(entry, ok, f, flowVarPairs)
 	entry.lastSeen = now
 }
 
-// trackFlow records a flow observation and returns its pair-flow value
-// (1 when the reverse direction is also active). The switch's pair
-// count is maintained incrementally.
-func (g *Generator) trackFlow(dpid uint64, key string, fields openflow.Fields, now time.Time) float64 {
-	if g.cfg.DisableStateful {
-		return 0
-	}
-	sf, ok := g.flows[dpid]
+// addVariationPort is the port-scope counterpart. Caller holds sh.mu.
+func (sh *genShard) addVariationPort(scope portScopeKey, f *Feature, now time.Time) {
+	entry, ok := sh.prevPort[scope]
 	if !ok {
-		sf = &switchFlows{flows: make(map[string]*flowState)}
-		g.flows[dpid] = sf
+		entry = &prevEntry{vals: make([]float64, len(portVarPairs))}
+		sh.prevPort[scope] = entry
+	}
+	applyVariation(entry, ok, f, portVarPairs)
+	entry.lastSeen = now
+}
+
+func applyVariation(entry *prevEntry, seen bool, f *Feature, pairs []varPair) {
+	for i, p := range pairs {
+		cur := f.ValueID(p.src)
+		if seen {
+			f.Set(p.dst, cur-entry.vals[i])
+		} else {
+			f.Set(p.dst, 0)
+		}
+		entry.vals[i] = cur
+	}
+}
+
+// trackFlow records a flow observation and returns its pair-flow value
+// (1 when the reverse direction is also active) plus the interned
+// canonical key string. The switch's pair count is maintained
+// incrementally. Caller holds sh.mu.
+func (sh *genShard) trackFlow(g *Generator, dpid uint64, key openflow.FlowKey, now time.Time) (float64, string) {
+	if g.cfg.DisableStateful {
+		return 0, key.String()
+	}
+	sf, ok := sh.flows[dpid]
+	if !ok {
+		sf = &switchFlows{flows: make(map[openflow.FlowKey]*flowState)}
+		sh.flows[dpid] = sf
 	}
 	st, ok := sf.flows[key]
 	if !ok {
-		st = &flowState{reverse: reverseKey(fields)}
+		st = &flowState{reverse: key.Reverse(), keyStr: key.String()}
 		sf.flows[key] = st
 		if _, rev := sf.flows[st.reverse]; rev {
 			sf.pairs += 2 // both directions just became paired
@@ -402,13 +522,24 @@ func (g *Generator) trackFlow(dpid uint64, key string, fields openflow.Fields, n
 	}
 	st.lastSeen = now
 	if _, rev := sf.flows[st.reverse]; rev {
-		return 1
+		return 1, st.keyStr
 	}
-	return 0
+	return 0, st.keyStr
 }
 
-func (g *Generator) pairFlowValue(dpid uint64, key string) float64 {
-	sf, ok := g.flows[dpid]
+// flowKeyString returns the interned key string when the flow is
+// tracked, rendering it fresh otherwise. Caller holds sh.mu.
+func (sh *genShard) flowKeyString(dpid uint64, key openflow.FlowKey) string {
+	if sf, ok := sh.flows[dpid]; ok {
+		if st, ok := sf.flows[key]; ok {
+			return st.keyStr
+		}
+	}
+	return key.String()
+}
+
+func (sh *genShard) pairFlowValue(dpid uint64, key openflow.FlowKey) float64 {
+	sf, ok := sh.flows[dpid]
 	if !ok {
 		return 0
 	}
@@ -423,30 +554,30 @@ func (g *Generator) pairFlowValue(dpid uint64, key string) float64 {
 }
 
 // pairRatio reads the incrementally maintained pair flows / total flows.
-func (g *Generator) pairRatio(dpid uint64) float64 {
-	sf, ok := g.flows[dpid]
+func (sh *genShard) pairRatio(dpid uint64) float64 {
+	sf, ok := sh.flows[dpid]
 	if !ok || len(sf.flows) == 0 {
 		return 0
 	}
 	return float64(sf.pairs) / float64(len(sf.flows))
 }
 
-func (g *Generator) flowCount(dpid uint64) float64 {
-	if sf, ok := g.flows[dpid]; ok {
+func (sh *genShard) flowCount(dpid uint64) float64 {
+	if sf, ok := sh.flows[dpid]; ok {
 		return float64(len(sf.flows))
 	}
 	return 0
 }
 
-func (g *Generator) forgetFlow(dpid uint64, key string) {
-	if sf, ok := g.flows[dpid]; ok {
+func (sh *genShard) forgetFlow(dpid uint64, key openflow.FlowKey) {
+	if sf, ok := sh.flows[dpid]; ok {
 		sf.remove(key)
 	}
-	delete(g.prev, flowScope(dpid, key))
+	delete(sh.prevFlow, flowScopeKey{dpid, key})
 }
 
 // remove deletes a flow, keeping the pair count consistent.
-func (sf *switchFlows) remove(key string) {
+func (sf *switchFlows) remove(key openflow.FlowKey) {
 	st, ok := sf.flows[key]
 	if !ok {
 		return
@@ -458,28 +589,38 @@ func (sf *switchFlows) remove(key string) {
 }
 
 // GC removes state and variation entries not seen since the GC age.
-// It returns the number of entries removed.
+// It returns the number of entries removed. Shards are swept one at a
+// time, so generation on other shards proceeds during a sweep.
 func (g *Generator) GC(now time.Time) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	cutoff := now.Add(-g.cfg.GCAge)
 	removed := 0
-	for scope, entry := range g.prev {
-		if entry.lastSeen.Before(cutoff) {
-			delete(g.prev, scope)
-			removed++
-		}
-	}
-	for dpid, sf := range g.flows {
-		for key, st := range sf.flows {
-			if st.lastSeen.Before(cutoff) {
-				sf.remove(key)
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for scope, entry := range sh.prevFlow {
+			if entry.lastSeen.Before(cutoff) {
+				delete(sh.prevFlow, scope)
 				removed++
 			}
 		}
-		if len(sf.flows) == 0 {
-			delete(g.flows, dpid)
+		for scope, entry := range sh.prevPort {
+			if entry.lastSeen.Before(cutoff) {
+				delete(sh.prevPort, scope)
+				removed++
+			}
 		}
+		for dpid, sf := range sh.flows {
+			for key, st := range sf.flows {
+				if st.lastSeen.Before(cutoff) {
+					sf.remove(key)
+					removed++
+				}
+			}
+			if len(sf.flows) == 0 {
+				delete(sh.flows, dpid)
+			}
+		}
+		sh.mu.Unlock()
 	}
 	g.metrics.gcRemoved.Add(uint64(removed))
 	return removed
@@ -487,10 +628,14 @@ func (g *Generator) GC(now time.Time) int {
 
 // StateSize reports tracked entry counts (for the GC ablation).
 func (g *Generator) StateSize() (prevEntries, flowEntries int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for _, sf := range g.flows {
-		flowEntries += len(sf.flows)
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		prevEntries += len(sh.prevFlow) + len(sh.prevPort)
+		for _, sf := range sh.flows {
+			flowEntries += len(sf.flows)
+		}
+		sh.mu.Unlock()
 	}
-	return len(g.prev), flowEntries
+	return prevEntries, flowEntries
 }

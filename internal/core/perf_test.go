@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/controller"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// perfPacketInMsg builds a PacketIn control message whose 5-tuple
+// varies with seq, so state tables grow realistically.
+func perfPacketInMsg(dpid uint64, seq int, now time.Time) controller.ControlMessage {
+	host := byte(seq % 250)
+	return controller.ControlMessage{
+		Time:         now,
+		ControllerID: "c0",
+		DPID:         dpid,
+		Msg: &openflow.PacketIn{
+			TotalLen: 128,
+			Cookie:   uint64(seq%8) + 1,
+			Fields: openflow.Fields{
+				EthType: openflow.EthTypeIPv4,
+				IPProto: openflow.ProtoTCP,
+				IPSrc:   openflow.IPv4(10, 0, 1, host+1),
+				IPDst:   openflow.IPv4(10, 0, 2, 1),
+				TPSrc:   uint16(1024 + seq%512),
+				TPDst:   80,
+			},
+		},
+	}
+}
+
+func perfFlowStatsMsg(dpid uint64, seq, entries int, now time.Time) controller.ControlMessage {
+	flows := make([]openflow.FlowStats, entries)
+	for i := range flows {
+		flows[i] = openflow.FlowStats{
+			Match:       openflow.ExactMatch(sampleFields(byte(1+(seq+i)%200), 2, uint16(1024+i), 80)),
+			PacketCount: uint64(100 + seq),
+			ByteCount:   uint64(50_000 + seq),
+			DurationSec: 10,
+			Cookie:      uint64(i + 1),
+		}
+	}
+	return flowStatsMsg(dpid, now, flows...)
+}
+
+// BenchmarkGeneratorProcess measures the feature-generation hot path.
+func BenchmarkGeneratorProcess(b *testing.B) {
+	b.Run("PacketIn", func(b *testing.B) {
+		g := NewGenerator(GeneratorConfig{})
+		now := time.Now()
+		var buf []*Feature
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = g.ProcessAppend(buf[:0], perfPacketInMsg(1, i, now))
+			if len(buf) != 1 {
+				b.Fatal("no feature")
+			}
+		}
+	})
+	b.Run("FlowStats16", func(b *testing.B) {
+		g := NewGenerator(GeneratorConfig{})
+		now := time.Now()
+		var buf []*Feature
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = g.ProcessAppend(buf[:0], perfFlowStatsMsg(1, i, 16, now))
+			if len(buf) != 16 {
+				b.Fatal("missing features")
+			}
+		}
+	})
+}
+
+// BenchmarkSouthboundHandle measures end-to-end SB handling (inline
+// dispatch, persistence off, one listener — the live-pipeline shape).
+func BenchmarkSouthboundHandle(b *testing.B) {
+	proxy := newFakeProxy()
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{Publish: PublishOff})
+	defer sb.Close()
+	seen := 0
+	sb.AddFeatureListener(func(*Feature) { seen++ })
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proxy.inject(perfPacketInMsg(1, i, now))
+	}
+	if seen == 0 {
+		b.Fatal("listener saw nothing")
+	}
+}
+
+// TestGeneratorConcurrentSharded hammers the sharded generator from
+// per-DPID goroutines while GC, StateSize, and the Resource Manager
+// toggles run concurrently. Run under -race this is the shard-safety
+// regression test.
+func TestGeneratorConcurrentSharded(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Shards: 4, GCAge: time.Millisecond})
+	const streams = 8
+	const msgs = 400
+	now := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(dpid uint64) {
+			defer wg.Done()
+			var buf []*Feature
+			for i := 0; i < msgs; i++ {
+				buf = g.ProcessAppend(buf[:0], perfPacketInMsg(dpid, i, now))
+				buf = g.ProcessAppend(buf[:0], perfFlowStatsMsg(dpid, i, 4, now))
+			}
+		}(uint64(s + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			g.GC(time.Now())
+			g.StateSize()
+			g.SetOriginEnabled(OriginPortStats, i%2 == 0)
+			g.SetSwitchEnabled(99, i%2 == 0)
+		}
+	}()
+	wg.Wait()
+	if g.Generated() == 0 {
+		t.Fatal("nothing generated")
+	}
+	prevN, flowN := g.StateSize()
+	if prevN < 0 || flowN < 0 {
+		t.Fatal("impossible state size")
+	}
+	// A full sweep far in the future must empty every shard.
+	g.GC(now.Add(time.Hour))
+	prevN, flowN = g.StateSize()
+	if prevN != 0 || flowN != 0 {
+		t.Fatalf("state after full GC = %d/%d, want 0/0", prevN, flowN)
+	}
+}
+
+// TestGeneratorShardsConfig checks the stripe-count knob rounds up to a
+// power of two and defaults sanely.
+func TestGeneratorShardsConfig(t *testing.T) {
+	if got := NewGenerator(GeneratorConfig{Shards: 3}).Shards(); got != 4 {
+		t.Fatalf("Shards(3) = %d, want 4", got)
+	}
+	if got := NewGenerator(GeneratorConfig{Shards: 1}).Shards(); got != 1 {
+		t.Fatalf("Shards(1) = %d, want 1", got)
+	}
+	if got := NewGenerator(GeneratorConfig{}).Shards(); got < 8 {
+		t.Fatalf("default Shards() = %d, want >= 8", got)
+	}
+}
+
+// TestSouthboundWorkerOrdering verifies the DPID-affine pool's
+// guarantee: one switch's messages are processed in arrival order even
+// with several workers and interleaved switches.
+func TestSouthboundWorkerOrdering(t *testing.T) {
+	proxy := newFakeProxy()
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{
+		Publish: PublishOff,
+		Workers: 3,
+	})
+	defer sb.Close()
+
+	var mu sync.Mutex
+	perDPID := map[uint64][]float64{}
+	sb.AddFeatureListener(func(f *Feature) {
+		mu.Lock()
+		perDPID[f.DPID] = append(perDPID[f.DPID], f.ValueID(idPacketInLen))
+		mu.Unlock()
+	})
+
+	const dpids = 6
+	const msgs = 200
+	now := time.Now()
+	for i := 0; i < msgs; i++ {
+		for d := uint64(1); d <= dpids; d++ {
+			m := perfPacketInMsg(d, 0, now)
+			// Stamp the sequence into a field the listener can read back.
+			m.Msg.(*openflow.PacketIn).TotalLen = uint16(i)
+			proxy.inject(m)
+		}
+	}
+	sb.Drain()
+
+	if drops := sb.QueueDrops(); drops > 0 {
+		t.Fatalf("queue dropped %d messages with depth defaults", drops)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perDPID) != dpids {
+		t.Fatalf("saw %d switches, want %d", len(perDPID), dpids)
+	}
+	for d, seqs := range perDPID {
+		if len(seqs) != msgs {
+			t.Fatalf("dpid %d: %d features, want %d", d, len(seqs), msgs)
+		}
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] != seqs[i-1]+1 {
+				t.Fatalf("dpid %d: out-of-order at %d: %v -> %v", d, i, seqs[i-1], seqs[i])
+			}
+		}
+	}
+}
+
+// TestSouthboundQueueDrop verifies full queues shed load instead of
+// blocking the control channel, and that drops are counted.
+func TestSouthboundQueueDrop(t *testing.T) {
+	proxy := newFakeProxy()
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{
+		Publish:    PublishOff,
+		Workers:    1,
+		QueueDepth: 1,
+	})
+	defer sb.Close()
+	block := make(chan struct{})
+	var once sync.Once
+	sb.AddFeatureListener(func(*Feature) {
+		once.Do(func() { <-block })
+	})
+	now := time.Now()
+	for i := 0; i < 64; i++ {
+		proxy.inject(perfPacketInMsg(1, i, now))
+	}
+	close(block)
+	sb.Drain()
+	if sb.QueueDrops() == 0 {
+		t.Fatal("expected drops on a depth-1 queue with a blocked worker")
+	}
+}
+
+// TestSouthboundCookieAttribution checks that flow-scoped features are
+// attributed via the cookie they carry, not their position in the
+// reply.
+func TestSouthboundCookieAttribution(t *testing.T) {
+	proxy := newFakeProxy()
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{Publish: PublishOff})
+	defer sb.Close()
+	// Register cookie -> app mappings as InstallFlow would.
+	c1, _ := proxy.InstallFlow("app-a", 1, openflow.FlowMod{})
+	c2, _ := proxy.InstallFlow("app-b", 1, openflow.FlowMod{})
+
+	var mu sync.Mutex
+	byKey := map[string]string{}
+	sb.AddFeatureListener(func(f *Feature) {
+		mu.Lock()
+		byKey[f.FlowKey] = f.AppID
+		mu.Unlock()
+	})
+
+	now := time.Now()
+	flows := []openflow.FlowStats{
+		{Match: openflow.ExactMatch(sampleFields(1, 2, 1000, 80)), PacketCount: 1, DurationSec: 1, Cookie: c2},
+		{Match: openflow.ExactMatch(sampleFields(3, 4, 1000, 80)), PacketCount: 1, DurationSec: 1, Cookie: c1},
+		{Match: openflow.ExactMatch(sampleFields(5, 6, 1000, 80)), PacketCount: 1, DurationSec: 1},
+	}
+	proxy.inject(flowStatsMsg(1, now, flows...))
+
+	mu.Lock()
+	defer mu.Unlock()
+	key := func(src, dst byte) string {
+		return fmt.Sprintf("%d/10.0.0.%d:1000>10.0.0.%d:80", openflow.ProtoTCP, src, dst)
+	}
+	if got := byKey[key(1, 2)]; got != "app-b" {
+		t.Fatalf("entry with cookie %d attributed to %q, want app-b", c2, got)
+	}
+	if got := byKey[key(3, 4)]; got != "app-a" {
+		t.Fatalf("entry with cookie %d attributed to %q, want app-a", c1, got)
+	}
+	if got := byKey[key(5, 6)]; got != "" {
+		t.Fatalf("cookie-less entry attributed to %q, want unattributed", got)
+	}
+}
+
+// TestSouthboundTracerNilWhenDisabled pins the documented Tracer
+// contract: nil when sampling is disabled, live when enabled.
+func TestSouthboundTracerNilWhenDisabled(t *testing.T) {
+	proxy := newFakeProxy()
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{Publish: PublishOff})
+	defer sb.Close()
+	if sb.Tracer() != nil {
+		t.Fatal("Tracer() != nil with sampling disabled")
+	}
+	// Nil-safe usage must not panic.
+	sb.Tracer().Snapshot()
+
+	proxy2 := newFakeProxy()
+	sb2 := NewSouthbound(proxy2, nil, SouthboundConfig{Publish: PublishOff, TraceSample: 1})
+	defer sb2.Close()
+	if sb2.Tracer() == nil {
+		t.Fatal("Tracer() == nil with sampling enabled")
+	}
+	proxy2.inject(perfPacketInMsg(1, 0, time.Now()))
+	if traces := sb2.Tracer().Snapshot(); len(traces) == 0 {
+		t.Fatal("no traces recorded at TraceSample=1")
+	}
+}

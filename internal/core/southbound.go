@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/controller"
@@ -51,6 +52,18 @@ type SouthboundConfig struct {
 	// GCInterval drives the generator's garbage collector; zero disables
 	// the background sweep.
 	GCInterval time.Duration
+	// Workers sizes the dispatch pool. Zero (the default) processes
+	// every control message inline on the proxy's goroutine — the
+	// historical synchronous behavior. With N > 0, handle enqueues onto
+	// one of N DPID-affine queues: all of a switch's messages land on
+	// the same worker, so per-switch message order is preserved while
+	// different switches proceed in parallel.
+	Workers int
+	// QueueDepth bounds each dispatch queue (default 1024). A message
+	// arriving at a full queue is dropped and counted on the
+	// athena_southbound_queue_dropped_total series — backpressure must
+	// not stall the control channel.
+	QueueDepth int
 	// Telemetry receives the SB element's metrics (and, unless the
 	// generator config names its own registry, the generator's); nil
 	// uses a private registry.
@@ -58,6 +71,13 @@ type SouthboundConfig struct {
 	// TraceSample records one feature-lifecycle trace per this many
 	// control messages; zero or negative disables tracing.
 	TraceSample int
+}
+
+// sbScratch is the per-worker reusable buffer set for one process
+// pass: the generated-feature slice and the Sync-mode document batch.
+type sbScratch struct {
+	feats []*Feature
+	docs  []store.Document
 }
 
 // Southbound is the SB element: it hooks the controller proxy, runs the
@@ -74,8 +94,17 @@ type Southbound struct {
 	mu        sync.RWMutex
 	listeners []func(*Feature)
 
+	// Dispatch pool state (empty in inline mode).
+	queues  []chan controller.ControlMessage
+	workers sync.WaitGroup // worker goroutines
+	pending sync.WaitGroup // enqueued-but-unprocessed messages
+	closed  atomic.Bool
+
+	scratch sync.Pool // *sbScratch, inline mode
+
 	pubOK       *telemetry.Counter
 	pubErr      *telemetry.Counter
+	dropped     *telemetry.Counter
 	handleTimer telemetry.Timer
 	tracer      *telemetry.Tracer
 
@@ -113,6 +142,9 @@ func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbou
 		sink:   sink,
 		pubOK:  published.WithLabelValues(proxy.ID(), "ok"),
 		pubErr: published.WithLabelValues(proxy.ID(), "error"),
+		dropped: reg.CounterVec("athena_southbound_queue_dropped_total",
+			"Control messages dropped at a full dispatch queue.",
+			"controller").WithLabelValues(proxy.ID()),
 		handleTimer: telemetry.NewTimer(reg.HistogramVec("athena_southbound_handle_seconds",
 			"SB element end-to-end handling latency per control message.",
 			nil, "controller").WithLabelValues(proxy.ID())),
@@ -120,9 +152,32 @@ func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbou
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	sb.scratch.New = func() any { return &sbScratch{} }
 	if mode == PublishBatched {
 		sb.writer = store.NewWriter(sink, cfg.BatchSize, cfg.BatchDelay,
 			store.WithWriterTelemetry(reg, proxy.ID()))
+	}
+	if cfg.Workers > 0 {
+		depth := cfg.QueueDepth
+		if depth <= 0 {
+			depth = 1024
+		}
+		sb.queues = make([]chan controller.ControlMessage, cfg.Workers)
+		for i := range sb.queues {
+			q := make(chan controller.ControlMessage, depth)
+			sb.queues[i] = q
+			sb.workers.Add(1)
+			go sb.worker(q)
+		}
+		reg.GaugeVec("athena_southbound_queue_depth",
+			"Control messages waiting in the dispatch queues.",
+			"controller").WithLabelValues(proxy.ID()).Func(func() float64 {
+			total := 0
+			for _, q := range sb.queues {
+				total += len(q)
+			}
+			return float64(total)
+		})
 	}
 	proxy.AddMessageListener(sb.handle)
 	if cfg.GCInterval > 0 {
@@ -145,14 +200,59 @@ func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbou
 	return sb
 }
 
+// worker drains one dispatch queue with a private scratch buffer.
+func (sb *Southbound) worker(q chan controller.ControlMessage) {
+	defer sb.workers.Done()
+	sc := &sbScratch{}
+	for {
+		select {
+		case msg := <-q:
+			sb.process(msg, sc)
+			sb.pending.Done()
+		case <-sb.stop:
+			// Finish what is already enqueued, then exit.
+			for {
+				select {
+				case msg := <-q:
+					sb.process(msg, sc)
+					sb.pending.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Drain blocks until every message enqueued so far has been fully
+// processed. In inline mode (Workers == 0) it returns immediately.
+func (sb *Southbound) Drain() { sb.pending.Wait() }
+
 // Close flushes and stops background work.
 func (sb *Southbound) Close() {
+	sb.closed.Store(true)
 	select {
 	case <-sb.stop:
 	default:
 		close(sb.stop)
 	}
 	<-sb.done
+	sb.workers.Wait()
+	// A handle racing Close may have enqueued after its worker exited;
+	// finish those inline so Drain never hangs.
+	sc := &sbScratch{}
+	for _, q := range sb.queues {
+	drain:
+		for {
+			select {
+			case msg := <-q:
+				sb.process(msg, sc)
+				sb.pending.Done()
+			default:
+				break drain
+			}
+		}
+	}
 	if sb.writer != nil {
 		_ = sb.writer.Close()
 	}
@@ -161,6 +261,10 @@ func (sb *Southbound) Close() {
 // Generator exposes the Feature Generator (Resource Manager surface).
 func (sb *Southbound) Generator() *Generator { return sb.gen }
 
+// QueueDrops reports how many control messages were dropped at full
+// dispatch queues (always zero in inline mode).
+func (sb *Southbound) QueueDrops() uint64 { return sb.dropped.Value() }
+
 // Published reports how many features reached the sink, and how many
 // publication errors occurred. It is a thin wrapper over the telemetry
 // counters.
@@ -168,47 +272,68 @@ func (sb *Southbound) Published() (ok, errs uint64) {
 	return sb.pubOK.Value(), sb.pubErr.Value()
 }
 
-// Tracer exposes the feature-lifecycle tracer (nil when sampling is
-// disabled).
+// Tracer exposes the feature-lifecycle tracer. It is nil when sampling
+// is disabled (TraceSample <= 0); all Tracer methods are nil-safe, so
+// callers may use the result unconditionally.
 func (sb *Southbound) Tracer() *telemetry.Tracer { return sb.tracer }
 
 // AddFeatureListener registers a live feature consumer (the Feature
-// Manager). Listeners run on the control-channel goroutine.
+// Manager). Listeners run on the dispatching goroutine: the proxy's
+// control-channel goroutine in inline mode, a pool worker otherwise.
+// Either way one switch's features arrive in generation order.
 func (sb *Southbound) AddFeatureListener(fn func(*Feature)) {
 	sb.mu.Lock()
 	sb.listeners = append(sb.listeners, fn)
 	sb.mu.Unlock()
 }
 
-// handle is the SB interface: it receives every control message from the
-// proxy and drives feature generation and publication.
+// handle is the SB interface: it receives every control message from
+// the proxy. In inline mode it processes synchronously; with a
+// dispatch pool it enqueues onto the DPID's queue, preserving
+// per-switch order.
 func (sb *Southbound) handle(msg controller.ControlMessage) {
+	if len(sb.queues) == 0 {
+		sc := sb.scratch.Get().(*sbScratch)
+		sb.process(msg, sc)
+		sb.scratch.Put(sc)
+		return
+	}
+	if sb.closed.Load() {
+		sb.dropped.Inc()
+		return
+	}
+	h := msg.DPID * 0x9E3779B97F4A7C15
+	q := sb.queues[(h>>32)%uint64(len(sb.queues))]
+	sb.pending.Add(1)
+	select {
+	case q <- msg:
+	default:
+		sb.pending.Done()
+		sb.dropped.Inc()
+	}
+}
+
+// process drives feature generation and publication for one control
+// message, reusing the caller's scratch buffers.
+func (sb *Southbound) process(msg controller.ControlMessage, sc *sbScratch) {
 	defer sb.handleTimer.Observe()()
 	tr := sb.tracer.Start("feature_lifecycle")
 	defer tr.Finish()
 
 	endGen := tr.Span("generate")
-	features := sb.gen.Process(msg)
+	features := sb.gen.ProcessAppend(sc.feats[:0], msg)
 	endGen()
+	sc.feats = features[:0]
 	if len(features) == 0 {
 		return
 	}
-	// Attribute flow-scoped stats to owning applications via cookie
-	// lookups where available.
-	if fr, ok := msg.Msg.(*openflow.FlowRemoved); ok {
-		if app, found := sb.proxy.AppOfCookie(fr.Cookie); found {
-			for _, f := range features {
+	defer clearFeats(features)
+	// Attribute flow-scoped records to their owning application: each
+	// feature carries the cookie of the rule that produced it.
+	for _, f := range features {
+		if f.Cookie != 0 {
+			if app, found := sb.proxy.AppOfCookie(f.Cookie); found {
 				f.AppID = app
-			}
-		}
-	}
-	if mp, ok := msg.Msg.(*openflow.MultipartReply); ok && mp.StatsType == openflow.StatsFlow {
-		for i := range mp.Flows {
-			if i >= len(features) {
-				break
-			}
-			if app, found := sb.proxy.AppOfCookie(mp.Flows[i].Cookie); found {
-				features[i].AppID = app
 			}
 		}
 	}
@@ -216,19 +341,23 @@ func (sb *Southbound) handle(msg controller.ControlMessage) {
 	endPub := tr.Span("publish")
 	switch sb.mode {
 	case PublishSync:
-		docs := make([]store.Document, len(features))
-		for i, f := range features {
-			docs[i] = f.Document()
+		docs := sc.docs[:0]
+		for _, f := range features {
+			docs = append(docs, f.Document())
 		}
+		sc.docs = docs[:0]
 		if err := sb.sink.Insert(docs); err != nil {
 			sb.pubErr.Inc()
 		} else {
 			sb.pubOK.Add(uint64(len(docs)))
 		}
 	case PublishBatched:
+		docs := sc.docs[:0]
 		for _, f := range features {
-			sb.writer.Publish(f.Document())
+			docs = append(docs, f.Document())
 		}
+		sc.docs = docs[:0]
+		sb.writer.PublishAll(docs)
 		sb.pubOK.Add(uint64(len(features)))
 	case PublishOff:
 		// persistence disabled
@@ -245,4 +374,12 @@ func (sb *Southbound) handle(msg controller.ControlMessage) {
 		}
 	}
 	endDispatch()
+}
+
+// clearFeats drops feature references from a scratch slice so reuse
+// does not pin the previous batch.
+func clearFeats(feats []*Feature) {
+	for i := range feats {
+		feats[i] = nil
+	}
 }

@@ -129,24 +129,32 @@ func synthDraw(rng *rand.Rand, malicious, noisy bool) map[string]float64 {
 	return v
 }
 
-// jitter perturbs one flow's parameters per stats observation. Keys are
-// visited in the fixed DDoSFeatureNames order so that equal seeds yield
-// identical streams (map iteration order would break reproducibility).
-func jitter(rng *rand.Rand, base map[string]float64) map[string]float64 {
-	v := make(map[string]float64, len(base))
-	for _, k := range DDoSFeatureNames {
+// ddosFeatureIDs caches the interned ids of DDoSFeatureNames in order.
+var ddosFeatureIDs = func() []FeatureID {
+	ids := make([]FeatureID, len(DDoSFeatureNames))
+	for i, name := range DDoSFeatureNames {
+		ids[i] = InternFeature(name)
+	}
+	return ids
+}()
+
+// jitterInto perturbs one flow's parameters per stats observation and
+// writes them onto f. Keys are visited in the fixed DDoSFeatureNames
+// order so that equal seeds yield identical streams (map iteration
+// order would break reproducibility).
+func jitterInto(rng *rand.Rand, f *Feature, base map[string]float64) {
+	for i, k := range DDoSFeatureNames {
 		x, ok := base[k]
 		if !ok {
 			continue
 		}
 		if k == FPairFlow {
-			v[k] = x
+			f.Set(ddosFeatureIDs[i], x)
 			continue
 		}
-		v[k] = x * (0.9 + rng.Float64()*0.2)
+		f.Set(ddosFeatureIDs[i], x*(0.9+rng.Float64()*0.2))
 	}
-	v[LabelField] = base[LabelField]
-	return v
+	f.Set(idLabel, base[LabelField])
 }
 
 // GenerateDDoSFeatures synthesizes labeled feature records through the
@@ -165,12 +173,12 @@ func GenerateDDoSDataset(cfg SynthDDoSConfig) *ml.Dataset {
 	cfg = cfg.withDefaults()
 	ds := &ml.Dataset{Names: append([]string(nil), DDoSFeatureNames...)}
 	cfg.stream(func(f *Feature) {
-		row := make([]float64, len(DDoSFeatureNames))
-		for i, name := range DDoSFeatureNames {
-			row[i] = f.Values[name]
+		row := make([]float64, len(ddosFeatureIDs))
+		for i, id := range ddosFeatureIDs {
+			row[i] = f.ValueID(id)
 		}
 		ds.X = append(ds.X, row)
-		ds.Labels = append(ds.Labels, f.Values[LabelField])
+		ds.Labels = append(ds.Labels, f.ValueID(idLabel))
 	})
 	return ds
 }
@@ -201,14 +209,15 @@ func (cfg SynthDDoSConfig) stream(cb func(*Feature)) {
 		key := fmt.Sprintf("synth-%d", fi)
 		for e := 0; e < entries; e++ {
 			t = t.Add(time.Duration(rng.Intn(1000)) * time.Microsecond)
-			cb(&Feature{
+			f := &Feature{
 				ControllerID: "synth",
 				DPID:         dpid,
 				FlowKey:      key,
 				Time:         t,
 				Origin:       OriginFlowStats,
-				Values:       jitter(rng, fl.values),
-			})
+			}
+			jitterInto(rng, f, fl.values)
+			cb(f)
 		}
 	}
 }

@@ -42,6 +42,43 @@ func TestConnSendReceive(t *testing.T) {
 	}
 }
 
+// TestConnReceivedPayloadsDoNotAlias guards the decode path against
+// read-buffer reuse: a message's Data must stay intact after the next
+// Receive overwrites the connection's internal buffer.
+func TestConnReceivedPayloadsDoNotAlias(t *testing.T) {
+	a, b := pipeConns(t)
+	first := []byte("first-payload")
+	second := []byte("XXXXXXXXXXXXXXXXXXXXXXXX")
+	go func() {
+		_, _ = a.Send(&PacketIn{Fields: sampleFields(), TotalLen: uint16(len(first)), Data: first})
+		_, _ = a.Send(&PacketIn{Fields: sampleFields(), TotalLen: uint16(len(second)), Data: second})
+		_, _ = a.Send(&EchoRequest{Data: []byte("echo-data")})
+		_, _ = a.Send(&EchoRequest{Data: []byte("000000000")})
+	}()
+	m1, _, err := b.Receive()
+	if err != nil {
+		t.Fatalf("Receive 1: %v", err)
+	}
+	got1 := m1.(*PacketIn).Data
+	if _, _, err := b.Receive(); err != nil {
+		t.Fatalf("Receive 2: %v", err)
+	}
+	if string(got1) != string(first) {
+		t.Fatalf("first PacketIn.Data corrupted by next Receive: %q", got1)
+	}
+	e1, _, err := b.Receive()
+	if err != nil {
+		t.Fatalf("Receive 3: %v", err)
+	}
+	echo1 := e1.(*EchoRequest).Data
+	if _, _, err := b.Receive(); err != nil {
+		t.Fatalf("Receive 4: %v", err)
+	}
+	if string(echo1) != "echo-data" {
+		t.Fatalf("first EchoRequest.Data corrupted by next Receive: %q", echo1)
+	}
+}
+
 func TestConnXIDPropagation(t *testing.T) {
 	a, b := pipeConns(t)
 	go func() {

@@ -1,0 +1,73 @@
+package openflow
+
+import "strconv"
+
+// FlowKey is the packed, comparable identity of a unidirectional flow:
+// the IPv4 5-tuple. It replaces formatted string keys on the feature
+// fast path — hashing and equality work directly on the 16-byte value,
+// and the canonical string form is rendered only when a record is
+// serialized or displayed.
+type FlowKey struct {
+	IPSrc, IPDst uint32
+	TPSrc, TPDst uint16
+	IPProto      uint8
+}
+
+// KeyOf packs the flow identity out of concrete header fields.
+func KeyOf(f Fields) FlowKey {
+	return FlowKey{
+		IPSrc:   f.IPSrc,
+		IPDst:   f.IPDst,
+		TPSrc:   f.TPSrc,
+		TPDst:   f.TPDst,
+		IPProto: f.IPProto,
+	}
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		IPSrc:   k.IPDst,
+		IPDst:   k.IPSrc,
+		TPSrc:   k.TPDst,
+		TPDst:   k.TPSrc,
+		IPProto: k.IPProto,
+	}
+}
+
+// IsZero reports whether the key is entirely unset (no flow identity).
+func (k FlowKey) IsZero() bool { return k == FlowKey{} }
+
+// Append renders the canonical "proto/src:sport>dst:dport" form —
+// identical to the historical fmt.Sprintf format — without fmt's
+// reflection overhead.
+func (k FlowKey) Append(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(k.IPProto), 10)
+	b = append(b, '/')
+	b = appendIPv4(b, k.IPSrc)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.TPSrc), 10)
+	b = append(b, '>')
+	b = appendIPv4(b, k.IPDst)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.TPDst), 10)
+	return b
+}
+
+// String renders the canonical flow-key form.
+func (k FlowKey) String() string {
+	// Worst case: 3 + 1 + 15 + 1 + 5 + 1 + 15 + 1 + 5 = 47 bytes.
+	return string(k.Append(make([]byte, 0, 48)))
+}
+
+// appendIPv4 renders the packed address in dotted-quad form.
+func appendIPv4(b []byte, ip uint32) []byte {
+	b = strconv.AppendUint(b, uint64(ip>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip>>8&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip&0xff), 10)
+	return b
+}

@@ -1,0 +1,80 @@
+package openflow
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sprintfKey is the historical fmt-based rendering FlowKey.String
+// replaced; the format is load-bearing (applications parse it), so the
+// two must agree exactly.
+func sprintfKey(f Fields) string {
+	src := fmt.Sprintf("%d.%d.%d.%d", f.IPSrc>>24, f.IPSrc>>16&0xff, f.IPSrc>>8&0xff, f.IPSrc&0xff)
+	dst := fmt.Sprintf("%d.%d.%d.%d", f.IPDst>>24, f.IPDst>>16&0xff, f.IPDst>>8&0xff, f.IPDst&0xff)
+	return fmt.Sprintf("%d/%s:%d>%s:%d", f.IPProto, src, f.TPSrc, dst, f.TPDst)
+}
+
+func TestFlowKeyStringMatchesHistoricalFormat(t *testing.T) {
+	cases := []Fields{
+		{IPProto: ProtoTCP, IPSrc: IPv4(10, 0, 0, 1), IPDst: IPv4(10, 0, 0, 2), TPSrc: 1000, TPDst: 80},
+		{IPProto: ProtoUDP, IPSrc: IPv4(192, 168, 255, 254), IPDst: IPv4(0, 0, 0, 0), TPSrc: 0, TPDst: 65535},
+		{IPProto: 255, IPSrc: 0xFFFFFFFF, IPDst: 1, TPSrc: 53, TPDst: 53},
+		{}, // all-zero
+	}
+	for _, f := range cases {
+		k := KeyOf(f)
+		if got, want := k.String(), sprintfKey(f); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+		if got := string(k.Append(nil)); got != k.String() {
+			t.Errorf("Append = %q, String = %q", got, k.String())
+		}
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	f := Fields{IPProto: ProtoTCP, IPSrc: IPv4(10, 0, 0, 1), IPDst: IPv4(10, 0, 0, 2), TPSrc: 1000, TPDst: 80}
+	k := KeyOf(f)
+	r := k.Reverse()
+	if r.IPSrc != k.IPDst || r.IPDst != k.IPSrc || r.TPSrc != k.TPDst || r.TPDst != k.TPSrc || r.IPProto != k.IPProto {
+		t.Fatalf("Reverse() = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("Reverse is not an involution")
+	}
+	if k.IsZero() {
+		t.Fatal("populated key reported zero")
+	}
+	if !(FlowKey{}).IsZero() {
+		t.Fatal("zero key not reported zero")
+	}
+}
+
+// BenchmarkFlowKey pins the fast path's costs: packing and comparing
+// keys must be allocation-free; rendering reuses a caller buffer.
+func BenchmarkFlowKey(b *testing.B) {
+	f := Fields{IPProto: ProtoTCP, IPSrc: IPv4(10, 1, 2, 3), IPDst: IPv4(10, 4, 5, 6), TPSrc: 1024, TPDst: 443}
+	b.Run("KeyOf", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink FlowKey
+		for i := 0; i < b.N; i++ {
+			sink = KeyOf(f)
+		}
+		_ = sink
+	})
+	b.Run("Append", func(b *testing.B) {
+		b.ReportAllocs()
+		k := KeyOf(f)
+		buf := make([]byte, 0, 48)
+		for i := 0; i < b.N; i++ {
+			buf = k.Append(buf[:0])
+		}
+	})
+	b.Run("Sprintf", func(b *testing.B) {
+		// The historical rendering, kept as the comparison point.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sprintfKey(f)
+		}
+	})
+}

@@ -56,10 +56,10 @@ func rawExtract(records []*core.Feature) ([][]float64, []float64, error) {
 	for i, rec := range records {
 		row := make([]float64, len(names))
 		for j, name := range names {
-			row[j] = rec.Values[name]
+			row[j] = rec.Value(name)
 		}
 		x[i] = row
-		y[i] = rec.Values[core.LabelField]
+		y[i] = rec.Value(core.LabelField)
 	}
 	return x, y, nil
 }

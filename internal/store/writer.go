@@ -97,6 +97,24 @@ func (w *Writer) Publish(d Document) {
 	}
 }
 
+// PublishAll enqueues a batch of documents under one lock acquisition.
+// It never blocks on the network.
+func (w *Writer) PublishAll(docs []Document) {
+	if len(docs) == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.pending = append(w.pending, docs...)
+	full := len(w.pending) >= w.batchSize
+	w.mu.Unlock()
+	if full {
+		select {
+		case w.flushCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // Err reports the last flush error, if any.
 func (w *Writer) Err() error {
 	w.mu.Lock()

@@ -99,7 +99,7 @@ func TestStackEndToEnd(t *testing.T) {
 	f := feats[0]
 	for _, name := range []string{FPacketCount, FByteCount, FBytePerPacket, FPairFlowRatio} {
 		if _, ok := f.NumField(name); !ok {
-			t.Errorf("feature missing %s: %+v", name, f.Values)
+			t.Errorf("feature missing %s: %+v", name, f.Values())
 		}
 	}
 }
