@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race bench microbench
+.PHONY: build verify test race bench bench-compute microbench
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,15 @@ bench:
 	$(GO) run ./cmd/athena-bench -exp pipeline \
 		-pipeline-out BENCH_pipeline.json -pipeline-label "$(LABEL)"
 
+# Appends a labeled compute-layer run (parallel kernels + columnar
+# transport) to BENCH_compute.json.
+bench-compute:
+	$(GO) run ./cmd/athena-bench -exp compute \
+		-compute-out BENCH_compute.json -compute-label "$(LABEL)"
+
 # The per-op Go benchmarks behind the pipeline numbers.
 microbench:
 	$(GO) test -bench 'BenchmarkGeneratorProcess|BenchmarkSouthboundHandle' -run XXX ./internal/core/
 	$(GO) test -bench BenchmarkFlowKey -run XXX ./internal/openflow/
+	$(GO) test -bench 'BenchmarkKMeansTrain' -benchmem -run XXX ./internal/ml/
+	$(GO) test -bench 'BenchmarkDriverLoadDataset' -benchmem -run XXX ./internal/compute/

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|all")
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|all")
 		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
 		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
 		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
@@ -43,13 +43,23 @@ func main() {
 		pipeWorkers = flag.Int("pipeline-workers", 0, "pipeline: SB dispatch workers (0 = inline)")
 		pipeOut     = flag.String("pipeline-out", "", "pipeline: append a labeled run to this JSON log (e.g. BENCH_pipeline.json)")
 		pipeLabel   = flag.String("pipeline-label", "current", "pipeline: label for the appended run")
+
+		compRows    = flag.Int("compute-rows", 24_000, "compute: synthetic DDoS dataset rows")
+		compPar     = flag.Int("compute-par", 8, "compute: kernel parallelism under test")
+		compWorkers = flag.Int("compute-workers", 4, "compute: transport cluster size")
+		compOut     = flag.String("compute-out", "", "compute: append a labeled run to this JSON log (e.g. BENCH_compute.json)")
+		compLabel   = flag.String("compute-label", "current", "compute: label for the appended run")
 	)
 	flag.Parse()
 	pcfg := pipelineFlags{
 		Messages: *pipeMsgs, Streams: *pipeStreams, Workers: *pipeWorkers,
 		Out: *pipeOut, Label: *pipeLabel,
 	}
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg); err != nil {
+	ccfg := computeFlags{
+		Rows: *compRows, Parallelism: *compPar, Workers: *compWorkers,
+		Out: *compOut, Label: *compLabel,
+	}
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
@@ -64,7 +74,16 @@ type pipelineFlags struct {
 	Label    string
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags) error {
+// computeFlags carries the -compute-* command-line knobs.
+type computeFlags struct {
+	Rows        int
+	Parallelism int
+	Workers     int
+	Out         string
+	Label       string
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags) error {
 	// One shared registry across all experiments: the dump then reads
 	// like a scrape of a deployment that ran the whole evaluation.
 	var reg *telemetry.Registry
@@ -74,7 +93,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute"} {
 			todo[e] = true
 		}
 	} else {
@@ -184,6 +203,25 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 				return fmt.Errorf("pipeline log: %w", err)
 			}
 			fmt.Printf("pipeline run %q appended to %s\n", pcfg.Label, pcfg.Out)
+		}
+		fmt.Println()
+	}
+	if todo["compute"] {
+		r, err := bench.RunCompute(bench.ComputeConfig{
+			Rows:        ccfg.Rows,
+			Parallelism: ccfg.Parallelism,
+			Workers:     ccfg.Workers,
+			Seed:        seed,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteComputeReport(os.Stdout, r)
+		if ccfg.Out != "" {
+			if err := bench.AppendComputeJSON(ccfg.Out, ccfg.Label, r); err != nil {
+				return fmt.Errorf("compute log: %w", err)
+			}
+			fmt.Printf("compute run %q appended to %s\n", ccfg.Label, ccfg.Out)
 		}
 		fmt.Println()
 	}

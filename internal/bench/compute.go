@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/compute"
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// ComputeConfig parameterizes the compute-layer measurement: parallel
+// ML kernel throughput plus binary columnar transport cost.
+type ComputeConfig struct {
+	// Rows is the target synthetic DDoS dataset size (default 24_000).
+	Rows int
+	// Parallelism is the kernel worker count under test (default 8).
+	Parallelism int
+	// Workers is the compute cluster size for the transport segment
+	// (default 4).
+	Workers int
+	// K / Iterations configure the K-Means kernel (defaults 8 / 10).
+	K          int
+	Iterations int
+	Seed       int64
+}
+
+func (c ComputeConfig) withDefaults() ComputeConfig {
+	if c.Rows <= 0 {
+		c.Rows = 24_000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 10
+	}
+	return c
+}
+
+// ComputeResult is one measured run of the compute-layer benchmark.
+//
+// Kernel timings come in three flavors. Serial and parallel wall are
+// real end-to-end clocks; on a single-core sandbox the parallel wall
+// cannot beat serial no matter how good the kernels are. Modeled
+// makespan follows the repo's makespan convention (see the
+// internal/compute package comment): every chunk of the K-Means
+// assignment kernel is individually measured for real, and the chunks
+// are then dealt round-robin to Parallelism virtual workers assumed to
+// run on distinct machines; the makespan is the slowest worker's sum.
+type ComputeResult struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+
+	Config ComputeConfig `json:"config"`
+
+	// Rows/Dim record the realized synthetic dataset shape.
+	Rows int `json:"rows"`
+	Dim  int `json:"dim"`
+
+	// K-Means kernel segment.
+	KMeansSerialSec       float64 `json:"kmeans_serial_sec"`
+	KMeansParallelWallSec float64 `json:"kmeans_parallel_wall_sec"`
+	KMeansModeledSec      float64 `json:"kmeans_modeled_sec"`
+	// KMeansSerialRowsPerSec is assignment-kernel throughput on one
+	// worker; KMeansModeledRowsPerSec at Parallelism modeled workers.
+	KMeansSerialRowsPerSec  float64 `json:"kmeans_serial_rows_per_sec"`
+	KMeansModeledRowsPerSec float64 `json:"kmeans_modeled_rows_per_sec"`
+	KMeansModeledSpeedup    float64 `json:"kmeans_modeled_speedup"`
+
+	// Transport segment.
+	TransportJSONBytes   int64   `json:"transport_json_bytes"`
+	TransportBinaryBytes int64   `json:"transport_binary_bytes"`
+	TransportCachedBytes int64   `json:"transport_cached_bytes"`
+	TransportCacheHits   int64   `json:"transport_cache_hits"`
+	BinaryVsJSONRatio    float64 `json:"binary_vs_json_ratio"`
+	CachedVsJSONRatio    float64 `json:"cached_vs_json_ratio"`
+	LoadColdSec          float64 `json:"load_cold_sec"`
+	LoadCachedSec        float64 `json:"load_cached_sec"`
+}
+
+// RunCompute measures the parallel K-Means kernel and the binary
+// columnar dataset transport on a synthetic DDoS workload.
+func RunCompute(cfg ComputeConfig) (ComputeResult, error) {
+	cfg = cfg.withDefaults()
+	res := ComputeResult{
+		Label:     "current",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config:    cfg,
+	}
+
+	entriesPerFlow := 4
+	flows := cfg.Rows / entriesPerFlow
+	ds := core.GenerateDDoSDataset(core.SynthDDoSConfig{
+		BenignFlows:    flows / 4,
+		MaliciousFlows: flows - flows/4,
+		EntriesPerFlow: entriesPerFlow,
+		Seed:           cfg.Seed + 1,
+	})
+	res.Rows = ds.Len()
+	res.Dim = ds.Dim()
+
+	kmCfg := ml.KMeansConfig{K: cfg.K, Iterations: cfg.Iterations, Seed: cfg.Seed}
+
+	// Segment 1: serial vs parallel wall clock for full K-Means training.
+	{
+		serialCfg := kmCfg
+		serialCfg.Parallelism = 1
+		start := time.Now()
+		if _, err := ml.TrainKMeans(ds, serialCfg); err != nil {
+			return res, fmt.Errorf("compute bench serial kmeans: %w", err)
+		}
+		res.KMeansSerialSec = time.Since(start).Seconds()
+
+		parCfg := kmCfg
+		parCfg.Parallelism = cfg.Parallelism
+		start = time.Now()
+		if _, err := ml.TrainKMeans(ds, parCfg); err != nil {
+			return res, fmt.Errorf("compute bench parallel kmeans: %w", err)
+		}
+		res.KMeansParallelWallSec = time.Since(start).Seconds()
+	}
+
+	// Segment 2: modeled makespan. Measure every assignment-kernel chunk
+	// for real, then deal chunks round-robin to Parallelism virtual
+	// workers; this is exactly the schedule parallelChunks uses, with the
+	// machine assumption made explicit instead of time-sliced on one CPU.
+	{
+		model, err := ml.TrainKMeans(ds, ml.KMeansConfig{K: cfg.K, Iterations: 1, Seed: cfg.Seed, Parallelism: 1})
+		if err != nil {
+			return res, fmt.Errorf("compute bench kernel seed: %w", err)
+		}
+		chunks := ml.Chunks(ds.Len())
+		chunkSec := make([]float64, len(chunks))
+		var serialSum float64
+		for rep := 0; rep < 3; rep++ { // repeat to damp timer noise, keep min
+			for ci, c := range chunks {
+				sub := &ml.Dataset{X: ds.X[c[0]:c[1]], Labels: ds.Labels[c[0]:c[1]]}
+				start := time.Now()
+				ml.AssignStepN(sub, model.Centroids, 1)
+				sec := time.Since(start).Seconds()
+				if rep == 0 || sec < chunkSec[ci] {
+					chunkSec[ci] = sec
+				}
+			}
+		}
+		workerSum := make([]float64, cfg.Parallelism)
+		for ci, sec := range chunkSec {
+			serialSum += sec
+			workerSum[ci%cfg.Parallelism] += sec
+		}
+		makespan := 0.0
+		for _, s := range workerSum {
+			if s > makespan {
+				makespan = s
+			}
+		}
+		iters := float64(cfg.Iterations)
+		res.KMeansModeledSec = makespan * iters
+		res.KMeansSerialRowsPerSec = float64(ds.Len()) / serialSum
+		res.KMeansModeledRowsPerSec = float64(ds.Len()) / makespan
+		if makespan > 0 {
+			res.KMeansModeledSpeedup = serialSum / makespan
+		}
+	}
+
+	// Segment 3: transport. JSON baseline vs binary columnar first load
+	// vs content-cache reload, on a real worker cluster.
+	{
+		legacy := struct {
+			Op     string      `json:"op"`
+			Name   string      `json:"name"`
+			Rows   [][]float64 `json:"rows"`
+			Labels []float64   `json:"labels,omitempty"`
+		}{Op: "load", Name: "bench", Rows: ds.X, Labels: ds.Labels}
+		blob, err := json.Marshal(legacy)
+		if err != nil {
+			return res, fmt.Errorf("compute bench json baseline: %w", err)
+		}
+		res.TransportJSONBytes = int64(len(blob))
+
+		var addrs []string
+		var workers []*compute.Worker
+		defer func() {
+			for _, w := range workers {
+				w.Close()
+			}
+		}()
+		for i := 0; i < cfg.Workers; i++ {
+			w, err := compute.NewWorker("")
+			if err != nil {
+				return res, fmt.Errorf("compute bench worker: %w", err)
+			}
+			workers = append(workers, w)
+			addrs = append(addrs, w.Addr())
+		}
+		drv, err := compute.NewDriver(addrs)
+		if err != nil {
+			return res, fmt.Errorf("compute bench driver: %w", err)
+		}
+		defer drv.Close()
+
+		start := time.Now()
+		if err := drv.LoadDataset("bench", ds); err != nil {
+			return res, fmt.Errorf("compute bench cold load: %w", err)
+		}
+		res.LoadColdSec = time.Since(start).Seconds()
+		cold := drv.TransportStats()
+		res.TransportBinaryBytes = cold.BytesShipped
+
+		if err := drv.DropDataset("bench"); err != nil {
+			return res, err
+		}
+		start = time.Now()
+		if err := drv.LoadDataset("bench", ds); err != nil {
+			return res, fmt.Errorf("compute bench cached load: %w", err)
+		}
+		res.LoadCachedSec = time.Since(start).Seconds()
+		warm := drv.TransportStats()
+		res.TransportCachedBytes = warm.BytesShipped - cold.BytesShipped
+		res.TransportCacheHits = warm.CacheHits
+
+		if res.TransportJSONBytes > 0 {
+			res.BinaryVsJSONRatio = float64(res.TransportBinaryBytes) / float64(res.TransportJSONBytes)
+			res.CachedVsJSONRatio = float64(res.TransportCachedBytes) / float64(res.TransportJSONBytes)
+		}
+	}
+
+	return res, nil
+}
+
+// computeRuns is the on-disk shape of BENCH_compute.json: an append-
+// only log of labeled runs, so before/after evidence lives in one file.
+type computeRuns struct {
+	Runs []ComputeResult `json:"runs"`
+}
+
+// AppendComputeJSON appends one labeled run to path (creating it when
+// absent) and pretty-prints the whole log.
+func AppendComputeJSON(path, label string, r ComputeResult) error {
+	r.Label = label
+	var log computeRuns
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &log)
+	}
+	log.Runs = append(log.Runs, r)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteComputeReport prints one run in the human bench format.
+func WriteComputeReport(w io.Writer, r ComputeResult) {
+	fmt.Fprintf(w, "COMPUTE — parallel kernels + columnar transport (%s, GOMAXPROCS=%d, %d rows × %d dims)\n",
+		r.GoVersion, r.MaxProcs, r.Rows, r.Dim)
+	fmt.Fprintf(w, "  kmeans  serial wall      %10.3fs\n", r.KMeansSerialSec)
+	fmt.Fprintf(w, "  kmeans  %d-way wall       %10.3fs (time-sliced on %d CPUs)\n",
+		r.Config.Parallelism, r.KMeansParallelWallSec, r.MaxProcs)
+	fmt.Fprintf(w, "  kmeans  %d-way modeled    %10.3fs  %.2fx speedup (%.0f -> %.0f rows/s/step)\n",
+		r.Config.Parallelism, r.KMeansModeledSec, r.KMeansModeledSpeedup,
+		r.KMeansSerialRowsPerSec, r.KMeansModeledRowsPerSec)
+	fmt.Fprintf(w, "  ship    JSON baseline    %10d B\n", r.TransportJSONBytes)
+	fmt.Fprintf(w, "  ship    binary columnar  %10d B  (%.2fx of JSON) in %.3fs\n",
+		r.TransportBinaryBytes, r.BinaryVsJSONRatio, r.LoadColdSec)
+	fmt.Fprintf(w, "  ship    cached reload    %10d B  (%.4fx of JSON, %d/%d worker cache hits) in %.3fs\n",
+		r.TransportCachedBytes, r.CachedVsJSONRatio, r.TransportCacheHits, int64(r.Config.Workers), r.LoadCachedSec)
+}

@@ -217,18 +217,24 @@ func TestWorkerAppendLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.close()
-	if _, err := conn.call(taskRequest{Op: opLoad, Name: "x", Rows: [][]float64{{1}}, Labels: []float64{0}}); err != nil {
+	base := &ml.Dataset{X: [][]float64{{1}}, Labels: []float64{0}}
+	if _, _, err := conn.load(loadRequestFor("x", base, false), base); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := conn.call(taskRequest{Op: opLoad, Name: "x", Append: true, Rows: [][]float64{{2}}, Labels: []float64{1}})
-	if err != nil {
+	extra := &ml.Dataset{X: [][]float64{{2}}, Labels: []float64{1}}
+	if _, _, err := conn.load(loadRequestFor("x", extra, true), extra); err != nil {
 		t.Fatal(err)
-	}
-	if resp.N != 2 {
-		t.Fatalf("append N = %d, want 2", resp.N)
 	}
 	if w.PartitionRows("x") != 2 {
 		t.Fatalf("rows = %d", w.PartitionRows("x"))
+	}
+	// Appending must not corrupt cache-shared content: reloading the
+	// original base partition must still see 1 row.
+	if _, _, err := conn.load(loadRequestFor("y", base, false), base); err != nil {
+		t.Fatal(err)
+	}
+	if w.PartitionRows("y") != 1 {
+		t.Fatalf("cached base rows = %d, want 1", w.PartitionRows("y"))
 	}
 }
 

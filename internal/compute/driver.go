@@ -1,11 +1,13 @@
 package compute
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/ml"
@@ -32,13 +34,15 @@ type Engine interface {
 	JobTime() time.Duration
 }
 
-// workerConn is the driver's connection to one worker.
+// workerConn is the driver's connection to one worker. All traffic is
+// framed (frame.go): JSON control frames plus binary columnar dataset
+// frames during loads.
 type workerConn struct {
 	addr string
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	br   *bufio.Reader
+	bw   *bufio.Writer
 }
 
 func dialWorker(addr string) (*workerConn, error) {
@@ -49,25 +53,110 @@ func dialWorker(addr string) (*workerConn, error) {
 	return &workerConn{
 		addr: addr,
 		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(conn),
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
 	}, nil
 }
 
-func (w *workerConn) call(req taskRequest) (taskResponse, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.enc.Encode(req); err != nil {
-		return taskResponse{}, fmt.Errorf("compute call %s: %w", w.addr, err)
+// sendJSONLocked frames req as JSON and reports the wire bytes written.
+func (w *workerConn) sendJSONLocked(req taskRequest) (int, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	n, err := writeFrame(w.bw, frameJSON, b)
+	if err != nil {
+		return n, err
+	}
+	return n, w.bw.Flush()
+}
+
+func (w *workerConn) readRespLocked() (taskResponse, error) {
+	typ, payload, err := readFrame(w.br)
+	if err != nil {
+		return taskResponse{}, fmt.Errorf("compute reply %s: %w", w.addr, err)
+	}
+	if typ != frameJSON {
+		return taskResponse{}, fmt.Errorf("compute reply %s: unexpected frame type %d", w.addr, typ)
 	}
 	var resp taskResponse
-	if err := w.dec.Decode(&resp); err != nil {
+	if err := json.Unmarshal(payload, &resp); err != nil {
 		return taskResponse{}, fmt.Errorf("compute reply %s: %w", w.addr, err)
 	}
 	if resp.Err != "" {
 		return resp, fmt.Errorf("compute %s: %s", w.addr, resp.Err)
 	}
 	return resp, nil
+}
+
+func (w *workerConn) call(req taskRequest) (taskResponse, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.sendJSONLocked(req); err != nil {
+		return taskResponse{}, fmt.Errorf("compute call %s: %w", w.addr, err)
+	}
+	return w.readRespLocked()
+}
+
+// loadRequestFor builds the opLoad announcement for one partition.
+// Appends never carry a content hash: they mutate the bound dataset
+// rather than install cacheable content.
+func loadRequestFor(name string, part *ml.Dataset, appendRows bool) taskRequest {
+	chunkRows := datasetChunkRows(part.Dim())
+	chunks := 0
+	if part.Len() > 0 {
+		chunks = (part.Len() + chunkRows - 1) / chunkRows
+	}
+	req := taskRequest{
+		Op: opLoad, Name: name, TotalRows: part.Len(), Dim: part.Dim(),
+		HasLabels: part.Labels != nil, Chunks: chunks, Append: appendRows,
+	}
+	if !appendRows {
+		req.Hash = datasetHash(part)
+	}
+	return req
+}
+
+// load runs the two-phase dataset transfer: announce (name, shape,
+// content hash), then stream binary columnar frames only if the worker
+// does not already hold the content. It reports the wire bytes shipped
+// and whether the worker's cache absorbed the load.
+func (w *workerConn) load(req taskRequest, part *ml.Dataset) (shipped int64, cached bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.sendJSONLocked(req)
+	shipped += int64(n)
+	if err != nil {
+		return shipped, false, fmt.Errorf("compute load %s: %w", w.addr, err)
+	}
+	resp, err := w.readRespLocked()
+	if err != nil {
+		return shipped, false, err
+	}
+	if resp.Cached {
+		return shipped, true, nil
+	}
+	chunkRows := datasetChunkRows(part.Dim())
+	var buf []byte
+	for lo := 0; lo < part.Len(); lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > part.Len() {
+			hi = part.Len()
+		}
+		buf = encodeDatasetChunk(buf, part.X, part.Labels, lo, hi)
+		n, err := writeFrame(w.bw, frameDataset, buf)
+		shipped += int64(n)
+		if err != nil {
+			return shipped, false, fmt.Errorf("compute load %s: %w", w.addr, err)
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return shipped, false, fmt.Errorf("compute load %s: %w", w.addr, err)
+	}
+	if _, err := w.readRespLocked(); err != nil {
+		return shipped, false, err
+	}
+	return shipped, false, nil
 }
 
 func (w *workerConn) close() {
@@ -79,6 +168,20 @@ func (w *workerConn) close() {
 	}
 }
 
+// TransportStats aggregates the driver's dataset-shipping costs since
+// construction.
+type TransportStats struct {
+	// Loads counts per-worker partition transfers initiated.
+	Loads int64
+	// CacheHits counts transfers absorbed by worker content caches.
+	CacheHits int64
+	// BytesShipped is the total wire bytes written for loads (headers,
+	// control messages, and columnar payloads).
+	BytesShipped int64
+	// ShipTime is the cumulative wall time spent in LoadDataset.
+	ShipTime time.Duration
+}
+
 // Driver coordinates a worker cluster.
 type Driver struct {
 	workers []*workerConn
@@ -86,22 +189,36 @@ type Driver struct {
 	mu      sync.Mutex
 	local   map[string]*ml.Dataset // driver-side copy for non-distributed algorithms
 	jobTime time.Duration
+	stats   TransportStats
 
 	// Set by WithDriverTelemetry; nil fields mean unobserved.
-	inflight *telemetry.Gauge
-	rounds   *telemetry.Counter
+	inflight   *telemetry.Gauge
+	rounds     *telemetry.Counter
+	shipBytes  *telemetry.Counter
+	shipTime   *telemetry.Histogram
+	cacheHits  *telemetry.Counter
+	kernelTime *telemetry.HistogramVec
 }
 
 // DriverOption configures a Driver.
 type DriverOption func(*Driver)
 
-// WithDriverTelemetry registers job-level queue metrics on reg.
+// WithDriverTelemetry registers job-level queue and transport metrics
+// on reg.
 func WithDriverTelemetry(reg *telemetry.Registry) DriverOption {
 	return func(d *Driver) {
 		d.inflight = reg.Gauge("athena_compute_inflight_tasks",
 			"Tasks currently dispatched to workers.")
 		d.rounds = reg.Counter("athena_compute_rounds_total",
 			"Broadcast-aggregate rounds driven.")
+		d.shipBytes = reg.Counter("athena_compute_ship_bytes_total",
+			"Wire bytes shipped to workers for dataset loads.")
+		d.shipTime = reg.Histogram("athena_compute_ship_seconds",
+			"Wall time per LoadDataset call.", nil)
+		d.cacheHits = reg.Counter("athena_compute_dataset_cache_hits_total",
+			"Partition loads absorbed by worker content caches.")
+		d.kernelTime = reg.HistogramVec("athena_compute_kernel_seconds",
+			"Measured on-worker kernel time per task, by operation.", nil, "op")
 	}
 }
 
@@ -148,26 +265,54 @@ func (d *Driver) setJobTime(t time.Duration) {
 	d.mu.Unlock()
 }
 
-// LoadDataset implements Engine: contiguous partitions, one per worker.
+// TransportStats reports cumulative dataset-shipping costs.
+func (d *Driver) TransportStats() TransportStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// LoadDataset implements Engine: contiguous partitions, one per worker,
+// shipped as binary columnar frames. Partitions whose content hash is
+// already resident in a worker's cache are not re-shipped.
 func (d *Driver) LoadDataset(name string, ds *ml.Dataset) error {
 	if err := ds.Validate(false); err != nil {
 		return err
 	}
 	parts := ds.Split(len(d.workers))
+	start := time.Now()
+	var shipped, hits atomic.Int64
 	errs := d.fanOut(func(i int, w *workerConn) error {
-		_, err := w.call(taskRequest{Op: opLoad, Name: name, Rows: parts[i].X, Labels: parts[i].Labels})
+		part := parts[i]
+		n, cached, err := w.load(loadRequestFor(name, part, false), part)
+		shipped.Add(n)
+		if cached {
+			hits.Add(1)
+		}
 		return err
 	})
+	elapsed := time.Since(start)
 	if errs != nil {
 		return errs
 	}
 	d.mu.Lock()
 	d.local[name] = ds
+	d.stats.Loads += int64(len(parts))
+	d.stats.CacheHits += hits.Load()
+	d.stats.BytesShipped += shipped.Load()
+	d.stats.ShipTime += elapsed
 	d.mu.Unlock()
+	if d.shipBytes != nil {
+		d.shipBytes.Add(uint64(shipped.Load()))
+		d.shipTime.Observe(elapsed.Seconds())
+		d.cacheHits.Add(uint64(hits.Load()))
+	}
 	return nil
 }
 
-// DropDataset implements Engine.
+// DropDataset implements Engine. Worker content caches deliberately
+// retain dropped partitions so a later reload of identical content is
+// a cache hit.
 func (d *Driver) DropDataset(name string) error {
 	err := d.fanOut(func(i int, w *workerConn) error {
 		_, e := w.call(taskRequest{Op: opDrop, Name: name})
@@ -212,7 +357,7 @@ func (d *Driver) fanOut(fn func(i int, w *workerConn) error) error {
 
 // gather runs a task on every worker and returns the responses plus the
 // round makespan (max measured on-worker time).
-func (d *Driver) gather(req func(i int) taskRequest) ([]taskResponse, time.Duration, error) {
+func (d *Driver) gather(op string, req func(i int) taskRequest) ([]taskResponse, time.Duration, error) {
 	if d.rounds != nil {
 		d.rounds.Inc()
 	}
@@ -227,14 +372,19 @@ func (d *Driver) gather(req func(i int) taskRequest) ([]taskResponse, time.Durat
 	}
 	var makespan time.Duration
 	for _, r := range resps {
-		if t := time.Duration(r.ElapsedNS); t > makespan {
+		t := time.Duration(r.ElapsedNS)
+		if t > makespan {
 			makespan = t
+		}
+		if d.kernelTime != nil {
+			d.kernelTime.WithLabelValues(op).Observe(t.Seconds())
 		}
 	}
 	return resps, makespan, nil
 }
 
-// Train implements Engine. K-Means and logistic regression run truly
+// Train implements Engine. K-Means and the gradient-descent family
+// (logistic regression, linear SVM, linear/ridge regression) run truly
 // distributed (broadcast-aggregate rounds); the remaining algorithms
 // train on the driver against its dataset copy, mirroring how small or
 // non-parallelizable jobs are collected in Spark deployments.
@@ -242,8 +392,8 @@ func (d *Driver) Train(name, algo string, p ml.Params) (*ml.Model, error) {
 	switch algo {
 	case ml.AlgoKMeans:
 		return d.trainKMeans(name, p)
-	case ml.AlgoLogistic:
-		return d.trainLogistic(name, p)
+	case ml.AlgoLogistic, ml.AlgoSVM, ml.AlgoLinear, ml.AlgoRidge:
+		return d.trainGD(name, algo, p)
 	default:
 		ds, err := d.localDataset(name)
 		if err != nil {
@@ -274,6 +424,7 @@ func (d *Driver) trainKMeans(name string, p ml.Params) (*ml.Model, error) {
 	cfg := ml.KMeansConfig{
 		K: p.K, Iterations: p.Iterations, Runs: p.Runs,
 		Seed: p.Seed, Epsilon: p.Epsilon, InitMode: p.InitMode,
+		Parallelism: p.Parallelism,
 	}
 	if cfg.K <= 0 {
 		cfg.K = 8
@@ -295,6 +446,7 @@ func (d *Driver) trainKMeans(name string, p ml.Params) (*ml.Model, error) {
 	}
 	seedModel, err := ml.TrainKMeans(sample, ml.KMeansConfig{
 		K: cfg.K, Iterations: 1, Seed: cfg.Seed, InitMode: cfg.InitMode,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -305,8 +457,8 @@ func (d *Driver) trainKMeans(name string, p ml.Params) (*ml.Model, error) {
 	dim := ds.Dim()
 	inertia := 0.0
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		resps, makespan, err := d.gather(func(int) taskRequest {
-			return taskRequest{Op: opKMeansAssign, Name: name, Centroids: centroids}
+		resps, makespan, err := d.gather(opKMeansAssign, func(int) taskRequest {
+			return taskRequest{Op: opKMeansAssign, Name: name, Centroids: centroids, Parallelism: p.Parallelism}
 		})
 		if err != nil {
 			return nil, err
@@ -350,7 +502,22 @@ func (d *Driver) trainKMeans(name string, p ml.Params) (*ml.Model, error) {
 	return m, nil
 }
 
-func (d *Driver) trainLogistic(name string, p ml.Params) (*ml.Model, error) {
+// gradKindFor maps a trainable algorithm to its worker gradient kernel.
+func gradKindFor(algo string) string {
+	switch algo {
+	case ml.AlgoSVM:
+		return gradHinge
+	case ml.AlgoLinear, ml.AlgoRidge:
+		return gradSquared
+	default:
+		return gradLogistic
+	}
+}
+
+// trainGD runs distributed full-batch gradient descent: each round
+// broadcasts (weights, bias), workers reduce their partition's gradient
+// with the matching internal/ml kernel, and the driver merges and steps.
+func (d *Driver) trainGD(name, algo string, p ml.Params) (*ml.Model, error) {
 	ds, err := d.localDataset(name)
 	if err != nil {
 		return nil, err
@@ -366,12 +533,23 @@ func (d *Driver) trainLogistic(name string, p ml.Params) (*ml.Model, error) {
 	if lr <= 0 {
 		lr = 0.5
 	}
+	l2 := p.L2
+	if algo == ml.AlgoSVM && l2 <= 0 {
+		l2 = 1e-3
+	}
+	if algo == ml.AlgoRidge && l2 <= 0 {
+		l2 = 0.01
+	}
+	kind := gradKindFor(algo)
 	weights := make([]float64, ds.Dim())
 	bias := 0.0
 	var total time.Duration
 	for epoch := 0; epoch < epochs; epoch++ {
-		resps, makespan, err := d.gather(func(int) taskRequest {
-			return taskRequest{Op: opGradient, Name: name, Weights: weights, Bias: bias}
+		resps, makespan, err := d.gather(opGradient, func(int) taskRequest {
+			return taskRequest{
+				Op: opGradient, Name: name, GradKind: kind,
+				Weights: weights, Bias: bias, Parallelism: p.Parallelism,
+			}
 		})
 		if err != nil {
 			return nil, err
@@ -391,16 +569,22 @@ func (d *Driver) trainLogistic(name string, p ml.Params) (*ml.Model, error) {
 		}
 		step := lr / float64(n)
 		for j := range weights {
-			weights[j] -= step*grad[j] + lr*p.L2*weights[j]/float64(n)
+			weights[j] -= step*grad[j] + lr*l2*weights[j]/float64(n)
 		}
 		bias -= step * gb
 		total += makespan + time.Since(mergeStart)
 	}
 	d.setJobTime(total)
-	return &ml.Model{
-		Algo:     ml.AlgoLogistic,
-		Logistic: &ml.LogisticRegression{Weights: weights, Bias: bias},
-	}, nil
+	switch algo {
+	case ml.AlgoSVM:
+		return &ml.Model{Algo: algo, SVM: &ml.SVM{Weights: weights, Bias: bias}}, nil
+	case ml.AlgoLinear:
+		return &ml.Model{Algo: algo, Linear: &ml.LinearRegression{Weights: weights, Bias: bias, Kind: "linear"}}, nil
+	case ml.AlgoRidge:
+		return &ml.Model{Algo: algo, Linear: &ml.LinearRegression{Weights: weights, Bias: bias, Kind: "ridge"}}, nil
+	default:
+		return &ml.Model{Algo: algo, Logistic: &ml.LogisticRegression{Weights: weights, Bias: bias}}, nil
+	}
 }
 
 // Validate implements Engine: shard-parallel scoring with merged
@@ -410,7 +594,7 @@ func (d *Driver) Validate(name string, m *ml.Model) (ml.Confusion, []ml.ClusterC
 	if err != nil {
 		return ml.Confusion{}, nil, err
 	}
-	resps, makespan, err := d.gather(func(int) taskRequest {
+	resps, makespan, err := d.gather(opValidate, func(int) taskRequest {
 		return taskRequest{Op: opValidate, Name: name, Model: blob}
 	})
 	if err != nil {

@@ -1,0 +1,226 @@
+package compute
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// Wire framing. Every message on a driver<->worker connection is one
+// length-prefixed frame:
+//
+//	[0:2]  magic "AF"
+//	[2]    protocol version (frameVersion)
+//	[3]    frame type (frameJSON control | frameDataset column block)
+//	[4:8]  payload length, big-endian uint32
+//	[8:…]  payload
+//
+// Control messages (taskRequest/taskResponse) stay JSON inside
+// frameJSON payloads; dataset rows travel as binary columnar blocks
+// (frameDataset) so float64 values — including NaN and ±Inf, which
+// JSON cannot represent — round-trip bit-exactly at 8 bytes/value.
+const (
+	frameMagic0  = 'A'
+	frameMagic1  = 'F'
+	frameVersion = 1
+
+	frameJSON    = 1
+	frameDataset = 2
+
+	frameHeaderLen  = 8
+	maxFramePayload = 64 << 20 // 64 MiB
+)
+
+// writeFrame writes one frame and reports the bytes put on the wire.
+func writeFrame(w io.Writer, typ byte, payload []byte) (int, error) {
+	if len(payload) > maxFramePayload {
+		return 0, fmt.Errorf("compute: frame payload %d exceeds %d", len(payload), maxFramePayload)
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0], hdr[1] = frameMagic0, frameMagic1
+	hdr[2] = frameVersion
+	hdr[3] = typ
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return frameHeaderLen, err
+	}
+	return frameHeaderLen + len(payload), nil
+}
+
+// readFrame reads one frame, validating magic, version, type, and the
+// payload length bound.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return 0, nil, fmt.Errorf("compute: bad frame magic %02x%02x", hdr[0], hdr[1])
+	}
+	if hdr[2] != frameVersion {
+		return 0, nil, fmt.Errorf("compute: unsupported frame version %d", hdr[2])
+	}
+	if hdr[3] != frameJSON && hdr[3] != frameDataset {
+		return 0, nil, fmt.Errorf("compute: unknown frame type %d", hdr[3])
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("compute: frame payload %d exceeds %d", n, maxFramePayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[3], payload, nil
+}
+
+// Dataset block payload (inside a frameDataset frame):
+//
+//	u32 rows | u32 cols | u8 flags | cols × (rows × f64 LE) | [rows × f64 labels]
+//
+// Values are column blocks — all of column 0, then column 1, … — which
+// keeps same-distribution values adjacent and the layout friendly to a
+// future per-column compressor.
+const (
+	dsFlagLabels = 1 << 0
+
+	dsChunkHeaderLen = 9
+	// maxChunkRows/Cols bound the decoded shape before any allocation.
+	maxChunkRows = 1 << 24
+	maxChunkCols = 1 << 16
+)
+
+// datasetChunkRows picks the per-frame row count so one chunk stays
+// well under the frame payload bound.
+func datasetChunkRows(cols int) int {
+	const target = 8192
+	per := (cols + 1) * 8 // worst case: every column plus labels
+	if per == 0 {
+		return target
+	}
+	if max := (maxFramePayload - dsChunkHeaderLen) / per; max < target {
+		return max
+	}
+	return target
+}
+
+// encodeDatasetChunk serializes rows [lo, hi) of (X, labels) as one
+// column-block payload, appending to buf.
+func encodeDatasetChunk(buf []byte, x [][]float64, labels []float64, lo, hi int) []byte {
+	rows := hi - lo
+	cols := 0
+	if rows > 0 {
+		cols = len(x[lo])
+	}
+	flags := byte(0)
+	if labels != nil {
+		flags |= dsFlagLabels
+	}
+	need := dsChunkHeaderLen + (cols+popLabel(flags))*rows*8
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:0]
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rows))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cols))
+	buf = append(buf, flags)
+	for c := 0; c < cols; c++ {
+		for i := lo; i < hi; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x[i][c]))
+		}
+	}
+	if labels != nil {
+		for i := lo; i < hi; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(labels[i]))
+		}
+	}
+	return buf
+}
+
+func popLabel(flags byte) int {
+	if flags&dsFlagLabels != 0 {
+		return 1
+	}
+	return 0
+}
+
+// decodeDatasetChunk parses one column-block payload. It never panics
+// on arbitrary input: every dimension is bounded and the payload length
+// must match the declared shape exactly.
+func decodeDatasetChunk(payload []byte) (x [][]float64, labels []float64, err error) {
+	if len(payload) < dsChunkHeaderLen {
+		return nil, nil, fmt.Errorf("compute: dataset chunk short header (%d bytes)", len(payload))
+	}
+	rows := binary.BigEndian.Uint32(payload[0:4])
+	cols := binary.BigEndian.Uint32(payload[4:8])
+	flags := payload[8]
+	if flags&^byte(dsFlagLabels) != 0 {
+		return nil, nil, fmt.Errorf("compute: dataset chunk unknown flags %#x", flags)
+	}
+	if rows > maxChunkRows || cols > maxChunkCols {
+		return nil, nil, fmt.Errorf("compute: dataset chunk shape %dx%d out of bounds", rows, cols)
+	}
+	want := uint64(dsChunkHeaderLen) + (uint64(cols)+uint64(popLabel(flags)))*uint64(rows)*8
+	if uint64(len(payload)) != want {
+		return nil, nil, fmt.Errorf("compute: dataset chunk length %d, want %d for %dx%d", len(payload), want, rows, cols)
+	}
+	body := payload[dsChunkHeaderLen:]
+	x = make([][]float64, rows)
+	flat := make([]float64, int(rows)*int(cols))
+	for i := range x {
+		x[i] = flat[i*int(cols) : (i+1)*int(cols) : (i+1)*int(cols)]
+	}
+	off := 0
+	for c := 0; c < int(cols); c++ {
+		for i := 0; i < int(rows); i++ {
+			x[i][c] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+	}
+	if flags&dsFlagLabels != 0 {
+		labels = make([]float64, rows)
+		for i := range labels {
+			labels[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+	}
+	return x, labels, nil
+}
+
+// datasetHash fingerprints a dataset partition's exact content (shape,
+// value bits, label presence). Workers key their content-addressed
+// cache on it, so reloading identical rows — under any name — skips
+// the reship.
+func datasetHash(d *ml.Dataset) string {
+	h := sha256.New()
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(d.Len()))
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(d.Dim()))
+	h.Write(scratch[:])
+	if d.Labels != nil {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	for _, row := range d.X {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			h.Write(scratch[:])
+		}
+	}
+	for _, v := range d.Labels {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		h.Write(scratch[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

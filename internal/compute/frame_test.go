@@ -1,0 +1,368 @@
+package compute
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[byte][]byte{
+		frameJSON:    []byte(`{"op":"ping"}`),
+		frameDataset: {0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for typ, payload := range payloads {
+		buf.Reset()
+		n, err := writeFrame(&buf, typ, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != frameHeaderLen+len(payload) || buf.Len() != n {
+			t.Fatalf("wrote %d bytes, buffer %d", n, buf.Len())
+		}
+		gotTyp, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTyp != typ || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip: type %d payload %v", gotTyp, got)
+		}
+	}
+
+	if _, err := writeFrame(&buf, frameJSON, make([]byte, maxFramePayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader([]byte("XX\x01\x01\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader([]byte("AF\x09\x01\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader([]byte("AF\x01\x07\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("bad frame type accepted")
+	}
+}
+
+// The binary columnar codec must round-trip every float64 bit pattern.
+// This is the regression the framing exists to fix: encoding/json
+// rejects NaN and ±Inf outright, so the old JSON row shipping could not
+// load datasets containing division artifacts from feature generation.
+func TestDatasetChunkRoundTripSpecialValues(t *testing.T) {
+	x := [][]float64{
+		{1.5, math.NaN(), math.Inf(1)},
+		{math.Inf(-1), math.Copysign(0, -1), 2.25},
+		{math.SmallestNonzeroFloat64, math.MaxFloat64, -3},
+	}
+	labels := []float64{0, math.NaN(), 1}
+	payload := encodeDatasetChunk(nil, x, labels, 0, len(x))
+	gx, glabels, err := decodeDatasetChunk(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		for j := range x[i] {
+			if math.Float64bits(gx[i][j]) != math.Float64bits(x[i][j]) {
+				t.Fatalf("x[%d][%d]: bits %x != %x", i, j, math.Float64bits(gx[i][j]), math.Float64bits(x[i][j]))
+			}
+		}
+	}
+	for i := range labels {
+		if math.Float64bits(glabels[i]) != math.Float64bits(labels[i]) {
+			t.Fatalf("label %d: bits differ", i)
+		}
+	}
+
+	// Unlabeled chunks round-trip with nil labels.
+	payload = encodeDatasetChunk(payload, x, nil, 1, 3)
+	gx, glabels, err = decodeDatasetChunk(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glabels != nil || len(gx) != 2 || gx[0][2] != 2.25 {
+		t.Fatalf("unlabeled slice round trip: labels %v rows %d", glabels, len(gx))
+	}
+}
+
+// Pin the failure mode the binary transport replaced: the legacy wire
+// format carried rows inline in the JSON control message, and
+// json.Marshal rejects NaN/Inf, so any dataset with those values could
+// not be shipped at all.
+func TestLegacyJSONEncodingRejectsNaN(t *testing.T) {
+	legacy := struct {
+		Op     string      `json:"op"`
+		Rows   [][]float64 `json:"rows,omitempty"`
+		Labels []float64   `json:"labels,omitempty"`
+	}{Op: "load", Rows: [][]float64{{math.NaN()}}, Labels: []float64{0}}
+	if _, err := json.Marshal(legacy); err == nil {
+		t.Fatal("json.Marshal accepted NaN rows; this test pins the legacy failure the binary codec fixes")
+	}
+}
+
+// End to end: a dataset containing NaN/±Inf loads through the Driver
+// and lands on workers bit-exact.
+func TestDriverLoadDatasetWithNaNRows(t *testing.T) {
+	ds := blobs(100, 3, 7)
+	ds.X[0][0] = math.NaN()
+	ds.X[1][1] = math.Inf(1)
+	ds.X[2][2] = math.Inf(-1)
+	drv, ws := newCluster(t, 2)
+	if err := drv.LoadDataset("nan", ds); err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]float64
+	for _, w := range ws {
+		w.mu.RLock()
+		part := w.data["nan"]
+		rows = append(rows, part.X...)
+		w.mu.RUnlock()
+	}
+	if len(rows) != ds.Len() {
+		t.Fatalf("workers hold %d rows, want %d", len(rows), ds.Len())
+	}
+	for i, row := range rows {
+		for j := range row {
+			if math.Float64bits(row[j]) != math.Float64bits(ds.X[i][j]) {
+				t.Fatalf("row %d col %d: bits differ after transport", i, j)
+			}
+		}
+	}
+}
+
+// Repeat loads of identical content must be absorbed by the worker
+// content cache: no columnar frames reshipped, only the control
+// exchange.
+func TestRepeatLoadHitsWorkerCache(t *testing.T) {
+	ds := blobs(2000, 8, 31)
+	drv, ws := newCluster(t, 2)
+
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	first := drv.TransportStats()
+	if first.CacheHits != 0 {
+		t.Fatalf("first load reported %d cache hits", first.CacheHits)
+	}
+	if first.BytesShipped < int64(ds.Len()*ds.Dim()*8) {
+		t.Fatalf("first load shipped %d bytes, below raw column size", first.BytesShipped)
+	}
+
+	// Dropping releases the name binding but keeps cached content.
+	if err := drv.DropDataset("d"); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		if w.PartitionRows("d") != 0 {
+			t.Fatalf("worker %d still bound after drop", i)
+		}
+		if w.CachedPartitions() == 0 {
+			t.Fatalf("worker %d evicted cache on drop", i)
+		}
+	}
+
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	stats := drv.TransportStats()
+	if stats.CacheHits != int64(len(ws)) {
+		t.Fatalf("reload cache hits = %d, want %d", stats.CacheHits, len(ws))
+	}
+	reshipped := stats.BytesShipped - first.BytesShipped
+	if reshipped <= 0 || reshipped > 1024 {
+		t.Fatalf("cached reload shipped %d bytes, want only a small control exchange", reshipped)
+	}
+
+	// The cached partitions must still be usable for compute.
+	m, err := drv.Train("d", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, _, err := drv.Validate("d", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != int64(ds.Len()) {
+		t.Fatalf("validated %d rows from cache, want %d", conf.Total(), ds.Len())
+	}
+
+	// Acceptance bound: a repeated Train round over the same window must
+	// ship >= 5x fewer bytes than the legacy JSON baseline for the same
+	// rows (it ships none of them).
+	legacyBytes := jsonBaselineBytes(t, ds)
+	if reshipped*5 > legacyBytes {
+		t.Fatalf("cached reload %d bytes, JSON baseline %d: want >= 5x reduction", reshipped, legacyBytes)
+	}
+}
+
+// jsonBaselineBytes measures what the legacy JSON load would have put
+// on the wire for this dataset.
+func jsonBaselineBytes(t *testing.T, ds *ml.Dataset) int64 {
+	t.Helper()
+	legacy := struct {
+		Op     string      `json:"op"`
+		Name   string      `json:"name"`
+		Rows   [][]float64 `json:"rows"`
+		Labels []float64   `json:"labels,omitempty"`
+	}{Op: "load", Name: "d", Rows: ds.X, Labels: ds.Labels}
+	b, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(b))
+}
+
+func TestBinaryTransportSmallerThanJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := &ml.Dataset{}
+	for i := 0; i < 1000; i++ {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 10
+		}
+		ds.X = append(ds.X, row)
+		ds.Labels = append(ds.Labels, float64(i%2))
+	}
+	drv, _ := newCluster(t, 2)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	binary := drv.TransportStats().BytesShipped
+	legacy := jsonBaselineBytes(t, ds)
+	if binary >= legacy {
+		t.Fatalf("binary transport %d bytes >= JSON %d", binary, legacy)
+	}
+}
+
+func TestDistributedSVM(t *testing.T) {
+	ds := blobs(800, 4, 21)
+	drv, _ := newCluster(t, 2)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	m, err := drv.Train("d", ml.AlgoSVM, ml.Params{Epochs: 80, LearningRate: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SVM == nil {
+		t.Fatal("driver SVM training returned no SVM model")
+	}
+	conf, _, err := drv.Validate("d", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.95 {
+		t.Fatalf("distributed SVM accuracy = %v", conf.Accuracy())
+	}
+}
+
+func TestDistributedRidgeRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := &ml.Dataset{}
+	for i := 0; i < 1200; i++ {
+		x0, x1 := rng.NormFloat64(), rng.NormFloat64()
+		ds.X = append(ds.X, []float64{x0, x1})
+		ds.Labels = append(ds.Labels, 2*x0-x1+3+0.01*rng.NormFloat64())
+	}
+	drv, _ := newCluster(t, 3)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{ml.AlgoLinear, ml.AlgoRidge} {
+		m, err := drv.Train("d", algo, ml.Params{Epochs: 200, LearningRate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Linear == nil {
+			t.Fatalf("%s: no linear model", algo)
+		}
+		w := m.Linear.Weights
+		if math.Abs(w[0]-2) > 0.25 || math.Abs(w[1]+1) > 0.25 || math.Abs(m.Linear.Bias-3) > 0.25 {
+			t.Fatalf("%s: weights %v bias %v far from (2, -1, 3)", algo, w, m.Linear.Bias)
+		}
+	}
+}
+
+// Distributed gradient rounds must agree with the local kernels
+// bit-for-bit when the partitioning is a single worker.
+func TestSingleWorkerGradientMatchesLocalKernel(t *testing.T) {
+	ds := blobs(500, 3, 41)
+	drv, _ := newCluster(t, 1)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	conn := drv.workers[0]
+	w := []float64{0.2, -0.1, 0.05}
+	for _, kind := range []string{gradLogistic, gradHinge, gradSquared} {
+		resp, err := conn.call(taskRequest{Op: opGradient, Name: "d", GradKind: kind, Weights: w, Bias: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []float64
+		var wantB float64
+		switch kind {
+		case gradLogistic:
+			want, wantB, _ = ml.LogisticGradient(ds, w, 0.1, 1)
+		case gradHinge:
+			want, wantB, _ = ml.HingeGradient(ds, w, 0.1, 1)
+		case gradSquared:
+			want, wantB, _ = ml.SquaredGradient(ds, w, 0.1, 1)
+		}
+		if resp.GradBias != wantB {
+			t.Fatalf("%s: bias grad %v != %v", kind, resp.GradBias, wantB)
+		}
+		for j := range want {
+			if resp.Grad[j] != want[j] {
+				t.Fatalf("%s: grad[%d] = %v, want %v", kind, j, resp.Grad[j], want[j])
+			}
+		}
+	}
+	if _, err := conn.call(taskRequest{Op: opGradient, Name: "d", GradKind: "bogus", Weights: w}); err == nil {
+		t.Fatal("unknown gradient kind accepted")
+	}
+}
+
+func benchmarkDriverLoad(b *testing.B, cached bool) {
+	ds := blobs(5000, 10, 1)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		w, err := NewWorker("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		addrs = append(addrs, w.Addr())
+	}
+	drv, err := NewDriver(addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer drv.Close()
+	if err := drv.LoadDataset("warm", ds); err != nil {
+		b.Fatal(err)
+	}
+	base := drv.TransportStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cached {
+			// Mutating one value changes the content hash, forcing a
+			// full reship every iteration.
+			b.StopTimer()
+			ds.X[0][0] = float64(i + 1)
+			b.StartTimer()
+		}
+		if err := drv.LoadDataset("warm", ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := drv.TransportStats()
+	b.ReportMetric(float64(stats.BytesShipped-base.BytesShipped)/float64(b.N), "shipped-B/op")
+}
+
+func BenchmarkDriverLoadDatasetCold(b *testing.B)   { benchmarkDriverLoad(b, false) }
+func BenchmarkDriverLoadDatasetCached(b *testing.B) { benchmarkDriverLoad(b, true) }

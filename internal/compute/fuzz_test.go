@@ -1,0 +1,91 @@
+package compute
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// Random byte soup must never panic the chunk decoder — it may only
+// return errors or (rarely) a structurally valid block.
+func TestDecodeDatasetChunkRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20_000; i++ {
+		n := rng.Intn(256)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n >= dsChunkHeaderLen && rng.Intn(2) == 0 {
+			// Half the time, make the declared shape plausible so the
+			// length check and column loops get exercised too.
+			rows := rng.Intn(4)
+			cols := rng.Intn(4)
+			binary.BigEndian.PutUint32(buf[0:4], uint32(rows))
+			binary.BigEndian.PutUint32(buf[4:8], uint32(cols))
+			buf[8] = byte(rng.Intn(2))
+		}
+		_, _, _ = decodeDatasetChunk(buf)
+	}
+}
+
+// Random byte soup must never panic the frame reader.
+func TestReadFrameRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20_000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n >= frameHeaderLen && rng.Intn(2) == 0 {
+			buf[0], buf[1], buf[2] = frameMagic0, frameMagic1, frameVersion
+			buf[3] = byte(1 + rng.Intn(2))
+			binary.BigEndian.PutUint32(buf[4:8], uint32(rng.Intn(n)))
+		}
+		_, _, _ = readFrame(bytes.NewReader(buf))
+	}
+}
+
+// Mutating single bytes of valid frames/chunks must never panic.
+func TestDecodeBitflippedChunksNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}
+	labels := []float64{0, 1, 0, 1}
+	chunks := [][]byte{
+		encodeDatasetChunk(nil, x, labels, 0, len(x)),
+		encodeDatasetChunk(nil, x, nil, 1, 3),
+	}
+	for _, chunk := range chunks {
+		for trial := 0; trial < 2_000; trial++ {
+			buf := make([]byte, len(chunk))
+			copy(buf, chunk)
+			buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+			_, _, _ = decodeDatasetChunk(buf)
+		}
+	}
+	var framed bytes.Buffer
+	if _, err := writeFrame(&framed, frameDataset, chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	frame := framed.Bytes()
+	for trial := 0; trial < 2_000; trial++ {
+		buf := make([]byte, len(frame))
+		copy(buf, frame)
+		buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+		_, _, _ = readFrame(bytes.NewReader(buf))
+	}
+}
+
+// FuzzDecodeDatasetChunk is the native harness for `go test -fuzz`;
+// the deterministic loops above run the same property in regular CI.
+func FuzzDecodeDatasetChunk(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeDatasetChunk(nil, [][]float64{{1, 2}}, []float64{1}, 0, 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, labels, err := decodeDatasetChunk(data)
+		if err == nil {
+			// A structurally valid chunk must be internally consistent.
+			if labels != nil && len(labels) != len(x) {
+				t.Fatalf("decoded %d rows but %d labels", len(x), len(labels))
+			}
+		}
+	})
+}

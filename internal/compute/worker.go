@@ -5,6 +5,14 @@
 // shard-parallel model validation, plus an in-process Engine for small
 // datasets (the paper's §III-A 1C local/distributed dispatch).
 //
+// Wire protocol: every message is a length-prefixed frame (frame.go).
+// Control messages are JSON; dataset rows travel as binary columnar
+// blocks, so float64 values — including NaN/±Inf — round-trip exactly
+// and at a fraction of the JSON byte cost. Workers keep a small
+// content-addressed cache of recently shipped partitions keyed by
+// dataset hash, so reloading identical content (repeated Train or
+// Validate rounds over the same window) skips the reship entirely.
+//
 // Workers report the measured compute duration of every task. Because
 // the development sandbox may have fewer cores than simulated workers,
 // drivers account job time as the per-round parallel makespan
@@ -14,9 +22,9 @@
 package compute
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
-	"math"
 	"net"
 	"sync"
 	"time"
@@ -35,34 +43,57 @@ const (
 	opValidate     = "validate"
 )
 
-// taskRequest is the driver->worker wire format.
+// Gradient kinds for opGradient (distributed full-batch GD).
+const (
+	gradLogistic = "logistic"
+	gradHinge    = "hinge"
+	gradSquared  = "squared"
+)
+
+// taskRequest is the driver->worker control message (JSON frame).
+// Dataset rows are NOT carried here: opLoad announces shape + content
+// hash, and the rows follow as binary columnar frames only when the
+// worker does not already hold the content.
 type taskRequest struct {
 	Op   string `json:"op"`
 	Name string `json:"name,omitempty"`
 
 	// load
-	Rows   [][]float64 `json:"rows,omitempty"`
-	Labels []float64   `json:"labels,omitempty"`
-	Append bool        `json:"append,omitempty"`
+	Hash      string `json:"hash,omitempty"`
+	TotalRows int    `json:"total_rows,omitempty"`
+	Dim       int    `json:"dim,omitempty"`
+	HasLabels bool   `json:"has_labels,omitempty"`
+	Chunks    int    `json:"chunks,omitempty"`
+	Append    bool   `json:"append,omitempty"`
 
 	// kmeans_assign
 	Centroids [][]float64 `json:"centroids,omitempty"`
 
-	// gradient (logistic regression)
-	Weights []float64 `json:"weights,omitempty"`
-	Bias    float64   `json:"bias,omitempty"`
+	// gradient
+	GradKind string    `json:"grad_kind,omitempty"` // default: logistic
+	Weights  []float64 `json:"weights,omitempty"`
+	Bias     float64   `json:"bias,omitempty"`
 
 	// validate
 	Model json.RawMessage `json:"model,omitempty"`
+
+	// Parallelism bounds the worker's kernel goroutines for this task
+	// (<= 0: GOMAXPROCS). Kernel results are bit-identical at every
+	// setting (see internal/ml parallel-reduce invariants).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
-// taskResponse is the worker->driver wire format.
+// taskResponse is the worker->driver wire format (JSON frame).
 type taskResponse struct {
 	OK  bool   `json:"ok"`
 	Err string `json:"err,omitempty"`
 
 	// ElapsedNS is the measured on-worker compute time for the task.
 	ElapsedNS int64 `json:"elapsed_ns"`
+
+	// load: the worker already held the announced content hash, so the
+	// driver must not stream dataset frames.
+	Cached bool `json:"cached,omitempty"`
 
 	// kmeans_assign
 	Sums    [][]float64 `json:"sums,omitempty"`
@@ -79,6 +110,9 @@ type taskResponse struct {
 	Clusters  []ml.ClusterComposition `json:"clusters,omitempty"`
 }
 
+// workerCacheEntries bounds the content-addressed partition cache.
+const workerCacheEntries = 8
+
 // Worker is one compute node: it caches dataset partitions and executes
 // tasks against them.
 type Worker struct {
@@ -86,13 +120,21 @@ type Worker struct {
 
 	mu   sync.RWMutex
 	data map[string]*ml.Dataset
+	// bound tracks which names alias a cache entry (name -> hash), so
+	// appends copy-on-write instead of mutating shared cached content.
+	bound map[string]string
+	// cache holds recently shipped partitions by content hash; entries
+	// survive DropDataset so the next load of the same window is free.
+	cache      map[string]*ml.Dataset
+	cacheOrder []string // LRU order, oldest first
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	tele     *telemetry.Registry
-	tasks    *telemetry.CounterVec
-	taskTime *telemetry.HistogramVec
+	tele      *telemetry.Registry
+	tasks     *telemetry.CounterVec
+	taskTime  *telemetry.HistogramVec
+	cacheHits *telemetry.CounterVec
 
 	wg sync.WaitGroup
 }
@@ -118,6 +160,8 @@ func NewWorker(addr string, opts ...WorkerOption) (*Worker, error) {
 	w := &Worker{
 		ln:    ln,
 		data:  make(map[string]*ml.Dataset),
+		bound: make(map[string]string),
+		cache: make(map[string]*ml.Dataset),
 		conns: make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
@@ -130,6 +174,8 @@ func NewWorker(addr string, opts ...WorkerOption) (*Worker, error) {
 		"Tasks executed by a compute worker, by operation.", "worker", "op")
 	w.taskTime = w.tele.HistogramVec("athena_compute_task_seconds",
 		"Measured on-worker task compute time.", nil, "worker", "op")
+	w.cacheHits = w.tele.CounterVec("athena_compute_worker_cache_hits_total",
+		"Dataset loads satisfied by the worker's content-addressed cache.", "worker")
 	w.tele.GaugeVec("athena_compute_datasets",
 		"Dataset partitions resident on a worker.", "worker").
 		WithLabelValues(w.Addr()).Func(func() float64 {
@@ -169,6 +215,14 @@ func (w *Worker) PartitionRows(name string) int {
 	return 0
 }
 
+// CachedPartitions reports how many content-addressed partitions the
+// worker retains (useful in tests and ops inspection).
+func (w *Worker) CachedPartitions() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.cache)
+}
+
 func (w *Worker) serve() {
 	for {
 		conn, err := w.ln.Accept()
@@ -187,52 +241,180 @@ func (w *Worker) serve() {
 				delete(w.conns, conn)
 				w.connMu.Unlock()
 			}()
-			dec := json.NewDecoder(conn)
-			enc := json.NewEncoder(conn)
-			for {
-				var req taskRequest
-				if err := dec.Decode(&req); err != nil {
-					return
-				}
-				resp := w.execute(req)
-				if err := enc.Encode(resp); err != nil {
-					return
-				}
-			}
+			w.serveConn(conn)
 		}()
 	}
 }
 
-func (w *Worker) execute(req taskRequest) taskResponse {
+func (w *Worker) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil || typ != frameJSON {
+			return
+		}
+		var req taskRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return
+		}
+		resp, fatal := w.execute(req, br, bw)
+		if err := writeJSONFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if fatal {
+			// Mid-load protocol corruption leaves the stream position
+			// undefined; drop the connection rather than desync.
+			return
+		}
+	}
+}
+
+// writeJSONFrame marshals v into one frameJSON frame.
+func writeJSONFrame(w *bufio.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = writeFrame(w, frameJSON, b)
+	return err
+}
+
+func (w *Worker) execute(req taskRequest, br *bufio.Reader, bw *bufio.Writer) (taskResponse, bool) {
 	start := time.Now()
-	resp := w.run(req)
+	var resp taskResponse
+	var fatal bool
+	if req.Op == opLoad {
+		resp, fatal = w.runLoad(req, br, bw)
+	} else {
+		resp = w.run(req)
+	}
 	elapsed := time.Since(start)
 	resp.ElapsedNS = elapsed.Nanoseconds()
 	w.tasks.WithLabelValues(w.Addr(), req.Op).Inc()
 	w.taskTime.WithLabelValues(w.Addr(), req.Op).Observe(elapsed.Seconds())
-	return resp
+	return resp, fatal
+}
+
+// runLoad executes the two-phase load: if the announced content hash is
+// already cached, bind it and stop the driver from streaming; otherwise
+// acknowledge, receive the binary columnar frames, and install (and
+// cache) the assembled partition. The returned bool is true when the
+// connection must be dropped (stream position undefined after an error
+// mid-transfer).
+func (w *Worker) runLoad(req taskRequest, br *bufio.Reader, bw *bufio.Writer) (taskResponse, bool) {
+	if !req.Append && req.Hash != "" {
+		w.mu.Lock()
+		if d, ok := w.cache[req.Hash]; ok {
+			w.touchLocked(req.Hash)
+			w.data[req.Name] = d
+			w.bound[req.Name] = req.Hash
+			n := d.Len()
+			w.mu.Unlock()
+			w.cacheHits.WithLabelValues(w.Addr()).Inc()
+			return taskResponse{OK: true, Cached: true, N: int64(n)}, false
+		}
+		w.mu.Unlock()
+	}
+
+	// Phase 2: tell the driver to stream the columnar frames.
+	if err := writeJSONFrame(bw, taskResponse{OK: true}); err != nil {
+		return taskResponse{Err: err.Error()}, true
+	}
+	if err := bw.Flush(); err != nil {
+		return taskResponse{Err: err.Error()}, true
+	}
+
+	x := make([][]float64, 0, req.TotalRows)
+	var labels []float64
+	if req.HasLabels {
+		labels = make([]float64, 0, req.TotalRows)
+	}
+	for c := 0; c < req.Chunks; c++ {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return taskResponse{Err: fmt.Sprintf("compute: load chunk %d: %v", c, err)}, true
+		}
+		if typ != frameDataset {
+			return taskResponse{Err: fmt.Sprintf("compute: load chunk %d: unexpected frame type %d", c, typ)}, true
+		}
+		cx, cl, err := decodeDatasetChunk(payload)
+		if err != nil {
+			return taskResponse{Err: err.Error()}, true
+		}
+		if req.HasLabels != (cl != nil) {
+			return taskResponse{Err: "compute: load chunk label presence mismatch"}, true
+		}
+		x = append(x, cx...)
+		labels = append(labels, cl...)
+	}
+	if len(x) != req.TotalRows {
+		return taskResponse{Err: fmt.Sprintf("compute: load received %d rows, want %d", len(x), req.TotalRows)}, true
+	}
+	if !req.HasLabels {
+		labels = nil
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if req.Append {
+		if cur, ok := w.data[req.Name]; ok {
+			if h := w.bound[req.Name]; h != "" {
+				// Copy-on-write: never mutate cache-shared content.
+				cur = &ml.Dataset{
+					X:      append([][]float64(nil), cur.X...),
+					Labels: append([]float64(nil), cur.Labels...),
+				}
+				delete(w.bound, req.Name)
+			}
+			cur.X = append(cur.X, x...)
+			cur.Labels = append(cur.Labels, labels...)
+			w.data[req.Name] = cur
+			return taskResponse{OK: true, N: int64(cur.Len())}, false
+		}
+	}
+	ds := &ml.Dataset{X: x, Labels: labels}
+	w.data[req.Name] = ds
+	delete(w.bound, req.Name)
+	if !req.Append && req.Hash != "" {
+		w.cacheInsertLocked(req.Hash, ds)
+		w.bound[req.Name] = req.Hash
+	}
+	return taskResponse{OK: true, N: int64(ds.Len())}, false
+}
+
+// touchLocked moves hash to the back of the LRU order.
+func (w *Worker) touchLocked(hash string) {
+	for i, h := range w.cacheOrder {
+		if h == hash {
+			w.cacheOrder = append(append(w.cacheOrder[:i:i], w.cacheOrder[i+1:]...), hash)
+			return
+		}
+	}
+	w.cacheOrder = append(w.cacheOrder, hash)
+}
+
+func (w *Worker) cacheInsertLocked(hash string, d *ml.Dataset) {
+	if _, ok := w.cache[hash]; !ok && len(w.cache) >= workerCacheEntries {
+		oldest := w.cacheOrder[0]
+		w.cacheOrder = w.cacheOrder[1:]
+		delete(w.cache, oldest)
+	}
+	w.cache[hash] = d
+	w.touchLocked(hash)
 }
 
 func (w *Worker) run(req taskRequest) taskResponse {
 	switch req.Op {
 	case opPing:
 		return taskResponse{OK: true}
-	case opLoad:
-		w.mu.Lock()
-		if req.Append {
-			if cur, ok := w.data[req.Name]; ok {
-				cur.X = append(cur.X, req.Rows...)
-				cur.Labels = append(cur.Labels, req.Labels...)
-				w.mu.Unlock()
-				return taskResponse{OK: true, N: int64(cur.Len())}
-			}
-		}
-		w.data[req.Name] = &ml.Dataset{X: req.Rows, Labels: req.Labels}
-		w.mu.Unlock()
-		return taskResponse{OK: true, N: int64(len(req.Rows))}
 	case opDrop:
 		w.mu.Lock()
 		delete(w.data, req.Name)
+		delete(w.bound, req.Name)
 		w.mu.Unlock()
 		return taskResponse{OK: true}
 	case opKMeansAssign:
@@ -240,14 +422,26 @@ func (w *Worker) run(req taskRequest) taskResponse {
 		if err != nil {
 			return taskResponse{Err: err.Error()}
 		}
-		sums, counts, inertia := ml.AssignStep(d, req.Centroids)
+		sums, counts, inertia := ml.AssignStepN(d, req.Centroids, req.Parallelism)
 		return taskResponse{OK: true, Sums: sums, Counts: counts, Inertia: inertia}
 	case opGradient:
 		d, err := w.dataset(req.Name)
 		if err != nil {
 			return taskResponse{Err: err.Error()}
 		}
-		grad, gb, n := logisticGradient(d, req.Weights, req.Bias)
+		var grad []float64
+		var gb float64
+		var n int64
+		switch req.GradKind {
+		case "", gradLogistic:
+			grad, gb, n = ml.LogisticGradient(d, req.Weights, req.Bias, req.Parallelism)
+		case gradHinge:
+			grad, gb, n = ml.HingeGradient(d, req.Weights, req.Bias, req.Parallelism)
+		case gradSquared:
+			grad, gb, n = ml.SquaredGradient(d, req.Weights, req.Bias, req.Parallelism)
+		default:
+			return taskResponse{Err: fmt.Sprintf("compute: unknown gradient kind %q", req.GradKind)}
+		}
 		return taskResponse{OK: true, Grad: grad, GradBias: gb, N: n}
 	case opValidate:
 		d, err := w.dataset(req.Name)
@@ -258,7 +452,7 @@ func (w *Worker) run(req taskRequest) taskResponse {
 		if err != nil {
 			return taskResponse{Err: err.Error()}
 		}
-		conf, comps, err := model.Validate(d)
+		conf, comps, err := model.ValidateN(d, req.Parallelism)
 		if err != nil {
 			return taskResponse{Err: err.Error()}
 		}
@@ -276,29 +470,4 @@ func (w *Worker) dataset(name string) (*ml.Dataset, error) {
 		return nil, fmt.Errorf("compute: dataset %q not loaded", name)
 	}
 	return d, nil
-}
-
-// logisticGradient computes the full-batch log-loss gradient over a
-// partition for distributed gradient descent.
-func logisticGradient(d *ml.Dataset, weights []float64, bias float64) ([]float64, float64, int64) {
-	grad := make([]float64, len(weights))
-	gb := 0.0
-	for i, row := range d.X {
-		z := bias
-		for j, v := range row {
-			z += weights[j] * v
-		}
-		if z < -30 {
-			z = -30
-		} else if z > 30 {
-			z = 30
-		}
-		p := 1 / (1 + math.Exp(-z))
-		e := p - d.Labels[i]
-		for j, v := range row {
-			grad[j] += e * v
-		}
-		gb += e
-	}
-	return grad, gb, int64(d.Len())
 }

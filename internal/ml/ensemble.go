@@ -10,6 +10,10 @@ type ForestConfig struct {
 	Trees int `json:"trees"`
 	Tree  TreeConfig
 	Seed  int64 `json:"seed"`
+	// Parallelism bounds concurrent tree growth (<= 0: GOMAXPROCS).
+	// Each tree draws from its own RNG seeded cfg.Seed + tree index, so
+	// the forest is bit-identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c ForestConfig) withDefaults() ForestConfig {
@@ -31,13 +35,16 @@ func TrainRandomForest(d *Dataset, cfg ForestConfig) (*RandomForest, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	if cfg.Tree.FeatureSubset == 0 {
 		cfg.Tree.FeatureSubset = int(math.Ceil(math.Sqrt(float64(d.Dim()))))
 	}
-	forest := &RandomForest{}
 	n := d.Len()
-	for t := 0; t < cfg.Trees; t++ {
+	trees := make([]*DecisionTree, cfg.Trees)
+	errs := make([]error, cfg.Trees)
+	parallelItems(cfg.Trees, cfg.Parallelism, func(t int) {
+		// Per-tree RNG: bootstrap and split randomness are independent of
+		// how trees are scheduled across workers.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)))
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = rng.Intn(n)
@@ -45,13 +52,15 @@ func TrainRandomForest(d *Dataset, cfg ForestConfig) (*RandomForest, error) {
 		boot := d.Subset(idx)
 		treeCfg := cfg.Tree
 		treeCfg.Seed = rng.Int63()
-		tree, err := TrainDecisionTree(boot, treeCfg)
+		treeCfg.Parallelism = 1 // tree-level parallelism already saturates
+		trees[t], errs[t] = TrainDecisionTree(boot, treeCfg)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		forest.Trees = append(forest.Trees, tree)
 	}
-	return forest, nil
+	return &RandomForest{Trees: trees}, nil
 }
 
 // Predict averages leaf probabilities across the forest.
@@ -77,6 +86,10 @@ type GBTConfig struct {
 	LearningRate float64 `json:"learning_rate"`
 	Tree         TreeConfig
 	Seed         int64 `json:"seed"`
+	// Parallelism bounds the per-round residual/margin kernels and the
+	// in-tree split search (<= 0: GOMAXPROCS). Boosting rounds stay
+	// sequential; output is bit-identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c GBTConfig) withDefaults() GBTConfig {
@@ -127,20 +140,25 @@ func TrainGBT(d *Dataset, cfg GBTConfig) (*GradientBoostedTrees, error) {
 	residual := make([]float64, n)
 	work := &Dataset{X: d.X, Labels: residual}
 	for t := 0; t < cfg.Trees; t++ {
-		for i := range residual {
-			residual[i] = d.Labels[i] - sigmoid(margin[i])
-		}
+		parallelChunks(n, cfg.Parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				residual[i] = d.Labels[i] - sigmoid(margin[i])
+			}
+		})
 		treeCfg := cfg.Tree
 		treeCfg.Regression = true
 		treeCfg.Seed = rng.Int63()
+		treeCfg.Parallelism = cfg.Parallelism
 		tree, err := TrainDecisionTree(work, treeCfg)
 		if err != nil {
 			return nil, err
 		}
 		model.Trees = append(model.Trees, tree)
-		for i, row := range d.X {
-			margin[i] += cfg.LearningRate * tree.Predict(row)
-		}
+		parallelChunks(n, cfg.Parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				margin[i] += cfg.LearningRate * tree.Predict(d.X[i])
+			}
+		})
 	}
 	return model, nil
 }

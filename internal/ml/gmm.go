@@ -11,6 +11,9 @@ type GMMConfig struct {
 	Iterations int     `json:"iterations"`
 	Seed       int64   `json:"seed"`
 	Epsilon    float64 `json:"epsilon"`
+	// Parallelism bounds the EM kernel worker count (<= 0: GOMAXPROCS).
+	// Output is bit-identical at every setting for a fixed seed.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c GMMConfig) withDefaults() GMMConfig {
@@ -50,7 +53,7 @@ func TrainGMM(d *Dataset, cfg GMMConfig) (*GaussianMixture, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Initialize from K-Means centroids with global variance.
-	km, err := TrainKMeans(d, KMeansConfig{K: k, Iterations: 5, Seed: rng.Int63()})
+	km, err := TrainKMeans(d, KMeansConfig{K: k, Iterations: 5, Seed: rng.Int63(), Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -70,59 +73,121 @@ func TrainGMM(d *Dataset, cfg GMMConfig) (*GaussianMixture, error) {
 		resp[i] = make([]float64, k)
 	}
 	prevLL := math.Inf(-1)
+	nChunks := len(Chunks(n))
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		// E-step.
-		ll := 0.0
-		for i, row := range d.X {
-			var max float64 = math.Inf(-1)
+		// E-step: responsibilities are per-row independent; the
+		// log-likelihood reduces over per-chunk partials merged in order.
+		llParts := make([]float64, nChunks)
+		parallelChunks(n, cfg.Parallelism, func(chunk, lo, hi int) {
 			logs := make([]float64, k)
-			for c := 0; c < k; c++ {
-				logs[c] = math.Log(m.Pi[c]+1e-300) + m.logGauss(c, row)
-				if logs[c] > max {
-					max = logs[c]
+			ll := 0.0
+			for i := lo; i < hi; i++ {
+				row := d.X[i]
+				var max float64 = math.Inf(-1)
+				for c := 0; c < k; c++ {
+					logs[c] = math.Log(m.Pi[c]+1e-300) + m.logGauss(c, row)
+					if logs[c] > max {
+						max = logs[c]
+					}
 				}
+				sum := 0.0
+				for c := 0; c < k; c++ {
+					resp[i][c] = math.Exp(logs[c] - max)
+					sum += resp[i][c]
+				}
+				for c := 0; c < k; c++ {
+					resp[i][c] /= sum
+				}
+				ll += max + math.Log(sum)
 			}
-			sum := 0.0
-			for c := 0; c < k; c++ {
-				resp[i][c] = math.Exp(logs[c] - max)
-				sum += resp[i][c]
-			}
-			for c := 0; c < k; c++ {
-				resp[i][c] /= sum
-			}
-			ll += max + math.Log(sum)
+			llParts[chunk] = ll
+		})
+		ll := 0.0
+		for _, p := range llParts {
+			ll += p
 		}
 		m.LogLik = ll
-		// M-step.
-		for c := 0; c < k; c++ {
-			nc := 0.0
-			for i := 0; i < n; i++ {
-				nc += resp[i][c]
+
+		// M-step pass 1: responsibility mass and weighted mean sums.
+		type moment struct {
+			nc   []float64
+			mean [][]float64
+		}
+		momParts := make([]moment, nChunks)
+		parallelChunks(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			p := moment{nc: make([]float64, k), mean: make([][]float64, k)}
+			for c := range p.mean {
+				p.mean[c] = make([]float64, dim)
 			}
-			if nc < 1e-12 {
-				continue
-			}
-			m.Pi[c] = nc / float64(n)
-			mean := make([]float64, dim)
-			for i, row := range d.X {
-				for j, v := range row {
-					mean[j] += resp[i][c] * v
+			for i := lo; i < hi; i++ {
+				row := d.X[i]
+				for c := 0; c < k; c++ {
+					r := resp[i][c]
+					p.nc[c] += r
+					for j, v := range row {
+						p.mean[c][j] += r * v
+					}
 				}
 			}
-			for j := range mean {
-				mean[j] /= nc
+			momParts[chunk] = p
+		})
+		nc := make([]float64, k)
+		means := make([][]float64, k)
+		for c := range means {
+			means[c] = make([]float64, dim)
+		}
+		for _, p := range momParts {
+			for c := 0; c < k; c++ {
+				nc[c] += p.nc[c]
+				for j, v := range p.mean[c] {
+					means[c][j] += v
+				}
+			}
+		}
+		for c := 0; c < k; c++ {
+			if nc[c] < 1e-12 {
+				means[c] = m.Means[c] // starved component keeps its mean
+				continue
+			}
+			for j := range means[c] {
+				means[c][j] /= nc[c]
+			}
+		}
+
+		// M-step pass 2: weighted variance around the new means.
+		varParts := make([][][]float64, nChunks)
+		parallelChunks(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			vr := make([][]float64, k)
+			for c := range vr {
+				vr[c] = make([]float64, dim)
+			}
+			for i := lo; i < hi; i++ {
+				row := d.X[i]
+				for c := 0; c < k; c++ {
+					r := resp[i][c]
+					for j, v := range row {
+						dv := v - means[c][j]
+						vr[c][j] += r * dv * dv
+					}
+				}
+			}
+			varParts[chunk] = vr
+		})
+		for c := 0; c < k; c++ {
+			if nc[c] < 1e-12 {
+				continue // starved component keeps Pi/mean/var
 			}
 			vr := make([]float64, dim)
-			for i, row := range d.X {
-				for j, v := range row {
-					dv := v - mean[j]
-					vr[j] += resp[i][c] * dv * dv
+			for _, p := range varParts {
+				for j, v := range p[c] {
+					vr[j] += v
 				}
 			}
 			for j := range vr {
-				vr[j] = vr[j]/nc + minVariance
+				vr[j] = vr[j]/nc[c] + minVariance
 			}
-			m.Means[c], m.Vars[c] = mean, vr
+			m.Pi[c] = nc[c] / float64(n)
+			m.Means[c], m.Vars[c] = means[c], vr
 		}
 		if math.Abs(ll-prevLL) < cfg.Epsilon*(math.Abs(prevLL)+1) {
 			break

@@ -15,6 +15,9 @@ type KMeansConfig struct {
 	Epsilon    float64 `json:"epsilon"`
 	// InitMode is "kmeans||" (default) or "random".
 	InitMode string `json:"init_mode"`
+	// Parallelism bounds the kernel worker count (<= 0: GOMAXPROCS).
+	// Output is bit-identical at every setting for a fixed seed.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c KMeansConfig) withDefaults() KMeansConfig {
@@ -73,33 +76,64 @@ func trainKMeansOnce(d *Dataset, cfg KMeansConfig, rng *rand.Rand) *KMeans {
 	}
 	assign := make([]int, d.Len())
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		moved := lloydStep(d, centroids, assign)
+		moved := lloydStep(d, centroids, assign, cfg.Parallelism)
 		if moved < cfg.Epsilon {
 			break
 		}
 	}
+	// Inertia: per-chunk partials merged in chunk order.
+	parts := make([]float64, len(Chunks(d.Len())))
+	parallelChunks(d.Len(), cfg.Parallelism, func(chunk, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += sqDist(d.X[i], centroids[assign[i]])
+		}
+		parts[chunk] = s
+	})
 	inertia := 0.0
-	for i, row := range d.X {
-		inertia += sqDist(row, centroids[assign[i]])
+	for _, p := range parts {
+		inertia += p
 	}
 	return &KMeans{Centroids: centroids, Inertia: inertia}
 }
 
 // lloydStep reassigns points and recomputes centroids, returning the
-// total centroid movement.
-func lloydStep(d *Dataset, centroids [][]float64, assign []int) float64 {
+// total centroid movement. Assignment and per-cluster accumulation run
+// as a chunked parallel reduce.
+func lloydStep(d *Dataset, centroids [][]float64, assign []int, workers int) float64 {
 	k, dim := len(centroids), d.Dim()
-	sums := make([][]float64, k)
-	counts := make([]int, k)
-	for i := range sums {
-		sums[i] = make([]float64, dim)
+	type partial struct {
+		sums   [][]float64
+		counts []int64
 	}
-	for i, row := range d.X {
-		c := nearestCentroid(row, centroids)
-		assign[i] = c
-		counts[c]++
-		for j, v := range row {
-			sums[c][j] += v
+	parts := make([]partial, len(Chunks(d.Len())))
+	parallelChunks(d.Len(), workers, func(chunk, lo, hi int) {
+		p := partial{sums: make([][]float64, k), counts: make([]int64, k)}
+		for c := range p.sums {
+			p.sums[c] = make([]float64, dim)
+		}
+		for i := lo; i < hi; i++ {
+			row := d.X[i]
+			c := nearestCentroid(row, centroids)
+			assign[i] = c
+			p.counts[c]++
+			for j, v := range row {
+				p.sums[c][j] += v
+			}
+		}
+		parts[chunk] = p
+	})
+	sums := make([][]float64, k)
+	counts := make([]int64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for _, p := range parts { // merge in chunk order: deterministic
+		for c := range sums {
+			counts[c] += p.counts[c]
+			for j, v := range p.sums[c] {
+				sums[c][j] += v
+			}
 		}
 	}
 	moved := 0.0
@@ -208,20 +242,51 @@ func (m *KMeans) Distance(x []float64) float64 {
 // AssignStep is one distributed Lloyd iteration's map task: given the
 // current centroids, compute per-cluster partial sums over a data
 // partition. The driver merges partials and recomputes centroids,
-// mirroring how MLlib distributes K-Means.
+// mirroring how MLlib distributes K-Means. It runs at GOMAXPROCS
+// kernel parallelism; see AssignStepN.
 func AssignStep(part *Dataset, centroids [][]float64) (sums [][]float64, counts []int64, inertia float64) {
+	return AssignStepN(part, centroids, 0)
+}
+
+// AssignStepN is AssignStep with an explicit kernel worker bound
+// (<= 0: GOMAXPROCS). Results are identical at every setting: chunk
+// boundaries and the partial merge order are fixed.
+func AssignStepN(part *Dataset, centroids [][]float64, workers int) (sums [][]float64, counts []int64, inertia float64) {
 	k, dim := len(centroids), part.Dim()
+	type partial struct {
+		sums    [][]float64
+		counts  []int64
+		inertia float64
+	}
+	parts := make([]partial, len(Chunks(part.Len())))
+	parallelChunks(part.Len(), workers, func(chunk, lo, hi int) {
+		p := partial{sums: make([][]float64, k), counts: make([]int64, k)}
+		for c := range p.sums {
+			p.sums[c] = make([]float64, dim)
+		}
+		for i := lo; i < hi; i++ {
+			row := part.X[i]
+			c := nearestCentroid(row, centroids)
+			p.counts[c]++
+			p.inertia += sqDist(row, centroids[c])
+			for j, v := range row {
+				p.sums[c][j] += v
+			}
+		}
+		parts[chunk] = p
+	})
 	sums = make([][]float64, k)
 	for i := range sums {
 		sums[i] = make([]float64, dim)
 	}
 	counts = make([]int64, k)
-	for _, row := range part.X {
-		c := nearestCentroid(row, centroids)
-		counts[c]++
-		inertia += sqDist(row, centroids[c])
-		for j, v := range row {
-			sums[c][j] += v
+	for _, p := range parts {
+		inertia += p.inertia
+		for c := range sums {
+			counts[c] += p.counts[c]
+			for j, v := range p.sums[c] {
+				sums[c][j] += v
+			}
 		}
 	}
 	return sums, counts, inertia

@@ -25,6 +25,75 @@ func (c LinearConfig) withDefaults() LinearConfig {
 	return c
 }
 
+// Full-batch gradient kernels: the hot loops of distributed gradient
+// descent (the compute workers run one of these per partition per
+// round). Each is a chunked parallel reduce — fixed chunk boundaries,
+// partials merged in chunk order — so the sums are bit-identical at
+// every worker count.
+
+// LogisticGradient sums the log-loss gradient of (weights, bias) over d
+// using at most `workers` kernel goroutines (<= 0: GOMAXPROCS).
+func LogisticGradient(d *Dataset, weights []float64, bias float64, workers int) (grad []float64, gradBias float64, n int64) {
+	return gradientReduce(d, weights, workers, func(row []float64, y float64) float64 {
+		return sigmoid(dot(weights, row)+bias) - y
+	})
+}
+
+// HingeGradient sums the hinge-loss subgradient over d: margin
+// violators (y'(w·x+b) < 1 with y' in {-1,+1}) contribute -y'x. The
+// regularization term is applied by the caller.
+func HingeGradient(d *Dataset, weights []float64, bias float64, workers int) (grad []float64, gradBias float64, n int64) {
+	return gradientReduce(d, weights, workers, func(row []float64, y float64) float64 {
+		ys := 2*y - 1
+		if ys*(dot(weights, row)+bias) < 1 {
+			return -ys
+		}
+		return 0
+	})
+}
+
+// SquaredGradient sums the squared-loss gradient (residual * x) over d.
+func SquaredGradient(d *Dataset, weights []float64, bias float64, workers int) (grad []float64, gradBias float64, n int64) {
+	return gradientReduce(d, weights, workers, func(row []float64, y float64) float64 {
+		return dot(weights, row) + bias - y
+	})
+}
+
+// gradientReduce accumulates err(x_i, y_i) * x_i per chunk and merges
+// the per-chunk sums in chunk order. A zero err contributes nothing
+// (hinge non-violators skip the row entirely).
+func gradientReduce(d *Dataset, weights []float64, workers int, errFn func(row []float64, y float64) float64) ([]float64, float64, int64) {
+	dim := len(weights)
+	type partial struct {
+		grad []float64
+		bias float64
+	}
+	parts := make([]partial, len(Chunks(d.Len())))
+	parallelChunks(d.Len(), workers, func(chunk, lo, hi int) {
+		p := partial{grad: make([]float64, dim)}
+		for i := lo; i < hi; i++ {
+			e := errFn(d.X[i], d.Labels[i])
+			if e == 0 {
+				continue
+			}
+			for j, v := range d.X[i] {
+				p.grad[j] += e * v
+			}
+			p.bias += e
+		}
+		parts[chunk] = p
+	})
+	grad := make([]float64, dim)
+	gb := 0.0
+	for _, p := range parts {
+		gb += p.bias
+		for j, v := range p.grad {
+			grad[j] += v
+		}
+	}
+	return grad, gb, int64(d.Len())
+}
+
 // LogisticRegression is a binary classifier trained by SGD on log loss.
 type LogisticRegression struct {
 	Weights []float64 `json:"weights"`

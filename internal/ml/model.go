@@ -81,6 +81,12 @@ type Params struct {
 	Column int     `json:"column,omitempty"`
 	Op     string  `json:"op,omitempty"`
 	Value  float64 `json:"value,omitempty"`
+
+	// Parallelism bounds the trainers' kernel worker count (<= 0:
+	// GOMAXPROCS). Trained models are bit-identical at every setting
+	// for a fixed seed: kernels reduce over fixed chunk boundaries and
+	// merge partials in chunk order.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Model wraps a trained model of any supported algorithm with a uniform
@@ -115,6 +121,7 @@ func Train(algo string, d *Dataset, p Params) (*Model, error) {
 		km, err := TrainKMeans(d, KMeansConfig{
 			K: p.K, Iterations: p.Iterations, Runs: p.Runs,
 			Seed: p.Seed, Epsilon: p.Epsilon, InitMode: p.InitMode,
+			Parallelism: p.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -127,7 +134,7 @@ func Train(algo string, d *Dataset, p Params) (*Model, error) {
 		if k == 0 {
 			k = p.K
 		}
-		gmm, err := TrainGMM(d, GMMConfig{Components: k, Iterations: p.Iterations, Seed: p.Seed, Epsilon: p.Epsilon})
+		gmm, err := TrainGMM(d, GMMConfig{Components: k, Iterations: p.Iterations, Seed: p.Seed, Epsilon: p.Epsilon, Parallelism: p.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -135,16 +142,17 @@ func Train(algo string, d *Dataset, p Params) (*Model, error) {
 		m.CalibrateClusters(d)
 		return m, nil
 	case AlgoDecisionTree:
-		t, err := TrainDecisionTree(d, TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize, Seed: p.Seed})
+		t, err := TrainDecisionTree(d, TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize, Seed: p.Seed, Parallelism: p.Parallelism})
 		if err != nil {
 			return nil, err
 		}
 		return &Model{Algo: algo, Tree: t}, nil
 	case AlgoRandomForest:
 		f, err := TrainRandomForest(d, ForestConfig{
-			Trees: p.Trees,
-			Tree:  TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize},
-			Seed:  p.Seed,
+			Trees:       p.Trees,
+			Tree:        TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize},
+			Seed:        p.Seed,
+			Parallelism: p.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -153,8 +161,9 @@ func Train(algo string, d *Dataset, p Params) (*Model, error) {
 	case AlgoGBT:
 		g, err := TrainGBT(d, GBTConfig{
 			Trees: p.Trees, LearningRate: p.LearningRate,
-			Tree: TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize},
-			Seed: p.Seed,
+			Tree:        TreeConfig{MaxDepth: p.MaxDepth, MinLeafSize: p.MinLeafSize},
+			Seed:        p.Seed,
+			Parallelism: p.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -298,29 +307,58 @@ func (m *Model) Cluster(x []float64) int {
 }
 
 // Validate scores a labeled dataset, returning the confusion matrix and
-// per-cluster composition (clustering models only).
+// per-cluster composition (clustering models only). Rows score in
+// parallel at GOMAXPROCS; see ValidateN.
 func (m *Model) Validate(d *Dataset) (Confusion, []ClusterComposition, error) {
+	return m.ValidateN(d, 0)
+}
+
+// ValidateN is Validate with an explicit scoring worker bound (<= 0:
+// GOMAXPROCS). Per-chunk confusion/composition counts are integers, so
+// the merged result is identical at every setting.
+func (m *Model) ValidateN(d *Dataset, workers int) (Confusion, []ClusterComposition, error) {
 	if err := d.Validate(true); err != nil {
 		return Confusion{}, nil, err
 	}
+	k := m.clusterCount()
+	type partial struct {
+		conf  Confusion
+		comps []ClusterComposition
+	}
+	parts := make([]partial, len(Chunks(d.Len())))
+	parallelChunks(d.Len(), workers, func(chunk, lo, hi int) {
+		var p partial
+		if k > 0 {
+			p.comps = make([]ClusterComposition, k)
+		}
+		for i := lo; i < hi; i++ {
+			row := d.X[i]
+			actual := d.Labels[i] >= 0.5
+			p.conf.Add(m.IsAnomalous(row), actual)
+			if p.comps != nil {
+				c := m.Cluster(row)
+				if actual {
+					p.comps[c].Malicious++
+				} else {
+					p.comps[c].Benign++
+				}
+			}
+		}
+		parts[chunk] = p
+	})
 	var conf Confusion
 	var comps []ClusterComposition
-	if k := m.clusterCount(); k > 0 {
+	if k > 0 {
 		comps = make([]ClusterComposition, k)
 		for c := range comps {
 			comps[c].Cluster = c
 		}
 	}
-	for i, row := range d.X {
-		actual := d.Labels[i] >= 0.5
-		conf.Add(m.IsAnomalous(row), actual)
-		if comps != nil {
-			c := m.Cluster(row)
-			if actual {
-				comps[c].Malicious++
-			} else {
-				comps[c].Benign++
-			}
+	for _, p := range parts {
+		conf.Merge(p.conf)
+		for c := range p.comps {
+			comps[c].Benign += p.comps[c].Benign
+			comps[c].Malicious += p.comps[c].Malicious
 		}
 	}
 	return conf, comps, nil

@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The trainers' hot loops are chunked parallel reductions: the row
+// range is cut into fixed-size chunks, workers claim chunks from a
+// shared counter, each chunk produces a partial result indexed by its
+// chunk number, and the caller merges partials in chunk order.
+//
+// Determinism invariants (pinned by TestParallelKernelsDeterministic):
+//
+//  1. Chunk boundaries depend only on the row count — never on the
+//     worker count — so the floating-point accumulation ORDER inside a
+//     chunk and the merge order across chunks are identical at any
+//     Parallelism setting. Models are bit-identical from 1 to N workers.
+//  2. Which goroutine computes a chunk is irrelevant: partials land in
+//     chunk-indexed storage and are merged single-threaded, in order.
+//  3. Any randomness is derived per independent unit (per forest tree:
+//     cfg.Seed + tree index), never drawn from a shared stream raced by
+//     workers.
+
+// kernelChunkRows is the fixed row-block size of the parallel kernels.
+const kernelChunkRows = 1024
+
+// normParallelism resolves a Parallelism knob: values <= 0 select
+// GOMAXPROCS.
+func normParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Chunks returns the fixed kernel chunk decomposition of n rows as
+// [lo, hi) pairs. Exported so benchmarks can replay the exact chunk
+// schedule the kernels use when modeling parallel makespan.
+func Chunks(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	spans := make([][2]int, 0, (n+kernelChunkRows-1)/kernelChunkRows)
+	for lo := 0; lo < n; lo += kernelChunkRows {
+		hi := lo + kernelChunkRows
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	return spans
+}
+
+// parallelChunks runs fn over every fixed chunk of n rows using at most
+// `workers` goroutines (<= 0 selects GOMAXPROCS). fn receives the chunk
+// index and its [lo, hi) row range; it must write results only to
+// chunk- or row-indexed storage.
+func parallelChunks(n, workers int, fn func(chunk, lo, hi int)) {
+	spans := Chunks(n)
+	nc := len(spans)
+	if nc == 0 {
+		return
+	}
+	workers = normParallelism(workers)
+	if workers > nc {
+		workers = nc
+	}
+	if workers <= 1 {
+		for c, s := range spans {
+			fn(c, s[0], s[1])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nc {
+					return
+				}
+				fn(c, spans[c][0], spans[c][1])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelItems runs fn for every i in [0, n) using at most `workers`
+// goroutines; used for coarse-grained units (one forest tree, one
+// candidate split feature) where each item is independent and writes to
+// item-indexed storage.
+func parallelItems(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = normParallelism(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,171 @@
+package ml
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestChunksCoverRangeWithFixedBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 1023, 1024, 1025, 5000, 3 * kernelChunkRows} {
+		chunks := Chunks(n)
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next {
+				t.Fatalf("n=%d: chunk starts at %d, want %d", n, c[0], next)
+			}
+			if c[1] <= c[0] || c[1]-c[0] > kernelChunkRows {
+				t.Fatalf("n=%d: bad chunk %v", n, c)
+			}
+			next = c[1]
+		}
+		if next != n {
+			t.Fatalf("n=%d: chunks cover [0,%d)", n, next)
+		}
+	}
+}
+
+// Parallel kernels must be bit-identical at every Parallelism setting:
+// fixed chunk boundaries, chunk-order merges, and per-unit RNG
+// derivation mean the schedule cannot leak into the result.
+func TestTrainDeterministicAcrossParallelism(t *testing.T) {
+	d := blobs(6000, 6, 42)
+	cases := []struct {
+		algo string
+		p    Params
+	}{
+		{AlgoKMeans, Params{K: 4, Iterations: 15, Seed: 7}},
+		{AlgoGMM, Params{Components: 3, Iterations: 10, Seed: 7}},
+		{AlgoDecisionTree, Params{MaxDepth: 7, Seed: 7}},
+		{AlgoRandomForest, Params{Trees: 8, MaxDepth: 5, Seed: 7}},
+		{AlgoGBT, Params{Trees: 6, MaxDepth: 3, Seed: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.algo, func(t *testing.T) {
+			serial := tc.p
+			serial.Parallelism = 1
+			wide := tc.p
+			wide.Parallelism = 8
+			m1, err := Train(tc.algo, d, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m8, err := Train(tc.algo, d, wide)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Clear the config echo fields that record Parallelism itself.
+			if !reflect.DeepEqual(stripParallelism(m1), stripParallelism(m8)) {
+				t.Fatalf("%s: model differs between Parallelism 1 and 8", tc.algo)
+			}
+		})
+	}
+}
+
+// stripParallelism serializes a model through JSON to drop unexported
+// state, then removes nothing else: trained models carry no Parallelism
+// fields, so marshaled bytes compare the learned parameters exactly.
+func stripParallelism(m *Model) string {
+	b, err := m.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func TestGradientKernelsDeterministicAndCorrect(t *testing.T) {
+	d := blobs(4000, 5, 11)
+	w := make([]float64, d.Dim())
+	for j := range w {
+		w[j] = 0.1 * float64(j+1)
+	}
+	bias := -0.3
+
+	kernels := map[string]func(*Dataset, []float64, float64, int) ([]float64, float64, int64){
+		"logistic": LogisticGradient,
+		"hinge":    HingeGradient,
+		"squared":  SquaredGradient,
+	}
+	for name, kernel := range kernels {
+		g1, b1, n1 := kernel(d, w, bias, 1)
+		g8, b8, n8 := kernel(d, w, bias, 8)
+		if n1 != int64(d.Len()) || n8 != n1 {
+			t.Fatalf("%s: n = %d/%d, want %d", name, n1, n8, d.Len())
+		}
+		if b1 != b8 || !reflect.DeepEqual(g1, g8) {
+			t.Fatalf("%s: gradient differs between 1 and 8 workers", name)
+		}
+	}
+
+	// Correctness spot-check against a naive serial reference.
+	refGrad := make([]float64, d.Dim())
+	refBias := 0.0
+	for i, row := range d.X {
+		e := sigmoid(dot(w, row)+bias) - d.Labels[i]
+		for j, v := range row {
+			refGrad[j] += e * v
+		}
+		refBias += e
+	}
+	g, gb, _ := LogisticGradient(d, w, bias, 4)
+	if math.Abs(gb-refBias) > 1e-9*math.Max(1, math.Abs(refBias)) {
+		t.Fatalf("logistic bias grad %v, ref %v", gb, refBias)
+	}
+	for j := range g {
+		if math.Abs(g[j]-refGrad[j]) > 1e-9*math.Max(1, math.Abs(refGrad[j])) {
+			t.Fatalf("logistic grad[%d] = %v, ref %v", j, g[j], refGrad[j])
+		}
+	}
+}
+
+func TestAssignStepNMatchesSerial(t *testing.T) {
+	d := blobs(5000, 4, 3)
+	model, err := TrainKMeans(d, KMeansConfig{K: 3, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, c1, i1 := AssignStepN(d, model.Centroids, 1)
+	s8, c8, i8 := AssignStepN(d, model.Centroids, 8)
+	if i1 != i8 || !reflect.DeepEqual(c1, c8) || !reflect.DeepEqual(s1, s8) {
+		t.Fatal("AssignStepN differs between 1 and 8 workers")
+	}
+}
+
+func TestValidateNMatchesValidate(t *testing.T) {
+	d := blobs(4500, 4, 19)
+	for _, algo := range []string{AlgoKMeans, AlgoLogistic} {
+		p := Params{K: 2, Seed: 5, Epochs: 10}
+		m, err := Train(algo, d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf, comps, err := m.Validate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		confN, compsN, err := m.ValidateN(d, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conf != confN {
+			t.Fatalf("%s: confusion differs: %+v vs %+v", algo, conf, confN)
+		}
+		if !reflect.DeepEqual(comps, compsN) {
+			t.Fatalf("%s: compositions differ", algo)
+		}
+	}
+}
+
+func benchmarkKMeansTrainP(b *testing.B, parallelism int) {
+	d := blobs(2000, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainKMeans(d, KMeansConfig{K: 8, Iterations: 10, Seed: 1, Parallelism: parallelism}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansTrainSerial(b *testing.B)   { benchmarkKMeansTrainP(b, 1) }
+func BenchmarkKMeansTrainParallel(b *testing.B) { benchmarkKMeansTrainP(b, 8) }

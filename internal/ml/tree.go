@@ -17,6 +17,11 @@ type TreeConfig struct {
 	// Regression grows a variance-reduction regression tree instead of a
 	// Gini classification tree.
 	Regression bool `json:"regression"`
+	// Parallelism bounds the split-search worker count at large nodes
+	// (<= 0: GOMAXPROCS). The chosen split is identical at every
+	// setting: per-feature scans are independent and the cross-feature
+	// reduce runs in feature order.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c TreeConfig) withDefaults() TreeConfig {
@@ -119,52 +124,92 @@ func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feat int,
 		features = features[:cfg.FeatureSubset]
 	}
 
-	bestScore := math.Inf(1)
-	type pair struct {
-		v, y float64
+	// splitScanParallelMin gates the per-feature fan-out: below it the
+	// goroutine + buffer cost outweighs the scan. The gate depends only
+	// on node size, so the chosen split cannot depend on timing.
+	const splitScanParallelMin = 4096
+	workers := normParallelism(cfg.Parallelism)
+	if workers > 1 && len(features) > 1 && len(idx) >= splitScanParallelMin {
+		type featBest struct {
+			thresh float64
+			score  float64
+			ok     bool
+		}
+		bests := make([]featBest, len(features))
+		parallelItems(len(features), workers, func(i int) {
+			pairs := make([]splitPair, len(idx))
+			th, sc, o := scanSplitFeature(d, idx, features[i], cfg.Regression, pairs)
+			bests[i] = featBest{thresh: th, score: sc, ok: o}
+		})
+		bestScore := math.Inf(1)
+		for i, b := range bests { // feature order: matches the serial scan
+			if b.ok && b.score < bestScore {
+				bestScore = b.score
+				feat, thresh, ok = features[i], b.thresh, true
+			}
+		}
+		return feat, thresh, ok
 	}
-	pairs := make([]pair, len(idx))
-	for _, f := range features {
-		for k, i := range idx {
-			pairs[k] = pair{v: d.X[i][f], y: d.Labels[i]}
-		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
 
-		// Prefix sums enable O(n) impurity scan after the sort.
-		n := len(pairs)
-		sumL, sumSqL := 0.0, 0.0
-		sumTot, sumSqTot := 0.0, 0.0
-		for _, p := range pairs {
-			sumTot += p.y
-			sumSqTot += p.y * p.y
-		}
-		for k := 0; k < n-1; k++ {
-			sumL += pairs[k].y
-			sumSqL += pairs[k].y * pairs[k].y
-			if pairs[k].v == pairs[k+1].v {
-				continue // cannot split between equal values
-			}
-			nl, nr := float64(k+1), float64(n-k-1)
-			var score float64
-			if cfg.Regression {
-				varL := sumSqL - sumL*sumL/nl
-				sumR := sumTot - sumL
-				varR := (sumSqTot - sumSqL) - sumR*sumR/nr
-				score = varL + varR
-			} else {
-				pl := sumL / nl
-				pr := (sumTot - sumL) / nr
-				score = nl*gini(pl) + nr*gini(pr)
-			}
-			if score < bestScore {
-				bestScore = score
-				feat = f
-				thresh = (pairs[k].v + pairs[k+1].v) / 2
-				ok = true
-			}
+	bestScore := math.Inf(1)
+	pairs := make([]splitPair, len(idx))
+	for _, f := range features {
+		th, sc, o := scanSplitFeature(d, idx, f, cfg.Regression, pairs)
+		if o && sc < bestScore {
+			bestScore = sc
+			feat, thresh, ok = f, th, true
 		}
 	}
 	return feat, thresh, ok
+}
+
+type splitPair struct {
+	v, y float64
+}
+
+// scanSplitFeature finds the best threshold on one feature: sort the
+// node's (value, label) pairs, then an O(n) prefix-sum impurity scan.
+// The first threshold attaining the feature's minimal score wins, which
+// keeps serial and per-feature-parallel split searches identical.
+func scanSplitFeature(d *Dataset, idx []int, f int, regression bool, pairs []splitPair) (thresh, score float64, ok bool) {
+	for k, i := range idx {
+		pairs[k] = splitPair{v: d.X[i][f], y: d.Labels[i]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+
+	n := len(pairs)
+	best := math.Inf(1)
+	sumL, sumSqL := 0.0, 0.0
+	sumTot, sumSqTot := 0.0, 0.0
+	for _, p := range pairs {
+		sumTot += p.y
+		sumSqTot += p.y * p.y
+	}
+	for k := 0; k < n-1; k++ {
+		sumL += pairs[k].y
+		sumSqL += pairs[k].y * pairs[k].y
+		if pairs[k].v == pairs[k+1].v {
+			continue // cannot split between equal values
+		}
+		nl, nr := float64(k+1), float64(n-k-1)
+		var s float64
+		if regression {
+			varL := sumSqL - sumL*sumL/nl
+			sumR := sumTot - sumL
+			varR := (sumSqTot - sumSqL) - sumR*sumR/nr
+			s = varL + varR
+		} else {
+			pl := sumL / nl
+			pr := (sumTot - sumL) / nr
+			s = nl*gini(pl) + nr*gini(pr)
+		}
+		if s < best {
+			best = s
+			thresh = (pairs[k].v + pairs[k+1].v) / 2
+			ok = true
+		}
+	}
+	return thresh, best, ok
 }
 
 func gini(p float64) float64 { return 2 * p * (1 - p) }
