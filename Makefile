@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race bench bench-compute microbench
+.PHONY: build verify test race chaos bench bench-compute bench-failover microbench
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full pre-merge gate: static checks, build, race-enabled tests.
+# The full pre-merge gate: static checks, build, race-enabled tests,
+# and the fault-injection suites.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# Fault-injection suites under the race detector: injected conn faults,
+# worker death mid-job, keepalive teardown, one-way gossip partitions,
+# mastership re-home. Short-mode friendly — every test is deterministic
+# (op-count-triggered faults, no timing sleeps on the assert path).
+chaos:
+	$(GO) test -race -run 'Fault|Chaos|Truncated|HealthProbe|AllWorkersLost|ConcurrentClose|LoadAfterWorkerDeath|Keepalive|FailedEcho|Rehomes|Partition' \
+		./internal/faults/ ./internal/compute/ ./internal/controller/ ./internal/cluster/
 
 # Appends a labeled feature-pipeline run to BENCH_pipeline.json so
 # before/after numbers accumulate in one artifact. Override LABEL to
@@ -33,6 +43,12 @@ bench:
 bench-compute:
 	$(GO) run ./cmd/athena-bench -exp compute \
 		-compute-out BENCH_compute.json -compute-label "$(LABEL)"
+
+# Appends a labeled failover run (worker hard-kill mid-K-Means +
+# mastership re-home latency) to BENCH_failover.json.
+bench-failover:
+	$(GO) run ./cmd/athena-bench -exp failover \
+		-failover-out BENCH_failover.json -failover-label "$(LABEL)"
 
 # The per-op Go benchmarks behind the pipeline numbers.
 microbench:

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|all")
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|all")
 		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
 		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
 		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
@@ -49,6 +49,12 @@ func main() {
 		compWorkers = flag.Int("compute-workers", 4, "compute: transport cluster size")
 		compOut     = flag.String("compute-out", "", "compute: append a labeled run to this JSON log (e.g. BENCH_compute.json)")
 		compLabel   = flag.String("compute-label", "current", "compute: label for the appended run")
+
+		foRows    = flag.Int("failover-rows", 12_000, "failover: synthetic DDoS dataset rows")
+		foWorkers = flag.Int("failover-workers", 4, "failover: compute cluster size (one dies)")
+		foMembers = flag.Int("failover-members", 3, "failover: gossip cluster size (one dies)")
+		foOut     = flag.String("failover-out", "", "failover: append a labeled run to this JSON log (e.g. BENCH_failover.json)")
+		foLabel   = flag.String("failover-label", "current", "failover: label for the appended run")
 	)
 	flag.Parse()
 	pcfg := pipelineFlags{
@@ -59,7 +65,11 @@ func main() {
 		Rows: *compRows, Parallelism: *compPar, Workers: *compWorkers,
 		Out: *compOut, Label: *compLabel,
 	}
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg); err != nil {
+	fcfg := failoverFlags{
+		Rows: *foRows, Workers: *foWorkers, Members: *foMembers,
+		Out: *foOut, Label: *foLabel,
+	}
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
@@ -83,7 +93,16 @@ type computeFlags struct {
 	Label       string
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags) error {
+// failoverFlags carries the -failover-* command-line knobs.
+type failoverFlags struct {
+	Rows    int
+	Workers int
+	Members int
+	Out     string
+	Label   string
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags) error {
 	// One shared registry across all experiments: the dump then reads
 	// like a scrape of a deployment that ran the whole evaluation.
 	var reg *telemetry.Registry
@@ -93,7 +112,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover"} {
 			todo[e] = true
 		}
 	} else {
@@ -222,6 +241,25 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 				return fmt.Errorf("compute log: %w", err)
 			}
 			fmt.Printf("compute run %q appended to %s\n", ccfg.Label, ccfg.Out)
+		}
+		fmt.Println()
+	}
+	if todo["failover"] {
+		r, err := bench.RunFailover(bench.FailoverConfig{
+			Rows:    fcfg.Rows,
+			Workers: fcfg.Workers,
+			Members: fcfg.Members,
+			Seed:    seed,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteFailoverReport(os.Stdout, r)
+		if fcfg.Out != "" {
+			if err := bench.AppendFailoverJSON(fcfg.Out, fcfg.Label, r); err != nil {
+				return fmt.Errorf("failover log: %w", err)
+			}
+			fmt.Printf("failover run %q appended to %s\n", fcfg.Label, fcfg.Out)
 		}
 		fmt.Println()
 	}

@@ -50,6 +50,9 @@ func run(controllers, storeNodes, workers int, duration time.Duration, topo bool
 			GCInterval:  30 * time.Second,
 			TraceSample: 64,
 		},
+		Controller: athena.ControllerConfig{
+			KeepaliveInterval: 5 * time.Second,
+		},
 		OpsAddr: opsAddr,
 	})
 	if err != nil {

@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/cluster"
+	"github.com/athena-sdn/athena/internal/compute"
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/faults"
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// FailoverConfig parameterizes the fault-tolerance measurement: a
+// hard-killed compute worker mid-K-Means, and a hard-killed cluster
+// member whose switches must re-home.
+type FailoverConfig struct {
+	// Rows is the synthetic DDoS dataset size (default 12_000).
+	Rows int
+	// Workers is the compute cluster size; one worker dies (default 4).
+	Workers int
+	// K / Iterations configure the K-Means job (defaults 4 / 20).
+	K          int
+	Iterations int
+	Seed       int64
+	// Members is the control-plane cluster size; one member dies
+	// (default 3).
+	Members int
+	// FailureTimeout is the cluster failure detector's deadline
+	// (default 500ms).
+	FailureTimeout time.Duration
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.Rows <= 0 {
+		c.Rows = 12_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 20
+	}
+	if c.Members <= 0 {
+		c.Members = 3
+	}
+	if c.FailureTimeout <= 0 {
+		c.FailureTimeout = 500 * time.Millisecond
+	}
+	return c
+}
+
+// FailoverResult is one measured run of the failover benchmark.
+type FailoverResult struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+
+	Config FailoverConfig `json:"config"`
+
+	Rows int `json:"rows"`
+
+	// Compute segment: K-Means with one of Workers hard-killed mid-job.
+	BaselineTrainSec     float64 `json:"baseline_train_sec"`
+	FailoverTrainSec     float64 `json:"failover_train_sec"`
+	RecoverySec          float64 `json:"recovery_sec"`
+	WorkerDeaths         int64   `json:"worker_deaths"`
+	ReassignedPartitions int64   `json:"reassigned_partitions"`
+	TaskRetries          int64   `json:"task_retries"`
+	// ModelIdentical reports that the model trained through the failure
+	// is bit-identical to the failure-free baseline (the determinism
+	// contract documented in internal/compute).
+	ModelIdentical bool `json:"model_identical"`
+
+	// Control-plane segment: mastership re-home after a member death.
+	ClusterFailureTimeoutSec float64 `json:"cluster_failure_timeout_sec"`
+	MastershipRehomeSec      float64 `json:"mastership_rehome_sec"`
+}
+
+// RunFailover measures recovery behavior in both failure domains: a
+// compute worker hard-killed mid-K-Means (recovery time, reassignment
+// count, model identity) and a cluster member hard-killed under gossip
+// failure detection (mastership re-home latency).
+func RunFailover(cfg FailoverConfig) (FailoverResult, error) {
+	cfg = cfg.withDefaults()
+	res := FailoverResult{
+		Label:     "current",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config:    cfg,
+	}
+
+	entriesPerFlow := 4
+	flows := cfg.Rows / entriesPerFlow
+	ds := core.GenerateDDoSDataset(core.SynthDDoSConfig{
+		BenignFlows:    flows / 4,
+		MaliciousFlows: flows - flows/4,
+		EntriesPerFlow: entriesPerFlow,
+		Seed:           cfg.Seed + 1,
+	})
+	res.Rows = ds.Len()
+	params := ml.Params{K: cfg.K, Iterations: cfg.Iterations, Seed: cfg.Seed}
+
+	// Segment 1: failure-free baseline.
+	baseline, sec, err := trainOnCluster(ds, params, cfg.Workers)
+	if err != nil {
+		return res, fmt.Errorf("failover bench baseline: %w", err)
+	}
+	res.BaselineTrainSec = sec
+
+	// Segment 2: same job, but one worker's connection dies after a few
+	// frames and every redial is refused while the process is killed —
+	// a deterministic hard mid-job death.
+	var workers []*compute.Worker
+	var addrs []string
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := compute.NewWorker("")
+		if err != nil {
+			return res, fmt.Errorf("failover bench worker: %w", err)
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	victim := cfg.Workers / 2
+	killIn := faults.New(1, faults.WithSend(faults.Schedule{CloseAfterOps: 4}))
+	var dials atomic.Int32
+	dial := func(addr string) (net.Conn, error) {
+		if addr != addrs[victim] {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+		if dials.Add(1) > 1 {
+			workers[victim].Close()
+			return nil, errors.New("connection refused")
+		}
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return killIn.WrapConn(c), nil
+	}
+	drv, err := compute.NewDriver(addrs,
+		compute.WithDialer(dial),
+		compute.WithFailover(compute.FailoverConfig{
+			MaxReconnectAttempts: 2,
+			BackoffBase:          5 * time.Millisecond,
+			BackoffMax:           50 * time.Millisecond,
+		}))
+	if err != nil {
+		return res, fmt.Errorf("failover bench driver: %w", err)
+	}
+	defer drv.Close()
+	if err := drv.LoadDataset("bench", ds); err != nil {
+		return res, fmt.Errorf("failover bench load: %w", err)
+	}
+	start := time.Now()
+	m, err := drv.Train("bench", ml.AlgoKMeans, params)
+	if err != nil {
+		return res, fmt.Errorf("failover bench train through kill: %w", err)
+	}
+	res.FailoverTrainSec = time.Since(start).Seconds()
+	st := drv.FailoverStats()
+	res.RecoverySec = st.RecoveryTime.Seconds()
+	res.WorkerDeaths = st.WorkerDeaths
+	res.ReassignedPartitions = st.ReassignedPartitions
+	res.TaskRetries = st.Retries
+	res.ModelIdentical = baseline.KMeans != nil && m.KMeans != nil &&
+		reflect.DeepEqual(baseline.KMeans.Centroids, m.KMeans.Centroids)
+
+	// Segment 3: control-plane mastership re-home latency.
+	rehome, err := measureRehome(cfg)
+	if err != nil {
+		return res, fmt.Errorf("failover bench rehome: %w", err)
+	}
+	res.ClusterFailureTimeoutSec = cfg.FailureTimeout.Seconds()
+	res.MastershipRehomeSec = rehome.Seconds()
+
+	return res, nil
+}
+
+// trainOnCluster spins up a throwaway worker cluster, trains once, and
+// returns the model with the wall time.
+func trainOnCluster(ds *ml.Dataset, params ml.Params, n int) (*ml.Model, float64, error) {
+	var workers []*compute.Worker
+	var addrs []string
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		w, err := compute.NewWorker("")
+		if err != nil {
+			return nil, 0, err
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	drv, err := compute.NewDriver(addrs)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drv.Close()
+	if err := drv.LoadDataset("bench", ds); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	m, err := drv.Train("bench", ml.AlgoKMeans, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, time.Since(start).Seconds(), nil
+}
+
+// measureRehome builds a gossip cluster, kills the member mastering a
+// probe switch, and times how long survivors take to agree on a new
+// living master.
+func measureRehome(cfg FailoverConfig) (time.Duration, error) {
+	agents := make([]*cluster.Agent, cfg.Members)
+	for i := range agents {
+		a, err := cluster.NewAgent(cluster.Config{
+			ID:             fmt.Sprintf("bench-m%d", i),
+			GossipInterval: 10 * time.Millisecond,
+			FailureTimeout: cfg.FailureTimeout,
+		})
+		if err != nil {
+			return 0, err
+		}
+		agents[i] = a
+	}
+	for _, a := range agents {
+		for _, b := range agents {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	for _, a := range agents {
+		a.Start()
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Stop()
+		}
+	}()
+	// Wait for full mutual visibility.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ready := true
+		for _, a := range agents {
+			alive := 0
+			for _, m := range a.Members() {
+				if m.Alive {
+					alive++
+				}
+			}
+			if alive != cfg.Members {
+				ready = false
+			}
+		}
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, errors.New("cluster never converged on membership")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A switch mastered by member 0, which is about to die.
+	var dpid uint64
+	for d := uint64(1); d < 10_000; d++ {
+		if agents[0].MasterOf(d) == agents[0].ID() {
+			dpid = d
+			break
+		}
+	}
+	if dpid == 0 {
+		return 0, errors.New("no switch hashes to the victim member")
+	}
+	killedAt := time.Now()
+	agents[0].Stop()
+	deadline = killedAt.Add(cfg.FailureTimeout + 5*time.Second)
+	for {
+		m1, m2 := agents[1].MasterOf(dpid), agents[2%cfg.Members].MasterOf(dpid)
+		if m1 == m2 && m1 != agents[0].ID() && m1 != "" {
+			return time.Since(killedAt), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, errors.New("mastership never re-homed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// failoverRuns is the on-disk shape of BENCH_failover.json: an append-
+// only log of labeled runs.
+type failoverRuns struct {
+	Runs []FailoverResult `json:"runs"`
+}
+
+// AppendFailoverJSON appends one labeled run to path (creating it when
+// absent) and pretty-prints the whole log.
+func AppendFailoverJSON(path, label string, r FailoverResult) error {
+	r.Label = label
+	var log failoverRuns
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &log)
+	}
+	log.Runs = append(log.Runs, r)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteFailoverReport prints one run in the human bench format.
+func WriteFailoverReport(w io.Writer, r FailoverResult) {
+	fmt.Fprintf(w, "FAILOVER — worker death mid-K-Means + mastership re-home (%s, GOMAXPROCS=%d, %d rows)\n",
+		r.GoVersion, r.MaxProcs, r.Rows)
+	fmt.Fprintf(w, "  train   %d workers, none die %10.3fs\n", r.Config.Workers, r.BaselineTrainSec)
+	fmt.Fprintf(w, "  train   1 hard-killed       %10.3fs (recovery %.3fs, %d death, %d partition rehomed, %d retries)\n",
+		r.FailoverTrainSec, r.RecoverySec, r.WorkerDeaths, r.ReassignedPartitions, r.TaskRetries)
+	identical := "IDENTICAL"
+	if !r.ModelIdentical {
+		identical = "DIVERGED (determinism contract violated)"
+	}
+	fmt.Fprintf(w, "  model   vs failure-free     %s\n", identical)
+	fmt.Fprintf(w, "  cluster mastership re-home  %10.3fs (failure timeout %.3fs, %d members)\n",
+		r.MastershipRehomeSec, r.ClusterFailureTimeoutSec, r.Config.Members)
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// FailureTimeout is how long a silent peer stays "alive". Zero
 	// selects the default of 1s.
 	FailureTimeout time.Duration
+	// Dial overrides how anti-entropy exchanges reach peers; nil uses
+	// net.DialTimeout. Fault-injection tests use it to partition
+	// members without touching real sockets.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Telemetry receives the agent's metrics; nil creates a private
 	// registry.
 	Telemetry *telemetry.Registry
@@ -84,6 +88,7 @@ type Agent struct {
 	id             string
 	gossipInterval time.Duration
 	failureTimeout time.Duration
+	dial           func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 	mu       sync.Mutex
 	peers    map[string]string // id -> addr
@@ -148,6 +153,10 @@ func NewAgent(cfg Config) (*Agent, error) {
 	if a.failureTimeout <= 0 {
 		a.failureTimeout = defaultFailureTimeout
 	}
+	a.dial = cfg.Dial
+	if a.dial == nil {
+		a.dial = net.DialTimeout
+	}
 	reg := cfg.Telemetry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -169,6 +178,9 @@ func NewAgent(cfg Config) (*Agent, error) {
 
 // ID returns this node's identity.
 func (a *Agent) ID() string { return a.id }
+
+// FailureTimeout reports how long a silent peer stays considered alive.
+func (a *Agent) FailureTimeout() time.Duration { return a.failureTimeout }
 
 // Addr returns the bound gossip address.
 func (a *Agent) Addr() string { return a.ln.Addr().String() }
@@ -304,7 +316,7 @@ func (a *Agent) GossipOnce() {
 }
 
 func (a *Agent) exchange(id, addr string, state syncMsg) {
-	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	conn, err := a.dial("tcp", addr, time.Second)
 	if err != nil {
 		a.metrics.exchangeErr.Inc()
 		return

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/faults"
+)
+
+// Satellite chaos test: a one-way gossip partition — peers cannot dial
+// one member, while that member can still dial out — is flapped twice.
+// Replicated maps must converge after each heal, membership must never
+// flap (the member is reachable in one direction, so nobody buries it),
+// and MasterOf must be stable across the whole episode on every node.
+func TestOneWayPartitionFlapConverges(t *testing.T) {
+	in := faults.New(1)
+	var blocked atomic.Value
+	blocked.Store("")
+	dial := func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		if addr == blocked.Load().(string) {
+			return in.Dial(network, addr) // refused while the partition is up
+		}
+		return net.DialTimeout(network, addr, timeout)
+	}
+
+	const n = 3
+	agents := make([]*Agent, n)
+	for i := range agents {
+		a, err := NewAgent(Config{
+			ID:             fmt.Sprintf("p%d", i),
+			FailureTimeout: 10 * time.Second, // the test drives gossip manually
+			Dial:           dial,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	for _, a := range agents {
+		for _, b := range agents {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	for _, a := range agents {
+		go a.serveForTest()
+		t.Cleanup(a.Stop)
+	}
+
+	gossipAll := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for _, a := range agents {
+				a.GossipOnce()
+			}
+		}
+	}
+	const mapName = "part.state"
+	var keys []string
+	put := func(a *Agent, key, val string) {
+		a.Map(mapName).Put(key, []byte(fmt.Sprintf("%q", val)))
+		keys = append(keys, key)
+	}
+	converged := func() error {
+		for _, key := range keys {
+			want, ok := agents[0].Map(mapName).Get(key)
+			if !ok {
+				return fmt.Errorf("agent 0 missing %s", key)
+			}
+			for _, a := range agents[1:] {
+				got, ok := a.Map(mapName).Get(key)
+				if !ok || string(got) != string(want) {
+					return fmt.Errorf("%s diverges on %s: %q vs %q", a.ID(), key, got, want)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Baseline: seed every node, converge, and record mastership.
+	for i, a := range agents {
+		put(a, fmt.Sprintf("seed-%d", i), a.ID())
+	}
+	gossipAll(2)
+	if err := converged(); err != nil {
+		t.Fatalf("baseline convergence: %v", err)
+	}
+	const dpids = 16
+	wantMaster := make([]string, dpids)
+	for d := 0; d < dpids; d++ {
+		wantMaster[d] = agents[0].MasterOf(uint64(d + 1))
+		for _, a := range agents[1:] {
+			if got := a.MasterOf(uint64(d + 1)); got != wantMaster[d] {
+				t.Fatalf("baseline mastership disagrees on %d: %s vs %s", d+1, got, wantMaster[d])
+			}
+		}
+	}
+
+	// Flap the partition twice: block inbound dials to agent 1, write on
+	// both sides of the cut, heal, and require full re-convergence.
+	for flap := 0; flap < 2; flap++ {
+		before := in.Injected(faults.KindRefuse)
+		blocked.Store(agents[1].Addr())
+		in.SetRefuseDial(true)
+
+		put(agents[0], fmt.Sprintf("majority-%d", flap), "written-during-cut")
+		put(agents[1], fmt.Sprintf("minority-%d", flap), "written-during-cut")
+		gossipAll(3)
+
+		if in.Injected(faults.KindRefuse) == before {
+			t.Fatalf("flap %d: no dials were refused; partition never took effect", flap)
+		}
+		// One-way reachability keeps everyone alive: the member dials
+		// out, peers answer, both directions mark each other seen.
+		for _, a := range agents {
+			alive := 0
+			for _, m := range a.Members() {
+				if m.Alive {
+					alive++
+				}
+			}
+			if alive != n {
+				t.Fatalf("flap %d: %s sees %d alive members, want %d", flap, a.ID(), alive, n)
+			}
+		}
+
+		in.SetRefuseDial(false)
+		blocked.Store("")
+		gossipAll(2)
+		if err := converged(); err != nil {
+			t.Fatalf("flap %d: post-heal convergence: %v", flap, err)
+		}
+		for d := 0; d < dpids; d++ {
+			for _, a := range agents {
+				if got := a.MasterOf(uint64(d + 1)); got != wantMaster[d] {
+					t.Fatalf("flap %d: mastership of %d moved on %s: %s, want %s",
+						flap, d+1, a.ID(), got, wantMaster[d])
+				}
+			}
+		}
+	}
+}

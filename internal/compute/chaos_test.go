@@ -1,0 +1,342 @@
+package compute
+
+// Chaos tests for the failover layer: fault-injected connections,
+// hard-killed workers, and concurrent shutdown. All run under -race in
+// `make chaos` / `make verify`.
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/faults"
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// fastFailover keeps chaos-test recovery episodes short.
+func fastFailover() FailoverConfig {
+	return FailoverConfig{
+		MaxReconnectAttempts: 2,
+		BackoffBase:          2 * time.Millisecond,
+		BackoffMax:           10 * time.Millisecond,
+	}
+}
+
+// Satellite regression: a call that dies mid-frame must poison the
+// connection. Before the fix the half-written frame stayed buffered and
+// the next request read a desynchronized (or stale) response.
+func TestTruncatedCallPoisonsConn(t *testing.T) {
+	w, err := NewWorker("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	// First ping frame passes; the second is cut mid-frame.
+	ping, _ := json.Marshal(taskRequest{Op: opPing})
+	frameLen := int64(frameHeaderLen + len(ping))
+	in := faults.New(1, faults.WithSend(faults.Schedule{TruncateAfterBytes: frameLen + frameLen/2}))
+	conn, err := dialWorker(w.Addr(), func(addr string) (net.Conn, error) { return in.Dial("tcp", addr) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.poison()
+
+	if _, err := conn.call(taskRequest{Op: opPing}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	if _, err := conn.call(taskRequest{Op: opPing}); err == nil {
+		t.Fatal("truncated call succeeded")
+	}
+	if conn.live() {
+		t.Fatal("conn not poisoned after mid-frame truncation")
+	}
+	// The poisoned conn must refuse further use instead of reading
+	// whatever the stream happens to hold.
+	if _, err := conn.call(taskRequest{Op: opPing}); !errors.Is(err, errPoisoned) {
+		t.Fatalf("call on poisoned conn: %v, want errPoisoned", err)
+	}
+	if in.Injected(faults.KindTruncate) != 1 {
+		t.Fatalf("truncate faults = %d", in.Injected(faults.KindTruncate))
+	}
+}
+
+// Acceptance chaos test: hard-kill one of 4 workers mid-K-Means and the
+// job completes on the 3 survivors with a bit-identical model, counting
+// exactly one partition reassignment. The kill is deterministic: worker
+// 2's connection is injected to die after a fixed number of writes, the
+// worker process is hard-closed on the driver's first redial, and all
+// further redials are refused.
+func TestChaosKillOneOfFourMidKMeans(t *testing.T) {
+	ds := blobs(8_000, 6, 41)
+	params := ml.Params{K: 4, Iterations: 40, Seed: 7}
+
+	baselineDrv, _ := newCluster(t, 4, WithFailover(fastFailover()))
+	if err := baselineDrv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baselineDrv.Train("d", ml.AlgoKMeans, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ws []*Worker
+	var addrs []string
+	for i := 0; i < 4; i++ {
+		w, err := NewWorker("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		ws = append(ws, w)
+		addrs = append(addrs, w.Addr())
+	}
+	// Worker 2's conn survives the dataset load plus the first K-Means
+	// round or two, then dies on the next write mid-job.
+	killIn := faults.New(1, faults.WithSend(faults.Schedule{CloseAfterOps: 4}))
+	var dials atomic.Int32
+	dial := func(addr string) (net.Conn, error) {
+		if addr != addrs[2] {
+			return defaultDial(addr)
+		}
+		if dials.Add(1) > 1 {
+			ws[2].Close() // the process is gone by the time the driver redials
+			return nil, errors.New("connection refused")
+		}
+		c, err := defaultDial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return killIn.WrapConn(c), nil
+	}
+	reg := telemetry.NewRegistry()
+	drv, err := NewDriver(addrs, WithFailover(fastFailover()), WithDriverTelemetry(reg), WithDialer(dial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(drv.Close)
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	m, err := drv.Train("d", ml.AlgoKMeans, params)
+	if err != nil {
+		t.Fatalf("training failed on survivors: %v", err)
+	}
+	if killIn.Injected(faults.KindClose) == 0 {
+		t.Fatal("fault never fired: kill did not land mid-job")
+	}
+	if !reflect.DeepEqual(m.KMeans.Centroids, baseline.KMeans.Centroids) {
+		t.Fatal("failover model differs from failure-free model")
+	}
+	st := drv.FailoverStats()
+	if st.WorkerDeaths != 1 {
+		t.Fatalf("worker deaths = %d, want 1", st.WorkerDeaths)
+	}
+	if st.ReassignedPartitions != 1 {
+		t.Fatalf("reassigned partitions = %d, want exactly 1", st.ReassignedPartitions)
+	}
+	if st.WorkersAlive != 3 {
+		t.Fatalf("workers alive = %d, want 3", st.WorkersAlive)
+	}
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "athena_failover_reassigned_partitions_total 1") {
+		t.Fatal("athena_failover_reassigned_partitions_total != 1 in exposition")
+	}
+	// The rehomed partition keeps serving later jobs.
+	conf, _, err := drv.Validate("d", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != int64(ds.Len()) {
+		t.Fatalf("post-failover validation covered %d rows, want %d", conf.Total(), ds.Len())
+	}
+}
+
+// A dropped connection to a live worker heals by reconnecting — no
+// death, no reassignment — and the re-ship is absorbed by the worker's
+// dataset cache.
+func TestChaosConnDropReconnects(t *testing.T) {
+	ds := blobs(2_000, 4, 43)
+	// Every conn dies after a handful of writes; redials get a fresh
+	// (equally faulted) conn, so the job limps through on reconnects.
+	var mu sync.Mutex
+	perAddr := make(map[string]*faults.Injector)
+	dial := func(addr string) (net.Conn, error) {
+		mu.Lock()
+		in, ok := perAddr[addr]
+		if !ok {
+			in = faults.New(1, faults.WithSend(faults.Schedule{CloseAfterOps: 4}))
+			perAddr[addr] = in
+		}
+		mu.Unlock()
+		c, err := defaultDial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.WrapConn(c), nil
+	}
+	drv, _ := newCluster(t, 2, WithFailover(fastFailover()), WithDialer(dial))
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	// Gradient descent runs a fixed epoch count — no early stop — so
+	// the per-conn write budget is always exceeded and the fault fires.
+	m, err := drv.Train("d", ml.AlgoLogistic, ml.Params{Epochs: 12, LearningRate: 0.5})
+	if err != nil {
+		t.Fatalf("train through conn drops: %v", err)
+	}
+	if m == nil || m.Logistic == nil {
+		t.Fatal("no model")
+	}
+	st := drv.FailoverStats()
+	if st.Reconnects == 0 {
+		t.Fatal("expected at least one reconnect")
+	}
+	if st.WorkerDeaths != 0 {
+		t.Fatalf("live workers declared dead: %d", st.WorkerDeaths)
+	}
+}
+
+// Background health probes detect a severed conn and repair it without
+// any job traffic.
+func TestHealthProbeRepairsConn(t *testing.T) {
+	fo := fastFailover()
+	fo.ProbeInterval = 10 * time.Millisecond
+	fo.ProbeTimeout = 500 * time.Millisecond
+	drv, _ := newCluster(t, 2, WithFailover(fo))
+	drv.workers[0].sever()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := drv.FailoverStats()
+		if st.ProbeFailures >= 1 && st.Reconnects >= 1 {
+			if st.WorkerDeaths != 0 {
+				t.Fatalf("probe buried a live worker: %+v", st)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("probe never repaired the conn: %+v", drv.FailoverStats())
+}
+
+// Losing every worker degrades Train and Validate to in-process
+// execution instead of failing the job.
+func TestAllWorkersLostFallsBackLocal(t *testing.T) {
+	ds := blobs(600, 3, 47)
+	drv, ws := newCluster(t, 2, WithFailover(fastFailover()))
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		w.Close()
+	}
+	m, err := drv.Train("d", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("train did not degrade to local: %v", err)
+	}
+	conf, _, err := drv.Validate("d", m)
+	if err != nil {
+		t.Fatalf("validate did not degrade to local: %v", err)
+	}
+	if conf.Total() != int64(ds.Len()) {
+		t.Fatalf("local validation covered %d rows", conf.Total())
+	}
+	st := drv.FailoverStats()
+	if st.LocalFallbacks < 2 {
+		t.Fatalf("local fallbacks = %d, want >= 2", st.LocalFallbacks)
+	}
+	if st.WorkersAlive != 0 {
+		t.Fatalf("workers alive = %d", st.WorkersAlive)
+	}
+}
+
+// With DisableLocalFallback the same scenario is a hard error.
+func TestAllWorkersLostErrorsWithoutFallback(t *testing.T) {
+	fo := fastFailover()
+	fo.DisableLocalFallback = true
+	drv, ws := newCluster(t, 2, WithFailover(fo))
+	if err := drv.LoadDataset("d", blobs(200, 2, 49)); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		w.Close()
+	}
+	if _, err := drv.Train("d", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 5}); err == nil {
+		t.Fatal("train succeeded with no workers and fallback disabled")
+	}
+}
+
+// Satellite: closing the driver while a round is in flight must neither
+// panic nor leak the round's goroutines, and the Train call must return
+// promptly.
+func TestConcurrentCloseAndTrain(t *testing.T) {
+	ds := blobs(20_000, 8, 51)
+	drv, _ := newCluster(t, 3, WithFailover(fastFailover()))
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := drv.Train("d", ml.AlgoKMeans, ml.Params{K: 8, Iterations: 50, Seed: 9})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	drv.Close()
+	select {
+	case <-done:
+		// Success or error are both acceptable; what matters is that the
+		// call returned and nothing panicked or deadlocked.
+	case <-time.After(10 * time.Second):
+		t.Fatal("Train did not return after Close")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+}
+
+// A worker already dead at LoadDataset gets its partition placed
+// directly on survivors, and jobs cover the whole dataset.
+func TestLoadAfterWorkerDeathPlacesOnSurvivors(t *testing.T) {
+	ds := blobs(900, 3, 53)
+	drv, ws := newCluster(t, 3, WithFailover(fastFailover()))
+	// Establish the death first with a throwaway dataset.
+	ws[1].Close()
+	if err := drv.LoadDataset("warm", blobs(60, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drv.Train("warm", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drv.FailoverStats().WorkerDeaths; got != 1 {
+		t.Fatalf("worker deaths = %d", got)
+	}
+	if err := drv.LoadDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	model, err := ml.Train(ml.AlgoKMeans, ds, ml.Params{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, _, err := drv.Validate("d", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != int64(ds.Len()) {
+		t.Fatalf("validation covered %d rows, want %d", conf.Total(), ds.Len())
+	}
+}

@@ -25,7 +25,7 @@ func blobs(n, dim int, seed int64) *ml.Dataset {
 	return d
 }
 
-func newCluster(t *testing.T, workers int) (*Driver, []*Worker) {
+func newCluster(t *testing.T, workers int, opts ...DriverOption) (*Driver, []*Worker) {
 	t.Helper()
 	var addrs []string
 	var ws []*Worker
@@ -38,7 +38,7 @@ func newCluster(t *testing.T, workers int) (*Driver, []*Worker) {
 		ws = append(ws, w)
 		addrs = append(addrs, w.Addr())
 	}
-	d, err := NewDriver(addrs)
+	d, err := NewDriver(addrs, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +212,11 @@ func TestWorkerAppendLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(w.Close)
-	conn, err := dialWorker(w.Addr())
+	conn, err := dialWorker(w.Addr(), defaultDial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.close()
+	defer conn.poison()
 	base := &ml.Dataset{X: [][]float64{{1}}, Labels: []float64{0}}
 	if _, _, err := conn.load(loadRequestFor("x", base, false), base); err != nil {
 		t.Fatal(err)
@@ -244,11 +244,11 @@ func TestUnknownOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(w.Close)
-	conn, err := dialWorker(w.Addr())
+	conn, err := dialWorker(w.Addr(), defaultDial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.close()
+	defer conn.poison()
 	if _, err := conn.call(taskRequest{Op: "nonsense"}); err == nil {
 		t.Fatal("unknown op accepted")
 	}
@@ -296,8 +296,10 @@ func TestMakespanShrinksWithWorkers(t *testing.T) {
 	}
 }
 
+// With failover disabled the old fail-fast contract holds: a dead
+// worker errors the round instead of hanging (or being repaired).
 func TestWorkerDeathMidJobFailsFast(t *testing.T) {
-	drv, ws := newCluster(t, 3)
+	drv, ws := newCluster(t, 3, WithFailover(FailoverConfig{Disabled: true}))
 	ds := blobs(300, 2, 99)
 	if err := drv.LoadDataset("d", ds); err != nil {
 		t.Fatal(err)

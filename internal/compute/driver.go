@@ -3,9 +3,12 @@ package compute
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,28 +37,127 @@ type Engine interface {
 	JobTime() time.Duration
 }
 
+// Sentinel errors for the failover layer.
+var (
+	errClosed    = errors.New("compute: driver closed")
+	errNoWorkers = errors.New("compute: no live workers")
+	errPoisoned  = errors.New("compute: connection poisoned")
+)
+
+// RemoteError is a task failure reported by a worker over an intact,
+// still-synchronized connection. It is never retried by the failover
+// layer: the transport worked, the task itself failed.
+type RemoteError struct {
+	Addr string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return "compute " + e.Addr + ": " + e.Msg }
+
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
 // workerConn is the driver's connection to one worker. All traffic is
 // framed (frame.go): JSON control frames plus binary columnar dataset
 // frames during loads.
+//
+// mu serializes framed request/response exchanges. connMu guards only
+// the conn pointer, so poisoning and Driver.Close can sever the socket
+// without waiting for an in-flight (possibly blocked) exchange to
+// release mu. Once any exchange fails below the protocol layer the conn
+// is poisoned — closed and nil'd — because the stream may hold half a
+// frame and could desynchronize every later request.
 type workerConn struct {
 	addr string
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	dial func(addr string) (net.Conn, error)
+
+	mu     sync.Mutex
+	connMu sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+
+	// dead marks the worker permanently failed: its partitions have
+	// been rehomed and it is no longer dialed or probed.
+	dead atomic.Bool
+	// gen counts successful (re)connects; recovery compares it to the
+	// value observed before a failure to detect that another goroutine
+	// already repaired the conn.
+	gen atomic.Uint64
 }
 
-func dialWorker(addr string) (*workerConn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+func defaultDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 2*time.Second)
+}
+
+func dialWorker(addr string, dial func(string) (net.Conn, error)) (*workerConn, error) {
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("compute dial %s: %w", addr, err)
 	}
 	return &workerConn{
 		addr: addr,
+		dial: dial,
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 1<<16),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
 	}, nil
+}
+
+// reconnect replaces the conn with a fresh dial. Callers (the failover
+// layer) serialize reconnects via Driver.failMu.
+func (w *workerConn) reconnect() error {
+	conn, err := w.dial(w.addr)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.connMu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	w.conn = conn
+	w.connMu.Unlock()
+	w.br = bufio.NewReaderSize(conn, 1<<16)
+	w.bw = bufio.NewWriterSize(conn, 1<<16)
+	w.mu.Unlock()
+	return nil
+}
+
+// poisonLocked severs the conn; caller holds w.mu.
+func (w *workerConn) poisonLocked() {
+	w.connMu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	w.connMu.Unlock()
+}
+
+// poison severs the conn from outside an exchange.
+func (w *workerConn) poison() {
+	w.mu.Lock()
+	w.poisonLocked()
+	w.mu.Unlock()
+}
+
+// sever closes the underlying socket without taking the exchange lock,
+// so Driver.Close can interrupt an in-flight blocked read. The failing
+// exchange then poisons the conn itself.
+func (w *workerConn) sever() {
+	w.connMu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	w.connMu.Unlock()
+}
+
+func (w *workerConn) live() bool {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	return w.conn != nil
 }
 
 // sendJSONLocked frames req as JSON and reports the wire bytes written.
@@ -84,7 +186,7 @@ func (w *workerConn) readRespLocked() (taskResponse, error) {
 		return taskResponse{}, fmt.Errorf("compute reply %s: %w", w.addr, err)
 	}
 	if resp.Err != "" {
-		return resp, fmt.Errorf("compute %s: %s", w.addr, resp.Err)
+		return resp, &RemoteError{Addr: w.addr, Msg: resp.Err}
 	}
 	return resp, nil
 }
@@ -92,10 +194,41 @@ func (w *workerConn) readRespLocked() (taskResponse, error) {
 func (w *workerConn) call(req taskRequest) (taskResponse, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.callLocked(req)
+}
+
+func (w *workerConn) callLocked(req taskRequest) (taskResponse, error) {
+	if !w.live() {
+		return taskResponse{}, fmt.Errorf("compute call %s: %w", w.addr, errPoisoned)
+	}
 	if _, err := w.sendJSONLocked(req); err != nil {
+		w.poisonLocked()
 		return taskResponse{}, fmt.Errorf("compute call %s: %w", w.addr, err)
 	}
-	return w.readRespLocked()
+	resp, err := w.readRespLocked()
+	if err != nil && !isRemote(err) {
+		w.poisonLocked()
+	}
+	return resp, err
+}
+
+// ping runs an opPing exchange under a deadline, poisoning the conn on
+// failure so the next task triggers recovery.
+func (w *workerConn) ping(timeout time.Duration) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.connMu.Lock()
+	c := w.conn
+	w.connMu.Unlock()
+	if c == nil {
+		return fmt.Errorf("compute ping %s: %w", w.addr, errPoisoned)
+	}
+	if timeout > 0 {
+		c.SetDeadline(time.Now().Add(timeout))
+		defer c.SetDeadline(time.Time{})
+	}
+	_, err := w.callLocked(taskRequest{Op: opPing})
+	return err
 }
 
 // loadRequestFor builds the opLoad announcement for one partition.
@@ -120,17 +253,25 @@ func loadRequestFor(name string, part *ml.Dataset, appendRows bool) taskRequest 
 // load runs the two-phase dataset transfer: announce (name, shape,
 // content hash), then stream binary columnar frames only if the worker
 // does not already hold the content. It reports the wire bytes shipped
-// and whether the worker's cache absorbed the load.
+// and whether the worker's cache absorbed the load. Any failure below
+// the protocol layer poisons the conn.
 func (w *workerConn) load(req taskRequest, part *ml.Dataset) (shipped int64, cached bool, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if !w.live() {
+		return 0, false, fmt.Errorf("compute load %s: %w", w.addr, errPoisoned)
+	}
 	n, err := w.sendJSONLocked(req)
 	shipped += int64(n)
 	if err != nil {
+		w.poisonLocked()
 		return shipped, false, fmt.Errorf("compute load %s: %w", w.addr, err)
 	}
 	resp, err := w.readRespLocked()
 	if err != nil {
+		if !isRemote(err) {
+			w.poisonLocked()
+		}
 		return shipped, false, err
 	}
 	if resp.Cached {
@@ -147,25 +288,21 @@ func (w *workerConn) load(req taskRequest, part *ml.Dataset) (shipped int64, cac
 		n, err := writeFrame(w.bw, frameDataset, buf)
 		shipped += int64(n)
 		if err != nil {
+			w.poisonLocked()
 			return shipped, false, fmt.Errorf("compute load %s: %w", w.addr, err)
 		}
 	}
 	if err := w.bw.Flush(); err != nil {
+		w.poisonLocked()
 		return shipped, false, fmt.Errorf("compute load %s: %w", w.addr, err)
 	}
 	if _, err := w.readRespLocked(); err != nil {
+		if !isRemote(err) {
+			w.poisonLocked()
+		}
 		return shipped, false, err
 	}
 	return shipped, false, nil
-}
-
-func (w *workerConn) close() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.conn != nil {
-		w.conn.Close()
-		w.conn = nil
-	}
 }
 
 // TransportStats aggregates the driver's dataset-shipping costs since
@@ -182,14 +319,33 @@ type TransportStats struct {
 	ShipTime time.Duration
 }
 
-// Driver coordinates a worker cluster.
+// Driver coordinates a worker cluster. Datasets are split into a fixed
+// number of partitions — one per configured worker — and each partition
+// keeps its identity for the driver's lifetime: if a worker dies, its
+// partitions are rehomed onto survivors but never merged or re-split,
+// and rounds always merge responses in partition order. That is what
+// makes failover bit-identical (see failover.go).
 type Driver struct {
 	workers []*workerConn
+	fo      FailoverConfig
+	dialFn  func(addr string) (net.Conn, error)
+
+	closed  atomic.Bool
+	stopCh  chan struct{}
+	probeWG sync.WaitGroup
+
+	// failMu serializes failure handling: reconnects, death
+	// declarations, and partition rebalancing.
+	failMu sync.Mutex
+	rng    *rand.Rand // backoff jitter; guarded by failMu
 
 	mu      sync.Mutex
-	local   map[string]*ml.Dataset // driver-side copy for non-distributed algorithms
+	local   map[string]*ml.Dataset // driver-side copy for non-distributed algorithms and fallback
+	parts   map[string][]*ml.Dataset
+	owners  map[string][]int // dataset -> partition -> worker index (-1: unplaced)
 	jobTime time.Duration
 	stats   TransportStats
+	fstats  FailoverStats
 
 	// Set by WithDriverTelemetry; nil fields mean unobserved.
 	inflight   *telemetry.Gauge
@@ -198,13 +354,21 @@ type Driver struct {
 	shipTime   *telemetry.Histogram
 	cacheHits  *telemetry.Counter
 	kernelTime *telemetry.HistogramVec
+
+	foRetries    *telemetry.Counter
+	foReconnects *telemetry.Counter
+	foDeaths     *telemetry.Counter
+	foReassigned *telemetry.Counter
+	foFallbacks  *telemetry.Counter
+	foProbeFails *telemetry.Counter
+	foRecovery   *telemetry.Histogram
 }
 
 // DriverOption configures a Driver.
 type DriverOption func(*Driver)
 
-// WithDriverTelemetry registers job-level queue and transport metrics
-// on reg.
+// WithDriverTelemetry registers job-level queue, transport, and
+// failover metrics on reg.
 func WithDriverTelemetry(reg *telemetry.Registry) DriverOption {
 	return func(d *Driver) {
 		d.inflight = reg.Gauge("athena_compute_inflight_tasks",
@@ -219,37 +383,91 @@ func WithDriverTelemetry(reg *telemetry.Registry) DriverOption {
 			"Partition loads absorbed by worker content caches.")
 		d.kernelTime = reg.HistogramVec("athena_compute_kernel_seconds",
 			"Measured on-worker kernel time per task, by operation.", nil, "op")
+
+		d.foRetries = reg.Counter("athena_failover_task_retries_total",
+			"Task attempts repeated after a worker transport failure.")
+		d.foReconnects = reg.Counter("athena_failover_reconnects_total",
+			"Worker connections successfully re-established.")
+		d.foDeaths = reg.Counter("athena_failover_worker_deaths_total",
+			"Workers declared permanently dead.")
+		d.foReassigned = reg.Counter("athena_failover_reassigned_partitions_total",
+			"Dataset partitions rehomed from a dead worker onto a survivor.")
+		d.foFallbacks = reg.Counter("athena_failover_local_fallbacks_total",
+			"Train/Validate calls degraded to in-process execution.")
+		d.foProbeFails = reg.Counter("athena_failover_probe_failures_total",
+			"Background health probes that failed.")
+		d.foRecovery = reg.Histogram("athena_failover_recovery_seconds",
+			"Wall time per recovery episode (reconnect or rebalance).", nil)
+		reg.GaugeFunc("athena_failover_workers_alive",
+			"Workers currently considered alive by the driver.", func() float64 {
+				return float64(len(d.aliveIdx()))
+			})
 	}
 }
 
-// NewDriver connects to the given worker addresses.
+// WithFailover overrides the driver's failure-handling policy.
+func WithFailover(cfg FailoverConfig) DriverOption {
+	return func(d *Driver) { d.fo = cfg }
+}
+
+// WithDialer overrides how worker connections are established — used by
+// chaos tests to interpose fault injectors, and usable for custom
+// transports.
+func WithDialer(dial func(addr string) (net.Conn, error)) DriverOption {
+	return func(d *Driver) { d.dialFn = dial }
+}
+
+// NewDriver connects to the given worker addresses. The initial dials
+// are strict — a worker that cannot be reached at construction fails
+// NewDriver — because the partition count is fixed by len(addrs).
 func NewDriver(addrs []string, opts ...DriverOption) (*Driver, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("compute: no workers")
 	}
-	d := &Driver{local: make(map[string]*ml.Dataset)}
+	d := &Driver{
+		local:  make(map[string]*ml.Dataset),
+		parts:  make(map[string][]*ml.Dataset),
+		owners: make(map[string][]int),
+		stopCh: make(chan struct{}),
+		dialFn: defaultDial,
+	}
 	for _, o := range opts {
 		o(d)
 	}
+	d.fo.applyDefaults()
+	d.rng = rand.New(rand.NewSource(d.fo.JitterSeed))
 	for _, a := range addrs {
-		w, err := dialWorker(a)
+		w, err := dialWorker(a, d.dialFn)
 		if err != nil {
 			d.Close()
 			return nil, err
 		}
 		d.workers = append(d.workers, w)
 	}
+	if d.fo.ProbeInterval > 0 && !d.fo.Disabled {
+		d.probeWG.Add(1)
+		go d.probeLoop()
+	}
 	return d, nil
 }
 
-// Close disconnects from all workers.
+// Close disconnects from all workers. It is safe to call concurrently
+// with in-flight rounds: blocked exchanges are severed at the socket,
+// their tasks fail with errClosed, and recovery refuses to redial.
 func (d *Driver) Close() {
+	if d.closed.Swap(true) {
+		return
+	}
+	close(d.stopCh)
+	d.probeWG.Wait()
 	for _, w := range d.workers {
-		w.close()
+		w.sever()
 	}
 }
 
-// Workers implements Engine.
+// Workers implements Engine. It reports the configured cluster width —
+// the partition count — not the currently-alive worker count (see
+// FailoverStats for liveness).
 func (d *Driver) Workers() int { return len(d.workers) }
 
 // JobTime implements Engine.
@@ -272,28 +490,106 @@ func (d *Driver) TransportStats() TransportStats {
 	return d.stats
 }
 
-// LoadDataset implements Engine: contiguous partitions, one per worker,
-// shipped as binary columnar frames. Partitions whose content hash is
-// already resident in a worker's cache are not re-shipped.
+func (d *Driver) addShipStats(loads, shipped, hits int64) {
+	d.mu.Lock()
+	d.stats.Loads += loads
+	d.stats.BytesShipped += shipped
+	d.stats.CacheHits += hits
+	d.mu.Unlock()
+	if d.shipBytes != nil {
+		d.shipBytes.Add(uint64(shipped))
+		d.cacheHits.Add(uint64(hits))
+	}
+}
+
+// aliasFor names partition part of dataset name on worker owner: the
+// plain dataset name on its home worker (partition i is born on worker
+// i), a "#part"-suffixed alias on an adoptive one, so several
+// partitions of one dataset can coexist on a survivor.
+func aliasFor(name string, part, owner int) string {
+	if part == owner {
+		return name
+	}
+	return name + "#" + strconv.Itoa(part)
+}
+
+// placement returns the worker index and wire alias currently serving
+// the partition; ok=false means no live worker holds it.
+func (d *Driver) placement(name string, part int) (int, string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	owners, ok := d.owners[name]
+	if !ok || part >= len(owners) || owners[part] < 0 {
+		return 0, "", false
+	}
+	o := owners[part]
+	return o, aliasFor(name, part, o), true
+}
+
+func (d *Driver) setOwner(name string, part, owner int) {
+	d.mu.Lock()
+	if owners, ok := d.owners[name]; ok && part < len(owners) {
+		owners[part] = owner
+	}
+	d.mu.Unlock()
+}
+
+// LoadDataset implements Engine: contiguous partitions, one per
+// configured worker, shipped as binary columnar frames. Partitions
+// whose content hash is already resident in a worker's cache are not
+// re-shipped. Partitions homed on dead workers are placed directly on
+// survivors; if no workers are alive the dataset is still retained
+// driver-side so Train/Validate can degrade to local execution.
 func (d *Driver) LoadDataset(name string, ds *ml.Dataset) error {
 	if err := ds.Validate(false); err != nil {
 		return err
 	}
+	if d.closed.Load() {
+		return errClosed
+	}
 	parts := ds.Split(len(d.workers))
+	d.failMu.Lock() // placement must not race a concurrent rebalance
+	alive := d.aliveIdx()
+	owners := make([]int, len(parts))
+	for i := range owners {
+		owners[i] = homeFor(i, d.workers, alive)
+	}
+	d.mu.Lock()
+	d.parts[name] = parts
+	d.owners[name] = owners
+	d.mu.Unlock()
+	d.failMu.Unlock()
+
 	start := time.Now()
-	var shipped, hits atomic.Int64
-	errs := d.fanOut(func(i int, w *workerConn) error {
-		part := parts[i]
-		n, cached, err := w.load(loadRequestFor(name, part, false), part)
-		shipped.Add(n)
-		if cached {
-			hits.Add(1)
-		}
-		return err
-	})
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		shipped  atomic.Int64
+		hits     atomic.Int64
+	)
+	for part := range parts {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			n, cached, err := d.shipPartition(name, part)
+			shipped.Add(n)
+			if cached {
+				hits.Add(1)
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
 	elapsed := time.Since(start)
-	if errs != nil {
-		return errs
+	if firstErr != nil && !(errors.Is(firstErr, errNoWorkers) && !d.fo.DisableLocalFallback) {
+		return firstErr
 	}
 	d.mu.Lock()
 	d.local[name] = ds
@@ -310,100 +606,203 @@ func (d *Driver) LoadDataset(name string, ds *ml.Dataset) error {
 	return nil
 }
 
-// DropDataset implements Engine. Worker content caches deliberately
-// retain dropped partitions so a later reload of identical content is
-// a cache hit.
-func (d *Driver) DropDataset(name string) error {
-	err := d.fanOut(func(i int, w *workerConn) error {
-		_, e := w.call(taskRequest{Op: opDrop, Name: name})
-		return e
-	})
-	d.mu.Lock()
-	delete(d.local, name)
-	d.mu.Unlock()
-	return err
+// shipPartition transfers one partition to its current owner, retrying
+// through the failover layer on transport errors.
+func (d *Driver) shipPartition(name string, part int) (int64, bool, error) {
+	var total int64
+	for {
+		if d.closed.Load() {
+			return total, false, errClosed
+		}
+		widx, alias, ok := d.placement(name, part)
+		if !ok {
+			return total, false, errNoWorkers
+		}
+		w := d.workers[widx]
+		gen := w.gen.Load()
+		d.mu.Lock()
+		p := d.parts[name][part]
+		d.mu.Unlock()
+		n, cached, err := w.load(loadRequestFor(alias, p, false), p)
+		total += n
+		if err == nil {
+			return total, cached, nil
+		}
+		if isRemote(err) || d.fo.Disabled {
+			return total, false, err
+		}
+		d.noteRetry()
+		if rerr := d.recoverWorker(w, widx, gen); rerr != nil {
+			return total, false, rerr
+		}
+	}
 }
 
-// fanOut runs fn against every worker concurrently, returning the first
-// error.
-func (d *Driver) fanOut(fn func(i int, w *workerConn) error) error {
+// DropDataset implements Engine. Worker content caches deliberately
+// retain dropped partitions so a later reload of identical content is
+// a cache hit. Transport failures during a drop are not retried: a
+// worker we cannot reach has effectively dropped the data already.
+func (d *Driver) DropDataset(name string) error {
+	d.mu.Lock()
+	owners := append([]int(nil), d.owners[name]...)
+	delete(d.local, name)
+	delete(d.parts, name)
+	delete(d.owners, name)
+	d.mu.Unlock()
+	var firstErr error
+	for part, o := range owners {
+		if o < 0 || d.workers[o].dead.Load() {
+			continue
+		}
+		if _, err := d.workers[o].call(taskRequest{Op: opDrop, Name: aliasFor(name, part, o)}); err != nil {
+			if isRemote(err) && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// gather runs one broadcast-aggregate round: one task per partition of
+// the named dataset, each retried/rehomed by the failover layer.
+// Responses return in partition order, so the merge — and therefore
+// the model — does not depend on which worker served which partition.
+// The makespan is max over workers of the summed on-worker time of the
+// tasks that worker served: after failover a survivor carrying two
+// partitions accounts for running them back to back.
+func (d *Driver) gather(name, op string, reqFn func(part int) taskRequest) ([]taskResponse, time.Duration, error) {
+	if d.rounds != nil {
+		d.rounds.Inc()
+	}
+	d.mu.Lock()
+	nparts := len(d.parts[name])
+	d.mu.Unlock()
+	if nparts == 0 {
+		if _, err := d.localDataset(name); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, errNoWorkers
+	}
+	resps := make([]taskResponse, nparts)
+	elapsed := make([]int64, len(d.workers))
 	var (
 		wg       sync.WaitGroup
-		mu       sync.Mutex
+		errMu    sync.Mutex
 		firstErr error
 	)
-	for i, w := range d.workers {
+	for part := 0; part < nparts; part++ {
 		wg.Add(1)
 		if d.inflight != nil {
 			d.inflight.Inc()
 		}
-		go func(i int, w *workerConn) {
+		go func(part int) {
 			defer wg.Done()
 			if d.inflight != nil {
 				defer d.inflight.Dec()
 			}
-			if err := fn(i, w); err != nil {
-				mu.Lock()
+			resp, widx, err := d.runTask(name, part, reqFn(part))
+			if err != nil {
+				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
-				mu.Unlock()
+				errMu.Unlock()
+				return
 			}
-		}(i, w)
+			resps[part] = resp
+			atomic.AddInt64(&elapsed[widx], resp.ElapsedNS)
+		}(part)
 	}
 	wg.Wait()
-	return firstErr
-}
-
-// gather runs a task on every worker and returns the responses plus the
-// round makespan (max measured on-worker time).
-func (d *Driver) gather(op string, req func(i int) taskRequest) ([]taskResponse, time.Duration, error) {
-	if d.rounds != nil {
-		d.rounds.Inc()
-	}
-	resps := make([]taskResponse, len(d.workers))
-	err := d.fanOut(func(i int, w *workerConn) error {
-		r, e := w.call(req(i))
-		resps[i] = r
-		return e
-	})
-	if err != nil {
-		return nil, 0, err
+	if firstErr != nil {
+		return nil, 0, firstErr
 	}
 	var makespan time.Duration
-	for _, r := range resps {
-		t := time.Duration(r.ElapsedNS)
-		if t > makespan {
+	for _, ns := range elapsed {
+		if t := time.Duration(ns); t > makespan {
 			makespan = t
 		}
-		if d.kernelTime != nil {
-			d.kernelTime.WithLabelValues(op).Observe(t.Seconds())
+	}
+	if d.kernelTime != nil {
+		for _, r := range resps {
+			d.kernelTime.WithLabelValues(op).Observe(time.Duration(r.ElapsedNS).Seconds())
 		}
 	}
 	return resps, makespan, nil
+}
+
+// runTask executes one partition's task, looping through reconnects and
+// rehoming until it succeeds or the failover policy gives up. It
+// reports the index of the worker that finally served the task.
+func (d *Driver) runTask(name string, part int, req taskRequest) (taskResponse, int, error) {
+	for {
+		if d.closed.Load() {
+			return taskResponse{}, 0, errClosed
+		}
+		widx, alias, ok := d.placement(name, part)
+		if !ok {
+			return taskResponse{}, 0, errNoWorkers
+		}
+		w := d.workers[widx]
+		gen := w.gen.Load()
+		req.Name = alias
+		resp, err := w.call(req)
+		if err == nil {
+			return resp, widx, nil
+		}
+		if isRemote(err) || d.fo.Disabled {
+			return resp, widx, err
+		}
+		d.noteRetry()
+		if rerr := d.recoverWorker(w, widx, gen); rerr != nil {
+			return taskResponse{}, widx, rerr
+		}
+	}
 }
 
 // Train implements Engine. K-Means and the gradient-descent family
 // (logistic regression, linear SVM, linear/ridge regression) run truly
 // distributed (broadcast-aggregate rounds); the remaining algorithms
 // train on the driver against its dataset copy, mirroring how small or
-// non-parallelizable jobs are collected in Spark deployments.
+// non-parallelizable jobs are collected in Spark deployments. When
+// every worker is lost mid-job the distributed paths degrade to
+// in-process ml.Train unless DisableLocalFallback is set.
 func (d *Driver) Train(name, algo string, p ml.Params) (*ml.Model, error) {
+	var (
+		m   *ml.Model
+		err error
+	)
 	switch algo {
 	case ml.AlgoKMeans:
-		return d.trainKMeans(name, p)
+		m, err = d.trainKMeans(name, p)
 	case ml.AlgoLogistic, ml.AlgoSVM, ml.AlgoLinear, ml.AlgoRidge:
-		return d.trainGD(name, algo, p)
+		m, err = d.trainGD(name, algo, p)
 	default:
-		ds, err := d.localDataset(name)
-		if err != nil {
-			return nil, err
+		ds, lerr := d.localDataset(name)
+		if lerr != nil {
+			return nil, lerr
 		}
 		start := time.Now()
 		m, err := ml.Train(algo, ds, p)
 		d.setJobTime(time.Since(start))
 		return m, err
 	}
+	if err != nil && errors.Is(err, errNoWorkers) && !d.fo.DisableLocalFallback {
+		return d.trainLocalFallback(name, algo, p)
+	}
+	return m, err
+}
+
+func (d *Driver) trainLocalFallback(name, algo string, p ml.Params) (*ml.Model, error) {
+	ds, err := d.localDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	d.noteFallback()
+	start := time.Now()
+	m, err := ml.Train(algo, ds, p)
+	d.setJobTime(time.Since(start))
+	return m, err
 }
 
 func (d *Driver) localDataset(name string) (*ml.Dataset, error) {
@@ -457,8 +856,8 @@ func (d *Driver) trainKMeans(name string, p ml.Params) (*ml.Model, error) {
 	dim := ds.Dim()
 	inertia := 0.0
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		resps, makespan, err := d.gather(opKMeansAssign, func(int) taskRequest {
-			return taskRequest{Op: opKMeansAssign, Name: name, Centroids: centroids, Parallelism: p.Parallelism}
+		resps, makespan, err := d.gather(name, opKMeansAssign, func(int) taskRequest {
+			return taskRequest{Op: opKMeansAssign, Centroids: centroids, Parallelism: p.Parallelism}
 		})
 		if err != nil {
 			return nil, err
@@ -545,9 +944,9 @@ func (d *Driver) trainGD(name, algo string, p ml.Params) (*ml.Model, error) {
 	bias := 0.0
 	var total time.Duration
 	for epoch := 0; epoch < epochs; epoch++ {
-		resps, makespan, err := d.gather(opGradient, func(int) taskRequest {
+		resps, makespan, err := d.gather(name, opGradient, func(int) taskRequest {
 			return taskRequest{
-				Op: opGradient, Name: name, GradKind: kind,
+				Op: opGradient, GradKind: kind,
 				Weights: weights, Bias: bias, Parallelism: p.Parallelism,
 			}
 		})
@@ -588,16 +987,20 @@ func (d *Driver) trainGD(name, algo string, p ml.Params) (*ml.Model, error) {
 }
 
 // Validate implements Engine: shard-parallel scoring with merged
-// confusion matrices and cluster compositions.
+// confusion matrices and cluster compositions, degrading to in-process
+// validation when no workers remain.
 func (d *Driver) Validate(name string, m *ml.Model) (ml.Confusion, []ml.ClusterComposition, error) {
 	blob, err := m.Marshal()
 	if err != nil {
 		return ml.Confusion{}, nil, err
 	}
-	resps, makespan, err := d.gather(opValidate, func(int) taskRequest {
-		return taskRequest{Op: opValidate, Name: name, Model: blob}
+	resps, makespan, err := d.gather(name, opValidate, func(int) taskRequest {
+		return taskRequest{Op: opValidate, Model: blob}
 	})
 	if err != nil {
+		if errors.Is(err, errNoWorkers) && !d.fo.DisableLocalFallback {
+			return d.validateLocalFallback(name, m)
+		}
 		return ml.Confusion{}, nil, err
 	}
 	mergeStart := time.Now()
@@ -617,6 +1020,18 @@ func (d *Driver) Validate(name string, m *ml.Model) (ml.Confusion, []ml.ClusterC
 	}
 	d.setJobTime(makespan + time.Since(mergeStart))
 	return conf, comps, nil
+}
+
+func (d *Driver) validateLocalFallback(name string, m *ml.Model) (ml.Confusion, []ml.ClusterComposition, error) {
+	ds, err := d.localDataset(name)
+	if err != nil {
+		return ml.Confusion{}, nil, err
+	}
+	d.noteFallback()
+	start := time.Now()
+	conf, comps, err := m.Validate(ds)
+	d.setJobTime(time.Since(start))
+	return conf, comps, err
 }
 
 func distance(a, b []float64) float64 {

@@ -1,0 +1,431 @@
+package compute
+
+// Failover layer for the Driver.
+//
+// The determinism contract: a dataset is split into exactly
+// len(workers) contiguous partitions at LoadDataset and those
+// partitions never change for the driver's lifetime. Worker death moves
+// whole partitions onto survivors (under a distinct wire alias) but
+// never merges, re-splits, or reorders them, and gather merges
+// responses in partition order. Because the internal/ml kernels are
+// bit-identical at any Parallelism and float addition happens in the
+// same order either way, a Train that survives worker loss produces the
+// exact bits the failure-free run would have — the distributed
+// analogue of Spark recomputing a lost RDD partition from lineage.
+//
+// Placement rule (deterministic in the set of dead workers): partition
+// i lives on worker i while that worker is alive; once worker i is
+// declared dead, partition i moves to alive[i % len(alive)] where alive
+// is the sorted list of live worker indices. The dead set only grows,
+// so placement converges and repeated rebalances are idempotent.
+
+import (
+	"sort"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// FailoverConfig tunes how the Driver reacts to worker failures. The
+// zero value enables failover with the documented defaults; set
+// Disabled to restore strict fail-fast semantics (the first transport
+// error fails the round — the connection is still poisoned, never
+// reused).
+type FailoverConfig struct {
+	// Disabled turns off reconnection, rehoming, and local fallback.
+	Disabled bool
+	// MaxReconnectAttempts bounds redials per failure episode before
+	// the worker is declared permanently dead. Default 2.
+	MaxReconnectAttempts int
+	// BackoffBase is the first reconnect delay; attempt k waits
+	// BackoffBase<<k plus jitter in [0, BackoffBase). Default 25ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential term. Default 500ms.
+	BackoffMax time.Duration
+	// JitterSeed seeds the deterministic jitter source. Default 1.
+	JitterSeed int64
+	// ProbeInterval > 0 enables background health probes (opPing) that
+	// detect and repair dead connections between jobs. Default off.
+	ProbeInterval time.Duration
+	// ProbeTimeout caps each probe exchange. Default 1s.
+	ProbeTimeout time.Duration
+	// DisableLocalFallback makes Train/Validate fail with an error when
+	// no workers remain instead of degrading to in-process execution.
+	DisableLocalFallback bool
+}
+
+func (c *FailoverConfig) applyDefaults() {
+	if c.MaxReconnectAttempts <= 0 {
+		c.MaxReconnectAttempts = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+}
+
+// FailoverStats is a point-in-time snapshot of the driver's failure
+// handling, mirroring the athena_failover_* telemetry families.
+type FailoverStats struct {
+	// Retries counts task attempts repeated after a transport failure.
+	Retries int64
+	// Reconnects counts successfully re-established worker conns.
+	Reconnects int64
+	// WorkerDeaths counts workers declared permanently dead.
+	WorkerDeaths int64
+	// ReassignedPartitions counts partitions rehomed onto survivors.
+	ReassignedPartitions int64
+	// ProbeFailures counts failed background health probes.
+	ProbeFailures int64
+	// LocalFallbacks counts Train/Validate calls that degraded to
+	// in-process execution.
+	LocalFallbacks int64
+	// RecoveryTime is the cumulative wall time spent in recovery
+	// episodes (reconnects and rebalances).
+	RecoveryTime time.Duration
+	// WorkersAlive is the current live worker count.
+	WorkersAlive int
+}
+
+// FailoverStats reports the driver's cumulative failure handling.
+func (d *Driver) FailoverStats() FailoverStats {
+	d.mu.Lock()
+	s := d.fstats
+	d.mu.Unlock()
+	s.WorkersAlive = len(d.aliveIdx())
+	return s
+}
+
+func (d *Driver) noteRetry() {
+	d.mu.Lock()
+	d.fstats.Retries++
+	d.mu.Unlock()
+	if d.foRetries != nil {
+		d.foRetries.Inc()
+	}
+}
+
+func (d *Driver) noteReconnect() {
+	d.mu.Lock()
+	d.fstats.Reconnects++
+	d.mu.Unlock()
+	if d.foReconnects != nil {
+		d.foReconnects.Inc()
+	}
+}
+
+func (d *Driver) noteDeath() {
+	d.mu.Lock()
+	d.fstats.WorkerDeaths++
+	d.mu.Unlock()
+	if d.foDeaths != nil {
+		d.foDeaths.Inc()
+	}
+}
+
+func (d *Driver) noteReassigned() {
+	d.mu.Lock()
+	d.fstats.ReassignedPartitions++
+	d.mu.Unlock()
+	if d.foReassigned != nil {
+		d.foReassigned.Inc()
+	}
+}
+
+func (d *Driver) noteFallback() {
+	d.mu.Lock()
+	d.fstats.LocalFallbacks++
+	d.mu.Unlock()
+	if d.foFallbacks != nil {
+		d.foFallbacks.Inc()
+	}
+}
+
+func (d *Driver) noteProbeFailure() {
+	d.mu.Lock()
+	d.fstats.ProbeFailures++
+	d.mu.Unlock()
+	if d.foProbeFails != nil {
+		d.foProbeFails.Inc()
+	}
+}
+
+func (d *Driver) noteRecovery(dur time.Duration) {
+	d.mu.Lock()
+	d.fstats.RecoveryTime += dur
+	d.mu.Unlock()
+	if d.foRecovery != nil {
+		d.foRecovery.Observe(dur.Seconds())
+	}
+}
+
+// aliveIdx returns the sorted indices of workers not declared dead.
+func (d *Driver) aliveIdx() []int {
+	out := make([]int, 0, len(d.workers))
+	for i, w := range d.workers {
+		if !w.dead.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// homeFor places partition i: its birth worker while alive, otherwise
+// the deterministic survivor alive[i % len(alive)] (-1 when no workers
+// remain).
+func homeFor(i int, workers []*workerConn, alive []int) int {
+	if !workers[i].dead.Load() {
+		return i
+	}
+	if len(alive) == 0 {
+		return -1
+	}
+	return alive[i%len(alive)]
+}
+
+// sleepBackoff waits the exponential-plus-jitter delay for the given
+// attempt, returning false if the driver closed while waiting. Caller
+// holds failMu (which also guards d.rng).
+func (d *Driver) sleepBackoff(attempt int) bool {
+	dur := d.fo.BackoffBase << uint(attempt)
+	if dur > d.fo.BackoffMax || dur <= 0 {
+		dur = d.fo.BackoffMax
+	}
+	dur += time.Duration(d.rng.Int63n(int64(d.fo.BackoffBase)))
+	select {
+	case <-d.stopCh:
+		return false
+	case <-time.After(dur):
+		return true
+	}
+}
+
+// recoverWorker repairs a failed worker connection or, failing that,
+// declares the worker dead and rehomes its partitions onto survivors.
+// gen is the connection generation the caller observed before its
+// failed exchange; a changed generation means another task already
+// repaired the conn. A nil return tells the caller to re-read placement
+// and retry; a non-nil return (errClosed, errNoWorkers, or a
+// RemoteError from a rehoming load) fails the caller's round.
+func (d *Driver) recoverWorker(w *workerConn, idx int, gen uint64) error {
+	start := time.Now()
+	d.failMu.Lock()
+	defer d.failMu.Unlock()
+	defer func() { d.noteRecovery(time.Since(start)) }()
+	if d.closed.Load() {
+		return errClosed
+	}
+	if w.dead.Load() {
+		// Already buried by another task; placements are current (the
+		// burier rebalanced), but re-check in case that rebalance was
+		// interrupted by a second death.
+		return d.rebalanceLocked()
+	}
+	if w.gen.Load() != gen {
+		return nil
+	}
+	// Two repair cycles: a reconnect that then fails during the re-ship
+	// gets one more chance before the worker is declared dead.
+	for cycle := 0; cycle < 2; cycle++ {
+		if !d.repairConnLocked(w) {
+			break
+		}
+		if d.reshipLocked(idx) == nil {
+			return nil
+		}
+	}
+	if d.closed.Load() {
+		return errClosed
+	}
+	w.dead.Store(true)
+	d.noteDeath()
+	return d.rebalanceLocked()
+}
+
+// repairConnLocked redials w with exponential backoff + jitter. false
+// means the attempts were exhausted or the driver closed. Caller holds
+// failMu.
+func (d *Driver) repairConnLocked(w *workerConn) bool {
+	for a := 0; a < d.fo.MaxReconnectAttempts; a++ {
+		if d.closed.Load() {
+			return false
+		}
+		if !d.sleepBackoff(a) {
+			return false
+		}
+		if err := w.reconnect(); err != nil {
+			continue
+		}
+		if d.closed.Load() {
+			w.poison()
+			return false
+		}
+		w.gen.Add(1)
+		d.noteReconnect()
+		return true
+	}
+	return false
+}
+
+// reshipLocked re-ships every partition currently owned by worker idx.
+// A worker that merely lost its connection still holds the data and
+// absorbs these through its content cache; a restarted worker process
+// receives the real bytes. Caller holds failMu.
+func (d *Driver) reshipLocked(idx int) error {
+	type item struct {
+		alias string
+		part  *ml.Dataset
+	}
+	var items []item
+	d.mu.Lock()
+	for name, owners := range d.owners {
+		for part, o := range owners {
+			if o == idx {
+				items = append(items, item{aliasFor(name, part, o), d.parts[name][part]})
+			}
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].alias < items[j].alias })
+	w := d.workers[idx]
+	for _, it := range items {
+		n, cached, err := w.load(loadRequestFor(it.alias, it.part, false), it.part)
+		var hits int64
+		if cached {
+			hits = 1
+		}
+		d.addShipStats(1, n, hits)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// move is one pending partition relocation: the diff between a
+// partition's recorded owner and the placement rule's current target.
+type move struct {
+	name     string
+	part     int
+	from, to int
+}
+
+// pendingMoves diffs recorded owners against the placement rule for
+// the current dead set, in deterministic (name, partition) order.
+func (d *Driver) pendingMoves() []move {
+	alive := d.aliveIdx()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.owners))
+	for name := range d.owners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []move
+	for _, name := range names {
+		owners := d.owners[name]
+		for part, cur := range owners {
+			want := homeFor(part, d.workers, alive)
+			if want != cur {
+				out = append(out, move{name, part, cur, want})
+			}
+		}
+	}
+	return out
+}
+
+// rebalanceLocked drives recorded placements to the rule's targets,
+// shipping each moved partition to its adoptive worker. An adoptive
+// worker that fails mid-ship is repaired in place or declared dead, and
+// the move set is recomputed — the loop terminates because the dead set
+// only grows. Caller holds failMu.
+func (d *Driver) rebalanceLocked() error {
+	for {
+		if d.closed.Load() {
+			return errClosed
+		}
+		moves := d.pendingMoves()
+		if len(moves) == 0 {
+			return nil
+		}
+		recompute := false
+		for _, mv := range moves {
+			if mv.to < 0 {
+				// No survivors: unplace so tasks fail with errNoWorkers
+				// (and Train can degrade to local execution).
+				d.setOwner(mv.name, mv.part, -1)
+				continue
+			}
+			w := d.workers[mv.to]
+			d.mu.Lock()
+			p := d.parts[mv.name][mv.part]
+			d.mu.Unlock()
+			n, cached, err := w.load(loadRequestFor(aliasFor(mv.name, mv.part, mv.to), p, false), p)
+			var hits int64
+			if cached {
+				hits = 1
+			}
+			d.addShipStats(1, n, hits)
+			if err == nil {
+				d.setOwner(mv.name, mv.part, mv.to)
+				d.noteReassigned()
+				continue
+			}
+			if isRemote(err) {
+				return err
+			}
+			// The adoptive worker broke too: repair it (then re-ship its
+			// own partitions) or bury it, and recompute the move set.
+			if d.repairConnLocked(w) && d.reshipLocked(mv.to) == nil {
+				recompute = true
+				break
+			}
+			if d.closed.Load() {
+				return errClosed
+			}
+			w.dead.Store(true)
+			d.noteDeath()
+			recompute = true
+			break
+		}
+		if !recompute {
+			return nil
+		}
+	}
+}
+
+// probeLoop periodically pings live workers, repairing or burying the
+// ones that fail. It exits when the driver closes.
+func (d *Driver) probeLoop() {
+	defer d.probeWG.Done()
+	t := time.NewTicker(d.fo.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-t.C:
+		}
+		for i, w := range d.workers {
+			if d.closed.Load() {
+				return
+			}
+			if w.dead.Load() {
+				continue
+			}
+			gen := w.gen.Load()
+			if err := w.ping(d.fo.ProbeTimeout); err != nil && !isRemote(err) {
+				d.noteProbeFailure()
+				_ = d.recoverWorker(w, i, gen)
+			}
+		}
+	}
+}

@@ -58,6 +58,12 @@ type Config struct {
 	// application installs. Zero values install permanent rules.
 	FlowIdleTimeout time.Duration
 	FlowHardTimeout time.Duration
+	// KeepaliveInterval enables controller-initiated echo keepalives on
+	// every switch session; zero disables them.
+	KeepaliveInterval time.Duration
+	// KeepaliveTimeout is how long a session may stay silent before it
+	// is declared dead and torn down. Zero selects 3× KeepaliveInterval.
+	KeepaliveTimeout time.Duration
 	// Telemetry receives the instance's metrics; nil registers them on a
 	// private registry (per-instance counts still work, nothing scrapes
 	// them).
@@ -134,6 +140,9 @@ type ctrlMetrics struct {
 	mastershipChanges *telemetry.Counter
 	statsPolls        *telemetry.Counter
 	dispatchTimer     telemetry.Timer
+	keepalivesSent    *telemetry.Counter
+	keepaliveTimeouts *telemetry.Counter
+	sessionTeardowns  *telemetry.Counter
 }
 
 func newCtrlMetrics(reg *telemetry.Registry, id string) ctrlMetrics {
@@ -151,6 +160,12 @@ func newCtrlMetrics(reg *telemetry.Registry, id string) ctrlMetrics {
 		dispatchTimer: telemetry.NewTimer(reg.HistogramVec("athena_controller_dispatch_seconds",
 			"Control-channel dispatch latency (handlers plus listener fan-out).",
 			nil, "controller").WithLabelValues(id)),
+		keepalivesSent: reg.CounterVec("athena_failover_keepalives_sent_total",
+			"Controller-initiated echo keepalives sent to switches.", "controller").WithLabelValues(id),
+		keepaliveTimeouts: reg.CounterVec("athena_failover_keepalive_timeouts_total",
+			"Switch sessions terminated for missing the keepalive deadline.", "controller").WithLabelValues(id),
+		sessionTeardowns: reg.CounterVec("athena_failover_session_teardowns_total",
+			"Dead switch sessions torn down with state purge and synthetic events.", "controller").WithLabelValues(id),
 	}
 }
 

@@ -1,0 +1,105 @@
+package controller
+
+// Control-plane fault tolerance: controller-initiated keepalives detect
+// dead switch sessions, and teardown purges everything the dead switch
+// contributed to replicated state — emitting the synthetic southbound
+// events (FlowRemoved, PortStatus) the Feature Generator expects, so
+// anomaly detection sees rule and port death even when the switch can no
+// longer report it.
+
+import (
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// keepaliveLoop probes one switch session with echo requests until the
+// session ends. A session silent past the keepalive timeout — no echo
+// replies, no other traffic — is declared dead and its channel closed,
+// which lands the receive loop in teardownSession.
+func (c *Controller) keepaliveLoop(s *session) {
+	interval := c.cfg.KeepaliveInterval
+	timeout := c.cfg.KeepaliveTimeout
+	if timeout <= 0 {
+		timeout = 3 * interval
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			if time.Since(s.lastSeen()) > timeout {
+				c.metrics.keepaliveTimeouts.Inc()
+				c.logf("switch %d missed keepalive deadline (%v); closing session", s.dpid, timeout)
+				s.close()
+				return
+			}
+			if err := s.send(&openflow.EchoRequest{}); err != nil {
+				// The transport is already dead; closing makes the
+				// receive loop notice now rather than at the deadline.
+				c.metrics.keepaliveTimeouts.Inc()
+				s.close()
+				return
+			}
+			c.metrics.keepalivesSent.Inc()
+			c.metrics.tx.WithLabelValues(c.id, "echo_request").Inc()
+		}
+	}
+}
+
+// teardownSession purges the state a dead switch contributed. Hosts
+// learned at the switch, links touching it, its device record, and its
+// flow rules all go; each purged rule becomes a synthetic FlowRemoved
+// (reason DELETE) and each port a PortStatus (PORT DELETED) on the
+// message-listener surface. Runs only when the session was still
+// registered at death — a switch that re-homed to another instance, or a
+// controller shutting down, keeps its state.
+func (c *Controller) teardownSession(s *session) {
+	// If another instance has already adopted the switch, the device is
+	// alive elsewhere; purging replicated state would fight the new
+	// master. Only the recorded owner tears down.
+	var rec deviceRecord
+	if ok, err := c.devices.GetJSON(dpidKey(s.dpid), &rec); err == nil && ok &&
+		rec.Controller != "" && rec.Controller != c.id {
+		return
+	}
+	now := time.Now()
+	c.metrics.sessionTeardowns.Inc()
+
+	// Rules first: downstream consumers should observe flow death before
+	// the ports vanish, mirroring the order a draining switch would emit.
+	for _, rule := range c.flows.purgeDPID(s.dpid) {
+		c.emit(ControlMessage{
+			Time:         now,
+			ControllerID: c.id,
+			DPID:         s.dpid,
+			Msg: &openflow.FlowRemoved{
+				Cookie:   rule.Cookie,
+				Priority: rule.Priority,
+				Reason:   openflow.RemovedDelete,
+				Match:    rule.Match,
+			},
+		})
+	}
+
+	c.hosts.purgeDPID(s.dpid)
+	c.links.purgeDPID(s.dpid)
+
+	c.devices.Delete(dpidKey(s.dpid))
+	for _, p := range rec.Ports {
+		c.emit(ControlMessage{
+			Time:         now,
+			ControllerID: c.id,
+			DPID:         s.dpid,
+			Msg: &openflow.PortStatus{
+				Reason: openflow.PortDeleted,
+				Desc:   openflow.PortDesc{No: p},
+			},
+		})
+	}
+	c.logf("switch %d session dead: state purged, %d ports retired", s.dpid, len(rec.Ports))
+}

@@ -1,0 +1,377 @@
+package controller
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/cluster"
+	"github.com/athena-sdn/athena/internal/faults"
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// fakeSwitch is a minimal OpenFlow peer: it completes the handshake and
+// then behaves exactly as the test directs — answering echoes or going
+// silent — which real dataplane switches are too helpful to do.
+type fakeSwitch struct {
+	conn *openflow.Conn
+	dpid uint64
+
+	mu         sync.Mutex
+	answerEcho bool
+}
+
+func dialFakeSwitch(t *testing.T, addr string, dpid uint64, ports []uint32) *fakeSwitch {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeSwitch{conn: openflow.NewConn(nc), dpid: dpid, answerEcho: true}
+	t.Cleanup(func() { fs.conn.Close() })
+	if _, err := fs.conn.Send(&openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	var desc []openflow.PortDesc
+	for _, p := range ports {
+		desc = append(desc, openflow.PortDesc{No: p, Name: fmt.Sprintf("p%d", p)})
+	}
+	if _, err := fs.conn.Send(&openflow.FeaturesReply{DPID: dpid, NumTables: 1, Ports: desc}); err != nil {
+		t.Fatal(err)
+	}
+	go fs.serve()
+	return fs
+}
+
+func (fs *fakeSwitch) serve() {
+	for {
+		msg, h, err := fs.conn.Receive()
+		if err != nil {
+			return
+		}
+		if m, ok := msg.(*openflow.EchoRequest); ok {
+			fs.mu.Lock()
+			answer := fs.answerEcho
+			fs.mu.Unlock()
+			if answer {
+				_ = fs.conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+			}
+		}
+	}
+}
+
+// goSilent stops answering echo requests while keeping the TCP channel
+// open: the half-alive switch only keepalives can detect.
+func (fs *fakeSwitch) goSilent() {
+	fs.mu.Lock()
+	fs.answerEcho = false
+	fs.mu.Unlock()
+}
+
+func exposition(c *Controller) string {
+	var buf strings.Builder
+	c.Telemetry().WritePrometheus(&buf)
+	return buf.String()
+}
+
+// A responsive switch survives many keepalive rounds; the keepalives are
+// visible in telemetry.
+func TestKeepaliveKeepsResponsiveSessionAlive(t *testing.T) {
+	c, err := New(Config{ID: "ka", KeepaliveInterval: 10 * time.Millisecond, KeepaliveTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	dialFakeSwitch(t, c.Addr(), 7, []uint32{1})
+	waitFor(t, 2*time.Second, func() bool { return len(c.Devices()) == 1 })
+
+	// Long enough for ~10 keepalive rounds and several timeout windows.
+	time.Sleep(150 * time.Millisecond)
+	if got := c.Devices(); len(got) != 1 {
+		t.Fatalf("responsive session died: devices = %v", got)
+	}
+	out := exposition(c)
+	if !strings.Contains(out, "athena_failover_keepalives_sent_total") {
+		t.Fatal("keepalive counter missing from exposition")
+	}
+	if strings.Contains(out, `athena_failover_keepalive_timeouts_total{controller="ka"} 0`) == false &&
+		strings.Contains(out, "athena_failover_keepalive_timeouts_total") {
+		// Counter exists; make sure it is still zero.
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "athena_failover_keepalive_timeouts_total") && !strings.HasSuffix(line, " 0") {
+				t.Fatalf("responsive switch hit a keepalive timeout: %s", line)
+			}
+		}
+	}
+}
+
+// The acceptance path: a switch that goes silent misses its keepalive
+// deadline; the session is torn down, every piece of state it
+// contributed is purged, and the Feature Generator surface sees
+// synthetic FlowRemoved and PortStatus events.
+func TestKeepaliveTimeoutTearsDownSilentSession(t *testing.T) {
+	c, err := New(Config{ID: "td", KeepaliveInterval: 10 * time.Millisecond, KeepaliveTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+
+	var mu sync.Mutex
+	var removed []*openflow.FlowRemoved
+	var portsDown []*openflow.PortStatus
+	c.AddMessageListener(func(m ControlMessage) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch msg := m.Msg.(type) {
+		case *openflow.FlowRemoved:
+			removed = append(removed, msg)
+		case *openflow.PortStatus:
+			if msg.Reason == openflow.PortDeleted {
+				portsDown = append(portsDown, msg)
+			}
+		}
+	})
+
+	fs := dialFakeSwitch(t, c.Addr(), 42, []uint32{1, 2})
+	waitFor(t, 2*time.Second, func() bool { return len(c.Devices()) == 1 })
+
+	// State the dead switch will leave behind.
+	cookie, err := c.InstallFlow("td.app", 42, openflow.FlowMod{
+		Priority: 10,
+		Match:    openflow.MatchAll(),
+		Actions:  []openflow.Action{openflow.ActionDrop{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.hosts.learn(HostInfo{IP: openflow.IPv4(10, 0, 0, 9), DPID: 42, Port: 1})
+	c.hosts.learn(HostInfo{IP: openflow.IPv4(10, 0, 0, 8), DPID: 5, Port: 1}) // other switch: must survive
+	c.links.add(LinkInfo{SrcDPID: 42, SrcPort: 2, DstDPID: 5, DstPort: 3})
+	c.links.add(LinkInfo{SrcDPID: 5, SrcPort: 3, DstDPID: 42, DstPort: 2})
+	c.links.add(LinkInfo{SrcDPID: 5, SrcPort: 4, DstDPID: 6, DstPort: 1}) // untouched link
+
+	fs.goSilent()
+	waitFor(t, 5*time.Second, func() bool { return len(c.Devices()) == 0 })
+
+	// Host/topology purge: only the dead switch's state is gone.
+	if _, ok := c.HostByIP(openflow.IPv4(10, 0, 0, 9)); ok {
+		t.Fatal("host on dead switch survived teardown")
+	}
+	if _, ok := c.HostByIP(openflow.IPv4(10, 0, 0, 8)); !ok {
+		t.Fatal("host on live switch was purged")
+	}
+	links := c.Links()
+	if len(links) != 1 || links[0].SrcDPID != 5 || links[0].DstDPID != 6 {
+		t.Fatalf("links after teardown = %+v, want only 5->6", links)
+	}
+	if _, ok := c.devices.Get(dpidKey(42)); ok {
+		t.Fatal("device record survived teardown")
+	}
+	if rules := c.FlowsOfApp("td.app"); len(rules) != 0 {
+		t.Fatalf("rules after teardown = %+v", rules)
+	}
+	// Attribution outlives the rule (late stats must still attribute).
+	if app, ok := c.AppOfCookie(cookie); !ok || app != "td.app" {
+		t.Fatalf("AppOfCookie after teardown = %q, %v", app, ok)
+	}
+
+	// Synthetic events: one FlowRemoved per rule, one PortStatus per port.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(removed) != 1 || removed[0].Cookie != cookie || removed[0].Reason != openflow.RemovedDelete {
+		t.Fatalf("synthetic FlowRemoved = %+v", removed)
+	}
+	gotPorts := map[uint32]bool{}
+	for _, ps := range portsDown {
+		gotPorts[ps.Desc.No] = true
+	}
+	if !gotPorts[1] || !gotPorts[2] || len(gotPorts) != 2 {
+		t.Fatalf("synthetic PortStatus ports = %v, want {1,2}", gotPorts)
+	}
+
+	out := exposition(c)
+	for _, want := range []string{
+		`athena_failover_keepalive_timeouts_total{controller="td"} 1`,
+		`athena_failover_session_teardowns_total{controller="td"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+// Satellite regression: a failed echo reply must terminate the session
+// instead of being dropped on the floor. Before the fix the session
+// lingered half-open until something else touched the socket.
+func TestFailedEchoReplyClosesSession(t *testing.T) {
+	c, err := New(Config{ID: "er"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err == nil {
+			accepted <- nc
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	// The controller's side of the channel dies after one byte: the echo
+	// reply cannot be written.
+	in := faults.New(1, faults.WithSend(faults.Schedule{TruncateAfterBytes: 1}))
+	s := &session{ctrl: c, conn: openflow.NewConn(in.WrapConn(server)), dpid: 9, done: make(chan struct{})}
+
+	s.dispatch(&openflow.EchoRequest{Data: []byte("ka")}, openflow.Header{XID: 5})
+
+	if in.Injected(faults.KindTruncate) != 1 {
+		t.Fatalf("truncate faults = %d, want 1", in.Injected(faults.KindTruncate))
+	}
+	// The session must have closed its transport; further sends fail
+	// immediately rather than desynchronizing the stream.
+	if err := s.conn.SendXID(&openflow.Hello{}, 6); err == nil {
+		t.Fatal("session transport still open after failed echo reply")
+	}
+}
+
+// Acceptance chaos test: hard-killing a cluster member re-homes
+// mastership of its switches onto survivors within FailureTimeout, and
+// the replicated host/topology state survives the transition.
+func TestClusterMemberDeathRehomesMastership(t *testing.T) {
+	const n = 3
+	agents := make([]*cluster.Agent, n)
+	for i := range agents {
+		a, err := cluster.NewAgent(cluster.Config{
+			ID:             fmt.Sprintf("m%d", i),
+			GossipInterval: 10 * time.Millisecond,
+			FailureTimeout: 400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	for _, a := range agents {
+		for _, b := range agents {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	ctrls := make([]*Controller, n)
+	for i, a := range agents {
+		a.Start()
+		c, err := New(Config{Cluster: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		ctrls[i] = c
+	}
+	t.Cleanup(func() {
+		for _, c := range ctrls {
+			c.Stop()
+		}
+		for _, a := range agents {
+			a.Stop()
+		}
+	})
+	// Let membership stabilize: everyone sees everyone.
+	waitFor(t, 2*time.Second, func() bool {
+		for _, a := range agents {
+			alive := 0
+			for _, m := range a.Members() {
+				if m.Alive {
+					alive++
+				}
+			}
+			if alive != n {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Pick a switch mastered by instance 0 and connect it there; seed
+	// replicated state through the instance that is about to die.
+	var dpid uint64
+	for d := uint64(1); d < 1000; d++ {
+		if agents[0].MasterOf(d) == agents[0].ID() {
+			dpid = d
+			break
+		}
+	}
+	if dpid == 0 {
+		t.Fatal("no switch hashes to instance 0")
+	}
+	dialFakeSwitch(t, ctrls[0].Addr(), dpid, []uint32{1})
+	waitFor(t, 2*time.Second, func() bool { return len(ctrls[0].Devices()) == 1 })
+	ctrls[0].hosts.learn(HostInfo{IP: openflow.IPv4(10, 1, 0, 1), DPID: dpid, Port: 1})
+	waitFor(t, 2*time.Second, func() bool {
+		_, ok := ctrls[1].HostByIP(openflow.IPv4(10, 1, 0, 1))
+		return ok
+	})
+
+	// Hard-kill member 0: controller and agent go down together.
+	killedAt := time.Now()
+	ctrls[0].Stop()
+	agents[0].Stop()
+
+	// Survivors must agree on a new, living master within FailureTimeout
+	// (plus one gossip interval of detection slack).
+	deadline := killedAt.Add(agents[1].FailureTimeout() + 300*time.Millisecond)
+	var newMaster string
+	for {
+		m1, m2 := agents[1].MasterOf(dpid), agents[2].MasterOf(dpid)
+		if m1 == m2 && m1 != agents[0].ID() && m1 != "" {
+			newMaster = m1
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mastership not re-homed within FailureTimeout: %q vs %q", m1, m2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Replicated state survived the member death.
+	for _, c := range ctrls[1:] {
+		if _, ok := c.HostByIP(openflow.IPv4(10, 1, 0, 1)); !ok {
+			t.Fatalf("instance %s lost host state in failover", c.ID())
+		}
+	}
+
+	// The switch reconnects to the new master and is adopted: mastership
+	// of the control channel follows the hash.
+	var adopter *Controller
+	for _, c := range ctrls[1:] {
+		if c.ID() == newMaster {
+			adopter = c
+		}
+	}
+	if adopter == nil {
+		t.Fatalf("new master %q is not a live controller", newMaster)
+	}
+	dialFakeSwitch(t, adopter.Addr(), dpid, []uint32{1})
+	waitFor(t, 2*time.Second, func() bool { return len(adopter.Devices()) == 1 })
+	if !strings.Contains(exposition(adopter), `athena_controller_mastership_changes_total{controller="`+adopter.ID()+`"} 1`) {
+		t.Fatal("adoption did not count a mastership change")
+	}
+}

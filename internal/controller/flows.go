@@ -84,6 +84,28 @@ func (s *flowRuleStore) removed(cookie uint64) {
 	// statistics messages referencing the cookie must still attribute.
 }
 
+// purgeDPID drops local tracking for every rule on dpid, returning the
+// dropped rules sorted by cookie so the caller can synthesize FlowRemoved
+// events. Replicated cookie attribution stays: late statistics
+// referencing the cookies must still attribute.
+func (s *flowRuleStore) purgeDPID(dpid uint64) []FlowRuleInfo {
+	s.mu.Lock()
+	var out []FlowRuleInfo
+	for cookie, info := range s.rules {
+		if info.DPID != dpid {
+			continue
+		}
+		out = append(out, info)
+		delete(s.rules, cookie)
+		if set, ok := s.byApp[info.AppID]; ok {
+			delete(set, cookie)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Cookie < out[j].Cookie })
+	return out
+}
+
 func (s *flowRuleStore) appOf(cookie uint64) (string, bool) {
 	s.mu.RLock()
 	info, ok := s.rules[cookie]

@@ -3,6 +3,7 @@ package controller
 import (
 	"encoding/json"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/openflow"
@@ -20,7 +21,17 @@ type session struct {
 	ctrl *Controller
 	conn *openflow.Conn
 	dpid uint64
+	// lastRx is the UnixNano instant of the last message received; the
+	// keepalive loop uses it as the liveness deadline.
+	lastRx atomic.Int64
+	// done closes when the receive loop exits, stopping the keepalive
+	// goroutine.
+	done chan struct{}
 }
+
+func (s *session) touch() { s.lastRx.Store(time.Now().UnixNano()) }
+
+func (s *session) lastSeen() time.Time { return time.Unix(0, s.lastRx.Load()) }
 
 func (c *Controller) serveSwitch(nc net.Conn) {
 	conn := openflow.NewConn(nc)
@@ -50,13 +61,16 @@ func (c *Controller) serveSwitch(nc net.Conn) {
 		case *openflow.Hello, *openflow.EchoReply:
 			// keep waiting
 		case *openflow.EchoRequest:
-			_ = conn.SendXID(&openflow.EchoReply{Data: m.Data}, 0)
+			if err := conn.SendXID(&openflow.EchoReply{Data: m.Data}, 0); err != nil {
+				return
+			}
 		default:
 			// Pre-handshake noise; ignore.
 		}
 	}
 
-	s := &session{ctrl: c, conn: conn, dpid: features.DPID}
+	s := &session{ctrl: c, conn: conn, dpid: features.DPID, done: make(chan struct{})}
+	s.touch()
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
@@ -82,18 +96,36 @@ func (c *Controller) serveSwitch(nc net.Conn) {
 	c.devices.Put(dpidKey(s.dpid), rec)
 
 	defer func() {
+		close(s.done)
 		c.mu.Lock()
-		if c.sessions[s.dpid] == s {
+		registered := c.sessions[s.dpid] == s
+		if registered {
 			delete(c.sessions, s.dpid)
 		}
+		stopped := c.stopped
 		c.mu.Unlock()
+		// A session replaced by a newer channel for the same switch, or
+		// closed because the controller is stopping, is not a dead
+		// switch: its state stays. Everything else gets torn down.
+		if registered && !stopped {
+			c.teardownSession(s)
+		}
 	}()
+
+	if c.cfg.KeepaliveInterval > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.keepaliveLoop(s)
+		}()
+	}
 
 	for {
 		msg, h, err := conn.Receive()
 		if err != nil {
 			return
 		}
+		s.touch()
 		s.dispatch(msg, h)
 	}
 }
@@ -107,7 +139,12 @@ func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 	case *openflow.Hello:
 		return
 	case *openflow.EchoRequest:
-		_ = s.conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+		if err := s.conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID); err != nil {
+			// A switch we cannot even answer has a dead transport: close
+			// the channel so the receive loop terminates the session
+			// instead of idling on a half-open socket.
+			s.close()
+		}
 		return
 	case *openflow.EchoReply, *openflow.BarrierReply:
 		return

@@ -62,6 +62,23 @@ func (s *hostStore) learn(h HostInfo) {
 	s.m.Put(strconv.FormatUint(uint64(h.IP), 10), b)
 }
 
+// purgeDPID deletes every host learned at the given switch; tombstones
+// replicate so all instances forget the locations.
+func (s *hostStore) purgeDPID(dpid uint64) int {
+	s.mu.RLock()
+	var ips []uint32
+	for ip, h := range s.cache {
+		if h.DPID == dpid {
+			ips = append(ips, ip)
+		}
+	}
+	s.mu.RUnlock()
+	for _, ip := range ips {
+		s.m.Delete(strconv.FormatUint(uint64(ip), 10)) // watcher clears the cache
+	}
+	return len(ips)
+}
+
 func (s *hostStore) byIP(ip uint32) (HostInfo, bool) {
 	s.mu.RLock()
 	h, ok := s.cache[ip]
@@ -127,6 +144,23 @@ func (s *linkStore) add(l LinkInfo) {
 	}
 	b, _ := json.Marshal(l)
 	s.m.Put(l.key(), b) // the watcher updates the cache
+}
+
+// purgeDPID deletes every link touching the given switch, in either
+// direction.
+func (s *linkStore) purgeDPID(dpid uint64) int {
+	s.mu.RLock()
+	var keys []string
+	for k, l := range s.cache {
+		if l.SrcDPID == dpid || l.DstDPID == dpid {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	for _, k := range keys {
+		s.m.Delete(k)
+	}
+	return len(keys)
 }
 
 // isInfrastructure reports whether (dpid, port) is a known link endpoint,

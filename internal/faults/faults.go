@@ -1,0 +1,354 @@
+// Package faults provides deterministic, seedable fault injection for
+// TCP transports. An Injector wraps net.Conn, net.Listener, or a dial
+// function and applies per-direction fault schedules — drop, delay,
+// truncate mid-frame, hard-close, one-way partition — so chaos tests
+// can reproduce the exact same failure sequence on every run.
+//
+// Determinism: counter-based faults (DropEveryNth, CloseAfterOps,
+// TruncateAfterBytes) depend only on the traffic pattern; probabilistic
+// faults (DropProb) draw from a rand.Rand seeded at New. No wall-clock
+// state feeds a decision, so a fixed workload sees a fixed fault
+// sequence.
+//
+// The injector can be toggled at runtime with SetEnabled — a disabled
+// injector passes every byte through untouched — which lets tests flap
+// a partition and then heal it. All injected faults are counted
+// locally (Injected) and, when WithTelemetry is set, on the shared
+// registry under athena_faults_*.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// ErrInjected is wrapped by every error the injector fabricates, so
+// callers can distinguish injected faults from genuine I/O errors with
+// errors.Is.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Fault kind labels, used both for telemetry and for Injected counts.
+const (
+	KindDrop      = "drop"
+	KindDelay     = "delay"
+	KindTruncate  = "truncate"
+	KindClose     = "close"
+	KindPartition = "partition"
+	KindRefuse    = "refuse"
+)
+
+// Schedule describes the faults applied to one direction (send or
+// recv) of a wrapped connection. The zero Schedule injects nothing.
+// Counters are per-connection: two conns wrapped by the same injector
+// each see the schedule from the beginning.
+type Schedule struct {
+	// Partition black-holes the direction: writes report full success
+	// without touching the wire; reads swallow incoming data and never
+	// return it. Models a one-way (simplex) network partition.
+	Partition bool
+
+	// DropEveryNth silently discards every Nth operation (1 = every op).
+	DropEveryNth int
+
+	// DropProb discards each operation with this probability, drawn
+	// from the injector's seeded RNG.
+	DropProb float64
+
+	// Delay sleeps before every DelayEveryNth-th operation
+	// (0 or 1 = every op, when Delay > 0).
+	Delay        time.Duration
+	DelayEveryNth int
+
+	// TruncateAfterBytes cuts the connection mid-operation once the
+	// cumulative byte count in this direction crosses the threshold:
+	// the bytes up to the threshold are transferred, then the conn is
+	// hard-closed and an error returned. This is how a half-written
+	// frame is manufactured.
+	TruncateAfterBytes int64
+
+	// CloseAfterOps hard-closes the connection immediately before the
+	// (N+1)-th operation in this direction.
+	CloseAfterOps int
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// WithSend sets the schedule for the send (Write) direction.
+func WithSend(s Schedule) Option { return func(in *Injector) { in.send = s } }
+
+// WithRecv sets the schedule for the recv (Read) direction.
+func WithRecv(s Schedule) Option { return func(in *Injector) { in.recv = s } }
+
+// WithTelemetry publishes athena_faults_* families on reg.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(in *Injector) { in.metrics = newFaultMetrics(reg) }
+}
+
+// WithDialTimeout overrides the timeout used by Dial (default 1s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(in *Injector) { in.dialTimeout = d }
+}
+
+type faultMetrics struct {
+	injected  *telemetry.CounterVec
+	blackhole *telemetry.Counter
+	wrapped   *telemetry.Counter
+	refused   *telemetry.Counter
+}
+
+func newFaultMetrics(reg *telemetry.Registry) *faultMetrics {
+	return &faultMetrics{
+		injected:  reg.CounterVec("athena_faults_injected_total", "Faults injected by kind.", "kind"),
+		blackhole: reg.Counter("athena_faults_bytes_blackholed_total", "Bytes silently discarded by drop/partition faults."),
+		wrapped:   reg.Counter("athena_faults_conns_wrapped_total", "Connections wrapped by a fault injector."),
+		refused:   reg.Counter("athena_faults_dials_refused_total", "Dial attempts refused by the injector."),
+	}
+}
+
+// Injector wraps connections with a pair of fault schedules. The zero
+// value is not usable; construct with New.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	send, recv  Schedule
+	counts      map[string]int64
+	enabled     atomic.Bool
+	refuseDial  atomic.Bool
+	dialTimeout time.Duration
+	metrics     *faultMetrics
+}
+
+// New builds an injector whose probabilistic faults are driven by the
+// given seed. The injector starts enabled.
+func New(seed int64, opts ...Option) *Injector {
+	in := &Injector{
+		rng:         rand.New(rand.NewSource(seed)),
+		counts:      make(map[string]int64),
+		dialTimeout: time.Second,
+	}
+	in.enabled.Store(true)
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// SetEnabled turns fault injection on or off. Disabled injectors (and
+// their already-wrapped conns) pass traffic through untouched, which
+// is how a test heals a partition.
+func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
+
+// SetRefuseDial makes Dial fail immediately (connection refused
+// semantics) while set, independent of the per-conn schedules.
+func (in *Injector) SetRefuseDial(v bool) { in.refuseDial.Store(v) }
+
+// Injected reports how many faults of the given kind this injector
+// has applied across all wrapped connections.
+func (in *Injector) Injected(kind string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[kind]
+}
+
+func (in *Injector) record(kind string, blackholed int) {
+	in.mu.Lock()
+	in.counts[kind]++
+	in.mu.Unlock()
+	if m := in.metrics; m != nil {
+		m.injected.WithLabelValues(kind).Inc()
+		if blackholed > 0 {
+			m.blackhole.Add(uint64(blackholed))
+		}
+	}
+}
+
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// WrapConn returns c with this injector's schedules applied. Each call
+// starts fresh per-connection fault counters.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	if m := in.metrics; m != nil {
+		m.wrapped.Inc()
+	}
+	return &conn{Conn: c, in: in}
+}
+
+// WrapListener returns l with every accepted connection wrapped.
+func (in *Injector) WrapListener(l net.Listener) net.Listener {
+	return &listener{Listener: l, in: in}
+}
+
+// Dial connects with the injector's dial timeout and wraps the result.
+// While SetRefuseDial is set (and the injector is enabled) it fails
+// without touching the network.
+func (in *Injector) Dial(network, addr string) (net.Conn, error) {
+	if in.enabled.Load() && in.refuseDial.Load() {
+		in.record(KindRefuse, 0)
+		if m := in.metrics; m != nil {
+			m.refused.Inc()
+		}
+		return nil, fmt.Errorf("faults: dial %s refused: %w", addr, ErrInjected)
+	}
+	c, err := net.DialTimeout(network, addr, in.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c), nil
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c), nil
+}
+
+// dirState tracks per-connection, per-direction fault progress.
+type dirState struct {
+	ops   int
+	bytes int64
+}
+
+type conn struct {
+	net.Conn
+	in   *Injector
+	mu   sync.Mutex
+	send dirState
+	recv dirState
+}
+
+func (c *conn) injectedErr(kind string) error {
+	return fmt.Errorf("faults: injected %s: %w", kind, ErrInjected)
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	if !c.in.enabled.Load() {
+		return c.Conn.Write(b)
+	}
+	s := c.in.send
+	c.mu.Lock()
+	st := &c.send
+	st.ops++
+	ops := st.ops
+	start := st.bytes
+	st.bytes += int64(len(b))
+	c.mu.Unlock()
+
+	if s.CloseAfterOps > 0 && ops > s.CloseAfterOps {
+		c.in.record(KindClose, 0)
+		_ = c.Conn.Close()
+		return 0, c.injectedErr(KindClose)
+	}
+	if s.Delay > 0 && everyNth(ops, s.DelayEveryNth) {
+		c.in.record(KindDelay, 0)
+		time.Sleep(s.Delay)
+	}
+	if s.Partition {
+		c.in.record(KindPartition, len(b))
+		return len(b), nil
+	}
+	if (s.DropEveryNth > 0 && ops%s.DropEveryNth == 0) || c.in.roll(s.DropProb) {
+		c.in.record(KindDrop, len(b))
+		return len(b), nil
+	}
+	if s.TruncateAfterBytes > 0 && start+int64(len(b)) > s.TruncateAfterBytes {
+		keep := s.TruncateAfterBytes - start
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := c.Conn.Write(b[:keep])
+		c.in.record(KindTruncate, len(b)-n)
+		_ = c.Conn.Close()
+		return n, c.injectedErr(KindTruncate)
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	if !c.in.enabled.Load() {
+		return c.Conn.Read(b)
+	}
+	s := c.in.recv
+	c.mu.Lock()
+	st := &c.recv
+	st.ops++
+	ops := st.ops
+	done := st.bytes
+	c.mu.Unlock()
+
+	if s.CloseAfterOps > 0 && ops > s.CloseAfterOps {
+		c.in.record(KindClose, 0)
+		_ = c.Conn.Close()
+		return 0, c.injectedErr(KindClose)
+	}
+	if s.Delay > 0 && everyNth(ops, s.DelayEveryNth) {
+		c.in.record(KindDelay, 0)
+		time.Sleep(s.Delay)
+	}
+	if s.Partition {
+		// Swallow inbound data forever: the peer believes it delivered,
+		// we never surface a byte. Unblocks only on close/deadline.
+		for {
+			n, err := c.Conn.Read(b)
+			if n > 0 {
+				c.in.record(KindPartition, n)
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	if s.TruncateAfterBytes > 0 {
+		if done >= s.TruncateAfterBytes {
+			c.in.record(KindTruncate, 0)
+			_ = c.Conn.Close()
+			return 0, c.injectedErr(KindTruncate)
+		}
+		limit := s.TruncateAfterBytes - done
+		if int64(len(b)) > limit {
+			b = b[:limit]
+		}
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		if s.DropEveryNth > 0 && ops%s.DropEveryNth == 0 {
+			c.in.record(KindDrop, n)
+			c.mu.Lock()
+			st.bytes += int64(n)
+			c.mu.Unlock()
+			return c.Read(b)
+		}
+		c.mu.Lock()
+		st.bytes += int64(n)
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+func everyNth(ops, n int) bool {
+	if n <= 1 {
+		return true
+	}
+	return ops%n == 0
+}

@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// pipePair returns both ends of an in-memory TCP connection.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestPassThroughWhenClean(t *testing.T) {
+	a, b := pipePair(t)
+	in := New(1)
+	wa := in.WrapConn(a)
+	msg := []byte("hello athena")
+	go func() { wa.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestTruncateMidWrite(t *testing.T) {
+	a, b := pipePair(t)
+	in := New(1, WithSend(Schedule{TruncateAfterBytes: 5}))
+	wa := in.WrapConn(a)
+
+	if _, err := wa.Write([]byte("abc")); err != nil {
+		t.Fatalf("first write under threshold: %v", err)
+	}
+	n, err := wa.Write([]byte("defgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got n=%d err=%v", n, err)
+	}
+	if n != 2 {
+		t.Fatalf("want 2 bytes of second write delivered, got %d", n)
+	}
+	// The peer sees exactly the 5 pre-threshold bytes, then EOF.
+	got, _ := io.ReadAll(b)
+	if string(got) != "abcde" {
+		t.Fatalf("peer got %q, want abcde", got)
+	}
+	if in.Injected(KindTruncate) != 1 {
+		t.Fatalf("truncate count = %d", in.Injected(KindTruncate))
+	}
+}
+
+func TestHardCloseAfterOps(t *testing.T) {
+	a, _ := pipePair(t)
+	in := New(1, WithSend(Schedule{CloseAfterOps: 2}))
+	wa := in.WrapConn(a)
+	for i := 0; i < 2; i++ {
+		if _, err := wa.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := wa.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write should be injected close, got %v", err)
+	}
+}
+
+func TestSendPartitionBlackholes(t *testing.T) {
+	a, b := pipePair(t)
+	in := New(1, WithSend(Schedule{Partition: true}))
+	wa := in.WrapConn(a)
+	if n, err := wa.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("partitioned write should claim success, got n=%d err=%v", n, err)
+	}
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := b.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes across a partition", n)
+	}
+	// Heal: traffic flows again on the same conn.
+	in.SetEnabled(false)
+	if _, err := wa.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil || string(got) != "back" {
+		t.Fatalf("after heal got %q err=%v", got, err)
+	}
+}
+
+func TestRecvPartitionSwallows(t *testing.T) {
+	a, b := pipePair(t)
+	in := New(1, WithRecv(Schedule{Partition: true}))
+	wb := in.WrapConn(b)
+	if _, err := a.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	wb.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := wb.Read(buf); err == nil {
+		t.Fatalf("read across recv partition returned %d bytes", n)
+	}
+	if in.Injected(KindPartition) == 0 {
+		t.Fatal("swallowed bytes not recorded")
+	}
+}
+
+func TestDropEveryNthDeterministic(t *testing.T) {
+	for run := 0; run < 2; run++ {
+		a, b := pipePair(t)
+		in := New(7, WithSend(Schedule{DropEveryNth: 3}))
+		wa := in.WrapConn(a)
+		go func() {
+			for i := 0; i < 6; i++ {
+				wa.Write([]byte{byte('0' + i)})
+			}
+			a.Close()
+		}()
+		got, _ := io.ReadAll(b)
+		// Ops 3 and 6 dropped on every run: deterministic.
+		if string(got) != "0134" {
+			t.Fatalf("run %d: got %q want 0134", run, got)
+		}
+	}
+}
+
+func TestDialRefuseAndHeal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	in := New(1)
+	in.SetRefuseDial(true)
+	if _, err := in.Dial("tcp", ln.Addr().String()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want refused dial, got %v", err)
+	}
+	in.SetRefuseDial(false)
+	c, err := in.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("healed dial failed: %v", err)
+	}
+	c.Close()
+	if in.Injected(KindRefuse) != 1 {
+		t.Fatalf("refuse count = %d", in.Injected(KindRefuse))
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(1, WithRecv(Schedule{TruncateAfterBytes: 2}))
+	wln := in.WrapListener(ln)
+	defer wln.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := wln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 16)
+		total := 0
+		for {
+			n, err := c.Read(buf)
+			total += n
+			if err != nil {
+				if total == 2 && errors.Is(err, ErrInjected) {
+					errCh <- nil
+				} else {
+					errCh <- err
+				}
+				return
+			}
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("abcdef"))
+	if err := <-errCh; err != nil {
+		t.Fatalf("accepted conn: %v", err)
+	}
+}
+
+func TestTelemetryFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a, _ := pipePair(t)
+	in := New(1, WithSend(Schedule{Partition: true}), WithTelemetry(reg))
+	wa := in.WrapConn(a)
+	wa.Write([]byte("gone"))
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"athena_faults_injected_total",
+		"athena_faults_bytes_blackholed_total",
+		"athena_faults_conns_wrapped_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
