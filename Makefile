@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race chaos bench bench-compute bench-failover microbench
+.PHONY: build verify test race chaos fuzz-smoke bench bench-compute bench-failover bench-store microbench
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,13 @@ race:
 	$(GO) test -race ./...
 
 # The full pre-merge gate: static checks, build, race-enabled tests,
-# and the fault-injection suites.
+# the fault-injection suites, and a short fuzz smoke.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) fuzz-smoke
 
 # Fault-injection suites under the race detector: injected conn faults,
 # worker death mid-job, keepalive teardown, one-way gossip partitions,
@@ -28,7 +29,16 @@ verify:
 # (op-count-triggered faults, no timing sleeps on the assert path).
 chaos:
 	$(GO) test -race -run 'Fault|Chaos|Truncated|HealthProbe|AllWorkersLost|ConcurrentClose|LoadAfterWorkerDeath|Keepalive|FailedEcho|Rehomes|Partition' \
-		./internal/faults/ ./internal/compute/ ./internal/controller/ ./internal/cluster/
+		./internal/faults/ ./internal/compute/ ./internal/controller/ ./internal/cluster/ ./internal/store/
+
+# Short fuzz sessions against the wire-frame decoders and the query
+# parser, replaying and extending the checked-in seed corpora. Each
+# target needs its own invocation (go test allows one -fuzz at a time).
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzDecodeDocBlock -fuzztime 3s ./internal/store/
+	$(GO) test -run XXX -fuzz FuzzReadStoreFrame -fuzztime 3s ./internal/store/
+	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 3s ./internal/query/
+	$(GO) test -run XXX -fuzz FuzzDecodeDatasetChunk -fuzztime 3s ./internal/compute/
 
 # Appends a labeled feature-pipeline run to BENCH_pipeline.json so
 # before/after numbers accumulate in one artifact. Override LABEL to
@@ -50,9 +60,16 @@ bench-failover:
 	$(GO) run ./cmd/athena-bench -exp failover \
 		-failover-out BENCH_failover.json -failover-label "$(LABEL)"
 
+# Appends a labeled store run (indexed vs scan query, sync vs batched
+# insert, serialized vs pipelined round trips) to BENCH_store.json.
+bench-store:
+	$(GO) run ./cmd/athena-bench -exp store \
+		-store-out BENCH_store.json -store-label "$(LABEL)"
+
 # The per-op Go benchmarks behind the pipeline numbers.
 microbench:
 	$(GO) test -bench 'BenchmarkGeneratorProcess|BenchmarkSouthboundHandle' -run XXX ./internal/core/
 	$(GO) test -bench BenchmarkFlowKey -run XXX ./internal/openflow/
 	$(GO) test -bench 'BenchmarkKMeansTrain' -benchmem -run XXX ./internal/ml/
 	$(GO) test -bench 'BenchmarkDriverLoadDataset' -benchmem -run XXX ./internal/compute/
+	$(GO) test -bench 'BenchmarkStoreInsert|BenchmarkStoreQueryIndexed|BenchmarkStoreQueryScan|BenchmarkClientPipelined' -benchmem -run XXX ./internal/store/

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|all")
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|all")
 		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
 		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
 		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
@@ -55,6 +55,12 @@ func main() {
 		foMembers = flag.Int("failover-members", 3, "failover: gossip cluster size (one dies)")
 		foOut     = flag.String("failover-out", "", "failover: append a labeled run to this JSON log (e.g. BENCH_failover.json)")
 		foLabel   = flag.String("failover-label", "current", "failover: label for the appended run")
+
+		stDocs   = flag.Int("store-docs", 150_000, "store: shard size for the query segment")
+		stCard   = flag.Int("store-cardinality", 256, "store: distinct dpid tag values")
+		stInsert = flag.Int("store-insert-docs", 20_000, "store: insert-throughput segment size")
+		stOut    = flag.String("store-out", "", "store: append a labeled run to this JSON log (e.g. BENCH_store.json)")
+		stLabel  = flag.String("store-label", "current", "store: label for the appended run")
 	)
 	flag.Parse()
 	pcfg := pipelineFlags{
@@ -69,7 +75,11 @@ func main() {
 		Rows: *foRows, Workers: *foWorkers, Members: *foMembers,
 		Out: *foOut, Label: *foLabel,
 	}
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg); err != nil {
+	scfg := storeFlags{
+		Docs: *stDocs, Cardinality: *stCard, InsertDocs: *stInsert,
+		Out: *stOut, Label: *stLabel,
+	}
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg, scfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
@@ -102,7 +112,16 @@ type failoverFlags struct {
 	Label   string
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags) error {
+// storeFlags carries the -store-* command-line knobs.
+type storeFlags struct {
+	Docs        int
+	Cardinality int
+	InsertDocs  int
+	Out         string
+	Label       string
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags, scfg storeFlags) error {
 	// One shared registry across all experiments: the dump then reads
 	// like a scrape of a deployment that ran the whole evaluation.
 	var reg *telemetry.Registry
@@ -112,7 +131,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store"} {
 			todo[e] = true
 		}
 	} else {
@@ -260,6 +279,25 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 				return fmt.Errorf("failover log: %w", err)
 			}
 			fmt.Printf("failover run %q appended to %s\n", fcfg.Label, fcfg.Out)
+		}
+		fmt.Println()
+	}
+	if todo["store"] {
+		r, err := bench.RunStore(bench.StoreConfig{
+			Docs:        scfg.Docs,
+			Cardinality: scfg.Cardinality,
+			InsertDocs:  scfg.InsertDocs,
+			Seed:        seed,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteStoreReport(os.Stdout, r)
+		if scfg.Out != "" {
+			if err := bench.AppendStoreJSON(scfg.Out, scfg.Label, r); err != nil {
+				return fmt.Errorf("store log: %w", err)
+			}
+			fmt.Printf("store run %q appended to %s\n", scfg.Label, scfg.Out)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// StoreConfig parameterizes the feature-store measurement: indexed vs
+// brute-force-scan query latency over a populated shard, synchronous vs
+// batched insert throughput, and serialized vs pipelined round trips.
+type StoreConfig struct {
+	// Docs is the shard size the query segment runs against
+	// (default 150_000; the acceptance floor is 100k).
+	Docs int
+	// Cardinality is the number of distinct dpid tag values
+	// (default 256, so a tag query matches Docs/Cardinality docs).
+	Cardinality int
+	// QueryRounds is how many times each query plan runs (default 40).
+	QueryRounds int
+	// InsertDocs is the insert-throughput segment size (default 20_000).
+	InsertDocs int
+	// Batch is the batched-writer flush size (default 256).
+	Batch int
+	// PipelineDepth is the concurrent-caller count for the pipelining
+	// segment (default 16).
+	PipelineDepth int
+	Seed          int64
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.Docs <= 0 {
+		c.Docs = 150_000
+	}
+	if c.Cardinality <= 0 {
+		c.Cardinality = 256
+	}
+	if c.QueryRounds <= 0 {
+		c.QueryRounds = 40
+	}
+	if c.InsertDocs <= 0 {
+		c.InsertDocs = 20_000
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 16
+	}
+	return c
+}
+
+// StoreResult is one measured run of the store benchmark.
+type StoreResult struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+
+	Config StoreConfig `json:"config"`
+
+	// Query segment: one tag-filtered query over a Docs-sized shard,
+	// forced through the scan baseline and the posting-list index.
+	ShardDocs     int     `json:"shard_docs"`
+	MatchedDocs   int     `json:"matched_docs"`
+	ScanQuerySec  float64 `json:"scan_query_sec"`
+	IndexQuerySec float64 `json:"index_query_sec"`
+	QuerySpeedup  float64 `json:"query_speedup"`
+
+	// Insert segment: one-document-per-request synchronous publication
+	// (the paper's MongoDB-style write path) vs the batched writer over
+	// the binary wire.
+	SyncInsertDocsPerSec    float64 `json:"sync_insert_docs_per_sec"`
+	BatchedInsertDocsPerSec float64 `json:"batched_insert_docs_per_sec"`
+	InsertSpeedup           float64 `json:"insert_speedup"`
+
+	// Pipelining segment: identical counts issued by one caller
+	// (serialized round trips) vs PipelineDepth concurrent callers
+	// sharing the one connection.
+	SerialOpsPerSec    float64 `json:"serial_ops_per_sec"`
+	PipelinedOpsPerSec float64 `json:"pipelined_ops_per_sec"`
+	PipelineSpeedup    float64 `json:"pipeline_speedup"`
+}
+
+func storeBenchDoc(i, cardinality int) store.Document {
+	return store.Document{
+		ID:   fmt.Sprintf("d-%d", i),
+		Time: int64(i + 1),
+		Tags: map[string]string{
+			"dpid": fmt.Sprintf("%d", i%cardinality),
+			"app":  []string{"lb", "fw", "ids", "nat"}[i%4],
+		},
+		Fields: map[string]float64{
+			"byte_count":   float64(i % 10_000),
+			"packet_count": float64(i % 512),
+		},
+	}
+}
+
+// RunStore measures the three store segments against live nodes over
+// the real wire protocol.
+func RunStore(cfg StoreConfig) (StoreResult, error) {
+	cfg = cfg.withDefaults()
+	res := StoreResult{
+		Label:     "current",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config:    cfg,
+	}
+
+	// Segment 1: indexed vs scan query over a populated shard.
+	n, err := store.NewNode("")
+	if err != nil {
+		return res, fmt.Errorf("store bench node: %w", err)
+	}
+	defer n.Close()
+	c, err := store.Dial(n.Addr())
+	if err != nil {
+		return res, fmt.Errorf("store bench dial: %w", err)
+	}
+	defer c.Close()
+	const loadBatch = 4096
+	batch := make([]store.Document, 0, loadBatch)
+	for i := 0; i < cfg.Docs; i++ {
+		batch = append(batch, storeBenchDoc(i, cfg.Cardinality))
+		if len(batch) == loadBatch {
+			if err := c.Insert(batch); err != nil {
+				return res, fmt.Errorf("store bench load: %w", err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := c.Insert(batch); err != nil {
+			return res, fmt.Errorf("store bench load: %w", err)
+		}
+	}
+	res.ShardDocs = cfg.Docs
+
+	q := store.Query{Filter: store.Filter{
+		Tags: []store.TagCond{{Tag: "dpid", Equals: true, Value: "7"}},
+	}}
+	timePlan := func(plan string) (float64, int, error) {
+		q.Plan = plan
+		matched := 0
+		start := time.Now()
+		for r := 0; r < cfg.QueryRounds; r++ {
+			docs, err := c.Query(q)
+			if err != nil {
+				return 0, 0, err
+			}
+			matched = len(docs)
+		}
+		return time.Since(start).Seconds() / float64(cfg.QueryRounds), matched, nil
+	}
+	// Warm both paths once before timing.
+	if _, _, err := timePlan(store.PlanScan); err != nil {
+		return res, fmt.Errorf("store bench warmup: %w", err)
+	}
+	scanSec, matched, err := timePlan(store.PlanScan)
+	if err != nil {
+		return res, fmt.Errorf("store bench scan query: %w", err)
+	}
+	idxSec, matchedIdx, err := timePlan(store.PlanIndex)
+	if err != nil {
+		return res, fmt.Errorf("store bench indexed query: %w", err)
+	}
+	if matched != matchedIdx {
+		return res, fmt.Errorf("store bench: scan matched %d docs, index matched %d", matched, matchedIdx)
+	}
+	res.MatchedDocs = matched
+	res.ScanQuerySec = scanSec
+	res.IndexQuerySec = idxSec
+	if idxSec > 0 {
+		res.QuerySpeedup = scanSec / idxSec
+	}
+
+	// Segment 2: sync vs batched insert throughput, on fresh nodes so
+	// shard size doesn't skew the comparison.
+	syncRate, err := measureInsert(cfg, false)
+	if err != nil {
+		return res, fmt.Errorf("store bench sync insert: %w", err)
+	}
+	batchedRate, err := measureInsert(cfg, true)
+	if err != nil {
+		return res, fmt.Errorf("store bench batched insert: %w", err)
+	}
+	res.SyncInsertDocsPerSec = syncRate
+	res.BatchedInsertDocsPerSec = batchedRate
+	if syncRate > 0 {
+		res.InsertSpeedup = batchedRate / syncRate
+	}
+
+	// Segment 3: serialized vs pipelined round trips on one connection.
+	countF := store.Filter{Tags: []store.TagCond{{Tag: "dpid", Equals: true, Value: "3"}}}
+	const countOps = 2_000
+	start := time.Now()
+	for i := 0; i < countOps; i++ {
+		if _, err := c.Count(countF); err != nil {
+			return res, fmt.Errorf("store bench serial count: %w", err)
+		}
+	}
+	res.SerialOpsPerSec = countOps / time.Since(start).Seconds()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.PipelineDepth)
+	per := countOps / cfg.PipelineDepth
+	start = time.Now()
+	for g := 0; g < cfg.PipelineDepth; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Count(countF); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	select {
+	case err := <-errCh:
+		return res, fmt.Errorf("store bench pipelined count: %w", err)
+	default:
+	}
+	res.PipelinedOpsPerSec = float64(per*cfg.PipelineDepth) / elapsed
+	if res.SerialOpsPerSec > 0 {
+		res.PipelineSpeedup = res.PipelinedOpsPerSec / res.SerialOpsPerSec
+	}
+	return res, nil
+}
+
+// measureInsert times publishing InsertDocs documents to a fresh node:
+// either one synchronous one-document Insert per round trip, or the
+// batched writer flushing Batch documents at a time.
+func measureInsert(cfg StoreConfig, batched bool) (float64, error) {
+	n, err := store.NewNode("")
+	if err != nil {
+		return 0, err
+	}
+	defer n.Close()
+	c, err := store.Dial(n.Addr())
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if batched {
+		w := store.NewWriter(c, cfg.Batch, 5*time.Millisecond,
+			store.WithQueueBound(cfg.InsertDocs))
+		for i := 0; i < cfg.InsertDocs; i++ {
+			w.Publish(storeBenchDoc(i, cfg.Cardinality))
+		}
+		if err := w.Close(); err != nil {
+			return 0, err
+		}
+	} else {
+		one := make([]store.Document, 1)
+		for i := 0; i < cfg.InsertDocs; i++ {
+			one[0] = storeBenchDoc(i, cfg.Cardinality)
+			if err := c.Insert(one); err != nil {
+				return 0, err
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if got := n.Len(); got != cfg.InsertDocs {
+		return 0, fmt.Errorf("insert segment stored %d of %d docs", got, cfg.InsertDocs)
+	}
+	return float64(cfg.InsertDocs) / elapsed, nil
+}
+
+// storeRuns is the on-disk shape of BENCH_store.json: an append-only
+// log of labeled runs.
+type storeRuns struct {
+	Runs []StoreResult `json:"runs"`
+}
+
+// AppendStoreJSON appends one labeled run to path (creating it when
+// absent) and pretty-prints the whole log.
+func AppendStoreJSON(path, label string, r StoreResult) error {
+	r.Label = label
+	var log storeRuns
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &log)
+	}
+	log.Runs = append(log.Runs, r)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteStoreReport prints one run in the human bench format.
+func WriteStoreReport(w io.Writer, r StoreResult) {
+	fmt.Fprintf(w, "STORE — indexed queries, batched writes, pipelined wire (%s, GOMAXPROCS=%d)\n",
+		r.GoVersion, r.MaxProcs)
+	fmt.Fprintf(w, "  query   scan  %d docs -> %d    %10.6fs/op\n", r.ShardDocs, r.MatchedDocs, r.ScanQuerySec)
+	fmt.Fprintf(w, "  query   index %d docs -> %d    %10.6fs/op (%.1fx)\n", r.ShardDocs, r.MatchedDocs, r.IndexQuerySec, r.QuerySpeedup)
+	fmt.Fprintf(w, "  insert  sync 1 doc/req       %12.0f docs/s\n", r.SyncInsertDocsPerSec)
+	fmt.Fprintf(w, "  insert  batched writer       %12.0f docs/s (%.1fx)\n", r.BatchedInsertDocsPerSec, r.InsertSpeedup)
+	fmt.Fprintf(w, "  counts  serialized           %12.0f ops/s\n", r.SerialOpsPerSec)
+	fmt.Fprintf(w, "  counts  pipelined x%-3d       %12.0f ops/s (%.1fx)\n", r.Config.PipelineDepth, r.PipelinedOpsPerSec, r.PipelineSpeedup)
+}

@@ -369,8 +369,16 @@ func TestRequestFeaturesResidualAndAggregate(t *testing.T) {
 	if len(groups) != 4 {
 		t.Fatalf("groups = %d", len(groups))
 	}
-	// Aggregation over a disjunction is rejected.
-	if _, err := a.RequestAggregate(MustQuery("DPID==(2 or 3)").WithAggregate([]string{"dpid"}, store.AggSum, FPacketCount)); err == nil {
+	// Aggregation over a tag membership pushes down as TagIn and works.
+	groups, err = a.RequestAggregate(MustQuery("DPID==(2 or 3)").WithAggregate([]string{"dpid"}, store.AggSum, FPacketCount))
+	if err != nil {
+		t.Fatalf("aggregate over membership disjunction: %v", err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("membership aggregate groups = %d", len(groups))
+	}
+	// Aggregation over a genuinely residual disjunction is rejected.
+	if _, err := a.RequestAggregate(MustQuery("DPID==2 || PACKET_COUNT>0").WithAggregate([]string{"dpid"}, store.AggSum, FPacketCount)); err == nil {
 		t.Fatal("aggregate over residual query accepted")
 	}
 }

@@ -49,6 +49,12 @@ type SouthboundConfig struct {
 	// BatchSize/BatchDelay tune PublishBatched.
 	BatchSize  int
 	BatchDelay time.Duration
+	// WriterQueueBound caps the batched writer's unflushed-document
+	// queue; beyond it, documents are shed and counted on
+	// athena_store_writer_dropped_total (default 16384). Mirrors the
+	// dispatch pool's QueueDepth contract: persistence backpressure must
+	// never stall the control channel.
+	WriterQueueBound int
 	// GCInterval drives the generator's garbage collector; zero disables
 	// the background sweep.
 	GCInterval time.Duration
@@ -155,7 +161,8 @@ func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbou
 	sb.scratch.New = func() any { return &sbScratch{} }
 	if mode == PublishBatched {
 		sb.writer = store.NewWriter(sink, cfg.BatchSize, cfg.BatchDelay,
-			store.WithWriterTelemetry(reg, proxy.ID()))
+			store.WithWriterTelemetry(reg, proxy.ID()),
+			store.WithQueueBound(cfg.WriterQueueBound))
 	}
 	if cfg.Workers > 0 {
 		depth := cfg.QueueDepth

@@ -1,0 +1,77 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Fuzz harness for the query-language parser. The parser must never
+// panic on arbitrary input, and any expression it accepts must render
+// (String) to a form it accepts again — the render is how queries are
+// logged, echoed to operators, and persisted in example configs.
+//
+// Note the property is parse-success, not semantic equality: the lexer
+// has no escape syntax inside string literals, so a literal containing
+// a backslash renders to a differently-spelled (but parseable) string.
+
+var fuzzProbes = []MapRecord{
+	{},
+	{Num: map[string]float64{"byte_count": 1000, "tp_dst": 80}, Str: map[string]string{"dpid": "6", "app": "lb"}},
+	{Num: map[string]float64{"byte_count": 0}, Str: map[string]string{"app": ""}},
+}
+
+func checkParse(t *testing.T, s string) {
+	e, err := Parse(s)
+	if err != nil {
+		return
+	}
+	rendered := e.String()
+	back, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("accepted %q but rejected its render %q: %v", s, rendered, err)
+	}
+	// Evaluation must be total on arbitrary records.
+	for _, probe := range fuzzProbes {
+		e.Eval(probe)
+		back.Eval(probe)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"true",
+		"BYTE_COUNT==1000",
+		`APP=="lb" && TP_DST>=80`,
+		"DPID==(6 or 3) || PACKET_COUNT<5",
+		`IP_DST==10.0.0.2 and PAIR_FLOW_RATIO<0.2`,
+		"DPID!=(3, 7)",
+		"(TP_DST==443 || TP_DST==80) && PACKET_COUNT>=10",
+		`APP=="unterminated`,
+		"FIELD==(1 x 2)",
+		"a==\"q\\\"q\"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 4096 {
+			return
+		}
+		checkParse(t, s)
+	})
+}
+
+// The same property on deterministic random strings, for regular CI
+// runs where the fuzz engine is not driving.
+func TestParseRandomStringsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	alphabet := []byte(`abON_09.:"'()|&=!<>, ` + "\t\n" + `\素`)
+	for i := 0; i < 30_000; i++ {
+		n := rng.Intn(40)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		checkParse(t, string(buf))
+	}
+}

@@ -60,6 +60,13 @@ func (p *parser) next() string {
 	return t
 }
 
+func (p *parser) peekAt(off int) string {
+	if p.pos+off >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos+off]
+}
+
 func (p *parser) parseOr() (Expr, error) {
 	left, err := p.parseAnd()
 	if err != nil {
@@ -120,6 +127,12 @@ func (p *parser) parseTerm() (Expr, error) {
 		}
 		return e, nil
 	}
+	// The bare literal "true" (the render of the empty query) — unless it
+	// is being used as a field name in a comparison.
+	if strings.ToLower(p.peek()) == "true" && !comparisonOps[p.peekAt(1)] {
+		p.next()
+		return True{}, nil
+	}
 	return p.parseComparison()
 }
 
@@ -130,10 +143,12 @@ func (p *parser) parseComparison() (Expr, error) {
 	if field == "" {
 		return nil, fmt.Errorf("query: expected field name")
 	}
+	// Validate the case-folded form — folding can introduce characters
+	// (e.g. combining marks) that would not survive a re-parse.
+	field = strings.ToLower(field)
 	if !isIdent(field) {
 		return nil, fmt.Errorf("query: bad field name %q", field)
 	}
-	field = strings.ToLower(field)
 	op := p.next()
 	if !comparisonOps[op] {
 		return nil, fmt.Errorf("query: bad operator %q after %q", op, field)
@@ -161,7 +176,11 @@ func (p *parser) parseComparison() (Expr, error) {
 		}
 		terms := make([]Expr, 0, len(values))
 		for _, v := range values {
-			terms = append(terms, makeCmp(field, "==", v))
+			c, err := makeCmp(field, "==", v)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, c)
 		}
 		if op == "==" {
 			return Or(terms), nil
@@ -169,7 +188,11 @@ func (p *parser) parseComparison() (Expr, error) {
 		// !=(a or b) means not any: conjunction of !=.
 		all := make(And, 0, len(values))
 		for _, v := range values {
-			all = append(all, makeCmp(field, "!=", v))
+			c, err := makeCmp(field, "!=", v)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, c)
 		}
 		return all, nil
 	}
@@ -177,18 +200,27 @@ func (p *parser) parseComparison() (Expr, error) {
 	if val == "" {
 		return nil, fmt.Errorf("query: missing value after %s%s", field, op)
 	}
-	return makeCmp(field, op, val), nil
+	return makeCmp(field, op, val)
 }
 
-func makeCmp(field, op, raw string) Cmp {
-	if strings.HasPrefix(raw, `"`) && strings.HasSuffix(raw, `"`) && len(raw) >= 2 {
-		return Cmp{Field: field, Op: op, Str: raw[1 : len(raw)-1], IsStr: true}
+func makeCmp(field, op, raw string) (Cmp, error) {
+	if strings.HasPrefix(raw, `"`) {
+		// A quoted operand must be properly terminated; the lexer passes
+		// unterminated literals through for the parser to reject.
+		if len(raw) < 2 || !strings.HasSuffix(raw, `"`) {
+			return Cmp{}, fmt.Errorf("query: unterminated string %s", raw)
+		}
+		return Cmp{Field: field, Op: op, Str: raw[1 : len(raw)-1], IsStr: true}, nil
+	}
+	switch {
+	case raw == "(" || raw == ")" || raw == "," || raw == "&&" || raw == "||" || comparisonOps[raw]:
+		return Cmp{}, fmt.Errorf("query: bad value %q after %s%s", raw, field, op)
 	}
 	if n, err := strconv.ParseFloat(raw, 64); err == nil {
-		return Cmp{Field: field, Op: op, Num: n}
+		return Cmp{Field: field, Op: op, Num: n}, nil
 	}
 	// Bare words (including dotted IPs) are string operands.
-	return Cmp{Field: field, Op: op, Str: raw, IsStr: true}
+	return Cmp{Field: field, Op: op, Str: raw, IsStr: true}, nil
 }
 
 func isIdent(s string) bool {

@@ -239,8 +239,12 @@ func (q *Query) String() string {
 }
 
 // ToStore translates the query into a store query plus a residual flag.
-// Top-level conjunctions of comparisons push down exactly; anything with
-// disjunctions translates to an unfiltered scan with residual=true,
+// Top-level conjunctions of comparisons push down exactly, and
+// membership disjunctions over one tag field — DPID==(6 or 3), or any
+// Or whose arms are equality tests on the same indexable field — push
+// down as a store TagIn condition, which the nodes evaluate as a
+// posting-list union on the tag index. Anything else containing a
+// disjunction translates to an unfiltered scan with residual=true,
 // meaning the caller must re-check records with Match. Sorting,
 // limiting, grouping and time bounds always push down (except the limit,
 // which is withheld when a residual filter would otherwise starve the
@@ -286,6 +290,13 @@ func (q *Query) ToStore(tagFields map[string]bool) (store.Query, bool) {
 				}
 			}
 			return ok
+		case Or:
+			cond, ok := tagMembership(t, tagFields)
+			if !ok {
+				return false
+			}
+			sq.Filter.TagIn = append(sq.Filter.TagIn, cond)
+			return true
 		default:
 			return false
 		}
@@ -297,4 +308,35 @@ func (q *Query) ToStore(tagFields map[string]bool) (store.Query, bool) {
 		sq.Limit = q.Limit
 	}
 	return sq, residual
+}
+
+// tagMembership recognizes a disjunction that is a membership list over
+// one indexable tag field — every arm an equality test on the same
+// field, each operand a string (or a numeric literal against a declared
+// tag field) — and returns the equivalent store TagIn condition.
+func tagMembership(o Or, tagFields map[string]bool) (store.TagInCond, bool) {
+	if len(o) == 0 {
+		return store.TagInCond{}, false
+	}
+	var cond store.TagInCond
+	for i, arm := range o {
+		c, ok := arm.(Cmp)
+		if !ok || c.Op != "==" {
+			return store.TagInCond{}, false
+		}
+		if !c.IsStr && !tagFields[c.Field] {
+			return store.TagInCond{}, false
+		}
+		if i == 0 {
+			cond.Tag = c.Field
+		} else if c.Field != cond.Tag {
+			return store.TagInCond{}, false
+		}
+		val := c.Str
+		if !c.IsStr {
+			val = strconv.FormatFloat(c.Num, 'g', -1, 64)
+		}
+		cond.Values = append(cond.Values, val)
+	}
+	return cond, true
 }

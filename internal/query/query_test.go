@@ -143,17 +143,46 @@ func TestToStorePushdown(t *testing.T) {
 	}
 }
 
-func TestToStoreResidualForDisjunction(t *testing.T) {
-	q := New(MustParse("DPID==(6 or 3)")).WithLimit(5)
+func TestToStoreMembershipPushdown(t *testing.T) {
+	q := New(MustParse("DPID==(6 or 3) && BYTE_COUNT>100")).WithLimit(5)
 	sq, residual := q.ToStore(tagFields)
-	if !residual {
-		t.Fatal("disjunction must be residual")
+	if residual {
+		t.Fatal("tag membership must push down as TagIn")
 	}
-	if sq.Limit != 0 {
-		t.Fatal("limit must be withheld under residual filtering")
+	if len(sq.Filter.TagIn) != 1 || sq.Filter.TagIn[0].Tag != "dpid" {
+		t.Fatalf("TagIn pushdown = %+v", sq.Filter.TagIn)
 	}
-	if len(sq.Filter.Num) != 0 || len(sq.Filter.Tags) != 0 {
-		t.Fatalf("residual query must not push partial disjunctions: %+v", sq.Filter)
+	if got := sq.Filter.TagIn[0].Values; len(got) != 2 || got[0] != "6" || got[1] != "3" {
+		t.Fatalf("TagIn values = %v", got)
+	}
+	if len(sq.Filter.Num) != 1 || sq.Limit != 5 {
+		t.Fatalf("conjunct pushdown alongside membership = %+v limit %d", sq.Filter.Num, sq.Limit)
+	}
+	// Membership over strings on an undeclared field still pushes (string
+	// operands always live in the tag namespace).
+	q = New(MustParse(`APP==("lb" or "fw")`))
+	if _, residual := q.ToStore(tagFields); residual {
+		t.Fatal("string membership must push down")
+	}
+}
+
+func TestToStoreResidualForMixedDisjunction(t *testing.T) {
+	for _, expr := range []string{
+		"DPID==6 || BYTE_COUNT>100", // arms on different fields
+		"BYTE_COUNT==(1 or 2)",      // numeric field, not indexable
+		"DPID==6 || DPID!=3",        // non-equality arm
+	} {
+		q := New(MustParse(expr)).WithLimit(5)
+		sq, residual := q.ToStore(tagFields)
+		if !residual {
+			t.Fatalf("%q must be residual", expr)
+		}
+		if sq.Limit != 0 {
+			t.Fatalf("%q: limit must be withheld under residual filtering", expr)
+		}
+		if len(sq.Filter.Num) != 0 || len(sq.Filter.Tags) != 0 || len(sq.Filter.TagIn) != 0 {
+			t.Fatalf("%q: residual query must not push partial disjunctions: %+v", expr, sq.Filter)
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Microbenchmarks behind the BENCH_store.json numbers: insert
+// throughput, indexed vs scan query latency over a populated shard, and
+// pipelined vs serialized client round trips.
+
+func benchNodeWithDocs(b *testing.B, ndocs, cardinality int) (*Node, *Client) {
+	b.Helper()
+	n, err := NewNode("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(n.Close)
+	c, err := Dial(n.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	const batch = 4096
+	docs := make([]Document, 0, batch)
+	for i := 0; i < ndocs; i++ {
+		docs = append(docs, Document{
+			ID:   fmt.Sprintf("d-%d", i),
+			Time: int64(i + 1),
+			Tags: map[string]string{"dpid": fmt.Sprintf("%d", i%cardinality),
+				"app": []string{"lb", "fw", "ids", "nat"}[i%4]},
+			Fields: map[string]float64{"bytes": float64(i % 10_000), "pkts": float64(i % 100)},
+		})
+		if len(docs) == batch {
+			if err := c.Insert(docs); err != nil {
+				b.Fatal(err)
+			}
+			docs = docs[:0]
+		}
+	}
+	if len(docs) > 0 {
+		if err := c.Insert(docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return n, c
+}
+
+// BenchmarkStoreInsert measures wire-path insert throughput in
+// docs/sec, batched 256 at a time.
+func BenchmarkStoreInsert(b *testing.B) {
+	n, err := NewNode("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(n.Close)
+	c, err := Dial(n.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	const batch = 256
+	docs := make([]Document, batch)
+	for i := range docs {
+		docs[i] = Document{
+			ID:     fmt.Sprintf("b-%d", i),
+			Time:   int64(i + 1),
+			Tags:   map[string]string{"dpid": fmt.Sprintf("%d", i%64)},
+			Fields: map[string]float64{"bytes": float64(i), "pkts": float64(i % 100)},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "docs/s")
+}
+
+func benchTagQuery(b *testing.B, plan string) {
+	_, c := benchNodeWithDocs(b, 100_000, 512)
+	q := Query{
+		Filter: Filter{Tags: []TagCond{{Tag: "dpid", Equals: true, Value: "7"}}},
+		Plan:   plan,
+	}
+	// ~195 matching docs out of 100k.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docs, err := c.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(docs) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkStoreQueryIndexed: tag-selective query via the posting-list
+// index over a 100k-doc shard.
+func BenchmarkStoreQueryIndexed(b *testing.B) { benchTagQuery(b, PlanIndex) }
+
+// BenchmarkStoreQueryScan: the same query forced through the retained
+// brute-force scan — the before/after the BENCH_store speedup reports.
+func BenchmarkStoreQueryScan(b *testing.B) { benchTagQuery(b, PlanScan) }
+
+// BenchmarkClientPipelined issues counts from many goroutines over one
+// client connection; pipelining means they share round trips in flight
+// rather than serializing on a connection mutex.
+func BenchmarkClientPipelined(b *testing.B) {
+	_, c := benchNodeWithDocs(b, 10_000, 128)
+	f := Filter{Tags: []TagCond{{Tag: "dpid", Equals: true, Value: "3"}}}
+	const inflight = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/inflight + 1
+	for g := 0; g < inflight; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Count(f); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

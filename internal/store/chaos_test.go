@@ -1,0 +1,262 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/faults"
+)
+
+// Chaos suite: hard-close the store connection mid-publish and
+// mid-query via the faults injector and assert the documented
+// at-least-once contract — the client redials, the writer retries, and
+// no published document is ever lost; duplicates (a request applied
+// just before its response was lost) are permitted.
+
+func faultyDial(in *faults.Injector) ClientOption {
+	return WithDialFunc(func(addr string) (net.Conn, error) {
+		return in.Dial("tcp", addr)
+	})
+}
+
+// drainWriter flushes until the queue empties or the deadline passes.
+func drainWriter(t *testing.T, w *Writer) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := w.Flush(); err == nil && w.QueueDepth() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("writer did not drain: depth=%d err=%v", w.QueueDepth(), w.Err())
+}
+
+// storedIDCounts queries everything back over a clean connection and
+// histograms document IDs.
+func storedIDCounts(t *testing.T, addr string) map[string]int {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	docs, err := c.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int, len(docs))
+	for _, d := range docs {
+		counts[d.ID]++
+	}
+	return counts
+}
+
+func assertAtLeastOnce(t *testing.T, published []string, counts map[string]int) {
+	t.Helper()
+	dups := 0
+	for _, id := range published {
+		switch n := counts[id]; {
+		case n == 0:
+			t.Fatalf("document %s lost", id)
+		case n > 1:
+			dups += n - 1
+		}
+	}
+	for id := range counts {
+		if counts[id] > 0 && !containsID(published, id) {
+			t.Fatalf("stored unknown document %s", id)
+		}
+	}
+	if dups > 0 {
+		t.Logf("at-least-once: %d duplicate applications (allowed)", dups)
+	}
+}
+
+func containsID(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosWriterSurvivesConnCloseMidPublish hard-closes the client's
+// connection after every read, over and over, while a writer publishes
+// through it. Every flush rides a connection that dies underneath it;
+// the client redial + writer retry machinery must land every document.
+func TestChaosWriterSurvivesConnCloseMidPublish(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+
+	// recv CloseAfterOps=1: each connection serves roughly one response
+	// before the injector kills it, so insert responses are routinely
+	// lost after the node already applied the batch.
+	in := faults.New(31, faults.WithRecv(faults.Schedule{CloseAfterOps: 1}))
+	c, err := Dial(n.Addr(), faultyDial(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	w := NewWriter(c, 64, 5*time.Millisecond)
+	var published []string
+	for chunk := 0; chunk < 40; chunk++ {
+		for i := 0; i < 10; i++ {
+			id := fmt.Sprintf("pub-%d-%d", chunk, i)
+			published = append(published, id)
+			w.Publish(Document{ID: id, Time: int64(chunk*10 + i + 1), Fields: map[string]float64{"v": float64(i)}})
+		}
+		if chunk%8 == 7 {
+			// A mid-stream PublishAll batch, enqueued while flushes flap.
+			batch := make([]Document, 0, 25)
+			for j := 0; j < 25; j++ {
+				id := fmt.Sprintf("bulk-%d-%d", chunk, j)
+				published = append(published, id)
+				batch = append(batch, Document{ID: id, Time: int64(chunk*100 + j + 1)})
+			}
+			w.PublishAll(batch)
+		}
+		// Force a round trip per chunk: every other flush rides a
+		// connection the injector kills after its first response, so the
+		// insert is applied server-side but its ack is lost (the
+		// duplicate-manufacturing path). Errors here are expected; the
+		// batch stays queued for retry.
+		_ = w.Flush()
+	}
+
+	// Heal and drain: everything still queued must land.
+	in.SetEnabled(false)
+	drainWriter(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("writer close: %v", err)
+	}
+
+	if got := in.Injected(faults.KindClose); got == 0 {
+		t.Fatal("injector never fired; chaos test exercised nothing")
+	}
+	assertAtLeastOnce(t, published, storedIDCounts(t, n.Addr()))
+}
+
+// TestChaosQueryConnCloseAndHeal cuts the connection mid-response while
+// queries stream back. A query must either fail cleanly or return the
+// full correct result — never a silent partial — and queries succeed
+// again once the fault heals.
+func TestChaosQueryConnCloseAndHeal(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+
+	seed, err := Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]Document, 400)
+	for i := range docs {
+		docs[i] = Document{ID: fmt.Sprintf("d-%d", i), Time: int64(i + 1),
+			Tags:   map[string]string{"dpid": fmt.Sprintf("%d", i%4)},
+			Fields: map[string]float64{"v": float64(i)}}
+	}
+	if err := seed.Insert(docs); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	// Truncate the response stream mid-frame: the doc blocks for 100
+	// documents are far larger than 512 bytes.
+	in := faults.New(32, faults.WithRecv(faults.Schedule{TruncateAfterBytes: 512}))
+	c, err := Dial(n.Addr(), faultyDial(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	q := Query{Filter: Filter{Tags: []TagCond{{Tag: "dpid", Equals: true, Value: "1"}}}}
+	failures := 0
+	for i := 0; i < 10; i++ {
+		got, err := c.Query(q)
+		if err != nil {
+			if !errors.Is(err, faults.ErrInjected) {
+				t.Fatalf("query failed with non-injected error: %v", err)
+			}
+			failures++
+			continue
+		}
+		if len(got) != 100 {
+			t.Fatalf("faulted query returned partial result: %d docs", len(got))
+		}
+	}
+	if failures == 0 {
+		t.Fatal("truncation never surfaced; chaos test exercised nothing")
+	}
+
+	in.SetEnabled(false)
+	got, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("healed query = %d docs, want 100", len(got))
+	}
+}
+
+// TestChaosWriterRetriesThroughDialRefusal refuses every redial for a
+// while — flushes fail outright, Err() reports it, the queue retains
+// the batches — then heals and drains losslessly.
+func TestChaosWriterRetriesThroughDialRefusal(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+
+	in := faults.New(33)
+	c, err := Dial(n.Addr(), faultyDial(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// Kill the live connection and refuse all redials.
+	in.SetRefuseDial(true)
+	c.Close()
+
+	w := NewWriter(c, 32, 2*time.Millisecond)
+	var published []string
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("ref-%d", i)
+		published = append(published, id)
+		w.Publish(Document{ID: id, Time: int64(i + 1)})
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush succeeded while dials are refused")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() nil while dials are refused")
+	}
+	if w.QueueDepth() != 200 {
+		t.Fatalf("queue depth = %d during outage, want 200 retained", w.QueueDepth())
+	}
+	if in.Injected(faults.KindRefuse) == 0 {
+		t.Fatal("no dials were refused; chaos test exercised nothing")
+	}
+
+	in.SetRefuseDial(false)
+	drainWriter(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("writer close: %v", err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("Err() = %v after heal, want nil", w.Err())
+	}
+	assertAtLeastOnce(t, published, storedIDCounts(t, n.Addr()))
+}

@@ -1,7 +1,7 @@
 package store
 
 import (
-	"encoding/json"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -10,19 +10,57 @@ import (
 )
 
 // Client is a connection to one storage node. It keeps a persistent
-// connection, reconnecting transparently; calls are serialized.
+// connection, reconnecting transparently, and pipelines requests: many
+// calls may be in flight at once on the one connection, each matched to
+// its response by ID, so concurrent callers never serialize across the
+// network round-trip. A call still returns only after its own response
+// arrives, so sequential calls from one goroutine keep their order.
+//
+// Failure semantics are at-least-once for writes: a call whose request
+// may have reached the node before the connection broke is retried on a
+// fresh connection, so an insert can be applied twice. Documents are
+// never silently lost — a call either returns nil error (applied at
+// least once) or an error (retry exhausted).
 type Client struct {
 	addr string
+	dial func(addr string) (net.Conn, error)
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	nextID  uint64
+	pending map[uint64]chan wireResult
+	scratch []byte
+}
+
+// wireResult is one response delivered to a waiting call.
+type wireResult struct {
+	resp wireResponse
+	docs []Document
+	err  error
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithDialFunc overrides how the client reaches the node — the
+// injection seam fault-tolerance tests use to wrap connections.
+func WithDialFunc(dial func(addr string) (net.Conn, error)) ClientOption {
+	return func(c *Client) { c.dial = dial }
 }
 
 // Dial connects to a node.
-func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr: addr,
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		},
+		pending: make(map[uint64]chan wireResult),
+	}
+	for _, o := range opts {
+		o(c)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.connectLocked(); err != nil {
@@ -32,14 +70,68 @@ func Dial(addr string) (*Client, error) {
 }
 
 func (c *Client) connectLocked() error {
-	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	conn, err := c.dial(c.addr)
 	if err != nil {
 		return fmt.Errorf("store dial %s: %w", c.addr, err)
 	}
 	c.conn = conn
-	c.enc = json.NewEncoder(conn)
-	c.dec = json.NewDecoder(conn)
+	c.bw = bufio.NewWriter(conn)
+	go c.readLoop(conn, bufio.NewReader(conn))
 	return nil
+}
+
+// teardownLocked closes conn and fails every in-flight call. The conn
+// argument guards against a stale reader tearing down a fresh
+// connection.
+func (c *Client) teardownLocked(conn net.Conn, err error) {
+	if c.conn != conn {
+		return
+	}
+	conn.Close()
+	c.conn = nil
+	c.bw = nil
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- wireResult{err: err}
+	}
+}
+
+// readLoop delivers responses to their waiting calls until the
+// connection dies, then fails everything still in flight.
+func (c *Client) readLoop(conn net.Conn, br *bufio.Reader) {
+	for {
+		typ, payload, err := readStoreFrame(br)
+		if err == nil && typ != frameControl {
+			err = fmt.Errorf("store: expected control frame, got type %d", typ)
+		}
+		var resp wireResponse
+		var docs []Document
+		if err == nil {
+			err = unmarshalControl(payload, &resp)
+		}
+		if err == nil {
+			docs, err = readBlocks(br, resp.Blocks)
+		}
+		if err != nil {
+			c.mu.Lock()
+			c.teardownLocked(conn, err)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		stale := c.conn != conn
+		c.mu.Unlock()
+		if ok {
+			ch <- wireResult{resp: resp, docs: docs}
+		}
+		if stale {
+			return
+		}
+	}
 }
 
 // Close tears the connection down.
@@ -49,80 +141,104 @@ func (c *Client) Close() error {
 	if c.conn == nil {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	conn := c.conn
+	c.teardownLocked(conn, errors.New("store: client closed"))
+	return nil
 }
 
-func (c *Client) call(req request) (response, error) {
+// do issues one request and waits for its response. Transport failures
+// return an error (retryable); server-side errors travel in the
+// response.
+func (c *Client) do(op string, q *Query, docs []Document) (wireResult, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for attempt := 0; attempt < 2; attempt++ {
-		if c.conn == nil {
-			if err := c.connectLocked(); err != nil {
-				return response{}, err
-			}
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return wireResult{}, err
 		}
-		if err := c.enc.Encode(req); err == nil {
-			var resp response
-			if err := c.dec.Decode(&resp); err == nil {
-				if resp.Err != "" {
-					return resp, errors.New(resp.Err)
-				}
-				return resp, nil
-			}
-		}
-		// Broken connection: drop it and retry once.
-		c.conn.Close()
-		c.conn = nil
 	}
-	return response{}, fmt.Errorf("store: node %s unreachable", c.addr)
+	id := c.nextID
+	c.nextID++
+	ch := make(chan wireResult, 1)
+	c.pending[id] = ch
+	conn := c.conn
+	req := wireRequest{ID: id, Op: op, Query: q, Blocks: docBlocks(len(docs))}
+	scratch, err := writeMessage(c.bw, &req, docs, c.scratch)
+	c.scratch = scratch
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		delete(c.pending, id)
+		c.teardownLocked(conn, err)
+		c.mu.Unlock()
+		return wireResult{}, err
+	}
+	c.mu.Unlock()
+	res := <-ch
+	return res, res.err
+}
+
+// call runs do with one reconnect-and-retry on transport failure.
+func (c *Client) call(op string, q *Query, docs []Document) (wireResult, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		res, err := c.do(op, q, docs)
+		if err == nil {
+			if res.resp.Err != "" {
+				return res, errors.New(res.resp.Err)
+			}
+			return res, nil
+		}
+		lastErr = err
+	}
+	return wireResult{}, fmt.Errorf("store: node %s unreachable: %w", c.addr, lastErr)
 }
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
-	_, err := c.call(request{Op: "ping"})
+	_, err := c.call("ping", nil, nil)
 	return err
 }
 
 // Insert stores documents on this node.
 func (c *Client) Insert(docs []Document) error {
-	_, err := c.call(request{Op: "insert", Docs: docs})
+	_, err := c.call("insert", nil, docs)
 	return err
 }
 
 // Query runs a document query on this node.
 func (c *Client) Query(q Query) ([]Document, error) {
-	resp, err := c.call(request{Op: "query", Query: &q})
+	res, err := c.call("query", &q, nil)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Docs, nil
+	return res.docs, nil
 }
 
 // Aggregate runs an aggregation query, returning partial buckets.
 func (c *Client) Aggregate(q Query) ([]GroupResult, error) {
-	resp, err := c.call(request{Op: "query", Query: &q})
+	res, err := c.call("query", &q, nil)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Groups, nil
+	return res.resp.Groups, nil
 }
 
 // Count counts matching documents.
 func (c *Client) Count(f Filter) (int, error) {
-	resp, err := c.call(request{Op: "count", Query: &Query{Filter: f}})
+	res, err := c.call("count", &Query{Filter: f}, nil)
 	if err != nil {
 		return 0, err
 	}
-	return resp.N, nil
+	return res.resp.N, nil
 }
 
 // Delete removes matching documents, returning how many were removed.
 func (c *Client) Delete(f Filter) (int, error) {
-	resp, err := c.call(request{Op: "delete", Query: &Query{Filter: f}})
+	res, err := c.call("delete", &Query{Filter: f}, nil)
 	if err != nil {
 		return 0, err
 	}
-	return resp.N, nil
+	return res.resp.N, nil
 }

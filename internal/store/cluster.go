@@ -14,14 +14,15 @@ type Cluster struct {
 	clients []*Client
 }
 
-// Connect dials every node of a cluster.
-func Connect(addrs []string) (*Cluster, error) {
+// Connect dials every node of a cluster. Options apply to every
+// per-node client.
+func Connect(addrs []string, opts ...ClientOption) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("store: empty cluster")
 	}
 	c := &Cluster{}
 	for _, a := range addrs {
-		cl, err := Dial(a)
+		cl, err := Dial(a, opts...)
 		if err != nil {
 			c.Close()
 			return nil, err

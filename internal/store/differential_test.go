@@ -1,0 +1,236 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential oracle: the indexed access paths must be observably
+// identical to the retained brute-force scan. Randomized documents and
+// randomized query workloads run twice — once with Plan forced to the
+// scan baseline, once through the planner/index path — and every result
+// set (documents, counts, aggregation buckets) must match exactly,
+// including order.
+
+func randomDoc(rng *rand.Rand, i int) Document {
+	d := Document{
+		ID:   fmt.Sprintf("doc-%d", i),
+		Time: 1 + rng.Int63n(10_000),
+		Tags: map[string]string{
+			"dpid": fmt.Sprintf("%d", rng.Intn(8)),
+			"app":  []string{"lb", "fw", "ids", "nat"}[rng.Intn(4)],
+		},
+		Fields: map[string]float64{
+			"bytes": float64(rng.Intn(100_000)),
+			"pkts":  float64(rng.Intn(1_000)),
+		},
+	}
+	// Occasionally drop a tag or poison a field with a non-finite value:
+	// both plans must agree on missing-tag and NaN/Inf semantics too.
+	switch rng.Intn(10) {
+	case 0:
+		delete(d.Tags, "app")
+	case 1:
+		d.Fields["bytes"] = math.NaN()
+	case 2:
+		d.Fields["bytes"] = math.Inf(1 - 2*rng.Intn(2))
+	}
+	return d
+}
+
+func randomFilter(rng *rand.Rand) Filter {
+	var f Filter
+	if rng.Intn(2) == 0 {
+		f.Tags = append(f.Tags, TagCond{
+			Tag:    "dpid",
+			Equals: rng.Intn(4) != 0,
+			Value:  fmt.Sprintf("%d", rng.Intn(10)), // sometimes matches nothing
+		})
+	}
+	if rng.Intn(3) == 0 {
+		vals := []string{}
+		for _, v := range []string{"lb", "fw", "ids", "ghost"} {
+			if rng.Intn(2) == 0 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) > 0 {
+			f.TagIn = append(f.TagIn, TagInCond{Tag: "app", Values: vals})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		ops := []Op{OpEq, OpNe, OpGt, OpGe, OpLt, OpLe}
+		f.Num = append(f.Num, NumCond{
+			Field: "bytes",
+			Op:    ops[rng.Intn(len(ops))],
+			Value: float64(rng.Intn(100_000)),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		from := rng.Int63n(10_000)
+		f.TimeFrom = from
+		f.TimeTo = from + rng.Int63n(5_000)
+	}
+	return f
+}
+
+func randomQuery(rng *rand.Rand) Query {
+	q := Query{Filter: randomFilter(rng)}
+	switch rng.Intn(3) {
+	case 0:
+		q.SortBy = "bytes"
+	case 1:
+		q.SortBy = "time"
+	}
+	q.Desc = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		q.Limit = 1 + rng.Intn(50)
+	}
+	return q
+}
+
+// f64Equal compares by bit pattern so NaN == NaN: both plans feed the
+// same documents in the same order, so even float accumulations must be
+// bit-identical.
+func f64Equal(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func docsEqual(a, b []Document) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.ID != y.ID || x.Time != y.Time || len(x.Tags) != len(y.Tags) || len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		for k, v := range x.Tags {
+			if y.Tags[k] != v {
+				return false
+			}
+		}
+		for k, v := range x.Fields {
+			w, ok := y.Fields[k]
+			if !ok || !f64Equal(v, w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func groupsEqual(a, b []GroupResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if len(x.Keys) != len(y.Keys) || x.Count != y.Count {
+			return false
+		}
+		for j := range x.Keys {
+			if x.Keys[j] != y.Keys[j] {
+				return false
+			}
+		}
+		if !f64Equal(x.Sum, y.Sum) || !f64Equal(x.Min, y.Min) || !f64Equal(x.Max, y.Max) || !f64Equal(x.Value, y.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialIndexVsScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	c, err := Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	var docs []Document
+	for i := 0; i < 3000; i++ {
+		docs = append(docs, randomDoc(rng, i))
+	}
+	if err := c.Insert(docs); err != nil {
+		t.Fatal(err)
+	}
+
+	aggs := []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax}
+	for round := 0; round < 300; round++ {
+		q := randomQuery(rng)
+		// Plain query: scan baseline vs planner choice vs forced index.
+		q.Plan = PlanScan
+		want, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("round %d: scan query: %v", round, err)
+		}
+		for _, plan := range []string{PlanAuto, PlanIndex} {
+			q.Plan = plan
+			got, err := c.Query(q)
+			if err != nil {
+				t.Fatalf("round %d: %q query: %v", round, plan, err)
+			}
+			if !docsEqual(want, got) {
+				t.Fatalf("round %d: plan %q diverged from scan\nfilter %+v\nscan %d docs, got %d docs",
+					round, plan, q.Filter, len(want), len(got))
+			}
+		}
+
+		// Count: exercised at the node layer, where the plan hint lives.
+		f := randomFilter(rng)
+		wantN := n.count(f, PlanScan)
+		for _, plan := range []string{PlanAuto, PlanIndex} {
+			if gotN := n.count(f, plan); gotN != wantN {
+				t.Fatalf("round %d: count plan %q = %d, scan = %d (filter %+v)", round, plan, gotN, wantN, f)
+			}
+		}
+
+		// Aggregation over random group-by.
+		aq := Query{Filter: randomFilter(rng), AggField: "bytes", Agg: aggs[rng.Intn(len(aggs))]}
+		aq.GroupBy = []string{"dpid"}
+		if rng.Intn(2) == 0 {
+			aq.GroupBy = []string{"dpid", "app"}
+		}
+		aq.Plan = PlanScan
+		wantG, err := c.Aggregate(aq)
+		if err != nil {
+			t.Fatalf("round %d: scan aggregate: %v", round, err)
+		}
+		for _, plan := range []string{PlanAuto, PlanIndex} {
+			aq.Plan = plan
+			gotG, err := c.Aggregate(aq)
+			if err != nil {
+				t.Fatalf("round %d: %q aggregate: %v", round, plan, err)
+			}
+			if !groupsEqual(wantG, gotG) {
+				t.Fatalf("round %d: aggregate plan %q diverged\nfilter %+v\nscan %+v\ngot  %+v",
+					round, plan, aq.Filter, wantG, gotG)
+			}
+		}
+
+		// Periodically delete a slice of the data so later rounds run
+		// against tombstoned tables (and, eventually, compacted ones).
+		if round%25 == 24 {
+			if _, err := c.Delete(randomFilter(rng)); err != nil {
+				t.Fatalf("round %d: delete: %v", round, err)
+			}
+			// Top the shard back up so it never empties out.
+			refill := make([]Document, 0, 200)
+			for i := 0; i < 200; i++ {
+				refill = append(refill, randomDoc(rng, 100_000+round*1000+i))
+			}
+			if err := c.Insert(refill); err != nil {
+				t.Fatalf("round %d: refill: %v", round, err)
+			}
+		}
+	}
+}

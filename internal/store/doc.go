@@ -72,11 +72,20 @@ type TagCond struct {
 	Value  string `json:"value"`
 }
 
+// TagInCond matches documents whose tag equals any of Values — the
+// pushed-down form of a membership disjunction like DPID==(6 or 3).
+// It evaluates as a posting-list union on the node's tag index.
+type TagInCond struct {
+	Tag    string   `json:"tag"`
+	Values []string `json:"values"`
+}
+
 // Filter is the conjunction of its conditions. The zero Filter matches
 // every document.
 type Filter struct {
-	Num  []NumCond `json:"num,omitempty"`
-	Tags []TagCond `json:"tags,omitempty"`
+	Num   []NumCond   `json:"num,omitempty"`
+	Tags  []TagCond   `json:"tags,omitempty"`
+	TagIn []TagInCond `json:"tag_in,omitempty"`
 	// TimeFrom/TimeTo bound the timestamp (inclusive from, exclusive to);
 	// zero means unbounded.
 	TimeFrom int64 `json:"from,omitempty"`
@@ -93,6 +102,19 @@ func (f Filter) Matches(d Document) bool {
 	}
 	for _, c := range f.Tags {
 		if (d.Tag(c.Tag) == c.Value) != c.Equals {
+			return false
+		}
+	}
+	for _, c := range f.TagIn {
+		v := d.Tag(c.Tag)
+		found := false
+		for _, want := range c.Values {
+			if v == want {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
@@ -130,6 +152,10 @@ type Query struct {
 	GroupBy  []string `json:"group,omitempty"`
 	Agg      AggKind  `json:"agg,omitempty"`
 	AggField string   `json:"agg_field,omitempty"`
+	// Plan hints the node's access-path choice: PlanAuto (the default)
+	// lets the planner pick, PlanScan forces the brute-force scan, and
+	// PlanIndex forces the best available index.
+	Plan string `json:"plan,omitempty"`
 }
 
 // GroupResult is one aggregation bucket. Count/Sum/Min/Max are partial

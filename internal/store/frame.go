@@ -1,0 +1,398 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire framing. Every message on a client<->node connection is one or
+// more length-prefixed frames:
+//
+//	[0:2]  magic "AS"
+//	[2]    protocol version (storeFrameVersion)
+//	[3]    frame type (frameControl JSON | frameDocs packed documents)
+//	[4:8]  payload length, big-endian uint32
+//	[8:…]  payload
+//
+// A request is one frameControl (the JSON wireRequest header) followed
+// by header.Blocks frameDocs frames carrying the documents; responses
+// mirror the shape. Control stays JSON — it is tiny and evolves — while
+// document payloads travel as packed binary blocks, so float64 feature
+// values (including NaN and ±Inf, which JSON rejects outright)
+// round-trip bit-exactly at 8 bytes/value and the hot insert/query
+// paths never pay per-document JSON reflection.
+//
+// Requests carry a client-chosen ID that the node echoes on the
+// response, which is what makes pipelining possible: many requests can
+// be in flight on one connection and responses may return in any order.
+const (
+	storeMagic0       = 'A'
+	storeMagic1       = 'S'
+	storeFrameVersion = 1
+
+	frameControl = 1
+	frameDocs    = 2
+
+	storeFrameHeaderLen  = 8
+	maxStoreFramePayload = 64 << 20 // 64 MiB
+
+	// blockMaxDocs bounds one frameDocs block; larger batches split
+	// across blocks (header.Blocks counts them).
+	blockMaxDocs = 8192
+	// maxBlocksPerMessage bounds the block count a header may announce.
+	maxBlocksPerMessage = 1 << 16
+)
+
+// wireRequest is the control header for one client->node request.
+type wireRequest struct {
+	ID    uint64 `json:"id"`
+	Op    string `json:"op"` // insert, query, delete, count, ping
+	Query *Query `json:"query,omitempty"`
+	// Blocks counts the frameDocs frames that follow this header.
+	Blocks int `json:"blocks,omitempty"`
+}
+
+// wireResponse is the control header for one node->client response.
+type wireResponse struct {
+	ID     uint64        `json:"id"`
+	OK     bool          `json:"ok"`
+	Err    string        `json:"err,omitempty"`
+	Groups []GroupResult `json:"groups,omitempty"`
+	N      int           `json:"n"`
+	// Blocks counts the frameDocs frames that follow this header.
+	Blocks int `json:"blocks,omitempty"`
+}
+
+// wireFloat carries a float64 through the JSON control frame without
+// tripping over encoding/json's rejection of non-finite values:
+// aggregation buckets computed over NaN/±Inf feature fields encode
+// those as quoted sentinels and decode them back bit-faithfully.
+type wireFloat float64
+
+func (f wireFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *wireFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		switch string(b) {
+		case `"NaN"`:
+			*f = wireFloat(math.NaN())
+			return nil
+		case `"+Inf"`:
+			*f = wireFloat(math.Inf(1))
+			return nil
+		case `"-Inf"`:
+			*f = wireFloat(math.Inf(-1))
+			return nil
+		}
+		return fmt.Errorf("store: bad float sentinel %s", b)
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = wireFloat(v)
+	return nil
+}
+
+// jsonGroupResult shadows GroupResult on the wire, swapping the float
+// fields for the non-finite-safe wireFloat encoding.
+type jsonGroupResult struct {
+	Keys  []string  `json:"keys"`
+	Count int64     `json:"count"`
+	Sum   wireFloat `json:"sum"`
+	Min   wireFloat `json:"min"`
+	Max   wireFloat `json:"max"`
+	Value wireFloat `json:"value"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g GroupResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonGroupResult{
+		Keys: g.Keys, Count: g.Count,
+		Sum: wireFloat(g.Sum), Min: wireFloat(g.Min),
+		Max: wireFloat(g.Max), Value: wireFloat(g.Value),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *GroupResult) UnmarshalJSON(b []byte) error {
+	var j jsonGroupResult
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*g = GroupResult{
+		Keys: j.Keys, Count: j.Count,
+		Sum: float64(j.Sum), Min: float64(j.Min),
+		Max: float64(j.Max), Value: float64(j.Value),
+	}
+	return nil
+}
+
+// writeStoreFrame writes one frame.
+func writeStoreFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxStoreFramePayload {
+		return fmt.Errorf("store: frame payload %d exceeds %d", len(payload), maxStoreFramePayload)
+	}
+	var hdr [storeFrameHeaderLen]byte
+	hdr[0], hdr[1] = storeMagic0, storeMagic1
+	hdr[2] = storeFrameVersion
+	hdr[3] = typ
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readStoreFrame reads one frame, validating magic, version, type, and
+// the payload length bound before allocating.
+func readStoreFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [storeFrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != storeMagic0 || hdr[1] != storeMagic1 {
+		return 0, nil, fmt.Errorf("store: bad frame magic %02x%02x", hdr[0], hdr[1])
+	}
+	if hdr[2] != storeFrameVersion {
+		return 0, nil, fmt.Errorf("store: unsupported frame version %d", hdr[2])
+	}
+	if hdr[3] != frameControl && hdr[3] != frameDocs {
+		return 0, nil, fmt.Errorf("store: unknown frame type %d", hdr[3])
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > maxStoreFramePayload {
+		return 0, nil, fmt.Errorf("store: frame payload %d exceeds %d", n, maxStoreFramePayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[3], payload, nil
+}
+
+// Document block payload (inside a frameDocs frame):
+//
+//	u32 ndocs (BE)
+//	per document:
+//	  u16 idLen | id bytes
+//	  u64 time (BE, two's complement)
+//	  u16 ntags   | ntags   × (u16 klen | k | u16 vlen | v)
+//	  u16 nfields | nfields × (u16 klen | k | u64 float64 bits LE)
+//
+// Strings are capped at 64 KiB by the u16 lengths; a block is capped at
+// blockMaxDocs documents and the frame payload bound.
+const docBlockHeaderLen = 4
+
+// appendDocBlock serializes docs as one block payload, appending to buf.
+// It fails (rather than truncating) on documents whose strings or maps
+// exceed the u16 wire limits.
+func appendDocBlock(buf []byte, docs []Document) ([]byte, error) {
+	if len(docs) > blockMaxDocs {
+		return nil, fmt.Errorf("store: doc block of %d exceeds %d", len(docs), blockMaxDocs)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(docs)))
+	appendStr := func(s string) bool {
+		if len(s) > math.MaxUint16 {
+			return false
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+		return true
+	}
+	for i := range docs {
+		d := &docs[i]
+		if len(d.Tags) > math.MaxUint16 || len(d.Fields) > math.MaxUint16 {
+			return nil, fmt.Errorf("store: document %d has oversized maps", i)
+		}
+		if !appendStr(d.ID) {
+			return nil, fmt.Errorf("store: document %d id exceeds 64KiB", i)
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(d.Time))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Tags)))
+		for k, v := range d.Tags {
+			if !appendStr(k) || !appendStr(v) {
+				return nil, fmt.Errorf("store: document %d tag exceeds 64KiB", i)
+			}
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Fields)))
+		for k, v := range d.Fields {
+			if !appendStr(k) {
+				return nil, fmt.Errorf("store: document %d field name exceeds 64KiB", i)
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// decodeDocBlock parses one block payload. It never panics on
+// arbitrary input: every length is validated against the remaining
+// payload before any allocation sized from it.
+func decodeDocBlock(payload []byte) ([]Document, error) {
+	if len(payload) < docBlockHeaderLen {
+		return nil, fmt.Errorf("store: doc block short header (%d bytes)", len(payload))
+	}
+	ndocs := binary.BigEndian.Uint32(payload[0:4])
+	if ndocs > blockMaxDocs {
+		return nil, fmt.Errorf("store: doc block count %d exceeds %d", ndocs, blockMaxDocs)
+	}
+	// An empty document still costs 14 wire bytes (id len, time, tag and
+	// field counts); reject counts the payload cannot hold.
+	if uint64(ndocs)*14 > uint64(len(payload)-docBlockHeaderLen) {
+		return nil, fmt.Errorf("store: doc block count %d exceeds payload", ndocs)
+	}
+	body := payload[docBlockHeaderLen:]
+	off := 0
+	readStr := func() (string, bool) {
+		if off+2 > len(body) {
+			return "", false
+		}
+		n := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if off+n > len(body) {
+			return "", false
+		}
+		s := string(body[off : off+n])
+		off += n
+		return s, true
+	}
+	short := func() ([]Document, error) {
+		return nil, fmt.Errorf("store: doc block truncated at offset %d", off)
+	}
+	docs := make([]Document, 0, ndocs)
+	for i := uint32(0); i < ndocs; i++ {
+		var d Document
+		id, ok := readStr()
+		if !ok {
+			return short()
+		}
+		d.ID = id
+		if off+8 > len(body) {
+			return short()
+		}
+		d.Time = int64(binary.BigEndian.Uint64(body[off:]))
+		off += 8
+		if off+2 > len(body) {
+			return short()
+		}
+		ntags := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if ntags > 0 {
+			d.Tags = make(map[string]string, ntags)
+			for j := 0; j < ntags; j++ {
+				k, ok := readStr()
+				if !ok {
+					return short()
+				}
+				v, ok := readStr()
+				if !ok {
+					return short()
+				}
+				d.Tags[k] = v
+			}
+		}
+		if off+2 > len(body) {
+			return short()
+		}
+		nfields := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if nfields > 0 {
+			d.Fields = make(map[string]float64, nfields)
+			for j := 0; j < nfields; j++ {
+				k, ok := readStr()
+				if !ok {
+					return short()
+				}
+				if off+8 > len(body) {
+					return short()
+				}
+				d.Fields[k] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+				off += 8
+			}
+		}
+		docs = append(docs, d)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("store: doc block has %d trailing bytes", len(body)-off)
+	}
+	return docs, nil
+}
+
+// docBlocks counts the frameDocs frames needed for n documents.
+func docBlocks(n int) int {
+	return (n + blockMaxDocs - 1) / blockMaxDocs
+}
+
+// unmarshalControl parses a control frame payload.
+func unmarshalControl(payload []byte, into any) error {
+	if err := json.Unmarshal(payload, into); err != nil {
+		return fmt.Errorf("store: bad control frame: %w", err)
+	}
+	return nil
+}
+
+// writeMessage writes one control header plus the document blocks it
+// announces. Callers must serialize writeMessage calls per connection
+// (the header and its blocks have to stay adjacent on the wire).
+func writeMessage(w io.Writer, control any, docs []Document, scratch []byte) ([]byte, error) {
+	hdr, err := json.Marshal(control)
+	if err != nil {
+		return scratch, err
+	}
+	if err := writeStoreFrame(w, frameControl, hdr); err != nil {
+		return scratch, err
+	}
+	for lo := 0; lo < len(docs); lo += blockMaxDocs {
+		hi := lo + blockMaxDocs
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		scratch, err = appendDocBlock(scratch[:0], docs[lo:hi])
+		if err != nil {
+			return scratch, err
+		}
+		if err := writeStoreFrame(w, frameDocs, scratch); err != nil {
+			return scratch, err
+		}
+	}
+	return scratch, nil
+}
+
+// readBlocks reads n frameDocs frames and concatenates their documents.
+func readBlocks(r io.Reader, n int) ([]Document, error) {
+	if n < 0 || n > maxBlocksPerMessage {
+		return nil, fmt.Errorf("store: message announces %d doc blocks", n)
+	}
+	var docs []Document
+	for i := 0; i < n; i++ {
+		typ, payload, err := readStoreFrame(r)
+		if err != nil {
+			return nil, err
+		}
+		if typ != frameDocs {
+			return nil, fmt.Errorf("store: expected doc block, got frame type %d", typ)
+		}
+		block, err := decodeDocBlock(payload)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, block...)
+	}
+	return docs, nil
+}

@@ -1,0 +1,296 @@
+package store
+
+import "sort"
+
+// Secondary indexes. Each node keeps its shard in a slot-addressed
+// table: documents append to a slice, deletions tombstone in place, and
+// two indexes map conditions to candidate slots — a tag→posting-list
+// hash index (exact-match tag conditions) and a time-ordered index
+// (timestamp windows, which is also what retention GC filters by).
+// Posting lists hold slots in ascending order, so index-driven
+// iteration visits documents in insertion order — exactly the order a
+// full scan visits them — which keeps the two plans result-identical
+// (the differential oracle test pins this).
+
+// Plan hints accepted on Query.Plan. The zero value lets the planner
+// choose; PlanScan forces the retained brute-force path (the
+// differential-oracle and benchmark baseline); PlanIndex forces the
+// best index even where the planner would prefer a scan.
+const (
+	PlanAuto  = ""
+	PlanScan  = "scan"
+	PlanIndex = "index"
+)
+
+// posting is an ascending list of document slots.
+type posting []int32
+
+type timeEnt struct {
+	t    int64
+	slot int32
+}
+
+const (
+	// timeTailMax bounds the unsorted tail of the time index before it
+	// merges into the sorted run (amortized O(log n) per insert).
+	timeTailMax = 4096
+	// compactMinDead is the tombstone floor below which the table never
+	// compacts; above it, compaction triggers when the dead outnumber
+	// the living.
+	compactMinDead = 4096
+)
+
+// table is one shard's document storage plus its secondary indexes.
+// All methods require the owning node's lock (write lock for
+// insert/remove, read lock for matchEach on a read path).
+type table struct {
+	docs  []Document
+	alive []bool
+	live  int
+	dead  int
+
+	// tags maps "name\x00value" to the slots holding that exact tag.
+	tags map[string]posting
+	// timeSorted + timeTail form the time index: a sorted run plus a
+	// small unsorted tail of recent inserts.
+	timeSorted []timeEnt
+	timeTail   []timeEnt
+}
+
+func newTable() *table {
+	return &table{tags: make(map[string]posting)}
+}
+
+func tagKey(name, value string) string {
+	return name + "\x00" + value
+}
+
+// insert appends documents, indexing every tag and timestamp.
+func (t *table) insert(docs []Document) {
+	for i := range docs {
+		slot := int32(len(t.docs))
+		t.docs = append(t.docs, docs[i])
+		t.alive = append(t.alive, true)
+		t.live++
+		for k, v := range docs[i].Tags {
+			key := tagKey(k, v)
+			t.tags[key] = append(t.tags[key], slot)
+		}
+		t.timeTail = append(t.timeTail, timeEnt{docs[i].Time, slot})
+	}
+	if len(t.timeTail) >= timeTailMax {
+		t.mergeTimeTail()
+	}
+}
+
+// mergeTimeTail folds the unsorted tail into the sorted run.
+func (t *table) mergeTimeTail() {
+	if len(t.timeTail) == 0 {
+		return
+	}
+	sort.Slice(t.timeTail, func(i, j int) bool {
+		if t.timeTail[i].t != t.timeTail[j].t {
+			return t.timeTail[i].t < t.timeTail[j].t
+		}
+		return t.timeTail[i].slot < t.timeTail[j].slot
+	})
+	merged := make([]timeEnt, 0, len(t.timeSorted)+len(t.timeTail))
+	i, j := 0, 0
+	for i < len(t.timeSorted) && j < len(t.timeTail) {
+		a, b := t.timeSorted[i], t.timeTail[j]
+		if a.t < b.t || (a.t == b.t && a.slot < b.slot) {
+			merged = append(merged, a)
+			i++
+		} else {
+			merged = append(merged, b)
+			j++
+		}
+	}
+	merged = append(merged, t.timeSorted[i:]...)
+	merged = append(merged, t.timeTail[j:]...)
+	t.timeSorted = merged
+	t.timeTail = t.timeTail[:0]
+}
+
+// planned is a chosen access path for one filter.
+type planned struct {
+	kind  string  // "scan", "tag", "tagin", or "time"
+	slots posting // candidate slots, ascending; unused when kind=="scan"
+}
+
+// plan picks the cheapest access path for f: the smallest candidate set
+// among equality-tag postings, tag-membership unions, and the time
+// window — falling back to a scan when nothing is indexable or the best
+// candidate set would cover more than half the live documents (at that
+// selectivity the sequential scan wins on memory locality).
+func (t *table) plan(f Filter, hint string) planned {
+	if hint == PlanScan {
+		return planned{kind: "scan"}
+	}
+	const (
+		kindNone = iota
+		kindTag
+		kindTagIn
+		kindTime
+	)
+	bestKind, bestCost, bestArg := kindNone, 0, -1
+	consider := func(kind, cost, arg int) {
+		if bestKind == kindNone || cost < bestCost {
+			bestKind, bestCost, bestArg = kind, cost, arg
+		}
+	}
+	for i, c := range f.Tags {
+		if !c.Equals {
+			continue
+		}
+		consider(kindTag, len(t.tags[tagKey(c.Tag, c.Value)]), i)
+	}
+	for i, c := range f.TagIn {
+		cost := 0
+		for _, v := range c.Values {
+			cost += len(t.tags[tagKey(c.Tag, v)])
+		}
+		consider(kindTagIn, cost, i)
+	}
+	if f.TimeFrom != 0 || f.TimeTo != 0 {
+		lo, hi := t.timeRange(f.TimeFrom, f.TimeTo)
+		consider(kindTime, (hi-lo)+len(t.timeTail), -1)
+	}
+	if bestKind == kindNone {
+		return planned{kind: "scan"}
+	}
+	if hint != PlanIndex && bestCost > t.live/2 {
+		return planned{kind: "scan"}
+	}
+	switch bestKind {
+	case kindTag:
+		c := f.Tags[bestArg]
+		return planned{kind: "tag", slots: t.tags[tagKey(c.Tag, c.Value)]}
+	case kindTagIn:
+		c := f.TagIn[bestArg]
+		lists := make([]posting, 0, len(c.Values))
+		for _, v := range c.Values {
+			if p := t.tags[tagKey(c.Tag, v)]; len(p) > 0 {
+				lists = append(lists, p)
+			}
+		}
+		return planned{kind: "tagin", slots: unionPostings(lists)}
+	default:
+		return planned{kind: "time", slots: t.timeSlots(f.TimeFrom, f.TimeTo)}
+	}
+}
+
+// timeRange binary-searches the sorted run for the half-open window
+// [from, to); zero bounds are unbounded (matching Filter semantics).
+func (t *table) timeRange(from, to int64) (lo, hi int) {
+	hi = len(t.timeSorted)
+	if from != 0 {
+		lo = sort.Search(len(t.timeSorted), func(i int) bool { return t.timeSorted[i].t >= from })
+	}
+	if to != 0 {
+		hi = sort.Search(len(t.timeSorted), func(i int) bool { return t.timeSorted[i].t >= to })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// timeSlots materializes the candidate slots for a time window,
+// ascending, from the sorted run plus the unsorted tail.
+func (t *table) timeSlots(from, to int64) posting {
+	lo, hi := t.timeRange(from, to)
+	slots := make(posting, 0, (hi-lo)+len(t.timeTail))
+	for _, e := range t.timeSorted[lo:hi] {
+		slots = append(slots, e.slot)
+	}
+	for _, e := range t.timeTail {
+		if (from == 0 || e.t >= from) && (to == 0 || e.t < to) {
+			slots = append(slots, e.slot)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	return slots
+}
+
+// unionPostings merges ascending posting lists into one ascending,
+// deduplicated list.
+func unionPostings(lists []posting) posting {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make(posting, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, s := range out {
+		if i == 0 || s != dedup[len(dedup)-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	return dedup
+}
+
+// matchEach runs fn over every live document matching f, in insertion
+// order, via the planned access path. It reports the plan kind taken
+// (for the athena_store_plan_total series).
+func (t *table) matchEach(f Filter, hint string, fn func(slot int32, d *Document)) string {
+	p := t.plan(f, hint)
+	if p.kind == "scan" {
+		for slot := range t.docs {
+			if t.alive[slot] && f.Matches(t.docs[slot]) {
+				fn(int32(slot), &t.docs[slot])
+			}
+		}
+		return p.kind
+	}
+	for _, slot := range p.slots {
+		if t.alive[slot] && f.Matches(t.docs[slot]) {
+			fn(slot, &t.docs[slot])
+		}
+	}
+	return p.kind
+}
+
+// remove tombstones every document matching f, compacting the table
+// when tombstones dominate. Returns the removed count and plan kind.
+func (t *table) remove(f Filter, hint string) (int, string) {
+	var slots []int32
+	kind := t.matchEach(f, hint, func(s int32, _ *Document) {
+		slots = append(slots, s)
+	})
+	for _, s := range slots {
+		t.alive[s] = false
+	}
+	t.live -= len(slots)
+	t.dead += len(slots)
+	t.maybeCompact()
+	return len(slots), kind
+}
+
+// maybeCompact rebuilds the table (and both indexes) once tombstones
+// pass the floor and outnumber live documents, restoring O(live) scans
+// and dropping stale posting entries.
+func (t *table) maybeCompact() {
+	if t.dead < compactMinDead || t.dead <= t.live {
+		return
+	}
+	liveDocs := make([]Document, 0, t.live)
+	for i := range t.docs {
+		if t.alive[i] {
+			liveDocs = append(liveDocs, t.docs[i])
+		}
+	}
+	*t = table{tags: make(map[string]posting, len(t.tags))}
+	t.insert(liveDocs)
+	t.mergeTimeTail()
+}

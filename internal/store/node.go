@@ -1,7 +1,7 @@
 package store
 
 import (
-	"encoding/json"
+	"bufio"
 	"fmt"
 	"net"
 	"sort"
@@ -12,28 +12,21 @@ import (
 	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
-// request is the wire format for client->node messages.
-type request struct {
-	Op    string     `json:"op"` // insert, query, delete, count, ping
-	Docs  []Document `json:"docs,omitempty"`
-	Query *Query     `json:"query,omitempty"`
-}
+// nodeConnConcurrency bounds how many of one connection's pipelined
+// requests execute at once; excess requests queue at the read loop,
+// which is the wire-level backpressure signal.
+const nodeConnConcurrency = 32
 
-// response is the wire format for node->client messages.
-type response struct {
-	OK     bool          `json:"ok"`
-	Err    string        `json:"err,omitempty"`
-	Docs   []Document    `json:"docs,omitempty"`
-	Groups []GroupResult `json:"groups,omitempty"`
-	N      int           `json:"n"`
-}
-
-// Node is one storage server holding an in-memory document shard.
+// Node is one storage server holding an in-memory document shard,
+// indexed by tag and time (see index.go). Each accepted connection is
+// served by a read loop that dispatches requests to a bounded worker
+// pool, so pipelined clients see concurrent execution: responses carry
+// the request ID and may return out of order.
 type Node struct {
 	ln net.Listener
 
-	mu   sync.RWMutex
-	docs []Document
+	mu  sync.RWMutex
+	tab *table
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -55,6 +48,7 @@ type nodeMetrics struct {
 	requestTimer telemetry.Timer
 	inserted     *telemetry.Counter
 	deleted      *telemetry.Counter
+	plans        *telemetry.CounterVec
 	snapshots    *telemetry.Counter
 	snapshotSize *telemetry.Gauge
 }
@@ -69,6 +63,8 @@ func newNodeMetrics(reg *telemetry.Registry, node string) nodeMetrics {
 			"Documents appended to this shard.", "node").WithLabelValues(node),
 		deleted: reg.CounterVec("athena_store_docs_deleted_total",
 			"Documents removed by deletes and retention GC.", "node").WithLabelValues(node),
+		plans: reg.CounterVec("athena_store_plan_total",
+			"Access paths chosen by the query planner.", "node", "plan"),
 		snapshots: reg.CounterVec("athena_store_snapshots_total",
 			"Snapshots written.", "node").WithLabelValues(node),
 		snapshotSize: reg.GaugeVec("athena_store_snapshot_bytes",
@@ -100,7 +96,7 @@ func NewNode(addr string, opts ...NodeOption) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store node listen: %w", err)
 	}
-	n := &Node{ln: ln, conns: make(map[net.Conn]struct{}), stop: make(chan struct{})}
+	n := &Node{ln: ln, tab: newTable(), conns: make(map[net.Conn]struct{}), stop: make(chan struct{})}
 	for _, o := range opts {
 		o(n)
 	}
@@ -145,11 +141,11 @@ func (n *Node) Close() {
 	n.wg.Wait()
 }
 
-// Len reports the number of stored documents.
+// Len reports the number of live documents.
 func (n *Node) Len() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return len(n.docs)
+	return n.tab.live
 }
 
 func (n *Node) serve() {
@@ -166,112 +162,147 @@ func (n *Node) serve() {
 	}
 }
 
+// handle serves one connection: the read loop decodes framed requests
+// and hands each to a pooled goroutine; responses are written under a
+// per-connection mutex so a header and its doc blocks stay adjacent.
 func (n *Node) handle(conn net.Conn) {
 	n.connMu.Lock()
 	n.conns[conn] = struct{}{}
 	n.connMu.Unlock()
+	var reqWG sync.WaitGroup
 	defer func() {
+		reqWG.Wait()
 		conn.Close()
 		n.connMu.Lock()
 		delete(n.conns, conn)
 		n.connMu.Unlock()
 	}()
-	dec := json.NewDecoder(conn)
-	enc := json.NewEncoder(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var wmu sync.Mutex
+	sem := make(chan struct{}, nodeConnConcurrency)
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req, docs, err := readRequest(br)
+		if err != nil {
 			return
 		}
-		resp := n.execute(req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		reqWG.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				reqWG.Done()
+			}()
+			resp, out := n.execute(req, docs)
+			resp.ID = req.ID
+			resp.Blocks = docBlocks(len(out))
+			wmu.Lock()
+			defer wmu.Unlock()
+			if _, err := writeMessage(bw, &resp, out, nil); err != nil {
+				conn.Close()
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				conn.Close()
+			}
+		}()
 	}
 }
 
-func (n *Node) execute(req request) response {
+// readRequest reads one control header plus its doc blocks.
+func readRequest(r *bufio.Reader) (wireRequest, []Document, error) {
+	typ, payload, err := readStoreFrame(r)
+	if err != nil {
+		return wireRequest{}, nil, err
+	}
+	if typ != frameControl {
+		return wireRequest{}, nil, fmt.Errorf("store: expected control frame, got type %d", typ)
+	}
+	var req wireRequest
+	if err := unmarshalControl(payload, &req); err != nil {
+		return wireRequest{}, nil, err
+	}
+	docs, err := readBlocks(r, req.Blocks)
+	if err != nil {
+		return wireRequest{}, nil, err
+	}
+	return req, docs, nil
+}
+
+func (n *Node) execute(req wireRequest, docs []Document) (wireResponse, []Document) {
 	n.metrics.requests.WithLabelValues(n.Addr(), req.Op).Inc()
 	defer n.metrics.requestTimer.Observe()()
 	switch req.Op {
 	case "ping":
-		return response{OK: true}
+		return wireResponse{OK: true}, nil
 	case "insert":
-		n.insert(req.Docs)
-		return response{OK: true, N: len(req.Docs)}
+		n.insert(docs)
+		return wireResponse{OK: true, N: len(docs)}, nil
 	case "query":
 		if req.Query == nil {
-			return response{Err: "query missing"}
+			return wireResponse{Err: "query missing"}, nil
 		}
 		return n.query(*req.Query)
 	case "count":
 		if req.Query == nil {
-			return response{Err: "query missing"}
+			return wireResponse{Err: "query missing"}, nil
 		}
-		return response{OK: true, N: n.count(req.Query.Filter)}
+		return wireResponse{OK: true, N: n.count(req.Query.Filter, req.Query.Plan)}, nil
 	case "delete":
 		if req.Query == nil {
-			return response{Err: "query missing"}
+			return wireResponse{Err: "query missing"}, nil
 		}
-		return response{OK: true, N: n.delete(req.Query.Filter)}
+		return wireResponse{OK: true, N: n.delete(req.Query.Filter, req.Query.Plan)}, nil
 	default:
-		return response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}, nil
 	}
 }
 
 func (n *Node) insert(docs []Document) {
 	n.mu.Lock()
-	n.docs = append(n.docs, docs...)
+	n.tab.insert(docs)
 	n.mu.Unlock()
 	n.metrics.inserted.Add(uint64(len(docs)))
 }
 
-func (n *Node) count(f Filter) int {
+func (n *Node) countPlan(kind string) {
+	n.metrics.plans.WithLabelValues(n.Addr(), kind).Inc()
+}
+
+func (n *Node) count(f Filter, hint string) int {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
 	c := 0
-	for _, d := range n.docs {
-		if f.Matches(d) {
-			c++
-		}
-	}
+	kind := n.tab.matchEach(f, hint, func(int32, *Document) { c++ })
+	n.mu.RUnlock()
+	n.countPlan(kind)
 	return c
 }
 
-func (n *Node) delete(f Filter) int {
+func (n *Node) delete(f Filter, hint string) int {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	kept := n.docs[:0]
-	removed := 0
-	for _, d := range n.docs {
-		if f.Matches(d) {
-			removed++
-			continue
-		}
-		kept = append(kept, d)
-	}
-	n.docs = kept
+	removed, kind := n.tab.remove(f, hint)
+	n.mu.Unlock()
+	n.countPlan(kind)
 	n.metrics.deleted.Add(uint64(removed))
 	return removed
 }
 
-func (n *Node) query(q Query) response {
+func (n *Node) query(q Query) (wireResponse, []Document) {
 	if len(q.GroupBy) > 0 {
 		return n.aggregate(q)
 	}
 	n.mu.RLock()
 	var out []Document
-	for _, d := range n.docs {
-		if q.Filter.Matches(d) {
-			out = append(out, d)
-		}
-	}
+	kind := n.tab.matchEach(q.Filter, q.Plan, func(_ int32, d *Document) {
+		out = append(out, *d)
+	})
 	n.mu.RUnlock()
+	n.countPlan(kind)
 	sortDocs(out, q.SortBy, q.Desc)
 	if q.Limit > 0 && len(out) > q.Limit {
 		out = out[:q.Limit]
 	}
-	return response{OK: true, Docs: out, N: len(out)}
+	return wireResponse{OK: true, N: len(out)}, out
 }
 
 func sortDocs(docs []Document, by string, desc bool) {
@@ -292,13 +323,10 @@ func sortDocs(docs []Document, by string, desc bool) {
 	})
 }
 
-func (n *Node) aggregate(q Query) response {
+func (n *Node) aggregate(q Query) (wireResponse, []Document) {
 	n.mu.RLock()
 	groups := make(map[string]*GroupResult)
-	for _, d := range n.docs {
-		if !q.Filter.Matches(d) {
-			continue
-		}
+	kind := n.tab.matchEach(q.Filter, q.Plan, func(_ int32, d *Document) {
 		keys := make([]string, len(q.GroupBy))
 		for i, tag := range q.GroupBy {
 			keys[i] = d.Tag(tag)
@@ -311,8 +339,9 @@ func (n *Node) aggregate(q Query) response {
 		}
 		v := d.Field(q.AggField)
 		g.merge(GroupResult{Count: 1, Sum: v, Min: v, Max: v})
-	}
+	})
 	n.mu.RUnlock()
+	n.countPlan(kind)
 	out := make([]GroupResult, 0, len(groups))
 	for _, g := range groups {
 		out = append(out, *g)
@@ -320,7 +349,7 @@ func (n *Node) aggregate(q Query) response {
 	sort.Slice(out, func(i, j int) bool {
 		return strings.Join(out[i].Keys, "\x00") < strings.Join(out[j].Keys, "\x00")
 	})
-	return response{OK: true, Groups: out, N: len(out)}
+	return wireResponse{OK: true, Groups: out, N: len(out)}, nil
 }
 
 func (n *Node) gcLoop() {
@@ -330,7 +359,7 @@ func (n *Node) gcLoop() {
 		select {
 		case <-ticker.C:
 			cutoff := time.Now().Add(-n.retention).UnixNano()
-			n.delete(Filter{TimeTo: cutoff})
+			n.delete(Filter{TimeTo: cutoff}, PlanAuto)
 		case <-n.stop:
 			return
 		}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRaceInsertQueryDeleteUnderGC hammers one node with concurrent
+// inserts, queries (across all plan hints), counts, and deletes while
+// the retention GC loop reaps old documents. Run under -race (make
+// verify does), this pins down the table/index locking discipline:
+// matchEach readers against insert/remove/compaction writers.
+func TestRaceInsertQueryDeleteUnderGC(t *testing.T) {
+	n, err := NewNode("", WithRetention(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+
+	const (
+		workers = 4
+		rounds  = 150
+	)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			c, err := Dial(n.Addr())
+			if err != nil {
+				t.Errorf("worker %d dial: %v", wkr, err)
+				return
+			}
+			defer c.Close()
+			plans := []string{PlanAuto, PlanScan, PlanIndex}
+			for i := 0; i < rounds; i++ {
+				now := time.Now().UnixNano()
+				docs := make([]Document, 8)
+				for j := range docs {
+					docs[j] = Document{
+						ID:   fmt.Sprintf("w%d-r%d-%d", wkr, i, j),
+						Time: now,
+						Tags: map[string]string{"dpid": fmt.Sprintf("%d", (i+j)%4),
+							"worker": fmt.Sprintf("%d", wkr)},
+						Fields: map[string]float64{"v": float64(i)},
+					}
+				}
+				if err := c.Insert(docs); err != nil {
+					t.Errorf("worker %d insert: %v", wkr, err)
+					return
+				}
+				q := Query{
+					Filter: Filter{Tags: []TagCond{{Tag: "dpid", Equals: true, Value: fmt.Sprintf("%d", i%4)}}},
+					SortBy: "v", Desc: i%2 == 0, Limit: 16,
+					Plan: plans[i%len(plans)],
+				}
+				if _, err := c.Query(q); err != nil {
+					t.Errorf("worker %d query: %v", wkr, err)
+					return
+				}
+				if _, err := c.Count(Filter{TagIn: []TagInCond{{Tag: "dpid", Values: []string{"0", "2"}}}}); err != nil {
+					t.Errorf("worker %d count: %v", wkr, err)
+					return
+				}
+				if i%5 == 4 {
+					// Deletes race the GC loop's own remove path.
+					f := Filter{Tags: []TagCond{{Tag: "worker", Equals: true, Value: fmt.Sprintf("%d", wkr)}},
+						Num: []NumCond{{Field: "v", Op: OpLe, Value: float64(i - 20)}}}
+					if _, err := c.Delete(f); err != nil {
+						t.Errorf("worker %d delete: %v", wkr, err)
+						return
+					}
+				}
+				if i%25 == 24 {
+					// Let a GC tick land mid-stream.
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+
+	// Everything left is younger than the retention window once GC
+	// settles; poll briefly rather than asserting an exact count.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.Len() == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

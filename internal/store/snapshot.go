@@ -13,8 +13,12 @@ import (
 // snapshot may or may not be included).
 func (n *Node) SaveSnapshot(w io.Writer) error {
 	n.mu.RLock()
-	docs := make([]Document, len(n.docs))
-	copy(docs, n.docs)
+	docs := make([]Document, 0, n.tab.live)
+	for i := range n.tab.docs {
+		if n.tab.alive[i] {
+			docs = append(docs, n.tab.docs[i])
+		}
+	}
 	n.mu.RUnlock()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)

@@ -41,7 +41,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("restored Len = %d", restored.Len())
 	}
 	// Query equivalence after restore.
-	got := restored.query(Query{Filter: Filter{Num: []NumCond{{Field: "bytes", Op: OpGe, Value: 90}}}})
+	got, _ := restored.query(Query{Filter: Filter{Num: []NumCond{{Field: "bytes", Op: OpGe, Value: 90}}}})
 	if got.N != 10 {
 		t.Fatalf("restored query N = %d, want 10", got.N)
 	}

@@ -17,10 +17,19 @@ type Sink interface {
 // on the network, and a background goroutine flushes by size or age.
 // This is the "replace synchronous MongoDB writes" ablation the paper's
 // §VII-C3 discussion motivates.
+//
+// The queue is bounded (WithQueueBound, default 16384 documents):
+// publication at a full queue drops the document and counts it on
+// athena_store_writer_dropped_total — backpressure must not stall the
+// feature pipeline. A failed flush re-enqueues its batch at the head of
+// the queue and retries on the next tick (at-least-once delivery), so a
+// transient node outage loses nothing as long as admission space
+// remains; only new arrivals beyond the bound are shed.
 type Writer struct {
 	sink      Sink
 	batchSize int
 	maxDelay  time.Duration
+	maxQueue  int
 
 	mu      sync.Mutex
 	pending []Document
@@ -28,6 +37,8 @@ type Writer struct {
 
 	flushOK   *telemetry.Counter
 	flushErr  *telemetry.Counter
+	dropped   *telemetry.Counter
+	retried   *telemetry.Counter
 	batchDocs *telemetry.Histogram
 
 	flushCh chan struct{}
@@ -46,6 +57,12 @@ func WithWriterTelemetry(reg *telemetry.Registry, instance string) WriterOption 
 			"Batched-writer flushes, by result.", "controller", "result")
 		w.flushOK = flushes.WithLabelValues(instance, "ok")
 		w.flushErr = flushes.WithLabelValues(instance, "error")
+		w.dropped = reg.CounterVec("athena_store_writer_dropped_total",
+			"Documents shed at a full writer queue.", "controller").
+			WithLabelValues(instance)
+		w.retried = reg.CounterVec("athena_store_writer_retries_total",
+			"Failed flush batches re-enqueued for retry.", "controller").
+			WithLabelValues(instance)
 		w.batchDocs = reg.HistogramVec("athena_store_writer_flush_docs",
 			"Documents per flushed batch.", telemetry.SizeBuckets, "controller").
 			WithLabelValues(instance)
@@ -56,6 +73,17 @@ func WithWriterTelemetry(reg *telemetry.Registry, instance string) WriterOption 
 			defer w.mu.Unlock()
 			return float64(len(w.pending))
 		})
+	}
+}
+
+// WithQueueBound caps how many documents may sit unflushed; documents
+// published beyond the bound are dropped (and counted). Zero or
+// negative keeps the default of 16384.
+func WithQueueBound(n int) WriterOption {
+	return func(w *Writer) {
+		if n > 0 {
+			w.maxQueue = n
+		}
 	}
 }
 
@@ -72,6 +100,7 @@ func NewWriter(sink Sink, batchSize int, maxDelay time.Duration, opts ...WriterO
 		sink:      sink,
 		batchSize: batchSize,
 		maxDelay:  maxDelay,
+		maxQueue:  16384,
 		flushCh:   make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -83,46 +112,76 @@ func NewWriter(sink Sink, batchSize int, maxDelay time.Duration, opts ...WriterO
 	return w
 }
 
-// Publish enqueues one document. It never blocks on the network.
+// signalFlush nudges the background flusher without blocking.
+func (w *Writer) signalFlush() {
+	select {
+	case w.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// Publish enqueues one document. It never blocks on the network; at a
+// full queue the document is dropped and counted.
 func (w *Writer) Publish(d Document) {
 	w.mu.Lock()
+	if len(w.pending) >= w.maxQueue {
+		w.mu.Unlock()
+		if w.dropped != nil {
+			w.dropped.Inc()
+		}
+		return
+	}
 	w.pending = append(w.pending, d)
 	full := len(w.pending) >= w.batchSize
 	w.mu.Unlock()
 	if full {
-		select {
-		case w.flushCh <- struct{}{}:
-		default:
-		}
+		w.signalFlush()
 	}
 }
 
 // PublishAll enqueues a batch of documents under one lock acquisition.
-// It never blocks on the network.
+// It never blocks on the network; documents beyond the queue bound are
+// dropped and counted.
 func (w *Writer) PublishAll(docs []Document) {
 	if len(docs) == 0 {
 		return
 	}
 	w.mu.Lock()
-	w.pending = append(w.pending, docs...)
+	space := w.maxQueue - len(w.pending)
+	if space < 0 {
+		space = 0
+	}
+	admitted := docs
+	if len(admitted) > space {
+		admitted = admitted[:space]
+	}
+	w.pending = append(w.pending, admitted...)
 	full := len(w.pending) >= w.batchSize
 	w.mu.Unlock()
+	if shed := len(docs) - len(admitted); shed > 0 && w.dropped != nil {
+		w.dropped.Add(uint64(shed))
+	}
 	if full {
-		select {
-		case w.flushCh <- struct{}{}:
-		default:
-		}
+		w.signalFlush()
 	}
 }
 
-// Err reports the last flush error, if any.
+// QueueDepth reports how many documents sit unflushed.
+func (w *Writer) QueueDepth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// Err reports the most recent flush error; a later successful flush
+// clears it.
 func (w *Writer) Err() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err
 }
 
-// Flush synchronously writes everything pending.
+// Flush synchronously attempts to write everything pending.
 func (w *Writer) Flush() error {
 	w.flushOnce()
 	return w.Err()
@@ -167,14 +226,23 @@ func (w *Writer) flushOnce() {
 		w.batchDocs.Observe(float64(len(batch)))
 	}
 	if err := w.sink.Insert(batch); err != nil {
+		// Keep the batch: it returns to the head of the queue and the
+		// next tick retries (at-least-once; never silently lost).
 		w.mu.Lock()
 		w.err = err
+		w.pending = append(batch, w.pending...)
 		w.mu.Unlock()
 		if w.flushErr != nil {
 			w.flushErr.Inc()
 		}
+		if w.retried != nil {
+			w.retried.Inc()
+		}
 		return
 	}
+	w.mu.Lock()
+	w.err = nil
+	w.mu.Unlock()
 	if w.flushOK != nil {
 		w.flushOK.Inc()
 	}
