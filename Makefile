@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race chaos fuzz-smoke bench bench-compute bench-failover bench-store microbench
+.PHONY: build verify test race chaos fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-detect microbench
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,15 @@ race:
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(MAKE) lint-metrics
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
+
+# Cross-checks the README metric catalogue against the athena_*
+# families registered in the source tree, both directions.
+lint-metrics:
+	$(GO) run ./internal/tools/lintmetrics .
 
 # Fault-injection suites under the race detector: injected conn faults,
 # worker death mid-job, keepalive teardown, one-way gossip partitions,
@@ -65,6 +71,13 @@ bench-failover:
 bench-store:
 	$(GO) run ./cmd/athena-bench -exp store \
 		-store-out BENCH_store.json -store-label "$(LABEL)"
+
+# Appends a labeled detection-latency run (instrumented vs
+# uninstrumented generator throughput + ingress→published p50/p99/p999)
+# to BENCH_detect.json.
+bench-detect:
+	$(GO) run ./cmd/athena-bench -exp detect \
+		-detect-out BENCH_detect.json -detect-label "$(LABEL)"
 
 # The per-op Go benchmarks behind the pipeline numbers.
 microbench:

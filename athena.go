@@ -118,6 +118,10 @@ type (
 	TelemetryFamily = telemetry.Family
 	// TraceRecord is one sampled feature-lifecycle trace.
 	TraceRecord = telemetry.TraceRecord
+	// TraceConfig tunes the stack-wide distributed trace collector.
+	TraceConfig = telemetry.TraceConfig
+	// TraceCollector assembles and retains distributed traces.
+	TraceCollector = telemetry.Collector
 )
 
 // OpenFlow-facing types for application authors (packet processors and
@@ -321,3 +325,14 @@ func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() 
 func WriteTelemetry(w io.Writer, reg *TelemetryRegistry) {
 	ui.WriteTelemetry(w, reg.Gather())
 }
+
+// LogLevel gates the structured logger.
+type LogLevel = telemetry.Level
+
+// ParseLogLevel maps a level name (debug, info, warn, error) to its
+// LogLevel.
+func ParseLogLevel(s string) (LogLevel, error) { return telemetry.ParseLevel(s) }
+
+// SetLogLevel adjusts the process-wide default logger's minimum level
+// (the `athenad -log-level` gate).
+func SetLogLevel(min LogLevel) { telemetry.SetLogLevel(min) }

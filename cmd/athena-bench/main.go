@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|all")
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|detect|all")
 		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
 		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
 		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
@@ -61,6 +61,12 @@ func main() {
 		stInsert = flag.Int("store-insert-docs", 20_000, "store: insert-throughput segment size")
 		stOut    = flag.String("store-out", "", "store: append a labeled run to this JSON log (e.g. BENCH_store.json)")
 		stLabel  = flag.String("store-label", "current", "store: label for the appended run")
+
+		detMsgs   = flag.Int("detect-msgs", 200_000, "detect: messages per generator overhead segment")
+		detE2E    = flag.Int("detect-e2e", 8_000, "detect: synchronous publishes for the latency distribution")
+		detSample = flag.Int("detect-sample", 128, "detect: trace sampling period (1/N) for the instrumented arm")
+		detOut    = flag.String("detect-out", "", "detect: append a labeled run to this JSON log (e.g. BENCH_detect.json)")
+		detLabel  = flag.String("detect-label", "current", "detect: label for the appended run")
 	)
 	flag.Parse()
 	pcfg := pipelineFlags{
@@ -79,7 +85,11 @@ func main() {
 		Docs: *stDocs, Cardinality: *stCard, InsertDocs: *stInsert,
 		Out: *stOut, Label: *stLabel,
 	}
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg, scfg); err != nil {
+	dcfg := detectFlags{
+		Messages: *detMsgs, E2EMessages: *detE2E, SampleEvery: *detSample,
+		Out: *detOut, Label: *detLabel,
+	}
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg, scfg, dcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
@@ -121,7 +131,16 @@ type storeFlags struct {
 	Label       string
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags, scfg storeFlags) error {
+// detectFlags carries the -detect-* command-line knobs.
+type detectFlags struct {
+	Messages    int
+	E2EMessages int
+	SampleEvery int
+	Out         string
+	Label       string
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags, scfg storeFlags, dcfg detectFlags) error {
 	// One shared registry across all experiments: the dump then reads
 	// like a scrape of a deployment that ran the whole evaluation.
 	var reg *telemetry.Registry
@@ -131,7 +150,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store", "detect"} {
 			todo[e] = true
 		}
 	} else {
@@ -298,6 +317,24 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 				return fmt.Errorf("store log: %w", err)
 			}
 			fmt.Printf("store run %q appended to %s\n", scfg.Label, scfg.Out)
+		}
+		fmt.Println()
+	}
+	if todo["detect"] {
+		r, err := bench.RunDetect(bench.DetectConfig{
+			Messages:    dcfg.Messages,
+			E2EMessages: dcfg.E2EMessages,
+			SampleEvery: dcfg.SampleEvery,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteDetectReport(os.Stdout, r)
+		if dcfg.Out != "" {
+			if err := bench.AppendDetectJSON(dcfg.Out, dcfg.Label, r); err != nil {
+				return fmt.Errorf("detect log: %w", err)
+			}
+			fmt.Printf("detect run %q appended to %s\n", dcfg.Label, dcfg.Out)
 		}
 		fmt.Println()
 	}

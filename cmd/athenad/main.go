@@ -30,16 +30,25 @@ func main() {
 		noTopo      = flag.Bool("no-topology", false, "skip the demo data plane")
 		hostsPer    = flag.Int("hosts-per-edge", 1, "hosts per edge switch")
 		seed        = flag.Int64("seed", 1, "traffic seed")
-		opsAddr     = flag.String("ops-addr", "", "ops HTTP server address (/metrics, /healthz, /debug/vars, /traces, /debug/pprof/); empty disables")
+		opsAddr     = flag.String("ops-addr", "", "ops HTTP server address (/metrics, /healthz, /statusz, /debug/vars, /traces, /debug/pprof/); empty disables")
+		logLevel    = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		traceEvery  = flag.Int("trace-sample", 128, "distributed tracing: sample 1 in N PacketIns (0 disables)")
+		traceSlow   = flag.Duration("trace-slow", 25*time.Millisecond, "distributed tracing: retain traces at least this slow")
 	)
 	flag.Parse()
-	if err := run(*controllers, *storeNodes, *workers, *duration, !*noTopo, *hostsPer, *seed, *opsAddr); err != nil {
+	lvl, err := athena.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "athenad:", err)
+		os.Exit(2)
+	}
+	athena.SetLogLevel(lvl)
+	if err := run(*controllers, *storeNodes, *workers, *duration, !*noTopo, *hostsPer, *seed, *opsAddr, *traceEvery, *traceSlow); err != nil {
 		fmt.Fprintln(os.Stderr, "athenad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(controllers, storeNodes, workers int, duration time.Duration, topo bool, hostsPer int, seed int64, opsAddr string) error {
+func run(controllers, storeNodes, workers int, duration time.Duration, topo bool, hostsPer int, seed int64, opsAddr string, traceEvery int, traceSlow time.Duration) error {
 	stack, err := athena.NewStack(athena.StackConfig{
 		Controllers:    controllers,
 		StoreNodes:     storeNodes,
@@ -52,6 +61,10 @@ func run(controllers, storeNodes, workers int, duration time.Duration, topo bool
 		},
 		Controller: athena.ControllerConfig{
 			KeepaliveInterval: 5 * time.Second,
+		},
+		Tracing: athena.TraceConfig{
+			SampleEvery:   traceEvery,
+			SlowThreshold: traceSlow,
 		},
 		OpsAddr: opsAddr,
 	})

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/core"
+	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/telemetry"
+	"github.com/athena-sdn/athena/internal/ui"
+)
+
+// DetectConfig parameterizes the detection-latency experiment: the
+// tracing-overhead measurement on the generator fast path plus the
+// ingress→published latency distribution through a real store node.
+type DetectConfig struct {
+	// Messages per generator segment (default 200_000).
+	Messages int
+	// E2EMessages is the number of synchronous publish round trips
+	// sampled for the latency distribution (default 8_000).
+	E2EMessages int
+	// SampleEvery is the distributed-tracing sampling period used for
+	// the instrumented segments (default 128).
+	SampleEvery int
+}
+
+func (c DetectConfig) withDefaults() DetectConfig {
+	if c.Messages <= 0 {
+		c.Messages = 200_000
+	}
+	if c.E2EMessages <= 0 {
+		c.E2EMessages = 8_000
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 128
+	}
+	return c
+}
+
+// DetectResult is one measured run of the detection-latency experiment.
+type DetectResult struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+
+	Config DetectConfig `json:"config"`
+
+	// UninstrumentedMsgsPerSec is generator throughput with distributed
+	// tracing off (no sampler, zero trace context).
+	UninstrumentedMsgsPerSec float64 `json:"uninstrumented_msgs_per_sec"`
+	// InstrumentedMsgsPerSec is the same workload with the ingress
+	// sampler live at 1/SampleEvery and the context riding every message.
+	InstrumentedMsgsPerSec float64 `json:"instrumented_msgs_per_sec"`
+	// TracingOverheadPct is the relative throughput cost of tracing
+	// ((uninstrumented - instrumented) / uninstrumented × 100).
+	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
+
+	// Ingress→published latency distribution over E2EMessages
+	// synchronous publishes into a real store node (milliseconds).
+	E2EP50Ms  float64 `json:"e2e_p50_ms"`
+	E2EP99Ms  float64 `json:"e2e_p99_ms"`
+	E2EP999Ms float64 `json:"e2e_p999_ms"`
+	// E2ESamples is the number of round trips behind the percentiles.
+	E2ESamples int `json:"e2e_samples"`
+}
+
+// RunDetect measures detection-path latency and tracing overhead.
+func RunDetect(cfg DetectConfig) (DetectResult, error) {
+	cfg = cfg.withDefaults()
+	res := DetectResult{
+		Label:     "current",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config:    cfg,
+	}
+	now := time.Now()
+
+	// Segment 1: generator throughput with tracing off vs on. Each round
+	// times both arms back-to-back so the pair sees the same machine
+	// state; the per-round overhead ratios are then reduced by median,
+	// which is robust against load drifting across rounds. The first
+	// round is a discarded warmup, and a forced GC before each timed
+	// loop keeps collector garbage from bleeding into the other arm.
+	const rounds = 9 // first round is warmup, discarded
+	msgs := prebuildPacketIns(1, cfg.Messages/(rounds-1), now)
+	var plainDurs, tracedDurs []time.Duration
+	var ratios []float64
+	for r := 0; r < rounds; r++ {
+		gen := core.NewGenerator(core.GeneratorConfig{})
+		runtime.GC()
+		start := time.Now()
+		for i := range msgs {
+			gen.Process(msgs[i])
+		}
+		plain := time.Since(start)
+
+		gen = core.NewGenerator(core.GeneratorConfig{})
+		col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: cfg.SampleEvery})
+		runtime.GC()
+		start = time.Now()
+		for i := range msgs {
+			m := msgs[i]
+			m.Trace = col.StartTrace(m.Time)
+			gen.Process(m)
+			col.FinishTrace(m.Trace)
+		}
+		traced := time.Since(start)
+
+		if r == 0 {
+			continue
+		}
+		plainDurs = append(plainDurs, plain)
+		tracedDurs = append(tracedDurs, traced)
+		ratios = append(ratios, float64(traced)/float64(plain))
+	}
+	n := float64(len(msgs))
+	res.UninstrumentedMsgsPerSec = n / medianDur(plainDurs).Seconds()
+	res.InstrumentedMsgsPerSec = n / medianDur(tracedDurs).Seconds()
+	res.TracingOverheadPct = 100 * (medianFloat(ratios) - 1)
+
+	// Segment 2: ingress→published distribution. Synchronous publishes
+	// into a real store node over the AS wire protocol, handled inline so
+	// each injection returns when the insert is applied — the measured
+	// interval is exactly the ingress→published stage of the e2e SLO.
+	node, err := store.NewNode("")
+	if err != nil {
+		return res, fmt.Errorf("detect store node: %w", err)
+	}
+	defer node.Close()
+	proxy := &pipeProxy{}
+	col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: cfg.SampleEvery})
+	inst, err := core.New(core.Config{
+		Proxy:      proxy,
+		StoreAddrs: []string{node.Addr()},
+		Southbound: core.SouthboundConfig{Publish: core.PublishSync},
+		Tracing:    col,
+	})
+	if err != nil {
+		return res, fmt.Errorf("detect southbound: %w", err)
+	}
+	defer inst.Close()
+
+	e2e := prebuildPacketIns(2, cfg.E2EMessages, now)
+	durs := make([]time.Duration, 0, len(e2e))
+	for i := range e2e {
+		m := e2e[i]
+		start := time.Now()
+		m.Time = start
+		proxy.inject(m)
+		durs = append(durs, time.Since(start))
+	}
+	res.E2ESamples = len(durs)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	res.E2EP50Ms = percentileMs(durs, 0.50)
+	res.E2EP99Ms = percentileMs(durs, 0.99)
+	res.E2EP999Ms = percentileMs(durs, 0.999)
+	return res, nil
+}
+
+func medianDur(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+func medianFloat(fs []float64) float64 {
+	sorted := append([]float64(nil), fs...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+// percentileMs reads quantile q from sorted durations, in milliseconds.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// detectRuns is the on-disk shape of BENCH_detect.json: an append-only
+// log of labeled runs, so before/after evidence lives in one file.
+type detectRuns struct {
+	Runs []DetectResult `json:"runs"`
+}
+
+// AppendDetectJSON appends one labeled run to path (creating it when
+// absent) and pretty-prints the whole log.
+func AppendDetectJSON(path, label string, r DetectResult) error {
+	r.Label = label
+	var log detectRuns
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &log)
+	}
+	log.Runs = append(log.Runs, r)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteDetectReport prints one run: the tracing-overhead pair and the
+// ingress→published percentile table.
+func WriteDetectReport(w io.Writer, r DetectResult) {
+	fmt.Fprintf(w, "DETECT — detection-latency SLO (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.MaxProcs)
+	fmt.Fprintf(w, "  generator uninstrumented %12.0f msgs/s\n", r.UninstrumentedMsgsPerSec)
+	fmt.Fprintf(w, "  generator traced 1/%-6d %12.0f msgs/s  (overhead %.2f%%)\n",
+		r.Config.SampleEvery, r.InstrumentedMsgsPerSec, r.TracingOverheadPct)
+	fmt.Fprintf(w, "  ingress→published latency over %d sync publishes:\n", r.E2ESamples)
+	ui.Table(w, []string{"quantile", "latency"}, [][]string{
+		{"p50", fmt.Sprintf("%.3f ms", r.E2EP50Ms)},
+		{"p99", fmt.Sprintf("%.3f ms", r.E2EP99Ms)},
+		{"p999", fmt.Sprintf("%.3f ms", r.E2EP999Ms)},
+	})
+}

@@ -347,6 +347,11 @@ type Driver struct {
 	stats   TransportStats
 	fstats  FailoverStats
 
+	// tracing/jobTC stitch dispatched tasks into a distributed trace
+	// (SetJobTrace); jobTC is guarded by mu.
+	tracing *telemetry.Collector
+	jobTC   telemetry.TraceCtx
+
 	// Set by WithDriverTelemetry; nil fields mean unobserved.
 	inflight   *telemetry.Gauge
 	rounds     *telemetry.Counter
@@ -403,6 +408,12 @@ func WithDriverTelemetry(reg *telemetry.Registry) DriverOption {
 				return float64(len(d.aliveIdx()))
 			})
 	}
+}
+
+// WithDriverTracing records dispatch spans on col and propagates trace
+// contexts (SetJobTrace) to workers on the task wire header.
+func WithDriverTracing(col *telemetry.Collector) DriverOption {
+	return func(d *Driver) { d.tracing = col }
 }
 
 // WithFailover overrides the driver's failure-handling policy.
@@ -685,6 +696,9 @@ func (d *Driver) gather(name, op string, reqFn func(part int) taskRequest) ([]ta
 	}
 	resps := make([]taskResponse, nparts)
 	elapsed := make([]int64, len(d.workers))
+	tc := d.jobTrace()
+	dispatch := time.Now()
+	wire := tc.Wire(dispatch)
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -700,7 +714,9 @@ func (d *Driver) gather(name, op string, reqFn func(part int) taskRequest) ([]ta
 			if d.inflight != nil {
 				defer d.inflight.Dec()
 			}
-			resp, widx, err := d.runTask(name, part, reqFn(part))
+			req := reqFn(part)
+			req.TC = wire
+			resp, widx, err := d.runTask(name, part, req)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -727,6 +743,9 @@ func (d *Driver) gather(name, op string, reqFn func(part int) taskRequest) ([]ta
 		for _, r := range resps {
 			d.kernelTime.WithLabelValues(op).Observe(time.Duration(r.ElapsedNS).Seconds())
 		}
+	}
+	if d.tracing != nil && tc.Sampled() {
+		d.tracing.RecordSpan(tc, "compute", "dispatch:"+op, dispatch, time.Since(dispatch))
 	}
 	return resps, makespan, nil
 }
@@ -760,6 +779,24 @@ func (d *Driver) runTask(name string, part int, req taskRequest) (taskResponse, 
 	}
 }
 
+// SetJobTrace stitches the next Train/Validate call into an existing
+// distributed trace: every task the job dispatches carries the context
+// on its wire header, so worker kernel spans attach to the trace that
+// began at PacketIn ingress. The context is consumed when the job
+// completes. Concurrent jobs share whatever context is current — an
+// acceptable imprecision for diagnostics.
+func (d *Driver) SetJobTrace(tc telemetry.TraceCtx) {
+	d.mu.Lock()
+	d.jobTC = tc
+	d.mu.Unlock()
+}
+
+func (d *Driver) jobTrace() telemetry.TraceCtx {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.jobTC
+}
+
 // Train implements Engine. K-Means and the gradient-descent family
 // (logistic regression, linear SVM, linear/ridge regression) run truly
 // distributed (broadcast-aggregate rounds); the remaining algorithms
@@ -768,6 +805,7 @@ func (d *Driver) runTask(name string, part int, req taskRequest) (taskResponse, 
 // every worker is lost mid-job the distributed paths degrade to
 // in-process ml.Train unless DisableLocalFallback is set.
 func (d *Driver) Train(name, algo string, p ml.Params) (*ml.Model, error) {
+	defer d.SetJobTrace(telemetry.TraceCtx{})
 	var (
 		m   *ml.Model
 		err error
@@ -990,6 +1028,7 @@ func (d *Driver) trainGD(name, algo string, p ml.Params) (*ml.Model, error) {
 // confusion matrices and cluster compositions, degrading to in-process
 // validation when no workers remain.
 func (d *Driver) Validate(name string, m *ml.Model) (ml.Confusion, []ml.ClusterComposition, error) {
+	defer d.SetJobTrace(telemetry.TraceCtx{})
 	blob, err := m.Marshal()
 	if err != nil {
 		return ml.Confusion{}, nil, err

@@ -1,0 +1,155 @@
+package compute
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// legacyTaskRequest mirrors the pre-trace-context AF control header (no
+// tc field); encoding against it pins compatibility in both directions.
+type legacyTaskRequest struct {
+	Op          string `json:"op"`
+	Name        string `json:"name,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+}
+
+func testTraceCtx() telemetry.TraceCtx {
+	return telemetry.TraceCtx{
+		TraceID: telemetry.NewTraceID(),
+		SpanID:  telemetry.NewSpanID(),
+		Ingress: time.Now().UnixNano(),
+	}
+}
+
+// TestTaskRequestTCCompat pins the AF control-frame trace field:
+// new→new round trip, new→old ignored, old→new absent.
+func TestTaskRequestTCCompat(t *testing.T) {
+	wire := testTraceCtx().Wire(time.Now())
+
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, frameJSON, mustJSON(t, taskRequest{Op: opPing, TC: wire})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf)
+	if err != nil || typ != frameJSON {
+		t.Fatalf("read frame: %v (type %d)", err, typ)
+	}
+	var got taskRequest
+	if err := json.Unmarshal(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TC != wire {
+		t.Fatalf("TC = %q, want %q", got.TC, wire)
+	}
+	if _, _, ok := telemetry.ParseWireCtx(got.TC); !ok {
+		t.Fatal("carried context does not parse")
+	}
+
+	// New driver → old worker.
+	var old legacyTaskRequest
+	if err := json.Unmarshal(mustJSON(t, taskRequest{Op: opDrop, Name: "x", TC: wire}), &old); err != nil {
+		t.Fatalf("old worker rejected traced request: %v", err)
+	}
+	if old.Op != opDrop || old.Name != "x" {
+		t.Fatalf("legacy decode mangled request: %+v", old)
+	}
+
+	// Old driver → new worker.
+	got = taskRequest{}
+	if err := json.Unmarshal(mustJSON(t, legacyTaskRequest{Op: opPing}), &got); err != nil {
+		t.Fatalf("new worker rejected legacy request: %v", err)
+	}
+	if got.TC != "" {
+		t.Fatalf("legacy request decoded with TC %q", got.TC)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDriverWorkerTraceStitch runs a real distributed training round
+// with a job trace attached and checks both halves: the driver records
+// the dispatch span and the worker records the kernel span, stitched
+// under one trace ID across the AF protocol.
+func TestDriverWorkerTraceStitch(t *testing.T) {
+	col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour})
+	reg := telemetry.NewRegistry()
+	w, err := NewWorker("", WithWorkerTelemetry(reg), WithWorkerTracing(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	d, err := NewDriver([]string{w.Addr()}, WithDriverTracing(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ds := &ml.Dataset{Names: []string{"a", "b"}}
+	for i := 0; i < 64; i++ {
+		ds.X = append(ds.X, []float64{float64(i % 7), float64(i % 3)})
+	}
+	if err := d.LoadDataset("traced", ds); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.DropDataset("traced") }()
+
+	tc := testTraceCtx()
+	d.SetJobTrace(tc)
+	if _, err := d.Train("traced", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, ok := col.Lookup(tc.TraceID.String())
+	if !ok {
+		t.Fatalf("trace %s not assembled", tc.TraceID)
+	}
+	var haveDispatch, haveKernel bool
+	for _, sp := range rec.Spans {
+		if sp.Component != "compute" {
+			continue
+		}
+		switch {
+		case len(sp.Name) > 9 && sp.Name[:9] == "dispatch:":
+			haveDispatch = true
+		case len(sp.Name) > 7 && sp.Name[:7] == "kernel:":
+			haveKernel = true
+		}
+	}
+	if !haveDispatch || !haveKernel {
+		t.Fatalf("spans = %+v, want compute dispatch and kernel spans", rec.Spans)
+	}
+
+	// The job context is one-shot: a second train must not attach.
+	before := len(rec.Spans)
+	if _, err := d.Train("traced", ml.AlgoKMeans, ml.Params{K: 2, Iterations: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := col.Lookup(tc.TraceID.String())
+	if len(after.Spans) != before {
+		t.Fatalf("untraced second job attached spans: %d -> %d", before, len(after.Spans))
+	}
+
+	snap := reg.Snapshot()
+	found := false
+	for k := range snap {
+		if len(k) > len("athena_e2e_dispatch_to_kernel_seconds") &&
+			k[:len("athena_e2e_dispatch_to_kernel_seconds")] == "athena_e2e_dispatch_to_kernel_seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dispatch_to_kernel histogram missing from %v", snap)
+	}
+}

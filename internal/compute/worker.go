@@ -81,6 +81,12 @@ type taskRequest struct {
 	// (<= 0: GOMAXPROCS). Kernel results are bit-identical at every
 	// setting (see internal/ml parallel-reduce invariants).
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// TC is an optional trace context (telemetry.TraceCtx wire form)
+	// stitching this task into the dispatching job's distributed trace.
+	// Version-tolerant both directions: old workers ignore the unknown
+	// JSON field, old drivers never send it.
+	TC string `json:"tc,omitempty"`
 }
 
 // taskResponse is the worker->driver wire format (JSON frame).
@@ -132,9 +138,11 @@ type Worker struct {
 	conns  map[net.Conn]struct{}
 
 	tele      *telemetry.Registry
+	tracing   *telemetry.Collector
 	tasks     *telemetry.CounterVec
 	taskTime  *telemetry.HistogramVec
 	cacheHits *telemetry.CounterVec
+	e2eKernel *telemetry.HistogramVec
 
 	wg sync.WaitGroup
 }
@@ -145,6 +153,12 @@ type WorkerOption func(*Worker)
 // WithWorkerTelemetry registers the worker's task metrics on reg.
 func WithWorkerTelemetry(reg *telemetry.Registry) WorkerOption {
 	return func(w *Worker) { w.tele = reg }
+}
+
+// WithWorkerTracing stitches traced tasks (TC header field) into col as
+// compute-kernel spans.
+func WithWorkerTracing(col *telemetry.Collector) WorkerOption {
+	return func(w *Worker) { w.tracing = col }
 }
 
 // NewWorker starts a worker listening on addr (empty picks an ephemeral
@@ -176,6 +190,9 @@ func NewWorker(addr string, opts ...WorkerOption) (*Worker, error) {
 		"Measured on-worker task compute time.", nil, "worker", "op")
 	w.cacheHits = w.tele.CounterVec("athena_compute_worker_cache_hits_total",
 		"Dataset loads satisfied by the worker's content-addressed cache.", "worker")
+	w.e2eKernel = w.tele.HistogramVec("athena_e2e_dispatch_to_kernel_seconds",
+		"Latency from driver dispatch of a traced task to kernel completion on the worker.",
+		nil, "worker", "op")
 	w.tele.GaugeVec("athena_compute_datasets",
 		"Dataset partitions resident on a worker.", "worker").
 		WithLabelValues(w.Addr()).Func(func() float64 {
@@ -296,6 +313,17 @@ func (w *Worker) execute(req taskRequest, br *bufio.Reader, bw *bufio.Writer) (t
 	resp.ElapsedNS = elapsed.Nanoseconds()
 	w.tasks.WithLabelValues(w.Addr(), req.Op).Inc()
 	w.taskTime.WithLabelValues(w.Addr(), req.Op).Observe(elapsed.Seconds())
+	if req.TC != "" && w.tracing != nil {
+		if tc, send, ok := telemetry.ParseWireCtx(req.TC); ok {
+			lag := time.Since(send)
+			if lag < 0 {
+				lag = 0
+			}
+			w.e2eKernel.WithLabelValues(w.Addr(), req.Op).
+				ObserveExemplar(lag.Seconds(), tc.TraceID.String())
+			w.tracing.RecordSpan(tc, "compute", "kernel:"+req.Op, send, lag)
+		}
+	}
 	return resp, fatal
 }
 

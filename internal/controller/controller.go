@@ -9,7 +9,6 @@ package controller
 
 import (
 	"fmt"
-	"log"
 	"net"
 	"sort"
 	"sync"
@@ -68,6 +67,12 @@ type Config struct {
 	// private registry (per-instance counts still work, nothing scrapes
 	// them).
 	Telemetry *telemetry.Registry
+	// Tracing samples distributed traces at control-message ingress and
+	// collects dispatch spans; nil disables distributed tracing.
+	Tracing *telemetry.Collector
+	// Logger receives the instance's structured log output; nil selects
+	// telemetry.DefaultLogger().
+	Logger *telemetry.Logger
 }
 
 // ControlMessage is one southbound event delivered to message listeners
@@ -82,6 +87,10 @@ type ControlMessage struct {
 	// variation features can be computed against a known polling cadence.
 	Marked bool
 	Msg    openflow.Message
+	// Trace is the distributed trace context minted at ingress: zero
+	// when the controller has no collector, decided-but-unsampled for
+	// most messages, sampled for one of every Tracing.SampleEvery.
+	Trace telemetry.TraceCtx
 }
 
 // MessageListener consumes southbound control messages. Listeners run
@@ -125,6 +134,8 @@ type Controller struct {
 	counters Counters
 
 	tele    *telemetry.Registry
+	tracing *telemetry.Collector
+	log     *telemetry.Logger
 	metrics ctrlMetrics
 
 	stop chan struct{}
@@ -229,6 +240,12 @@ func New(cfg Config) (*Controller, error) {
 	if c.tele == nil {
 		c.tele = telemetry.NewRegistry()
 	}
+	c.tracing = cfg.Tracing
+	lg := cfg.Logger
+	if lg == nil {
+		lg = telemetry.DefaultLogger()
+	}
+	c.log = lg.Named("controller")
 	c.metrics = newCtrlMetrics(c.tele, c.id)
 	c.tele.GaugeVec("athena_controller_sessions_active",
 		"Switch control sessions currently open.", "controller").
@@ -366,7 +383,7 @@ func (c *Controller) AddMessageListener(fn MessageListener) {
 func (c *Controller) runProcessor(p registeredProcessor, ctx *PacketContext) {
 	defer func() {
 		if r := recover(); r != nil {
-			c.logf("processor %s panicked: %v", p.appID, r)
+			c.log.Error("processor panicked", "id", c.id, "app", p.appID, "panic", r)
 		}
 	}()
 	p.proc(ctx)
@@ -380,7 +397,7 @@ func (c *Controller) emit(msg ControlMessage) {
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					c.logf("message listener panicked: %v", r)
+					c.log.Error("message listener panicked", "id", c.id, "panic", r)
 				}
 			}()
 			fn(msg)
@@ -421,6 +438,3 @@ func (c *Controller) session(dpid uint64) *session {
 	return c.sessions[dpid]
 }
 
-func (c *Controller) logf(format string, args ...any) {
-	log.Printf("controller %s: "+format, append([]any{c.id}, args...)...)
-}

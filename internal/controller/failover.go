@@ -34,7 +34,7 @@ func (c *Controller) keepaliveLoop(s *session) {
 		case <-ticker.C:
 			if time.Since(s.lastSeen()) > timeout {
 				c.metrics.keepaliveTimeouts.Inc()
-				c.logf("switch %d missed keepalive deadline (%v); closing session", s.dpid, timeout)
+				c.log.Warn("switch missed keepalive deadline; closing session", "id", c.id, "dpid", s.dpid, "timeout", timeout)
 				s.close()
 				return
 			}
@@ -101,5 +101,5 @@ func (c *Controller) teardownSession(s *session) {
 			},
 		})
 	}
-	c.logf("switch %d session dead: state purged, %d ports retired", s.dpid, len(rec.Ports))
+	c.log.Warn("switch session dead; state purged", "id", c.id, "dpid", s.dpid, "ports_retired", len(rec.Ports))
 }

@@ -133,8 +133,14 @@ func (c *Controller) serveSwitch(nc net.Conn) {
 func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 	c := s.ctrl
 	now := time.Now()
+	// Ingress is the distributed-trace root: the sampling decision is
+	// made here (one atomic add when unsampled) and the context rides
+	// the ControlMessage through the feature pipeline and both wire
+	// protocols.
+	tc := c.tracing.StartTrace(now)
 	c.metrics.rx.WithLabelValues(c.id, rxType(msg)).Inc()
 	defer c.metrics.dispatchTimer.Observe()()
+	defer c.tracing.StartSpan(tc, "controller", "dispatch")()
 	switch m := msg.(type) {
 	case *openflow.Hello:
 		return
@@ -167,7 +173,11 @@ func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 	case *openflow.PortStatus:
 		// Fall through to listener delivery; topology reacts lazily.
 	case *openflow.ErrorMsg:
-		c.logf("switch %d error type=%d code=%d", s.dpid, m.ErrType, m.Code)
+		kv := []any{"id", c.id, "dpid", s.dpid, "err_type", m.ErrType, "err_code", m.Code}
+		if tc.Sampled() {
+			kv = append(kv, "trace", tc.TraceID)
+		}
+		c.log.Warn("switch reported error", kv...)
 	}
 
 	c.emit(ControlMessage{
@@ -177,6 +187,7 @@ func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 		XID:          h.XID,
 		Marked:       c.consumeMarkedXID(s.dpid, h.XID),
 		Msg:          msg,
+		Trace:        tc,
 	})
 }
 

@@ -253,6 +253,21 @@ func (dm *DetectorManager) bindTelemetry(reg *telemetry.Registry) {
 		"Accounted analysis job time, by kind.", nil, "kind")
 }
 
+// jobTracer is implemented by engines that can attribute their next
+// dispatch round to a distributed trace (the compute driver).
+type jobTracer interface {
+	SetJobTrace(telemetry.TraceCtx)
+}
+
+// TraceNextJob attributes the next Train/Validate dispatched to the
+// compute cluster to tc. No-op when the cluster engine does not carry
+// trace contexts (local engine, nil cluster).
+func (dm *DetectorManager) TraceNextJob(tc telemetry.TraceCtx) {
+	if jt, ok := dm.cluster.(jobTracer); ok {
+		jt.SetJobTrace(tc)
+	}
+}
+
 func (dm *DetectorManager) engineFor(rows int) (compute.Engine, bool) {
 	if dm.cluster != nil && rows >= dm.DistributedThreshold {
 		return dm.cluster, true

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/athena-sdn/athena/internal/telemetry"
+
 	"github.com/athena-sdn/athena/internal/store"
 )
 
@@ -111,6 +113,11 @@ type Feature struct {
 	// Cookie is the flow rule that produced a flow-scoped record (zero
 	// when unknown); the SB element resolves it to AppID.
 	Cookie uint64
+	// Trace is the distributed trace context of the control message this
+	// feature derives from (zero when tracing is off or unsampled). It
+	// rides the fast path as a plain value copy and never enters the
+	// store Document.
+	Trace telemetry.TraceCtx
 
 	// vals is dense by FeatureID; NaN means absent. Field values are
 	// feature measurements (counts, ratios, durations), for which NaN

@@ -337,6 +337,7 @@ func (g *Generator) packetIn(dst []*Feature, msg controller.ControlMessage, m *o
 		FlowKey:      keyStr,
 		Time:         msg.Time,
 		Origin:       OriginPacketIn,
+		Trace:        msg.Trace,
 		Cookie:       m.Cookie,
 	}
 	f.Set(idPacketInLen, float64(m.TotalLen))
@@ -363,6 +364,7 @@ func (g *Generator) flowStats(dst []*Feature, msg controller.ControlMessage, m *
 			FlowKey:      keyStr,
 			Time:         msg.Time,
 			Origin:       OriginFlowStats,
+			Trace:        msg.Trace,
 			Cookie:       fs.Cookie,
 		}
 		f.Set(idPacketCount, float64(fs.PacketCount))
@@ -397,6 +399,7 @@ func (g *Generator) portStats(dst []*Feature, msg controller.ControlMessage, m *
 			Port:         ps.PortNo,
 			Time:         msg.Time,
 			Origin:       OriginPortStats,
+			Trace:        msg.Trace,
 		}
 		f.Set(idPortRxPackets, float64(ps.RxPackets))
 		f.Set(idPortTxPackets, float64(ps.TxPackets))
@@ -423,6 +426,7 @@ func (g *Generator) flowRemoved(dst []*Feature, msg controller.ControlMessage, m
 		DPID:         msg.DPID,
 		Time:         msg.Time,
 		Origin:       OriginFlowRemoved,
+		Trace:        msg.Trace,
 		Cookie:       m.Cookie,
 	}
 	f.Set(idPacketCount, float64(m.PacketCount))

@@ -33,6 +33,9 @@ type Config struct {
 	// detector, compute driver, store writer); nil keeps them on private
 	// registries.
 	Telemetry *telemetry.Registry
+	// Tracing is the distributed trace collector shared across the stack;
+	// nil disables distributed tracing for this instance.
+	Tracing *telemetry.Collector
 }
 
 // Athena is one framework instance hosted above a controller, exporting
@@ -82,6 +85,9 @@ func New(cfg Config) (*Athena, error) {
 		if cfg.Telemetry != nil {
 			dopts = append(dopts, compute.WithDriverTelemetry(cfg.Telemetry))
 		}
+		if cfg.Tracing != nil {
+			dopts = append(dopts, compute.WithDriverTracing(cfg.Tracing))
+		}
 		drv, err := compute.NewDriver(cfg.ComputeAddrs, dopts...)
 		if err != nil {
 			if a.storeCl != nil {
@@ -105,6 +111,9 @@ func New(cfg Config) (*Athena, error) {
 	sbcfg := cfg.Southbound
 	if sbcfg.Telemetry == nil {
 		sbcfg.Telemetry = cfg.Telemetry
+	}
+	if sbcfg.Tracing == nil {
+		sbcfg.Tracing = cfg.Tracing
 	}
 	a.sb = NewSouthbound(cfg.Proxy, sink, sbcfg)
 	a.sb.AddFeatureListener(a.dispatch)

@@ -77,6 +77,12 @@ type SouthboundConfig struct {
 	// TraceSample records one feature-lifecycle trace per this many
 	// control messages; zero or negative disables tracing.
 	TraceSample int
+	// Tracing is the distributed trace collector shared with the
+	// controller, store nodes, and compute workers; nil disables
+	// distributed tracing at the SB element. When the proxy attaches no
+	// context (no controller collector), the SB element makes the
+	// sampling decision itself.
+	Tracing *telemetry.Collector
 }
 
 // sbScratch is the per-worker reusable buffer set for one process
@@ -108,11 +114,14 @@ type Southbound struct {
 
 	scratch sync.Pool // *sbScratch, inline mode
 
-	pubOK       *telemetry.Counter
-	pubErr      *telemetry.Counter
-	dropped     *telemetry.Counter
-	handleTimer telemetry.Timer
-	tracer      *telemetry.Tracer
+	pubOK        *telemetry.Counter
+	pubErr       *telemetry.Counter
+	dropped      *telemetry.Counter
+	handleTimer  telemetry.Timer
+	tracer       *telemetry.Tracer
+	tracing      *telemetry.Collector
+	e2eFeature   *telemetry.Histogram
+	e2ePublished *telemetry.Histogram
 
 	stop chan struct{}
 	done chan struct{}
@@ -158,10 +167,18 @@ func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbou
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	sb.tracing = cfg.Tracing
+	sb.e2eFeature = reg.HistogramVec("athena_e2e_ingress_to_feature_seconds",
+		"Latency from control-message ingress to feature vectors generated.",
+		nil, "controller").WithLabelValues(proxy.ID())
+	sb.e2ePublished = reg.HistogramVec("athena_e2e_feature_to_published_seconds",
+		"Latency from feature emission to publish completion (sync insert or batched flush).",
+		nil, "controller").WithLabelValues(proxy.ID())
 	sb.scratch.New = func() any { return &sbScratch{} }
 	if mode == PublishBatched {
 		sb.writer = store.NewWriter(sink, cfg.BatchSize, cfg.BatchDelay,
 			store.WithWriterTelemetry(reg, proxy.ID()),
+			store.WithWriterTracing(cfg.Tracing),
 			store.WithQueueBound(cfg.WriterQueueBound))
 	}
 	if cfg.Workers > 0 {
@@ -327,13 +344,29 @@ func (sb *Southbound) process(msg controller.ControlMessage, sc *sbScratch) {
 	tr := sb.tracer.Start("feature_lifecycle")
 	defer tr.Finish()
 
+	// Distributed trace context: the controller decides sampling at
+	// ingress; a proxy without a collector leaves the context undecided
+	// and the SB element rolls the dice instead.
+	tc := msg.Trace
+	if !tc.Decided() && sb.tracing != nil {
+		tc = sb.tracing.StartTrace(msg.Time)
+		msg.Trace = tc
+	}
+	defer sb.tracing.FinishTrace(tc)
+
 	endGen := tr.Span("generate")
+	endGenSpan := sb.tracing.StartSpan(tc, "southbound", "generate")
 	features := sb.gen.ProcessAppend(sc.feats[:0], msg)
+	endGenSpan()
 	endGen()
 	sc.feats = features[:0]
+	if len(features) > 0 {
+		sb.e2eFeature.ObserveExemplar(time.Since(msg.Time).Seconds(), exemplarID(tc))
+	}
 	if len(features) == 0 {
 		return
 	}
+	featReady := time.Now()
 	defer clearFeats(features)
 	// Attribute flow-scoped records to their owning application: each
 	// feature carries the cookie of the rule that produced it.
@@ -346,6 +379,7 @@ func (sb *Southbound) process(msg controller.ControlMessage, sc *sbScratch) {
 	}
 
 	endPub := tr.Span("publish")
+	endPubSpan := sb.tracing.StartSpan(tc, "southbound", "publish")
 	switch sb.mode {
 	case PublishSync:
 		docs := sc.docs[:0]
@@ -353,10 +387,11 @@ func (sb *Southbound) process(msg controller.ControlMessage, sc *sbScratch) {
 			docs = append(docs, f.Document())
 		}
 		sc.docs = docs[:0]
-		if err := sb.sink.Insert(docs); err != nil {
+		if err := sb.insertSync(docs, tc); err != nil {
 			sb.pubErr.Inc()
 		} else {
 			sb.pubOK.Add(uint64(len(docs)))
+			sb.e2ePublished.ObserveExemplar(time.Since(featReady).Seconds(), exemplarID(tc))
 		}
 	case PublishBatched:
 		docs := sc.docs[:0]
@@ -364,14 +399,16 @@ func (sb *Southbound) process(msg controller.ControlMessage, sc *sbScratch) {
 			docs = append(docs, f.Document())
 		}
 		sc.docs = docs[:0]
-		sb.writer.PublishAll(docs)
+		sb.writer.PublishAllTraced(docs, tc, featReady)
 		sb.pubOK.Add(uint64(len(features)))
 	case PublishOff:
 		// persistence disabled
 	}
+	endPubSpan()
 	endPub()
 
 	endDispatch := tr.Span("dispatch")
+	endDispatchSpan := sb.tracing.StartSpan(tc, "southbound", "dispatch")
 	sb.mu.RLock()
 	listeners := sb.listeners
 	sb.mu.RUnlock()
@@ -380,7 +417,28 @@ func (sb *Southbound) process(msg controller.ControlMessage, sc *sbScratch) {
 			fn(f)
 		}
 	}
+	endDispatchSpan()
 	endDispatch()
+}
+
+// insertSync publishes one message's documents synchronously, carrying
+// the trace context on the wire header when the sink supports it.
+func (sb *Southbound) insertSync(docs []store.Document, tc telemetry.TraceCtx) error {
+	if tc.Sampled() {
+		if ts, ok := sb.sink.(store.TracedSink); ok {
+			return ts.InsertTraced(docs, []string{tc.Wire(time.Now())})
+		}
+	}
+	return sb.sink.Insert(docs)
+}
+
+// exemplarID renders tc's trace ID for bucket exemplars, or "" when
+// unsampled (plain observation).
+func exemplarID(tc telemetry.TraceCtx) string {
+	if !tc.Sampled() {
+		return ""
+	}
+	return tc.TraceID.String()
 }
 
 // clearFeats drops feature references from a scratch slice so reuse

@@ -2,12 +2,12 @@ package dataplane
 
 import (
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
 // maxBufferedPackets bounds the PacketIn buffer pool per switch.
@@ -334,7 +334,7 @@ func (s *Switch) serveController(conn *openflow.Conn, done chan struct{}) {
 			return
 		}
 		if err := s.handleControl(conn, msg, h); err != nil {
-			log.Printf("switch %d: control error: %v", s.DPID, err)
+			telemetry.DefaultLogger().Named("dataplane").Warn("control error", "dpid", s.DPID, "err", err)
 		}
 	}
 }

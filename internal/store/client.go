@@ -149,7 +149,7 @@ func (c *Client) Close() error {
 // do issues one request and waits for its response. Transport failures
 // return an error (retryable); server-side errors travel in the
 // response.
-func (c *Client) do(op string, q *Query, docs []Document) (wireResult, error) {
+func (c *Client) do(op string, q *Query, docs []Document, tcs []string) (wireResult, error) {
 	c.mu.Lock()
 	if c.conn == nil {
 		if err := c.connectLocked(); err != nil {
@@ -162,7 +162,7 @@ func (c *Client) do(op string, q *Query, docs []Document) (wireResult, error) {
 	ch := make(chan wireResult, 1)
 	c.pending[id] = ch
 	conn := c.conn
-	req := wireRequest{ID: id, Op: op, Query: q, Blocks: docBlocks(len(docs))}
+	req := wireRequest{ID: id, Op: op, Query: q, Blocks: docBlocks(len(docs)), TC: tcs}
 	scratch, err := writeMessage(c.bw, &req, docs, c.scratch)
 	c.scratch = scratch
 	if err == nil {
@@ -181,9 +181,15 @@ func (c *Client) do(op string, q *Query, docs []Document) (wireResult, error) {
 
 // call runs do with one reconnect-and-retry on transport failure.
 func (c *Client) call(op string, q *Query, docs []Document) (wireResult, error) {
+	return c.callTraced(op, q, docs, nil)
+}
+
+// callTraced is call with optional trace contexts attached to the
+// request header.
+func (c *Client) callTraced(op string, q *Query, docs []Document, tcs []string) (wireResult, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		res, err := c.do(op, q, docs)
+		res, err := c.do(op, q, docs, tcs)
 		if err == nil {
 			if res.resp.Err != "" {
 				return res, errors.New(res.resp.Err)
@@ -204,6 +210,14 @@ func (c *Client) Ping() error {
 // Insert stores documents on this node.
 func (c *Client) Insert(docs []Document) error {
 	_, err := c.call("insert", nil, docs)
+	return err
+}
+
+// InsertTraced stores documents and attaches trace contexts (wire form)
+// to the request header so the node can stitch its apply span into the
+// senders' distributed traces.
+func (c *Client) InsertTraced(docs []Document, tcs []string) error {
+	_, err := c.callTraced("insert", nil, docs, tcs)
 	return err
 }
 

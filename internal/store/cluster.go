@@ -59,7 +59,12 @@ func (c *Cluster) shardOf(d Document) int {
 
 // Insert distributes documents to their shards. Batches per node are
 // written in parallel.
-func (c *Cluster) Insert(docs []Document) error {
+func (c *Cluster) Insert(docs []Document) error { return c.InsertTraced(docs, nil) }
+
+// InsertTraced is Insert with trace contexts attached to every shard's
+// request header; a shard applying any slice of the batch may complete
+// any of the covered traces, so all contexts go to all touched shards.
+func (c *Cluster) InsertTraced(docs []Document, tcs []string) error {
 	if len(docs) == 0 {
 		return nil
 	}
@@ -80,7 +85,7 @@ func (c *Cluster) Insert(docs []Document) error {
 		wg.Add(1)
 		go func(cl *Client, b []Document) {
 			defer wg.Done()
-			if err := cl.Insert(b); err != nil {
+			if err := cl.InsertTraced(b, tcs); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err

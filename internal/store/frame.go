@@ -53,6 +53,12 @@ type wireRequest struct {
 	Query *Query `json:"query,omitempty"`
 	// Blocks counts the frameDocs frames that follow this header.
 	Blocks int `json:"blocks,omitempty"`
+	// TC carries optional trace contexts (telemetry.TraceCtx wire form)
+	// covering the documents in this request, so a store node can stitch
+	// its apply span into the sender's distributed trace. The field is
+	// version-tolerant in both directions: old nodes ignore it (unknown
+	// JSON field) and old clients simply never send it.
+	TC []string `json:"tc,omitempty"`
 }
 
 // wireResponse is the control header for one node->client response.

@@ -35,6 +35,7 @@ type Node struct {
 	retention time.Duration
 
 	tele    *telemetry.Registry
+	tracing *telemetry.Collector
 	metrics nodeMetrics
 
 	stop chan struct{}
@@ -51,6 +52,7 @@ type nodeMetrics struct {
 	plans        *telemetry.CounterVec
 	snapshots    *telemetry.Counter
 	snapshotSize *telemetry.Gauge
+	e2eApplied   *telemetry.Histogram
 }
 
 func newNodeMetrics(reg *telemetry.Registry, node string) nodeMetrics {
@@ -69,6 +71,9 @@ func newNodeMetrics(reg *telemetry.Registry, node string) nodeMetrics {
 			"Snapshots written.", "node").WithLabelValues(node),
 		snapshotSize: reg.GaugeVec("athena_store_snapshot_bytes",
 			"Size of the most recent snapshot.", "node").WithLabelValues(node),
+		e2eApplied: reg.HistogramVec("athena_e2e_published_to_applied_seconds",
+			"Latency from a traced insert leaving the publisher to the shard apply completing.",
+			nil, "node").WithLabelValues(node),
 	}
 }
 
@@ -84,6 +89,12 @@ func WithRetention(d time.Duration) NodeOption {
 // private registry.
 func WithTelemetry(reg *telemetry.Registry) NodeOption {
 	return func(n *Node) { n.tele = reg }
+}
+
+// WithNodeTracing stitches traced inserts (wire TC headers) into col as
+// store-apply spans. A nil collector keeps trace parsing off entirely.
+func WithNodeTracing(col *telemetry.Collector) NodeOption {
+	return func(n *Node) { n.tracing = col }
 }
 
 // NewNode starts a storage node listening on addr (empty picks an
@@ -237,6 +248,7 @@ func (n *Node) execute(req wireRequest, docs []Document) (wireResponse, []Docume
 		return wireResponse{OK: true}, nil
 	case "insert":
 		n.insert(docs)
+		n.observeTraced(req.TC)
 		return wireResponse{OK: true, N: len(docs)}, nil
 	case "query":
 		if req.Query == nil {
@@ -263,6 +275,29 @@ func (n *Node) insert(docs []Document) {
 	n.tab.insert(docs)
 	n.mu.Unlock()
 	n.metrics.inserted.Add(uint64(len(docs)))
+}
+
+// observeTraced closes the published→applied leg for every trace
+// context carried on an insert header: the stage latency (send time to
+// apply completion) lands in the e2e histogram with the trace ID as the
+// bucket exemplar, and a store/apply span attaches to the trace.
+func (n *Node) observeTraced(tcs []string) {
+	if n.tracing == nil || len(tcs) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, s := range tcs {
+		tc, send, ok := telemetry.ParseWireCtx(s)
+		if !ok {
+			continue
+		}
+		lag := now.Sub(send)
+		if lag < 0 {
+			lag = 0
+		}
+		n.metrics.e2eApplied.ObserveExemplar(lag.Seconds(), tc.TraceID.String())
+		n.tracing.RecordSpan(tc, "store", "apply", send, lag)
+	}
 }
 
 func (n *Node) countPlan(kind string) {

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// legacyWireRequest mirrors the pre-trace-context control header: no TC
+// field. Encoding/decoding against it pins the version-tolerance
+// contract in both directions.
+type legacyWireRequest struct {
+	ID     uint64 `json:"id"`
+	Op     string `json:"op"`
+	Query  *Query `json:"query,omitempty"`
+	Blocks int    `json:"blocks,omitempty"`
+}
+
+func testWire(t *testing.T) string {
+	t.Helper()
+	tc := telemetry.TraceCtx{
+		TraceID: telemetry.NewTraceID(),
+		SpanID:  telemetry.NewSpanID(),
+		Ingress: time.Now().UnixNano(),
+	}
+	return tc.Wire(time.Now())
+}
+
+// TestWireRequestTCRoundTrip pins the trace-context field through the
+// AS control frame: new→new carries it, new→old ignores it, old→new
+// reads an absent field.
+func TestWireRequestTCRoundTrip(t *testing.T) {
+	wire := testWire(t)
+
+	// New client → new node.
+	var buf bytes.Buffer
+	if _, err := writeMessage(&buf, &wireRequest{ID: 1, Op: "insert", TC: []string{wire}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readStoreFrame(&buf)
+	if err != nil || typ != frameControl {
+		t.Fatalf("read frame: %v (type %d)", err, typ)
+	}
+	var got wireRequest
+	if err := unmarshalControl(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TC) != 1 || got.TC[0] != wire {
+		t.Fatalf("TC did not round trip: %+v", got.TC)
+	}
+	if _, _, ok := telemetry.ParseWireCtx(got.TC[0]); !ok {
+		t.Fatal("carried context does not parse")
+	}
+
+	// New client → old node: the legacy header decodes the same frame,
+	// silently ignoring the unknown tc field.
+	buf.Reset()
+	if _, err := writeMessage(&buf, &wireRequest{ID: 2, Op: "insert", Blocks: 0, TC: []string{wire}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err = readStoreFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old legacyWireRequest
+	if err := json.Unmarshal(payload, &old); err != nil {
+		t.Fatalf("old node rejected traced frame: %v", err)
+	}
+	if old.ID != 2 || old.Op != "insert" {
+		t.Fatalf("legacy decode mangled header: %+v", old)
+	}
+
+	// Old client → new node: a header without tc decodes to an empty TC.
+	buf.Reset()
+	if _, err := writeMessage(&buf, &legacyWireRequest{ID: 3, Op: "insert"}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err = readStoreFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = wireRequest{}
+	if err := unmarshalControl(payload, &got); err != nil {
+		t.Fatalf("new node rejected legacy frame: %v", err)
+	}
+	if got.ID != 3 || got.TC != nil {
+		t.Fatalf("legacy frame decoded to %+v, want empty TC", got)
+	}
+}
+
+// TestNodeTracedInsert runs a real client → node insert with a trace
+// context on the wire and checks the node half: the e2e histogram
+// observes and the apply span lands in the node-side collector.
+func TestNodeTracedInsert(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour})
+	n, err := NewNode("", WithTelemetry(reg), WithNodeTracing(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	cl, err := Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tc := telemetry.TraceCtx{
+		TraceID: telemetry.NewTraceID(),
+		SpanID:  telemetry.NewSpanID(),
+		Ingress: time.Now().UnixNano(),
+	}
+	docs := []Document{{ID: "d1", Time: 1, Fields: map[string]float64{"v": 1}}}
+	if err := cl.InsertTraced(docs, []string{tc.Wire(time.Now())}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cl.Count(Filter{}); err != nil || got != 1 {
+		t.Fatalf("count = %d, %v", got, err)
+	}
+
+	rec, ok := col.Lookup(tc.TraceID.String())
+	if !ok {
+		t.Fatalf("node collector has no trace %s", tc.TraceID)
+	}
+	found := false
+	for _, sp := range rec.Spans {
+		if sp.Component == "store" && sp.Name == "apply" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no store/apply span in %+v", rec.Spans)
+	}
+
+	var expo bytes.Buffer
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), "athena_e2e_published_to_applied_seconds_count") {
+		t.Fatal("published_to_applied histogram not exposed")
+	}
+	if !strings.Contains(expo.String(), "trace_id="+tc.TraceID.String()) {
+		t.Fatal("exemplar with the trace ID not exposed")
+	}
+
+	// Untraced inserts through the same client keep working.
+	if err := cl.Insert([]Document{{ID: "d2", Time: 2}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterTracedFlush pins the batched path: PublishAllTraced carries
+// the context to the sink at flush time and records the writer span.
+func TestWriterTracedFlush(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour})
+	n, err := NewNode("", WithNodeTracing(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	cl, err := Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	w := NewWriter(cl, 4, time.Millisecond,
+		WithWriterTelemetry(reg, "athena-0"), WithWriterTracing(col))
+	tc := telemetry.TraceCtx{
+		TraceID: telemetry.NewTraceID(),
+		SpanID:  telemetry.NewSpanID(),
+		Ingress: time.Now().UnixNano(),
+	}
+	w.PublishAllTraced([]Document{{ID: "b1", Time: 1}}, tc, time.Now())
+	w.Flush()
+	w.Close()
+
+	rec, ok := col.Lookup(tc.TraceID.String())
+	if !ok {
+		t.Fatalf("trace %s not assembled", tc.TraceID)
+	}
+	var haveFlush, haveApply bool
+	for _, sp := range rec.Spans {
+		switch sp.Component + "/" + sp.Name {
+		case "writer/flush":
+			haveFlush = true
+		case "store/apply":
+			haveApply = true
+		}
+	}
+	if !haveFlush || !haveApply {
+		t.Fatalf("spans = %+v, want writer/flush and store/apply", rec.Spans)
+	}
+	snap := reg.Snapshot()
+	if _, ok := snap[`athena_e2e_feature_to_published_seconds{controller="athena-0"}`]; !ok {
+		t.Fatalf("feature_to_published histogram missing from %v", snap)
+	}
+}

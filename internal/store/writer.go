@@ -13,6 +13,19 @@ type Sink interface {
 	Insert(docs []Document) error
 }
 
+// TracedSink is a Sink that can forward distributed trace contexts on
+// the insert request header. Cluster and Client satisfy it; plain sinks
+// simply lose the contexts (the documents still flow).
+type TracedSink interface {
+	Sink
+	InsertTraced(docs []Document, tcs []string) error
+}
+
+// maxFlushTraces caps the trace contexts attached to one flushed batch;
+// beyond the cap traces still complete locally, they just skip the
+// store-apply leg.
+const maxFlushTraces = 8
+
 // Writer batches document publication: callers enqueue without blocking
 // on the network, and a background goroutine flushes by size or age.
 // This is the "replace synchronous MongoDB writes" ablation the paper's
@@ -33,13 +46,17 @@ type Writer struct {
 
 	mu      sync.Mutex
 	pending []Document
+	traces  []writerTrace
 	err     error
 
-	flushOK   *telemetry.Counter
-	flushErr  *telemetry.Counter
-	dropped   *telemetry.Counter
-	retried   *telemetry.Counter
-	batchDocs *telemetry.Histogram
+	tracing *telemetry.Collector
+
+	flushOK      *telemetry.Counter
+	flushErr     *telemetry.Counter
+	dropped      *telemetry.Counter
+	retried      *telemetry.Counter
+	batchDocs    *telemetry.Histogram
+	e2ePublished *telemetry.Histogram
 
 	flushCh chan struct{}
 	stop    chan struct{}
@@ -66,6 +83,9 @@ func WithWriterTelemetry(reg *telemetry.Registry, instance string) WriterOption 
 		w.batchDocs = reg.HistogramVec("athena_store_writer_flush_docs",
 			"Documents per flushed batch.", telemetry.SizeBuckets, "controller").
 			WithLabelValues(instance)
+		w.e2ePublished = reg.HistogramVec("athena_e2e_feature_to_published_seconds",
+			"Latency from feature emission to publish completion (sync insert or batched flush).",
+			nil, "controller").WithLabelValues(instance)
 		reg.GaugeVec("athena_store_writer_pending",
 			"Documents enqueued but not yet flushed.", "controller").
 			WithLabelValues(instance).Func(func() float64 {
@@ -74,6 +94,20 @@ func WithWriterTelemetry(reg *telemetry.Registry, instance string) WriterOption 
 			return float64(len(w.pending))
 		})
 	}
+}
+
+// WithWriterTracing records a writer-flush span on col for every traced
+// batch entry, stitching batching delay into the distributed trace.
+func WithWriterTracing(col *telemetry.Collector) WriterOption {
+	return func(w *Writer) { w.tracing = col }
+}
+
+// writerTrace is one trace context riding the pending batch: the
+// context itself plus the feature-emission time the feature→published
+// stage is measured from.
+type writerTrace struct {
+	tc  telemetry.TraceCtx
+	enq time.Time
 }
 
 // WithQueueBound caps how many documents may sit unflushed; documents
@@ -143,10 +177,30 @@ func (w *Writer) Publish(d Document) {
 // It never blocks on the network; documents beyond the queue bound are
 // dropped and counted.
 func (w *Writer) PublishAll(docs []Document) {
+	w.PublishAllTraced(docs, telemetry.TraceCtx{}, time.Time{})
+}
+
+// PublishAllTraced is PublishAll carrying the documents' trace context;
+// the context travels with the batch and is encoded onto the insert
+// wire header at flush time. enq is the feature-emission time the
+// feature→published latency is measured from.
+func (w *Writer) PublishAllTraced(docs []Document, tc telemetry.TraceCtx, enq time.Time) {
 	if len(docs) == 0 {
 		return
 	}
 	w.mu.Lock()
+	if tc.Sampled() && len(w.traces) < maxFlushTraces {
+		dup := false
+		for _, t := range w.traces {
+			if t.tc.TraceID == tc.TraceID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			w.traces = append(w.traces, writerTrace{tc: tc, enq: enq})
+		}
+	}
 	space := w.maxQueue - len(w.pending)
 	if space < 0 {
 		space = 0
@@ -217,7 +271,9 @@ func (w *Writer) run() {
 func (w *Writer) flushOnce() {
 	w.mu.Lock()
 	batch := w.pending
+	traces := w.traces
 	w.pending = nil
+	w.traces = nil
 	w.mu.Unlock()
 	if len(batch) == 0 {
 		return
@@ -225,12 +281,20 @@ func (w *Writer) flushOnce() {
 	if w.batchDocs != nil {
 		w.batchDocs.Observe(float64(len(batch)))
 	}
-	if err := w.sink.Insert(batch); err != nil {
+	err := w.insertBatch(batch, traces)
+	if err != nil {
 		// Keep the batch: it returns to the head of the queue and the
 		// next tick retries (at-least-once; never silently lost).
 		w.mu.Lock()
 		w.err = err
 		w.pending = append(batch, w.pending...)
+		if len(traces) > 0 {
+			merged := append(traces, w.traces...)
+			if len(merged) > maxFlushTraces {
+				merged = merged[:maxFlushTraces]
+			}
+			w.traces = merged
+		}
 		w.mu.Unlock()
 		if w.flushErr != nil {
 			w.flushErr.Inc()
@@ -240,10 +304,37 @@ func (w *Writer) flushOnce() {
 		}
 		return
 	}
+	now := time.Now()
+	for _, t := range traces {
+		if w.e2ePublished != nil && !t.enq.IsZero() {
+			w.e2ePublished.ObserveExemplar(now.Sub(t.enq).Seconds(), t.tc.TraceID.String())
+		}
+		if w.tracing != nil && !t.enq.IsZero() {
+			w.tracing.RecordSpan(t.tc, "writer", "flush", t.enq, now.Sub(t.enq))
+		}
+	}
 	w.mu.Lock()
 	w.err = nil
 	w.mu.Unlock()
 	if w.flushOK != nil {
 		w.flushOK.Inc()
 	}
+}
+
+// insertBatch writes one batch, forwarding trace contexts (encoded at
+// send time) when the sink supports them.
+func (w *Writer) insertBatch(batch []Document, traces []writerTrace) error {
+	if len(traces) > 0 {
+		if ts, ok := w.sink.(TracedSink); ok {
+			send := time.Now()
+			wires := make([]string, 0, len(traces))
+			for _, t := range traces {
+				if s := t.tc.Wire(send); s != "" {
+					wires = append(wires, s)
+				}
+			}
+			return ts.InsertTraced(batch, wires)
+		}
+	}
+	return w.sink.Insert(batch)
 }

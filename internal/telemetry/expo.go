@@ -19,6 +19,9 @@ type Label struct {
 type Bucket struct {
 	UpperBound float64 `json:"le"`
 	Count      uint64  `json:"count"` // observations <= UpperBound
+	// Exemplar is the trace ID of the last observation that landed in
+	// this bucket (non-cumulative), when one was attached.
+	Exemplar string `json:"exemplar,omitempty"`
 }
 
 // Metric is one series of a family at gather time.
@@ -80,10 +83,10 @@ func (r *Registry) Gather() []Family {
 				cum := uint64(0)
 				for i := range f.buckets {
 					cum += c.hcounts[i].Load()
-					m.Buckets = append(m.Buckets, Bucket{UpperBound: f.buckets[i], Count: cum})
+					m.Buckets = append(m.Buckets, Bucket{UpperBound: f.buckets[i], Count: cum, Exemplar: loadExemplar(c, i)})
 				}
 				cum += c.hcounts[len(f.buckets)].Load()
-				m.Buckets = append(m.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+				m.Buckets = append(m.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum, Exemplar: loadExemplar(c, len(f.buckets))})
 				m.Count = cum
 				m.Sum = math.Float64frombits(c.hsum.Load())
 			}
@@ -93,6 +96,16 @@ func (r *Registry) Gather() []Family {
 		out = append(out, fam)
 	}
 	return out
+}
+
+func loadExemplar(c *child, i int) string {
+	if i >= len(c.exemplars) {
+		return ""
+	}
+	if e := c.exemplars[i].Load(); e != nil {
+		return *e
+	}
+	return ""
 }
 
 // WritePrometheus renders the registry in the Prometheus text
@@ -110,6 +123,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				for _, b := range m.Buckets {
 					bw.WriteString(fam.Name + "_bucket" + renderLabels(m.Labels, Label{Name: "le", Value: formatFloat(b.UpperBound)}))
 					bw.WriteString(" " + strconv.FormatUint(b.Count, 10) + "\n")
+					if b.Exemplar != "" {
+						// Classic 0.0.4 parsers only treat '#' at line
+						// start as a comment, so exemplars ride on
+						// their own comment line.
+						bw.WriteString("# exemplar " + fam.Name + "_bucket le=" + formatFloat(b.UpperBound) + " trace_id=" + b.Exemplar + "\n")
+					}
 				}
 				bw.WriteString(fam.Name + "_sum" + renderLabels(m.Labels) + " " + formatFloat(m.Sum) + "\n")
 				bw.WriteString(fam.Name + "_count" + renderLabels(m.Labels) + " " + strconv.FormatUint(m.Count, 10) + "\n")

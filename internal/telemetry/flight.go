@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder retains completed distributed traces in two lock-free
+// rings: "recent" always holds the last N completed traces, and "slow"
+// pins any trace whose end-to-end duration crossed the collector's
+// slow-threshold — so the one slow event in a million survives even
+// when the recent ring churns. Writers publish with an atomic cursor
+// increment plus an atomic pointer store; readers snapshot by loading
+// every slot. Records themselves stay mutable (late spans attach under
+// the record's own mutex), which is why slots hold pointers.
+type FlightRecorder struct {
+	recent traceRing
+	slow   traceRing
+
+	committed *Counter
+	slowTotal *Counter
+}
+
+// NewFlightRecorder sizes the two rings (minimum 1 slot each).
+func NewFlightRecorder(recent, slow int) *FlightRecorder {
+	if recent < 1 {
+		recent = 1
+	}
+	if slow < 1 {
+		slow = 1
+	}
+	return &FlightRecorder{
+		recent: traceRing{slots: make([]atomic.Pointer[distTrace], recent)},
+		slow:   traceRing{slots: make([]atomic.Pointer[distTrace], slow)},
+	}
+}
+
+func (f *FlightRecorder) bindMetrics(reg *Registry) {
+	f.committed = reg.Counter("athena_flight_recorder_committed_total",
+		"Completed traces committed to the flight recorder.")
+	f.slowTotal = reg.Counter("athena_flight_recorder_slow_total",
+		"Committed traces over the slow-threshold, pinned in the slow ring.")
+	reg.GaugeFunc("athena_flight_recorder_retained",
+		"Traces currently retained across the recent and slow rings.",
+		func() float64 { return float64(f.recent.len() + f.slow.len()) })
+}
+
+func (f *FlightRecorder) add(t *distTrace, slow bool) {
+	f.recent.add(t)
+	if f.committed != nil {
+		f.committed.Inc()
+	}
+	if slow {
+		f.slow.add(t)
+		if f.slowTotal != nil {
+			f.slowTotal.Inc()
+		}
+	}
+}
+
+func (f *FlightRecorder) lookup(id TraceID) (*distTrace, bool) {
+	if t, ok := f.recent.lookup(id); ok {
+		return t, true
+	}
+	return f.slow.lookup(id)
+}
+
+func (f *FlightRecorder) recentRing() *traceRing { return &f.recent }
+func (f *FlightRecorder) slowRing() *traceRing   { return &f.slow }
+
+// traceRing is a lock-free multi-producer ring of trace pointers. The
+// cursor hands each writer a distinct slot; a writer that laps the ring
+// overwrites the oldest entry. Snapshot readers observe each slot
+// atomically — a torn view across slots during heavy churn is
+// acceptable for a diagnostics buffer.
+type traceRing struct {
+	cursor atomic.Uint64
+	slots  []atomic.Pointer[distTrace]
+}
+
+func (r *traceRing) add(t *distTrace) {
+	idx := r.cursor.Add(1) - 1
+	r.slots[idx%uint64(len(r.slots))].Store(t)
+}
+
+func (r *traceRing) len() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *traceRing) lookup(id TraceID) (*distTrace, bool) {
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil && t.id == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// all returns retained traces, oldest first relative to the cursor.
+func (r *traceRing) all() []*distTrace {
+	n := uint64(len(r.slots))
+	cur := r.cursor.Load()
+	out := make([]*distTrace, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if t := r.slots[(cur+i)%n].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func snapshotAll(r *traceRing, slowThreshold time.Duration) []DistTraceRecord {
+	traces := r.all()
+	out := make([]DistTraceRecord, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.snapshot(slowThreshold))
+	}
+	return out
+}

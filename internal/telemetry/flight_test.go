@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderHammer drives 8 concurrent writers committing traces
+// through a shared collector while readers snapshot the rings. Under
+// -race this is the memory-safety proof for the lock-free ring design.
+func TestFlightRecorderHammer(t *testing.T) {
+	c := NewCollector(TraceConfig{SampleEvery: 1, Recent: 16, Slow: 4, SlowThreshold: time.Hour})
+	const writers, perW = 8, 500
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range c.Recent() {
+					if rec.ID == "" {
+						t.Error("snapshot produced a record without an ID")
+						return
+					}
+					_, _ = c.Lookup(rec.ID)
+				}
+				c.SlowTraces()
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perW; i++ {
+				tc := c.StartTrace(time.Now())
+				c.RecordSpan(tc, "southbound", "generate", time.Now(), time.Microsecond)
+				end := c.StartSpan(tc, "store", "apply")
+				end()
+				c.FinishTrace(tc)
+				// Late span attaching after commit.
+				c.RecordSpan(tc, "compute", "kernel", time.Now(), time.Microsecond)
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	recent := c.Recent()
+	if len(recent) != 16 {
+		t.Fatalf("recent ring holds %d, want full capacity 16", len(recent))
+	}
+	for _, rec := range recent {
+		if !rec.Done {
+			t.Fatalf("retained trace %s not done", rec.ID)
+		}
+		if len(rec.Spans) < 2 {
+			t.Fatalf("retained trace %s has %d spans, want >= 2", rec.ID, len(rec.Spans))
+		}
+	}
+}
+
+func TestTraceRingOverwrite(t *testing.T) {
+	f := NewFlightRecorder(3, 1)
+	mk := func(i byte) *distTrace {
+		var id TraceID
+		id[0] = i + 1
+		return &distTrace{id: id}
+	}
+	for i := byte(0); i < 5; i++ {
+		f.add(mk(i), false)
+	}
+	all := f.recentRing().all()
+	if len(all) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(all))
+	}
+	// Oldest-first: traces 2, 3, 4 survive (0 and 1 overwritten).
+	for i, tr := range all {
+		if want := byte(i + 3); tr.id[0] != want {
+			t.Fatalf("slot %d holds trace %d, want %d", i, tr.id[0], want)
+		}
+	}
+	if _, ok := f.lookup(TraceID{0: 1}); ok {
+		t.Fatal("overwritten trace still resolvable")
+	}
+	if _, ok := f.lookup(TraceID{0: 5}); !ok {
+		t.Fatal("latest trace not resolvable")
+	}
+}

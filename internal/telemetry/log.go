@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level gates structured log output.
+type Level int32
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// ParseLevel maps a level name (as accepted by `athenad -log-level`) to
+// its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// logCore is the shared sink + level behind a tree of Named loggers.
+type logCore struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+}
+
+// Logger is a minimal leveled key=value logger: one line per event,
+// `ts=<RFC3339Nano> level=<lvl> [component=<name>] msg=<msg> k=v ...`.
+// Pass a trace context under the "trace" key to correlate log lines
+// with /traces/{id}. A nil *Logger is valid and drops everything.
+type Logger struct {
+	core      *logCore
+	component string
+}
+
+// NewLogger writes events at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	c := &logCore{w: w}
+	c.min.Store(int32(min))
+	return &Logger{core: c}
+}
+
+var defaultLogger = NewLogger(os.Stderr, LevelInfo)
+
+// DefaultLogger is the process-wide logger used by components not given
+// one explicitly.
+func DefaultLogger() *Logger { return defaultLogger }
+
+// SetLogLevel adjusts the default logger's gate (the `athenad
+// -log-level` hook).
+func SetLogLevel(min Level) { defaultLogger.SetLevel(min) }
+
+// Named returns a logger sharing this logger's sink and gate that tags
+// every line with component=name.
+func (l *Logger) Named(name string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{core: l.core, component: name}
+}
+
+// SetLevel adjusts the minimum emitted level.
+func (l *Logger) SetLevel(min Level) {
+	if l == nil {
+		return
+	}
+	l.core.min.Store(int32(min))
+}
+
+// Enabled reports whether events at lvl would be emitted.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && int32(lvl) >= l.core.min.Load()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lvl Level, msg string, kv []any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString("ts=")
+	b.WriteString(time.Now().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(lvl.String())
+	if l.component != "" {
+		b.WriteString(" component=")
+		writeLogValue(&b, l.component)
+	}
+	b.WriteString(" msg=")
+	writeLogValue(&b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		writeLogValue(&b, fmt.Sprintf("%v", kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		b.WriteString(" EXTRA=")
+		writeLogValue(&b, fmt.Sprintf("%v", kv[len(kv)-1]))
+	}
+	b.WriteByte('\n')
+	l.core.mu.Lock()
+	_, _ = io.WriteString(l.core.w, b.String())
+	l.core.mu.Unlock()
+}
+
+func writeLogValue(b *strings.Builder, v string) {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		fmt.Fprintf(b, "%q", v)
+		return
+	}
+	b.WriteString(v)
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "WARNING": LevelWarn, "Error": LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestLoggerGateAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lg := NewLogger(lockedWriter{&mu, &buf}, LevelWarn).Named("controller")
+
+	lg.Debug("dropped")
+	lg.Info("dropped too", "k", "v")
+	lg.Warn("switch reported error", "dpid", 7, "err_type", 1)
+	lg.Error("boom", "msg text", "has spaces")
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2 (debug/info gated):\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "level=warn") ||
+		!strings.Contains(lines[0], "component=controller") ||
+		!strings.Contains(lines[0], `msg="switch reported error"`) ||
+		!strings.Contains(lines[0], "dpid=7") ||
+		!strings.Contains(lines[0], "err_type=1") ||
+		!strings.HasPrefix(lines[0], "ts=") {
+		t.Fatalf("warn line format: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `msg text="has spaces"`) {
+		t.Fatalf("quoted value missing: %q", lines[1])
+	}
+
+	lg.SetLevel(LevelDebug)
+	if !lg.Enabled(LevelDebug) {
+		t.Fatal("SetLevel(debug) did not open the gate")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var lg *Logger
+	lg.Debug("x")
+	lg.Info("x")
+	lg.Warn("x", "k", "v")
+	lg.Error("x")
+	lg.SetLevel(LevelDebug)
+	if lg.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+	if named := lg.Named("sub"); named != nil {
+		t.Fatal("nil logger Named must stay nil")
+	}
+}
+
+func TestLoggerOddKeyValues(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, LevelInfo)
+	lg.Info("m", "k1", "v1", "dangling")
+	if !strings.Contains(buf.String(), "EXTRA=dangling") {
+		t.Fatalf("dangling value not captured: %q", buf.String())
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

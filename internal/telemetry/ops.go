@@ -3,9 +3,12 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -18,14 +21,22 @@ type OpsConfig struct {
 	// Vars contributes extra /debug/vars entries (merged under the
 	// metric snapshot). May be nil.
 	Vars func() map[string]any
-	// Traces backs /traces. May be nil.
+	// Traces backs /traces (the legacy in-process sampled traces). May
+	// be nil.
 	Traces func() []TraceRecord
+	// Tracing backs /statusz and /traces/{id} (the distributed trace
+	// collector and its flight recorder). May be nil.
+	Tracing *Collector
 }
 
 // OpsServer is the embedded operations endpoint: /metrics (Prometheus
-// text), /healthz, /debug/vars (JSON snapshot), /traces (sampled
-// feature-lifecycle traces), and the net/http/pprof suite under
-// /debug/pprof/.
+// text), /healthz, /statusz (human status incl. flight-recorder
+// summary), /debug/vars (JSON snapshot), /traces (sampled
+// feature-lifecycle traces), /traces/{id} (distributed span trees), and
+// the net/http/pprof suite under /debug/pprof/.
+//
+// JSON endpoints emit compact output with Content-Type
+// application/json; append ?pretty=1 for indented output.
 type OpsServer struct {
 	ln    net.Listener
 	srv   *http.Server
@@ -58,7 +69,10 @@ func NewOpsServer(addr string, cfg OpsConfig) (*OpsServer, error) {
 		}
 		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(s.start).Round(time.Second))
 	})
-	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		s.serveStatusz(w, r, cfg)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		vars := map[string]any{
 			"uptime_seconds": time.Since(s.start).Seconds(),
 			"metrics":        cfg.Registry.Snapshot(),
@@ -68,9 +82,9 @@ func NewOpsServer(addr string, cfg OpsConfig) (*OpsServer, error) {
 				vars[k] = v
 			}
 		}
-		writeJSON(w, vars)
+		writeJSON(w, r, vars)
 	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		var traces []TraceRecord
 		if cfg.Traces != nil {
 			traces = cfg.Traces()
@@ -78,7 +92,11 @@ func NewOpsServer(addr string, cfg OpsConfig) (*OpsServer, error) {
 		if traces == nil {
 			traces = []TraceRecord{}
 		}
-		writeJSON(w, traces)
+		w.Header().Set("Cache-Control", "no-store")
+		writeJSON(w, r, traces)
+	})
+	mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+		s.serveTrace(w, r, cfg)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -91,15 +109,122 @@ func NewOpsServer(addr string, cfg OpsConfig) (*OpsServer, error) {
 	return s, nil
 }
 
+// serveTrace renders one distributed trace as a span tree (text by
+// default, JSON with ?format=json).
+func (s *OpsServer) serveTrace(w http.ResponseWriter, r *http.Request, cfg OpsConfig) {
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	w.Header().Set("Cache-Control", "no-store")
+	if id == "" {
+		http.NotFound(w, r)
+		return
+	}
+	if cfg.Tracing == nil {
+		http.Error(w, "distributed tracing disabled", http.StatusNotFound)
+		return
+	}
+	rec, ok := cfg.Tracing.Lookup(id)
+	if !ok {
+		http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, r, rec)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeSpanTree(w, rec)
+}
+
+// writeSpanTree renders the trace's spans as an indented tree with
+// per-stage offsets and durations.
+func writeSpanTree(w io.Writer, rec DistTraceRecord) {
+	state := "in-flight"
+	if rec.Done {
+		state = "done"
+	}
+	slow := ""
+	if rec.Slow {
+		slow = " SLOW"
+	}
+	fmt.Fprintf(w, "trace %s %s%s\nstart %s total %s spans %d\n",
+		rec.ID, state, slow, rec.Start.Format(time.RFC3339Nano), rec.Duration, len(rec.Spans))
+	children := make(map[string][]DistSpanRecord)
+	for _, sp := range rec.Spans {
+		parent := sp.Parent
+		if parent == "" || parent == rec.Root {
+			parent = rec.Root
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	// Spans whose parent is neither the root nor another span attach to
+	// the root so nothing is silently dropped.
+	known := map[string]bool{rec.Root: true}
+	for _, sp := range rec.Spans {
+		known[sp.ID] = true
+	}
+	for parent, sps := range children {
+		if !known[parent] {
+			children[rec.Root] = append(children[rec.Root], sps...)
+			delete(children, parent)
+		}
+	}
+	fmt.Fprintf(w, "└─ root %s +0s %s\n", rec.Root, rec.Duration)
+	var walk func(parent, indent string)
+	walk = func(parent, indent string) {
+		sps := children[parent]
+		sort.Slice(sps, func(i, j int) bool { return sps[i].Offset < sps[j].Offset })
+		for _, sp := range sps {
+			fmt.Fprintf(w, "%s└─ %s/%s +%s %s\n", indent, sp.Component, sp.Name, sp.Offset, sp.Duration)
+			if sp.ID != parent {
+				walk(sp.ID, indent+"   ")
+			}
+		}
+	}
+	walk(rec.Root, "   ")
+}
+
+// serveStatusz renders a human-readable status page: uptime, metric
+// family count, trace-collector settings, and the flight recorder's
+// recent and slow traces with links into /traces/{id}.
+func (s *OpsServer) serveStatusz(w http.ResponseWriter, _ *http.Request, cfg OpsConfig) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	fmt.Fprintf(w, "athena ops\nuptime %s\nmetric families %d\n",
+		time.Since(s.start).Round(time.Millisecond), len(cfg.Registry.Gather()))
+	if cfg.Tracing == nil {
+		fmt.Fprintf(w, "distributed tracing disabled\n")
+		return
+	}
+	fmt.Fprintf(w, "trace sampling 1/%d, slow threshold %s\n",
+		cfg.Tracing.SampleEvery(), cfg.Tracing.SlowThreshold())
+	writeTraceTable(w, "recent traces", cfg.Tracing.Recent())
+	writeTraceTable(w, "slow traces", cfg.Tracing.SlowTraces())
+}
+
+func writeTraceTable(w io.Writer, title string, recs []DistTraceRecord) {
+	fmt.Fprintf(w, "\n%s (%d):\n", title, len(recs))
+	for _, rec := range recs {
+		mark := ""
+		if rec.Slow {
+			mark = " SLOW"
+		}
+		fmt.Fprintf(w, "  /traces/%s  %s  spans=%d%s\n", rec.ID, rec.Duration, len(rec.Spans), mark)
+	}
+}
+
 // Addr returns the bound address.
 func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server immediately.
 func (s *OpsServer) Close() error { return s.srv.Close() }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON emits v compactly as application/json; ?pretty=1 switches
+// to indented output.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
+	if r != nil && r.URL.Query().Get("pretty") == "1" {
+		enc.SetIndent("", "  ")
+	}
 	_ = enc.Encode(v)
 }

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tracingGoldenRegistry pins the exposition of the tracing-era metric
+// families: e2e latency histograms with exemplars and the trace /
+// flight-recorder counters.
+func tracingGoldenRegistry() *Registry {
+	r := NewRegistry()
+
+	c := NewCollector(TraceConfig{SampleEvery: 2, SlowThreshold: time.Hour})
+	c.BindMetrics(r)
+	for i := 0; i < 4; i++ {
+		tc := c.StartTrace(time.Unix(1000, 0))
+		c.FinishTrace(tc)
+	}
+
+	e2e := r.HistogramVec("athena_e2e_ingress_to_feature_seconds",
+		"Latency from control-message ingress to feature vectors generated.",
+		[]float64{0.001, 0.01, 0.1}, "controller").WithLabelValues("athena-0")
+	e2e.Observe(0.0005)
+	e2e.ObserveExemplar(0.05, "00112233445566778899aabbccddeeff")
+
+	applied := r.HistogramVec("athena_e2e_published_to_applied_seconds",
+		"Write-to-apply lag observed at the store node.",
+		[]float64{0.01, 0.1}, "node").WithLabelValues("node-0")
+	applied.ObserveExemplar(0.02, "ffeeddccbbaa99887766554433221100")
+	return r
+}
+
+func TestTracingExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tracingGoldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition_tracing.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestOpsTracingEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	col := NewCollector(TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour})
+	col.BindMetrics(reg)
+	tc := col.StartTrace(time.Now())
+	col.RecordSpan(tc, "southbound", "generate", time.Now(), time.Millisecond)
+	col.RecordSpan(tc, "store", "apply", time.Now(), time.Millisecond)
+	col.FinishTrace(tc)
+
+	srv, err := NewOpsServer("127.0.0.1:0", OpsConfig{Registry: reg, Tracing: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// /statusz mentions sampling config and lists the trace.
+	code, body, hdr := get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/statusz content type = %q", ct)
+	}
+	if !strings.Contains(body, "trace sampling 1/1") ||
+		!strings.Contains(body, "/traces/"+tc.TraceID.String()) {
+		t.Fatalf("/statusz body:\n%s", body)
+	}
+
+	// /traces/{id} renders the span tree as text.
+	code, body, hdr = get("/traces/" + tc.TraceID.String())
+	if code != http.StatusOK {
+		t.Fatalf("/traces/{id} status = %d", code)
+	}
+	if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("/traces/{id} cache-control = %q", cc)
+	}
+	if !strings.Contains(body, "southbound/generate") || !strings.Contains(body, "store/apply") {
+		t.Fatalf("/traces/{id} body:\n%s", body)
+	}
+
+	// ?format=json yields the structured record with the JSON headers.
+	code, body, hdr = get("/traces/" + tc.TraceID.String() + "?format=json&pretty=1")
+	if code != http.StatusOK {
+		t.Fatalf("/traces/{id} json status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/traces/{id} json content type = %q", ct)
+	}
+	if !strings.Contains(body, "\n  ") {
+		t.Fatal("?pretty=1 did not indent")
+	}
+	var rec DistTraceRecord
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("/traces/{id} json: %v", err)
+	}
+	if rec.ID != tc.TraceID.String() || len(rec.Spans) != 2 {
+		t.Fatalf("json record = %+v", rec)
+	}
+
+	// Unknown and disabled lookups 404.
+	if code, _, _ = get("/traces/ffffffffffffffffffffffffffffffff"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", code)
+	}
+
+	// /traces (legacy listing) carries JSON + no-store headers and
+	// compacts by default.
+	code, body, hdr = get("/traces")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" ||
+		hdr.Get("Cache-Control") != "no-store" {
+		t.Fatalf("/traces status=%d headers=%v", code, hdr)
+	}
+	if strings.Contains(body, "\n  ") {
+		t.Fatal("/traces default output is indented, want compact")
+	}
+
+	// /debug/vars honors ?pretty=1 and the JSON content type.
+	_, compact, hdr2 := get("/debug/vars")
+	if hdr2.Get("Content-Type") != "application/json" {
+		t.Fatalf("/debug/vars content type = %q", hdr2.Get("Content-Type"))
+	}
+	_, pretty, _ := get("/debug/vars?pretty=1")
+	if len(pretty) <= len(compact) {
+		t.Fatal("?pretty=1 output not larger than compact")
+	}
+}
+
+func TestOpsTracingDisabled(t *testing.T) {
+	srv, err := NewOpsServer("127.0.0.1:0", OpsConfig{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/traces/00112233445566778899aabbccddeeff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("tracing-disabled /traces/{id} status = %d, want 404", resp.StatusCode)
+	}
+	resp2, err := http.Get("http://" + srv.Addr() + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), "distributed tracing disabled") {
+		t.Fatalf("/statusz without collector:\n%s", body)
+	}
+}
+
+func TestExemplarRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_seconds", "", []float64{1})
+	h.ObserveExemplar(0.5, "abc123")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# exemplar ex_seconds_bucket le=1 trace_id=abc123") {
+		t.Fatalf("exemplar comment missing:\n%s", out)
+	}
+	// Classic parsers must still see every non-comment line as a valid
+	// sample; exemplars ride in comments only.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}

@@ -90,8 +90,9 @@ type child struct {
 	labelValues []string
 	bits        atomic.Uint64
 	fn          atomic.Pointer[func() float64]
-	hcounts     []atomic.Uint64 // per-bucket, non-cumulative; last is +Inf
-	hsum        atomic.Uint64   // float bits
+	hcounts     []atomic.Uint64          // per-bucket, non-cumulative; last is +Inf
+	hsum        atomic.Uint64            // float bits
+	exemplars   []atomic.Pointer[string] // per-bucket last exemplar (trace ID)
 }
 
 func (r *Registry) family(name, help string, kind Kind, labels []string, buckets []float64) *family {
@@ -151,6 +152,7 @@ func (f *family) child(vals []string) *child {
 	c = &child{labelValues: append([]string(nil), vals...)}
 	if f.kind == KindHistogram {
 		c.hcounts = make([]atomic.Uint64, len(f.buckets)+1)
+		c.exemplars = make([]atomic.Pointer[string], len(f.buckets)+1)
 	}
 	f.children[key] = c
 	return c
@@ -260,9 +262,20 @@ type Histogram struct {
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v, "") }
+
+// ObserveExemplar records one sample and attaches an exemplar (a trace
+// ID) to the bucket it lands in, so slow buckets carry a pointer into
+// /traces/{id}. An empty exemplar is a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, exemplar string) { h.observe(v, exemplar) }
+
+func (h *Histogram) observe(v float64, exemplar string) {
 	i := sort.SearchFloat64s(h.buckets, v) // first bound >= v; len(buckets) = +Inf
 	h.c.hcounts[i].Add(1)
+	if exemplar != "" {
+		e := exemplar
+		h.c.exemplars[i].Store(&e)
+	}
 	for {
 		old := h.c.hsum.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)

@@ -1,0 +1,548 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the distributed half of the tracing substrate: 16-byte
+// trace IDs minted at PacketIn ingress, a value-type TraceCtx threaded
+// through the feature fast path and encoded into the store/compute wire
+// protocols, and a Collector that assembles spans arriving from any
+// component (in-process or across a frame boundary) into one record per
+// trace. Completed traces land in the flight recorder (flight.go).
+
+// TraceID identifies one end-to-end trace (one PacketIn ingress event).
+type TraceID [16]byte
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// ParseTraceID parses the 32-hex-digit form produced by String.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is unset.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// --- ID generation ----------------------------------------------------
+
+var (
+	idSeq  atomic.Uint64
+	idBase = uint64(time.Now().UnixNano()) | 1
+)
+
+// mix64 is the splitmix64 finalizer; cheap and well distributed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID mints a fresh trace ID. Only sampled roots pay this cost.
+func NewTraceID() TraceID {
+	n := idSeq.Add(1)
+	hi := mix64(idBase + n*0x9E3779B97F4A7C15)
+	lo := mix64(hi ^ idBase ^ n)
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], hi)
+	binary.BigEndian.PutUint64(id[8:], lo)
+	if id.IsZero() {
+		id[15] = 1
+	}
+	return id
+}
+
+// NewSpanID mints a fresh span ID.
+func NewSpanID() SpanID {
+	n := idSeq.Add(1)
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], mix64(idBase^(n*0xD1B54A32D192ED03)))
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+// --- TraceCtx ---------------------------------------------------------
+
+// TraceCtx is the per-event trace context threaded alongside the dense
+// feature vectors and encoded into the store/compute control frames. It
+// is a small value type: the zero value means "no sampling decision has
+// been made", and an unsampled-but-decided context stays allocation-free
+// on the fast path (no IDs are minted).
+type TraceCtx struct {
+	// TraceID is the end-to-end trace identity; zero when unsampled.
+	TraceID TraceID
+	// SpanID is the span new child spans parent under (the root span at
+	// ingress).
+	SpanID SpanID
+	// Ingress is the root ingress time (UnixNano); spans and e2e stage
+	// latencies are measured against it.
+	Ingress int64
+	decided bool
+}
+
+// Sampled reports whether this event was chosen for tracing.
+func (tc TraceCtx) Sampled() bool { return !tc.TraceID.IsZero() }
+
+// Decided reports whether a sampler upstream already made the sampling
+// call for this event (sampled or not); downstream components must not
+// re-roll the dice when it is set.
+func (tc TraceCtx) Decided() bool { return tc.decided }
+
+// wirePrefix versions the trace-context wire encoding. Unknown prefixes
+// are rejected by ParseWireCtx, so the format can evolve.
+const wirePrefix = "at1"
+
+// Wire encodes the context plus the send timestamp for transport inside
+// a control-frame header:
+//
+//	at1-<32 hex trace id>-<16 hex span id>-<16 hex ingress unixnano>-<16 hex send unixnano>
+//
+// The receiver derives stage latency (e.g. published→applied) from the
+// embedded send time; same-host deployments make the two clocks
+// directly comparable, cross-host skew is documented in DESIGN.md §9.
+// Returns "" for unsampled contexts.
+func (tc TraceCtx) Wire(send time.Time) string {
+	if !tc.Sampled() {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(len(wirePrefix) + 1 + 32 + 1 + 16 + 1 + 16 + 1 + 16)
+	b.WriteString(wirePrefix)
+	b.WriteByte('-')
+	b.WriteString(tc.TraceID.String())
+	b.WriteByte('-')
+	b.WriteString(tc.SpanID.String())
+	b.WriteByte('-')
+	writeHex64(&b, uint64(tc.Ingress))
+	b.WriteByte('-')
+	writeHex64(&b, uint64(send.UnixNano()))
+	return b.String()
+}
+
+func writeHex64(b *strings.Builder, v uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	var out [16]byte
+	hex.Encode(out[:], buf[:])
+	b.Write(out[:])
+}
+
+// ParseWireCtx decodes a Wire-encoded context, returning the context
+// (marked decided), the sender's send timestamp, and whether the field
+// parsed. Malformed or unknown-version fields are ignored by design —
+// the frame itself stays valid.
+func ParseWireCtx(s string) (TraceCtx, time.Time, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 5 || parts[0] != wirePrefix {
+		return TraceCtx{}, time.Time{}, false
+	}
+	id, ok := ParseTraceID(parts[1])
+	if !ok || id.IsZero() {
+		return TraceCtx{}, time.Time{}, false
+	}
+	var span SpanID
+	raw, err := hex.DecodeString(parts[2])
+	if err != nil || len(raw) != len(span) {
+		return TraceCtx{}, time.Time{}, false
+	}
+	copy(span[:], raw)
+	ingress, err := strconv.ParseUint(parts[3], 16, 64)
+	if err != nil {
+		return TraceCtx{}, time.Time{}, false
+	}
+	send, err := strconv.ParseUint(parts[4], 16, 64)
+	if err != nil {
+		return TraceCtx{}, time.Time{}, false
+	}
+	tc := TraceCtx{TraceID: id, SpanID: span, Ingress: int64(ingress), decided: true}
+	return tc, time.Unix(0, int64(send)), true
+}
+
+// --- Trace records ----------------------------------------------------
+
+// DistSpan is one completed stage of a distributed trace.
+type DistSpan struct {
+	ID        SpanID
+	Parent    SpanID
+	Component string
+	Name      string
+	Start     time.Time
+	Duration  time.Duration
+}
+
+// distTrace is the mutable per-trace assembly record. Span appends are
+// guarded by mu so late spans arriving over the wire can attach after
+// the trace was committed to the flight recorder.
+type distTrace struct {
+	id    TraceID
+	root  SpanID
+	start time.Time
+	// drops counts spans rejected by the per-trace cap (shared collector
+	// counter; may be nil).
+	drops *Counter
+
+	mu       sync.Mutex
+	duration time.Duration
+	done     bool
+	spans    []DistSpan
+}
+
+func (t *distTrace) addSpan(s DistSpan) {
+	t.mu.Lock()
+	capped := len(t.spans) >= maxSpansPerTrace
+	if !capped {
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+	if capped && t.drops != nil {
+		t.drops.Inc()
+	}
+}
+
+// maxSpansPerTrace bounds per-record memory against runaway attachment.
+const maxSpansPerTrace = 256
+
+// DistSpanRecord is the exported snapshot of one span.
+type DistSpanRecord struct {
+	ID        string        `json:"id"`
+	Parent    string        `json:"parent,omitempty"`
+	Component string        `json:"component"`
+	Name      string        `json:"name"`
+	Offset    time.Duration `json:"offset_ns"`
+	Duration  time.Duration `json:"duration_ns"`
+}
+
+// DistTraceRecord is the exported snapshot of one distributed trace.
+type DistTraceRecord struct {
+	ID       string           `json:"id"`
+	Root     string           `json:"root_span"`
+	Start    time.Time        `json:"start"`
+	Duration time.Duration    `json:"duration_ns"`
+	Done     bool             `json:"done"`
+	Slow     bool             `json:"slow,omitempty"`
+	Spans    []DistSpanRecord `json:"spans"`
+}
+
+func (t *distTrace) snapshot(slowThreshold time.Duration) DistTraceRecord {
+	t.mu.Lock()
+	rec := DistTraceRecord{
+		ID:       t.id.String(),
+		Root:     t.root.String(),
+		Start:    t.start,
+		Duration: t.duration,
+		Done:     t.done,
+		Spans:    make([]DistSpanRecord, 0, len(t.spans)),
+	}
+	spans := append([]DistSpan(nil), t.spans...)
+	t.mu.Unlock()
+	rec.Slow = slowThreshold > 0 && rec.Duration >= slowThreshold
+	for _, s := range spans {
+		sr := DistSpanRecord{
+			ID:        s.ID.String(),
+			Component: s.Component,
+			Name:      s.Name,
+			Offset:    s.Start.Sub(t.start),
+			Duration:  s.Duration,
+		}
+		if !s.Parent.IsZero() {
+			sr.Parent = s.Parent.String()
+		}
+		rec.Spans = append(rec.Spans, sr)
+	}
+	return rec
+}
+
+// --- Collector --------------------------------------------------------
+
+// TraceConfig tunes the distributed trace collector.
+type TraceConfig struct {
+	// SampleEvery samples one of every N ingress roots; <= 0 disables
+	// distributed tracing (NewCollector returns nil).
+	SampleEvery int
+	// Recent is the flight-recorder ring of last completed traces
+	// (default 128).
+	Recent int
+	// Slow is the flight-recorder ring of slow traces (default 64).
+	Slow int
+	// SlowThreshold marks traces at least this long as slow and pins
+	// them in the slow ring (default 25ms).
+	SlowThreshold time.Duration
+	// ActiveLimit bounds the in-assembly trace table (default 1024).
+	ActiveLimit int
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Recent <= 0 {
+		c.Recent = 128
+	}
+	if c.Slow <= 0 {
+		c.Slow = 64
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 25 * time.Millisecond
+	}
+	if c.ActiveLimit <= 0 {
+		c.ActiveLimit = 1024
+	}
+	return c
+}
+
+// Collector assembles distributed traces: it makes the sampling decision
+// at ingress, accepts spans from any component (local calls or contexts
+// parsed off the wire), and commits completed traces to the flight
+// recorder. One Collector is shared across all components of a Stack so
+// spans stitched across the AS/AF wire protocols land in one record.
+//
+// A nil *Collector is valid and records nothing; the unsampled path
+// through a live Collector is allocation-free (two atomic adds).
+type Collector struct {
+	every   uint64
+	slow    time.Duration
+	limit   int
+	seq     atomic.Uint64
+	flight  *FlightRecorder
+	started time.Time
+
+	mu     sync.Mutex
+	active map[TraceID]*distTrace
+	order  []TraceID
+
+	// Optional metric bindings (BindMetrics).
+	roots        *Counter
+	sampledTotal *Counter
+	spansDropped *Counter
+}
+
+// NewCollector builds a collector, or returns nil when sampling is
+// disabled (SampleEvery <= 0).
+func NewCollector(cfg TraceConfig) *Collector {
+	if cfg.SampleEvery <= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &Collector{
+		every:   uint64(cfg.SampleEvery),
+		slow:    cfg.SlowThreshold,
+		limit:   cfg.ActiveLimit,
+		flight:  NewFlightRecorder(cfg.Recent, cfg.Slow),
+		started: time.Now(),
+		active:  make(map[TraceID]*distTrace),
+	}
+}
+
+// BindMetrics registers the collector's own metric families on reg:
+// trace root/sample counters plus the flight-recorder families.
+func (c *Collector) BindMetrics(reg *Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.roots = reg.Counter("athena_trace_roots_total",
+		"Ingress events seen by the trace sampler (sampled or not).")
+	c.sampledTotal = reg.Counter("athena_trace_sampled_total",
+		"Ingress events chosen for distributed tracing.")
+	c.spansDropped = reg.Counter("athena_trace_spans_dropped_total",
+		"Spans dropped because their trace was evicted or over the span cap.")
+	c.flight.bindMetrics(reg)
+}
+
+// SampleEvery reports the sampling period.
+func (c *Collector) SampleEvery() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.every)
+}
+
+// SlowThreshold reports the slow-trace threshold.
+func (c *Collector) SlowThreshold() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.slow
+}
+
+// StartTrace makes the sampling decision for one ingress root. The
+// returned context is always decided; it is sampled (IDs minted, record
+// opened) for one of every SampleEvery roots. Unsampled calls cost two
+// atomic adds and zero allocations.
+func (c *Collector) StartTrace(now time.Time) TraceCtx {
+	if c == nil {
+		return TraceCtx{}
+	}
+	if c.roots != nil {
+		c.roots.Inc()
+	}
+	n := c.seq.Add(1)
+	if (n-1)%c.every != 0 {
+		return TraceCtx{decided: true}
+	}
+	if c.sampledTotal != nil {
+		c.sampledTotal.Inc()
+	}
+	tc := TraceCtx{TraceID: NewTraceID(), SpanID: NewSpanID(), Ingress: now.UnixNano(), decided: true}
+	c.open(tc, now)
+	return tc
+}
+
+// open creates (or revives) the assembly record for tc.
+func (c *Collector) open(tc TraceCtx, start time.Time) *distTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.active[tc.TraceID]; ok {
+		return t
+	}
+	t := &distTrace{id: tc.TraceID, root: tc.SpanID, start: start, drops: c.spansDropped}
+	c.active[tc.TraceID] = t
+	c.order = append(c.order, tc.TraceID)
+	for len(c.order) > c.limit {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		if dead, ok := c.active[evict]; ok {
+			delete(c.active, evict)
+			// An eviction loses any span that would still have attached;
+			// count the ones already held as dropped only if the trace
+			// never finished (it will never reach the flight recorder).
+			dead.mu.Lock()
+			unfinished := !dead.done
+			n := len(dead.spans)
+			dead.mu.Unlock()
+			if unfinished && c.spansDropped != nil {
+				c.spansDropped.Add(uint64(n))
+			}
+		}
+	}
+	return t
+}
+
+func (c *Collector) lookupActive(id TraceID) (*distTrace, bool) {
+	c.mu.Lock()
+	t, ok := c.active[id]
+	c.mu.Unlock()
+	return t, ok
+}
+
+// RecordSpan attaches a completed span to tc's trace, parented under
+// tc.SpanID. Contexts parsed off the wire whose trace is unknown to
+// this collector (remote ingress) get a record opened on demand, so a
+// store node or compute worker in another process still assembles its
+// local half of the trace.
+func (c *Collector) RecordSpan(tc TraceCtx, component, name string, start time.Time, d time.Duration) {
+	if c == nil || !tc.Sampled() {
+		return
+	}
+	t, ok := c.lookupActive(tc.TraceID)
+	if !ok {
+		if found, inFlight := c.flight.lookup(tc.TraceID); inFlight {
+			t = found
+		} else {
+			t = c.open(tc, time.Unix(0, tc.Ingress))
+		}
+	}
+	t.addSpan(DistSpan{
+		ID:        NewSpanID(),
+		Parent:    tc.SpanID,
+		Component: component,
+		Name:      name,
+		Start:     start,
+		Duration:  d,
+	})
+}
+
+// StartSpan opens a stage under tc and returns the closer that records
+// it. The zero-context / nil-collector path returns a no-op closer.
+func (c *Collector) StartSpan(tc TraceCtx, component, name string) func() {
+	if c == nil || !tc.Sampled() {
+		return noopFunc
+	}
+	begin := time.Now()
+	return func() { c.RecordSpan(tc, component, name, begin, time.Since(begin)) }
+}
+
+// FinishTrace marks tc's pipeline complete, stamps the end-to-end
+// duration, and commits the record to the flight recorder. Spans
+// arriving later (batched store applies, compute kernels) still attach
+// to the committed record.
+func (c *Collector) FinishTrace(tc TraceCtx) {
+	if c == nil || !tc.Sampled() {
+		return
+	}
+	t, ok := c.lookupActive(tc.TraceID)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	t.duration = time.Since(t.start)
+	slow := c.slow > 0 && t.duration >= c.slow
+	t.mu.Unlock()
+	c.flight.add(t, slow)
+}
+
+// Lookup finds a trace by its hex ID: in-assembly traces first, then
+// the flight recorder.
+func (c *Collector) Lookup(id string) (DistTraceRecord, bool) {
+	if c == nil {
+		return DistTraceRecord{}, false
+	}
+	tid, ok := ParseTraceID(id)
+	if !ok {
+		return DistTraceRecord{}, false
+	}
+	if t, ok := c.lookupActive(tid); ok {
+		return t.snapshot(c.slow), true
+	}
+	if t, ok := c.flight.lookup(tid); ok {
+		return t.snapshot(c.slow), true
+	}
+	return DistTraceRecord{}, false
+}
+
+// Recent snapshots the flight recorder's last completed traces, oldest
+// first.
+func (c *Collector) Recent() []DistTraceRecord {
+	if c == nil {
+		return nil
+	}
+	return snapshotAll(c.flight.recentRing(), c.slow)
+}
+
+// SlowTraces snapshots the flight recorder's retained slow traces,
+// oldest first.
+func (c *Collector) SlowTraces() []DistTraceRecord {
+	if c == nil {
+		return nil
+	}
+	return snapshotAll(c.flight.slowRing(), c.slow)
+}

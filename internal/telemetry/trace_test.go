@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("fresh trace ID is zero")
+	}
+	back, ok := ParseTraceID(id.String())
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", id.String(), back, ok)
+	}
+	if _, ok := ParseTraceID("short"); ok {
+		t.Fatal("short string parsed as trace ID")
+	}
+	if _, ok := ParseTraceID(strings.Repeat("zz", 16)); ok {
+		t.Fatal("non-hex string parsed as trace ID")
+	}
+	if a, b := NewTraceID(), NewTraceID(); a == b {
+		t.Fatal("consecutive trace IDs collide")
+	}
+}
+
+func TestWireCtxRoundTrip(t *testing.T) {
+	ingress := time.Unix(100, 250)
+	send := time.Unix(101, 500)
+	tc := TraceCtx{TraceID: NewTraceID(), SpanID: NewSpanID(), Ingress: ingress.UnixNano()}
+	wire := tc.Wire(send)
+	if !strings.HasPrefix(wire, "at1-") {
+		t.Fatalf("wire encoding %q lacks version prefix", wire)
+	}
+	got, gotSend, ok := ParseWireCtx(wire)
+	if !ok {
+		t.Fatalf("ParseWireCtx(%q) failed", wire)
+	}
+	if got.TraceID != tc.TraceID || got.SpanID != tc.SpanID || got.Ingress != tc.Ingress {
+		t.Fatalf("round trip mismatch: got %+v, want %+v", got, tc)
+	}
+	if !gotSend.Equal(send) {
+		t.Fatalf("send time = %v, want %v", gotSend, send)
+	}
+	if !got.Decided() {
+		t.Fatal("context parsed off the wire must be decided")
+	}
+}
+
+func TestWireCtxRejectsMalformed(t *testing.T) {
+	tc := TraceCtx{TraceID: NewTraceID(), SpanID: NewSpanID(), Ingress: 1}
+	good := tc.Wire(time.Unix(2, 0))
+	cases := []string{
+		"",
+		"at1",
+		"at2-" + strings.TrimPrefix(good, "at1-"), // unknown version
+		"at1-xyz-0-0-0",
+		good + "-extra",
+		strings.Replace(good, tc.TraceID.String(), strings.Repeat("0", 32), 1), // zero trace ID
+	}
+	for _, c := range cases {
+		if _, _, ok := ParseWireCtx(c); ok {
+			t.Fatalf("ParseWireCtx(%q) accepted malformed input", c)
+		}
+	}
+	if w := (TraceCtx{}).Wire(time.Now()); w != "" {
+		t.Fatalf("unsampled context encoded to %q, want empty", w)
+	}
+}
+
+func TestCollectorSampling(t *testing.T) {
+	if c := NewCollector(TraceConfig{}); c != nil {
+		t.Fatal("SampleEvery 0 must return a nil collector")
+	}
+	var nilC *Collector
+	if tc := nilC.StartTrace(time.Now()); tc.Decided() || tc.Sampled() {
+		t.Fatal("nil collector must return the zero context")
+	}
+	nilC.RecordSpan(TraceCtx{}, "x", "y", time.Now(), 0)
+	nilC.StartSpan(TraceCtx{}, "x", "y")()
+	nilC.FinishTrace(TraceCtx{})
+	if _, ok := nilC.Lookup("x"); ok {
+		t.Fatal("nil collector lookup succeeded")
+	}
+
+	c := NewCollector(TraceConfig{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		tc := c.StartTrace(time.Now())
+		if !tc.Decided() {
+			t.Fatalf("root %d: context not decided", i)
+		}
+		if tc.Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 roots, want 4 (1 in 4)", sampled)
+	}
+}
+
+func TestCollectorUnsampledZeroAlloc(t *testing.T) {
+	c := NewCollector(TraceConfig{SampleEvery: 1 << 30})
+	c.StartTrace(time.Now()) // burn the first (sampled) root
+	now := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tc := c.StartTrace(now)
+		c.StartSpan(tc, "southbound", "generate")()
+		c.FinishTrace(tc)
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled trace path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestCollectorSpansAndLookup(t *testing.T) {
+	c := NewCollector(TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour})
+	start := time.Now()
+	tc := c.StartTrace(start)
+	if !tc.Sampled() {
+		t.Fatal("SampleEvery 1 must sample every root")
+	}
+	c.RecordSpan(tc, "southbound", "generate", start, 2*time.Millisecond)
+	end := c.StartSpan(tc, "controller", "dispatch")
+	end()
+	c.FinishTrace(tc)
+	// Late span after commit (the batched-writer case).
+	c.RecordSpan(tc, "store", "apply", start.Add(time.Millisecond), time.Millisecond)
+
+	rec, ok := c.Lookup(tc.TraceID.String())
+	if !ok {
+		t.Fatalf("trace %s not found", tc.TraceID)
+	}
+	if !rec.Done || rec.Slow {
+		t.Fatalf("record state done=%v slow=%v, want done, not slow", rec.Done, rec.Slow)
+	}
+	comps := map[string]bool{}
+	for _, sp := range rec.Spans {
+		comps[sp.Component] = true
+		if sp.Parent != rec.Root {
+			t.Fatalf("span %s/%s parent %s, want root %s", sp.Component, sp.Name, sp.Parent, rec.Root)
+		}
+	}
+	for _, want := range []string{"southbound", "controller", "store"} {
+		if !comps[want] {
+			t.Fatalf("missing %s span; got %v", want, comps)
+		}
+	}
+	if _, ok := c.Lookup("ffffffffffffffffffffffffffffffff"); ok {
+		t.Fatal("unknown trace ID looked up successfully")
+	}
+}
+
+func TestCollectorRemoteSpanOpensTrace(t *testing.T) {
+	// A collector that never saw the ingress (store node in another
+	// process) must still assemble its local half from the wire context.
+	remote := NewCollector(TraceConfig{SampleEvery: 1})
+	tc := TraceCtx{TraceID: NewTraceID(), SpanID: NewSpanID(), Ingress: time.Now().UnixNano()}
+	wire := tc.Wire(time.Now())
+	parsed, _, ok := ParseWireCtx(wire)
+	if !ok {
+		t.Fatal("wire context did not parse")
+	}
+	remote.RecordSpan(parsed, "store", "apply", time.Now(), time.Millisecond)
+	rec, ok := remote.Lookup(tc.TraceID.String())
+	if !ok || len(rec.Spans) != 1 || rec.Spans[0].Component != "store" {
+		t.Fatalf("remote half = %+v, %v", rec, ok)
+	}
+}
+
+func TestCollectorSlowRing(t *testing.T) {
+	c := NewCollector(TraceConfig{SampleEvery: 1, SlowThreshold: time.Nanosecond, Recent: 2, Slow: 8})
+	var slowID string
+	for i := 0; i < 5; i++ {
+		tc := c.StartTrace(time.Now())
+		time.Sleep(100 * time.Microsecond) // every trace crosses 1ns
+		c.FinishTrace(tc)
+		if i == 0 {
+			slowID = tc.TraceID.String()
+		}
+	}
+	slow := c.SlowTraces()
+	if len(slow) != 5 {
+		t.Fatalf("slow ring holds %d traces, want 5", len(slow))
+	}
+	if len(c.Recent()) != 2 {
+		t.Fatalf("recent ring holds %d traces, want 2 (capacity)", len(c.Recent()))
+	}
+	// The oldest trace churned out of recent but is pinned in slow.
+	if _, ok := c.Lookup(slowID); !ok {
+		t.Fatalf("slow trace %s evicted despite slow-ring pin", slowID)
+	}
+	for _, rec := range slow {
+		if !rec.Slow {
+			t.Fatalf("slow-ring record not marked slow: %+v", rec)
+		}
+	}
+}
+
+func TestCollectorSpanCap(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(TraceConfig{SampleEvery: 1})
+	c.BindMetrics(reg)
+	tc := c.StartTrace(time.Now())
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		c.RecordSpan(tc, "x", "y", time.Now(), 0)
+	}
+	rec, _ := c.Lookup(tc.TraceID.String())
+	if len(rec.Spans) != maxSpansPerTrace {
+		t.Fatalf("spans = %d, want cap %d", len(rec.Spans), maxSpansPerTrace)
+	}
+	snap := reg.Snapshot()
+	if got := snap["athena_trace_spans_dropped_total"]; got != uint64(10) {
+		t.Fatalf("spans_dropped = %v, want 10", got)
+	}
+}
+
+func TestCollectorMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(TraceConfig{SampleEvery: 2, SlowThreshold: time.Hour})
+	c.BindMetrics(reg)
+	for i := 0; i < 6; i++ {
+		tc := c.StartTrace(time.Now())
+		c.FinishTrace(tc)
+	}
+	snap := reg.Snapshot()
+	if snap["athena_trace_roots_total"] != uint64(6) {
+		t.Fatalf("roots = %v, want 6", snap["athena_trace_roots_total"])
+	}
+	if snap["athena_trace_sampled_total"] != uint64(3) {
+		t.Fatalf("sampled = %v, want 3", snap["athena_trace_sampled_total"])
+	}
+	if snap["athena_flight_recorder_committed_total"] != uint64(3) {
+		t.Fatalf("committed = %v, want 3", snap["athena_flight_recorder_committed_total"])
+	}
+	if snap["athena_flight_recorder_retained"] != 3.0 {
+		t.Fatalf("retained = %v, want 3", snap["athena_flight_recorder_retained"])
+	}
+}

@@ -1,0 +1,145 @@
+// Command lintmetrics cross-checks the metric catalogue in README.md
+// against the athena_* families actually registered in the source tree.
+// It fails (exit 1) when a registered family is missing from the README
+// or the README documents a family no code registers, so the catalogue
+// cannot silently drift. Wired into `make lint-metrics` / `make verify`.
+//
+// Registration sites are found syntactically: any call of the form
+// x.Counter("athena_..."), x.CounterVec(...), x.Gauge(...),
+// x.GaugeVec(...), x.GaugeFunc(...), x.Histogram(...) or
+// x.HistogramVec(...) whose first argument is a string literal starting
+// with "athena_", in any non-test .go file. The README side is every
+// inline-backticked `athena_*` token.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// registryMethods are the telemetry.Registry constructors that mint a
+// new family; the first argument is the family name.
+var registryMethods = map[string]bool{
+	"Counter": true, "CounterVec": true,
+	"Gauge": true, "GaugeVec": true, "GaugeFunc": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	registered, err := scanRegistrations(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmetrics:", err)
+		os.Exit(2)
+	}
+	documented, err := scanReadme(filepath.Join(root, "README.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmetrics:", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, name := range sorted(registered) {
+		if !documented[name] {
+			fmt.Printf("lintmetrics: %s registered at %s but absent from the README metric catalogue\n",
+				name, registered[name])
+			bad = true
+		}
+	}
+	for _, name := range sorted(documented) {
+		if _, ok := registered[name]; !ok {
+			fmt.Printf("lintmetrics: %s documented in README.md but registered nowhere\n", name)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("lintmetrics: %d families registered, all documented\n", len(registered))
+}
+
+// scanRegistrations walks non-test .go files and returns family →
+// first registration site.
+func scanRegistrations(root string) (map[string]string, error) {
+	out := map[string]string{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			fam, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(fam, "athena_") {
+				return true
+			}
+			if _, seen := out[fam]; !seen {
+				out[fam] = fset.Position(lit.Pos()).String()
+			}
+			return true
+		})
+		return nil
+	})
+	return out, err
+}
+
+var backtickedFamily = regexp.MustCompile("`(athena_[a-z0-9_]+)`")
+
+// scanReadme returns every inline-backticked athena_* token in the file.
+func scanReadme(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, m := range backtickedFamily.FindAllStringSubmatch(string(data), -1) {
+		out[m[1]] = true
+	}
+	return out, nil
+}
+
+func sorted[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

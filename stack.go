@@ -40,6 +40,11 @@ type StackConfig struct {
 	// Telemetry is the registry every component registers its metrics
 	// on; nil creates a fresh registry per stack.
 	Telemetry *telemetry.Registry
+	// Tracing configures the stack-wide distributed trace collector
+	// shared by controllers, SB elements, store nodes, and compute
+	// workers. The zero value (SampleEvery 0) disables distributed
+	// tracing.
+	Tracing telemetry.TraceConfig
 	// OpsAddr, when non-empty, binds the embedded ops HTTP server
 	// (/metrics, /healthz, /debug/vars, /traces, /debug/pprof/) there;
 	// ":0" picks an ephemeral port.
@@ -55,6 +60,7 @@ type Stack struct {
 	instances   []*core.Athena
 	storeAddrs  []string
 	tele        *telemetry.Registry
+	tracing     *telemetry.Collector
 	ops         *telemetry.OpsServer
 }
 
@@ -71,6 +77,13 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		reg = telemetry.NewRegistry()
 	}
 	s := &Stack{tele: reg}
+	// One collector spans the whole deployment: every component records
+	// into the same flight recorder, so a PacketIn trace stitches spans
+	// from the controller, the store node, and the compute worker.
+	s.tracing = telemetry.NewCollector(cfg.Tracing)
+	if s.tracing != nil {
+		s.tracing.BindMetrics(reg)
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -81,7 +94,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	// Store cluster.
 	if cfg.StoreNodes > 0 {
 		for i := 0; i < cfg.StoreNodes; i++ {
-			n, err := store.NewNode("", store.WithTelemetry(reg))
+			n, err := store.NewNode("", store.WithTelemetry(reg), store.WithNodeTracing(s.tracing))
 			if err != nil {
 				return nil, fmt.Errorf("stack: store node %d: %w", i, err)
 			}
@@ -93,7 +106,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	// Compute cluster.
 	var computeAddrs []string
 	for i := 0; i < cfg.ComputeWorkers; i++ {
-		w, err := compute.NewWorker("", compute.WithWorkerTelemetry(reg))
+		w, err := compute.NewWorker("", compute.WithWorkerTelemetry(reg), compute.WithWorkerTracing(s.tracing))
 		if err != nil {
 			return nil, fmt.Errorf("stack: compute worker %d: %w", i, err)
 		}
@@ -136,6 +149,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		ctrlCfg.ListenAddr = ""
 		ctrlCfg.Cluster = a
 		ctrlCfg.Telemetry = reg
+		ctrlCfg.Tracing = s.tracing
 		c, err := controller.New(ctrlCfg)
 		if err != nil {
 			return nil, fmt.Errorf("stack: controller %d: %w", i, err)
@@ -154,6 +168,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 				Southbound:           cfg.Southbound,
 				DistributedThreshold: cfg.DistributedThreshold,
 				Telemetry:            reg,
+				Tracing:              s.tracing,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("stack: athena instance %d: %w", i, err)
@@ -179,6 +194,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 				}
 				return out
 			},
+			Tracing: s.tracing,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("stack: ops server: %w", err)
@@ -213,6 +229,10 @@ func (s *Stack) Close() {
 
 // Telemetry returns the registry the whole deployment reports into.
 func (s *Stack) Telemetry() *telemetry.Registry { return s.tele }
+
+// Tracing returns the deployment-wide distributed trace collector (nil
+// when tracing is disabled).
+func (s *Stack) Tracing() *telemetry.Collector { return s.tracing }
 
 // OpsAddr returns the bound ops-server address, or "" when no ops
 // server was configured.

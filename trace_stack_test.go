@@ -1,0 +1,184 @@
+package athena
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// TestStackDistributedTraceStitching is the tracing acceptance test:
+// one PacketIn's trace ID resolves via the ops /traces/{id} endpoint to
+// a span tree stitched from at least three components — the controller
+// and SB element in-process, the store node across the AS protocol, and
+// (after attributing an analysis job to the same trace) the compute
+// worker across the AF protocol.
+func TestStackDistributedTraceStitching(t *testing.T) {
+	stack, err := NewStack(StackConfig{
+		Controllers:          1,
+		StoreNodes:           1,
+		ComputeWorkers:       1,
+		DistributedThreshold: 1,
+		Southbound:           SouthboundConfig{Publish: PublishSync},
+		Tracing:              TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour},
+		OpsAddr:              "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	col := stack.Tracing()
+	if col == nil {
+		t.Fatal("stack with SampleEvery 1 has no collector")
+	}
+
+	net, hosts, err := EnterpriseTopology(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := stack.ConnectNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.WaitForDevices(18, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := NewTrafficGen(7)
+	inst := stack.Instance(0)
+	var rec telemetry.DistTraceRecord
+	waitUntil(t, 10*time.Second, "a trace spanning controller+southbound+store", func() bool {
+		gen.BenignFlow(hosts).Send()
+		for _, cand := range col.Recent() {
+			comps := map[string]bool{}
+			for _, sp := range cand.Spans {
+				comps[sp.Component] = true
+			}
+			if comps["controller"] && comps["southbound"] && comps["store"] {
+				rec = cand
+				return true
+			}
+		}
+		return false
+	})
+
+	// Attribute one distributed analysis job to the same PacketIn trace:
+	// the driver stamps the dispatch span locally and the worker stitches
+	// its kernel span across the AF wire.
+	tid, ok := telemetry.ParseTraceID(rec.ID)
+	if !ok {
+		t.Fatalf("trace ID %q does not parse", rec.ID)
+	}
+	var root telemetry.SpanID
+	raw, err := hex.DecodeString(rec.Root)
+	if err != nil || len(raw) != len(root) {
+		t.Fatalf("root span %q does not parse", rec.Root)
+	}
+	copy(root[:], raw)
+	tc := telemetry.TraceCtx{TraceID: tid, SpanID: root, Ingress: rec.Start.UnixNano()}
+
+	inst.Detector().TraceNextJob(tc)
+	train := GenerateDDoSFeatures(SynthDDoSConfig{BenignFlows: 40, MaliciousFlows: 40, Seed: 1})
+	p := &Preprocessor{Normalize: NormMinMax, LabelField: LabelField}
+	p.AddFeatures(DDoSFeatureNames...)
+	model, err := inst.GenerateDetectionModelFromFeatures(train, p,
+		NewAlgorithm(AlgoKMeans, MLParams{K: 2, Iterations: 3, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Distributed {
+		t.Fatal("job did not dispatch to the compute cluster (threshold 1)")
+	}
+
+	waitUntil(t, 5*time.Second, "compute spans attached to the PacketIn trace", func() bool {
+		got, ok := col.Lookup(rec.ID)
+		if !ok {
+			return false
+		}
+		for _, sp := range got.Spans {
+			if sp.Component == "compute" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The ops endpoint serves the stitched tree for that single ID.
+	base := "http://" + stack.OpsAddr()
+	resp, err := http.Get(base + "/traces/" + rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/traces/%s status = %d", rec.ID, resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{"trace " + rec.ID, "southbound/", "store/apply", "compute/"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("span tree missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(base + "/traces/" + rec.ID + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	ct := resp.Header.Get("Content-Type")
+	resp.Body.Close()
+	if ct != "application/json" {
+		t.Fatalf("json content type = %q", ct)
+	}
+	var full telemetry.DistTraceRecord
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	comps := map[string]bool{}
+	for _, sp := range full.Spans {
+		comps[sp.Component] = true
+	}
+	for _, want := range []string{"controller", "southbound", "store", "compute"} {
+		if !comps[want] {
+			t.Fatalf("stitched trace lacks %s spans; has %v", want, comps)
+		}
+	}
+
+	// /statusz links to the trace listing.
+	resp, err = http.Get(base + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "trace sampling 1/1") {
+		t.Fatalf("/statusz:\n%s", body)
+	}
+
+	// The e2e SLO histograms populated across the stack.
+	fams := stack.Telemetry().Gather()
+	seen := map[string]uint64{}
+	for _, fam := range fams {
+		if strings.HasPrefix(fam.Name, "athena_e2e_") {
+			for _, m := range fam.Metrics {
+				seen[fam.Name] += m.Count
+			}
+		}
+	}
+	for _, name := range []string{
+		"athena_e2e_ingress_to_feature_seconds",
+		"athena_e2e_feature_to_published_seconds",
+		"athena_e2e_published_to_applied_seconds",
+		"athena_e2e_dispatch_to_kernel_seconds",
+	} {
+		if seen[name] == 0 {
+			t.Fatalf("%s never observed; e2e families = %v", name, seen)
+		}
+	}
+}
