@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race chaos fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-detect microbench
+.PHONY: build verify test race chaos fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-detect bench-stream stream-soak microbench
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify:
 	$(MAKE) lint-metrics
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) stream-soak
 	$(MAKE) fuzz-smoke
 
 # Cross-checks the README metric catalogue against the athena_*
@@ -36,6 +37,12 @@ lint-metrics:
 chaos:
 	$(GO) test -race -run 'Fault|Chaos|Truncated|HealthProbe|AllWorkersLost|ConcurrentClose|LoadAfterWorkerDeath|Keepalive|FailedEcho|Rehomes|Partition' \
 		./internal/faults/ ./internal/compute/ ./internal/controller/ ./internal/cluster/ ./internal/store/
+
+# Streaming-detection soaks under the race detector: concurrent
+# score/update/swap across shards (torn-read + determinism asserts),
+# the NaN/Inf skip path end-to-end, and the zero-alloc pin on Observe.
+stream-soak:
+	$(GO) test -race -run 'StreamSoak|NonFinite|ZeroAlloc|Deterministic' ./internal/stream/ ./internal/ml/
 
 # Short fuzz sessions against the wire-frame decoders and the query
 # parser, replaying and extending the checked-in seed corpora. Each
@@ -79,6 +86,12 @@ bench-detect:
 	$(GO) run ./cmd/athena-bench -exp detect \
 		-detect-out BENCH_detect.json -detect-label "$(LABEL)"
 
+# Appends a labeled streaming-detection run (paired ingest arms with
+# inline scoring off/on + the raw Observe path) to BENCH_stream.json.
+bench-stream:
+	$(GO) run ./cmd/athena-bench -exp stream \
+		-stream-out BENCH_stream.json -stream-label "$(LABEL)"
+
 # The per-op Go benchmarks behind the pipeline numbers.
 microbench:
 	$(GO) test -bench 'BenchmarkGeneratorProcess|BenchmarkSouthboundHandle' -run XXX ./internal/core/
@@ -86,3 +99,4 @@ microbench:
 	$(GO) test -bench 'BenchmarkKMeansTrain' -benchmem -run XXX ./internal/ml/
 	$(GO) test -bench 'BenchmarkDriverLoadDataset' -benchmem -run XXX ./internal/compute/
 	$(GO) test -bench 'BenchmarkStoreInsert|BenchmarkStoreQueryIndexed|BenchmarkStoreQueryScan|BenchmarkClientPipelined' -benchmem -run XXX ./internal/store/
+	$(GO) test -bench 'BenchmarkStreamObserve' -benchmem -run XXX ./internal/stream/

@@ -39,6 +39,7 @@ import (
 	"github.com/athena-sdn/athena/internal/openflow"
 	"github.com/athena-sdn/athena/internal/query"
 	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/stream"
 	"github.com/athena-sdn/athena/internal/telemetry"
 	"github.com/athena-sdn/athena/internal/ui"
 )
@@ -73,6 +74,18 @@ type (
 	PublishMode = core.PublishMode
 	// SynthDDoSConfig shapes synthetic DDoS workloads (§V-A scale runs).
 	SynthDDoSConfig = core.SynthDDoSConfig
+	// StreamConfig tunes the online streaming detection path
+	// (SouthboundConfig.Stream).
+	StreamConfig = stream.Config
+	// StreamEngine scores features inline at the SB element against an
+	// atomically swapped model snapshot.
+	StreamEngine = stream.Engine
+	// StreamObservation is one record presented to the streaming engine.
+	StreamObservation = stream.Observation
+	// StreamVerdict is one scored streaming observation.
+	StreamVerdict = stream.Verdict
+	// StreamSnapshot is an immutable streaming model snapshot.
+	StreamSnapshot = stream.Snapshot
 )
 
 // Query types.

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|detect|all")
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|detect|stream|all")
 		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
 		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
 		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
@@ -67,6 +67,12 @@ func main() {
 		detSample = flag.Int("detect-sample", 128, "detect: trace sampling period (1/N) for the instrumented arm")
 		detOut    = flag.String("detect-out", "", "detect: append a labeled run to this JSON log (e.g. BENCH_detect.json)")
 		detLabel  = flag.String("detect-label", "current", "detect: label for the appended run")
+
+		strMsgs   = flag.Int("stream-messages", 160_000, "stream: PacketIn budget for the paired ingest arms")
+		strOps    = flag.Int("stream-score-ops", 400_000, "stream: direct Observe microbenchmark iterations")
+		strShards = flag.Int("stream-shards", 8, "stream: engine shard count")
+		strOut    = flag.String("stream-out", "", "stream: append a labeled run to this JSON log (e.g. BENCH_stream.json)")
+		strLabel  = flag.String("stream-label", "current", "stream: label for the appended run")
 	)
 	flag.Parse()
 	pcfg := pipelineFlags{
@@ -89,7 +95,11 @@ func main() {
 		Messages: *detMsgs, E2EMessages: *detE2E, SampleEvery: *detSample,
 		Out: *detOut, Label: *detLabel,
 	}
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg, scfg, dcfg); err != nil {
+	stmCfg := streamFlags{
+		Messages: *strMsgs, ScoreOps: *strOps, Shards: *strShards,
+		Out: *strOut, Label: *strLabel,
+	}
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg, scfg, dcfg, stmCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
@@ -140,7 +150,16 @@ type detectFlags struct {
 	Label       string
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags, scfg storeFlags, dcfg detectFlags) error {
+// streamFlags carries the -stream-* command-line knobs.
+type streamFlags struct {
+	Messages int
+	ScoreOps int
+	Shards   int
+	Out      string
+	Label    string
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags, scfg storeFlags, dcfg detectFlags, stmCfg streamFlags) error {
 	// One shared registry across all experiments: the dump then reads
 	// like a scrape of a deployment that ran the whole evaluation.
 	var reg *telemetry.Registry
@@ -150,7 +169,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store", "detect"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store", "detect", "stream"} {
 			todo[e] = true
 		}
 	} else {
@@ -335,6 +354,24 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 				return fmt.Errorf("detect log: %w", err)
 			}
 			fmt.Printf("detect run %q appended to %s\n", dcfg.Label, dcfg.Out)
+		}
+		fmt.Println()
+	}
+	if todo["stream"] {
+		r, err := bench.RunStream(bench.StreamConfig{
+			Messages: stmCfg.Messages,
+			ScoreOps: stmCfg.ScoreOps,
+			Shards:   stmCfg.Shards,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteStreamReport(os.Stdout, r)
+		if stmCfg.Out != "" {
+			if err := bench.AppendStreamJSON(stmCfg.Out, stmCfg.Label, r); err != nil {
+				return fmt.Errorf("stream log: %w", err)
+			}
+			fmt.Printf("stream run %q appended to %s\n", stmCfg.Label, stmCfg.Out)
 		}
 		fmt.Println()
 	}

@@ -34,6 +34,9 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		traceEvery  = flag.Int("trace-sample", 128, "distributed tracing: sample 1 in N PacketIns (0 disables)")
 		traceSlow   = flag.Duration("trace-slow", 25*time.Millisecond, "distributed tracing: retain traces at least this slow")
+		streamOn    = flag.Bool("stream", false, "score every feature inline through the streaming detection engine")
+		window      = flag.Duration("window", 10*time.Second, "streaming aggregation window width")
+		slide       = flag.Duration("slide", time.Second, "streaming window slide (equal to -window for tumbling)")
 	)
 	flag.Parse()
 	lvl, err := athena.ParseLogLevel(*logLevel)
@@ -42,13 +45,19 @@ func main() {
 		os.Exit(2)
 	}
 	athena.SetLogLevel(lvl)
-	if err := run(*controllers, *storeNodes, *workers, *duration, !*noTopo, *hostsPer, *seed, *opsAddr, *traceEvery, *traceSlow); err != nil {
+	streamCfg := athena.StreamConfig{
+		Enabled: *streamOn,
+		Window:  *window,
+		Slide:   *slide,
+		Refresh: 500 * time.Millisecond,
+	}
+	if err := run(*controllers, *storeNodes, *workers, *duration, !*noTopo, *hostsPer, *seed, *opsAddr, *traceEvery, *traceSlow, streamCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athenad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(controllers, storeNodes, workers int, duration time.Duration, topo bool, hostsPer int, seed int64, opsAddr string, traceEvery int, traceSlow time.Duration) error {
+func run(controllers, storeNodes, workers int, duration time.Duration, topo bool, hostsPer int, seed int64, opsAddr string, traceEvery int, traceSlow time.Duration, streamCfg athena.StreamConfig) error {
 	stack, err := athena.NewStack(athena.StackConfig{
 		Controllers:    controllers,
 		StoreNodes:     storeNodes,
@@ -58,6 +67,7 @@ func run(controllers, storeNodes, workers int, duration time.Duration, topo bool
 			BatchDelay:  50 * time.Millisecond,
 			GCInterval:  30 * time.Second,
 			TraceSample: 64,
+			Stream:      streamCfg,
 		},
 		Controller: athena.ControllerConfig{
 			KeepaliveInterval: 5 * time.Second,

@@ -61,6 +61,12 @@ type DetectResult struct {
 	// TracingOverheadPct is the relative throughput cost of tracing
 	// ((uninstrumented - instrumented) / uninstrumented × 100).
 	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
+	// UninstrumentedAllocsPerOp is heap allocations per generator
+	// Process call with tracing off (median across rounds).
+	UninstrumentedAllocsPerOp float64 `json:"uninstrumented_allocs_per_op"`
+	// InstrumentedAllocsPerOp is the same workload with the ingress
+	// sampler live — the allocation cost of riding a trace context.
+	InstrumentedAllocsPerOp float64 `json:"instrumented_allocs_per_op"`
 
 	// Ingress→published latency distribution over E2EMessages
 	// synchronous publishes into a real store node (milliseconds).
@@ -92,19 +98,24 @@ func RunDetect(cfg DetectConfig) (DetectResult, error) {
 	const rounds = 9 // first round is warmup, discarded
 	msgs := prebuildPacketIns(1, cfg.Messages/(rounds-1), now)
 	var plainDurs, tracedDurs []time.Duration
-	var ratios []float64
+	var ratios, plainAllocs, tracedAllocs []float64
+	var mBefore, mAfter runtime.MemStats
 	for r := 0; r < rounds; r++ {
 		gen := core.NewGenerator(core.GeneratorConfig{})
 		runtime.GC()
+		runtime.ReadMemStats(&mBefore)
 		start := time.Now()
 		for i := range msgs {
 			gen.Process(msgs[i])
 		}
 		plain := time.Since(start)
+		runtime.ReadMemStats(&mAfter)
+		plainMallocs := mAfter.Mallocs - mBefore.Mallocs
 
 		gen = core.NewGenerator(core.GeneratorConfig{})
 		col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: cfg.SampleEvery})
 		runtime.GC()
+		runtime.ReadMemStats(&mBefore)
 		start = time.Now()
 		for i := range msgs {
 			m := msgs[i]
@@ -113,6 +124,8 @@ func RunDetect(cfg DetectConfig) (DetectResult, error) {
 			col.FinishTrace(m.Trace)
 		}
 		traced := time.Since(start)
+		runtime.ReadMemStats(&mAfter)
+		tracedMallocs := mAfter.Mallocs - mBefore.Mallocs
 
 		if r == 0 {
 			continue
@@ -120,11 +133,15 @@ func RunDetect(cfg DetectConfig) (DetectResult, error) {
 		plainDurs = append(plainDurs, plain)
 		tracedDurs = append(tracedDurs, traced)
 		ratios = append(ratios, float64(traced)/float64(plain))
+		plainAllocs = append(plainAllocs, float64(plainMallocs)/float64(len(msgs)))
+		tracedAllocs = append(tracedAllocs, float64(tracedMallocs)/float64(len(msgs)))
 	}
 	n := float64(len(msgs))
 	res.UninstrumentedMsgsPerSec = n / medianDur(plainDurs).Seconds()
 	res.InstrumentedMsgsPerSec = n / medianDur(tracedDurs).Seconds()
 	res.TracingOverheadPct = 100 * (medianFloat(ratios) - 1)
+	res.UninstrumentedAllocsPerOp = medianFloat(plainAllocs)
+	res.InstrumentedAllocsPerOp = medianFloat(tracedAllocs)
 
 	// Segment 2: ingress→published distribution. Synchronous publishes
 	// into a real store node over the AS wire protocol, handled inline so
@@ -221,6 +238,8 @@ func WriteDetectReport(w io.Writer, r DetectResult) {
 	fmt.Fprintf(w, "  generator uninstrumented %12.0f msgs/s\n", r.UninstrumentedMsgsPerSec)
 	fmt.Fprintf(w, "  generator traced 1/%-6d %12.0f msgs/s  (overhead %.2f%%)\n",
 		r.Config.SampleEvery, r.InstrumentedMsgsPerSec, r.TracingOverheadPct)
+	fmt.Fprintf(w, "  generator allocs         %12.1f allocs/op plain, %.1f traced\n",
+		r.UninstrumentedAllocsPerOp, r.InstrumentedAllocsPerOp)
 	fmt.Fprintf(w, "  ingress→published latency over %d sync publishes:\n", r.E2ESamples)
 	ui.Table(w, []string{"quantile", "latency"}, [][]string{
 		{"p50", fmt.Sprintf("%.3f ms", r.E2EP50Ms)},

@@ -8,6 +8,7 @@ import (
 	"github.com/athena-sdn/athena/internal/controller"
 	"github.com/athena-sdn/athena/internal/openflow"
 	"github.com/athena-sdn/athena/internal/store"
+	"github.com/athena-sdn/athena/internal/stream"
 	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
@@ -83,13 +84,22 @@ type SouthboundConfig struct {
 	// context (no controller collector), the SB element makes the
 	// sampling decision itself.
 	Tracing *telemetry.Collector
+	// Stream configures the online detection path: when
+	// Stream.Enabled, every feature this element emits is scored
+	// inline against the streaming engine's live model snapshot —
+	// window aggregation, online model updates and a lock-free scoring
+	// hot path, all without touching the store. Unset Telemetry /
+	// Tracing / InstanceID fields inherit the SB element's.
+	Stream stream.Config
 }
 
 // sbScratch is the per-worker reusable buffer set for one process
-// pass: the generated-feature slice and the Sync-mode document batch.
+// pass: the generated-feature slice, the Sync-mode document batch,
+// and the streaming-score dims vector.
 type sbScratch struct {
 	feats []*Feature
 	docs  []store.Document
+	vals  []float64
 }
 
 // Southbound is the SB element: it hooks the controller proxy, runs the
@@ -102,6 +112,11 @@ type Southbound struct {
 
 	sink   store.Sink
 	writer *store.Writer
+
+	// Online detection path (nil unless SouthboundConfig.Stream.Enabled).
+	stream    *stream.Engine
+	streamIDs []FeatureID
+	labelID   FeatureID
 
 	mu        sync.RWMutex
 	listeners []func(*Feature)
@@ -175,6 +190,27 @@ func NewSouthbound(proxy Proxy, sink store.Sink, cfg SouthboundConfig) *Southbou
 		"Latency from feature emission to publish completion (sync insert or batched flush).",
 		nil, "controller").WithLabelValues(proxy.ID())
 	sb.scratch.New = func() any { return &sbScratch{} }
+	if cfg.Stream.Enabled {
+		scfg := cfg.Stream
+		if scfg.Telemetry == nil {
+			scfg.Telemetry = reg
+		}
+		if scfg.Tracing == nil {
+			scfg.Tracing = cfg.Tracing
+		}
+		if scfg.InstanceID == "" {
+			scfg.InstanceID = proxy.ID()
+		}
+		if len(scfg.Dims) == 0 {
+			scfg.Dims = stream.DefaultDims
+		}
+		sb.stream = stream.NewEngine(scfg)
+		sb.streamIDs = make([]FeatureID, len(sb.stream.Dims()))
+		for i, name := range sb.stream.Dims() {
+			sb.streamIDs[i] = InternFeature(name)
+		}
+		sb.labelID = InternFeature(LabelField)
+	}
 	if mode == PublishBatched {
 		sb.writer = store.NewWriter(sink, cfg.BatchSize, cfg.BatchDelay,
 			store.WithWriterTelemetry(reg, proxy.ID()),
@@ -280,10 +316,17 @@ func (sb *Southbound) Close() {
 	if sb.writer != nil {
 		_ = sb.writer.Close()
 	}
+	if sb.stream != nil {
+		sb.stream.Close()
+	}
 }
 
 // Generator exposes the Feature Generator (Resource Manager surface).
 func (sb *Southbound) Generator() *Generator { return sb.gen }
+
+// Stream exposes the online detection engine (nil unless
+// SouthboundConfig.Stream.Enabled).
+func (sb *Southbound) Stream() *stream.Engine { return sb.stream }
 
 // QueueDrops reports how many control messages were dropped at full
 // dispatch queues (always zero in inline mode).
@@ -419,6 +462,34 @@ func (sb *Southbound) process(msg controller.ControlMessage, sc *sbScratch) {
 	}
 	endDispatchSpan()
 	endDispatch()
+
+	// Online scoring: every emitted feature is scored inline against
+	// the streaming engine's live snapshot. Listeners ran first, so
+	// application-derived fields are visible to the dims vector. The
+	// engine guards non-finite values and performs zero steady-state
+	// allocations; sc.vals is per-worker scratch reused across calls.
+	if sb.stream != nil {
+		vals := sc.vals
+		if cap(vals) < len(sb.streamIDs) {
+			vals = make([]float64, len(sb.streamIDs))
+			sc.vals = vals
+		}
+		vals = vals[:len(sb.streamIDs)]
+		for _, f := range features {
+			for i, id := range sb.streamIDs {
+				vals[i] = f.ValueID(id)
+			}
+			label, labeled := f.LookupID(sb.labelID)
+			sb.stream.Observe(&stream.Observation{
+				DPID:      f.DPID,
+				TimeNanos: f.Time.UnixNano(),
+				Vals:      vals,
+				Label:     label,
+				Labeled:   labeled,
+				Trace:     f.Trace,
+			})
+		}
+	}
 }
 
 // insertSync publishes one message's documents synchronously, carrying

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/stream"
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// TestSouthboundStreamScoring drives control messages through the full
+// generator → window → score path and checks the engine scored every
+// emitted feature without store involvement.
+func TestSouthboundStreamScoring(t *testing.T) {
+	proxy := newFakeProxy()
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{
+		Workers: 4,
+		Stream:  stream.Config{Enabled: true, MinObs: 1},
+	})
+	defer sb.Close()
+	eng := sb.Stream()
+	if eng == nil {
+		t.Fatal("stream engine not constructed")
+	}
+
+	now := time.Now()
+	for seq := 0; seq < 200; seq++ {
+		proxy.inject(perfPacketInMsg(uint64(1+seq%4), seq, now))
+	}
+	for seq := 0; seq < 50; seq++ {
+		fs := openflow.FlowStats{
+			Match:       openflow.ExactMatch(sampleFields(byte(seq%100), 2, 1000, 80)),
+			DurationSec: 10,
+			PacketCount: 10,
+			ByteCount:   1500,
+		}
+		proxy.inject(flowStatsMsg(uint64(1+seq%4), now, fs))
+	}
+	sb.Drain()
+
+	st := eng.Stats()
+	if st.Scores == 0 {
+		t.Fatal("stream engine scored nothing")
+	}
+	if ws := eng.WindowStats(); ws.Events == 0 {
+		t.Fatal("window rings hold no events")
+	}
+	if v := eng.Model().Version; v != 1 {
+		t.Fatalf("model refreshed unexpectedly to version %d", v)
+	}
+	eng.Refresh()
+	if v := eng.Model().Version; v != 2 {
+		t.Fatalf("refresh did not swap: version %d", v)
+	}
+}
+
+// TestSouthboundStreamNonFiniteGuard pins the end-to-end poison guard:
+// a feature listener (modeling an application annotating records)
+// writes ±Inf/NaN into a scored field after generation; the streaming
+// engine must skip-and-count those records and keep the refreshed
+// centroids finite. NaN writes make the field absent (the dense
+// vector's sentinel) and read as zero — also finite.
+func TestSouthboundStreamNonFiniteGuard(t *testing.T) {
+	proxy := newFakeProxy()
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{
+		Stream: stream.Config{
+			Enabled: true,
+			Dims:    []string{FPacketCount, FBytePerPacket},
+			MinObs:  1,
+		},
+	})
+	defer sb.Close()
+	eng := sb.Stream()
+
+	bppID := InternFeature(FBytePerPacket)
+	poisoned := 0
+	sb.AddFeatureListener(func(f *Feature) {
+		if f.Origin == OriginFlowStats && poisoned < 5 {
+			f.Set(bppID, math.Inf(1))
+			poisoned++
+		}
+	})
+
+	now := time.Now()
+	for seq := 0; seq < 40; seq++ {
+		fs := openflow.FlowStats{
+			Match:       openflow.ExactMatch(sampleFields(byte(seq%20), 2, 1000, 80)),
+			DurationSec: 5,
+			PacketCount: 100,
+			ByteCount:   150000,
+		}
+		proxy.inject(flowStatsMsg(1, now, fs))
+	}
+	sb.Drain()
+
+	st := eng.Stats()
+	if st.Skipped != 5 {
+		t.Fatalf("skipped = %d, want 5 (poisoned records)", st.Skipped)
+	}
+	if st.Scores == 0 {
+		t.Fatal("clean records were not scored")
+	}
+	eng.Refresh()
+	for i, c := range eng.Model().Centroids {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("poison reached centroid[%d] = %v", i, c)
+		}
+	}
+}
+
+// TestSouthboundStreamAnomalyTrace warms the online model, then drives
+// an outlier through a sampled trace and asserts the verdict carries
+// the trace ID and the collector resolved the trace through the
+// stream/score span — the detection-path half of the /traces/{id}
+// acceptance criterion.
+func TestSouthboundStreamAnomalyTrace(t *testing.T) {
+	proxy := newFakeProxy()
+	col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: 1})
+	sb := NewSouthbound(proxy, nil, SouthboundConfig{
+		Tracing: col,
+		Stream: stream.Config{
+			Enabled: true,
+			Dims:    []string{FPacketCount, FByteCount},
+			MinObs:  1,
+		},
+	})
+	defer sb.Close()
+	eng := sb.Stream()
+
+	now := time.Now()
+	inject := func(src byte, packets, bytes uint64) {
+		fs := openflow.FlowStats{
+			Match:       openflow.ExactMatch(sampleFields(src, 2, 1000, 80)),
+			DurationSec: 5,
+			PacketCount: packets,
+			ByteCount:   bytes,
+		}
+		proxy.inject(flowStatsMsg(1, now, fs))
+	}
+	// Several observe/refresh epochs anneal the radius onto the tight
+	// benign cluster.
+	for epoch := 0; epoch < 6; epoch++ {
+		for seq := 0; seq < 50; seq++ {
+			inject(byte(seq%25), 10, 1500)
+		}
+		eng.Refresh()
+	}
+
+	inject(200, 1e9, 1e12) // outlier: six orders of magnitude off the cluster
+	var verdict stream.Verdict
+	select {
+	case verdict = <-eng.Anomalies():
+	default:
+		t.Fatalf("no anomaly verdict (radius %v)", eng.Model().Radius)
+	}
+	if !verdict.Anomalous || verdict.TraceID.IsZero() {
+		t.Fatalf("verdict %+v lacks anomaly flag or trace", verdict)
+	}
+	rec, ok := col.Lookup(verdict.TraceID.String())
+	if !ok {
+		t.Fatalf("trace %s not resolvable in collector", verdict.TraceID)
+	}
+	var hasGenerate, hasScore bool
+	for _, sp := range rec.Spans {
+		if sp.Component == "southbound" && sp.Name == "generate" {
+			hasGenerate = true
+		}
+		if sp.Component == "stream" && sp.Name == "score" {
+			hasScore = true
+		}
+	}
+	if !hasGenerate || !hasScore {
+		t.Fatalf("trace spans missing generate/score: %+v", rec.Spans)
+	}
+}

@@ -1,0 +1,416 @@
+package ml
+
+import "math"
+
+// Online (streaming) variants of the batch kernels, built for the
+// internal/stream scoring path. The design splits every online model
+// into two halves:
+//
+//   - a per-shard *accumulator* of sufficient statistics, filled on the
+//     hot path under the shard lock and merged at refresh time. All
+//     accumulation happens in fixed-point int64, so the merged totals
+//     are bit-identical under any interleaving or shard count — integer
+//     addition is associative and commutative where float64 addition is
+//     not. This is the determinism contract the stream soak test pins.
+//
+//   - a single-threaded *stepper* (OnlineKMeans / OnlineSGD) that folds
+//     the merged statistics into the model at each refresh. Assignments
+//     and gradient error terms are always computed against the frozen
+//     model snapshot published before the epoch, so for a fixed input
+//     stream and a fixed refresh schedule the resulting model is
+//     bit-identical regardless of how the stream was sharded.
+
+// FixedScale is the fixed-point resolution of the online accumulators:
+// contributions are rounded to 1/FixedScale before summation.
+const FixedScale = 1 << 14
+
+// fixedClamp bounds one scaled contribution to ±2^44 (a raw magnitude
+// of ~2^30 ≈ 1.07e9). The clamp keeps a single malformed-but-finite
+// sample from dominating a centroid and leaves 2^19 ≈ 524k
+// contributions of headroom per accumulator cell before an int64 could
+// overflow — refresh epochs at line rate are a few hundred ms, well
+// under that.
+const fixedClamp = int64(1) << 44
+
+// FixedFromFloat quantizes one accumulator contribution. Non-finite
+// inputs map to zero (the stream layer skip-counts them before they
+// get here; this is the last line of defense). The in-range compare
+// pair is the hot path: it rejects NaN and ±Inf for free (NaN fails
+// both comparisons), so the slow path only runs for clamped or
+// non-finite inputs.
+func FixedFromFloat(v float64) int64 {
+	scaled := math.Round(v * FixedScale)
+	if scaled > -float64(fixedClamp) && scaled < float64(fixedClamp) {
+		return int64(scaled)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	if scaled > 0 {
+		return fixedClamp
+	}
+	return -fixedClamp
+}
+
+// FixedToFloat converts an accumulated fixed-point sum back to float64.
+func FixedToFloat(a int64) float64 { return float64(a) / FixedScale }
+
+// splitmix64 advances x and returns the next value of the SplitMix64
+// sequence — the seeding generator for online model initialization
+// (deterministic, allocation-free, no math/rand state to share).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// splitmixFloat returns a uniform float64 in [0, 1).
+func splitmixFloat(x *uint64) float64 {
+	return float64(splitmix64(x)>>11) / (1 << 53)
+}
+
+// KMeansAccumulator collects one shard's per-centroid sufficient
+// statistics for a mini-batch K-Means step: member sums and counts
+// plus distance moments for the per-centroid anomaly radius.
+type KMeansAccumulator struct {
+	k, dim int
+	// Sum is the fixed-point member-vector sum, k×dim row-major.
+	Sum []int64
+	// Count is the member count per centroid.
+	Count []int64
+	// DistSum / DistSqSum accumulate member distance and squared
+	// distance to the assigned centroid (fixed point).
+	DistSum   []int64
+	DistSqSum []int64
+}
+
+// NewKMeansAccumulator returns an empty accumulator for k centroids of
+// the given dimensionality.
+func NewKMeansAccumulator(k, dim int) *KMeansAccumulator {
+	return &KMeansAccumulator{
+		k: k, dim: dim,
+		Sum:       make([]int64, k*dim),
+		Count:     make([]int64, k),
+		DistSum:   make([]int64, k),
+		DistSqSum: make([]int64, k),
+	}
+}
+
+// Add folds one observation assigned to centroid c at distance dist.
+// It never allocates; the row reslice lets the compiler drop bounds
+// checks on the hot path.
+func (a *KMeansAccumulator) Add(c int, x []float64, dist float64) {
+	sum := a.Sum[c*a.dim:]
+	sum = sum[:len(x)]
+	for j, v := range x {
+		sum[j] += FixedFromFloat(v)
+	}
+	a.Count[c]++
+	a.DistSum[c] += FixedFromFloat(dist)
+	a.DistSqSum[c] += FixedFromFloat(dist * dist)
+}
+
+// Merge adds b's statistics into a. Because the cells are integers the
+// result is independent of merge order.
+func (a *KMeansAccumulator) Merge(b *KMeansAccumulator) {
+	for i, v := range b.Sum {
+		a.Sum[i] += v
+	}
+	for i := range b.Count {
+		a.Count[i] += b.Count[i]
+		a.DistSum[i] += b.DistSum[i]
+		a.DistSqSum[i] += b.DistSqSum[i]
+	}
+}
+
+// Reset zeroes the accumulator in place for reuse.
+func (a *KMeansAccumulator) Reset() {
+	for i := range a.Sum {
+		a.Sum[i] = 0
+	}
+	for i := range a.Count {
+		a.Count[i] = 0
+		a.DistSum[i] = 0
+		a.DistSqSum[i] = 0
+	}
+}
+
+// Observations reports how many samples the accumulator holds.
+func (a *KMeansAccumulator) Observations() int64 {
+	var n int64
+	for _, c := range a.Count {
+		n += c
+	}
+	return n
+}
+
+// OnlineKMeansConfig parameterizes the streaming K-Means stepper.
+type OnlineKMeansConfig struct {
+	// K is the centroid count (default 8).
+	K int
+	// Dim is the feature dimensionality (required).
+	Dim int
+	// Seed drives centroid initialization (default 1).
+	Seed int64
+	// RadiusFactor sets the per-centroid anomaly threshold at
+	// mean + RadiusFactor·stddev of member distances (default 3).
+	RadiusFactor float64
+	// MinObs is the lifetime member count a centroid needs before its
+	// radius becomes finite; colder centroids never flag anomalies
+	// (default 64).
+	MinObs int64
+}
+
+func (c OnlineKMeansConfig) withDefaults() OnlineKMeansConfig {
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RadiusFactor == 0 {
+		c.RadiusFactor = 3
+	}
+	if c.MinObs <= 0 {
+		c.MinObs = 64
+	}
+	return c
+}
+
+// OnlineKMeans is the single-threaded mini-batch K-Means stepper
+// (Sculley-style, aggregated): each Apply folds one merged batch into
+// the centroids with a per-centroid learning rate
+// η_c = batch_c / (lifetime_c + batch_c), so young centroids move fast
+// and established ones anneal.
+type OnlineKMeans struct {
+	cfg OnlineKMeansConfig
+	// Centroids is the authoritative model, K×Dim row-major. Callers
+	// must treat it as read-only between Apply calls and copy it into
+	// immutable snapshots for concurrent readers.
+	Centroids []float64
+	// Radius is the per-centroid anomaly distance threshold (+Inf until
+	// the centroid has MinObs lifetime members).
+	Radius []float64
+	counts []int64 // lifetime member counts
+	// Blended first/second moments of member distance per centroid.
+	distMean []float64
+	distSq   []float64
+	steps    uint64
+}
+
+// NewOnlineKMeans returns a stepper with seeded uniform-[0,1) initial
+// centroids. The first batch a centroid receives has η ≈ 1, so the
+// initial scale is irrelevant once data flows.
+func NewOnlineKMeans(cfg OnlineKMeansConfig) *OnlineKMeans {
+	cfg = cfg.withDefaults()
+	m := &OnlineKMeans{
+		cfg:       cfg,
+		Centroids: make([]float64, cfg.K*cfg.Dim),
+		Radius:    make([]float64, cfg.K),
+		counts:    make([]int64, cfg.K),
+		distMean:  make([]float64, cfg.K),
+		distSq:    make([]float64, cfg.K),
+	}
+	rng := uint64(cfg.Seed)
+	for i := range m.Centroids {
+		m.Centroids[i] = splitmixFloat(&rng)
+	}
+	for c := range m.Radius {
+		m.Radius[c] = math.Inf(1)
+	}
+	return m
+}
+
+// K returns the centroid count.
+func (m *OnlineKMeans) K() int { return m.cfg.K }
+
+// Dim returns the feature dimensionality.
+func (m *OnlineKMeans) Dim() int { return m.cfg.Dim }
+
+// Steps returns how many batches have been applied.
+func (m *OnlineKMeans) Steps() uint64 { return m.steps }
+
+// Counts returns the lifetime member counts (read-only view).
+func (m *OnlineKMeans) Counts() []int64 { return m.counts }
+
+// Apply folds one merged batch into the model. It reads only the
+// integer sufficient statistics, so the result is bit-identical for
+// any sharding of the same observation set.
+func (m *OnlineKMeans) Apply(acc *KMeansAccumulator) {
+	dim := m.cfg.Dim
+	for c := 0; c < m.cfg.K; c++ {
+		bc := acc.Count[c]
+		if bc == 0 {
+			continue
+		}
+		eta := float64(bc) / float64(m.counts[c]+bc)
+		base := c * dim
+		inv := 1 / float64(bc)
+		for j := 0; j < dim; j++ {
+			mean := FixedToFloat(acc.Sum[base+j]) * inv
+			m.Centroids[base+j] += eta * (mean - m.Centroids[base+j])
+		}
+		dMean := FixedToFloat(acc.DistSum[c]) * inv
+		dSq := FixedToFloat(acc.DistSqSum[c]) * inv
+		m.distMean[c] += eta * (dMean - m.distMean[c])
+		m.distSq[c] += eta * (dSq - m.distSq[c])
+		m.counts[c] += bc
+		if m.counts[c] >= m.cfg.MinObs {
+			variance := m.distSq[c] - m.distMean[c]*m.distMean[c]
+			if variance < 0 {
+				variance = 0
+			}
+			m.Radius[c] = m.distMean[c] + m.cfg.RadiusFactor*math.Sqrt(variance)
+		}
+	}
+	m.steps++
+}
+
+// SGD error-term kinds, matching the batch gradient kernels.
+const (
+	SGDLogistic = "logistic"
+	SGDHinge    = "hinge"
+	SGDSquared  = "squared"
+)
+
+// SGDErrTerm computes the per-sample error scalar e such that the
+// gradient contribution is e·x (plus e for the bias), matching
+// Logistic/Hinge/SquaredGradient: z is the frozen-model margin
+// w·x + b and y the {0,1} label.
+func SGDErrTerm(kind string, z, y float64) float64 {
+	switch kind {
+	case SGDHinge:
+		ys := 2*y - 1
+		if ys*z < 1 {
+			return -ys
+		}
+		return 0
+	case SGDSquared:
+		return z - y
+	default: // logistic
+		return sigmoid(z) - y
+	}
+}
+
+// SGDAccumulator collects one shard's gradient sum in fixed point.
+type SGDAccumulator struct {
+	dim int
+	// Grad is the fixed-point ∑ e·x.
+	Grad []int64
+	// GradBias is the fixed-point ∑ e.
+	GradBias int64
+	// Count is the number of labeled samples folded in.
+	Count int64
+}
+
+// NewSGDAccumulator returns an empty gradient accumulator.
+func NewSGDAccumulator(dim int) *SGDAccumulator {
+	return &SGDAccumulator{dim: dim, Grad: make([]int64, dim)}
+}
+
+// Add folds one labeled sample's error term. It never allocates.
+func (a *SGDAccumulator) Add(x []float64, errTerm float64) {
+	for j, v := range x {
+		a.Grad[j] += FixedFromFloat(errTerm * v)
+	}
+	a.GradBias += FixedFromFloat(errTerm)
+	a.Count++
+}
+
+// Merge adds b into a (order-independent, integer cells).
+func (a *SGDAccumulator) Merge(b *SGDAccumulator) {
+	for i, v := range b.Grad {
+		a.Grad[i] += v
+	}
+	a.GradBias += b.GradBias
+	a.Count += b.Count
+}
+
+// Reset zeroes the accumulator in place.
+func (a *SGDAccumulator) Reset() {
+	for i := range a.Grad {
+		a.Grad[i] = 0
+	}
+	a.GradBias = 0
+	a.Count = 0
+}
+
+// Observations reports how many labeled samples the accumulator holds.
+func (a *SGDAccumulator) Observations() int64 { return a.Count }
+
+// OnlineSGDConfig parameterizes the streaming linear stepper.
+type OnlineSGDConfig struct {
+	// Kind selects the loss: SGDLogistic (default), SGDHinge or
+	// SGDSquared.
+	Kind string
+	// Dim is the feature dimensionality (required).
+	Dim int
+	// LearningRate is the base step size (default 0.1).
+	LearningRate float64
+	// Decay anneals the rate: lr_t = LearningRate/(1+Decay·t) with t
+	// the applied-batch count (default 0.05, matching the batch
+	// trainers' schedule).
+	Decay float64
+	// L2 is the ridge penalty applied at each step (default 0).
+	L2 float64
+}
+
+func (c OnlineSGDConfig) withDefaults() OnlineSGDConfig {
+	if c.Kind == "" {
+		c.Kind = SGDLogistic
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Decay < 0 {
+		c.Decay = 0
+	} else if c.Decay == 0 {
+		c.Decay = 0.05
+	}
+	return c
+}
+
+// OnlineSGD steps a linear model by averaged mini-batch gradients —
+// the streaming counterpart of the logistic/hinge/squared batch
+// kernels. Error terms are computed by the caller against the frozen
+// snapshot (SGDErrTerm), so Apply reads only integer statistics.
+type OnlineSGD struct {
+	cfg OnlineSGDConfig
+	// Weights/Bias form the authoritative model; copy into snapshots
+	// for concurrent readers.
+	Weights []float64
+	Bias    float64
+	steps   uint64
+}
+
+// NewOnlineSGD returns a zero-initialized linear stepper.
+func NewOnlineSGD(cfg OnlineSGDConfig) *OnlineSGD {
+	cfg = cfg.withDefaults()
+	return &OnlineSGD{cfg: cfg, Weights: make([]float64, cfg.Dim)}
+}
+
+// Kind returns the configured loss kind.
+func (m *OnlineSGD) Kind() string { return m.cfg.Kind }
+
+// Steps returns how many batches have been applied.
+func (m *OnlineSGD) Steps() uint64 { return m.steps }
+
+// Apply folds one merged gradient batch into the weights.
+func (m *OnlineSGD) Apply(acc *SGDAccumulator) {
+	if acc.Count == 0 {
+		return
+	}
+	lr := m.cfg.LearningRate / (1 + m.cfg.Decay*float64(m.steps))
+	inv := 1 / float64(acc.Count)
+	for j := range m.Weights {
+		g := FixedToFloat(acc.Grad[j]) * inv
+		m.Weights[j] -= lr * (g + m.cfg.L2*m.Weights[j])
+	}
+	m.Bias -= lr * FixedToFloat(acc.GradBias) * inv
+	m.steps++
+}
+
+// Sigmoid exposes the logistic link for streaming score emission.
+func Sigmoid(z float64) float64 { return sigmoid(z) }

@@ -1,0 +1,235 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFixedFromFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0},
+		{1, FixedScale},
+		{-1, -FixedScale},
+		{0.5, FixedScale / 2},
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
+		{1e300, fixedClamp},
+		{-1e300, -fixedClamp},
+	}
+	for _, c := range cases {
+		if got := FixedFromFloat(c.in); got != c.want {
+			t.Errorf("FixedFromFloat(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := FixedToFloat(FixedFromFloat(3.25)); got != 3.25 {
+		t.Errorf("round trip 3.25 = %v", got)
+	}
+}
+
+// synthStream emits n deterministic dim-dimensional rows drawn around
+// two well-separated cluster centers.
+func synthStream(n, dim int, seed uint64) [][]float64 {
+	rng := seed
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, dim)
+		center := 2.0
+		if splitmix64(&rng)&1 == 0 {
+			center = 20.0
+		}
+		for j := range row {
+			row[j] = center + splitmixFloat(&rng)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestOnlineKMeansMergeOrderFree pins the determinism contract: the
+// same observation set accumulated through 1 vs 4 accumulators, merged
+// in different orders, yields bit-identical models.
+func TestOnlineKMeansMergeOrderFree(t *testing.T) {
+	const dim, k = 3, 4
+	rows := synthStream(2000, dim, 7)
+
+	run := func(parts int, reverseMerge bool) []float64 {
+		m := NewOnlineKMeans(OnlineKMeansConfig{K: k, Dim: dim, Seed: 42})
+		accs := make([]*KMeansAccumulator, parts)
+		for i := range accs {
+			accs[i] = NewKMeansAccumulator(k, dim)
+		}
+		frozen := append([]float64(nil), m.Centroids...)
+		for i, row := range rows {
+			c, d := nearestFlat(frozen, k, dim, row)
+			accs[i%parts].Add(c, row, d)
+		}
+		merged := NewKMeansAccumulator(k, dim)
+		if reverseMerge {
+			for i := len(accs) - 1; i >= 0; i-- {
+				merged.Merge(accs[i])
+			}
+		} else {
+			for _, a := range accs {
+				merged.Merge(a)
+			}
+		}
+		m.Apply(merged)
+		return m.Centroids
+	}
+
+	ref := run(1, false)
+	for _, parts := range []int{2, 4} {
+		for _, rev := range []bool{false, true} {
+			got := run(parts, rev)
+			for i := range ref {
+				if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("parts=%d rev=%v centroid[%d]=%v != ref %v",
+						parts, rev, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// nearestFlat is the test-side assignment against a flat centroid
+// block (mirrors the stream snapshot's layout).
+func nearestFlat(centroids []float64, k, dim int, x []float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < k; c++ {
+		base := c * dim
+		var d2 float64
+		for j, v := range x {
+			diff := v - centroids[base+j]
+			d2 += diff * diff
+		}
+		if d2 < bestD {
+			best, bestD = c, d2
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// TestOnlineKMeansConverges drives several refresh epochs over a
+// two-cluster stream and checks the centroids land near the true
+// means, radii become finite, and an outlier scores outside them.
+func TestOnlineKMeansConverges(t *testing.T) {
+	const dim, k = 2, 2
+	m := NewOnlineKMeans(OnlineKMeansConfig{K: k, Dim: dim, Seed: 3, MinObs: 32})
+	acc := NewKMeansAccumulator(k, dim)
+	for epoch := 0; epoch < 25; epoch++ {
+		frozen := append([]float64(nil), m.Centroids...)
+		acc.Reset()
+		for _, row := range synthStream(500, dim, uint64(100+epoch)) {
+			c, d := nearestFlat(frozen, k, dim, row)
+			acc.Add(c, row, d)
+		}
+		m.Apply(acc)
+	}
+	// One centroid near 2.5, one near 20.5 (center + U[0,1) mean); the
+	// annealed per-centroid rates keep a residue of early mixed epochs,
+	// hence the loose tolerance.
+	lo, hi := m.Centroids[:dim], m.Centroids[dim:]
+	if lo[0] > hi[0] {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo[0]-2.5) > 2 || math.Abs(hi[0]-20.5) > 2 {
+		t.Fatalf("centroids did not converge: %v", m.Centroids)
+	}
+	for c, r := range m.Radius {
+		if math.IsInf(r, 1) {
+			t.Fatalf("radius[%d] still infinite after %d obs", c, m.counts[c])
+		}
+	}
+	outlier := []float64{500, 500}
+	c, d := nearestFlat(m.Centroids, k, dim, outlier)
+	if d <= m.Radius[c] {
+		t.Fatalf("outlier distance %v within radius %v", d, m.Radius[c])
+	}
+}
+
+func TestSGDErrTerm(t *testing.T) {
+	if e := SGDErrTerm(SGDSquared, 3, 1); e != 2 {
+		t.Errorf("squared err = %v, want 2", e)
+	}
+	if e := SGDErrTerm(SGDHinge, 0.5, 1); e != -1 {
+		t.Errorf("hinge violator err = %v, want -1", e)
+	}
+	if e := SGDErrTerm(SGDHinge, 2, 1); e != 0 {
+		t.Errorf("hinge satisfied err = %v, want 0", e)
+	}
+	if e := SGDErrTerm(SGDLogistic, 0, 1); math.Abs(e+0.5) > 1e-12 {
+		t.Errorf("logistic err at z=0,y=1 = %v, want -0.5", e)
+	}
+}
+
+// TestOnlineSGDLearnsSeparable runs streaming logistic updates on a
+// linearly separable stream and checks the model classifies it.
+func TestOnlineSGDLearnsSeparable(t *testing.T) {
+	const dim = 2
+	m := NewOnlineSGD(OnlineSGDConfig{Kind: SGDLogistic, Dim: dim, LearningRate: 0.5})
+	acc := NewSGDAccumulator(dim)
+	rng := uint64(11)
+	type sample struct {
+		x []float64
+		y float64
+	}
+	var samples []sample
+	for i := 0; i < 400; i++ {
+		y := float64(splitmix64(&rng) & 1)
+		x := []float64{splitmixFloat(&rng) + 4*y, splitmixFloat(&rng)}
+		samples = append(samples, sample{x, y})
+	}
+	for epoch := 0; epoch < 60; epoch++ {
+		acc.Reset()
+		for _, s := range samples {
+			z := m.Weights[0]*s.x[0] + m.Weights[1]*s.x[1] + m.Bias
+			acc.Add(s.x, SGDErrTerm(SGDLogistic, z, s.y))
+		}
+		m.Apply(acc)
+	}
+	wrong := 0
+	for _, s := range samples {
+		z := m.Weights[0]*s.x[0] + m.Weights[1]*s.x[1] + m.Bias
+		if (Sigmoid(z) > 0.5) != (s.y == 1) {
+			wrong++
+		}
+	}
+	if wrong > len(samples)/20 {
+		t.Fatalf("online SGD misclassified %d/%d", wrong, len(samples))
+	}
+}
+
+// TestOnlineSGDMergeOrderFree pins gradient-merge determinism.
+func TestOnlineSGDMergeOrderFree(t *testing.T) {
+	const dim = 3
+	rows := synthStream(1000, dim, 9)
+	run := func(parts int) []float64 {
+		m := NewOnlineSGD(OnlineSGDConfig{Kind: SGDSquared, Dim: dim})
+		accs := make([]*SGDAccumulator, parts)
+		for i := range accs {
+			accs[i] = NewSGDAccumulator(dim)
+		}
+		for i, row := range rows {
+			accs[i%parts].Add(row, SGDErrTerm(SGDSquared, 0, float64(i%2)))
+		}
+		merged := NewSGDAccumulator(dim)
+		for i := len(accs) - 1; i >= 0; i-- {
+			merged.Merge(accs[i])
+		}
+		m.Apply(merged)
+		return append(m.Weights, m.Bias)
+	}
+	ref := run(1)
+	for _, parts := range []int{3, 8} {
+		got := run(parts)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("parts=%d weight[%d]=%v != ref %v", parts, i, got[i], ref[i])
+			}
+		}
+	}
+}

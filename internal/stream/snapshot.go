@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"math"
+
+	"github.com/athena-sdn/athena/internal/ml"
+)
+
+// Model kinds a snapshot can score with.
+const (
+	KindKMeans   = "kmeans"
+	KindLogistic = "logistic"
+	KindHinge    = "hinge"
+	KindSquared  = "squared"
+)
+
+// Snapshot is the immutable model the scoring hot path consults. The
+// engine publishes a fresh snapshot through an atomic.Pointer at each
+// refresh (copy-on-write): readers Load and score with no lock, and a
+// snapshot's fields are never mutated after Store. Checksum covers the
+// numeric payload so tests can assert the no-torn-reads invariant —
+// any reader that could observe a half-built snapshot would fail
+// Verify.
+type Snapshot struct {
+	// Version increments at every swap (the initial model is 1).
+	Version uint64
+	// Kind selects the scoring rule.
+	Kind string
+	// Dim is the feature dimensionality.
+	Dim int
+	// K and Centroids/Radius are the K-Means surface (flat K×Dim).
+	K         int
+	Centroids []float64
+	Radius    []float64
+	// Norms caches ‖c‖² per centroid so Nearest can rank candidates by
+	// dot product (‖c‖² − 2·x·c ordering) at roughly half the flops of
+	// full distance expansion.
+	Norms []float64
+	// Weights/Bias are the linear surface.
+	Weights []float64
+	Bias    float64
+	// Checksum is an FNV-1a digest of the numeric payload.
+	Checksum uint64
+}
+
+// Nearest returns the closest centroid and its Euclidean distance.
+// K-Means snapshots only; never allocates. Candidates are ranked by
+// ‖c‖² − 2·x·c (the ‖x‖² term is constant across centroids), which
+// needs one fused dot product per centroid instead of a full distance
+// expansion; the exact distance is then computed once for the winner.
+// The two-accumulator inner loop breaks the floating-point add
+// dependency chain, and the row reslice lets the compiler drop bounds
+// checks.
+func (s *Snapshot) Nearest(x []float64) (int, float64) {
+	best, bestScore := 0, math.Inf(1)
+	dim := s.Dim
+	for c := 0; c < s.K; c++ {
+		row := s.Centroids[c*dim:]
+		row = row[:len(x)]
+		var d0, d1 float64
+		j := 0
+		for ; j+1 < len(x); j += 2 {
+			d0 += x[j] * row[j]
+			d1 += x[j+1] * row[j+1]
+		}
+		if j < len(x) {
+			d0 += x[j] * row[j]
+		}
+		if score := s.Norms[c] - 2*(d0+d1); score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	row := s.Centroids[best*dim:]
+	row = row[:len(x)]
+	var d2 float64
+	for j := range x {
+		diff := x[j] - row[j]
+		d2 += diff * diff
+	}
+	return best, math.Sqrt(d2)
+}
+
+// Margin returns the linear margin w·x + b. Linear snapshots only.
+func (s *Snapshot) Margin(x []float64) float64 {
+	z := s.Bias
+	for j, v := range x {
+		z += s.Weights[j] * v
+	}
+	return z
+}
+
+// Score evaluates x and reports whether it is anomalous. For K-Means
+// the score is the distance to the nearest centroid, anomalous beyond
+// that centroid's radius; for linear kinds the score is the positive-
+// class probability (logistic link), anomalous above 0.5. It never
+// allocates.
+func (s *Snapshot) Score(x []float64) (float64, bool) {
+	switch s.Kind {
+	case KindKMeans:
+		c, d := s.Nearest(x)
+		return d, d > s.Radius[c]
+	default:
+		p := ml.Sigmoid(s.Margin(x))
+		return p, p > 0.5
+	}
+}
+
+// checksum digests the numeric payload with FNV-1a over the raw float
+// bit patterns, version and kind.
+func (s *Snapshot) checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(s.Version)
+	for _, ch := range s.Kind {
+		h ^= uint64(ch) & 0xff
+		h *= prime
+	}
+	mix(uint64(s.Dim))
+	mix(uint64(s.K))
+	for _, v := range s.Centroids {
+		mix(math.Float64bits(v))
+	}
+	for _, v := range s.Radius {
+		mix(math.Float64bits(v))
+	}
+	for _, v := range s.Norms {
+		mix(math.Float64bits(v))
+	}
+	for _, v := range s.Weights {
+		mix(math.Float64bits(v))
+	}
+	mix(math.Float64bits(s.Bias))
+	return h
+}
+
+// Verify recomputes the checksum and reports whether it matches — the
+// snapshot-pointer invariant the race soak asserts on every read.
+func (s *Snapshot) Verify() bool { return s.checksum() == s.Checksum }

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamSoakConcurrentScoreUpdateSwap is the -race soak for the
+// lock-free scoring path. Phase 1 hammers an 8-shard engine with
+// concurrent writers, a refresher swapping snapshots, and readers
+// verifying the snapshot-pointer invariant on every load: a published
+// snapshot's checksum always matches its payload, so no torn model
+// read is possible. Phase 2 re-runs the same observation multiset with
+// 8 concurrent writers against a single-shard serial reference and
+// asserts bit-identical final centroids — concurrency and sharding
+// change nothing about the refreshed model.
+func TestStreamSoakConcurrentScoreUpdateSwap(t *testing.T) {
+	soak := 2 * time.Second
+	if testing.Short() {
+		soak = 300 * time.Millisecond
+	}
+
+	// Phase 1: torn-read hunt under continuous refresh.
+	e := NewEngine(Config{Shards: 8, Dims: []string{"a", "b", "c"}, MinObs: 1})
+	const writers = 8
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, writers+4)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obs := testObs(2048, 16, 3, uint64(1000+w))
+			for i := 0; !stop.Load(); i++ {
+				e.Observe(&obs[i%len(obs)])
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			e.Refresh()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for !stop.Load() {
+				s := e.Model()
+				if !s.Verify() {
+					errs <- "torn snapshot: checksum mismatch"
+					return
+				}
+				if s.Version < lastVersion {
+					errs <- "snapshot version went backwards"
+					return
+				}
+				lastVersion = s.Version
+			}
+		}()
+	}
+	time.Sleep(soak)
+	stop.Store(true)
+	wg.Wait()
+	e.Close()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if st := e.Stats(); st.Scores == 0 || st.Swaps == 0 {
+		t.Fatalf("soak did no work: %+v", st)
+	}
+
+	// Phase 2: deterministic final centroids vs a single-shard serial
+	// reference. The multiset of observations between refreshes is what
+	// matters, not arrival order — partition the stream by writer and
+	// feed each partition from its own goroutine.
+	obs := testObs(8000, 64, 3, 424242)
+	concurrent := func() *Snapshot {
+		eng := NewEngine(Config{Shards: 8, Dims: []string{"a", "b", "c"}, MinObs: 1, Seed: 5})
+		defer eng.Close()
+		var pwg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			pwg.Add(1)
+			go func(w int) {
+				defer pwg.Done()
+				for i := w; i < len(obs); i += writers {
+					eng.Observe(&obs[i])
+				}
+			}(w)
+		}
+		pwg.Wait()
+		eng.Refresh()
+		return eng.Model()
+	}
+	serial := func() *Snapshot {
+		eng := NewEngine(Config{Shards: 1, Dims: []string{"a", "b", "c"}, MinObs: 1, Seed: 5})
+		defer eng.Close()
+		for _, ob := range obs {
+			eng.Observe(&ob)
+		}
+		eng.Refresh()
+		return eng.Model()
+	}
+	ref := serial()
+	got := concurrent()
+	if got.Checksum != ref.Checksum {
+		t.Fatalf("concurrent checksum %x != serial %x", got.Checksum, ref.Checksum)
+	}
+	for i := range ref.Centroids {
+		if math.Float64bits(got.Centroids[i]) != math.Float64bits(ref.Centroids[i]) {
+			t.Fatalf("centroid[%d]: concurrent %v != serial %v", i, got.Centroids[i], ref.Centroids[i])
+		}
+	}
+}

@@ -1,0 +1,555 @@
+// Package stream is Athena's online detection path: it scores every
+// published feature inline at the southbound element in microseconds,
+// without touching the feature store. Three layers cooperate:
+//
+//   - per-shard ring-buffered window aggregation (window.go), recycled
+//     in place so steady-state windowing is allocation-free;
+//   - incremental model updates built on internal/ml's online steppers,
+//     accumulated in order-free fixed-point statistics so a fixed input
+//     stream yields a bit-identical model at any shard count;
+//   - a lock-free scoring hot path: an atomic.Pointer-swapped immutable
+//     model Snapshot consulted on every observation (copy-on-write
+//     refresh, no lock on score), emitting verdicts to a bounded
+//     anomaly channel and athena_stream_* telemetry.
+package stream
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/ml"
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// DefaultDims is the feature subset scored when the config names none:
+// a mix of packet-in, stateful and combination fields that spans every
+// record origin (absent fields read as zero).
+var DefaultDims = []string{
+	"packet_in_len",
+	"flow_count",
+	"pair_flow_ratio",
+	"packet_count",
+	"byte_count",
+	"byte_per_packet",
+}
+
+// Config parameterizes the streaming detection engine.
+type Config struct {
+	// Enabled gates the whole path (the southbound element skips the
+	// engine entirely when false).
+	Enabled bool
+	// Shards sizes the window/accumulator striping (default 8).
+	// Sharding never changes the refreshed model: accumulation is
+	// order-free fixed-point, so any shard count yields bit-identical
+	// updates for the same observations.
+	Shards int
+	// Window is the aggregation window width (default 10s).
+	Window time.Duration
+	// Slide is the window slide; Slide == Window makes the window
+	// tumbling (default 1s, clamped to Window).
+	Slide time.Duration
+	// Dims names the feature fields scored, in order (default
+	// DefaultDims). Absent fields read as zero.
+	Dims []string
+	// Algorithm selects the online model: KindKMeans (default),
+	// KindLogistic, KindHinge or KindSquared.
+	Algorithm string
+	// K is the centroid count for KindKMeans (default 8).
+	K int
+	// Seed drives deterministic model initialization (default 1).
+	Seed int64
+	// Refresh is the background model-refresh period; zero means
+	// refreshes happen only via explicit Refresh() calls (default 0 —
+	// callers that want the background loop opt in).
+	Refresh time.Duration
+	// AnomalyBuffer bounds the verdict channel; verdicts beyond it are
+	// dropped and counted (default 1024).
+	AnomalyBuffer int
+	// LearningRate/Decay/L2 tune the online SGD stepper.
+	LearningRate float64
+	Decay        float64
+	L2           float64
+	// RadiusFactor/MinObs tune the K-Means anomaly radius.
+	RadiusFactor float64
+	MinObs       int64
+	// LatencySample observes the score-latency histogram once per this
+	// many scores (default 64) — the hot path stays clock-free in
+	// between.
+	LatencySample int
+	// Telemetry receives the athena_stream_* families; nil uses a
+	// private registry.
+	Telemetry *telemetry.Registry
+	// Tracing records a stream/score span on sampled observations; nil
+	// disables.
+	Tracing *telemetry.Collector
+	// InstanceID labels the telemetry (the owning controller's ID).
+	InstanceID string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Slide <= 0 {
+		c.Slide = time.Second
+	}
+	if c.Slide > c.Window {
+		c.Slide = c.Window
+	}
+	if len(c.Dims) == 0 {
+		c.Dims = DefaultDims
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = KindKMeans
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.AnomalyBuffer <= 0 {
+		c.AnomalyBuffer = 1024
+	}
+	if c.LatencySample <= 0 {
+		c.LatencySample = 64
+	}
+	if c.InstanceID == "" {
+		c.InstanceID = "stream"
+	}
+	return c
+}
+
+// Observation is one feature record presented to the engine. Vals is
+// caller-owned scratch laid out in Config.Dims order and is only read
+// during the Observe call, so callers can reuse the slice.
+type Observation struct {
+	DPID      uint64
+	TimeNanos int64
+	Vals      []float64
+	// Label/Labeled carry the ground-truth class when the record has
+	// one (synthetic workloads); only labeled records train the SGD
+	// kinds. K-Means trains on every record.
+	Label   float64
+	Labeled bool
+	// Trace is the distributed trace context riding the feature.
+	Trace telemetry.TraceCtx
+}
+
+// Verdict is one scored observation, emitted on the anomaly channel
+// when anomalous.
+type Verdict struct {
+	DPID         uint64
+	TimeNanos    int64
+	Score        float64
+	Anomalous    bool
+	ModelVersion uint64
+	// TraceID is set when the observation rode a sampled trace.
+	TraceID telemetry.TraceID
+}
+
+// engineShard stripes the mutable per-observation state: the window
+// ring, the fixed-point training accumulators, and the latency-sample
+// tick (guarded by mu, so the hot path pays no atomic for it). The
+// trailing pad keeps hot shard headers on distinct cache lines.
+type engineShard struct {
+	mu  sync.Mutex
+	win window
+	km  *ml.KMeansAccumulator
+	sgd *ml.SGDAccumulator
+	// tick drives the 1-in-LatencySample clock sampling; scored counts
+	// observations since the last flush to the shared counter (flushed
+	// when tick fires, at refresh, and on Stats reads), so the hot path
+	// pays no per-observation atomic.
+	tick   uint64
+	scored uint64
+}
+
+// Engine is the streaming detection engine.
+type Engine struct {
+	cfg    Config
+	dim    int
+	kmeans bool
+	// shardMask routes DPIDs when the shard count is a power of two
+	// (the default); shardMod is the general fallback. Routing never
+	// affects the refreshed model — merges are order-free — so either
+	// path yields bit-identical results.
+	shardMask uint64
+	shardMod  uint64
+	latEvery  uint64
+
+	model  atomic.Pointer[Snapshot]
+	shards []engineShard
+
+	// Steppers and merge scratch, serialized by applyMu (refreshes are
+	// copy-on-write: scoring never takes this lock).
+	applyMu   sync.Mutex
+	km        *ml.OnlineKMeans
+	sgd       *ml.OnlineSGD
+	mergedKM  *ml.KMeansAccumulator
+	mergedSGD *ml.SGDAccumulator
+
+	verdicts chan Verdict
+
+	scores          *telemetry.Counter
+	anomalies       *telemetry.Counter
+	skipped         *telemetry.Counter
+	droppedVerdicts *telemetry.Counter
+	swaps           *telemetry.Counter
+	updates         *telemetry.Counter
+	scoreLat        *telemetry.Histogram
+
+	tracing *telemetry.Collector
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewEngine builds a streaming engine, publishes the seeded initial
+// snapshot (version 1) and, when cfg.Refresh > 0, starts the
+// background refresh loop.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	id := cfg.InstanceID
+	e := &Engine{
+		cfg:     cfg,
+		dim:     len(cfg.Dims),
+		kmeans:  cfg.Algorithm == KindKMeans,
+		tracing: cfg.Tracing,
+		scores: reg.CounterVec("athena_stream_scores_total",
+			"Observations scored by the streaming detection engine.",
+			"controller").WithLabelValues(id),
+		anomalies: reg.CounterVec("athena_stream_anomalies_total",
+			"Observations the streaming engine flagged anomalous.",
+			"controller").WithLabelValues(id),
+		skipped: reg.CounterVec("athena_stream_skipped_total",
+			"Observations skipped before scoring, by reason.",
+			"controller", "reason").WithLabelValues(id, "nonfinite"),
+		droppedVerdicts: reg.CounterVec("athena_stream_verdicts_dropped_total",
+			"Anomaly verdicts dropped at the full bounded channel.",
+			"controller").WithLabelValues(id),
+		swaps: reg.CounterVec("athena_stream_model_swaps_total",
+			"Model snapshot pointer swaps (copy-on-write refreshes).",
+			"controller").WithLabelValues(id),
+		updates: reg.CounterVec("athena_stream_updates_total",
+			"Observations folded into online model updates.",
+			"controller").WithLabelValues(id),
+		scoreLat: reg.HistogramVec("athena_stream_score_seconds",
+			"Score-path latency, sampled 1-in-LatencySample.",
+			nil, "controller").WithLabelValues(id),
+		verdicts: make(chan Verdict, cfg.AnomalyBuffer),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	e.latEvery = uint64(cfg.LatencySample)
+	if n := uint64(cfg.Shards); n&(n-1) == 0 {
+		e.shardMask = n - 1
+	} else {
+		e.shardMod = n
+	}
+	winEvents := reg.HistogramVec("athena_stream_window_events",
+		"Events per retired window bucket.",
+		telemetry.SizeBuckets, "controller").WithLabelValues(id)
+	e.shards = make([]engineShard, cfg.Shards)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.win = newWindow(cfg.Window, cfg.Slide, e.dim, winEvents)
+		if e.kmeans {
+			sh.km = ml.NewKMeansAccumulator(cfg.K, e.dim)
+		} else {
+			sh.sgd = ml.NewSGDAccumulator(e.dim)
+		}
+	}
+	if e.kmeans {
+		e.km = ml.NewOnlineKMeans(ml.OnlineKMeansConfig{
+			K: cfg.K, Dim: e.dim, Seed: cfg.Seed,
+			RadiusFactor: cfg.RadiusFactor, MinObs: cfg.MinObs,
+		})
+		e.mergedKM = ml.NewKMeansAccumulator(cfg.K, e.dim)
+	} else {
+		e.sgd = ml.NewOnlineSGD(ml.OnlineSGDConfig{
+			Kind: cfg.Algorithm, Dim: e.dim,
+			LearningRate: cfg.LearningRate, Decay: cfg.Decay, L2: cfg.L2,
+		})
+		e.mergedSGD = ml.NewSGDAccumulator(e.dim)
+	}
+	e.model.Store(e.buildSnapshot(1))
+	reg.GaugeVec("athena_stream_window_occupancy",
+		"Events currently held across the window rings.",
+		"controller").WithLabelValues(id).Func(func() float64 {
+		var n float64
+		for i := range e.shards {
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			n += sh.win.events()
+			sh.mu.Unlock()
+		}
+		return n
+	})
+	reg.GaugeVec("athena_stream_model_version",
+		"Version of the live model snapshot.",
+		"controller").WithLabelValues(id).Func(func() float64 {
+		return float64(e.model.Load().Version)
+	})
+	if cfg.Refresh > 0 {
+		go func() {
+			defer close(e.done)
+			ticker := time.NewTicker(cfg.Refresh)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					e.Refresh()
+				case <-e.stop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(e.done)
+	}
+	return e
+}
+
+// Dims returns the scored feature fields in vector order.
+func (e *Engine) Dims() []string { return e.cfg.Dims }
+
+// Model returns the live immutable snapshot.
+func (e *Engine) Model() *Snapshot { return e.model.Load() }
+
+// Anomalies is the bounded verdict channel. The engine never closes
+// it; verdicts that would block are dropped and counted.
+func (e *Engine) Anomalies() <-chan Verdict { return e.verdicts }
+
+// Stats is a point-in-time read of the engine counters.
+type Stats struct {
+	Scores          uint64
+	Anomalies       uint64
+	Skipped         uint64
+	DroppedVerdicts uint64
+	Swaps           uint64
+	Updates         uint64
+}
+
+// Stats reads the engine counters, flushing the per-shard batched
+// score counts so the numbers are exact at the point of the call.
+func (e *Engine) Stats() Stats {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		if sh.scored > 0 {
+			e.scores.Add(sh.scored)
+			sh.scored = 0
+		}
+		sh.mu.Unlock()
+	}
+	return Stats{
+		Scores:          e.scores.Value(),
+		Anomalies:       e.anomalies.Value(),
+		Skipped:         e.skipped.Value(),
+		DroppedVerdicts: e.droppedVerdicts.Value(),
+		Swaps:           e.swaps.Value(),
+		Updates:         e.updates.Value(),
+	}
+}
+
+// WindowStats aggregates the live window buckets across shards.
+func (e *Engine) WindowStats() WindowStats {
+	st := WindowStats{
+		Mean: make([]float64, e.dim),
+		Min:  make([]float64, e.dim),
+		Max:  make([]float64, e.dim),
+	}
+	for j := 0; j < e.dim; j++ {
+		st.Min[j] = math.Inf(1)
+		st.Max[j] = math.Inf(-1)
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.win.fold(&st)
+		sh.mu.Unlock()
+	}
+	if st.Events > 0 {
+		for j := range st.Mean {
+			st.Mean[j] /= st.Events
+		}
+	}
+	return st
+}
+
+// Observe scores one observation on the hot path: window aggregation
+// and training accumulation under the shard lock, model consultation
+// lock-free against the atomic snapshot. Non-finite values are skipped
+// and counted before they can reach a window bucket or an online
+// centroid. The steady-state path performs zero allocations.
+func (e *Engine) Observe(ob *Observation) (Verdict, bool) {
+	for _, v := range ob.Vals {
+		if v-v != 0 { // NaN and ±Inf are the only values where v-v ≠ 0
+			e.skipped.Inc()
+			return Verdict{}, false
+		}
+	}
+	snap := e.model.Load()
+	traced := e.tracing != nil && ob.Trace.Sampled()
+	timed := traced
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
+	var score float64
+	var anom bool
+	h := ob.DPID * 0x9E3779B97F4A7C15 >> 32
+	var sh *engineShard
+	if e.shardMod != 0 {
+		sh = &e.shards[h%e.shardMod]
+	} else {
+		sh = &e.shards[h&e.shardMask]
+	}
+	sh.mu.Lock()
+	sh.scored++
+	if !timed {
+		if sh.tick++; sh.tick >= e.latEvery {
+			sh.tick = 0
+			timed = true
+			t0 = time.Now()
+		}
+	}
+	if timed {
+		e.scores.Add(sh.scored)
+		sh.scored = 0
+	}
+	sh.win.add(ob.TimeNanos, ob.Vals)
+	if e.kmeans {
+		c, d := snap.Nearest(ob.Vals)
+		sh.km.Add(c, ob.Vals, d)
+		score, anom = d, d > snap.Radius[c]
+	} else {
+		z := snap.Margin(ob.Vals)
+		if ob.Labeled {
+			sh.sgd.Add(ob.Vals, ml.SGDErrTerm(snap.Kind, z, ob.Label))
+		}
+		p := ml.Sigmoid(z)
+		score, anom = p, p > 0.5
+	}
+	sh.mu.Unlock()
+	v := Verdict{
+		DPID:         ob.DPID,
+		TimeNanos:    ob.TimeNanos,
+		Score:        score,
+		Anomalous:    anom,
+		ModelVersion: snap.Version,
+		TraceID:      ob.Trace.TraceID,
+	}
+	if anom {
+		e.anomalies.Inc()
+		select {
+		case e.verdicts <- v:
+		default:
+			e.droppedVerdicts.Inc()
+		}
+	}
+	if timed {
+		d := time.Since(t0)
+		if traced {
+			e.tracing.RecordSpan(ob.Trace, "stream", "score", t0, d)
+			e.scoreLat.ObserveExemplar(d.Seconds(), ob.Trace.TraceID.String())
+		} else {
+			e.scoreLat.Observe(d.Seconds())
+		}
+	}
+	return v, true
+}
+
+// Refresh merges every shard's accumulated statistics (order-free
+// integer sums), steps the online model once, and publishes a fresh
+// immutable snapshot via pointer swap. Scoring proceeds lock-free
+// against the previous snapshot throughout. A refresh with nothing
+// accumulated leaves the snapshot untouched, so refresh schedules stay
+// deterministic functions of the observation stream.
+func (e *Engine) Refresh() {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	var n int64
+	if e.kmeans {
+		e.mergedKM.Reset()
+		for i := range e.shards {
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			e.mergedKM.Merge(sh.km)
+			sh.km.Reset()
+			if sh.scored > 0 {
+				e.scores.Add(sh.scored)
+				sh.scored = 0
+			}
+			sh.mu.Unlock()
+		}
+		if n = e.mergedKM.Observations(); n == 0 {
+			return
+		}
+		e.km.Apply(e.mergedKM)
+	} else {
+		e.mergedSGD.Reset()
+		for i := range e.shards {
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			e.mergedSGD.Merge(sh.sgd)
+			sh.sgd.Reset()
+			if sh.scored > 0 {
+				e.scores.Add(sh.scored)
+				sh.scored = 0
+			}
+			sh.mu.Unlock()
+		}
+		if n = e.mergedSGD.Observations(); n == 0 {
+			return
+		}
+		e.sgd.Apply(e.mergedSGD)
+	}
+	e.updates.Add(uint64(n))
+	e.model.Store(e.buildSnapshot(e.model.Load().Version + 1))
+	e.swaps.Inc()
+}
+
+// buildSnapshot copies the stepper state into a fresh immutable
+// snapshot. Callers hold applyMu (or are still single-threaded in
+// NewEngine).
+func (e *Engine) buildSnapshot(version uint64) *Snapshot {
+	s := &Snapshot{Version: version, Kind: e.cfg.Algorithm, Dim: e.dim}
+	if e.kmeans {
+		s.K = e.cfg.K
+		s.Centroids = append([]float64(nil), e.km.Centroids...)
+		s.Radius = append([]float64(nil), e.km.Radius...)
+		s.Norms = make([]float64, s.K)
+		for c := 0; c < s.K; c++ {
+			var n float64
+			for _, v := range s.Centroids[c*e.dim : (c+1)*e.dim] {
+				n += v * v
+			}
+			s.Norms[c] = n
+		}
+	} else {
+		s.Weights = append([]float64(nil), e.sgd.Weights...)
+		s.Bias = e.sgd.Bias
+	}
+	s.Checksum = s.checksum()
+	return s
+}
+
+// Close stops the background refresh loop (idempotent). The verdict
+// channel stays open — Observe may still be in flight on other
+// goroutines.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.stop) })
+	<-e.done
+}

@@ -1,0 +1,331 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// testObs builds a deterministic observation stream: nObs records
+// spread over nDPIDs switches, dims-dimensional, values drawn around
+// one tight cluster so a warmed model has small radii.
+func testObs(nObs, nDPIDs, dim int, seed uint64) []Observation {
+	rng := seed
+	obs := make([]Observation, nObs)
+	base := time.Unix(1700000000, 0).UnixNano()
+	for i := range obs {
+		vals := make([]float64, dim)
+		for j := range vals {
+			vals[j] = 10 + float64(next(&rng)%1000)/1000
+		}
+		obs[i] = Observation{
+			DPID:      1 + uint64(next(&rng))%uint64(nDPIDs),
+			TimeNanos: base + int64(i)*int64(time.Millisecond),
+			Vals:      vals,
+		}
+	}
+	return obs
+}
+
+// next is a local splitmix64 so tests don't depend on ml internals.
+func next(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TestScorePathZeroAlloc pins the hot-path guarantee: steady-state
+// Observe performs zero allocations, both on the quiet path and while
+// emitting anomaly verdicts into a full bounded channel.
+func TestScorePathZeroAlloc(t *testing.T) {
+	e := NewEngine(Config{Dims: []string{"a", "b", "c"}, MinObs: 1, AnomalyBuffer: 4})
+	defer e.Close()
+	obs := testObs(4096, 16, 3, 1)
+	for _, ob := range obs {
+		e.Observe(&ob)
+	}
+	e.Refresh() // warm model: finite radii from here on
+
+	i := 0
+	scratch := make([]float64, 3)
+	if allocs := testing.AllocsPerRun(2000, func() {
+		ob := obs[i%len(obs)]
+		copy(scratch, ob.Vals)
+		ob.Vals = scratch
+		e.Observe(&ob)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("steady-state Observe allocates %.1f/op, want 0", allocs)
+	}
+
+	// Anomalous path: an outlier far outside every radius, emitted into
+	// a channel that fills after 4 verdicts (drop-and-count beyond).
+	outlier := Observation{DPID: 3, TimeNanos: obs[0].TimeNanos, Vals: []float64{1e6, 1e6, 1e6}}
+	if v, ok := e.Observe(&outlier); !ok || !v.Anomalous {
+		t.Fatalf("outlier not anomalous: %+v ok=%v (radius %v)", v, ok, e.Model().Radius)
+	}
+	if allocs := testing.AllocsPerRun(2000, func() {
+		e.Observe(&outlier)
+	}); allocs != 0 {
+		t.Fatalf("anomaly-emitting Observe allocates %.1f/op, want 0", allocs)
+	}
+	st := e.Stats()
+	if st.Anomalies == 0 || st.DroppedVerdicts == 0 {
+		t.Fatalf("expected anomalies and dropped verdicts, got %+v", st)
+	}
+}
+
+// TestWindowAggregation exercises tumbling and sliding rings: bucket
+// rotation recycles in place, stats aggregate live buckets, expired
+// buckets are counted on the histogram.
+func TestWindowAggregation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := NewEngine(Config{
+		Shards: 1, Window: 4 * time.Second, Slide: time.Second,
+		Dims: []string{"v"}, Telemetry: reg, InstanceID: "t",
+	})
+	defer e.Close()
+	base := time.Unix(1700000000, 0).UnixNano()
+	// Two events per second for 4s: ring full, no expiry yet.
+	for s := 0; s < 4; s++ {
+		for k := 0; k < 2; k++ {
+			e.Observe(&Observation{DPID: 1, TimeNanos: base + int64(s)*int64(time.Second), Vals: []float64{float64(s)}})
+		}
+	}
+	st := e.WindowStats()
+	if st.Events != 8 || st.Buckets != 4 {
+		t.Fatalf("full ring: events=%v buckets=%v, want 8/4", st.Events, st.Buckets)
+	}
+	if st.Min[0] != 0 || st.Max[0] != 3 || st.Mean[0] != 1.5 {
+		t.Fatalf("window stats min=%v max=%v mean=%v", st.Min[0], st.Max[0], st.Mean[0])
+	}
+	// Second 4 reuses second 0's slot: oldest bucket retired.
+	e.Observe(&Observation{DPID: 1, TimeNanos: base + 4*int64(time.Second), Vals: []float64{9}})
+	st = e.WindowStats()
+	if st.Events != 7 || st.Max[0] != 9 {
+		t.Fatalf("after rotation: events=%v max=%v, want 7/9", st.Events, st.Max[0])
+	}
+
+	// Tumbling engine: Slide == Window collapses to one bucket.
+	tum := NewEngine(Config{Shards: 1, Window: time.Second, Slide: time.Second, Dims: []string{"v"}})
+	defer tum.Close()
+	tum.Observe(&Observation{DPID: 1, TimeNanos: base, Vals: []float64{1}})
+	tum.Observe(&Observation{DPID: 1, TimeNanos: base + int64(time.Second), Vals: []float64{2}})
+	if st := tum.WindowStats(); st.Buckets != 1 || st.Events != 1 {
+		t.Fatalf("tumbling window holds %v events in %d buckets, want 1/1", st.Events, st.Buckets)
+	}
+}
+
+// TestNonFiniteGuard pins the skip-and-count contract: NaN and ±Inf
+// observations never reach a window bucket, an online accumulator, or
+// the anomaly channel — and the refreshed model is bit-identical to a
+// run that never saw the poison.
+func TestNonFiniteGuard(t *testing.T) {
+	clean := testObs(512, 4, 2, 5)
+	poison := []Observation{
+		{DPID: 1, TimeNanos: clean[0].TimeNanos, Vals: []float64{math.NaN(), 1}},
+		{DPID: 2, TimeNanos: clean[0].TimeNanos, Vals: []float64{1, math.Inf(1)}},
+		{DPID: 3, TimeNanos: clean[0].TimeNanos, Vals: []float64{math.Inf(-1), math.NaN()}},
+	}
+
+	run := func(withPoison bool) (*Engine, *Snapshot) {
+		e := NewEngine(Config{Shards: 4, Dims: []string{"a", "b"}, MinObs: 1})
+		for i, ob := range clean {
+			if withPoison && i%128 == 0 {
+				for _, p := range poison {
+					if _, ok := e.Observe(&p); ok {
+						t.Fatalf("poison observation scored: %+v", p)
+					}
+				}
+			}
+			e.Observe(&ob)
+		}
+		e.Refresh()
+		return e, e.Model()
+	}
+
+	eClean, sClean := run(false)
+	defer eClean.Close()
+	ePoison, sPoison := run(true)
+	defer ePoison.Close()
+
+	if got := ePoison.Stats().Skipped; got != 12 {
+		t.Fatalf("skipped = %d, want 12", got)
+	}
+	if eClean.Stats().Skipped != 0 {
+		t.Fatalf("clean run skipped %d", eClean.Stats().Skipped)
+	}
+	if len(sClean.Centroids) != len(sPoison.Centroids) {
+		t.Fatalf("centroid count mismatch")
+	}
+	for i := range sClean.Centroids {
+		if math.Float64bits(sClean.Centroids[i]) != math.Float64bits(sPoison.Centroids[i]) {
+			t.Fatalf("poison leaked into centroid[%d]: %v != %v",
+				i, sPoison.Centroids[i], sClean.Centroids[i])
+		}
+	}
+	for j, v := range ePoison.WindowStats().Mean {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("poison leaked into window mean[%d] = %v", j, v)
+		}
+	}
+}
+
+// TestDeterministicAcrossShardCounts pins the tentpole determinism
+// contract end to end: the same seeded observation stream, fed through
+// engines sharded 1/2/8 wide, refreshes to bit-identical snapshots.
+func TestDeterministicAcrossShardCounts(t *testing.T) {
+	obs := testObs(6000, 32, 4, 99)
+	dims := []string{"a", "b", "c", "d"}
+
+	run := func(shards int) *Snapshot {
+		e := NewEngine(Config{Shards: shards, Dims: dims, MinObs: 1, Seed: 7})
+		defer e.Close()
+		for _, ob := range obs {
+			e.Observe(&ob)
+		}
+		e.Refresh()
+		// Second epoch re-scores under the refreshed model so assignment
+		// determinism is exercised too.
+		for _, ob := range obs {
+			e.Observe(&ob)
+		}
+		e.Refresh()
+		return e.Model()
+	}
+
+	ref := run(1)
+	for _, shards := range []int{2, 8} {
+		got := run(shards)
+		if got.Version != ref.Version {
+			t.Fatalf("shards=%d version %d != %d", shards, got.Version, ref.Version)
+		}
+		if got.Checksum != ref.Checksum {
+			t.Fatalf("shards=%d checksum mismatch: %x != %x", shards, got.Checksum, ref.Checksum)
+		}
+		for i := range ref.Centroids {
+			if math.Float64bits(got.Centroids[i]) != math.Float64bits(ref.Centroids[i]) {
+				t.Fatalf("shards=%d centroid[%d] %v != %v", shards, i, got.Centroids[i], ref.Centroids[i])
+			}
+		}
+	}
+}
+
+// TestSGDStreamDeterminism runs the same contract for a labeled
+// logistic stream.
+func TestSGDStreamDeterminism(t *testing.T) {
+	obs := testObs(3000, 16, 3, 17)
+	rng := uint64(23)
+	for i := range obs {
+		obs[i].Labeled = true
+		obs[i].Label = float64(next(&rng) & 1)
+	}
+	run := func(shards int) *Snapshot {
+		e := NewEngine(Config{Shards: shards, Dims: []string{"a", "b", "c"}, Algorithm: KindLogistic})
+		defer e.Close()
+		for _, ob := range obs {
+			e.Observe(&ob)
+		}
+		e.Refresh()
+		return e.Model()
+	}
+	ref := run(1)
+	for _, shards := range []int{4, 8} {
+		got := run(shards)
+		if got.Checksum != ref.Checksum {
+			t.Fatalf("shards=%d SGD checksum mismatch", shards)
+		}
+		for i := range ref.Weights {
+			if math.Float64bits(got.Weights[i]) != math.Float64bits(ref.Weights[i]) {
+				t.Fatalf("shards=%d weight[%d] %v != %v", shards, i, got.Weights[i], ref.Weights[i])
+			}
+		}
+	}
+}
+
+// TestRefreshSemantics: empty refreshes don't swap; non-empty ones
+// bump the version and the swap/update counters.
+func TestRefreshSemantics(t *testing.T) {
+	e := NewEngine(Config{Dims: []string{"v"}})
+	defer e.Close()
+	if v := e.Model().Version; v != 1 {
+		t.Fatalf("initial version %d, want 1", v)
+	}
+	e.Refresh()
+	if v := e.Model().Version; v != 1 {
+		t.Fatalf("empty refresh swapped to version %d", v)
+	}
+	e.Observe(&Observation{DPID: 1, Vals: []float64{1}})
+	e.Refresh()
+	st := e.Stats()
+	if v := e.Model().Version; v != 2 || st.Swaps != 1 || st.Updates != 1 {
+		t.Fatalf("after refresh: version=%d swaps=%d updates=%d", v, st.Swaps, st.Updates)
+	}
+	if !e.Model().Verify() {
+		t.Fatal("snapshot checksum does not verify")
+	}
+}
+
+// TestVerdictTraceID: anomaly verdicts carry the observation's trace
+// and a stream/score span lands in the collector.
+func TestVerdictTraceID(t *testing.T) {
+	col := telemetry.NewCollector(telemetry.TraceConfig{SampleEvery: 1})
+	e := NewEngine(Config{Dims: []string{"v"}, MinObs: 1, Tracing: col})
+	defer e.Close()
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 256; i++ {
+		e.Observe(&Observation{DPID: 1, TimeNanos: base.UnixNano(), Vals: []float64{5}})
+	}
+	e.Refresh()
+	tc := col.StartTrace(base)
+	if !tc.Sampled() {
+		t.Fatal("trace not sampled at 1-in-1")
+	}
+	v, ok := e.Observe(&Observation{DPID: 1, TimeNanos: base.UnixNano(), Vals: []float64{1e9}, Trace: tc})
+	col.FinishTrace(tc)
+	if !ok || !v.Anomalous {
+		t.Fatalf("outlier verdict %+v ok=%v", v, ok)
+	}
+	if v.TraceID != tc.TraceID {
+		t.Fatalf("verdict trace %s != %s", v.TraceID, tc.TraceID)
+	}
+	rec, found := col.Lookup(tc.TraceID.String())
+	if !found {
+		t.Fatal("trace not found in collector")
+	}
+	hasScore := false
+	for _, sp := range rec.Spans {
+		if sp.Component == "stream" && sp.Name == "score" {
+			hasScore = true
+		}
+	}
+	if !hasScore {
+		t.Fatalf("no stream/score span in %+v", rec.Spans)
+	}
+	select {
+	case got := <-e.Anomalies():
+		if got.TraceID != tc.TraceID {
+			t.Fatalf("channel verdict trace %s != %s", got.TraceID, tc.TraceID)
+		}
+	default:
+		t.Fatal("no verdict on anomaly channel")
+	}
+}
+
+// BenchmarkStreamObserve measures the score hot path (microbench
+// companion to the athena-bench stream experiment).
+func BenchmarkStreamObserve(b *testing.B) {
+	e := NewEngine(Config{Dims: []string{"a", "b", "c", "d", "e", "f"}})
+	defer e.Close()
+	vals := []float64{100, 2, 0.5, 40, 6000, 150}
+	base := time.Unix(1700000000, 0).UnixNano()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(&Observation{DPID: uint64(i & 15), TimeNanos: base + int64(i), Vals: vals})
+	}
+}

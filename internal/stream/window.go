@@ -1,0 +1,144 @@
+package stream
+
+import (
+	"math"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// window is one shard's ring of time-aligned aggregation buckets, the
+// go-flows-style windowed flow-table: a sliding window of width W
+// sliding by S is W/S tumbling sub-windows; W == S degenerates to a
+// single tumbling bucket. Buckets are recycled in place when their
+// slot is reused — steady-state windowing performs zero allocations.
+// The owning shard's mutex serializes access.
+type window struct {
+	slideNs int64
+	// curStart/curSlot cache the bucket last written: consecutive
+	// events usually land in the same slide interval, so the steady
+	// state is one subtraction and two compares instead of three
+	// integer divisions.
+	curStart int64
+	curSlot  int
+	buckets  []bucket
+	// expired observes the event count of each bucket retired by slot
+	// reuse (nil disables).
+	expired *telemetry.Histogram
+}
+
+// bucket aggregates the observations of one slide interval: event
+// count plus per-dim sum/min/max.
+type bucket struct {
+	start int64 // aligned UnixNano; -1 when empty
+	count float64
+	sum   []float64
+	min   []float64
+	max   []float64
+}
+
+func newWindow(width, slide time.Duration, dim int, expired *telemetry.Histogram) window {
+	n := int(width / slide)
+	if n < 1 {
+		n = 1
+	}
+	w := window{slideNs: int64(slide), curStart: -1, buckets: make([]bucket, n), expired: expired}
+	for i := range w.buckets {
+		w.buckets[i] = bucket{
+			start: -1,
+			sum:   make([]float64, dim),
+			min:   make([]float64, dim),
+			max:   make([]float64, dim),
+		}
+	}
+	return w
+}
+
+// reset recycles the bucket for a new interval without allocating.
+func (b *bucket) reset(start int64) {
+	b.start = start
+	b.count = 0
+	for i := range b.sum {
+		b.sum[i] = 0
+		b.min[i] = math.Inf(1)
+		b.max[i] = math.Inf(-1)
+	}
+}
+
+// add folds one observation at time t (UnixNano) into its bucket,
+// retiring and recycling the slot's previous interval if t has moved
+// on. Never allocates.
+func (w *window) add(t int64, vals []float64) {
+	if t < 0 {
+		t = 0
+	}
+	var b *bucket
+	if d := t - w.curStart; w.curStart >= 0 && d >= 0 && d < w.slideNs {
+		b = &w.buckets[w.curSlot] // same interval as the last event
+	} else {
+		q := t / w.slideNs
+		start := q * w.slideNs
+		slot := int(q % int64(len(w.buckets)))
+		w.curStart, w.curSlot = start, slot
+		b = &w.buckets[slot]
+		if b.start != start {
+			if b.count > 0 && w.expired != nil {
+				w.expired.Observe(b.count)
+			}
+			b.reset(start)
+		}
+	}
+	b.count++
+	sum := b.sum[:len(vals)]
+	mn := b.min[:len(vals)]
+	mx := b.max[:len(vals)]
+	for i, v := range vals {
+		sum[i] += v
+		mn[i] = min(mn[i], v)
+		mx[i] = max(mx[i], v)
+	}
+}
+
+// events reports the observation count currently held in the ring.
+func (w *window) events() float64 {
+	var n float64
+	for i := range w.buckets {
+		if w.buckets[i].start >= 0 {
+			n += w.buckets[i].count
+		}
+	}
+	return n
+}
+
+// WindowStats is an aggregate view over the live window buckets.
+type WindowStats struct {
+	// Events is the observation count across live buckets.
+	Events float64
+	// Buckets is how many ring slots currently hold data.
+	Buckets int
+	// Mean/Min/Max aggregate each dim across live buckets.
+	Mean []float64
+	Min  []float64
+	Max  []float64
+}
+
+// fold accumulates this window's live buckets into the aggregate.
+func (w *window) fold(st *WindowStats) {
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.start < 0 || b.count == 0 {
+			continue
+		}
+		st.Events += b.count
+		st.Buckets++
+		for j := range b.sum {
+			st.Mean[j] += b.sum[j]
+			if b.min[j] < st.Min[j] {
+				st.Min[j] = b.min[j]
+			}
+			if b.max[j] > st.Max[j] {
+				st.Max[j] = b.max[j]
+			}
+		}
+	}
+}

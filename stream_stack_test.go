@@ -1,0 +1,114 @@
+package athena
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStackStreamTraceEndpoint is the streaming-detection acceptance
+// test: a full stack with the inline scoring engine enabled flags a
+// sampled outlier, and the anomaly's trace ID resolves through the ops
+// /traces/{id} endpoint to a span tree containing the stream/score
+// span. The stream metric families must also surface on /metrics.
+func TestStackStreamTraceEndpoint(t *testing.T) {
+	stack, err := NewStack(StackConfig{
+		Controllers:    1,
+		StoreNodes:     1,
+		ComputeWorkers: 1,
+		Southbound: SouthboundConfig{
+			Publish: PublishSync,
+			Stream: StreamConfig{
+				Enabled: true,
+				Dims:    []string{FPacketCount, FByteCount},
+				MinObs:  1,
+			},
+		},
+		Tracing: TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour},
+		OpsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	eng := stack.Instance(0).Southbound().Stream()
+	if eng == nil {
+		t.Fatal("stream engine not constructed on instance 0")
+	}
+	col := stack.Tracing()
+	if col == nil {
+		t.Fatal("stack with SampleEvery 1 has no collector")
+	}
+
+	// Anneal the online model onto a tight benign cluster over several
+	// observe/refresh epochs.
+	base := time.Now()
+	vals := make([]float64, 2)
+	for epoch := 0; epoch < 6; epoch++ {
+		for i := 0; i < 64; i++ {
+			vals[0], vals[1] = 10, 1500
+			eng.Observe(&StreamObservation{
+				DPID:      uint64(1 + i%4),
+				TimeNanos: base.UnixNano(),
+				Vals:      vals,
+			})
+		}
+		eng.Refresh()
+	}
+
+	// Drive one outlier under a sampled trace and require a verdict
+	// carrying that trace ID.
+	tc := col.StartTrace(base)
+	vals[0], vals[1] = 1e9, 1e12
+	v, ok := eng.Observe(&StreamObservation{
+		DPID:      99,
+		TimeNanos: base.UnixNano(),
+		Vals:      vals,
+		Trace:     tc,
+	})
+	if !ok || !v.Anomalous {
+		t.Fatalf("outlier not flagged: %+v (radius %v)", v, eng.Model().Radius)
+	}
+	if v.TraceID != tc.TraceID {
+		t.Fatalf("verdict trace %s != sampled trace %s", v.TraceID, tc.TraceID)
+	}
+
+	// The ops endpoint serves the scoring span for that single ID.
+	id := v.TraceID.String()
+	opsBase := "http://" + stack.OpsAddr()
+	resp, err := http.Get(opsBase + "/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/traces/%s status = %d", id, resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{"trace " + id, "stream/score"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("span tree missing %q:\n%s", want, text)
+		}
+	}
+
+	// The stream families gathered across the stack registry.
+	resp, err = http.Get(opsBase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, fam := range []string{
+		"athena_stream_scores_total",
+		"athena_stream_anomalies_total",
+		"athena_stream_model_swaps_total",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Fatalf("/metrics lacks %s", fam)
+		}
+	}
+}
