@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race chaos fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-detect bench-stream stream-soak microbench
+.PHONY: build verify test race chaos fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-detect bench-stream bench-cbench stream-soak microbench
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzReadStoreFrame -fuzztime 3s ./internal/store/
 	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 3s ./internal/query/
 	$(GO) test -run XXX -fuzz FuzzDecodeDatasetChunk -fuzztime 3s ./internal/compute/
+	$(GO) test -run XXX -fuzz FuzzReceiveBatch -fuzztime 3s ./internal/openflow/
 
 # Appends a labeled feature-pipeline run to BENCH_pipeline.json so
 # before/after numbers accumulate in one artifact. Override LABEL to
@@ -92,10 +93,17 @@ bench-stream:
 	$(GO) run ./cmd/athena-bench -exp stream \
 		-stream-out BENCH_stream.json -stream-label "$(LABEL)"
 
+# Appends a labeled 1k-switch fan-in flood (responses/s per core,
+# allocs/resp) to BENCH_cbench.json — the connection-layer scale
+# benchmark.
+bench-cbench:
+	$(GO) run ./cmd/cbench -athena off -switches 1000 -hosts 32 -rounds 4 -round-ms 500 \
+		-json-out BENCH_cbench.json -label "$(LABEL)"
+
 # The per-op Go benchmarks behind the pipeline numbers.
 microbench:
 	$(GO) test -bench 'BenchmarkGeneratorProcess|BenchmarkSouthboundHandle' -run XXX ./internal/core/
-	$(GO) test -bench BenchmarkFlowKey -run XXX ./internal/openflow/
+	$(GO) test -bench 'BenchmarkFlowKey|BenchmarkConnReceiveBatch|BenchmarkConnSendCoalesced' -benchmem -run XXX ./internal/openflow/
 	$(GO) test -bench 'BenchmarkKMeansTrain' -benchmem -run XXX ./internal/ml/
 	$(GO) test -bench 'BenchmarkDriverLoadDataset' -benchmem -run XXX ./internal/compute/
 	$(GO) test -bench 'BenchmarkStoreInsert|BenchmarkStoreQueryIndexed|BenchmarkStoreQueryScan|BenchmarkClientPipelined' -benchmem -run XXX ./internal/store/

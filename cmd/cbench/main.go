@@ -1,20 +1,24 @@
 // Command cbench is the standalone flow-install throughput benchmark
 // client (the Table IX load generator). It boots a controller (with or
 // without an Athena instance attached) and floods it with PacketIns,
-// reporting responses/second per round.
+// reporting responses/second per round. With -switches N it emulates an
+// N-switch fan-in flood (each switch a real TCP control channel with a
+// disjoint host range), the connection-layer scale benchmark.
 //
 // Usage:
 //
-//	cbench                      # baseline controller
+//	cbench                      # baseline controller, one switch
 //	cbench -athena sync        # Athena attached, synchronous DB writes
 //	cbench -athena nodb        # Athena attached, DB publication off
 //	cbench -rounds 50 -round-ms 1000
+//	cbench -switches 1000 -json-out BENCH_cbench.json -label "my change"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/bench"
@@ -22,21 +26,55 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("athena", "off", "off|sync|nodb")
-		rounds  = flag.Int("rounds", 10, "measurement rounds")
-		roundMS = flag.Int("round-ms", 200, "round duration (ms)")
-		hosts   = flag.Int("hosts", 64, "emulated host pool")
+		mode     = flag.String("athena", "off", "off|sync|nodb")
+		rounds   = flag.Int("rounds", 10, "measurement rounds")
+		roundMS  = flag.Int("round-ms", 200, "round duration (ms)")
+		hosts    = flag.Int("hosts", 64, "emulated host pool per switch")
+		switches = flag.Int("switches", 1, "emulated switch sessions")
+		jsonOut  = flag.String("json-out", "", "append the run to this JSON log")
+		label    = flag.String("label", "current", "label for the JSON log entry")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run")
+		memProf  = flag.String("memprofile", "", "write an allocation profile of the run")
 	)
 	flag.Parse()
-	res, err := bench.RunCbench(bench.CbenchConfig{
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	cfg := bench.CbenchConfig{
 		Rounds:        *rounds,
 		RoundDuration: time.Duration(*roundMS) * time.Millisecond,
 		Hosts:         *hosts,
-	}, *mode)
+		Switches:      *switches,
+	}
+	res, err := bench.RunCbench(cfg, *mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("cbench (athena=%s, %d rounds x %dms):\n", *mode, *rounds, *roundMS)
-	fmt.Printf("  MIN %.0f  MAX %.0f  AVG %.0f responses/s\n", res.Min, res.Max, res.Avg)
+	fmt.Printf("cbench (athena=%s, %d switches, %d rounds x %dms):\n", *mode, *switches, *rounds, *roundMS)
+	fmt.Printf("  MIN %.0f  MAX %.0f  AVG %.0f responses/s  (%.0f/s/core, %.1f allocs/resp)\n",
+		res.Min, res.Max, res.Avg, res.AvgPerCore, res.AllocsPerResp)
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err == nil {
+			_ = pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}
+	}
+	if *jsonOut != "" {
+		if err := bench.AppendCbenchJSON(*jsonOut, *label, bench.NewCbenchRun(cfg, *mode, res)); err != nil {
+			fmt.Fprintln(os.Stderr, "cbench: write json:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -7,6 +7,8 @@ package bench
 import (
 	"fmt"
 	"net"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,14 +19,25 @@ import (
 	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
-// CbenchConfig parameterizes the Table IX reproduction.
+// CbenchConfig parameterizes the Table IX reproduction and the
+// thousand-switch fan-in flood.
 type CbenchConfig struct {
 	// Rounds of measurement (paper: 50).
 	Rounds int
 	// RoundDuration is each round's measurement window.
 	RoundDuration time.Duration
-	// Hosts is the emulated host pool cycled through PacketIns.
+	// Hosts is the emulated host pool cycled through PacketIns, per
+	// switch.
 	Hosts int
+	// Switches is the number of emulated switch sessions flooding
+	// concurrently (default 1, the paper's configuration). Each switch
+	// owns a disjoint host IP range so reactive forwarding answers every
+	// PacketIn with a same-switch flow install.
+	Switches int
+	// MaxOutstanding caps each switch's unanswered PacketIns so a slow
+	// controller is measured rather than buried. Zero scales the cap
+	// down with the switch count.
+	MaxOutstanding int
 	// Telemetry, when set, receives controller/pipeline/store metrics so
 	// the bench run can be dumped in exposition format afterwards.
 	Telemetry *telemetry.Registry
@@ -40,12 +53,35 @@ func (c CbenchConfig) withDefaults() CbenchConfig {
 	if c.Hosts <= 0 {
 		c.Hosts = 64
 	}
+	if c.Switches <= 0 {
+		c.Switches = 1
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 8192 / c.Switches
+		if c.MaxOutstanding > 512 {
+			c.MaxOutstanding = 512
+		}
+		if c.MaxOutstanding < 16 {
+			c.MaxOutstanding = 16
+		}
+	}
 	return c
 }
 
 // CbenchResult summarizes flow-install throughput over the rounds.
+// Rates aggregate across all emulated switches.
 type CbenchResult struct {
 	Min, Max, Avg float64 // responses/second
+	// Switches echoes the emulated switch count of the run.
+	Switches int
+	// AvgPerCore is Avg divided by GOMAXPROCS, the paper-independent
+	// fan-in figure of merit.
+	AvgPerCore float64
+	// AllocsPerResp is process-wide heap allocations per flow-install
+	// response over the measurement rounds (controller and load
+	// generator share the process, so this bounds the controller's
+	// per-response allocation count from above).
+	AllocsPerResp float64
 }
 
 // CbenchModes runs the three Table IX configurations against fresh
@@ -125,31 +161,49 @@ func RunCbench(cfg CbenchConfig, athenaMode string) (CbenchResult, error) {
 		return CbenchResult{}, fmt.Errorf("cbench: unknown mode %q", athenaMode)
 	}
 
-	gen, err := newCbenchSwitch(ctrl.Addr(), cfg.Hosts)
+	switches, err := dialCbenchSwitches(ctrl.Addr(), cfg)
 	if err != nil {
 		return CbenchResult{}, err
 	}
-	defer gen.close()
-	// The session must be registered before load is offered; frames
+	defer func() {
+		for _, s := range switches {
+			s.close()
+		}
+	}()
+	// Every session must be registered before load is offered; frames
 	// arriving mid-handshake are discarded.
-	for deadline := time.Now().Add(3 * time.Second); len(ctrl.Devices()) == 0; {
-		if time.Now().After(deadline) {
-			return CbenchResult{}, fmt.Errorf("cbench: switch session never registered")
+	regDeadline := time.Now().Add(10*time.Second + 20*time.Millisecond*time.Duration(cfg.Switches))
+	for len(ctrl.Devices()) < cfg.Switches {
+		if time.Now().After(regDeadline) {
+			return CbenchResult{}, fmt.Errorf("cbench: %d/%d switch sessions registered",
+				len(ctrl.Devices()), cfg.Switches)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := gen.warmup(); err != nil {
+	if err := eachSwitch(switches, (*cbenchSwitch).warmup); err != nil {
 		return CbenchResult{}, err
 	}
 
 	var res CbenchResult
 	res.Min = -1
+	res.Switches = cfg.Switches
 	var sum float64
+	var responses uint64
+	var mem0, mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 	for round := 0; round < cfg.Rounds; round++ {
-		rate, err := gen.round(cfg.RoundDuration)
-		if err != nil {
+		start := time.Now()
+		before := totalResponses(switches)
+		if err := eachSwitch(switches, func(s *cbenchSwitch) error {
+			return s.flood(cfg.RoundDuration, cfg.MaxOutstanding)
+		}); err != nil {
 			return CbenchResult{}, fmt.Errorf("round %d: %w", round, err)
 		}
+		_ = eachSwitch(switches, (*cbenchSwitch).drain)
+		elapsed := time.Since(start).Seconds()
+		delta := totalResponses(switches) - before
+		responses += delta
+		rate := float64(delta) / elapsed
 		sum += rate
 		if res.Min < 0 || rate < res.Min {
 			res.Min = rate
@@ -158,14 +212,87 @@ func RunCbench(cfg CbenchConfig, athenaMode string) (CbenchResult, error) {
 			res.Max = rate
 		}
 	}
+	runtime.ReadMemStats(&mem1)
 	res.Avg = sum / float64(cfg.Rounds)
+	res.AvgPerCore = res.Avg / float64(runtime.GOMAXPROCS(0))
+	if responses > 0 {
+		res.AllocsPerResp = float64(mem1.Mallocs-mem0.Mallocs) / float64(responses)
+	}
 	return res, nil
+}
+
+// dialCbenchSwitches connects the emulated switch pool in bounded waves
+// so a thousand-session flood does not stampede the accept loop.
+func dialCbenchSwitches(addr string, cfg CbenchConfig) ([]*cbenchSwitch, error) {
+	switches := make([]*cbenchSwitch, cfg.Switches)
+	sem := make(chan struct{}, 64)
+	errs := make(chan error, cfg.Switches)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Switches; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, err := newCbenchSwitch(addr, idx, cfg.Hosts)
+			if err != nil {
+				errs <- fmt.Errorf("switch %d: %w", idx, err)
+				return
+			}
+			switches[idx] = s
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		for _, s := range switches {
+			if s != nil {
+				s.close()
+			}
+		}
+		return nil, err
+	default:
+	}
+	return switches, nil
+}
+
+// eachSwitch runs fn concurrently across the pool and returns the first
+// error.
+func eachSwitch(switches []*cbenchSwitch, fn func(*cbenchSwitch) error) error {
+	errs := make(chan error, len(switches))
+	var wg sync.WaitGroup
+	for _, s := range switches {
+		wg.Add(1)
+		go func(s *cbenchSwitch) {
+			defer wg.Done()
+			if err := fn(s); err != nil {
+				errs <- err
+			}
+		}(s)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+func totalResponses(switches []*cbenchSwitch) uint64 {
+	var total uint64
+	for _, s := range switches {
+		total += s.responses.Load()
+	}
+	return total
 }
 
 // cbenchSwitch is the throughput-mode load generator: a fake switch
 // that floods PacketIns and counts flow-install responses.
 type cbenchSwitch struct {
 	conn  *openflow.Conn
+	idx   int
+	dpid  uint64
 	hosts int
 
 	responses atomic.Uint64
@@ -174,13 +301,15 @@ type cbenchSwitch struct {
 	seq uint32
 }
 
-func newCbenchSwitch(addr string, hosts int) (*cbenchSwitch, error) {
+func newCbenchSwitch(addr string, idx, hosts int) (*cbenchSwitch, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cbench dial: %w", err)
 	}
 	s := &cbenchSwitch{
 		conn:     openflow.NewConn(nc),
+		idx:      idx,
+		dpid:     0xcb<<32 | uint64(idx+1),
 		hosts:    hosts,
 		readDone: make(chan struct{}),
 	}
@@ -197,29 +326,38 @@ func newCbenchSwitch(addr string, hosts int) (*cbenchSwitch, error) {
 }
 
 // readLoop answers the controller's handshake and counts flow-install
-// responses (FlowMods, as cbench does).
+// responses (FlowMods, as cbench does). It drains the control channel
+// in batches so the generator's own receive path keeps up with a
+// coalescing controller.
 func (s *cbenchSwitch) readLoop(ports []openflow.PortDesc) {
 	defer close(s.readDone)
+	var batch openflow.MessageBatch
+	defer batch.Release()
 	for {
-		msg, h, err := s.conn.Receive()
-		if err != nil {
+		if err := s.conn.ReceiveBatch(&batch); err != nil {
 			return
 		}
-		switch m := msg.(type) {
-		case *openflow.FeaturesRequest:
-			_ = s.conn.SendXID(&openflow.FeaturesReply{DPID: 0xcb, NumTables: 1, Ports: ports}, h.XID)
-		case *openflow.EchoRequest:
-			_ = s.conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
-		case *openflow.FlowMod:
-			s.responses.Add(1)
-		case *openflow.MultipartRequest:
-			_ = s.conn.SendXID(&openflow.MultipartReply{StatsType: m.StatsType}, h.XID)
+		for i := 0; i < batch.Len(); i++ {
+			msg, h := batch.At(i)
+			switch m := msg.(type) {
+			case *openflow.FeaturesRequest:
+				_ = s.conn.SendXID(&openflow.FeaturesReply{DPID: s.dpid, NumTables: 1, Ports: ports}, h.XID)
+			case *openflow.EchoRequest:
+				_ = s.conn.SendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+			case *openflow.FlowMod:
+				s.responses.Add(1)
+			case *openflow.MultipartRequest:
+				_ = s.conn.SendXID(&openflow.MultipartReply{StatsType: m.StatsType}, h.XID)
+			}
 		}
+		batch.Release()
 	}
 }
 
+// hostIP maps (switch, host) to a disjoint address so reactive
+// forwarding resolves every flood destination to this switch.
 func (s *cbenchSwitch) hostIP(i int) uint32 {
-	return openflow.IPv4(10, 200, byte(i/250), byte(i%250+1))
+	return 0x0A000000 | uint32(s.idx)<<12 | uint32(i+1)
 }
 
 func (s *cbenchSwitch) hostPort(i int) uint32 { return uint32(i%16) + 1 }
@@ -267,21 +405,17 @@ func (s *cbenchSwitch) drain() error {
 	return nil
 }
 
-// round floods PacketIns for the window and reports responses/second.
-// Like cbench, the generator keeps a bounded number of requests in
-// flight so a slow controller is measured rather than buried under an
-// unbounded backlog.
-func (s *cbenchSwitch) round(window time.Duration) (float64, error) {
-	const (
-		batch          = 32
-		maxOutstanding = 512
-	)
+// flood sends PacketIns for the window, keeping a bounded number of
+// requests in flight. Like cbench, a slow controller is measured rather
+// than buried under an unbounded backlog.
+func (s *cbenchSwitch) flood(window time.Duration, maxOutstanding int) error {
+	const batch = 32
 	start := time.Now()
 	startResponses := s.responses.Load()
 	var frames []byte
 	sent := uint64(0)
 	for time.Since(start) < window {
-		if sent-(s.responses.Load()-startResponses) >= maxOutstanding {
+		if sent-(s.responses.Load()-startResponses) >= uint64(maxOutstanding) {
 			time.Sleep(200 * time.Microsecond)
 			continue
 		}
@@ -305,15 +439,11 @@ func (s *cbenchSwitch) round(window time.Duration) (float64, error) {
 			frames = openflow.AppendMessage(frames, pi, s.seq)
 		}
 		if err := s.conn.SendBatch(frames); err != nil {
-			return 0, err
+			return err
 		}
 		sent += batch
 	}
-	// Allow in-flight responses to land, then measure.
-	_ = s.drain()
-	elapsed := time.Since(start).Seconds()
-	responses := s.responses.Load() - startResponses
-	return float64(responses) / elapsed, nil
+	return nil
 }
 
 func (s *cbenchSwitch) close() {

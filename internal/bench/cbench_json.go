@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// CbenchRun is one labeled entry in BENCH_cbench.json: the fan-in flood
+// configuration plus the measured flow-install rates, so before/after
+// evidence for connection-layer changes accumulates in one artifact.
+type CbenchRun struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+
+	Mode     string `json:"mode"`
+	Switches int    `json:"switches"`
+	Hosts    int    `json:"hosts_per_switch"`
+	Rounds   int    `json:"rounds"`
+	RoundMS  int    `json:"round_ms"`
+
+	MinRespPerSec     float64 `json:"min_resp_per_sec"`
+	MaxRespPerSec     float64 `json:"max_resp_per_sec"`
+	AvgRespPerSec     float64 `json:"avg_resp_per_sec"`
+	RespPerSecPerCore float64 `json:"resp_per_sec_per_core"`
+	AllocsPerResp     float64 `json:"allocs_per_resp"`
+}
+
+// NewCbenchRun stamps a result with its configuration and environment.
+func NewCbenchRun(cfg CbenchConfig, mode string, res CbenchResult) CbenchRun {
+	cfg = cfg.withDefaults()
+	return CbenchRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Mode:      mode,
+		Switches:  cfg.Switches,
+		Hosts:     cfg.Hosts,
+		Rounds:    cfg.Rounds,
+		RoundMS:   int(cfg.RoundDuration / time.Millisecond),
+
+		MinRespPerSec:     res.Min,
+		MaxRespPerSec:     res.Max,
+		AvgRespPerSec:     res.Avg,
+		RespPerSecPerCore: res.AvgPerCore,
+		AllocsPerResp:     res.AllocsPerResp,
+	}
+}
+
+// cbenchRuns is the on-disk shape of BENCH_cbench.json: an append-only
+// log of labeled runs.
+type cbenchRuns struct {
+	Runs []CbenchRun `json:"runs"`
+}
+
+// AppendCbenchJSON appends one labeled run to path (creating it when
+// absent) and pretty-prints the whole log.
+func AppendCbenchJSON(path, label string, run CbenchRun) error {
+	run.Label = label
+	var log cbenchRuns
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &log)
+	}
+	log.Runs = append(log.Runs, run)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

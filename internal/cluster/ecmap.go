@@ -127,14 +127,18 @@ func (m *ECMap) Range(fn func(key string, value []byte) bool) {
 // update merged by gossip.
 func (m *ECMap) Watch(fn func(key string, value []byte, deleted bool)) {
 	m.mu.Lock()
-	m.watchers = append(m.watchers, fn)
+	// Copy-on-write: registration rebuilds the slice so readers can
+	// iterate a snapshot taken under the lock after releasing it —
+	// every Put/Delete would otherwise copy the list.
+	next := make([]func(string, []byte, bool), 0, len(m.watchers)+1)
+	next = append(next, m.watchers...)
+	next = append(next, fn)
+	m.watchers = next
 	m.mu.Unlock()
 }
 
 func (m *ECMap) watchersLocked() []func(string, []byte, bool) {
-	out := make([]func(string, []byte, bool), len(m.watchers))
-	copy(out, m.watchers)
-	return out
+	return m.watchers
 }
 
 // merge folds remote entries in under last-writer-wins, reporting how

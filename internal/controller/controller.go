@@ -104,6 +104,15 @@ type PacketContext struct {
 	Packet  *openflow.PacketIn
 	XID     uint32
 	Handled bool
+
+	// Response scratch for the built-in reactive apps: the context is
+	// per-session and processors run synchronously, so the FlowMod /
+	// PacketOut replies can be built here instead of escaping to the
+	// heap once per packet. The connection encodes synchronously inside
+	// send, so nothing below is retained after the call returns.
+	fm   openflow.FlowMod
+	po   openflow.PacketOut
+	acts [1]openflow.Action
 }
 
 // Controller is one controller instance.
@@ -154,10 +163,44 @@ type ctrlMetrics struct {
 	keepalivesSent    *telemetry.Counter
 	keepaliveTimeouts *telemetry.Counter
 	sessionTeardowns  *telemetry.Counter
+	readBatchFrames   *telemetry.Histogram
+	flushBytes        *telemetry.Histogram
+	// Pre-resolved hot-path series: at thousand-switch fan-in the
+	// per-message label lookup on rx/tx is measurable, so the receive
+	// and flow-install paths increment these directly.
+	rxPacketIn    *telemetry.Counter
+	rxFlowRemoved *telemetry.Counter
+	rxStatsReply  *telemetry.Counter
+	rxEcho        *telemetry.Counter
+	rxPortStatus  *telemetry.Counter
+	rxError       *telemetry.Counter
+	rxOther       *telemetry.Counter
+	txFlowMod     *telemetry.Counter
+	txPacketOut   *telemetry.Counter
+}
+
+// rxCounter maps a received message to its pre-resolved series.
+func (m *ctrlMetrics) rxCounter(msg openflow.Message) *telemetry.Counter {
+	switch msg.(type) {
+	case *openflow.PacketIn:
+		return m.rxPacketIn
+	case *openflow.FlowRemoved:
+		return m.rxFlowRemoved
+	case *openflow.MultipartReply:
+		return m.rxStatsReply
+	case *openflow.EchoRequest, *openflow.EchoReply:
+		return m.rxEcho
+	case *openflow.PortStatus:
+		return m.rxPortStatus
+	case *openflow.ErrorMsg:
+		return m.rxError
+	default:
+		return m.rxOther
+	}
 }
 
 func newCtrlMetrics(reg *telemetry.Registry, id string) ctrlMetrics {
-	return ctrlMetrics{
+	m := ctrlMetrics{
 		rx: reg.CounterVec("athena_controller_messages_rx_total",
 			"Control messages received from switches, by type.", "controller", "type"),
 		tx: reg.CounterVec("athena_controller_messages_tx_total",
@@ -177,7 +220,23 @@ func newCtrlMetrics(reg *telemetry.Registry, id string) ctrlMetrics {
 			"Switch sessions terminated for missing the keepalive deadline.", "controller").WithLabelValues(id),
 		sessionTeardowns: reg.CounterVec("athena_failover_session_teardowns_total",
 			"Dead switch sessions torn down with state purge and synthetic events.", "controller").WithLabelValues(id),
+		readBatchFrames: reg.HistogramVec("athena_openflow_read_batch_frames",
+			"Complete frames decoded per blocking control-channel read.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}, "controller").WithLabelValues(id),
+		flushBytes: reg.HistogramVec("athena_openflow_flush_bytes",
+			"Bytes written per coalesced control-channel flush.",
+			[]float64{64, 256, 1024, 4096, 16384, 65536, 262144}, "controller").WithLabelValues(id),
 	}
+	m.rxPacketIn = m.rx.WithLabelValues(id, "packet_in")
+	m.rxFlowRemoved = m.rx.WithLabelValues(id, "flow_removed")
+	m.rxStatsReply = m.rx.WithLabelValues(id, "stats_reply")
+	m.rxEcho = m.rx.WithLabelValues(id, "echo")
+	m.rxPortStatus = m.rx.WithLabelValues(id, "port_status")
+	m.rxError = m.rx.WithLabelValues(id, "error")
+	m.rxOther = m.rx.WithLabelValues(id, "other")
+	m.txFlowMod = m.tx.WithLabelValues(id, "flow_mod")
+	m.txPacketOut = m.tx.WithLabelValues(id, "packet_out")
+	return m
 }
 
 // Counters aggregates fast-path event counts for overhead measurements.
@@ -253,6 +312,20 @@ func New(cfg Config) (*Controller, error) {
 		c.mu.RLock()
 		defer c.mu.RUnlock()
 		return float64(len(c.sessions))
+	})
+	// Message-pool traffic is process-global (the pools are shared by
+	// every connection), so the gauges read the package counters
+	// directly; registering from two instances in one process is
+	// harmless — both report the same series.
+	c.tele.Gauge("athena_openflow_pool_hits",
+		"Hot-message pool gets served from a recycled struct.").Func(func() float64 {
+		hits, _ := openflow.PoolStats()
+		return float64(hits)
+	})
+	c.tele.Gauge("athena_openflow_pool_misses",
+		"Hot-message pool gets that had to allocate.").Func(func() float64 {
+		_, misses := openflow.PoolStats()
+		return float64(misses)
 	})
 
 	c.hosts = newHostStore(agent.Map(mapHosts))

@@ -240,15 +240,28 @@ func TestFailedEchoReplyClosesSession(t *testing.T) {
 	in := faults.New(1, faults.WithSend(faults.Schedule{TruncateAfterBytes: 1}))
 	s := &session{ctrl: c, conn: openflow.NewConn(in.WrapConn(server)), dpid: 9, done: make(chan struct{})}
 
-	s.dispatch(&openflow.EchoRequest{Data: []byte("ka")}, openflow.Header{XID: 5})
+	s.dispatch(&openflow.EchoRequest{Data: []byte("ka")}, openflow.Header{XID: 5}, time.Now())
 
-	if in.Injected(faults.KindTruncate) != 1 {
-		t.Fatalf("truncate faults = %d, want 1", in.Injected(faults.KindTruncate))
+	// The coalescing connection hands the reply to its flusher, so the
+	// truncate fault fires asynchronously; the write error then closes
+	// the transport from inside the connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Injected(faults.KindTruncate) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("truncate faults = %d, want 1", in.Injected(faults.KindTruncate))
+		}
+		time.Sleep(time.Millisecond)
 	}
-	// The session must have closed its transport; further sends fail
-	// immediately rather than desynchronizing the stream.
-	if err := s.conn.SendXID(&openflow.Hello{}, 6); err == nil {
-		t.Fatal("session transport still open after failed echo reply")
+	// The session's transport must die rather than linger half-open:
+	// the sticky write error surfaces on subsequent sends.
+	for {
+		if err := s.conn.SendXID(&openflow.Hello{}, 6); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session transport still open after failed echo reply")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,10 +1,10 @@
 package controller
 
 import (
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +39,10 @@ type flowRuleStore struct {
 	mu    sync.RWMutex
 	rules map[uint64]FlowRuleInfo
 	byApp map[string]map[uint64]struct{}
+	// byDPID makes session teardown O(rules on that switch): purging a
+	// dead switch must not scan every rule in the store — at
+	// thousand-switch scale the full scan turns mass teardown quadratic.
+	byDPID map[uint64]map[uint64]struct{}
 }
 
 func newFlowRuleStore(controllerID string, m *cluster.ECMap) *flowRuleStore {
@@ -49,6 +53,7 @@ func newFlowRuleStore(controllerID string, m *cluster.ECMap) *flowRuleStore {
 		prefix: uint64(h.Sum64()&0xffff) << 48, // disambiguate cookie spaces per instance
 		rules:  make(map[uint64]FlowRuleInfo),
 		byApp:  make(map[string]map[uint64]struct{}),
+		byDPID: make(map[uint64]map[uint64]struct{}),
 	}
 }
 
@@ -66,9 +71,28 @@ func (s *flowRuleStore) record(info FlowRuleInfo) {
 		s.byApp[info.AppID] = set
 	}
 	set[info.Cookie] = struct{}{}
+	dset, ok := s.byDPID[info.DPID]
+	if !ok {
+		dset = make(map[uint64]struct{})
+		s.byDPID[info.DPID] = dset
+	}
+	dset[info.Cookie] = struct{}{}
 	s.mu.Unlock()
-	b, _ := json.Marshal(flowAppRecord{App: info.AppID, DPID: info.DPID})
-	s.m.Put(cookieKey(info.Cookie), b)
+	// Presized so the encode is a single allocation (the map retains it).
+	buf := make([]byte, 0, len(info.AppID)+40)
+	s.m.Put(cookieKey(info.Cookie), appendFlowAppRecord(buf, info.AppID, info.DPID))
+}
+
+// appendFlowAppRecord hand-encodes the tiny attribution record — this
+// runs once per flow install, and encoding/json costs more than the
+// whole store insert at flood rates. The output matches
+// json.Marshal(flowAppRecord{...}) byte for byte.
+func appendFlowAppRecord(b []byte, app string, dpid uint64) []byte {
+	b = append(b, `{"app":`...)
+	b = strconv.AppendQuote(b, app)
+	b = append(b, `,"dpid":`...)
+	b = strconv.AppendUint(b, dpid, 10)
+	return append(b, '}')
 }
 
 func (s *flowRuleStore) removed(cookie uint64) {
@@ -77,6 +101,9 @@ func (s *flowRuleStore) removed(cookie uint64) {
 		delete(s.rules, cookie)
 		if set, ok := s.byApp[info.AppID]; ok {
 			delete(set, cookie)
+		}
+		if dset, ok := s.byDPID[info.DPID]; ok {
+			delete(dset, cookie)
 		}
 	}
 	s.mu.Unlock()
@@ -91,16 +118,15 @@ func (s *flowRuleStore) removed(cookie uint64) {
 func (s *flowRuleStore) purgeDPID(dpid uint64) []FlowRuleInfo {
 	s.mu.Lock()
 	var out []FlowRuleInfo
-	for cookie, info := range s.rules {
-		if info.DPID != dpid {
-			continue
-		}
+	for cookie := range s.byDPID[dpid] {
+		info := s.rules[cookie]
 		out = append(out, info)
 		delete(s.rules, cookie)
 		if set, ok := s.byApp[info.AppID]; ok {
 			delete(set, cookie)
 		}
 	}
+	delete(s.byDPID, dpid)
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Cookie < out[j].Cookie })
 	return out
@@ -131,12 +157,30 @@ func (s *flowRuleStore) ofApp(appID string) []FlowRuleInfo {
 	return out
 }
 
-func cookieKey(cookie uint64) string { return fmt.Sprintf("%016x", cookie) }
+// cookieKey renders the fixed-width hex key for the replicated
+// attribution map; hand-rolled because fmt.Sprintf("%016x") is
+// per-flow-install hot.
+func cookieKey(cookie uint64) string {
+	const hexDigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[cookie&0xf]
+		cookie >>= 4
+	}
+	return string(b[:])
+}
 
 // InstallFlow installs a rule on dpid attributed to appID. The cookie is
 // assigned by the controller and returned; fm.Cookie is ignored. The
 // FlagSendFlowRemoved flag is forced on so Athena observes rule expiry.
 func (c *Controller) InstallFlow(appID string, dpid uint64, fm openflow.FlowMod) (uint64, error) {
+	return c.installFlow(appID, dpid, &fm)
+}
+
+// installFlow is the pointer form InstallFlow wraps: the reactive
+// forwarding path passes its per-session scratch FlowMod through here
+// so each install does not heap-copy the message.
+func (c *Controller) installFlow(appID string, dpid uint64, fm *openflow.FlowMod) (uint64, error) {
 	s := c.session(dpid)
 	if s == nil {
 		return 0, fmt.Errorf("controller %s: switch %d not connected", c.id, dpid)
@@ -144,11 +188,11 @@ func (c *Controller) InstallFlow(appID string, dpid uint64, fm openflow.FlowMod)
 	fm.Command = openflow.FlowAdd
 	fm.Cookie = c.flows.nextCookie()
 	fm.Flags |= openflow.FlagSendFlowRemoved
-	if err := s.send(&fm); err != nil {
+	if err := s.send(fm); err != nil {
 		return 0, fmt.Errorf("install flow on %d: %w", dpid, err)
 	}
 	c.counters.FlowModsSent.Add(1)
-	c.metrics.tx.WithLabelValues(c.id, "flow_mod").Inc()
+	c.metrics.txFlowMod.Inc()
 	c.flows.record(FlowRuleInfo{
 		Cookie:   fm.Cookie,
 		AppID:    appID,
@@ -182,7 +226,7 @@ func (c *Controller) SendPacketOut(dpid uint64, po *openflow.PacketOut) error {
 		return err
 	}
 	c.counters.PacketOuts.Add(1)
-	c.metrics.tx.WithLabelValues(c.id, "packet_out").Inc()
+	c.metrics.txPacketOut.Inc()
 	return nil
 }
 

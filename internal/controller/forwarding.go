@@ -44,28 +44,35 @@ func (c *Controller) processForwarding(ctx *PacketContext) {
 		outPort = hop
 	}
 
-	fm := openflow.FlowMod{
+	// Responses are built in the context's scratch (one action, shared
+	// between the FlowMod and the PacketOut) so the per-packet reply
+	// costs no allocation; send encodes synchronously, nothing escapes.
+	ctx.acts[0] = openflow.Output(outPort)
+	ctx.fm = openflow.FlowMod{
 		Priority:    fwdPriority,
 		IdleTimeout: timeoutSeconds(c.cfg.FlowIdleTimeout),
 		HardTimeout: timeoutSeconds(c.cfg.FlowHardTimeout),
 		Match:       openflow.ExactMatch(f),
-		Actions:     []openflow.Action{openflow.ActionOutput{Port: outPort}},
+		Actions:     ctx.acts[:1],
 	}
-	if _, err := c.InstallFlow(AppForwarding, ctx.DPID, fm); err != nil {
+	if _, err := c.installFlow(AppForwarding, ctx.DPID, &ctx.fm); err != nil {
 		return
 	}
-	_ = c.SendPacketOut(ctx.DPID, &openflow.PacketOut{
+	ctx.po = openflow.PacketOut{
 		BufferID: pkt.BufferID,
 		InPort:   f.InPort,
-		Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},
-	})
+		Actions:  ctx.acts[:1],
+	}
+	_ = c.SendPacketOut(ctx.DPID, &ctx.po)
 	ctx.Handled = true
 }
 
 func (c *Controller) flood(ctx *PacketContext) {
-	_ = c.SendPacketOut(ctx.DPID, &openflow.PacketOut{
+	ctx.acts[0] = openflow.Output(openflow.PortFlood)
+	ctx.po = openflow.PacketOut{
 		BufferID: ctx.Packet.BufferID,
 		InPort:   ctx.Packet.Fields.InPort,
-		Actions:  []openflow.Action{openflow.ActionOutput{Port: openflow.PortFlood}},
-	})
+		Actions:  ctx.acts[:1],
+	}
+	_ = c.SendPacketOut(ctx.DPID, &ctx.po)
 }

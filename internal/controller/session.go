@@ -27,6 +27,9 @@ type session struct {
 	// done closes when the receive loop exits, stopping the keepalive
 	// goroutine.
 	done chan struct{}
+	// pktCtx is the dispatch goroutine's reusable packet context;
+	// processors run synchronously and must not retain it.
+	pktCtx PacketContext
 }
 
 func (s *session) touch() { s.lastRx.Store(time.Now().UnixNano()) }
@@ -34,7 +37,10 @@ func (s *session) touch() { s.lastRx.Store(time.Now().UnixNano()) }
 func (s *session) lastSeen() time.Time { return time.Unix(0, s.lastRx.Load()) }
 
 func (c *Controller) serveSwitch(nc net.Conn) {
-	conn := openflow.NewConn(nc)
+	conn := openflow.NewConn(nc, openflow.WithConnHooks(openflow.ConnHooks{
+		OnReadBatch: func(frames int) { c.metrics.readBatchFrames.Observe(float64(frames)) },
+		OnFlush:     func(bytes int) { c.metrics.flushBytes.Observe(float64(bytes)) },
+	}))
 	defer conn.Close()
 
 	if _, err := conn.Send(&openflow.Hello{}); err != nil {
@@ -120,26 +126,42 @@ func (c *Controller) serveSwitch(nc net.Conn) {
 		}()
 	}
 
+	// Steady state: drain the control channel in batches — one blocking
+	// read per batch, every already-buffered frame decoded with it. Hot
+	// message structs come from the openflow pools; the batch owns them
+	// until Release, and any listener that hands a message to another
+	// goroutine (the southbound dispatch pool) Retains its own
+	// reference first, so per-switch ordering and message lifetimes
+	// both survive the fan-out.
+	var batch openflow.MessageBatch
+	defer batch.Release()
 	for {
-		msg, h, err := conn.Receive()
-		if err != nil {
+		if err := conn.ReceiveBatch(&batch); err != nil {
 			return
 		}
-		s.touch()
-		s.dispatch(msg, h)
+		// One timestamp per batch: it is both the keepalive liveness mark
+		// and the ingress instant for every message the read delivered.
+		now := time.Now()
+		s.lastRx.Store(now.UnixNano())
+		for i := 0; i < batch.Len(); i++ {
+			msg, h := batch.At(i)
+			s.dispatch(msg, h, now)
+		}
+		batch.Release()
 	}
 }
 
-func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
+// dispatch handles one received message; now is the ingress instant of
+// the batch that delivered it.
+func (s *session) dispatch(msg openflow.Message, h openflow.Header, now time.Time) {
 	c := s.ctrl
-	now := time.Now()
 	// Ingress is the distributed-trace root: the sampling decision is
 	// made here (one atomic add when unsampled) and the context rides
 	// the ControlMessage through the feature pipeline and both wire
 	// protocols.
 	tc := c.tracing.StartTrace(now)
-	c.metrics.rx.WithLabelValues(c.id, rxType(msg)).Inc()
-	defer c.metrics.dispatchTimer.Observe()()
+	c.metrics.rxCounter(msg).Inc()
+	defer c.metrics.dispatchTimer.ObserveSince(time.Now())
 	defer c.tracing.StartSpan(tc, "controller", "dispatch")()
 	switch m := msg.(type) {
 	case *openflow.Hello:
@@ -156,7 +178,8 @@ func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 		return
 	case *openflow.PacketIn:
 		c.counters.PacketIns.Add(1)
-		ctx := &PacketContext{DPID: s.dpid, Packet: m, XID: h.XID}
+		ctx := &s.pktCtx
+		*ctx = PacketContext{DPID: s.dpid, Packet: m, XID: h.XID}
 		c.mu.RLock()
 		procs := c.processors
 		c.mu.RUnlock()
@@ -189,26 +212,6 @@ func (s *session) dispatch(msg openflow.Message, h openflow.Header) {
 		Msg:          msg,
 		Trace:        tc,
 	})
-}
-
-// rxType maps a message to its metric label.
-func rxType(msg openflow.Message) string {
-	switch msg.(type) {
-	case *openflow.PacketIn:
-		return "packet_in"
-	case *openflow.FlowRemoved:
-		return "flow_removed"
-	case *openflow.MultipartReply:
-		return "stats_reply"
-	case *openflow.EchoRequest, *openflow.EchoReply:
-		return "echo"
-	case *openflow.PortStatus:
-		return "port_status"
-	case *openflow.ErrorMsg:
-		return "error"
-	default:
-		return "other"
-	}
 }
 
 func (s *session) send(msg openflow.Message) error {

@@ -110,26 +110,44 @@ func (l LinkInfo) key() string {
 	return fmt.Sprintf("%d/%d", l.SrcDPID, l.SrcPort)
 }
 
+// portKey identifies one switch port without string formatting; the
+// infrastructure check runs once per PacketIn, so its map key must not
+// allocate.
+type portKey struct {
+	dpid uint64
+	port uint32
+}
+
 // linkStore caches the replicated link map and derived adjacency.
 type linkStore struct {
 	m *cluster.ECMap
 
 	mu    sync.RWMutex
 	cache map[string]LinkInfo
+	// infra mirrors cache keyed by (dpid, port) so the per-PacketIn
+	// infrastructure-port check skips string formatting.
+	infra map[portKey]struct{}
 }
 
 func newLinkStore(m *cluster.ECMap) *linkStore {
-	s := &linkStore{m: m, cache: make(map[string]LinkInfo)}
+	s := &linkStore{m: m, cache: make(map[string]LinkInfo), infra: make(map[portKey]struct{})}
 	m.Watch(func(key string, value []byte, deleted bool) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if deleted {
+			if l, ok := s.cache[key]; ok {
+				delete(s.infra, portKey{dpid: l.SrcDPID, port: l.SrcPort})
+			}
 			delete(s.cache, key)
 			return
 		}
 		var l LinkInfo
 		if json.Unmarshal(value, &l) == nil {
+			if old, ok := s.cache[key]; ok && (old.SrcDPID != l.SrcDPID || old.SrcPort != l.SrcPort) {
+				delete(s.infra, portKey{dpid: old.SrcDPID, port: old.SrcPort})
+			}
 			s.cache[key] = l
+			s.infra[portKey{dpid: l.SrcDPID, port: l.SrcPort}] = struct{}{}
 		}
 	})
 	return s
@@ -167,8 +185,8 @@ func (s *linkStore) purgeDPID(dpid uint64) int {
 // meaning hosts must not be learned there.
 func (s *linkStore) isInfrastructure(dpid uint64, port uint32) bool {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.cache[fmt.Sprintf("%d/%d", dpid, port)]
+	_, ok := s.infra[portKey{dpid: dpid, port: port}]
+	s.mu.RUnlock()
 	return ok
 }
 

@@ -268,6 +268,7 @@ func (sb *Southbound) worker(q chan controller.ControlMessage) {
 		select {
 		case msg := <-q:
 			sb.process(msg, sc)
+			openflow.Release(msg.Msg)
 			sb.pending.Done()
 		case <-sb.stop:
 			// Finish what is already enqueued, then exit.
@@ -275,6 +276,7 @@ func (sb *Southbound) worker(q chan controller.ControlMessage) {
 				select {
 				case msg := <-q:
 					sb.process(msg, sc)
+					openflow.Release(msg.Msg)
 					sb.pending.Done()
 				default:
 					return
@@ -307,6 +309,7 @@ func (sb *Southbound) Close() {
 			select {
 			case msg := <-q:
 				sb.process(msg, sc)
+				openflow.Release(msg.Msg)
 				sb.pending.Done()
 			default:
 				break drain
@@ -371,12 +374,19 @@ func (sb *Southbound) handle(msg controller.ControlMessage) {
 	}
 	h := msg.DPID * 0x9E3779B97F4A7C15
 	q := sb.queues[(h>>32)%uint64(len(sb.queues))]
+	// Crossing into the pool means the message outlives the proxy's
+	// receive batch, so take our own reference to the (possibly
+	// pool-managed) OpenFlow message. Workers release it after process;
+	// the drop path releases immediately. Retain/Release are no-ops for
+	// unmanaged messages, so synthetic teardown events pass through.
+	openflow.Retain(msg.Msg)
 	sb.pending.Add(1)
 	select {
 	case q <- msg:
 	default:
 		sb.pending.Done()
 		sb.dropped.Inc()
+		openflow.Release(msg.Msg)
 	}
 }
 

@@ -327,15 +327,22 @@ func (s *Switch) dropController(conn *openflow.Conn) {
 
 func (s *Switch) serveController(conn *openflow.Conn, done chan struct{}) {
 	defer close(done)
+	// Batched receive: handlers run synchronously before Release, so
+	// pooled messages never escape the loop iteration.
+	var batch openflow.MessageBatch
+	defer batch.Release()
 	for {
-		msg, h, err := conn.Receive()
-		if err != nil {
+		if err := conn.ReceiveBatch(&batch); err != nil {
 			s.dropController(conn)
 			return
 		}
-		if err := s.handleControl(conn, msg, h); err != nil {
-			telemetry.DefaultLogger().Named("dataplane").Warn("control error", "dpid", s.DPID, "err", err)
+		for i := 0; i < batch.Len(); i++ {
+			msg, h := batch.At(i)
+			if err := s.handleControl(conn, msg, h); err != nil {
+				telemetry.DefaultLogger().Named("dataplane").Warn("control error", "dpid", s.DPID, "err", err)
+			}
 		}
+		batch.Release()
 	}
 }
 
@@ -381,9 +388,12 @@ func (s *Switch) handleFlowMod(conn *openflow.Conn, m *openflow.FlowMod) error {
 			IdleTimeout: time.Duration(m.IdleTimeout) * time.Second,
 			HardTimeout: time.Duration(m.HardTimeout) * time.Second,
 			Flags:       m.Flags,
-			Actions:     m.Actions,
-			Installed:   now,
-			LastHit:     now,
+			// The FlowMod is pool-managed and its Actions backing array is
+			// recycled after the batch Release; the table entry outlives
+			// that, so it keeps its own copy.
+			Actions:   append([]openflow.Action(nil), m.Actions...),
+			Installed: now,
+			LastHit:   now,
 		})
 	case openflow.FlowDelete, openflow.FlowDeleteStrict:
 		removed := s.table.Delete(m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
@@ -407,9 +417,11 @@ func (s *Switch) handlePacketOut(m *openflow.PacketOut) {
 		s.mu.Unlock()
 	}
 	if pkt == nil {
-		// Unbuffered PacketOut: synthesize a packet from the message.
+		// Unbuffered PacketOut: synthesize a packet from the message. The
+		// payload is copied because the PacketOut is pool-managed and the
+		// packet can outlive the batch (buffered downstream on a miss).
 		pkt = NewPacket(openflow.Fields{InPort: m.InPort}, len(m.Data))
-		pkt.Payload = m.Data
+		pkt.Payload = append([]byte(nil), m.Data...)
 	}
 	s.applyActions(m.Actions, pkt, m.InPort)
 }

@@ -75,6 +75,39 @@ func (ActionDrop) appendAction(b []byte) []byte {
 
 func (ActionDrop) String() string { return "drop" }
 
+// boxedOutput caches interface-boxed ActionOutput values for small port
+// numbers and the pseudo-ports. Storing a struct value in an interface
+// heap-allocates the box; forwarding decisions and action decode both
+// build output actions per message, so the hot ports are boxed once.
+var boxedOutput [64]Action
+
+var (
+	boxedFlood   Action = ActionOutput{Port: PortFlood}
+	boxedIngress Action = ActionOutput{Port: PortIngress}
+)
+
+func init() {
+	for p := range boxedOutput {
+		boxedOutput[p] = ActionOutput{Port: uint32(p)}
+	}
+}
+
+// Output returns the Action that forwards to port (MaxLen zero),
+// reusing a pre-boxed value for common ports so hot paths skip the
+// interface-boxing allocation.
+func Output(port uint32) Action {
+	if port < uint32(len(boxedOutput)) {
+		return boxedOutput[port]
+	}
+	switch port {
+	case PortFlood:
+		return boxedFlood
+	case PortIngress:
+		return boxedIngress
+	}
+	return ActionOutput{Port: port}
+}
+
 func appendActions(b []byte, actions []Action) []byte {
 	b = appendU16(b, uint16(len(actions)))
 	for _, a := range actions {
@@ -83,12 +116,16 @@ func appendActions(b []byte, actions []Action) []byte {
 	return b
 }
 
-func decodeActions(r *reader) []Action {
+func decodeActions(r *reader) []Action { return decodeActionsInto(r, nil) }
+
+// decodeActionsInto decodes an action list appending into dst, so a
+// pooled message can reuse its previous Actions backing array.
+func decodeActionsInto(r *reader, dst []Action) []Action {
 	n := int(r.u16())
 	if r.err != nil {
 		return nil
 	}
-	var actions []Action
+	actions := dst
 	for i := 0; i < n; i++ {
 		at := ActionType(r.u16())
 		length := int(r.u16())
@@ -100,7 +137,11 @@ func decodeActions(r *reader) []Action {
 			port := r.u32()
 			maxLen := r.u16()
 			r.u16() // pad
-			actions = append(actions, ActionOutput{Port: port, MaxLen: maxLen})
+			if maxLen == 0 {
+				actions = append(actions, Output(port))
+			} else {
+				actions = append(actions, ActionOutput{Port: port, MaxLen: maxLen})
+			}
 		case ActionTypeDrop:
 			actions = append(actions, ActionDrop{})
 		default:

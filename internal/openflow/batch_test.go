@@ -1,0 +1,536 @@
+package openflow
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptConn is a net.Conn stub whose Read side replays a scripted
+// sequence of chunks — one chunk per Read call — so tests control
+// exactly how frames split across reads. Writes are discarded.
+type scriptConn struct {
+	mu     sync.Mutex
+	chunks [][]byte
+	closed bool
+}
+
+func (s *scriptConn) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.chunks) == 0 {
+		return 0, io.EOF
+	}
+	ch := s.chunks[0]
+	n := copy(p, ch)
+	if n < len(ch) {
+		s.chunks[0] = ch[n:]
+	} else {
+		s.chunks = s.chunks[1:]
+	}
+	return n, nil
+}
+
+func (s *scriptConn) Write(p []byte) (int, error) { return len(p), nil }
+
+func (s *scriptConn) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *scriptConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (s *scriptConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (s *scriptConn) SetDeadline(time.Time) error      { return nil }
+func (s *scriptConn) SetReadDeadline(time.Time) error  { return nil }
+func (s *scriptConn) SetWriteDeadline(time.Time) error { return nil }
+
+// replayConn serves an endless repetition of a frame sequence —
+// allocation-free on the read path — for alloc pins and benchmarks.
+type replayConn struct {
+	scriptConn
+	stream []byte
+	off    int
+}
+
+func (r *replayConn) Read(p []byte) (int, error) {
+	if r.off == len(r.stream) {
+		r.off = 0
+	}
+	n := copy(p, r.stream[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// splitChunks reassembles frames from arbitrary split points: the table
+// drives header splits, body splits, and multi-frame chunks through
+// ReceiveBatch and checks every message arrives intact and in order.
+func TestReceiveBatchSplitFrames(t *testing.T) {
+	frame := func(data string, xid uint32) []byte {
+		return Encode(&EchoRequest{Data: []byte(data)}, xid)
+	}
+	f1, f2, f3 := frame("alpha", 1), frame("bravo", 2), frame("charlie", 3)
+	whole := append(append(append([]byte{}, f1...), f2...), f3...)
+
+	cases := []struct {
+		name   string
+		chunks [][]byte
+		// wantBatches is the expected ReceiveBatch sizes given one
+		// scripted chunk per underlying Read.
+		wantBatches []int
+	}{
+		{"one_frame_per_read", [][]byte{f1, f2, f3}, []int{1, 1, 1}},
+		{"all_frames_one_read", [][]byte{whole}, []int{3}},
+		// Completing the split header/body buffers the rest of the
+		// stream, so the whole triple decodes as one batch.
+		{"header_split_mid", [][]byte{whole[:3], whole[3:]}, []int{3}},
+		{"header_split_at_7", [][]byte{whole[:7], whole[7:]}, []int{3}},
+		{"body_split", [][]byte{whole[:HeaderLen+2], whole[HeaderLen+2:]}, []int{3}},
+		{"two_and_a_half_frames", [][]byte{whole[:len(f1)+len(f2)+4], whole[len(f1)+len(f2)+4:]}, []int{2, 1}},
+		{"byte_at_a_time_first_frame", [][]byte{
+			f1[:1], f1[1:2], f1[2:3], f1[3:4], f1[4:5], f1[5:6], f1[6:7], f1[7:8], f1[8:],
+			append(append([]byte{}, f2...), f3...),
+		}, []int{1, 2}},
+	}
+	want := []string{"alpha", "bravo", "charlie"}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chunks := make([][]byte, len(tc.chunks))
+			for i, ch := range tc.chunks {
+				chunks[i] = append([]byte{}, ch...)
+			}
+			c := NewConn(&scriptConn{chunks: chunks})
+			defer c.Close()
+
+			var batch MessageBatch
+			var got []string
+			var sizes []int
+			var xids []uint32
+			for {
+				if err := c.ReceiveBatch(&batch); err != nil {
+					if err != io.EOF {
+						t.Fatalf("ReceiveBatch: %v", err)
+					}
+					break
+				}
+				sizes = append(sizes, batch.Len())
+				for i := 0; i < batch.Len(); i++ {
+					msg, h := batch.At(i)
+					got = append(got, string(msg.(*EchoRequest).Data))
+					xids = append(xids, h.XID)
+				}
+				batch.Release()
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d messages %v, want %d", len(got), got, len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("message %d = %q, want %q", i, got[i], want[i])
+				}
+				if xids[i] != uint32(i+1) {
+					t.Errorf("xid %d = %d, want %d", i, xids[i], i+1)
+				}
+			}
+			for i := range tc.wantBatches {
+				if i < len(sizes) && sizes[i] != tc.wantBatches[i] {
+					t.Errorf("batch %d size = %d, want %d (all sizes %v)", i, sizes[i], tc.wantBatches[i], sizes)
+				}
+			}
+		})
+	}
+}
+
+// A frame wider than the bufio window must take the oversize path and
+// still decode whole.
+func TestReceiveBatchOversizeFrame(t *testing.T) {
+	big := make([]byte, 2000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	chunks := [][]byte{
+		Encode(&EchoRequest{Data: []byte("small")}, 1),
+		Encode(&EchoRequest{Data: big}, 2),
+		Encode(&EchoRequest{Data: []byte("after")}, 3),
+	}
+	c := NewConn(&scriptConn{chunks: chunks}, WithReadBuffer(512))
+	defer c.Close()
+
+	var batch MessageBatch
+	var got [][]byte
+	for len(got) < 3 {
+		if err := c.ReceiveBatch(&batch); err != nil {
+			t.Fatalf("ReceiveBatch: %v", err)
+		}
+		for i := 0; i < batch.Len(); i++ {
+			msg, _ := batch.At(i)
+			got = append(got, append([]byte{}, msg.(*EchoRequest).Data...))
+		}
+		batch.Release()
+	}
+	if string(got[0]) != "small" || string(got[2]) != "after" {
+		t.Fatalf("small frames corrupted: %q %q", got[0], got[2])
+	}
+	if len(got[1]) != len(big) {
+		t.Fatalf("oversize frame length = %d, want %d", len(got[1]), len(big))
+	}
+	for i := range big {
+		if got[1][i] != big[i] {
+			t.Fatalf("oversize frame corrupted at byte %d", i)
+		}
+	}
+}
+
+// ReceiveBatch must respect the batch cap even when more frames are
+// buffered, and Drain must pick up the remainder without blocking.
+func TestReceiveBatchCapAndDrain(t *testing.T) {
+	var whole []byte
+	for i := 0; i < 10; i++ {
+		whole = AppendMessage(whole, &EchoRequest{Data: []byte{byte(i)}}, uint32(i+1))
+	}
+	c := NewConn(&scriptConn{chunks: [][]byte{whole}}, WithMaxBatch(4))
+	defer c.Close()
+
+	var batch MessageBatch
+	if err := c.ReceiveBatch(&batch); err != nil {
+		t.Fatalf("ReceiveBatch: %v", err)
+	}
+	if batch.Len() != 4 {
+		t.Fatalf("batch len = %d, want cap 4", batch.Len())
+	}
+	batch.Release()
+	// Drain composes with a partially-filled batch and never blocks.
+	n, err := c.Drain(&batch)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if n != 4 || batch.Len() != 4 {
+		t.Fatalf("Drain appended %d (batch %d), want 4", n, batch.Len())
+	}
+	batch.Release()
+	if err := c.ReceiveBatch(&batch); err != nil {
+		t.Fatalf("final ReceiveBatch: %v", err)
+	}
+	if batch.Len() != 2 {
+		t.Fatalf("final batch len = %d, want 2", batch.Len())
+	}
+	msg, h := batch.At(1)
+	if h.XID != 10 || msg.(*EchoRequest).Data[0] != 9 {
+		t.Fatalf("last message = %+v xid %d, want data [9] xid 10", msg, h.XID)
+	}
+	batch.Release()
+}
+
+// Retain must keep a pooled message alive past its batch's Release;
+// Release on unmanaged messages must be a no-op.
+func TestRetainReleaseSemantics(t *testing.T) {
+	chunks := [][]byte{Encode(&PacketIn{Fields: sampleFields(), Data: []byte("keep-me")}, 7)}
+	c := NewConn(&scriptConn{chunks: chunks})
+	defer c.Close()
+
+	var batch MessageBatch
+	if err := c.ReceiveBatch(&batch); err != nil {
+		t.Fatalf("ReceiveBatch: %v", err)
+	}
+	msg, _ := batch.At(0)
+	pi := msg.(*PacketIn)
+	Retain(msg)
+	batch.Release()
+	if string(pi.Data) != "keep-me" {
+		t.Fatalf("retained PacketIn.Data = %q after batch release, want %q", pi.Data, "keep-me")
+	}
+	Release(msg)
+
+	// Unmanaged messages pass through Retain/Release untouched.
+	plain := &PacketIn{Data: []byte("plain")}
+	Retain(plain)
+	Release(plain)
+	Release(plain)
+	if string(plain.Data) != "plain" {
+		t.Fatalf("unmanaged PacketIn mutated by Release: %q", plain.Data)
+	}
+
+	// Messages from plain Receive are never pool-managed.
+	c2 := NewConn(&scriptConn{chunks: [][]byte{Encode(&EchoRequest{Data: []byte("x")}, 1)}})
+	defer c2.Close()
+	m, _, err := c2.Receive()
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	Release(m)
+	if string(m.(*EchoRequest).Data) != "x" {
+		t.Fatal("Receive result was pool-managed; Release mutated it")
+	}
+}
+
+// Steady-state batched echo receive must not allocate: pooled structs,
+// reused payload capacity, reused batch slices.
+func TestReceiveBatchEchoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	var stream []byte
+	for i := 0; i < 8; i++ {
+		stream = AppendMessage(stream, &EchoRequest{Data: []byte("ping-data")}, uint32(i+1))
+	}
+	c := NewConn(&replayConn{stream: stream})
+	defer c.Close()
+
+	var batch MessageBatch
+	sink := 0
+	recv := func() {
+		if err := c.ReceiveBatch(&batch); err != nil {
+			t.Fatalf("ReceiveBatch: %v", err)
+		}
+		for i := 0; i < batch.Len(); i++ {
+			msg, _ := batch.At(i)
+			sink += len(msg.(*EchoRequest).Data)
+		}
+		batch.Release()
+	}
+	for i := 0; i < 100; i++ { // warm pools, batch capacity, payload capacity
+		recv()
+	}
+	if allocs := testing.AllocsPerRun(200, recv); allocs != 0 {
+		t.Fatalf("steady-state echo ReceiveBatch allocates %.1f allocs/op, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("no payload bytes observed")
+	}
+}
+
+// Steady-state SendXID must not allocate: frames encode straight into
+// recycled chunks and the flusher's scratch is persistent.
+func TestSendXIDZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	c := NewConn(&scriptConn{})
+	defer c.Close()
+
+	msg := &EchoReply{Data: []byte("pong-data")}
+	send := func() {
+		if err := c.SendXID(msg, 42); err != nil {
+			t.Fatalf("SendXID: %v", err)
+		}
+	}
+	for i := 0; i < 2000; i++ { // settle chunk freelist and flusher scratch
+		send()
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(500, send); allocs != 0 {
+		t.Fatalf("steady-state SendXID allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Many writers racing one batched reader: every frame must arrive
+// intact and in a consistent order per writer. Run under -race this
+// also exercises the chunk accumulator and flusher hand-off.
+func TestConnCoalescingManyWritersStress(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ca.SendXID(&EchoRequest{Data: []byte{byte(w), byte(i), byte(i >> 8)}}, uint32(w<<16|i)); err != nil {
+					t.Errorf("writer %d send %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	next := make([]int, writers) // per-writer expected sequence
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var batch MessageBatch
+		defer batch.Release()
+		for received < writers*per {
+			if err := cb.ReceiveBatch(&batch); err != nil {
+				t.Errorf("ReceiveBatch: %v", err)
+				return
+			}
+			for i := 0; i < batch.Len(); i++ {
+				msg, _ := batch.At(i)
+				echo, ok := msg.(*EchoRequest)
+				if !ok || len(echo.Data) != 3 {
+					t.Errorf("corrupt frame: %T %v", msg, msg)
+					return
+				}
+				w := int(echo.Data[0])
+				seq := int(echo.Data[1]) | int(echo.Data[2])<<8
+				if seq != next[w] {
+					t.Errorf("writer %d out of order: got seq %d, want %d", w, seq, next[w])
+					return
+				}
+				next[w]++
+				received++
+			}
+			batch.Release()
+		}
+	}()
+	wg.Wait()
+	if err := ca.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	<-done
+	if received != writers*per {
+		t.Fatalf("received %d frames, want %d", received, writers*per)
+	}
+}
+
+// A write error must stick: later sends fail fast, and the transport is
+// closed so a blocked reader unblocks too.
+func TestConnStickyWriteError(t *testing.T) {
+	a, b := net.Pipe()
+	c := NewConn(a)
+	defer c.Close()
+	b.Close()
+
+	var first error
+	deadline := time.Now().Add(5 * time.Second)
+	for first == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("send never observed the write error")
+		}
+		first = c.SendXID(&Hello{}, 1)
+		if first == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := c.SendXID(&Hello{}, 2); err != first {
+		t.Fatalf("second send error = %v, want sticky %v", err, first)
+	}
+	if err := c.Flush(); err != first {
+		t.Fatalf("Flush error = %v, want sticky %v", err, first)
+	}
+	// The self-closed transport unblocks readers promptly.
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.Receive()
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Receive returned nil after write error closed the transport")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receive still blocked after write error")
+	}
+}
+
+// Close must unblock senders stalled on the pending-byte ceiling even
+// when the peer never reads.
+func TestCloseUnblocksBackpressuredSenders(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := NewConn(a, WithMaxPending(1024))
+
+	payload := make([]byte, 512)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if err := c.SendXID(&EchoRequest{Data: payload}, 1); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the sender hit the ceiling
+	if err := c.Close(); err != nil {
+		t.Logf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender still blocked after Close")
+	}
+}
+
+// FuzzReceiveBatch feeds arbitrary byte soup through the batched decode
+// path: it may error, but must never panic or loop forever.
+func FuzzReceiveBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(&EchoRequest{Data: []byte("seed")}, 1))
+	two := append(Encode(&PacketIn{Fields: sampleFields(), Data: []byte("a")}, 2),
+		Encode(&FlowRemoved{Cookie: 9, Match: MatchAll()}, 3)...)
+	f.Add(two)
+	f.Add(two[:len(two)-3])
+	f.Add([]byte{Version, 2, 0, 3, 0, 0, 0, 1}) // length < HeaderLen
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(&scriptConn{chunks: [][]byte{append([]byte{}, data...)}})
+		defer c.Close()
+		var batch MessageBatch
+		defer batch.Release()
+		for {
+			if err := c.ReceiveBatch(&batch); err != nil {
+				return
+			}
+			if batch.Len() == 0 {
+				t.Fatal("nil-error ReceiveBatch returned an empty batch")
+			}
+			for i := 0; i < batch.Len(); i++ {
+				msg, h := batch.At(i)
+				if msg == nil {
+					t.Fatalf("nil message at %d (header %+v)", i, h)
+				}
+			}
+			batch.Release()
+		}
+	})
+}
+
+func BenchmarkConnReceiveBatch(b *testing.B) {
+	var stream []byte
+	const frames = 16
+	for i := 0; i < frames; i++ {
+		stream = AppendMessage(stream, &PacketIn{
+			Fields: sampleFields(), TotalLen: 64, Data: make([]byte, 64),
+		}, uint32(i+1))
+	}
+	c := NewConn(&replayConn{stream: stream})
+	defer c.Close()
+
+	var batch MessageBatch
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		if err := c.ReceiveBatch(&batch); err != nil {
+			b.Fatalf("ReceiveBatch: %v", err)
+		}
+		n += batch.Len()
+		batch.Release()
+	}
+}
+
+func BenchmarkConnSendCoalesced(b *testing.B) {
+	c := NewConn(&scriptConn{})
+	defer c.Close()
+	msg := &PacketOut{InPort: 1, Data: make([]byte, 64)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendXID(msg, uint32(i)); err != nil {
+			b.Fatalf("SendXID: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatalf("Flush: %v", err)
+	}
+}

@@ -3,35 +3,165 @@ package openflow
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Conn frames OpenFlow messages over a stream transport. Reads and writes
-// are independently safe for one reader goroutine and many writers.
+// Connection-layer tuning defaults. The connection is built for massive
+// fan-in: a thousand mostly-idle switch sessions should cost little more
+// than their read buffers, while a hot session amortizes syscalls across
+// every frame that is already buffered (reads) or queued (writes).
+const (
+	// defaultReadBuf is the bufio window frames are decoded from
+	// in place; frames larger than the window take a copy through the
+	// connection's oversize scratch buffer.
+	defaultReadBuf = 32 << 10
+	// defaultMaxBatch caps frames decoded per ReceiveBatch call so one
+	// flooding peer cannot pin the reader indefinitely.
+	defaultMaxBatch = 128
+	// chunkSize is the encode-accumulator chunk size; a chunk is sealed
+	// for the flusher once it crosses this mark.
+	chunkSize = 16 << 10
+	// maxFreeChunks bounds the per-connection chunk freelist.
+	maxFreeChunks = 8
+	// defaultMaxPending is the pending-byte ceiling above which senders
+	// block until the flusher drains — backpressure toward the callers
+	// instead of unbounded queue growth at a stalled peer.
+	defaultMaxPending = 1 << 20
+	// closeFlushTimeout bounds the final flush attempt at Close so a
+	// dead peer cannot wedge teardown.
+	closeFlushTimeout = 100 * time.Millisecond
+)
+
+// ConnHooks observe connection-layer events for telemetry without
+// making this package depend on a metrics implementation.
+type ConnHooks struct {
+	// OnReadBatch is called after every ReceiveBatch with the number of
+	// frames decoded in that batch.
+	OnReadBatch func(frames int)
+	// OnFlush is called after every transport flush with the number of
+	// coalesced bytes written.
+	OnFlush func(bytes int)
+}
+
+// ConnOption customizes a Conn.
+type ConnOption func(*connConfig)
+
+type connConfig struct {
+	readBuf    int
+	maxBatch   int
+	flushDelay time.Duration
+	maxPending int
+	hooks      ConnHooks
+}
+
+// WithReadBuffer sets the decode window size (default 32 KiB).
+func WithReadBuffer(n int) ConnOption {
+	return func(c *connConfig) {
+		if n >= HeaderLen {
+			c.readBuf = n
+		}
+	}
+}
+
+// WithMaxBatch caps the frames ReceiveBatch decodes per call
+// (default 128).
+func WithMaxBatch(n int) ConnOption {
+	return func(c *connConfig) {
+		if n > 0 {
+			c.maxBatch = n
+		}
+	}
+}
+
+// WithFlushDelay sets an explicit coalescing window: after the first
+// frame lands in an empty pending queue the flusher waits this long for
+// more before writing. The default (zero) flushes as soon as the
+// flusher goroutine runs — under load, writes still coalesce naturally
+// because frames accumulate while the previous write is in flight.
+func WithFlushDelay(d time.Duration) ConnOption {
+	return func(c *connConfig) {
+		if d > 0 {
+			c.flushDelay = d
+		}
+	}
+}
+
+// WithMaxPending sets the pending-byte ceiling above which senders
+// block awaiting the flusher (default 1 MiB).
+func WithMaxPending(n int) ConnOption {
+	return func(c *connConfig) {
+		if n > 0 {
+			c.maxPending = n
+		}
+	}
+}
+
+// WithConnHooks registers telemetry callbacks.
+func WithConnHooks(h ConnHooks) ConnOption {
+	return func(c *connConfig) { c.hooks = h }
+}
+
+// Conn frames OpenFlow messages over a stream transport. Reads and
+// writes are independently safe for one reader goroutine and many
+// writers.
+//
+// Writes are coalesced: senders encode into pooled chunks under a
+// mutex and a single flusher goroutine owns every transport write, so
+// frames hit the wire in append order while syscalls amortize across
+// all senders active during the previous write. Write errors are
+// sticky and surface on subsequent Send calls and on Flush.
 type Conn struct {
 	nc net.Conn
 	br *bufio.Reader
 
-	writeMu sync.Mutex
-	bw      *bufio.Writer
-
 	xid    atomic.Uint32
 	closed atomic.Bool
 
-	readBuf []byte
+	// peeked is the length of a frame returned by the last in-window
+	// read, still to be discarded from br before the next read.
+	peeked  int
+	readBuf []byte // oversize-frame scratch (frames beyond the bufio window)
+
+	wmu     sync.Mutex
+	wcond   *sync.Cond // signaled when pending drains, on error, on close
+	cur     []byte     // active encode chunk (senders append here)
+	bufs    [][]byte   // sealed chunks awaiting flush, oldest first
+	free    [][]byte   // recycled chunks
+	pending int        // bytes queued (cur + bufs), drops after the write lands
+	werr    error      // sticky transport write error
+
+	wake        chan struct{} // cap-1 flusher doorbell
+	closeCh     chan struct{}
+	flusherDone chan struct{}
+
+	cfg connConfig
 }
 
 // NewConn wraps nc with message framing.
-func NewConn(nc net.Conn) *Conn {
-	return &Conn{
-		nc: nc,
-		br: bufio.NewReaderSize(nc, 64<<10),
-		bw: bufio.NewWriterSize(nc, 64<<10),
+func NewConn(nc net.Conn, opts ...ConnOption) *Conn {
+	cfg := connConfig{
+		readBuf:    defaultReadBuf,
+		maxBatch:   defaultMaxBatch,
+		maxPending: defaultMaxPending,
 	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Conn{
+		nc:          nc,
+		br:          bufio.NewReaderSize(nc, cfg.readBuf),
+		wake:        make(chan struct{}, 1),
+		closeCh:     make(chan struct{}),
+		flusherDone: make(chan struct{}),
+		cfg:         cfg,
+	}
+	c.wcond = sync.NewCond(&c.wmu)
+	go c.flusher()
+	return c
 }
 
 // NextXID returns a fresh transaction id.
@@ -39,69 +169,361 @@ func (c *Conn) NextXID() uint32 {
 	return c.xid.Add(1)
 }
 
-// Send encodes and writes msg with a fresh transaction id, returning the
-// id used. The message is flushed immediately.
+// Send encodes and queues msg with a fresh transaction id, returning
+// the id used.
 func (c *Conn) Send(msg Message) (uint32, error) {
 	xid := c.NextXID()
 	return xid, c.SendXID(msg, xid)
 }
 
-// SendXID encodes and writes msg under the caller-chosen transaction id.
+// SendXID encodes and queues msg under the caller-chosen transaction
+// id. The frame is written by the connection's flusher, coalesced with
+// whatever else is pending; a sticky write error from an earlier flush
+// is returned here.
 func (c *Conn) SendXID(msg Message, xid uint32) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	buf := AppendMessage(nil, msg, xid)
-	if _, err := c.bw.Write(buf); err != nil {
-		return fmt.Errorf("openflow send: %w", err)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
 	}
-	if err := c.bw.Flush(); err != nil {
-		return fmt.Errorf("openflow flush: %w", err)
+	if c.closed.Load() {
+		return net.ErrClosed
 	}
-	return nil
+	if c.cur == nil {
+		c.cur = c.chunkLocked()
+	}
+	before := len(c.cur)
+	c.cur = AppendMessage(c.cur, msg, xid)
+	c.pending += len(c.cur) - before
+	if len(c.cur) >= chunkSize {
+		c.sealLocked()
+	}
+	c.ring()
+	return c.waitBelowCeilingLocked()
 }
 
-// SendBatch writes several pre-encoded frames under one lock/flush, which
-// matters on the PacketIn fast path.
+// SendBatch queues several pre-encoded frames as one unit. The bytes
+// are copied, so the caller may reuse frames immediately.
 func (c *Conn) SendBatch(frames []byte) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	if _, err := c.bw.Write(frames); err != nil {
-		return fmt.Errorf("openflow send batch: %w", err)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
 	}
-	return c.bw.Flush()
+	if c.closed.Load() {
+		return net.ErrClosed
+	}
+	if c.cur == nil {
+		c.cur = c.chunkLocked()
+	}
+	c.cur = append(c.cur, frames...)
+	c.pending += len(frames)
+	if len(c.cur) >= chunkSize {
+		c.sealLocked()
+	}
+	c.ring()
+	return c.waitBelowCeilingLocked()
 }
 
-// Receive blocks until one complete message arrives and returns it with
-// its header.
-func (c *Conn) Receive() (Message, Header, error) {
-	var hdr [HeaderLen]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return nil, Header{}, err
+// Flush blocks until every queued frame has been handed to the
+// transport (or a write error occurred).
+func (c *Conn) Flush() error {
+	c.ring()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for c.pending > 0 && c.werr == nil && !c.closed.Load() {
+		c.wcond.Wait()
+	}
+	return c.werr
+}
+
+// chunkLocked returns a recycled or fresh encode chunk.
+func (c *Conn) chunkLocked() []byte {
+	if n := len(c.free); n > 0 {
+		ch := c.free[n-1]
+		c.free = c.free[:n-1]
+		return ch[:0]
+	}
+	return make([]byte, 0, chunkSize)
+}
+
+// sealLocked moves the active chunk onto the flush queue.
+func (c *Conn) sealLocked() {
+	if len(c.cur) == 0 {
+		return
+	}
+	c.bufs = append(c.bufs, c.cur)
+	c.cur = nil
+}
+
+// ring wakes the flusher (non-blocking; the doorbell is level-ish).
+func (c *Conn) ring() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// waitBelowCeilingLocked applies sender backpressure: while more than
+// maxPending bytes are queued, block until the flusher drains.
+func (c *Conn) waitBelowCeilingLocked() error {
+	for c.pending > c.cfg.maxPending && c.werr == nil && !c.closed.Load() {
+		c.wcond.Wait()
+	}
+	return c.werr
+}
+
+// flusher is the connection's only transport writer. It swaps the
+// pending chunk list out under the lock, writes it vectored outside the
+// lock (senders keep queueing meanwhile — that is the coalescing), and
+// recycles the chunks.
+func (c *Conn) flusher() {
+	defer close(c.flusherDone)
+	var taken [][]byte
+	var iov net.Buffers
+	for {
+		select {
+		case <-c.wake:
+		case <-c.closeCh:
+			c.finalFlush(&taken, &iov)
+			return
+		}
+		if d := c.cfg.flushDelay; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-c.closeCh:
+				t.Stop()
+				c.finalFlush(&taken, &iov)
+				return
+			}
+		}
+		c.drainPending(&taken, &iov)
+	}
+}
+
+// drainPending writes until the queue is empty.
+func (c *Conn) drainPending(taken *[][]byte, iov *net.Buffers) {
+	for {
+		c.wmu.Lock()
+		c.sealLocked()
+		if len(c.bufs) == 0 || c.werr != nil {
+			if c.werr != nil {
+				// Drop whatever is queued so senders blocked on the
+				// ceiling observe the error instead of the ceiling.
+				c.recycleLocked(c.bufs)
+				c.bufs = c.bufs[:0]
+				c.pending = 0
+			}
+			c.wcond.Broadcast()
+			c.wmu.Unlock()
+			return
+		}
+		*taken = append((*taken)[:0], c.bufs...)
+		c.bufs = c.bufs[:0]
+		c.wmu.Unlock()
+
+		bytes := 0
+		*iov = (*iov)[:0]
+		for _, ch := range *taken {
+			bytes += len(ch)
+			*iov = append(*iov, ch)
+		}
+		_, err := iov.WriteTo(c.nc)
+		if h := c.cfg.hooks.OnFlush; h != nil && err == nil {
+			h(bytes)
+		}
+
+		c.wmu.Lock()
+		c.pending -= bytes
+		c.recycleLocked(*taken)
+		if err != nil && c.werr == nil {
+			c.werr = err
+			// A connection whose write side is dead is useless: close
+			// the transport so a blocked receive loop notices now and
+			// tears the session down, rather than idling half-open.
+			_ = c.nc.Close()
+		}
+		c.wcond.Broadcast()
+		c.wmu.Unlock()
+		clearChunkRefs(*taken)
+		*iov = (*iov)[:0]
+	}
+}
+
+// finalFlush makes one bounded attempt to land queued frames at close
+// time, so frames queued just before Close (a final echo reply, a
+// handshake message in tests) are not silently dropped. Close has
+// already set a write deadline, bounding the attempt.
+func (c *Conn) finalFlush(taken *[][]byte, iov *net.Buffers) {
+	c.drainPending(taken, iov)
+	c.wmu.Lock()
+	if c.werr == nil {
+		c.werr = net.ErrClosed
+	}
+	c.wcond.Broadcast()
+	c.wmu.Unlock()
+}
+
+// recycleLocked returns standard-size chunks to the freelist.
+func (c *Conn) recycleLocked(chunks [][]byte) {
+	for _, ch := range chunks {
+		if cap(ch) == chunkSize && len(c.free) < maxFreeChunks {
+			c.free = append(c.free, ch[:0])
+		}
+	}
+}
+
+// clearChunkRefs drops chunk references from the flusher's scratch so
+// recycled buffers are not pinned by it between flushes.
+func clearChunkRefs(chunks [][]byte) {
+	for i := range chunks {
+		chunks[i] = nil
+	}
+}
+
+// discardPeeked consumes the frame returned by the previous in-window
+// read from the bufio stream.
+func (c *Conn) discardPeeked() {
+	if c.peeked > 0 {
+		_, _ = c.br.Discard(c.peeked)
+		c.peeked = 0
+	}
+}
+
+// readFrame returns the next complete frame. When block is false it
+// returns (nil, false, nil) unless an entire frame is already buffered.
+// The returned slice is valid only until the next readFrame call.
+func (c *Conn) readFrame(block bool) ([]byte, bool, error) {
+	c.discardPeeked()
+	if !block && c.br.Buffered() < HeaderLen {
+		return nil, false, nil
+	}
+	hdr, err := c.br.Peek(HeaderLen)
+	if err != nil {
+		return nil, false, err
 	}
 	length := int(binary.BigEndian.Uint16(hdr[2:4]))
 	if length < HeaderLen {
-		return nil, Header{}, ErrTruncated
+		return nil, false, ErrTruncated
 	}
-	if length > MaxMessageLen {
-		return nil, Header{}, ErrTooLong
+	if length <= c.br.Size() {
+		if !block && c.br.Buffered() < length {
+			return nil, false, nil
+		}
+		frame, err := c.br.Peek(length)
+		if err != nil {
+			return nil, false, err
+		}
+		c.peeked = length
+		return frame, true, nil
+	}
+	// Oversize frame: assemble through the scratch buffer. A partial
+	// body means blocking, so the non-blocking path defers to the next
+	// blocking call.
+	if !block {
+		return nil, false, nil
 	}
 	if cap(c.readBuf) < length {
 		c.readBuf = make([]byte, length)
 	}
 	buf := c.readBuf[:length]
-	copy(buf, hdr[:])
-	if _, err := io.ReadFull(c.br, buf[HeaderLen:]); err != nil {
-		return nil, Header{}, err
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, false, err
 	}
-	return Decode(buf)
+	return buf, true, nil
 }
 
-// Close tears down the underlying transport. It is safe to call twice.
+// Receive blocks until one complete message arrives and returns it with
+// its header. Messages from Receive are never pooled; they are safe to
+// retain indefinitely.
+func (c *Conn) Receive() (Message, Header, error) {
+	frame, _, err := c.readFrame(true)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	return Decode(frame)
+}
+
+// ReceiveBatch blocks until at least one message arrives, then greedily
+// decodes every complete frame already buffered, amortizing the
+// blocking read across the batch. Decoded messages land in b, hot
+// message types drawn from the package pools; the caller owns them
+// until b.Release() (or openflow.Release on stragglers it retained).
+// Any leftover messages still in b are released first, so a batch
+// variable can be reused across calls without leaking pool entries. On
+// error the batch is empty.
+func (c *Conn) ReceiveBatch(b *MessageBatch) error {
+	b.Release()
+	max := c.cfg.maxBatch
+	for len(b.msgs) < max {
+		frame, ok, err := c.readFrame(len(b.msgs) == 0)
+		if err != nil {
+			b.Release()
+			return err
+		}
+		if !ok {
+			break
+		}
+		msg, h, err := decodeFramePooled(frame)
+		if err != nil {
+			b.Release()
+			return err
+		}
+		b.msgs = append(b.msgs, msg)
+		b.hdrs = append(b.hdrs, h)
+	}
+	if h := c.cfg.hooks.OnReadBatch; h != nil {
+		h(len(b.msgs))
+	}
+	return nil
+}
+
+// Drain decodes every complete frame already buffered without blocking
+// and appends them to b (which is NOT released first — Drain composes
+// with a partially-consumed batch). It returns the number of frames
+// appended.
+func (c *Conn) Drain(b *MessageBatch) (int, error) {
+	n := 0
+	for len(b.msgs) < c.cfg.maxBatch {
+		frame, ok, err := c.readFrame(false)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		msg, h, err := decodeFramePooled(frame)
+		if err != nil {
+			return n, err
+		}
+		b.msgs = append(b.msgs, msg)
+		b.hdrs = append(b.hdrs, h)
+		n++
+	}
+	return n, nil
+}
+
+// Close tears down the connection: the flusher makes one bounded final
+// flush attempt, then the transport closes. Safe to call twice.
 func (c *Conn) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	return c.nc.Close()
+	// Bound both an in-flight flusher write and the final flush so a
+	// stalled peer cannot wedge teardown.
+	_ = c.nc.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	close(c.closeCh)
+	c.ring()
+	<-c.flusherDone
+	err := c.nc.Close()
+	c.wmu.Lock()
+	c.wcond.Broadcast()
+	c.wmu.Unlock()
+	return err
 }
 
 // RemoteAddr reports the peer address.

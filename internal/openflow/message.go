@@ -9,7 +9,13 @@ func (*Hello) appendBody(b []byte) []byte { return b }
 func (*Hello) decodeBody(b []byte) error  { return nil }
 
 // EchoRequest is a liveness probe; the peer mirrors Data in an EchoReply.
-type EchoRequest struct{ Data []byte }
+type EchoRequest struct {
+	Data []byte
+
+	// refs is the pool reference count; zero means not pool-managed.
+	// See Retain/Release in pool.go.
+	refs int32
+}
 
 // MsgType implements Message.
 func (*EchoRequest) MsgType() Type                { return TypeEchoRequest }
@@ -155,6 +161,9 @@ type PacketIn struct {
 	Cookie   uint64
 	Fields   Fields // parsed header fields of the packet
 	Data     []byte
+
+	// refs is the pool reference count; zero means not pool-managed.
+	refs int32
 }
 
 // MsgType implements Message.
@@ -183,12 +192,32 @@ func (m *PacketIn) decodeBody(b []byte) error {
 	return r.err
 }
 
+// decodeBodyReuse is the pooled-decode variant: identical wire parsing,
+// but the payload is copied into the message's retained Data buffer so
+// a recycled PacketIn decodes without allocating.
+func (m *PacketIn) decodeBodyReuse(b []byte) error {
+	r := reader{b: b}
+	m.BufferID = r.u32()
+	m.TotalLen = r.u16()
+	m.Reason = r.u8()
+	m.TableID = r.u8()
+	m.Cookie = r.u64()
+	var match Match
+	match.decode(&r)
+	m.Fields = match.Fields
+	m.Data = append(m.Data[:0], r.b[r.off:]...)
+	r.off = len(r.b)
+	return r.err
+}
+
 // PacketOut instructs the switch to emit a packet.
 type PacketOut struct {
 	BufferID uint32
 	InPort   uint32
 	Actions  []Action
 	Data     []byte
+
+	refs int32 // pool reference count; zero = not pool-managed
 }
 
 // MsgType implements Message.
@@ -207,6 +236,19 @@ func (m *PacketOut) decodeBody(b []byte) error {
 	m.InPort = r.u32()
 	m.Actions = decodeActions(&r)
 	m.Data = r.rest()
+	return r.err
+}
+
+// decodeBodyReuse is the pooled-decode variant: identical wire parsing,
+// but the Actions and Data backing arrays from the message's previous
+// life are reused.
+func (m *PacketOut) decodeBodyReuse(b []byte) error {
+	r := reader{b: b}
+	m.BufferID = r.u32()
+	m.InPort = r.u32()
+	m.Actions = decodeActionsInto(&r, m.Actions[:0])
+	m.Data = append(m.Data[:0], r.b[r.off:]...)
+	r.off = len(r.b)
 	return r.err
 }
 
@@ -235,6 +277,8 @@ type FlowMod struct {
 	Flags       uint16
 	Match       Match
 	Actions     []Action
+
+	refs int32 // pool reference count; zero = not pool-managed
 }
 
 // MsgType implements Message.
@@ -265,6 +309,23 @@ func (m *FlowMod) decodeBody(b []byte) error {
 	return r.err
 }
 
+// decodeBodyReuse is the pooled-decode variant: identical wire parsing,
+// but the Actions backing array from the message's previous life is
+// reused.
+func (m *FlowMod) decodeBodyReuse(b []byte) error {
+	r := reader{b: b}
+	m.Cookie = r.u64()
+	m.TableID = r.u8()
+	m.Command = r.u8()
+	m.IdleTimeout = r.u16()
+	m.HardTimeout = r.u16()
+	m.Priority = r.u16()
+	m.Flags = r.u16()
+	m.Match.decode(&r)
+	m.Actions = decodeActionsInto(&r, m.Actions[:0])
+	return r.err
+}
+
 // FlowRemoved reason values.
 const (
 	RemovedIdleTimeout uint8 = 0
@@ -285,6 +346,9 @@ type FlowRemoved struct {
 	PacketCount  uint64
 	ByteCount    uint64
 	Match        Match
+
+	// refs is the pool reference count; zero means not pool-managed.
+	refs int32
 }
 
 // MsgType implements Message.
@@ -330,6 +394,9 @@ const (
 type PortStatus struct {
 	Reason uint8
 	Desc   PortDesc
+
+	// refs is the pool reference count; zero means not pool-managed.
+	refs int32
 }
 
 // MsgType implements Message.

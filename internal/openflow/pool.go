@@ -1,0 +1,283 @@
+package openflow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hot-message pooling. The message types that dominate a steady-state
+// receive path — PacketIn, EchoRequest, FlowRemoved, PortStatus on the
+// controller side; FlowMod, PacketOut on the switch side — are recycled
+// through sync.Pool-backed rings so a thousand-switch fan-in decodes
+// without per-frame allocation.
+//
+// Ownership discipline:
+//
+//   - Messages decoded by ReceiveBatch/Drain are pool-managed with a
+//     reference count of one, owned by the batch. MessageBatch.Release
+//     drops that reference.
+//   - A consumer that hands a message to another goroutine (the
+//     southbound dispatch pool, any listener that defers work) must
+//     Retain before the hand-off and Release when done.
+//   - Payload slices (PacketIn.Data, EchoRequest.Data) are owned by the
+//     message: they are copied out of the connection's read window at
+//     decode time and recycled with the message, so they never alias
+//     the read buffer — but they must not be retained past the final
+//     Release.
+//   - Messages from plain Receive or constructed by hand are not
+//     pool-managed; Retain/Release are no-ops for them, so generic
+//     consumer code may call both unconditionally.
+//
+// All refcount operations are atomic; Retain/Release are safe from any
+// goroutine.
+var (
+	packetInPool    = sync.Pool{New: func() any { poolMisses.Add(1); return new(PacketIn) }}
+	echoRequestPool = sync.Pool{New: func() any { poolMisses.Add(1); return new(EchoRequest) }}
+	flowRemovedPool = sync.Pool{New: func() any { poolMisses.Add(1); return new(FlowRemoved) }}
+	portStatusPool  = sync.Pool{New: func() any { poolMisses.Add(1); return new(PortStatus) }}
+	flowModPool     = sync.Pool{New: func() any { poolMisses.Add(1); return new(FlowMod) }}
+	packetOutPool   = sync.Pool{New: func() any { poolMisses.Add(1); return new(PacketOut) }}
+
+	poolGets   atomic.Uint64
+	poolMisses atomic.Uint64
+)
+
+// maxPooledPayload bounds the payload capacity a pooled message may
+// carry back into its pool, so one jumbo frame does not pin memory.
+const maxPooledPayload = 16 << 10
+
+// PoolStats reports cumulative message-pool traffic: gets that reused a
+// pooled struct (hits) and gets that allocated (misses). Exported for
+// the controller's athena_openflow_pool_* gauges.
+func PoolStats() (hits, misses uint64) {
+	m := poolMisses.Load()
+	return poolGets.Load() - m, m
+}
+
+// Retain adds a reference to a pool-managed message so it survives the
+// owning batch's Release. No-op for messages that are not pool-managed
+// (plain Receive results, hand-built messages).
+func Retain(msg Message) {
+	switch m := msg.(type) {
+	case *PacketIn:
+		retain(&m.refs)
+	case *EchoRequest:
+		retain(&m.refs)
+	case *FlowRemoved:
+		retain(&m.refs)
+	case *PortStatus:
+		retain(&m.refs)
+	case *FlowMod:
+		retain(&m.refs)
+	case *PacketOut:
+		retain(&m.refs)
+	}
+}
+
+// Release drops one reference to a pool-managed message, recycling it
+// when the last owner lets go. No-op for non-pool-managed messages.
+// After the final Release the message (and any payload slice it owns)
+// must not be touched.
+func Release(msg Message) {
+	switch m := msg.(type) {
+	case *PacketIn:
+		if lastRef(&m.refs) {
+			data := recyclePayload(m.Data)
+			*m = PacketIn{Data: data}
+			packetInPool.Put(m)
+		}
+	case *EchoRequest:
+		if lastRef(&m.refs) {
+			data := recyclePayload(m.Data)
+			*m = EchoRequest{Data: data}
+			echoRequestPool.Put(m)
+		}
+	case *FlowRemoved:
+		if lastRef(&m.refs) {
+			*m = FlowRemoved{}
+			flowRemovedPool.Put(m)
+		}
+	case *PortStatus:
+		if lastRef(&m.refs) {
+			*m = PortStatus{}
+			portStatusPool.Put(m)
+		}
+	case *FlowMod:
+		if lastRef(&m.refs) {
+			acts := recycleActions(m.Actions)
+			*m = FlowMod{Actions: acts}
+			flowModPool.Put(m)
+		}
+	case *PacketOut:
+		if lastRef(&m.refs) {
+			acts := recycleActions(m.Actions)
+			data := recyclePayload(m.Data)
+			*m = PacketOut{Actions: acts, Data: data}
+			packetOutPool.Put(m)
+		}
+	}
+}
+
+func retain(refs *int32) {
+	if atomic.LoadInt32(refs) > 0 {
+		atomic.AddInt32(refs, 1)
+	}
+}
+
+// lastRef reports whether the caller dropped the final reference of a
+// pool-managed message. Unmanaged messages (refs already zero) report
+// false so Release leaves them alone.
+func lastRef(refs *int32) bool {
+	if atomic.LoadInt32(refs) == 0 {
+		return false
+	}
+	return atomic.AddInt32(refs, -1) == 0
+}
+
+func recyclePayload(data []byte) []byte {
+	if cap(data) > maxPooledPayload {
+		return nil
+	}
+	return data[:0]
+}
+
+// maxPooledActions bounds the action-list capacity recycled with a
+// pooled FlowMod/PacketOut, mirroring the payload cap.
+const maxPooledActions = 64
+
+func recycleActions(acts []Action) []Action {
+	if cap(acts) > maxPooledActions {
+		return nil
+	}
+	for i := range acts {
+		acts[i] = nil
+	}
+	return acts[:0]
+}
+
+func getPacketIn() *PacketIn {
+	poolGets.Add(1)
+	m := packetInPool.Get().(*PacketIn)
+	atomic.StoreInt32(&m.refs, 1)
+	return m
+}
+
+func getEchoRequest() *EchoRequest {
+	poolGets.Add(1)
+	m := echoRequestPool.Get().(*EchoRequest)
+	atomic.StoreInt32(&m.refs, 1)
+	return m
+}
+
+func getFlowRemoved() *FlowRemoved {
+	poolGets.Add(1)
+	m := flowRemovedPool.Get().(*FlowRemoved)
+	atomic.StoreInt32(&m.refs, 1)
+	return m
+}
+
+func getPortStatus() *PortStatus {
+	poolGets.Add(1)
+	m := portStatusPool.Get().(*PortStatus)
+	atomic.StoreInt32(&m.refs, 1)
+	return m
+}
+
+func getFlowMod() *FlowMod {
+	poolGets.Add(1)
+	m := flowModPool.Get().(*FlowMod)
+	atomic.StoreInt32(&m.refs, 1)
+	return m
+}
+
+func getPacketOut() *PacketOut {
+	poolGets.Add(1)
+	m := packetOutPool.Get().(*PacketOut)
+	atomic.StoreInt32(&m.refs, 1)
+	return m
+}
+
+// MessageBatch holds the result of one ReceiveBatch call: parallel
+// message/header slices, reused across calls. The batch owns one pool
+// reference to each hot-type message; Release drops them all and
+// resets the batch.
+type MessageBatch struct {
+	msgs []Message
+	hdrs []Header
+}
+
+// Len reports the number of messages in the batch.
+func (b *MessageBatch) Len() int { return len(b.msgs) }
+
+// At returns message i and its header.
+func (b *MessageBatch) At(i int) (Message, Header) { return b.msgs[i], b.hdrs[i] }
+
+// Release drops the batch's pool references and resets it for reuse.
+// Messages a consumer Retained stay live until their own Release.
+func (b *MessageBatch) Release() {
+	for i, m := range b.msgs {
+		Release(m)
+		b.msgs[i] = nil
+	}
+	b.msgs = b.msgs[:0]
+	b.hdrs = b.hdrs[:0]
+}
+
+// decodeFramePooled decodes one complete frame, drawing hot message
+// types from the pools and copying payloads out of the (transient)
+// frame buffer. Cold types fall back to the plain allocating decoder.
+func decodeFramePooled(frame []byte) (Message, Header, error) {
+	h, err := DecodeHeader(frame)
+	if err != nil {
+		return nil, h, err
+	}
+	if len(frame) < int(h.Length) {
+		return nil, h, ErrTruncated
+	}
+	body := frame[HeaderLen:h.Length]
+	switch h.Type {
+	case TypeEchoRequest:
+		m := getEchoRequest()
+		m.Data = append(m.Data[:0], body...)
+		return m, h, nil
+	case TypePacketIn:
+		m := getPacketIn()
+		if err := m.decodeBodyReuse(body); err != nil {
+			Release(m)
+			return nil, h, err
+		}
+		return m, h, nil
+	case TypeFlowRemoved:
+		m := getFlowRemoved()
+		if err := m.decodeBody(body); err != nil {
+			Release(m)
+			return nil, h, err
+		}
+		return m, h, nil
+	case TypePortStatus:
+		m := getPortStatus()
+		if err := m.decodeBody(body); err != nil {
+			Release(m)
+			return nil, h, err
+		}
+		return m, h, nil
+	case TypeFlowMod:
+		// Hot on the switch side of the channel: a controller under a
+		// PacketIn flood answers with a FlowMod per miss.
+		m := getFlowMod()
+		if err := m.decodeBodyReuse(body); err != nil {
+			Release(m)
+			return nil, h, err
+		}
+		return m, h, nil
+	case TypePacketOut:
+		m := getPacketOut()
+		if err := m.decodeBodyReuse(body); err != nil {
+			Release(m)
+			return nil, h, err
+		}
+		return m, h, nil
+	default:
+		return Decode(frame[:h.Length])
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package openflow
+
+const raceEnabled = false

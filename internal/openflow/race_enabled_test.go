@@ -1,0 +1,7 @@
+//go:build race
+
+package openflow
+
+// raceEnabled reports that the race detector is active; allocation pins
+// skip, since instrumentation allocates.
+const raceEnabled = true

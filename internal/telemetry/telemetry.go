@@ -345,3 +345,12 @@ func (t Timer) Observe() func() {
 }
 
 var noopFunc = func() {}
+
+// ObserveSince records the elapsed seconds from start without the
+// closure allocation of Observe — the form hot per-message paths use.
+func (t Timer) ObserveSince(start time.Time) {
+	if t.h == nil {
+		return
+	}
+	t.h.Observe(time.Since(start).Seconds())
+}
