@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race chaos fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-detect bench-stream bench-cbench stream-soak microbench
+.PHONY: build verify test race chaos chaos-replica fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-replication bench-detect bench-stream bench-cbench stream-soak microbench
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify:
 	$(MAKE) lint-metrics
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) chaos-replica
 	$(MAKE) stream-soak
 	$(MAKE) fuzz-smoke
 
@@ -37,6 +38,13 @@ lint-metrics:
 chaos:
 	$(GO) test -race -run 'Fault|Chaos|Truncated|HealthProbe|AllWorkersLost|ConcurrentClose|LoadAfterWorkerDeath|Keepalive|FailedEcho|Rehomes|Partition' \
 		./internal/faults/ ./internal/compute/ ./internal/controller/ ./internal/cluster/ ./internal/store/
+
+# Replication chaos suite under the race detector: replica killed
+# mid-PublishAll (zero lost acknowledged docs, digest-equal replicas
+# after bootstrap + anti-entropy), concurrent quorum writes against a
+# flapping replica, and bootstrap under live writes.
+chaos-replica:
+	$(GO) test -race -run 'Replica' ./internal/store/
 
 # Streaming-detection soaks under the race detector: concurrent
 # score/update/swap across shards (torn-read + determinism asserts),
@@ -79,6 +87,17 @@ bench-failover:
 bench-store:
 	$(GO) run ./cmd/athena-bench -exp store \
 		-store-out BENCH_store.json -store-label "$(LABEL)"
+
+# Appends a replicated-store run (quorum-acked insert throughput,
+# healthy vs failover read latency; 3 nodes, RF=3, write quorum 2) to
+# BENCH_store.json, preceded by a fresh single-copy store run on the
+# same machine so the quorum overhead reads against a same-day
+# baseline rather than a historical one.
+bench-replication:
+	$(GO) run ./cmd/athena-bench -exp store \
+		-store-out BENCH_store.json -store-label "single-copy baseline"
+	$(GO) run ./cmd/athena-bench -exp replication \
+		-store-out BENCH_store.json -store-label replication
 
 # Appends a labeled detection-latency run (instrumented vs
 # uninstrumented generator throughput + ingress→published p50/p99/p999)

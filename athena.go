@@ -119,6 +119,9 @@ type (
 	StoreNode = store.Node
 	// StoreCluster is a client to the sharded feature database.
 	StoreCluster = store.Cluster
+	// StoreClusterConfig parameterizes a replicated store connection
+	// (replication factor, write quorum, anti-entropy interval).
+	StoreClusterConfig = store.ClusterConfig
 	// ComputeWorker is one analysis cluster node.
 	ComputeWorker = compute.Worker
 	// MLParams carries algorithm parameters.

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|detect|stream|all")
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|replication|detect|stream|all")
 		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
 		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
 		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
@@ -62,6 +62,9 @@ func main() {
 		stOut    = flag.String("store-out", "", "store: append a labeled run to this JSON log (e.g. BENCH_store.json)")
 		stLabel  = flag.String("store-label", "current", "store: label for the appended run")
 
+		repNodes = flag.Int("replication-nodes", 3, "replication: store cluster size")
+		repRF    = flag.Int("replication-rf", 3, "replication: replicas per shard (quorum = majority)")
+
 		detMsgs   = flag.Int("detect-msgs", 200_000, "detect: messages per generator overhead segment")
 		detE2E    = flag.Int("detect-e2e", 8_000, "detect: synchronous publishes for the latency distribution")
 		detSample = flag.Int("detect-sample", 128, "detect: trace sampling period (1/N) for the instrumented arm")
@@ -90,6 +93,7 @@ func main() {
 	scfg := storeFlags{
 		Docs: *stDocs, Cardinality: *stCard, InsertDocs: *stInsert,
 		Out: *stOut, Label: *stLabel,
+		ReplicaNodes: *repNodes, ReplicaFactor: *repRF,
 	}
 	dcfg := detectFlags{
 		Messages: *detMsgs, E2EMessages: *detE2E, SampleEvery: *detSample,
@@ -132,13 +136,16 @@ type failoverFlags struct {
 	Label   string
 }
 
-// storeFlags carries the -store-* command-line knobs.
+// storeFlags carries the -store-* and -replication-* command-line
+// knobs (the replication experiment reuses the store sizing and log).
 type storeFlags struct {
-	Docs        int
-	Cardinality int
-	InsertDocs  int
-	Out         string
-	Label       string
+	Docs          int
+	Cardinality   int
+	InsertDocs    int
+	Out           string
+	Label         string
+	ReplicaNodes  int
+	ReplicaFactor int
 }
 
 // detectFlags carries the -detect-* command-line knobs.
@@ -169,7 +176,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store", "detect", "stream"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store", "replication", "detect", "stream"} {
 			todo[e] = true
 		}
 	} else {
@@ -336,6 +343,24 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 				return fmt.Errorf("store log: %w", err)
 			}
 			fmt.Printf("store run %q appended to %s\n", scfg.Label, scfg.Out)
+		}
+		fmt.Println()
+	}
+	if todo["replication"] {
+		r, err := bench.RunReplication(bench.ReplicationConfig{
+			Nodes:             scfg.ReplicaNodes,
+			ReplicationFactor: scfg.ReplicaFactor,
+			InsertDocs:        scfg.InsertDocs,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteReplicationReport(os.Stdout, r)
+		if scfg.Out != "" {
+			if err := bench.AppendStoreJSON(scfg.Out, scfg.Label, r); err != nil {
+				return fmt.Errorf("replication log: %w", err)
+			}
+			fmt.Printf("replication run %q appended to %s\n", scfg.Label, scfg.Out)
 		}
 		fmt.Println()
 	}

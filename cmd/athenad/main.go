@@ -25,6 +25,7 @@ func main() {
 	var (
 		controllers = flag.Int("controllers", 3, "controller instances")
 		storeNodes  = flag.Int("store-nodes", 2, "feature DB nodes")
+		storeRepl   = flag.Int("store-replication", 1, "replicas per store shard (quorum writes + anti-entropy when > 1)")
 		workers     = flag.Int("compute-workers", 2, "compute cluster workers")
 		duration    = flag.Duration("duration", 30*time.Second, "run time (0 = until SIGINT)")
 		noTopo      = flag.Bool("no-topology", false, "skip the demo data plane")
@@ -51,17 +52,18 @@ func main() {
 		Slide:   *slide,
 		Refresh: 500 * time.Millisecond,
 	}
-	if err := run(*controllers, *storeNodes, *workers, *duration, !*noTopo, *hostsPer, *seed, *opsAddr, *traceEvery, *traceSlow, streamCfg); err != nil {
+	if err := run(*controllers, *storeNodes, *storeRepl, *workers, *duration, !*noTopo, *hostsPer, *seed, *opsAddr, *traceEvery, *traceSlow, streamCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athenad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(controllers, storeNodes, workers int, duration time.Duration, topo bool, hostsPer int, seed int64, opsAddr string, traceEvery int, traceSlow time.Duration, streamCfg athena.StreamConfig) error {
+func run(controllers, storeNodes, storeRepl, workers int, duration time.Duration, topo bool, hostsPer int, seed int64, opsAddr string, traceEvery int, traceSlow time.Duration, streamCfg athena.StreamConfig) error {
 	stack, err := athena.NewStack(athena.StackConfig{
-		Controllers:    controllers,
-		StoreNodes:     storeNodes,
-		ComputeWorkers: workers,
+		Controllers:      controllers,
+		StoreNodes:       storeNodes,
+		StoreReplication: storeRepl,
+		ComputeWorkers:   workers,
 		Southbound: athena.SouthboundConfig{
 			Publish:     athena.PublishBatched,
 			BatchDelay:  50 * time.Millisecond,
@@ -82,8 +84,12 @@ func run(controllers, storeNodes, workers int, duration time.Duration, topo bool
 		return err
 	}
 	defer stack.Close()
-	fmt.Printf("athenad: %d controllers, %d store nodes, %d compute workers\n",
-		controllers, storeNodes, workers)
+	repl := ""
+	if storeRepl > 1 {
+		repl = fmt.Sprintf(" (RF=%d)", storeRepl)
+	}
+	fmt.Printf("athenad: %d controllers, %d store nodes%s, %d compute workers\n",
+		controllers, storeNodes, repl, workers)
 	for i, c := range stack.Controllers() {
 		fmt.Printf("  controller %d: id=%s openflow=%s\n", i, c.ID(), c.Addr())
 	}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// ReplicationConfig parameterizes the replicated-store measurement:
+// quorum-acknowledged write throughput and read latency before and
+// after a replica failure.
+type ReplicationConfig struct {
+	// Nodes is the store cluster size (default 3).
+	Nodes int
+	// ReplicationFactor is replicas per shard (default 3, capped at
+	// Nodes); WriteQuorum defaults to the majority.
+	ReplicationFactor int
+	// InsertDocs is the quorum-write segment size (default 100_000 —
+	// long enough that connection ramp-up and allocator warm-up stop
+	// dominating the measured rate).
+	InsertDocs int
+	// Batch is the batched-writer flush size (default 256).
+	Batch int
+	// QueryRounds is how many tag queries each latency segment times
+	// (default 200).
+	QueryRounds int
+}
+
+func (c ReplicationConfig) withDefaults() ReplicationConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 3
+	}
+	if c.ReplicationFactor > c.Nodes {
+		c.ReplicationFactor = c.Nodes
+	}
+	if c.InsertDocs <= 0 {
+		c.InsertDocs = 100_000
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	if c.QueryRounds <= 0 {
+		c.QueryRounds = 200
+	}
+	return c
+}
+
+// ReplicationResult is one measured run of the replication benchmark.
+// It appends to the same BENCH_store.json log as the single-copy store
+// runs so quorum overhead is read side by side with the PR-5 baseline.
+type ReplicationResult = StoreResult
+
+// RunReplication measures the replicated write and read paths: batched
+// quorum-acknowledged insert throughput into an RF-replicated cluster,
+// tag-query latency with all replicas healthy, then the same query
+// after killing a replica (the failover path).
+func RunReplication(cfg ReplicationConfig) (StoreResult, error) {
+	cfg = cfg.withDefaults()
+	res := StoreResult{
+		Label:     "replication",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config: StoreConfig{
+			Docs:       cfg.InsertDocs,
+			InsertDocs: cfg.InsertDocs,
+			Batch:      cfg.Batch,
+		},
+		ReplicaNodes:  cfg.Nodes,
+		ReplicaFactor: cfg.ReplicationFactor,
+	}
+
+	nodes := make([]*store.Node, cfg.Nodes)
+	addrs := make([]string, cfg.Nodes)
+	for i := range nodes {
+		n, err := store.NewNode("")
+		if err != nil {
+			return res, fmt.Errorf("replication bench node %d: %w", i, err)
+		}
+		defer n.Close()
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	c, err := store.ConnectCluster(store.ClusterConfig{
+		Addrs:             addrs,
+		ReplicationFactor: cfg.ReplicationFactor,
+	})
+	if err != nil {
+		return res, fmt.Errorf("replication bench connect: %w", err)
+	}
+	defer c.Close()
+	res.ReplicaQuorum = c.WriteQuorum()
+
+	// Segment 1: batched quorum-acknowledged insert throughput. Each
+	// flush is acknowledged only once WriteQuorum replicas applied it,
+	// so this rate is directly comparable to the single-copy
+	// batched_insert_docs_per_sec of the plain store runs.
+	// The corpus is generated before the clock starts so the segment
+	// times the quorum write path alone, matching the single-copy
+	// measurement.
+	corpus := make([]store.Document, cfg.InsertDocs)
+	for i := range corpus {
+		corpus[i] = storeBenchDoc(i, 256)
+	}
+	start := time.Now()
+	w := store.NewWriter(c, cfg.Batch, 5*time.Millisecond,
+		store.WithQueueBound(cfg.InsertDocs))
+	for _, d := range corpus {
+		w.Publish(d)
+	}
+	if err := w.Close(); err != nil {
+		return res, fmt.Errorf("replication bench insert: %w", err)
+	}
+	res.QuorumInsertDocsPerSec = float64(cfg.InsertDocs) / time.Since(start).Seconds()
+
+	q := store.Query{Filter: store.Filter{
+		Tags: []store.TagCond{{Tag: "dpid", Equals: true, Value: "7"}},
+	}}
+	timeQuery := func() (float64, error) {
+		// Warm once, then time.
+		if _, err := c.Query(q); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for r := 0; r < cfg.QueryRounds; r++ {
+			if _, err := c.Query(q); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds() / float64(cfg.QueryRounds), nil
+	}
+
+	// Segment 2: replicated read latency, all replicas healthy.
+	healthy, err := timeQuery()
+	if err != nil {
+		return res, fmt.Errorf("replication bench healthy query: %w", err)
+	}
+	res.HealthyQuerySec = healthy
+
+	// Segment 3: the same read after a replica dies — the first round
+	// pays the failover probe, later rounds ride the health scores.
+	nodes[0].Close()
+	failover, err := timeQuery()
+	if err != nil {
+		return res, fmt.Errorf("replication bench failover query: %w", err)
+	}
+	res.FailoverQuerySec = failover
+	return res, nil
+}
+
+// WriteReplicationReport prints one replication run in the human bench
+// format.
+func WriteReplicationReport(w io.Writer, r StoreResult) {
+	fmt.Fprintf(w, "STORE REPLICATION — quorum writes, failover reads (%s, GOMAXPROCS=%d)\n",
+		r.GoVersion, r.MaxProcs)
+	fmt.Fprintf(w, "  cluster %d nodes, RF=%d, write quorum %d\n", r.ReplicaNodes, r.ReplicaFactor, r.ReplicaQuorum)
+	fmt.Fprintf(w, "  insert  quorum-acked batched %12.0f docs/s\n", r.QuorumInsertDocsPerSec)
+	fmt.Fprintf(w, "  query   all replicas healthy %10.6fs/op\n", r.HealthyQuerySec)
+	fmt.Fprintf(w, "  query   one replica down     %10.6fs/op (failover)\n", r.FailoverQuerySec)
+}

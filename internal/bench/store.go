@@ -86,6 +86,16 @@ type StoreResult struct {
 	SerialOpsPerSec    float64 `json:"serial_ops_per_sec"`
 	PipelinedOpsPerSec float64 `json:"pipelined_ops_per_sec"`
 	PipelineSpeedup    float64 `json:"pipeline_speedup"`
+
+	// Replication segment (RunReplication only): quorum-acknowledged
+	// batched insert throughput into an RF-replicated cluster and tag
+	// query latency with all replicas healthy vs one replica killed.
+	ReplicaNodes           int     `json:"replica_nodes,omitempty"`
+	ReplicaFactor          int     `json:"replica_factor,omitempty"`
+	ReplicaQuorum          int     `json:"replica_quorum,omitempty"`
+	QuorumInsertDocsPerSec float64 `json:"quorum_insert_docs_per_sec,omitempty"`
+	HealthyQuerySec        float64 `json:"healthy_query_sec,omitempty"`
+	FailoverQuerySec       float64 `json:"failover_query_sec,omitempty"`
 }
 
 func storeBenchDoc(i, cardinality int) store.Document {
@@ -254,20 +264,27 @@ func measureInsert(cfg StoreConfig, batched bool) (float64, error) {
 	}
 	defer c.Close()
 
+	// Generate the corpus up front so the timed section measures the
+	// write path, not synthetic document construction.
+	corpus := make([]store.Document, cfg.InsertDocs)
+	for i := range corpus {
+		corpus[i] = storeBenchDoc(i, cfg.Cardinality)
+	}
+
 	start := time.Now()
 	if batched {
 		w := store.NewWriter(c, cfg.Batch, 5*time.Millisecond,
 			store.WithQueueBound(cfg.InsertDocs))
-		for i := 0; i < cfg.InsertDocs; i++ {
-			w.Publish(storeBenchDoc(i, cfg.Cardinality))
+		for _, d := range corpus {
+			w.Publish(d)
 		}
 		if err := w.Close(); err != nil {
 			return 0, err
 		}
 	} else {
 		one := make([]store.Document, 1)
-		for i := 0; i < cfg.InsertDocs; i++ {
-			one[0] = storeBenchDoc(i, cfg.Cardinality)
+		for i := range corpus {
+			one[0] = corpus[i]
 			if err := c.Insert(one); err != nil {
 				return 0, err
 			}

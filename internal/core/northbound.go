@@ -21,6 +21,11 @@ type Config struct {
 	// StoreAddrs are the feature DB cluster nodes (empty disables
 	// persistence and store-backed queries).
 	StoreAddrs []string
+	// StoreReplication is how many store nodes hold each logical shard
+	// (default 1 = unreplicated). With R > 1, feature publications are
+	// acknowledged at write quorum (majority of R) and store reads fail
+	// over across replicas.
+	StoreReplication int
 	// ComputeAddrs are the compute cluster workers (empty keeps all
 	// analysis local).
 	ComputeAddrs []string
@@ -73,7 +78,11 @@ func New(cfg Config) (*Athena, error) {
 	a := &Athena{id: cfg.Proxy.ID()}
 
 	if len(cfg.StoreAddrs) > 0 {
-		cl, err := store.Connect(cfg.StoreAddrs)
+		cl, err := store.ConnectCluster(store.ClusterConfig{
+			Addrs:             cfg.StoreAddrs,
+			ReplicationFactor: cfg.StoreReplication,
+			Telemetry:         cfg.Telemetry,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: store cluster: %w", err)
 		}

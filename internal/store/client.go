@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -99,8 +100,12 @@ func (c *Client) teardownLocked(conn net.Conn, err error) {
 // readLoop delivers responses to their waiting calls until the
 // connection dies, then fails everything still in flight.
 func (c *Client) readLoop(conn net.Conn, br *bufio.Reader) {
+	// Per-connection decode state (this loop is its only user): interned
+	// tag/field strings and a reused frame payload buffer.
+	in := newInternTable()
+	var scratch []byte
 	for {
-		typ, payload, err := readStoreFrame(br)
+		typ, payload, err := readStoreFrameInto(br, &scratch)
 		if err == nil && typ != frameControl {
 			err = fmt.Errorf("store: expected control frame, got type %d", typ)
 		}
@@ -110,7 +115,9 @@ func (c *Client) readLoop(conn net.Conn, br *bufio.Reader) {
 			err = unmarshalControl(payload, &resp)
 		}
 		if err == nil {
-			docs, err = readBlocks(br, resp.Blocks)
+			// No recycled doc slices here: response documents are
+			// handed to Query callers, who own them outright.
+			docs, err = readBlocks(br, resp.Blocks, in, &scratch, nil)
 		}
 		if err != nil {
 			c.mu.Lock()
@@ -177,6 +184,61 @@ func (c *Client) do(op string, q *Query, docs []Document, tcs []string) (wireRes
 	c.mu.Unlock()
 	res := <-ch
 	return res, res.err
+}
+
+// doBlocks is do for inserts whose document payload was already packed
+// into frameDocs blocks by the caller, so a replicated write encodes
+// its batch once and ships the same bytes to every replica.
+func (c *Client) doBlocks(blocks [][]byte, tcs []string) (wireResult, error) {
+	c.mu.Lock()
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return wireResult{}, err
+		}
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan wireResult, 1)
+	c.pending[id] = ch
+	conn := c.conn
+	req := wireRequest{ID: id, Op: "insert", Blocks: len(blocks), TC: tcs}
+	hdr, err := json.Marshal(&req)
+	if err == nil {
+		err = writeStoreFrame(c.bw, frameControl, hdr)
+	}
+	for i := 0; err == nil && i < len(blocks); i++ {
+		err = writeStoreFrame(c.bw, frameDocs, blocks[i])
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		delete(c.pending, id)
+		c.teardownLocked(conn, err)
+		c.mu.Unlock()
+		return wireResult{}, err
+	}
+	c.mu.Unlock()
+	res := <-ch
+	return res, res.err
+}
+
+// insertBlocks is InsertTraced over pre-encoded doc blocks, with the
+// same reconnect-and-retry and at-least-once semantics.
+func (c *Client) insertBlocks(blocks [][]byte, tcs []string) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		res, err := c.doBlocks(blocks, tcs)
+		if err == nil {
+			if res.resp.Err != "" {
+				return errors.New(res.resp.Err)
+			}
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("store: node %s unreachable: %w", c.addr, lastErr)
 }
 
 // call runs do with one reconnect-and-retry on transport failure.

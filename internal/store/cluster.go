@@ -2,108 +2,565 @@ package store
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/telemetry"
 )
 
-// Cluster is a client to a sharded store deployment: inserts shard by
-// key, queries fan out to every node and merge.
+// Cluster is a client to a sharded — and optionally replicated — store
+// deployment. With ReplicationFactor 1 (the default) it behaves as a
+// plain sharded client: inserts shard by key, queries fan out to every
+// node and merge. With ReplicationFactor R > 1 every logical shard maps
+// to an R-node replica set (the shard's home node plus its R-1
+// successors in address order); writes fan out to all R replicas and
+// are acknowledged at write quorum, reads pick one healthy replica per
+// shard and fail over on error, and the anti-entropy machinery in
+// replica.go converges replicas that missed writes.
 type Cluster struct {
 	clients []*Client
+	rf      int // replicas per shard (1 = no replication)
+	wq      int // write quorum (acks required before Insert returns nil)
+
+	writeTimeout time.Duration
+
+	// health[i] counts consecutive failed calls to clients[i]; reads
+	// prefer low-scoring replicas and any success resets the score.
+	health []atomic.Int32
+
+	metrics    *clusterMetrics
+	repairStop chan struct{}
+	repairDone chan struct{}
+	closeOnce  sync.Once
+
+	// repairMu serializes anti-entropy rounds with replica bootstrap so
+	// the background loop and an operator-driven BootstrapReplica never
+	// interleave their shipping of the same shard.
+	repairMu sync.Mutex
+
+	// encPool recycles the encode buffer of fully-replicated writes
+	// (returned once every replica send finished with it), so the
+	// steady-state write path stops allocating ~one wire image of each
+	// batch per flush.
+	encPool sync.Pool
 }
 
-// Connect dials every node of a cluster. Options apply to every
-// per-node client.
+// ClusterConfig parameterizes ConnectCluster.
+type ClusterConfig struct {
+	// Addrs are the node addresses. Duplicates are rejected: the shard
+	// map is positional, and one node appearing twice would silently
+	// halve that shard's real replica count.
+	Addrs []string
+	// ReplicationFactor is how many nodes hold each logical shard
+	// (default 1, capped at len(Addrs)).
+	ReplicationFactor int
+	// WriteQuorum is how many replica acks an insert needs before it is
+	// acknowledged to the caller (default: majority of the replica set,
+	// R/2+1). Capped to [1, ReplicationFactor].
+	WriteQuorum int
+	// WriteTimeout bounds how long a quorum write waits for acks
+	// (default 10s). On timeout the insert fails and the batched
+	// writer's at-least-once retry takes over.
+	WriteTimeout time.Duration
+	// RepairInterval enables the background anti-entropy loop: every
+	// interval the cluster exchanges per-shard digests between replicas
+	// and re-ships missing documents. Zero disables the loop;
+	// RepairOnce remains available for deterministic callers.
+	RepairInterval time.Duration
+	// Telemetry receives the athena_store_replica_* families; nil keeps
+	// replication unmetered.
+	Telemetry *telemetry.Registry
+	// ClientOptions apply to every per-node client.
+	ClientOptions []ClientOption
+}
+
+// clusterMetrics holds the replication telemetry series.
+type clusterMetrics struct {
+	writes           *telemetry.CounterVec
+	writeRetries     *telemetry.Counter
+	readFailovers    *telemetry.Counter
+	repairRounds     *telemetry.Counter
+	repairDocs       *telemetry.Counter
+	digestMismatches *telemetry.Counter
+	bootstrapDocs    *telemetry.Counter
+}
+
+func newClusterMetrics(reg *telemetry.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		writes: reg.CounterVec("athena_store_replica_writes_total",
+			"Quorum write outcomes.", "result"),
+		writeRetries: reg.Counter("athena_store_replica_write_retries_total",
+			"Per-replica insert attempts retried after a transport failure."),
+		readFailovers: reg.Counter("athena_store_replica_read_failovers_total",
+			"Shard reads served by a fallback replica after the preferred one failed."),
+		repairRounds: reg.Counter("athena_store_replica_repair_rounds_total",
+			"Anti-entropy repair rounds completed."),
+		repairDocs: reg.Counter("athena_store_replica_repair_docs_total",
+			"Documents re-shipped between replicas by anti-entropy repair."),
+		digestMismatches: reg.Counter("athena_store_replica_digest_mismatches_total",
+			"Replica digest intervals found divergent during repair."),
+		bootstrapDocs: reg.Counter("athena_store_replica_bootstrap_docs_total",
+			"Documents streamed to a joining replica by snapshot bootstrap."),
+	}
+}
+
+// Connect dials every node of a cluster with ReplicationFactor 1.
+// Options apply to every per-node client.
 func Connect(addrs []string, opts ...ClientOption) (*Cluster, error) {
-	if len(addrs) == 0 {
+	return ConnectCluster(ClusterConfig{Addrs: addrs, ClientOptions: opts})
+}
+
+// ConnectCluster dials every node of a (possibly replicated) cluster.
+func ConnectCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("store: empty cluster")
 	}
-	c := &Cluster{}
-	for _, a := range addrs {
-		cl, err := Dial(a, opts...)
+	seen := make(map[string]bool, len(cfg.Addrs))
+	for _, a := range cfg.Addrs {
+		if seen[a] {
+			return nil, fmt.Errorf("store: duplicate cluster address %s", a)
+		}
+		seen[a] = true
+	}
+	rf := cfg.ReplicationFactor
+	if rf <= 0 {
+		rf = 1
+	}
+	if rf > len(cfg.Addrs) {
+		rf = len(cfg.Addrs)
+	}
+	wq := cfg.WriteQuorum
+	if wq <= 0 {
+		wq = rf/2 + 1
+	}
+	if wq > rf {
+		wq = rf
+	}
+	wt := cfg.WriteTimeout
+	if wt <= 0 {
+		wt = 10 * time.Second
+	}
+	c := &Cluster{
+		rf:           rf,
+		wq:           wq,
+		writeTimeout: wt,
+		health:       make([]atomic.Int32, len(cfg.Addrs)),
+	}
+	if cfg.Telemetry != nil {
+		c.metrics = newClusterMetrics(cfg.Telemetry)
+	}
+	for _, a := range cfg.Addrs {
+		cl, err := Dial(a, cfg.ClientOptions...)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		c.clients = append(c.clients, cl)
 	}
+	if cfg.RepairInterval > 0 && rf > 1 {
+		c.repairStop = make(chan struct{})
+		c.repairDone = make(chan struct{})
+		go c.repairLoop(cfg.RepairInterval)
+	}
 	return c, nil
 }
 
-// Close disconnects from all nodes.
+// Close disconnects from all nodes and stops the repair loop. It is
+// idempotent and safe on a nil receiver (Connect calls it on
+// partial-dial cleanup).
 func (c *Cluster) Close() {
-	for _, cl := range c.clients {
-		cl.Close()
+	if c == nil {
+		return
 	}
+	c.closeOnce.Do(func() {
+		if c.repairStop != nil {
+			close(c.repairStop)
+			<-c.repairDone
+		}
+		for _, cl := range c.clients {
+			cl.Close()
+		}
+	})
 }
 
 // Nodes reports the cluster size.
 func (c *Cluster) Nodes() int { return len(c.clients) }
 
-// shardOf picks the home node for a document. Documents with a "shard"
-// tag shard by it; otherwise the flow identity tags are used so that one
-// flow's history stays co-located.
-func (c *Cluster) shardOf(d Document) int {
-	h := fnv.New64a()
-	if s := d.Tag("shard"); s != "" {
-		h.Write([]byte(s))
-	} else {
-		h.Write([]byte(d.Tag("dpid")))
-		h.Write([]byte(d.Tag("flow")))
-		h.Write([]byte(d.ID))
+// ReplicationFactor reports how many nodes hold each shard.
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// WriteQuorum reports how many replica acks an insert waits for.
+func (c *Cluster) WriteQuorum() int { return c.wq }
+
+// shardOfDoc picks the home shard for a document among n shards.
+// Documents with a "shard" tag shard by it; otherwise the flow identity
+// tags are used so that one flow's history stays co-located. The hash
+// is FNV-64a, inlined so the per-document client hot path does not
+// allocate a hasher or byte-slice copies.
+func shardOfDoc(d *Document, n int) int {
+	if n <= 1 {
+		return 0
 	}
-	return int(h.Sum64() % uint64(len(c.clients)))
+	h := uint64(fnvOffset64)
+	if s := d.Tag("shard"); s != "" {
+		h = fnvString(h, s)
+	} else {
+		h = fnvString(h, d.Tag("dpid"))
+		h = fnvString(h, d.Tag("flow"))
+		h = fnvString(h, d.ID)
+	}
+	return int(h % uint64(n))
+}
+
+// FNV-64a constants and string step (identical to hash/fnv.New64a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func (c *Cluster) shardOf(d *Document) int { return shardOfDoc(d, len(c.clients)) }
+
+// replicaSet lists the node indexes holding shard s: the home node and
+// its rf-1 successors in address order.
+func (c *Cluster) replicaSet(s int) []int {
+	set := make([]int, c.rf)
+	for i := 0; i < c.rf; i++ {
+		set[i] = (s + i) % len(c.clients)
+	}
+	return set
+}
+
+// readOrder ranks shard s's replicas for a read: healthy primary first,
+// then the rest by ascending consecutive-failure score, so reads route
+// around a down replica after its first failure.
+func (c *Cluster) readOrder(s int) []int {
+	set := c.replicaSet(s)
+	sort.SliceStable(set, func(i, j int) bool {
+		return c.health[set[i]].Load() < c.health[set[j]].Load()
+	})
+	return set
+}
+
+func (c *Cluster) noteResult(node int, err error) {
+	if err != nil {
+		c.health[node].Add(1)
+		return
+	}
+	c.health[node].Store(0)
 }
 
 // Insert distributes documents to their shards. Batches per node are
-// written in parallel.
+// written in parallel; with replication each shard batch is
+// acknowledged at write quorum.
 func (c *Cluster) Insert(docs []Document) error { return c.InsertTraced(docs, nil) }
 
-// InsertTraced is Insert with trace contexts attached to every shard's
-// request header; a shard applying any slice of the batch may complete
-// any of the covered traces, so all contexts go to all touched shards.
+// InsertTraced is Insert with trace contexts attached to every node's
+// request header; a node applying any slice of the batch may complete
+// any of the covered traces, so all contexts go to all touched nodes.
 func (c *Cluster) InsertTraced(docs []Document, tcs []string) error {
 	if len(docs) == 0 {
 		return nil
 	}
-	batches := make([][]Document, len(c.clients))
-	for _, d := range docs {
-		i := c.shardOf(d)
-		batches[i] = append(batches[i], d)
+	if c.rf > 1 {
+		return c.insertReplicated(docs, tcs)
+	}
+	nshards := len(c.clients)
+	batches := make([][]Document, nshards)
+	for i := range docs {
+		s := c.shardOf(&docs[i])
+		batches[s] = append(batches[s], docs[i])
 	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
-	for i, batch := range batches {
+	for s, batch := range batches {
 		if len(batch) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(cl *Client, b []Document) {
+		go func(s int, b []Document) {
 			defer wg.Done()
-			if err := cl.InsertTraced(b, tcs); err != nil {
+			err := c.clients[s].InsertTraced(b, tcs)
+			c.noteResult(s, err)
+			c.countWrite(err == nil)
+			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
 				mu.Unlock()
 			}
-		}(c.clients[i], batch)
+		}(s, batch)
 	}
 	wg.Wait()
 	return firstErr
 }
 
+// insertReplicated distributes one batch across the replicated cluster
+// and returns nil once every written shard reached write quorum.
+//
+// The fan-out is grouped by node, not by (shard, replica): each shard's
+// slice of the batch is packed into wire doc-blocks exactly once, every
+// node receives the concatenated blocks of all shards it replicates in
+// a single RPC, and a node's ack counts toward the quorum of each shard
+// it carried. This keeps the wire cost at one request per node per
+// batch — with ReplicationFactor == cluster size each node sees the
+// same full batch a single-copy insert would — instead of shards × R
+// fragmented requests. Replica writes still running once quorum is
+// reached continue in the background (their outcome feeds the health
+// scores); replicas that miss a write entirely are converged later by
+// anti-entropy. An ack therefore means the batch is durable on at least
+// WriteQuorum nodes of every shard.
+func (c *Cluster) insertReplicated(docs []Document, tcs []string) error {
+	n := len(c.clients)
+	if c.rf == n {
+		// Full replication: every node holds every shard, so the shard
+		// placement of each document is irrelevant to the write — skip
+		// the per-document hashing and grouping entirely, encode the
+		// batch once, and count whole-node acks against the quorum.
+		return c.insertFullyReplicated(docs, tcs)
+	}
+	batches := make([][]Document, n)
+	for i := range docs {
+		s := c.shardOf(&docs[i])
+		batches[s] = append(batches[s], docs[i])
+	}
+	var (
+		nodeBlocks = make([][][]byte, n) // node -> concatenated doc blocks
+		nodeShards = make([][]int, n)    // node -> shards in its payload
+	)
+	for s, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		blocks, err := encodeDocBlocks(b)
+		if err != nil {
+			c.countWrite(false)
+			return err
+		}
+		for _, node := range c.replicaSet(s) {
+			nodeBlocks[node] = append(nodeBlocks[node], blocks...)
+			nodeShards[node] = append(nodeShards[node], s)
+		}
+	}
+
+	type nodeAck struct {
+		node int
+		err  error
+	}
+	acks := make(chan nodeAck, n)
+	sent := 0
+	for node := 0; node < n; node++ {
+		if len(nodeShards[node]) == 0 {
+			continue
+		}
+		sent++
+		go func(node int) {
+			acks <- nodeAck{node, c.writeReplica(node, nodeBlocks[node], tcs)}
+		}(node)
+	}
+
+	oks := make([]int, n)
+	fails := make([]int, n)
+	done := make([]bool, n)
+	pending := 0
+	for s := range batches {
+		if len(batches[s]) > 0 {
+			pending++
+		} else {
+			done[s] = true
+		}
+	}
+	var firstErr error
+	timeout := time.NewTimer(c.writeTimeout)
+	defer timeout.Stop()
+	for received := 0; pending > 0 && received < sent; received++ {
+		select {
+		case a := <-acks:
+			for _, s := range nodeShards[a.node] {
+				if done[s] {
+					continue
+				}
+				if a.err == nil {
+					oks[s]++
+					if oks[s] >= c.wq {
+						done[s] = true
+						pending--
+					}
+				} else {
+					fails[s]++
+					if firstErr == nil {
+						firstErr = a.err
+					}
+					if fails[s] > c.rf-c.wq {
+						c.countWrite(false)
+						return fmt.Errorf("store: shard %d write quorum %d/%d unreachable: %w",
+							s, c.wq, c.rf, firstErr)
+					}
+				}
+			}
+		case <-timeout.C:
+			c.countWrite(false)
+			return fmt.Errorf("store: write quorum %d/%d timed out after %v (%d shards pending)",
+				c.wq, c.rf, c.writeTimeout, pending)
+		}
+	}
+	if pending > 0 {
+		c.countWrite(false)
+		return fmt.Errorf("store: write quorum %d/%d unreachable: %w", c.wq, c.rf, firstErr)
+	}
+	c.countWrite(true)
+	return nil
+}
+
+// insertFullyReplicated is the rf == cluster-size write path: one
+// encode, one RPC per node, quorum counted in whole-node acks.
+func (c *Cluster) insertFullyReplicated(docs []Document, tcs []string) error {
+	n := len(c.clients)
+	var scratch []byte
+	if p, ok := c.encPool.Get().(*[]byte); ok {
+		scratch = *p
+	}
+	blocks, err := encodeDocBlocksBuf(docs, scratch)
+	if err != nil {
+		c.countWrite(false)
+		return err
+	}
+	// The quorum return below may leave straggler sends still holding
+	// blocks, so the buffer recycles only when the last sender is done.
+	var sending atomic.Int32
+	sending.Store(int32(n))
+	acks := make(chan error, n)
+	for node := 0; node < n; node++ {
+		go func(node int) {
+			err := c.writeReplica(node, blocks, tcs)
+			if sending.Add(-1) == 0 {
+				buf := blocks[0][:0]
+				c.encPool.Put(&buf)
+			}
+			acks <- err
+		}(node)
+	}
+	var (
+		firstErr error
+		oks      int
+		fails    int
+	)
+	timeout := time.NewTimer(c.writeTimeout)
+	defer timeout.Stop()
+	for oks+fails < n {
+		select {
+		case err := <-acks:
+			if err == nil {
+				oks++
+				if oks >= c.wq {
+					c.countWrite(true)
+					return nil
+				}
+			} else {
+				fails++
+				if firstErr == nil {
+					firstErr = err
+				}
+				if fails > n-c.wq {
+					c.countWrite(false)
+					return fmt.Errorf("store: write quorum %d/%d unreachable: %w", c.wq, n, firstErr)
+				}
+			}
+		case <-timeout.C:
+			c.countWrite(false)
+			return fmt.Errorf("store: write quorum %d/%d timed out after %v (acks %d)",
+				c.wq, n, c.writeTimeout, oks)
+		}
+	}
+	c.countWrite(false)
+	return fmt.Errorf("store: write quorum %d/%d unreachable: %w", c.wq, n, firstErr)
+}
+
+func (c *Cluster) countWrite(ok bool) {
+	if c.metrics == nil {
+		return
+	}
+	result := "ok"
+	if !ok {
+		result = "failed"
+	}
+	c.metrics.writes.WithLabelValues(result).Inc()
+}
+
+// writeReplica writes one pre-encoded batch to one replica with one
+// extra retry-after-backoff beyond the client's own redial-and-retry,
+// so a replica that flaps mid-write still takes the batch.
+func (c *Cluster) writeReplica(node int, blocks [][]byte, tcs []string) error {
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			if c.metrics != nil {
+				c.metrics.writeRetries.Inc()
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err = c.clients[node].insertBlocks(blocks, tcs); err == nil {
+			c.noteResult(node, nil)
+			return nil
+		}
+	}
+	c.noteResult(node, err)
+	return err
+}
+
 // Query fans the query out and merges results, re-applying sort and
-// limit across shards.
+// limit across shards. With replication each shard is served by one
+// healthy replica (primary-preferred, failing over on error) and the
+// merge dedupes on document identity, so at-least-once duplicate
+// applications collapse to one result row.
 func (c *Cluster) Query(q Query) ([]Document, error) {
 	if len(q.GroupBy) > 0 {
 		return nil, fmt.Errorf("store: use Aggregate for group-by queries")
 	}
+	if c.rf <= 1 {
+		return c.queryUnreplicated(q)
+	}
+	nshards := len(c.clients)
+	results := make([][]Document, nshards)
+	errs := make([]error, nshards)
+	var wg sync.WaitGroup
+	for s := 0; s < nshards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = c.readShardDocs(s, q)
+		}(s)
+	}
+	wg.Wait()
+	var out []Document
+	for s := range results {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+		out = append(out, results[s]...)
+	}
+	out = dedupeDocs(out)
+	sortDocs(out, q.SortBy, q.Desc)
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+func (c *Cluster) queryUnreplicated(q Query) ([]Document, error) {
 	results := make([][]Document, len(c.clients))
 	errs := make([]error, len(c.clients))
 	var wg sync.WaitGroup
@@ -129,21 +586,72 @@ func (c *Cluster) Query(q Query) ([]Document, error) {
 	return out, nil
 }
 
+// readShardDocs queries one shard, trying replicas in health order.
+func (c *Cluster) readShardDocs(s int, q Query) ([]Document, error) {
+	q.Shard = &ShardSel{N: len(c.clients), Shard: s}
+	var lastErr error
+	for i, node := range c.readOrder(s) {
+		docs, err := c.clients[node].Query(q)
+		c.noteResult(node, err)
+		if err == nil {
+			if i > 0 && c.metrics != nil {
+				c.metrics.readFailovers.Inc()
+			}
+			return docs, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("store: shard %d unreadable on all %d replicas: %w", s, c.rf, lastErr)
+}
+
+// dedupeDocs collapses duplicate applications of the same document
+// (at-least-once retries may apply an insert twice on a replica).
+// Documents with an ID dedupe on it; ID-less documents dedupe on full
+// content.
+func dedupeDocs(docs []Document) []Document {
+	if len(docs) < 2 {
+		return docs
+	}
+	seen := make(map[string]bool, len(docs))
+	out := docs[:0]
+	for i := range docs {
+		var key string
+		if docs[i].ID != "" {
+			key = "i\x00" + docs[i].ID
+		} else {
+			key = fmt.Sprintf("h\x00%016x", docHash(&docs[i]))
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, docs[i])
+	}
+	return out
+}
+
 // Aggregate fans out an aggregation and merges partial buckets into
-// final values.
+// final values. With replication each shard's partials come from one
+// healthy replica; duplicate applications on a replica count like the
+// duplicates a single node would hold.
 func (c *Cluster) Aggregate(q Query) ([]GroupResult, error) {
 	if len(q.GroupBy) == 0 {
 		return nil, fmt.Errorf("store: Aggregate requires GroupBy")
 	}
-	partials := make([][]GroupResult, len(c.clients))
-	errs := make([]error, len(c.clients))
+	fan := len(c.clients)
+	partials := make([][]GroupResult, fan)
+	errs := make([]error, fan)
 	var wg sync.WaitGroup
-	for i, cl := range c.clients {
+	for i := 0; i < fan; i++ {
 		wg.Add(1)
-		go func(i int, cl *Client) {
+		go func(i int) {
 			defer wg.Done()
-			partials[i], errs[i] = cl.Aggregate(q)
-		}(i, cl)
+			if c.rf > 1 {
+				partials[i], errs[i] = c.aggregateShard(i, q)
+			} else {
+				partials[i], errs[i] = c.clients[i].Aggregate(q)
+			}
+		}(i)
 	}
 	wg.Wait()
 	merged := make(map[string]*GroupResult)
@@ -172,11 +680,41 @@ func (c *Cluster) Aggregate(q Query) ([]GroupResult, error) {
 	return out, nil
 }
 
-// Count sums counts across shards.
+func (c *Cluster) aggregateShard(s int, q Query) ([]GroupResult, error) {
+	q.Shard = &ShardSel{N: len(c.clients), Shard: s}
+	var lastErr error
+	for i, node := range c.readOrder(s) {
+		groups, err := c.clients[node].Aggregate(q)
+		c.noteResult(node, err)
+		if err == nil {
+			if i > 0 && c.metrics != nil {
+				c.metrics.readFailovers.Inc()
+			}
+			return groups, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("store: shard %d unreadable on all %d replicas: %w", s, c.rf, lastErr)
+}
+
+// Count sums counts across shards, failing over across replicas when
+// replicated. Duplicate applications on a replica inflate the count
+// exactly as they would on a single node.
 func (c *Cluster) Count(f Filter) (int, error) {
+	if c.rf <= 1 {
+		total := 0
+		for _, cl := range c.clients {
+			n, err := cl.Count(f)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return total, nil
+	}
 	total := 0
-	for _, cl := range c.clients {
-		n, err := cl.Count(f)
+	for s := 0; s < len(c.clients); s++ {
+		n, err := c.countShard(s, f)
 		if err != nil {
 			return 0, err
 		}
@@ -185,7 +723,27 @@ func (c *Cluster) Count(f Filter) (int, error) {
 	return total, nil
 }
 
-// Delete removes matching documents everywhere.
+func (c *Cluster) countShard(s int, f Filter) (int, error) {
+	q := Query{Filter: f, Shard: &ShardSel{N: len(c.clients), Shard: s}}
+	var lastErr error
+	for i, node := range c.readOrder(s) {
+		res, err := c.clients[node].call("count", &q, nil)
+		c.noteResult(node, err)
+		if err == nil {
+			if i > 0 && c.metrics != nil {
+				c.metrics.readFailovers.Inc()
+			}
+			return res.resp.N, nil
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("store: shard %d uncountable on all %d replicas: %w", s, c.rf, lastErr)
+}
+
+// Delete removes matching documents everywhere. Filter deletes are
+// idempotent, so with replication the delete simply runs on every node;
+// the returned count totals replica applications (each document counts
+// once per replica holding it).
 func (c *Cluster) Delete(f Filter) (int, error) {
 	total := 0
 	for _, cl := range c.clients {

@@ -187,9 +187,9 @@ func TestDifferentialIndexVsScan(t *testing.T) {
 
 		// Count: exercised at the node layer, where the plan hint lives.
 		f := randomFilter(rng)
-		wantN := n.count(f, PlanScan)
+		wantN := n.count(Query{Filter: f, Plan: PlanScan})
 		for _, plan := range []string{PlanAuto, PlanIndex} {
-			if gotN := n.count(f, plan); gotN != wantN {
+			if gotN := n.count(Query{Filter: f, Plan: plan}); gotN != wantN {
 				t.Fatalf("round %d: count plan %q = %d, scan = %d (filter %+v)", round, plan, gotN, wantN, f)
 			}
 		}

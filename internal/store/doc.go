@@ -139,9 +139,32 @@ const (
 	AggMax   AggKind = "max"
 )
 
+// ShardSel restricts a node-side operation to documents of one logical
+// shard. Nodes in a replicated cluster hold several shards' replicas;
+// per-shard reads, digests, and snapshot pulls carry a ShardSel so a
+// replica answers only for the shard being addressed. N is the cluster
+// shard count (the shard function depends on it) and Shard the shard
+// index in [0, N).
+type ShardSel struct {
+	N     int `json:"n"`
+	Shard int `json:"s"`
+}
+
+// Matches reports whether d belongs to the selected shard. A nil
+// selector matches everything.
+func (s *ShardSel) Matches(d *Document) bool {
+	return s == nil || s.N <= 1 || shardOfDoc(d, s.N) == s.Shard
+}
+
 // Query selects, orders, limits, and optionally aggregates documents.
 type Query struct {
 	Filter Filter `json:"filter"`
+	// Shard restricts the query to documents of one logical shard (see
+	// ShardSel); nil queries the node's full document set.
+	Shard *ShardSel `json:"shard,omitempty"`
+	// Digest parameterizes the "digest" wire op (see DigestRequest);
+	// ignored by every other operation.
+	Digest *DigestRequest `json:"digest,omitempty"`
 	// SortBy orders results by a numeric field ("" keeps insertion
 	// order); the special value "time" sorts by timestamp.
 	SortBy string `json:"sort,omitempty"`

@@ -49,7 +49,7 @@ const (
 // wireRequest is the control header for one client->node request.
 type wireRequest struct {
 	ID    uint64 `json:"id"`
-	Op    string `json:"op"` // insert, query, delete, count, ping
+	Op    string `json:"op"` // insert, query, delete, count, ping, digest, snapshot
 	Query *Query `json:"query,omitempty"`
 	// Blocks counts the frameDocs frames that follow this header.
 	Blocks int `json:"blocks,omitempty"`
@@ -70,6 +70,12 @@ type wireResponse struct {
 	N      int           `json:"n"`
 	// Blocks counts the frameDocs frames that follow this header.
 	Blocks int `json:"blocks,omitempty"`
+	// Digests answers the "digest" op (per-interval replica content
+	// digests; see replica.go). Version-tolerant: old clients ignore it.
+	Digests []IntervalDigest `json:"digests,omitempty"`
+	// Seq is the node's applied insert sequence at the time a
+	// "snapshot" op read its document set — the bootstrap cutover point.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // wireFloat carries a float64 through the JSON control frame without
@@ -168,6 +174,19 @@ func writeStoreFrame(w io.Writer, typ byte, payload []byte) error {
 // readStoreFrame reads one frame, validating magic, version, type, and
 // the payload length bound before allocating.
 func readStoreFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	return readStoreFrameInto(r, nil)
+}
+
+// frameScratchMax bounds how large a reused frame buffer is retained;
+// oversized payloads get a one-off allocation so a single huge frame
+// does not pin memory for the connection's lifetime.
+const frameScratchMax = 1 << 20
+
+// readStoreFrameInto is readStoreFrame reusing *scratch for the payload
+// when it is large enough. The returned payload is only valid until the
+// next call with the same scratch; callers that retain decoded data
+// must copy it out (decodeDocBlock and unmarshalControl both do).
+func readStoreFrameInto(r io.Reader, scratch *[]byte) (typ byte, payload []byte, err error) {
 	var hdr [storeFrameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -185,7 +204,14 @@ func readStoreFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	if n > maxStoreFramePayload {
 		return 0, nil, fmt.Errorf("store: frame payload %d exceeds %d", n, maxStoreFramePayload)
 	}
-	payload = make([]byte, n)
+	if scratch != nil && n <= frameScratchMax {
+		if uint32(cap(*scratch)) < n {
+			*scratch = make([]byte, n)
+		}
+		payload = (*scratch)[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
@@ -211,6 +237,22 @@ const docBlockHeaderLen = 4
 func appendDocBlock(buf []byte, docs []Document) ([]byte, error) {
 	if len(docs) > blockMaxDocs {
 		return nil, fmt.Errorf("store: doc block of %d exceeds %d", len(docs), blockMaxDocs)
+	}
+	if buf == nil {
+		// Size the buffer exactly up front instead of growing through
+		// half a dozen reallocate-and-copy cycles.
+		need := docBlockHeaderLen
+		for i := range docs {
+			d := &docs[i]
+			need += 2 + len(d.ID) + 8 + 2 + 2
+			for k, v := range d.Tags {
+				need += 4 + len(k) + len(v)
+			}
+			for k := range d.Fields {
+				need += 2 + len(k) + 8
+			}
+		}
+		buf = make([]byte, 0, need)
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(docs)))
 	appendStr := func(s string) bool {
@@ -251,6 +293,64 @@ func appendDocBlock(buf []byte, docs []Document) ([]byte, error) {
 // arbitrary input: every length is validated against the remaining
 // payload before any allocation sized from it.
 func decodeDocBlock(payload []byte) ([]Document, error) {
+	return decodeDocBlockIn(payload, nil)
+}
+
+// internTable deduplicates the repetitive wire strings — tag keys, tag
+// values, field names — so steady-state decoding stops allocating a
+// fresh copy of "dpid" per document. One table serves one connection
+// (or one snapshot load), so no locking. Document IDs are unique and
+// must not pass through it. Bounded: once full, unseen strings fall
+// back to plain allocation, so adversarial cardinality costs speed, not
+// memory.
+type internTable struct {
+	m map[string]string
+	// tagMaps, when non-nil, interns whole Tags maps keyed by the raw
+	// wire bytes of the tag section (which are self-delimiting, so the
+	// key is injective). Distinct documents then share one map for one
+	// logical tag set. Only safe where decoded documents never have
+	// their Tags mutated — the node apply and snapshot-load paths, not
+	// the client, whose Query results are caller-owned.
+	tagMaps map[string]map[string]string
+}
+
+const internTableMax = 1 << 16
+
+func newInternTable() *internTable {
+	return &internTable{m: make(map[string]string, 64)}
+}
+
+// newNodeInternTable is newInternTable plus whole-tag-map interning.
+func newNodeInternTable() *internTable {
+	t := newInternTable()
+	t.tagMaps = make(map[string]map[string]string, 64)
+	return t
+}
+
+// get returns the canonical copy of b, allocating only on first sight.
+// The map lookup with a string(b) key compiles to a no-alloc probe.
+func (t *internTable) get(b []byte) string {
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(t.m) < internTableMax {
+		t.m[s] = s
+	}
+	return s
+}
+
+// decodeDocBlockIn is decodeDocBlock with an optional intern table for
+// the repeated strings; the payload is fully copied out either way, so
+// callers may reuse its backing buffer.
+func decodeDocBlockIn(payload []byte, in *internTable) ([]Document, error) {
+	return decodeDocBlockInto(payload, in, nil)
+}
+
+// decodeDocBlockInto is decodeDocBlockIn decoding into dst (grown as
+// needed) so a caller that recycles request slices can avoid the
+// per-message allocation.
+func decodeDocBlockInto(payload []byte, in *internTable, dst []Document) ([]Document, error) {
 	if len(payload) < docBlockHeaderLen {
 		return nil, fmt.Errorf("store: doc block short header (%d bytes)", len(payload))
 	}
@@ -265,30 +365,39 @@ func decodeDocBlock(payload []byte) ([]Document, error) {
 	}
 	body := payload[docBlockHeaderLen:]
 	off := 0
-	readStr := func() (string, bool) {
+	readBytes := func() ([]byte, bool) {
 		if off+2 > len(body) {
-			return "", false
+			return nil, false
 		}
 		n := int(binary.BigEndian.Uint16(body[off:]))
 		off += 2
 		if off+n > len(body) {
-			return "", false
+			return nil, false
 		}
-		s := string(body[off : off+n])
+		b := body[off : off+n]
 		off += n
-		return s, true
+		return b, true
+	}
+	intern := func(b []byte) string {
+		if in != nil {
+			return in.get(b)
+		}
+		return string(b)
 	}
 	short := func() ([]Document, error) {
 		return nil, fmt.Errorf("store: doc block truncated at offset %d", off)
 	}
-	docs := make([]Document, 0, ndocs)
+	docs := dst[:0]
+	if cap(docs) < int(ndocs) {
+		docs = make([]Document, 0, ndocs)
+	}
 	for i := uint32(0); i < ndocs; i++ {
 		var d Document
-		id, ok := readStr()
+		id, ok := readBytes()
 		if !ok {
 			return short()
 		}
-		d.ID = id
+		d.ID = string(id)
 		if off+8 > len(body) {
 			return short()
 		}
@@ -300,17 +409,34 @@ func decodeDocBlock(payload []byte) ([]Document, error) {
 		ntags := int(binary.BigEndian.Uint16(body[off:]))
 		off += 2
 		if ntags > 0 {
-			d.Tags = make(map[string]string, ntags)
-			for j := 0; j < ntags; j++ {
-				k, ok := readStr()
-				if !ok {
+			// First pass validates the section and finds its extent; the
+			// raw wire bytes (ntags included) then key the map-intern
+			// cache, and only a miss builds a map on the second pass.
+			sigStart := off - 2
+			tagStart := off
+			for j := 0; j < 2*ntags; j++ {
+				if _, ok := readBytes(); !ok {
 					return short()
 				}
-				v, ok := readStr()
-				if !ok {
-					return short()
+			}
+			var shared map[string]string
+			if in != nil && in.tagMaps != nil {
+				shared = in.tagMaps[string(body[sigStart:off])]
+			}
+			if shared != nil {
+				d.Tags = shared
+			} else {
+				tagEnd := off
+				off = tagStart
+				d.Tags = make(map[string]string, ntags)
+				for j := 0; j < ntags; j++ {
+					k, _ := readBytes()
+					v, _ := readBytes()
+					d.Tags[intern(k)] = intern(v)
 				}
-				d.Tags[k] = v
+				if in != nil && in.tagMaps != nil && len(in.tagMaps) < internTableMax {
+					in.tagMaps[string(body[sigStart:tagEnd])] = d.Tags
+				}
 			}
 		}
 		if off+2 > len(body) {
@@ -321,14 +447,14 @@ func decodeDocBlock(payload []byte) ([]Document, error) {
 		if nfields > 0 {
 			d.Fields = make(map[string]float64, nfields)
 			for j := 0; j < nfields; j++ {
-				k, ok := readStr()
+				k, ok := readBytes()
 				if !ok {
 					return short()
 				}
 				if off+8 > len(body) {
 					return short()
 				}
-				d.Fields[k] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+				d.Fields[intern(k)] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
 				off += 8
 			}
 		}
@@ -343,6 +469,35 @@ func decodeDocBlock(payload []byte) ([]Document, error) {
 // docBlocks counts the frameDocs frames needed for n documents.
 func docBlocks(n int) int {
 	return (n + blockMaxDocs - 1) / blockMaxDocs
+}
+
+// encodeDocBlocks packs documents into frameDocs payloads, one per
+// block. The replication fan-out uses it to encode a batch once and
+// ship the same bytes to every replica.
+func encodeDocBlocks(docs []Document) ([][]byte, error) {
+	return encodeDocBlocksBuf(docs, nil)
+}
+
+// encodeDocBlocksBuf is encodeDocBlocks reusing scratch as the first
+// block's buffer (the common whole-batch-in-one-block case).
+func encodeDocBlocksBuf(docs []Document, scratch []byte) ([][]byte, error) {
+	blocks := make([][]byte, 0, docBlocks(len(docs)))
+	for lo := 0; lo < len(docs); lo += blockMaxDocs {
+		hi := lo + blockMaxDocs
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		base := []byte(nil)
+		if lo == 0 && scratch != nil {
+			base = scratch[:0]
+		}
+		payload, err := appendDocBlock(base, docs[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, payload)
+	}
+	return blocks, nil
 }
 
 // unmarshalControl parses a control frame payload.
@@ -381,22 +536,34 @@ func writeMessage(w io.Writer, control any, docs []Document, scratch []byte) ([]
 }
 
 // readBlocks reads n frameDocs frames and concatenates their documents.
-func readBlocks(r io.Reader, n int) ([]Document, error) {
+// The intern table and scratch buffer are per-connection decode state;
+// both may be nil. getDst, when non-nil, supplies a recycled slice for
+// the first block's documents (the caller owns the recycling contract).
+func readBlocks(r io.Reader, n int, in *internTable, scratch *[]byte, getDst func() []Document) ([]Document, error) {
 	if n < 0 || n > maxBlocksPerMessage {
 		return nil, fmt.Errorf("store: message announces %d doc blocks", n)
 	}
 	var docs []Document
 	for i := 0; i < n; i++ {
-		typ, payload, err := readStoreFrame(r)
+		typ, payload, err := readStoreFrameInto(r, scratch)
 		if err != nil {
 			return nil, err
 		}
 		if typ != frameDocs {
 			return nil, fmt.Errorf("store: expected doc block, got frame type %d", typ)
 		}
-		block, err := decodeDocBlock(payload)
+		var dst []Document
+		if i == 0 && getDst != nil {
+			dst = getDst()
+		}
+		block, err := decodeDocBlockInto(payload, in, dst)
 		if err != nil {
 			return nil, err
+		}
+		if n == 1 {
+			// Single-block message (every batch up to blockMaxDocs docs):
+			// the decoded slice is already exactly the answer.
+			return block, nil
 		}
 		docs = append(docs, block...)
 	}

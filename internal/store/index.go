@@ -1,6 +1,9 @@
 package store
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Secondary indexes. Each node keeps its shard in a slot-addressed
 // table: documents append to a slice, deletions tombstone in place, and
@@ -50,7 +53,11 @@ type table struct {
 	dead  int
 
 	// tags maps "name\x00value" to the slots holding that exact tag.
-	tags map[string]posting
+	// Postings are boxed so the insert hot path can probe with a reused
+	// byte-slice key (a no-alloc map lookup) and only materialize the
+	// key string the first time a name/value pair is seen.
+	tags   map[string]*posting
+	keyBuf []byte
 	// timeSorted + timeTail form the time index: a sorted run plus a
 	// small unsorted tail of recent inserts.
 	timeSorted []timeEnt
@@ -58,23 +65,39 @@ type table struct {
 }
 
 func newTable() *table {
-	return &table{tags: make(map[string]posting)}
+	return &table{tags: make(map[string]*posting)}
 }
 
 func tagKey(name, value string) string {
 	return name + "\x00" + value
 }
 
+// tagSlots returns the posting list for one exact name/value pair.
+func (t *table) tagSlots(name, value string) posting {
+	if p := t.tags[tagKey(name, value)]; p != nil {
+		return *p
+	}
+	return nil
+}
+
 // insert appends documents, indexing every tag and timestamp.
 func (t *table) insert(docs []Document) {
+	t.docs = slices.Grow(t.docs, len(docs))
+	t.alive = slices.Grow(t.alive, len(docs))
+	t.timeTail = slices.Grow(t.timeTail, len(docs))
 	for i := range docs {
 		slot := int32(len(t.docs))
 		t.docs = append(t.docs, docs[i])
 		t.alive = append(t.alive, true)
 		t.live++
 		for k, v := range docs[i].Tags {
-			key := tagKey(k, v)
-			t.tags[key] = append(t.tags[key], slot)
+			t.keyBuf = append(append(append(t.keyBuf[:0], k...), 0), v...)
+			p := t.tags[string(t.keyBuf)]
+			if p == nil {
+				p = new(posting)
+				t.tags[string(t.keyBuf)] = p
+			}
+			*p = append(*p, slot)
 		}
 		t.timeTail = append(t.timeTail, timeEnt{docs[i].Time, slot})
 	}
@@ -143,12 +166,12 @@ func (t *table) plan(f Filter, hint string) planned {
 		if !c.Equals {
 			continue
 		}
-		consider(kindTag, len(t.tags[tagKey(c.Tag, c.Value)]), i)
+		consider(kindTag, len(t.tagSlots(c.Tag, c.Value)), i)
 	}
 	for i, c := range f.TagIn {
 		cost := 0
 		for _, v := range c.Values {
-			cost += len(t.tags[tagKey(c.Tag, v)])
+			cost += len(t.tagSlots(c.Tag, v))
 		}
 		consider(kindTagIn, cost, i)
 	}
@@ -165,12 +188,12 @@ func (t *table) plan(f Filter, hint string) planned {
 	switch bestKind {
 	case kindTag:
 		c := f.Tags[bestArg]
-		return planned{kind: "tag", slots: t.tags[tagKey(c.Tag, c.Value)]}
+		return planned{kind: "tag", slots: t.tagSlots(c.Tag, c.Value)}
 	case kindTagIn:
 		c := f.TagIn[bestArg]
 		lists := make([]posting, 0, len(c.Values))
 		for _, v := range c.Values {
-			if p := t.tags[tagKey(c.Tag, v)]; len(p) > 0 {
+			if p := t.tagSlots(c.Tag, v); len(p) > 0 {
 				lists = append(lists, p)
 			}
 		}
@@ -290,7 +313,7 @@ func (t *table) maybeCompact() {
 			liveDocs = append(liveDocs, t.docs[i])
 		}
 	}
-	*t = table{tags: make(map[string]posting, len(t.tags))}
+	*t = table{tags: make(map[string]*posting, len(t.tags))}
 	t.insert(liveDocs)
 	t.mergeTimeTail()
 }

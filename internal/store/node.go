@@ -27,6 +27,9 @@ type Node struct {
 
 	mu  sync.RWMutex
 	tab *table
+	// seq counts applied insert batches; the snapshot RPC reports it as
+	// the transfer's cutover point.
+	seq uint64
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -192,8 +195,28 @@ func (n *Node) handle(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	var wmu sync.Mutex
 	sem := make(chan struct{}, nodeConnConcurrency)
+	// Per-connection decode state: the read loop below is the only
+	// user, so no locking. The intern table makes repeated tag keys,
+	// tag values, field names — and whole tag maps, which the node
+	// never mutates once stored — share one allocation across the
+	// connection's whole life.
+	in := newNodeInternTable()
+	var scratch []byte
+	// free recycles request doc slices between messages: a slice goes
+	// back once its request finished executing (the table copies the
+	// documents out), so steady-state inserts stop allocating one slice
+	// per message. Capacity matches the in-flight request bound.
+	free := make(chan []Document, nodeConnConcurrency)
+	getDst := func() []Document {
+		select {
+		case b := <-free:
+			return b
+		default:
+			return nil
+		}
+	}
 	for {
-		req, docs, err := readRequest(br)
+		req, docs, err := readRequest(br, in, &scratch, getDst)
 		if err != nil {
 			return
 		}
@@ -205,6 +228,12 @@ func (n *Node) handle(conn net.Conn) {
 				reqWG.Done()
 			}()
 			resp, out := n.execute(req, docs)
+			if cap(docs) > 0 {
+				select {
+				case free <- docs[:0]:
+				default:
+				}
+			}
 			resp.ID = req.ID
 			resp.Blocks = docBlocks(len(out))
 			wmu.Lock()
@@ -220,9 +249,11 @@ func (n *Node) handle(conn net.Conn) {
 	}
 }
 
-// readRequest reads one control header plus its doc blocks.
-func readRequest(r *bufio.Reader) (wireRequest, []Document, error) {
-	typ, payload, err := readStoreFrame(r)
+// readRequest reads one control header plus its doc blocks. The intern
+// table, scratch buffer, and recycled-slice source are optional
+// per-connection decode state.
+func readRequest(r *bufio.Reader, in *internTable, scratch *[]byte, getDst func() []Document) (wireRequest, []Document, error) {
+	typ, payload, err := readStoreFrameInto(r, scratch)
 	if err != nil {
 		return wireRequest{}, nil, err
 	}
@@ -233,7 +264,7 @@ func readRequest(r *bufio.Reader) (wireRequest, []Document, error) {
 	if err := unmarshalControl(payload, &req); err != nil {
 		return wireRequest{}, nil, err
 	}
-	docs, err := readBlocks(r, req.Blocks)
+	docs, err := readBlocks(r, req.Blocks, in, scratch, getDst)
 	if err != nil {
 		return wireRequest{}, nil, err
 	}
@@ -255,11 +286,18 @@ func (n *Node) execute(req wireRequest, docs []Document) (wireResponse, []Docume
 			return wireResponse{Err: "query missing"}, nil
 		}
 		return n.query(*req.Query)
+	case "digest":
+		if req.Query == nil {
+			return wireResponse{Err: "query missing"}, nil
+		}
+		return n.digest(*req.Query), nil
+	case "snapshot":
+		return n.snapshotOp(req.Query)
 	case "count":
 		if req.Query == nil {
 			return wireResponse{Err: "query missing"}, nil
 		}
-		return wireResponse{OK: true, N: n.count(req.Query.Filter, req.Query.Plan)}, nil
+		return wireResponse{OK: true, N: n.count(*req.Query)}, nil
 	case "delete":
 		if req.Query == nil {
 			return wireResponse{Err: "query missing"}, nil
@@ -273,8 +311,52 @@ func (n *Node) execute(req wireRequest, docs []Document) (wireResponse, []Docume
 func (n *Node) insert(docs []Document) {
 	n.mu.Lock()
 	n.tab.insert(docs)
+	n.seq++
 	n.mu.Unlock()
 	n.metrics.inserted.Add(uint64(len(docs)))
+}
+
+// digest computes per-interval content digests (replica.go) over the
+// documents selected by the query's shard selector and filter.
+func (n *Node) digest(q Query) wireResponse {
+	ivl := repairIntervalNs
+	if q.Digest != nil {
+		ivl = q.Digest.IntervalNs
+	}
+	b := newDigestBuilder(ivl)
+	sel := q.Shard
+	n.mu.RLock()
+	kind := n.tab.matchEach(q.Filter, q.Plan, func(_ int32, d *Document) {
+		if sel.Matches(d) {
+			b.add(d)
+		}
+	})
+	n.mu.RUnlock()
+	n.countPlan(kind)
+	return wireResponse{OK: true, Digests: b.digests(), N: len(b.seen)}
+}
+
+// snapshotOp streams the node's documents (optionally one shard's) back
+// over the wire together with the node's insert sequence — the cutover
+// marker a bootstrap records: inserts applied before it are included,
+// later ones travel the normal write path.
+func (n *Node) snapshotOp(q *Query) (wireResponse, []Document) {
+	var sel *ShardSel
+	var f Filter
+	if q != nil {
+		sel, f = q.Shard, q.Filter
+	}
+	n.mu.RLock()
+	seq := n.seq
+	var out []Document
+	kind := n.tab.matchEach(f, PlanAuto, func(_ int32, d *Document) {
+		if sel.Matches(d) {
+			out = append(out, *d)
+		}
+	})
+	n.mu.RUnlock()
+	n.countPlan(kind)
+	return wireResponse{OK: true, N: len(out), Seq: seq}, out
 }
 
 // observeTraced closes the published→applied leg for every trace
@@ -304,10 +386,15 @@ func (n *Node) countPlan(kind string) {
 	n.metrics.plans.WithLabelValues(n.Addr(), kind).Inc()
 }
 
-func (n *Node) count(f Filter, hint string) int {
+func (n *Node) count(q Query) int {
+	sel := q.Shard
 	n.mu.RLock()
 	c := 0
-	kind := n.tab.matchEach(f, hint, func(int32, *Document) { c++ })
+	kind := n.tab.matchEach(q.Filter, q.Plan, func(_ int32, d *Document) {
+		if sel.Matches(d) {
+			c++
+		}
+	})
 	n.mu.RUnlock()
 	n.countPlan(kind)
 	return c
@@ -326,10 +413,13 @@ func (n *Node) query(q Query) (wireResponse, []Document) {
 	if len(q.GroupBy) > 0 {
 		return n.aggregate(q)
 	}
+	sel := q.Shard
 	n.mu.RLock()
 	var out []Document
 	kind := n.tab.matchEach(q.Filter, q.Plan, func(_ int32, d *Document) {
-		out = append(out, *d)
+		if sel.Matches(d) {
+			out = append(out, *d)
+		}
 	})
 	n.mu.RUnlock()
 	n.countPlan(kind)
@@ -359,9 +449,13 @@ func sortDocs(docs []Document, by string, desc bool) {
 }
 
 func (n *Node) aggregate(q Query) (wireResponse, []Document) {
+	sel := q.Shard
 	n.mu.RLock()
 	groups := make(map[string]*GroupResult)
 	kind := n.tab.matchEach(q.Filter, q.Plan, func(_ int32, d *Document) {
+		if !sel.Matches(d) {
+			return
+		}
 		keys := make([]string, len(q.GroupBy))
 		for i, tag := range q.GroupBy {
 			keys[i] = d.Tag(tag)

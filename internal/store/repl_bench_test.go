@@ -1,0 +1,70 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDoc mirrors the athena-bench store document shape.
+func benchDoc(i int) Document {
+	return Document{
+		ID:   fmt.Sprintf("d-%d", i),
+		Time: int64(i + 1),
+		Tags: map[string]string{
+			"dpid": fmt.Sprintf("%d", i%256),
+			"app":  []string{"lb", "fw", "ids", "nat"}[i%4],
+		},
+		Fields: map[string]float64{
+			"byte_count":   float64(i % 10_000),
+			"packet_count": float64(i % 512),
+		},
+	}
+}
+
+// BenchmarkClusterInsertReplicated measures the quorum-acknowledged
+// batched write path: 256-doc batches into a 3-node RF=3 W=2 cluster.
+func BenchmarkClusterInsertReplicated(b *testing.B) {
+	benchmarkClusterInsert(b, 3)
+}
+
+// BenchmarkClusterInsertSharded is the same batch size through the
+// unreplicated cluster path, isolating the replication overhead from
+// the cluster/sharding overhead.
+func BenchmarkClusterInsertSharded(b *testing.B) {
+	benchmarkClusterInsert(b, 1)
+}
+
+func benchmarkClusterInsert(b *testing.B, rf int) {
+	const nodes = 3
+	ns := make([]*Node, nodes)
+	addrs := make([]string, nodes)
+	for i := range ns {
+		n, err := NewNode("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		ns[i] = n
+		addrs[i] = n.Addr()
+	}
+	c, err := ConnectCluster(ClusterConfig{Addrs: addrs, ReplicationFactor: rf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const batchSize = 256
+	batch := make([]Document, batchSize)
+	for i := range batch {
+		batch[i] = benchDoc(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}

@@ -1,0 +1,475 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+)
+
+// Replica convergence machinery: content digests, the anti-entropy
+// repair loop, and snapshot bootstrap for a joining or restarted
+// replica.
+//
+// Digests use set semantics over per-document content hashes: a replica
+// holding a document twice (an at-least-once retry applied the same
+// insert on both attempts) digests identically to one holding it once,
+// so "digest-equal" means "same document set", which is exactly the
+// replication invariant — duplicates are permitted, loss is not.
+
+// DigestRequest asks a node for per-interval content digests; it rides
+// the Query header (Query.Digest), with Query.Shard/Query.Filter
+// scoping which documents digest.
+type DigestRequest struct {
+	// IntervalNs is the time-bucket width; documents digest into the
+	// interval floor(time/IntervalNs). Zero or negative uses one
+	// interval covering everything.
+	IntervalNs int64 `json:"ivl,omitempty"`
+}
+
+// IntervalDigest summarizes one time bucket: the number of distinct
+// document contents and the wrapping sum of their hashes. Two replicas
+// agree on an interval iff Count and Hash both match.
+type IntervalDigest struct {
+	From  int64  `json:"from"`
+	Count int    `json:"count"`
+	Hash  uint64 `json:"hash"`
+}
+
+// docHash computes a canonical content hash of one document: FNV-64a
+// over the ID, the timestamp, the sorted tags, and the sorted fields
+// (float64 bit patterns, so NaN/±Inf hash deterministically).
+func docHash(d *Document) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	h.Write([]byte(d.ID))
+	binary.BigEndian.PutUint64(buf[:], uint64(d.Time))
+	h.Write(buf[:])
+	if len(d.Tags) > 0 {
+		keys := make([]string, 0, len(d.Tags))
+		for k := range d.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h.Write([]byte(k))
+			h.Write([]byte{0})
+			h.Write([]byte(d.Tags[k]))
+			h.Write([]byte{0})
+		}
+	}
+	if len(d.Fields) > 0 {
+		keys := make([]string, 0, len(d.Fields))
+		for k := range d.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h.Write([]byte(k))
+			h.Write([]byte{0})
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(d.Fields[k]))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// digestInterval maps a timestamp to its interval start.
+func digestInterval(t, ivl int64) int64 {
+	if ivl <= 0 {
+		return 0
+	}
+	start := t / ivl * ivl
+	if t < 0 && t%ivl != 0 {
+		start -= ivl
+	}
+	return start
+}
+
+// buildDigests folds per-document hashes into sorted interval digests
+// with set semantics (duplicate contents collapse).
+type digestBuilder struct {
+	ivl  int64
+	seen map[uint64]bool
+	sums map[int64]*IntervalDigest
+}
+
+func newDigestBuilder(ivl int64) *digestBuilder {
+	return &digestBuilder{ivl: ivl, seen: make(map[uint64]bool), sums: make(map[int64]*IntervalDigest)}
+}
+
+func (b *digestBuilder) add(d *Document) {
+	h := docHash(d)
+	if b.seen[h] {
+		return
+	}
+	b.seen[h] = true
+	start := digestInterval(d.Time, b.ivl)
+	ig, ok := b.sums[start]
+	if !ok {
+		ig = &IntervalDigest{From: start}
+		b.sums[start] = ig
+	}
+	ig.Count++
+	ig.Hash += h
+}
+
+func (b *digestBuilder) digests() []IntervalDigest {
+	out := make([]IntervalDigest, 0, len(b.sums))
+	for _, ig := range b.sums {
+		out = append(out, *ig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// DigestsEqual reports whether two replica digest summaries describe
+// the same document set.
+func DigestsEqual(a, b []IntervalDigest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// divergentIntervals lists the interval starts where a and b disagree
+// (present in one only, or differing in count/hash).
+func divergentIntervals(a, b []IntervalDigest) []int64 {
+	am := make(map[int64]IntervalDigest, len(a))
+	for _, ig := range a {
+		am[ig.From] = ig
+	}
+	bad := map[int64]bool{}
+	for _, ig := range b {
+		if other, ok := am[ig.From]; !ok || other != ig {
+			bad[ig.From] = true
+		}
+		delete(am, ig.From)
+	}
+	for from := range am {
+		bad[from] = true
+	}
+	out := make([]int64, 0, len(bad))
+	for from := range bad {
+		out = append(out, from)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// repairIntervalNs is the digest bucket width used by RepairOnce: wide
+// enough that steady-state digests stay small, narrow enough that a
+// divergent interval re-ships a bounded document slice.
+const repairIntervalNs = int64(time.Minute)
+
+// RepairStats summarizes one anti-entropy round.
+type RepairStats struct {
+	// ShardsChecked counts (shard, replica-pair) digest comparisons.
+	ShardsChecked int
+	// Mismatches counts divergent digest intervals found.
+	Mismatches int
+	// DocsShipped counts documents copied onto a replica that was
+	// missing them.
+	DocsShipped int
+}
+
+// RepairOnce runs one anti-entropy round: for every shard, the first
+// reachable replica acts as the exchange hub; each other replica swaps
+// per-interval digests with it, and for every divergent interval the
+// two sides' document sets are compared by content hash and each side
+// re-ships what the other is missing. Two rounds converge an arbitrary
+// pairwise divergence (round one funnels everything into the hub, round
+// two fans the union back out).
+func (c *Cluster) RepairOnce() (RepairStats, error) {
+	var stats RepairStats
+	if c.rf <= 1 {
+		return stats, nil
+	}
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	var firstErr error
+	for s := 0; s < len(c.clients); s++ {
+		if err := c.repairShard(s, &stats); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.metrics != nil {
+		c.metrics.repairRounds.Inc()
+		c.metrics.digestMismatches.Add(uint64(stats.Mismatches))
+		c.metrics.repairDocs.Add(uint64(stats.DocsShipped))
+	}
+	return stats, firstErr
+}
+
+func (c *Cluster) repairShard(s int, stats *RepairStats) error {
+	set := c.replicaSet(s)
+	sel := &ShardSel{N: len(c.clients), Shard: s}
+
+	// Hub: the first replica whose digest request succeeds.
+	hub := -1
+	var hubDig []IntervalDigest
+	var lastErr error
+	for _, node := range set {
+		dig, err := c.clients[node].Digests(sel, repairIntervalNs)
+		c.noteResult(node, err)
+		if err == nil {
+			hub, hubDig = node, dig
+			break
+		}
+		lastErr = err
+	}
+	if hub < 0 {
+		return fmt.Errorf("store: shard %d repair: no replica reachable: %w", s, lastErr)
+	}
+	for _, node := range set {
+		if node == hub {
+			continue
+		}
+		dig, err := c.clients[node].Digests(sel, repairIntervalNs)
+		c.noteResult(node, err)
+		if err != nil {
+			// A down replica converges on a later round (or via
+			// bootstrap); keep repairing the reachable ones.
+			lastErr = err
+			continue
+		}
+		stats.ShardsChecked++
+		divergent := divergentIntervals(hubDig, dig)
+		if len(divergent) == 0 {
+			continue
+		}
+		stats.Mismatches += len(divergent)
+		shipped, err := c.reconcileIntervals(sel, hub, node, divergent)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		stats.DocsShipped += shipped
+		if shipped > 0 {
+			// The hub may have absorbed documents; refresh its digest so
+			// later pairs compare against the updated set.
+			if hubDig, err = c.clients[hub].Digests(sel, repairIntervalNs); err != nil {
+				lastErr = err
+			}
+		}
+	}
+	return lastErr
+}
+
+// reconcileIntervals fetches both replicas' documents for each
+// divergent interval and ships the set difference in both directions.
+func (c *Cluster) reconcileIntervals(sel *ShardSel, a, b int, intervals []int64) (int, error) {
+	shipped := 0
+	for _, from := range intervals {
+		q := Query{Shard: sel, Filter: Filter{TimeFrom: from, TimeTo: from + repairIntervalNs}}
+		if from == 0 {
+			// Interval 0 also holds unbounded-time documents when the
+			// digest ran with one catch-all interval; refetch everything
+			// below the upper bound.
+			q.Filter.TimeFrom = 0
+		}
+		docsA, err := c.clients[a].Query(q)
+		if err != nil {
+			return shipped, err
+		}
+		docsB, err := c.clients[b].Query(q)
+		if err != nil {
+			return shipped, err
+		}
+		missB := missingDocs(docsA, docsB)
+		missA := missingDocs(docsB, docsA)
+		if len(missB) > 0 {
+			if err := c.clients[b].Insert(missB); err != nil {
+				return shipped, err
+			}
+			shipped += len(missB)
+		}
+		if len(missA) > 0 {
+			if err := c.clients[a].Insert(missA); err != nil {
+				return shipped, err
+			}
+			shipped += len(missA)
+		}
+	}
+	return shipped, nil
+}
+
+// missingDocs returns the documents of have whose content hash is
+// absent from want (set difference, duplicate-insensitive).
+func missingDocs(have, want []Document) []Document {
+	wantSet := make(map[uint64]bool, len(want))
+	for i := range want {
+		wantSet[docHash(&want[i])] = true
+	}
+	var out []Document
+	seen := make(map[uint64]bool)
+	for i := range have {
+		h := docHash(&have[i])
+		if wantSet[h] || seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, have[i])
+	}
+	return out
+}
+
+// repairLoop is the background anti-entropy driver.
+func (c *Cluster) repairLoop(interval time.Duration) {
+	defer close(c.repairDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			_, _ = c.RepairOnce()
+		case <-c.repairStop:
+			return
+		}
+	}
+}
+
+// BootstrapReplica streams a snapshot of every shard hosted by node
+// into it from a healthy peer replica, returning how many documents
+// were shipped. It is meant for an empty joining or freshly restarted
+// replica: the target is already part of the write fan-out while the
+// transfer runs (clients dial on demand), so writes concurrent with the
+// snapshot land on it directly — the snapshot covers everything applied
+// before its sequence point, live traffic covers everything after, and
+// a following RepairOnce closes any crash-window residue.
+//
+// Shipping is a content diff against the target's current shard state,
+// so bootstrap is idempotent: whatever a concurrent or earlier
+// anti-entropy round already delivered is skipped, not duplicated.
+func (c *Cluster) BootstrapReplica(node int) (int, error) {
+	if node < 0 || node >= len(c.clients) {
+		return 0, fmt.Errorf("store: bootstrap node %d out of range", node)
+	}
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	total := 0
+	for s := 0; s < len(c.clients); s++ {
+		set := c.replicaSet(s)
+		member := false
+		for _, n := range set {
+			if n == node {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		sel := &ShardSel{N: len(c.clients), Shard: s}
+		var (
+			docs    []Document
+			lastErr error
+			pulled  bool
+		)
+		for _, src := range set {
+			if src == node {
+				continue
+			}
+			var err error
+			docs, _, err = c.clients[src].Snapshot(sel)
+			c.noteResult(src, err)
+			if err == nil {
+				pulled = true
+				break
+			}
+			lastErr = err
+		}
+		if !pulled {
+			return total, fmt.Errorf("store: bootstrap shard %d: no source replica reachable: %w", s, lastErr)
+		}
+		if len(docs) == 0 {
+			continue
+		}
+		have, _, err := c.clients[node].Snapshot(sel)
+		if err != nil {
+			return total, fmt.Errorf("store: bootstrap shard %d: target snapshot: %w", s, err)
+		}
+		ship := missingDocs(docs, have)
+		if len(ship) == 0 {
+			continue
+		}
+		if err := c.clients[node].Insert(ship); err != nil {
+			return total, fmt.Errorf("store: bootstrap shard %d: %w", s, err)
+		}
+		total += len(ship)
+	}
+	if c.metrics != nil {
+		c.metrics.bootstrapDocs.Add(uint64(total))
+	}
+	return total, nil
+}
+
+// ReplicaDigests returns each replica's digest summary for shard s, in
+// replica-set order, so callers (chaos tests, operators) can assert
+// convergence. Unreachable replicas yield an error.
+func (c *Cluster) ReplicaDigests(s int) ([][]IntervalDigest, error) {
+	if s < 0 || s >= len(c.clients) {
+		return nil, fmt.Errorf("store: shard %d out of range", s)
+	}
+	sel := &ShardSel{N: len(c.clients), Shard: s}
+	set := c.replicaSet(s)
+	out := make([][]IntervalDigest, 0, len(set))
+	for _, node := range set {
+		dig, err := c.clients[node].Digests(sel, repairIntervalNs)
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d replica %d digest: %w", s, node, err)
+		}
+		out = append(out, dig)
+	}
+	return out, nil
+}
+
+// Converged reports whether every shard's replicas are digest-equal.
+func (c *Cluster) Converged() (bool, error) {
+	if c.rf <= 1 {
+		return true, nil
+	}
+	for s := 0; s < len(c.clients); s++ {
+		digs, err := c.ReplicaDigests(s)
+		if err != nil {
+			return false, err
+		}
+		for i := 1; i < len(digs); i++ {
+			if !DigestsEqual(digs[0], digs[i]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Digests asks the node for per-interval content digests of one
+// shard's documents (nil sel digests the full document set).
+func (c *Client) Digests(sel *ShardSel, intervalNs int64) ([]IntervalDigest, error) {
+	q := Query{Shard: sel, Digest: &DigestRequest{IntervalNs: intervalNs}}
+	res, err := c.call("digest", &q, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.resp.Digests, nil
+}
+
+// Snapshot streams the node's documents (optionally one shard's) over
+// the wire, returning them with the node's insert sequence at the
+// snapshot point — the cutover marker: every insert the node applied
+// before the returned sequence is included, later ones are not and
+// must reach the consumer through the normal write path or repair.
+func (c *Client) Snapshot(sel *ShardSel) ([]Document, uint64, error) {
+	res, err := c.call("snapshot", &Query{Shard: sel}, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.docs, res.resp.Seq, nil
+}

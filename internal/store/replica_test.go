@@ -1,0 +1,428 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// newReplicatedCluster starts nodes store nodes and connects with the
+// given replication factor and write quorum (0 = default majority).
+func newReplicatedCluster(t *testing.T, nodes, rf, wq int) (*Cluster, []*Node, []string) {
+	t.Helper()
+	var addrs []string
+	var ns []*Node
+	for i := 0; i < nodes; i++ {
+		n, err := NewNode("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		ns = append(ns, n)
+		addrs = append(addrs, n.Addr())
+	}
+	c, err := ConnectCluster(ClusterConfig{
+		Addrs:             addrs,
+		ReplicationFactor: rf,
+		WriteQuorum:       wq,
+		WriteTimeout:      5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, ns, addrs
+}
+
+func replicaDoc(i int) Document {
+	return Document{
+		ID:   fmt.Sprintf("r-%d", i),
+		Time: int64(i + 1),
+		Tags: map[string]string{"flow": fmt.Sprintf("f-%d", i%7), "dpid": fmt.Sprintf("%d", i%3)},
+		Fields: map[string]float64{
+			"bytes": float64(i * 10),
+			"rate":  float64(i) / 3,
+		},
+	}
+}
+
+func insertReplicaDocs(t *testing.T, c *Cluster, n int) []Document {
+	t.Helper()
+	docs := make([]Document, n)
+	for i := range docs {
+		docs[i] = replicaDoc(i)
+	}
+	if err := c.Insert(docs); err != nil {
+		t.Fatal(err)
+	}
+	return docs
+}
+
+func TestConnectRejectsDuplicateAddrs(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	if _, err := Connect([]string{n.Addr(), n.Addr()}); err == nil {
+		t.Fatal("Connect accepted a duplicate address")
+	}
+	if _, err := ConnectCluster(ClusterConfig{Addrs: []string{n.Addr(), n.Addr()}, ReplicationFactor: 2}); err == nil {
+		t.Fatal("ConnectCluster accepted a duplicate address")
+	}
+}
+
+func TestClusterCloseIdempotentAndNilSafe(t *testing.T) {
+	var nilCluster *Cluster
+	nilCluster.Close() // must not panic
+
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	c, err := ConnectCluster(ClusterConfig{
+		Addrs:             []string{n.Addr()},
+		ReplicationFactor: 1,
+		RepairInterval:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // second close must be a no-op, not a double-close panic
+}
+
+func TestReplicaSetAndQuorumDefaults(t *testing.T) {
+	c, _, _ := newReplicatedCluster(t, 5, 3, 0)
+	if c.ReplicationFactor() != 3 {
+		t.Fatalf("rf = %d, want 3", c.ReplicationFactor())
+	}
+	if c.WriteQuorum() != 2 {
+		t.Fatalf("wq = %d, want majority 2", c.WriteQuorum())
+	}
+	set := c.replicaSet(4)
+	want := []int{4, 0, 1}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("replicaSet(4) = %v, want %v", set, want)
+		}
+	}
+}
+
+func TestQuorumWriteSucceedsWithDeadReplica(t *testing.T) {
+	c, ns, _ := newReplicatedCluster(t, 3, 3, 2)
+	// Every shard's replica set covers all three nodes, so killing any
+	// one node degrades every shard to 2/3 — still at quorum.
+	ns[2].Close()
+	docs := insertReplicaDocs(t, c, 60)
+	got, err := c.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(docs) {
+		t.Fatalf("query = %d docs, want %d", len(got), len(docs))
+	}
+}
+
+func TestQuorumWriteFailsBelowQuorum(t *testing.T) {
+	c, ns, _ := newReplicatedCluster(t, 3, 3, 3)
+	ns[1].Close()
+	err := c.Insert([]Document{replicaDoc(0)})
+	if err == nil {
+		t.Fatal("insert reached quorum 3 with one replica dead")
+	}
+}
+
+func TestReadFailoverAfterReplicaDeath(t *testing.T) {
+	c, ns, _ := newReplicatedCluster(t, 3, 3, 2)
+	docs := insertReplicaDocs(t, c, 50)
+	// Reads must survive the death of any single replica.
+	ns[0].Close()
+	got, err := c.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(docs) {
+		t.Fatalf("failover query = %d docs, want %d", len(got), len(docs))
+	}
+	n, err := c.Count(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(docs) {
+		t.Fatalf("failover count = %d, want %d", n, len(docs))
+	}
+	groups, err := c.Aggregate(Query{GroupBy: []string{"dpid"}, Agg: AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range groups {
+		total += int(g.Value)
+	}
+	if total != len(docs) {
+		t.Fatalf("failover aggregate total = %d, want %d", total, len(docs))
+	}
+}
+
+func TestReplicatedQueryDedupes(t *testing.T) {
+	c, _, _ := newReplicatedCluster(t, 3, 3, 2)
+	docs := insertReplicaDocs(t, c, 30)
+	// Re-insert the same batch: an at-least-once duplicate application.
+	if err := c.Insert(docs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(docs) {
+		t.Fatalf("deduped query = %d docs, want %d", len(got), len(docs))
+	}
+}
+
+func TestDedupeDocs(t *testing.T) {
+	a := Document{ID: "x", Time: 1, Fields: map[string]float64{"v": 1}}
+	b := Document{Time: 2, Fields: map[string]float64{"v": 2}} // ID-less
+	in := []Document{a, b, a, b, {ID: "y", Time: 3}}
+	out := dedupeDocs(in)
+	if len(out) != 3 {
+		t.Fatalf("dedupe = %d docs, want 3", len(out))
+	}
+}
+
+func TestDocHashCanonical(t *testing.T) {
+	a := Document{ID: "d", Time: 5,
+		Tags:   map[string]string{"x": "1", "y": "2"},
+		Fields: map[string]float64{"p": 1, "q": math.NaN()}}
+	b := Document{ID: "d", Time: 5,
+		Tags:   map[string]string{"y": "2", "x": "1"},
+		Fields: map[string]float64{"q": math.NaN(), "p": 1}}
+	if docHash(&a) != docHash(&b) {
+		t.Fatal("map iteration order changed the hash")
+	}
+	b.Fields["p"] = 2
+	if docHash(&a) == docHash(&b) {
+		t.Fatal("different field values hashed equal")
+	}
+}
+
+func TestDigestSetSemantics(t *testing.T) {
+	// A replica holding a document twice must digest identically to one
+	// holding it once — duplicates are allowed, loss is not.
+	d1 := replicaDoc(1)
+	d2 := replicaDoc(2)
+	once := newDigestBuilder(repairIntervalNs)
+	once.add(&d1)
+	once.add(&d2)
+	twice := newDigestBuilder(repairIntervalNs)
+	twice.add(&d1)
+	twice.add(&d1)
+	twice.add(&d2)
+	if !DigestsEqual(once.digests(), twice.digests()) {
+		t.Fatal("duplicate application changed the digest")
+	}
+	missing := newDigestBuilder(repairIntervalNs)
+	missing.add(&d1)
+	if DigestsEqual(once.digests(), missing.digests()) {
+		t.Fatal("a lost document went undetected")
+	}
+}
+
+func TestDivergentIntervals(t *testing.T) {
+	ivl := repairIntervalNs
+	a := []IntervalDigest{{From: 0, Count: 2, Hash: 7}, {From: ivl, Count: 1, Hash: 3}}
+	b := []IntervalDigest{{From: 0, Count: 2, Hash: 7}, {From: ivl, Count: 2, Hash: 9}, {From: 2 * ivl, Count: 1, Hash: 1}}
+	got := divergentIntervals(a, b)
+	want := []int64{ivl, 2 * ivl}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("divergent = %v, want %v", got, want)
+	}
+	if d := divergentIntervals(a, a); len(d) != 0 {
+		t.Fatalf("self-divergence = %v", d)
+	}
+}
+
+func TestRepairConvergesMissedWrites(t *testing.T) {
+	c, ns, addrs := newReplicatedCluster(t, 3, 3, 2)
+	docs := insertReplicaDocs(t, c, 40)
+
+	// Simulate a replica that missed writes: wipe node 1 entirely.
+	ns[1].Close()
+	restarted, err := NewNode(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restarted.Close)
+
+	ok, err := c.Converged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("cluster reported converged with an empty replica")
+	}
+	// Two rounds converge arbitrary divergence.
+	for i := 0; i < 2; i++ {
+		if _, err := c.RepairOnce(); err != nil {
+			t.Fatalf("repair round %d: %v", i, err)
+		}
+	}
+	ok, err = c.Converged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("replicas still divergent after two repair rounds")
+	}
+	got, err := c.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(docs) {
+		t.Fatalf("post-repair query = %d docs, want %d", len(got), len(docs))
+	}
+}
+
+func TestBootstrapReplica(t *testing.T) {
+	c, ns, addrs := newReplicatedCluster(t, 3, 3, 2)
+	docs := insertReplicaDocs(t, c, 80)
+
+	ns[2].Close()
+	restarted, err := NewNode(addrs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restarted.Close)
+
+	shipped, err := c.BootstrapReplica(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped != len(docs) {
+		t.Fatalf("bootstrap shipped %d docs, want %d", shipped, len(docs))
+	}
+	ok, err := c.Converged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("replicas divergent after bootstrap")
+	}
+}
+
+func TestShardSelFiltering(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	cl, err := Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	const nShards = 4
+	docs := make([]Document, 100)
+	perShard := make([]int, nShards)
+	for i := range docs {
+		docs[i] = replicaDoc(i)
+		perShard[shardOfDoc(&docs[i], nShards)]++
+	}
+	if err := cl.Insert(docs); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < nShards; s++ {
+		got, err := cl.Query(Query{Shard: &ShardSel{N: nShards, Shard: s}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != perShard[s] {
+			t.Fatalf("shard %d query = %d docs, want %d", s, len(got), perShard[s])
+		}
+		for i := range got {
+			if shardOfDoc(&got[i], nShards) != s {
+				t.Fatalf("shard %d query returned foreign document %s", s, got[i].ID)
+			}
+		}
+	}
+	// Digest and snapshot honor the selector too.
+	sel := &ShardSel{N: nShards, Shard: 1}
+	snap, _, err := cl.Snapshot(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != perShard[1] {
+		t.Fatalf("shard snapshot = %d docs, want %d", len(snap), perShard[1])
+	}
+	dig, err := cl.Digests(sel, repairIntervalNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ig := range dig {
+		total += ig.Count
+	}
+	if total != perShard[1] {
+		t.Fatalf("shard digest counts %d docs, want %d", total, perShard[1])
+	}
+}
+
+func TestSnapshotSeqAdvances(t *testing.T) {
+	n, err := NewNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	cl, err := Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	_, seq0, err := cl.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert([]Document{replicaDoc(0)}); err != nil {
+		t.Fatal(err)
+	}
+	docs, seq1, err := cl.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 <= seq0 {
+		t.Fatalf("seq did not advance: %d -> %d", seq0, seq1)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("snapshot = %d docs, want 1", len(docs))
+	}
+}
+
+func TestReplicationFactorOneKeepsOldBehavior(t *testing.T) {
+	// rf=1 clusters must behave exactly like the pre-replication client:
+	// no dedupe, fan-to-all reads, no shard selector.
+	c, ns, _ := newReplicatedCluster(t, 2, 1, 0)
+	// Insert the same ID directly onto both nodes — an rf=1 cluster must
+	// surface both copies (it has no business deduping).
+	for _, n := range ns {
+		cl, err := Dial(n.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Insert([]Document{{ID: "dup", Time: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		cl.Close()
+	}
+	got, err := c.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rf=1 query = %d docs, want 2 (no dedupe)", len(got))
+	}
+}

@@ -8,9 +8,19 @@ import (
 	"os"
 )
 
-// SaveSnapshot streams the node's documents as JSON lines. It is safe
-// to call while the node serves traffic (documents inserted during the
-// snapshot may or may not be included).
+// Snapshot format: a 5-byte header ("ASNP" + version) followed by the
+// same packed binary doc blocks the wire protocol ships (frame.go),
+// each wrapped in a length-prefixed "AS" frame, until EOF. Reusing the
+// wire encoding keeps snapshots small and fast and makes float64
+// feature values — including NaN and ±Inf, which the old JSON-lines
+// format could not hold bit-exactly — round-trip identically to the
+// insert path. LoadSnapshot sniffs the header and falls back to the
+// JSON-lines reader for snapshot files written before this format.
+var snapshotMagic = [5]byte{'A', 'S', 'N', 'P', 1}
+
+// SaveSnapshot streams the node's documents in the packed binary
+// snapshot format. It is safe to call while the node serves traffic
+// (documents inserted during the snapshot may or may not be included).
 func (n *Node) SaveSnapshot(w io.Writer) error {
 	n.mu.RLock()
 	docs := make([]Document, 0, n.tab.live)
@@ -22,9 +32,21 @@ func (n *Node) SaveSnapshot(w io.Writer) error {
 	n.mu.RUnlock()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
-	enc := json.NewEncoder(bw)
-	for i := range docs {
-		if err := enc.Encode(&docs[i]); err != nil {
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("store snapshot: %w", err)
+	}
+	var scratch []byte
+	for lo := 0; lo < len(docs); lo += blockMaxDocs {
+		hi := lo + blockMaxDocs
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		var err error
+		scratch, err = appendDocBlock(scratch[:0], docs[lo:hi])
+		if err != nil {
+			return fmt.Errorf("store snapshot: %w", err)
+		}
+		if err := writeStoreFrame(bw, frameDocs, scratch); err != nil {
 			return fmt.Errorf("store snapshot: %w", err)
 		}
 	}
@@ -49,10 +71,51 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// LoadSnapshot appends documents from a JSON-lines stream produced by
-// SaveSnapshot.
+// LoadSnapshot appends documents from a snapshot stream: the packed
+// binary format written by SaveSnapshot, or — when the header is
+// absent — the JSON-lines format of older snapshot files.
 func (n *Node) LoadSnapshot(r io.Reader) (int, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(snapshotMagic))
+	if err == nil && [5]byte(head) == snapshotMagic {
+		br.Discard(len(snapshotMagic))
+		return n.loadBinarySnapshot(br)
+	}
+	return n.loadJSONSnapshot(br)
+}
+
+// loadBinarySnapshot reads doc-block frames until EOF. A truncated or
+// corrupt stream still restores every block readable before the
+// corruption point.
+func (n *Node) loadBinarySnapshot(br *bufio.Reader) (int, error) {
+	count := 0
+	in := newNodeInternTable()
+	var scratch []byte
+	for {
+		typ, payload, err := readStoreFrameInto(br, &scratch)
+		if err == io.EOF {
+			return count, nil
+		}
+		if err == nil && typ != frameDocs {
+			err = fmt.Errorf("store: snapshot frame type %d", typ)
+		}
+		var docs []Document
+		if err == nil {
+			docs, err = decodeDocBlockIn(payload, in)
+		}
+		if err != nil {
+			return count, fmt.Errorf("store snapshot load: %w", err)
+		}
+		if len(docs) > 0 {
+			n.insert(docs)
+			count += len(docs)
+		}
+	}
+}
+
+// loadJSONSnapshot is the legacy JSON-lines reader.
+func (n *Node) loadJSONSnapshot(br *bufio.Reader) (int, error) {
+	dec := json.NewDecoder(br)
 	count := 0
 	var batch []Document
 	for {

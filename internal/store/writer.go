@@ -46,6 +46,7 @@ type Writer struct {
 
 	mu      sync.Mutex
 	pending []Document
+	spare   []Document // recycled batch backing array, see flushOnce
 	traces  []writerTrace
 	err     error
 
@@ -272,7 +273,11 @@ func (w *Writer) flushOnce() {
 	w.mu.Lock()
 	batch := w.pending
 	traces := w.traces
-	w.pending = nil
+	// The last successfully flushed batch's backing array becomes the
+	// next pending queue: the sink is done with it once Insert returns,
+	// so the two arrays ping-pong instead of reallocating every flush.
+	w.pending = w.spare
+	w.spare = nil
 	w.traces = nil
 	w.mu.Unlock()
 	if len(batch) == 0 {
@@ -315,6 +320,9 @@ func (w *Writer) flushOnce() {
 	}
 	w.mu.Lock()
 	w.err = nil
+	if w.spare == nil {
+		w.spare = batch[:0]
+	}
 	w.mu.Unlock()
 	if w.flushOK != nil {
 		w.flushOK.Inc()

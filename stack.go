@@ -23,6 +23,13 @@ type StackConfig struct {
 	// StoreNodes sizes the feature DB cluster (default 1; 0 disables
 	// persistence).
 	StoreNodes int
+	// StoreReplication is how many store nodes hold each logical shard
+	// (default 1 = unreplicated, capped at StoreNodes). With R > 1 every
+	// instance's feature publications are acknowledged at write quorum
+	// (majority of R), store reads fail over across replicas, and the
+	// stack runs a background anti-entropy loop that re-converges
+	// replicas after a node outage.
+	StoreReplication int
 	// ComputeWorkers sizes the analysis cluster (default 0: all
 	// analysis runs locally inside each instance).
 	ComputeWorkers int
@@ -59,6 +66,7 @@ type Stack struct {
 	workers     []*compute.Worker
 	instances   []*core.Athena
 	storeAddrs  []string
+	storeRepair *store.Cluster
 	tele        *telemetry.Registry
 	tracing     *telemetry.Collector
 	ops         *telemetry.OpsServer
@@ -101,6 +109,21 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			s.storeNodes = append(s.storeNodes, n)
 			s.storeAddrs = append(s.storeAddrs, n.Addr())
 		}
+	}
+	if cfg.StoreReplication > 1 && len(s.storeAddrs) > 1 {
+		// A stack-owned cluster handle drives background anti-entropy so
+		// replicas that missed quorum writes during an outage re-converge
+		// without any instance's involvement.
+		rc, err := store.ConnectCluster(store.ClusterConfig{
+			Addrs:             s.storeAddrs,
+			ReplicationFactor: cfg.StoreReplication,
+			RepairInterval:    500 * time.Millisecond,
+			Telemetry:         reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stack: store repair cluster: %w", err)
+		}
+		s.storeRepair = rc
 	}
 
 	// Compute cluster.
@@ -164,6 +187,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			inst, err := core.New(core.Config{
 				Proxy:                c,
 				StoreAddrs:           s.storeAddrs,
+				StoreReplication:     cfg.StoreReplication,
 				ComputeAddrs:         computeAddrs,
 				Southbound:           cfg.Southbound,
 				DistributedThreshold: cfg.DistributedThreshold,
@@ -213,6 +237,7 @@ func (s *Stack) Close() {
 	for _, inst := range s.instances {
 		inst.Close()
 	}
+	s.storeRepair.Close()
 	for _, c := range s.controllers {
 		c.Stop()
 	}
@@ -257,6 +282,12 @@ func (s *Stack) Instance(i int) *Instance { return s.instances[i] }
 
 // StoreAddrs lists the feature DB node addresses.
 func (s *Stack) StoreAddrs() []string { return append([]string(nil), s.storeAddrs...) }
+
+// StoreRepair returns the stack-owned replicated store handle that
+// drives background anti-entropy (nil when StoreReplication <= 1).
+// Tests and operators can use it for deterministic RepairOnce rounds,
+// replica bootstrap, and convergence checks.
+func (s *Stack) StoreRepair() *store.Cluster { return s.storeRepair }
 
 // MasterOf resolves which controller masters a switch.
 func (s *Stack) MasterOf(dpid uint64) *Controller {

@@ -1,0 +1,101 @@
+package athena
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/athena-sdn/athena/internal/store"
+)
+
+// TestStackReplicatedStoreSurvivesNodeLoss boots a stack with a
+// 3-node, RF=3 store and walks the full outage lifecycle: quorum
+// writes keep acknowledging with a node down, reads fail over, and the
+// restarted node re-converges through snapshot bootstrap plus
+// anti-entropy — all through the stack-level wiring.
+func TestStackReplicatedStoreSurvivesNodeLoss(t *testing.T) {
+	stack, err := NewStack(StackConfig{Controllers: 1, StoreNodes: 3, StoreReplication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+
+	rc := stack.StoreRepair()
+	if rc == nil {
+		t.Fatal("StoreReplication=3 did not create a repair cluster")
+	}
+	cl := stack.Instance(0).Store()
+	if cl.ReplicationFactor() != 3 || cl.WriteQuorum() != 2 {
+		t.Fatalf("instance store rf=%d wq=%d, want 3/2", cl.ReplicationFactor(), cl.WriteQuorum())
+	}
+
+	mkDocs := func(prefix string, n int) []store.Document {
+		docs := make([]store.Document, n)
+		for i := range docs {
+			docs[i] = store.Document{ID: fmt.Sprintf("%s-%d", prefix, i), Time: int64(i + 1),
+				Tags: map[string]string{"flow": fmt.Sprintf("f-%d", i%9)}}
+		}
+		return docs
+	}
+	if err := cl.Insert(mkDocs("pre", 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one store node: quorum writes and failover reads continue.
+	victimAddr := stack.StoreAddrs()[2]
+	stack.storeNodes[2].Close()
+	if err := cl.Insert(mkDocs("outage", 50)); err != nil {
+		t.Fatalf("quorum insert with a dead replica: %v", err)
+	}
+	got, err := cl.Query(store.Query{})
+	if err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	if len(got) != 150 {
+		t.Fatalf("failover query = %d docs, want 150", len(got))
+	}
+
+	// Restart the node empty on its old address and converge it.
+	restarted, err := store.NewNode(victimAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if _, err := rc.BootstrapReplica(2); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if _, err := rc.RepairOnce(); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	ok, err := rc.Converged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("replicas divergent after bootstrap + repair")
+	}
+
+	// Writes are at-least-once: a late per-replica retry from the outage
+	// insert can land on the restarted node alongside the bootstrap
+	// snapshot, so the replica may hold duplicate rows. The invariant is
+	// zero lost acknowledged documents — every distinct document is
+	// present — not an exact row count.
+	dc, err := store.Dial(victimAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	rows, err := dc.Query(store.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[string]bool, len(rows))
+	for _, d := range rows {
+		distinct[d.ID] = true
+	}
+	if len(distinct) != 150 {
+		t.Fatalf("restarted replica holds %d distinct docs, want 150", len(distinct))
+	}
+	if restarted.Len() < 150 {
+		t.Fatalf("restarted replica holds %d rows, want >= 150", restarted.Len())
+	}
+}
