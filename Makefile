@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build verify test race chaos chaos-replica fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-replication bench-detect bench-stream bench-cbench stream-soak microbench
+.PHONY: build verify test race chaos chaos-replica fuzz-smoke lint-metrics bench bench-compute bench-failover bench-store bench-replication bench-detect bench-stream bench-sketch bench-cbench stream-soak sketch-stress microbench
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ verify:
 	$(MAKE) chaos
 	$(MAKE) chaos-replica
 	$(MAKE) stream-soak
+	$(MAKE) sketch-stress
 	$(MAKE) fuzz-smoke
 
 # Cross-checks the README metric catalogue against the athena_*
@@ -52,6 +53,14 @@ chaos-replica:
 stream-soak:
 	$(GO) test -race -run 'StreamSoak|NonFinite|ZeroAlloc|Deterministic' ./internal/stream/ ./internal/ml/
 
+# Sketch pushdown stress under the race detector: 8 concurrent writers
+# updating the per-port sketch stripes while a reader swaps, merges,
+# and reports windows — exact packet accounting proves nothing is lost
+# or double-counted — plus the oracle and shard-determinism suites.
+sketch-stress:
+	$(GO) test -race -run 'SketchStress|SketchOracle|Oracle|AcrossShardCounts|MergeOrderFree' \
+		./internal/dataplane/ ./internal/sketch/
+
 # Short fuzz sessions against the wire-frame decoders and the query
 # parser, replaying and extending the checked-in seed corpora. Each
 # target needs its own invocation (go test allows one -fuzz at a time).
@@ -61,6 +70,8 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 3s ./internal/query/
 	$(GO) test -run XXX -fuzz FuzzDecodeDatasetChunk -fuzztime 3s ./internal/compute/
 	$(GO) test -run XXX -fuzz FuzzReceiveBatch -fuzztime 3s ./internal/openflow/
+	$(GO) test -run XXX -fuzz FuzzDecodeSketchPush -fuzztime 3s ./internal/openflow/
+	$(GO) test -run XXX -fuzz FuzzDecodeSketchReport -fuzztime 3s ./internal/openflow/
 
 # Appends a labeled feature-pipeline run to BENCH_pipeline.json so
 # before/after numbers accumulate in one artifact. Override LABEL to
@@ -111,6 +122,14 @@ bench-detect:
 bench-stream:
 	$(GO) run ./cmd/athena-bench -exp stream \
 		-stream-out BENCH_stream.json -stream-label "$(LABEL)"
+
+# Appends a labeled sketch-pushdown ablation (full per-flow stats
+# export vs threshold-gated sketch reports over a real control
+# connection: control-plane bytes, recall, report latency) to
+# BENCH_sketch.json.
+bench-sketch:
+	$(GO) run ./cmd/athena-bench -exp sketch \
+		-sketch-out BENCH_sketch.json -sketch-label "$(LABEL)"
 
 # Appends a labeled 1k-switch fan-in flood (responses/s per core,
 # allocs/resp) to BENCH_cbench.json — the connection-layer scale

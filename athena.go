@@ -161,6 +161,11 @@ type (
 	PacketInMsg = openflow.PacketIn
 	// PacketOutMsg emits a packet (or releases a buffered one).
 	PacketOutMsg = openflow.PacketOut
+	// SketchConfig configures dataplane heavy-hitter pushdown: sketch
+	// geometry, report window, and the thresholds aggregates must cross.
+	SketchConfig = openflow.SketchThresholdPush
+	// SketchReport is one window's heavy-hitter aggregates from a switch.
+	SketchReport = openflow.SketchAggregateReport
 )
 
 // Protocol constants.
@@ -211,6 +216,14 @@ const (
 	OriginFlowStats   = core.OriginFlowStats
 	OriginFlowRemoved = core.OriginFlowRemoved
 	OriginPortStats   = core.OriginPortStats
+	OriginSketch      = core.OriginSketch
+)
+
+// Sketch pushdown aggregation keys (SketchConfig.KeyKind).
+const (
+	SketchKeyIPDst  = openflow.SketchKeyIPDst
+	SketchKeyIPPair = openflow.SketchKeyIPPair
+	SketchKeyFlow   = openflow.SketchKeyFlow
 )
 
 // Algorithm names (Table IV).
@@ -252,6 +265,9 @@ const (
 	FByteCountVar   = core.FByteCountVar
 	FPacketCountVar = core.FPacketCountVar
 	FPacketInLen    = core.FPacketInLen
+	FAggPackets     = core.FAggPackets
+	FAggBytes       = core.FAggBytes
+	FAggShare       = core.FAggShare
 	LabelField      = core.LabelField
 )
 

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|replication|detect|stream|all")
+		exp     = flag.String("exp", "all", "experiment: cbench|ddos|scale|cpu|sloc|ablation|pipeline|compute|failover|store|replication|detect|stream|sketch|all")
 		rounds  = flag.Int("rounds", 10, "cbench rounds (paper: 50)")
 		roundMS = flag.Int("round-ms", 200, "cbench round duration (ms)")
 		flows   = flag.Int("flows", 10_000, "ddos: total unique flows")
@@ -76,6 +76,13 @@ func main() {
 		strShards = flag.Int("stream-shards", 8, "stream: engine shard count")
 		strOut    = flag.String("stream-out", "", "stream: append a labeled run to this JSON log (e.g. BENCH_stream.json)")
 		strLabel  = flag.String("stream-label", "current", "stream: label for the appended run")
+
+		skWindows = flag.Int("sketch-windows", 12, "sketch: report windows replayed")
+		skFlows   = flag.Int("sketch-flows", 1500, "sketch: distinct background flows per window")
+		skVictims = flag.Int("sketch-victims", 4, "sketch: true heavy-hitter destinations")
+		skPkts    = flag.Int("sketch-victim-pkts", 800, "sketch: flood packets per victim per window")
+		skOut     = flag.String("sketch-out", "", "sketch: append a labeled run to this JSON log (e.g. BENCH_sketch.json)")
+		skLabel   = flag.String("sketch-label", "current", "sketch: label for the appended run")
 	)
 	flag.Parse()
 	pcfg := pipelineFlags{
@@ -103,7 +110,11 @@ func main() {
 		Messages: *strMsgs, ScoreOps: *strOps, Shards: *strShards,
 		Out: *strOut, Label: *strLabel,
 	}
-	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg, scfg, dcfg, stmCfg); err != nil {
+	skCfg := sketchFlags{
+		Windows: *skWindows, Flows: *skFlows, Victims: *skVictims, VictimPkts: *skPkts,
+		Out: *skOut, Label: *skLabel,
+	}
+	if err := run(*exp, *rounds, *roundMS, *flows, *entries, *workers, *ddosWk, *seed, *metrics, pcfg, ccfg, fcfg, scfg, dcfg, stmCfg, skCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "athena-bench:", err)
 		os.Exit(1)
 	}
@@ -166,7 +177,17 @@ type streamFlags struct {
 	Label    string
 }
 
-func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags, scfg storeFlags, dcfg detectFlags, stmCfg streamFlags) error {
+// sketchFlags carries the -sketch-* command-line knobs.
+type sketchFlags struct {
+	Windows    int
+	Flows      int
+	Victims    int
+	VictimPkts int
+	Out        string
+	Label      string
+}
+
+func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWorkers int, seed int64, metricsOut string, pcfg pipelineFlags, ccfg computeFlags, fcfg failoverFlags, scfg storeFlags, dcfg detectFlags, stmCfg streamFlags, skCfg sketchFlags) error {
 	// One shared registry across all experiments: the dump then reads
 	// like a scrape of a deployment that ran the whole evaluation.
 	var reg *telemetry.Registry
@@ -176,7 +197,7 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 
 	todo := map[string]bool{}
 	if exp == "all" {
-		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store", "replication", "detect", "stream"} {
+		for _, e := range []string{"sloc", "ddos", "scale", "cbench", "cpu", "ablation", "pipeline", "compute", "failover", "store", "replication", "detect", "stream", "sketch"} {
 			todo[e] = true
 		}
 	} else {
@@ -397,6 +418,29 @@ func run(exp string, rounds, roundMS, flows, entries int, workers string, ddosWo
 				return fmt.Errorf("stream log: %w", err)
 			}
 			fmt.Printf("stream run %q appended to %s\n", stmCfg.Label, stmCfg.Out)
+		}
+		fmt.Println()
+	}
+	if todo["sketch"] {
+		r, err := bench.RunSketch(bench.SketchConfig{
+			Windows:         skCfg.Windows,
+			BackgroundFlows: skCfg.Flows,
+			Victims:         skCfg.Victims,
+			VictimPackets:   skCfg.VictimPkts,
+			Seed:            seed,
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteSketchReport(os.Stdout, r)
+		if err := r.CheckQuality(); err != nil {
+			fmt.Println("WARNING:", err)
+		}
+		if skCfg.Out != "" {
+			if err := bench.AppendSketchJSON(skCfg.Out, skCfg.Label, r); err != nil {
+				return fmt.Errorf("sketch log: %w", err)
+			}
+			fmt.Printf("sketch run %q appended to %s\n", skCfg.Label, skCfg.Out)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/dataplane"
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/ui"
+)
+
+// SketchConfig parameterizes the sketch-pushdown ablation: a labeled
+// volumetric trace replayed through a real switch with a real control
+// connection, measured with and without dataplane pre-filtering.
+type SketchConfig struct {
+	// Windows is the number of report windows replayed (default 12).
+	Windows int
+	// BackgroundFlows is the distinct benign flows per window
+	// (default 1500) — the per-flow state a stats-polling baseline must
+	// export every window.
+	BackgroundFlows int
+	// Victims is the number of true heavy-hitter destinations
+	// (default 4).
+	Victims int
+	// VictimPackets is the flood packets per victim per window
+	// (default 800, ~1.2 kB each).
+	VictimPackets int
+	// ThresholdBytes is the pushdown report threshold (default 200 kB:
+	// victims clear it by an order of magnitude, background cannot).
+	ThresholdBytes uint64
+	// Seed drives the trace generator.
+	Seed int64
+}
+
+func (c SketchConfig) withDefaults() SketchConfig {
+	if c.Windows <= 0 {
+		c.Windows = 12
+	}
+	if c.BackgroundFlows <= 0 {
+		c.BackgroundFlows = 1500
+	}
+	if c.Victims <= 0 {
+		c.Victims = 4
+	}
+	if c.VictimPackets <= 0 {
+		c.VictimPackets = 800
+	}
+	if c.ThresholdBytes == 0 {
+		c.ThresholdBytes = 200_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// SketchResult is one measured run of the pushdown ablation.
+type SketchResult struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+
+	Config SketchConfig `json:"config"`
+
+	// Trace shape (ground truth from the exact counters).
+	TotalPackets  uint64 `json:"total_packets"`
+	TotalBytes    uint64 `json:"total_bytes"`
+	DistinctFlows int    `json:"distinct_flows_per_window"`
+
+	// BaselineStatsBytes is the control-plane cost of the no-pushdown
+	// arm: a full per-flow MultipartReply export (real encoded frames)
+	// for every active flow, every window — what a stats-polling
+	// controller receives to see the same traffic.
+	BaselineStatsBytes uint64 `json:"baseline_stats_bytes"`
+	// PushdownReportBytes is the actual wire bytes of the sketch
+	// aggregate reports received over the control connection.
+	PushdownReportBytes uint64 `json:"pushdown_report_bytes"`
+	// ByteReductionX is baseline/pushdown — the acceptance target is
+	// ≥ 10×.
+	ByteReductionX float64 `json:"byte_reduction_x"`
+
+	// Detection quality of the pushdown arm against ground truth.
+	TrueHeavies   int     `json:"true_heavies"`
+	ReportedKeys  int     `json:"reported_keys"`
+	Recall        float64 `json:"recall"`
+	Precision     float64 `json:"precision"`
+	ReportWindows int     `json:"report_windows"`
+
+	// Report latency: receipt at the controller minus the report's own
+	// WindowEndNanos stamp (encode + batched send + decode).
+	ReportLatencyP50Micros float64 `json:"report_latency_p50_micros"`
+	ReportLatencyMaxMicros float64 `json:"report_latency_max_micros"`
+}
+
+// CheckQuality returns an error when the run misses the acceptance
+// shape: ≥10× control-plane byte reduction and no missed true heavy
+// hitter.
+func (r SketchResult) CheckQuality() error {
+	if r.ByteReductionX < 10 {
+		return fmt.Errorf("sketch pushdown reduced control-plane bytes only %.1f× (want >= 10×)", r.ByteReductionX)
+	}
+	if r.Recall < 1 {
+		return fmt.Errorf("sketch pushdown recall %.3f (want 1.0: overestimate-only sketches cannot miss)", r.Recall)
+	}
+	return nil
+}
+
+// sketchReceipt is one report received on the controller side of the
+// pipe, with its arrival stamp and exact wire footprint.
+type sketchReceipt struct {
+	rep        *openflow.SketchAggregateReport
+	recvNanos  int64
+	frameBytes int
+}
+
+// RunSketch replays a labeled volumetric trace through a real software
+// switch over a real control connection and measures the two arms of
+// the ablation: full per-flow stats export vs sketch pushdown.
+func RunSketch(cfg SketchConfig) (SketchResult, error) {
+	cfg = cfg.withDefaults()
+	res := SketchResult{
+		Label:     "current",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Config:    cfg,
+	}
+
+	sw := dataplane.NewSwitch(1)
+	defer sw.Close()
+	sw.AddPort(1, "ingress", 10_000_000)
+	sw.AddPort(2, "egress", 10_000_000)
+	sw.InstallRule(&dataplane.FlowEntry{
+		Match:   openflow.MatchAll(),
+		Actions: []openflow.Action{openflow.ActionOutput{Port: 2}},
+	})
+
+	// Controller side of a real conn: collect sketch reports with
+	// arrival stamps and exact frame sizes.
+	ctrlEnd, swEnd := net.Pipe()
+	conn := openflow.NewConn(ctrlEnd)
+	defer conn.Close()
+	var (
+		mu       sync.Mutex
+		receipts []sketchReceipt
+	)
+	go func() {
+		for {
+			msg, h, err := conn.Receive()
+			if err != nil {
+				return
+			}
+			if rep, ok := msg.(*openflow.SketchAggregateReport); ok {
+				mu.Lock()
+				receipts = append(receipts, sketchReceipt{
+					rep:        rep,
+					recvNanos:  time.Now().UnixNano(),
+					frameBytes: int(h.Length),
+				})
+				mu.Unlock()
+			}
+		}
+	}()
+	if err := sw.ConnectConn(swEnd); err != nil {
+		return res, fmt.Errorf("connect: %w", err)
+	}
+
+	if _, err := conn.Send(&openflow.SketchThresholdPush{
+		Enable:         true,
+		KeyKind:        openflow.SketchKeyIPDst,
+		ThresholdBytes: cfg.ThresholdBytes,
+		CMWidth:        2048,
+		CMDepth:        4,
+		Capacity:       1024,
+		Seed:           uint64(cfg.Seed),
+	}); err != nil {
+		return res, fmt.Errorf("push: %w", err)
+	}
+	// The push is handled asynchronously by the switch's control loop;
+	// a reporting flush proves it landed. That installation report is
+	// empty (TotalPackets == 0) and excluded from scoring below.
+	deadline := time.Now().Add(2 * time.Second)
+	for !sw.FlushSketch() {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("sketch push never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Replay the labeled trace: per window, a wide benign background
+	// plus a handful of victims that each absorb a flood. Ground truth
+	// (exact per-destination bytes, and the per-flow table the baseline
+	// would export) is tracked alongside the replay.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	victims := make([]uint32, cfg.Victims)
+	for v := range victims {
+		victims[v] = openflow.IPv4(10, 99, 0, byte(v+1))
+	}
+	type flowRow struct {
+		fields  openflow.Fields
+		packets uint64
+		bytes   uint64
+	}
+	exactPerWindow := make([]map[uint64]uint64, cfg.Windows)
+	for w := 0; w < cfg.Windows; w++ {
+		exact := make(map[uint64]uint64)
+		exactPerWindow[w] = exact
+		flows := make(map[openflow.FlowKey]*flowRow)
+		drive := func(f openflow.Fields, size int) {
+			sw.Input(dataplane.NewPacket(f, size), 1)
+			exact[openflow.SketchKeyOf(openflow.SketchKeyIPDst, f)] += uint64(size)
+			k := openflow.KeyOf(f)
+			row := flows[k]
+			if row == nil {
+				row = &flowRow{fields: f}
+				flows[k] = row
+			}
+			row.packets++
+			row.bytes += uint64(size)
+			res.TotalPackets++
+			res.TotalBytes += uint64(size)
+		}
+		for i := 0; i < cfg.BackgroundFlows; i++ {
+			f := openflow.Fields{
+				EthType: openflow.EthTypeIPv4,
+				IPProto: openflow.ProtoTCP,
+				IPSrc:   openflow.IPv4(10, 0, byte(i>>8), byte(i)),
+				IPDst:   openflow.IPv4(10, 1, byte(rng.Intn(256)), byte(rng.Intn(256))),
+				TPSrc:   uint16(20000 + rng.Intn(40000)),
+				TPDst:   80,
+			}
+			for p := 1 + rng.Intn(4); p > 0; p-- {
+				drive(f, 200+rng.Intn(800))
+			}
+		}
+		for _, victim := range victims {
+			for p := 0; p < cfg.VictimPackets; p++ {
+				f := openflow.Fields{
+					EthType: openflow.EthTypeIPv4,
+					IPProto: openflow.ProtoUDP,
+					IPSrc:   openflow.IPv4(203, byte(rng.Intn(64)), byte(rng.Intn(256)), byte(1+rng.Intn(254))),
+					IPDst:   victim,
+					TPSrc:   uint16(1024 + rng.Intn(60000)),
+					TPDst:   53,
+				}
+				drive(f, 1000+rng.Intn(500))
+			}
+		}
+		res.DistinctFlows = len(flows)
+
+		// Baseline arm: the same visibility via per-flow counters means
+		// one FlowStats entry per active flow, every window — encoded
+		// into real MultipartReply frames (chunked like a stats poll).
+		const flowsPerFrame = 200
+		rows := make([]*flowRow, 0, len(flows))
+		for _, row := range flows {
+			rows = append(rows, row)
+		}
+		for start := 0; start < len(rows); start += flowsPerFrame {
+			end := start + flowsPerFrame
+			if end > len(rows) {
+				end = len(rows)
+			}
+			reply := &openflow.MultipartReply{StatsType: openflow.StatsFlow}
+			for _, row := range rows[start:end] {
+				reply.Flows = append(reply.Flows, openflow.FlowStats{
+					DurationSec: 1,
+					PacketCount: row.packets,
+					ByteCount:   row.bytes,
+					Match:       openflow.Match{Fields: row.fields},
+					Actions:     []openflow.Action{openflow.ActionOutput{Port: 2}},
+				})
+			}
+			res.BaselineStatsBytes += uint64(len(openflow.Encode(reply, 0)))
+		}
+
+		// Pushdown arm: close the window; the report travels the real
+		// control connection and is scored once every window drains.
+		if !sw.FlushSketch() {
+			return res, fmt.Errorf("window %d: flush produced no report", w)
+		}
+	}
+
+	// Drain: reports arrive in order on the pipe; wait for every
+	// non-empty window.
+	var windowReports []sketchReceipt
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		windowReports = windowReports[:0]
+		for _, rc := range receipts {
+			if rc.rep.TotalPackets > 0 {
+				windowReports = append(windowReports, rc)
+			}
+		}
+		mu.Unlock()
+		if len(windowReports) >= cfg.Windows {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("received %d/%d window reports", len(windowReports), cfg.Windows)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Score the pushdown arm against per-window ground truth.
+	var latencies []float64
+	for w, rc := range windowReports[:cfg.Windows] {
+		exact := exactPerWindow[w]
+		res.ReportWindows++
+		res.PushdownReportBytes += uint64(rc.frameBytes)
+		latencies = append(latencies, float64(rc.recvNanos-int64(rc.rep.WindowEndNanos))/1e3)
+
+		reported := make(map[uint64]bool, len(rc.rep.Aggregates))
+		for _, a := range rc.rep.Aggregates {
+			reported[a.Key] = true
+			res.ReportedKeys++
+			if exact[a.Key] >= cfg.ThresholdBytes {
+				res.Precision++ // counts true positives; normalized below
+			}
+		}
+		for key, bytes := range exact {
+			if bytes < cfg.ThresholdBytes {
+				continue
+			}
+			res.TrueHeavies++
+			if reported[key] {
+				res.Recall++ // counts hits; normalized below
+			}
+		}
+	}
+	if res.TrueHeavies > 0 {
+		res.Recall /= float64(res.TrueHeavies)
+	}
+	if res.ReportedKeys > 0 {
+		res.Precision /= float64(res.ReportedKeys)
+	}
+	if res.PushdownReportBytes > 0 {
+		res.ByteReductionX = float64(res.BaselineStatsBytes) / float64(res.PushdownReportBytes)
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		res.ReportLatencyP50Micros = latencies[n/2]
+		res.ReportLatencyMaxMicros = latencies[n-1]
+	}
+	return res, nil
+}
+
+// sketchRuns is the on-disk shape of BENCH_sketch.json: an append-only
+// log of labeled runs.
+type sketchRuns struct {
+	Runs []SketchResult `json:"runs"`
+}
+
+// AppendSketchJSON appends one labeled run to path (creating it when
+// absent) and pretty-prints the whole log.
+func AppendSketchJSON(path, label string, r SketchResult) error {
+	r.Label = label
+	var log sketchRuns
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &log)
+	}
+	log.Runs = append(log.Runs, r)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteSketchReport prints one run: trace shape, the two control-plane
+// arms, and the pushdown arm's detection quality.
+func WriteSketchReport(w io.Writer, r SketchResult) {
+	fmt.Fprintf(w, "SKETCH — dataplane heavy-hitter pushdown (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.MaxProcs)
+	fmt.Fprintf(w, "  trace: %d windows × ~%d flows, %d packets / %d bytes, %d victims\n",
+		r.Config.Windows, r.DistinctFlows, r.TotalPackets, r.TotalBytes, r.Config.Victims)
+	ui.Table(w, []string{"arm", "control-plane bytes"}, [][]string{
+		{"per-flow stats export", fmt.Sprintf("%d", r.BaselineStatsBytes)},
+		{"sketch pushdown", fmt.Sprintf("%d", r.PushdownReportBytes)},
+		{"reduction", fmt.Sprintf("%.1f× (target ≥10×)", r.ByteReductionX)},
+	})
+	ui.Table(w, []string{"pushdown quality", "value"}, [][]string{
+		{"true heavies", fmt.Sprintf("%d", r.TrueHeavies)},
+		{"reported keys", fmt.Sprintf("%d", r.ReportedKeys)},
+		{"recall", fmt.Sprintf("%.3f", r.Recall)},
+		{"precision", fmt.Sprintf("%.3f", r.Precision)},
+		{"report latency p50", fmt.Sprintf("%.0f µs", r.ReportLatencyP50Micros)},
+		{"report latency max", fmt.Sprintf("%.0f µs", r.ReportLatencyMaxMicros)},
+	})
+}

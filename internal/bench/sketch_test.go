@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// A deliberately small trace still shows the ablation's shape: full
+// per-flow export costs at least an order of magnitude more
+// control-plane bytes than threshold-gated sketch reports, with
+// nothing heavy missed.
+func TestRunSketchSmall(t *testing.T) {
+	r, err := RunSketch(SketchConfig{
+		Windows:         4,
+		BackgroundFlows: 300,
+		Victims:         3,
+		VictimPackets:   300,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatalf("RunSketch: %v", err)
+	}
+	if err := r.CheckQuality(); err != nil {
+		t.Fatal(err)
+	}
+	if r.ReportWindows != 4 {
+		t.Fatalf("scored %d windows, want 4", r.ReportWindows)
+	}
+	if r.TrueHeavies < 3*4 {
+		t.Fatalf("trace planted too few true heavies: %d", r.TrueHeavies)
+	}
+	if r.ReportLatencyMaxMicros <= 0 {
+		t.Fatalf("report latency not measured: %v", r.ReportLatencyMaxMicros)
+	}
+}

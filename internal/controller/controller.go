@@ -168,15 +168,17 @@ type ctrlMetrics struct {
 	// Pre-resolved hot-path series: at thousand-switch fan-in the
 	// per-message label lookup on rx/tx is measurable, so the receive
 	// and flow-install paths increment these directly.
-	rxPacketIn    *telemetry.Counter
-	rxFlowRemoved *telemetry.Counter
-	rxStatsReply  *telemetry.Counter
-	rxEcho        *telemetry.Counter
-	rxPortStatus  *telemetry.Counter
-	rxError       *telemetry.Counter
-	rxOther       *telemetry.Counter
-	txFlowMod     *telemetry.Counter
-	txPacketOut   *telemetry.Counter
+	rxPacketIn     *telemetry.Counter
+	rxFlowRemoved  *telemetry.Counter
+	rxStatsReply   *telemetry.Counter
+	rxEcho         *telemetry.Counter
+	rxPortStatus   *telemetry.Counter
+	rxError        *telemetry.Counter
+	rxSketchReport *telemetry.Counter
+	rxOther        *telemetry.Counter
+	txFlowMod      *telemetry.Counter
+	txPacketOut    *telemetry.Counter
+	txSketchPush   *telemetry.Counter
 }
 
 // rxCounter maps a received message to its pre-resolved series.
@@ -194,6 +196,8 @@ func (m *ctrlMetrics) rxCounter(msg openflow.Message) *telemetry.Counter {
 		return m.rxPortStatus
 	case *openflow.ErrorMsg:
 		return m.rxError
+	case *openflow.SketchAggregateReport:
+		return m.rxSketchReport
 	default:
 		return m.rxOther
 	}
@@ -233,9 +237,11 @@ func newCtrlMetrics(reg *telemetry.Registry, id string) ctrlMetrics {
 	m.rxEcho = m.rx.WithLabelValues(id, "echo")
 	m.rxPortStatus = m.rx.WithLabelValues(id, "port_status")
 	m.rxError = m.rx.WithLabelValues(id, "error")
+	m.rxSketchReport = m.rx.WithLabelValues(id, "sketch_report")
 	m.rxOther = m.rx.WithLabelValues(id, "other")
 	m.txFlowMod = m.tx.WithLabelValues(id, "flow_mod")
 	m.txPacketOut = m.tx.WithLabelValues(id, "packet_out")
+	m.txSketchPush = m.tx.WithLabelValues(id, "sketch_push")
 	return m
 }
 
@@ -511,3 +517,29 @@ func (c *Controller) session(dpid uint64) *session {
 	return c.sessions[dpid]
 }
 
+// PushSketchThreshold sends a heavy-hitter pushdown config to one
+// connected switch. The switch starts (or stops, for Enable=false)
+// reporting per-window aggregates that cross the pushed thresholds.
+func (c *Controller) PushSketchThreshold(dpid uint64, push *openflow.SketchThresholdPush) error {
+	s := c.session(dpid)
+	if s == nil {
+		return fmt.Errorf("controller %s: no session for dpid %d", c.id, dpid)
+	}
+	if err := s.send(push); err != nil {
+		return fmt.Errorf("controller %s: sketch push to dpid %d: %w", c.id, dpid, err)
+	}
+	c.metrics.txSketchPush.Inc()
+	return nil
+}
+
+// PushSketchThresholdAll sends a pushdown config to every connected
+// switch, returning the first error after attempting all devices.
+func (c *Controller) PushSketchThresholdAll(push *openflow.SketchThresholdPush) error {
+	var firstErr error
+	for _, dpid := range c.Devices() {
+		if err := c.PushSketchThreshold(dpid, push); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

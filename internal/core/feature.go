@@ -39,6 +39,10 @@ const (
 	OriginFlowStats   = "flow_stats"
 	OriginFlowRemoved = "flow_removed"
 	OriginPortStats   = "port_stats"
+	// OriginSketch marks features distilled from dataplane heavy-hitter
+	// aggregate reports (sketch pushdown) rather than from per-flow
+	// control messages.
+	OriginSketch = "sketch_report"
 )
 
 // Canonical feature field names (the catalog Athena's NB API exposes).
@@ -79,6 +83,16 @@ const (
 
 	// FRemovedReason carries the FlowRemoved reason code.
 	FRemovedReason = "removed_reason"
+
+	// Sketch-report scope: one record per reported heavy hitter. The
+	// agg_* values are window aggregates estimated in the dataplane
+	// (overestimate-only, bounded by agg_err_bytes); agg_share is the
+	// aggregate's fraction of the window's total bytes.
+	FAggPackets     = "agg_packets"
+	FAggBytes       = "agg_bytes"
+	FAggErrBytes    = "agg_err_bytes"
+	FAggShare       = "agg_share"
+	FSketchWindowMs = "sketch_window_ms"
 
 	// Variation suffix.
 	VarSuffix = "_var"

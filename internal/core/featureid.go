@@ -114,5 +114,10 @@ var (
 	idPortRxPacketsVar  = InternFeature(FPortRxPackets + VarSuffix)
 	idPortTxPacketsVar  = InternFeature(FPortTxPackets + VarSuffix)
 	idRemovedReason     = InternFeature(FRemovedReason)
+	idAggPackets        = InternFeature(FAggPackets)
+	idAggBytes          = InternFeature(FAggBytes)
+	idAggErrBytes       = InternFeature(FAggErrBytes)
+	idAggShare          = InternFeature(FAggShare)
+	idSketchWindowMs    = InternFeature(FSketchWindowMs)
 	idLabel             = InternFeature(LabelField)
 )

@@ -147,8 +147,8 @@ type genMetrics struct {
 func newGenMetrics(reg *telemetry.Registry, instance string) genMetrics {
 	generated := reg.CounterVec("athena_features_generated_total",
 		"Feature records produced, by control-message origin.", "controller", "origin")
-	byOrigin := make(map[string]*telemetry.Counter, 4)
-	for _, origin := range []string{OriginPacketIn, OriginFlowRemoved, OriginFlowStats, OriginPortStats} {
+	byOrigin := make(map[string]*telemetry.Counter, 5)
+	for _, origin := range []string{OriginPacketIn, OriginFlowRemoved, OriginFlowStats, OriginPortStats, OriginSketch} {
 		byOrigin[origin] = generated.WithLabelValues(instance, origin)
 	}
 	return genMetrics{
@@ -294,6 +294,11 @@ func (g *Generator) ProcessAppend(dst []*Feature, msg controller.ControlMessage)
 		if !gates.origins[origin] {
 			dst = g.flowRemoved(dst, msg, m)
 		}
+	case *openflow.SketchAggregateReport:
+		origin = OriginSketch
+		if !gates.origins[origin] {
+			dst = g.sketchReport(dst, msg, m)
+		}
 	case *openflow.MultipartReply:
 		switch m.StatsType {
 		case openflow.StatsFlow:
@@ -348,6 +353,41 @@ func (g *Generator) packetIn(dst []*Feature, msg controller.ControlMessage, m *o
 	}
 	sh.mu.Unlock()
 	return append(dst, f)
+}
+
+// sketchReport distills one dataplane heavy-hitter report into one
+// feature record per aggregate. Sketch keys are not 5-tuples, so no
+// pair-flow state is tracked; the record's FlowKey is the rendered
+// aggregation key (e.g. the victim address for ip_dst sketches).
+func (g *Generator) sketchReport(dst []*Feature, msg controller.ControlMessage, m *openflow.SketchAggregateReport) []*Feature {
+	windowMs := float64(m.WindowEndNanos-m.WindowStartNanos) / 1e6
+	for i := range m.Aggregates {
+		a := &m.Aggregates[i]
+		f := &Feature{
+			ControllerID: msg.ControllerID,
+			DPID:         msg.DPID,
+			FlowKey:      openflow.SketchKeyString(m.KeyKind, a.Key),
+			Time:         msg.Time,
+			Origin:       OriginSketch,
+			Trace:        msg.Trace,
+		}
+		f.Set(idAggPackets, float64(a.Packets))
+		f.Set(idAggBytes, float64(a.Bytes))
+		f.Set(idAggErrBytes, float64(a.ErrBytes))
+		if m.TotalBytes > 0 {
+			f.Set(idAggShare, float64(a.Bytes)/float64(m.TotalBytes))
+		}
+		f.Set(idSketchWindowMs, windowMs)
+		if a.Packets > 0 {
+			f.Set(idBytePerPacket, float64(a.Bytes)/float64(a.Packets))
+		}
+		if windowMs > 0 {
+			f.Set(idPacketPerDuration, float64(a.Packets)/(windowMs/1e3))
+			f.Set(idBytePerDuration, float64(a.Bytes)/(windowMs/1e3))
+		}
+		dst = append(dst, f)
+	}
+	return dst
 }
 
 func (g *Generator) flowStats(dst []*Feature, msg controller.ControlMessage, m *openflow.MultipartReply) []*Feature {

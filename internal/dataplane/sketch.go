@@ -1,0 +1,264 @@
+package dataplane
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+	"github.com/athena-sdn/athena/internal/sketch"
+	"github.com/athena-sdn/athena/internal/telemetry"
+)
+
+// sketchShards stripes the per-window sketch so concurrent ingress
+// ports rarely contend on one mutex. Shards merge order-free at window
+// close, so the stripe count never changes what a report contains.
+const sketchShards = 8
+
+// sketchShard is one stripe: a mutex-guarded combined sketch.
+type sketchShard struct {
+	mu sync.Mutex
+	sk *sketch.Sketch
+}
+
+// switchSketch is the per-switch pushdown state installed by a
+// SketchThresholdPush. It is swapped atomically into Switch.sk so the
+// forwarding hot path pays one atomic load + nil check when pushdown
+// is disabled.
+type switchSketch struct {
+	cfg  openflow.SketchThresholdPush
+	scfg sketch.Config
+
+	shards [sketchShards]sketchShard
+
+	flushMu     sync.Mutex
+	windowStart time.Time
+
+	stop chan struct{}
+	done chan struct{}
+
+	m sketchSwitchMetrics
+}
+
+// sketchSwitchMetrics are the pre-resolved per-switch counters; the
+// hot path only touches them at window close.
+type sketchSwitchMetrics struct {
+	updates    *telemetry.Counter
+	windows    *telemetry.Counter
+	reports    *telemetry.Counter
+	reportAggs *telemetry.Histogram
+	reportB    *telemetry.Counter
+	evictions  *telemetry.Counter
+	sendErrors *telemetry.Counter
+}
+
+// sketchMetrics lazily registers the athena_sketch_* families on the
+// process registry (dataplane switches are built outside the Stack
+// wiring, so they instrument the default registry like the logger).
+var sketchMetrics struct {
+	once       sync.Once
+	updates    *telemetry.CounterVec
+	windows    *telemetry.CounterVec
+	reports    *telemetry.CounterVec
+	reportAggs *telemetry.HistogramVec
+	reportB    *telemetry.CounterVec
+	evictions  *telemetry.CounterVec
+	sendErrors *telemetry.CounterVec
+}
+
+func sketchMetricsFor(dpid uint64) sketchSwitchMetrics {
+	m := &sketchMetrics
+	m.once.Do(func() {
+		r := telemetry.Default
+		m.updates = r.CounterVec("athena_sketch_updates_total",
+			"Packets folded into dataplane heavy-hitter sketches.", "dpid")
+		m.windows = r.CounterVec("athena_sketch_windows_total",
+			"Sketch report windows closed.", "dpid")
+		m.reports = r.CounterVec("athena_sketch_reports_total",
+			"Sketch aggregate reports sent to the controller.", "dpid")
+		m.reportAggs = r.HistogramVec("athena_sketch_report_aggregates",
+			"Heavy-hitter aggregates per sketch report.", telemetry.SizeBuckets, "dpid")
+		m.reportB = r.CounterVec("athena_sketch_report_bytes_total",
+			"Control-channel bytes spent on sketch aggregate reports.", "dpid")
+		m.evictions = r.CounterVec("athena_sketch_evictions_total",
+			"Space-saving candidate evictions (sketch saturation signal).", "dpid")
+		m.sendErrors = r.CounterVec("athena_sketch_send_errors_total",
+			"Sketch reports dropped: no controller channel or send failure.", "dpid")
+	})
+	dp := strconv.FormatUint(dpid, 10)
+	return sketchSwitchMetrics{
+		updates:    m.updates.WithLabelValues(dp),
+		windows:    m.windows.WithLabelValues(dp),
+		reports:    m.reports.WithLabelValues(dp),
+		reportAggs: m.reportAggs.WithLabelValues(dp),
+		reportB:    m.reportB.WithLabelValues(dp),
+		evictions:  m.evictions.WithLabelValues(dp),
+		sendErrors: m.sendErrors.WithLabelValues(dp),
+	}
+}
+
+// handleSketchPush installs, reconfigures, or tears down pushdown
+// according to a controller SketchThresholdPush.
+func (s *Switch) handleSketchPush(m *openflow.SketchThresholdPush) error {
+	old := s.sk.Swap(nil)
+	if old != nil {
+		old.stopFlusher()
+	}
+	if !m.Enable {
+		return nil
+	}
+	scfg := sketch.DefaultConfig()
+	if m.CMWidth > 0 {
+		scfg.CMWidth = int(m.CMWidth)
+	}
+	if m.CMDepth > 0 {
+		scfg.CMDepth = int(m.CMDepth)
+	}
+	if m.Capacity > 0 {
+		scfg.Capacity = int(m.Capacity)
+	}
+	if m.Seed != 0 {
+		scfg.Seed = m.Seed
+	}
+	ss := &switchSketch{cfg: *m, scfg: scfg, m: sketchMetricsFor(s.DPID)}
+	for i := range ss.shards {
+		sk, err := sketch.New(scfg)
+		if err != nil {
+			return err
+		}
+		ss.shards[i].sk = sk
+	}
+	ss.windowStart = s.clock()
+	s.sk.Store(ss)
+	if m.WindowMillis > 0 {
+		ss.stop = make(chan struct{})
+		ss.done = make(chan struct{})
+		go s.sketchFlusher(ss, time.Duration(m.WindowMillis)*time.Millisecond)
+	}
+	return nil
+}
+
+func (ss *switchSketch) stopFlusher() {
+	if ss.stop != nil {
+		close(ss.stop)
+		<-ss.done
+		ss.stop, ss.done = nil, nil
+	}
+}
+
+// sketchObserve folds one forwarded packet into the active sketch, if
+// any. Called from the forwarding hot path; when pushdown is disabled
+// the cost is the atomic load and a branch.
+func (s *Switch) sketchObserve(f openflow.Fields, size int, inPort uint32) {
+	ss := s.sk.Load()
+	if ss == nil {
+		return
+	}
+	key := openflow.SketchKeyOf(ss.cfg.KeyKind, f)
+	sh := &ss.shards[inPort%sketchShards]
+	sh.mu.Lock()
+	sh.sk.Update(key, uint64(size))
+	sh.mu.Unlock()
+}
+
+func (s *Switch) sketchFlusher(ss *switchSketch, window time.Duration) {
+	defer close(ss.done)
+	ticker := time.NewTicker(window)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.flushSketchWindow(ss)
+		case <-ss.stop:
+			return
+		}
+	}
+}
+
+// FlushSketch closes the current window immediately and sends a report
+// if pushdown is active. It returns true when a report was produced.
+// Tests and benchmarks use it to roll windows deterministically
+// (configure WindowMillis=0 to make explicit flush the only roll).
+func (s *Switch) FlushSketch() bool {
+	ss := s.sk.Load()
+	if ss == nil {
+		return false
+	}
+	return s.flushSketchWindow(ss)
+}
+
+// flushSketchWindow swaps fresh shard sketches in, merges the closed
+// window order-free, and reports aggregates over the control channel.
+func (s *Switch) flushSketchWindow(ss *switchSketch) bool {
+	ss.flushMu.Lock()
+	defer ss.flushMu.Unlock()
+
+	now := s.clock()
+	merged, err := sketch.New(ss.scfg)
+	if err != nil {
+		return false
+	}
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		fresh, err := sketch.New(ss.scfg)
+		if err != nil {
+			return false
+		}
+		sh.mu.Lock()
+		closed := sh.sk
+		sh.sk = fresh
+		sh.mu.Unlock()
+		// Shard merge is order-free; the loop order is irrelevant.
+		if err := merged.Merge(closed); err != nil {
+			return false
+		}
+	}
+	windowStart := ss.windowStart
+	ss.windowStart = now
+
+	ss.m.windows.Inc()
+	ss.m.updates.Add(merged.Packets())
+	ss.m.evictions.Add(merged.SS().Evictions())
+
+	report := &openflow.SketchAggregateReport{
+		DPID:             s.DPID,
+		KeyKind:          ss.cfg.KeyKind,
+		WindowStartNanos: uint64(windowStart.UnixNano()),
+		WindowEndNanos:   uint64(now.UnixNano()),
+		TotalPackets:     merged.Packets(),
+		TotalBytes:       merged.Bytes(),
+		DroppedEntries:   merged.SS().Evictions(),
+	}
+	for _, a := range merged.Aggregates(ss.cfg.ThresholdBytes, ss.cfg.ThresholdPackets) {
+		report.Aggregates = append(report.Aggregates, openflow.SketchAggregate{
+			Key: a.Key, Packets: a.Packets, Bytes: a.Bytes, ErrBytes: a.ErrBytes,
+		})
+	}
+
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		ss.m.sendErrors.Inc()
+		return false
+	}
+	// Encode explicitly (rather than conn.Send) so the report's exact
+	// wire footprint feeds the control-plane byte accounting.
+	frame := openflow.Encode(report, conn.NextXID())
+	if err := conn.SendBatch(frame); err != nil {
+		ss.m.sendErrors.Inc()
+		s.dropController(conn)
+		return false
+	}
+	ss.m.reports.Inc()
+	ss.m.reportAggs.Observe(float64(len(report.Aggregates)))
+	ss.m.reportB.Add(uint64(len(frame)))
+	return true
+}
+
+// stopSketch tears down pushdown state (switch Close path).
+func (s *Switch) stopSketch() {
+	if ss := s.sk.Swap(nil); ss != nil {
+		ss.stopFlusher()
+	}
+}

@@ -1,0 +1,253 @@
+package dataplane
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/athena-sdn/athena/internal/openflow"
+)
+
+// sketchSwitch builds a connected switch with a match-all forwarding
+// rule (so Input takes the forwarded path the sketch observes) and an
+// installed pushdown config.
+func sketchSwitch(t *testing.T, push *openflow.SketchThresholdPush) (*Switch, *testController) {
+	t.Helper()
+	sw := NewSwitch(1)
+	sw.AddPort(1, "p1", 1_000_000)
+	sw.AddPort(2, "p2", 1_000_000)
+	sw.InstallRule(&FlowEntry{
+		Match:   openflow.MatchAll(),
+		Actions: []openflow.Action{openflow.ActionOutput{Port: 2}},
+	})
+	tc := attachController(t, sw)
+	t.Cleanup(sw.Close)
+	if _, err := tc.conn.Send(push); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	waitSketch(t, sw, push.Enable)
+	return sw, tc
+}
+
+// waitSketch blocks until the switch's pushdown state matches enabled.
+func waitSketch(t *testing.T, sw *Switch, enabled bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if (sw.sk.Load() != nil) == enabled {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("sketch state never reached enabled=%v", enabled)
+}
+
+func sketchPkt(dst uint32, size int) *Packet {
+	return NewPacket(openflow.Fields{
+		EthType: openflow.EthTypeIPv4,
+		IPProto: openflow.ProtoTCP,
+		IPSrc:   openflow.IPv4(192, 168, 0, 1),
+		IPDst:   dst,
+		TPSrc:   1234,
+		TPDst:   80,
+	}, size)
+}
+
+func TestSketchPushdownReportsHeavyHitters(t *testing.T) {
+	victim := openflow.IPv4(10, 9, 9, 9)
+	sw, tc := sketchSwitch(t, &openflow.SketchThresholdPush{
+		Enable:         true,
+		KeyKind:        openflow.SketchKeyIPDst,
+		ThresholdBytes: 100_000, // heavy key clears this, background cannot
+		CMWidth:        512,
+		CMDepth:        4,
+		Capacity:       64,
+		Seed:           7,
+	})
+
+	// 200 × 1000B to the victim, plus background noise far below the
+	// threshold.
+	for i := 0; i < 200; i++ {
+		sw.Input(sketchPkt(victim, 1000), 1)
+	}
+	for i := 0; i < 50; i++ {
+		sw.Input(sketchPkt(openflow.IPv4(10, 0, 0, byte(i+1)), 100), 1)
+	}
+
+	if !sw.FlushSketch() {
+		t.Fatal("flush produced no report")
+	}
+	msg := tc.expect(t, openflow.TypeSketchAggregateReport)
+	rep := msg.(*openflow.SketchAggregateReport)
+
+	if rep.DPID != 1 || rep.KeyKind != openflow.SketchKeyIPDst {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.TotalPackets != 250 || rep.TotalBytes != 200*1000+50*100 {
+		t.Fatalf("window totals: pkts=%d bytes=%d", rep.TotalPackets, rep.TotalBytes)
+	}
+	if rep.WindowEndNanos < rep.WindowStartNanos {
+		t.Fatalf("window bounds inverted: %d..%d", rep.WindowStartNanos, rep.WindowEndNanos)
+	}
+	if len(rep.Aggregates) != 1 {
+		t.Fatalf("got %d aggregates, want exactly the victim: %+v", len(rep.Aggregates), rep.Aggregates)
+	}
+	a := rep.Aggregates[0]
+	if a.Key != uint64(victim) {
+		t.Fatalf("aggregate key %#x, want victim %#x", a.Key, victim)
+	}
+	if a.Packets != 200 || a.Bytes < 200_000 {
+		t.Fatalf("aggregate %+v", a)
+	}
+
+	// The next window starts empty: totals reset.
+	sw.Input(sketchPkt(victim, 500), 1)
+	if !sw.FlushSketch() {
+		t.Fatal("second flush produced no report")
+	}
+	rep2 := tc.expect(t, openflow.TypeSketchAggregateReport).(*openflow.SketchAggregateReport)
+	if rep2.TotalPackets != 1 || rep2.TotalBytes != 500 {
+		t.Fatalf("second window totals: %+v", rep2)
+	}
+}
+
+func TestSketchDisableTearsDown(t *testing.T) {
+	sw, tc := sketchSwitch(t, &openflow.SketchThresholdPush{
+		Enable: true, ThresholdBytes: 1,
+	})
+	sw.Input(sketchPkt(openflow.IPv4(10, 0, 0, 1), 100), 1)
+
+	if _, err := tc.conn.Send(&openflow.SketchThresholdPush{Enable: false}); err != nil {
+		t.Fatalf("disable: %v", err)
+	}
+	waitSketch(t, sw, false)
+	// Forwarding continues and flushes are no-ops.
+	sw.Input(sketchPkt(openflow.IPv4(10, 0, 0, 1), 100), 1)
+	if sw.FlushSketch() {
+		t.Fatal("flush reported after disable")
+	}
+}
+
+func TestSketchWindowTickerRollsAutomatically(t *testing.T) {
+	sw, tc := sketchSwitch(t, &openflow.SketchThresholdPush{
+		Enable:         true,
+		WindowMillis:   20,
+		ThresholdBytes: 1,
+	})
+	for i := 0; i < 10; i++ {
+		sw.Input(sketchPkt(openflow.IPv4(10, 0, 0, 9), 1000), 1)
+	}
+	rep := tc.expect(t, openflow.TypeSketchAggregateReport).(*openflow.SketchAggregateReport)
+	if rep.TotalPackets == 0 {
+		t.Fatal("ticker-rolled window was empty")
+	}
+}
+
+func TestSketchReconfigureReplacesGeometry(t *testing.T) {
+	sw, tc := sketchSwitch(t, &openflow.SketchThresholdPush{
+		Enable: true, ThresholdBytes: 10, CMWidth: 64, CMDepth: 2, Capacity: 8, Seed: 1,
+	})
+	sw.Input(sketchPkt(openflow.IPv4(10, 0, 0, 1), 100), 1)
+
+	// Re-push with different geometry: state must be rebuilt fresh.
+	if _, err := tc.conn.Send(&openflow.SketchThresholdPush{
+		Enable: true, ThresholdBytes: 10, CMWidth: 128, CMDepth: 3, Capacity: 16, Seed: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ss := sw.sk.Load()
+		if ss != nil && ss.scfg.CMWidth == 128 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reconfigure never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sw.FlushSketch() {
+		t.Fatal("flush after reconfigure")
+	}
+	rep := tc.expect(t, openflow.TypeSketchAggregateReport).(*openflow.SketchAggregateReport)
+	if rep.TotalPackets != 0 {
+		t.Fatalf("reconfigured sketch kept %d packets from the old config", rep.TotalPackets)
+	}
+}
+
+// TestSketchStressConcurrentWritersAndReporter is the -race stress
+// gate (make sketch-stress): 8 writers hammer per-port sketches while
+// a reader concurrently snapshots, merges, and reports windows. Exact
+// packet accounting across all reports proves no update was lost or
+// double-counted by the swap/merge dance.
+func TestSketchStressConcurrentWritersAndReporter(t *testing.T) {
+	sw, tc := sketchSwitch(t, &openflow.SketchThresholdPush{
+		Enable:         true,
+		KeyKind:        openflow.SketchKeyIPDst,
+		ThresholdBytes: 1, // report everything: maximal report-path work
+		CMWidth:        256,
+		CMDepth:        3,
+		Capacity:       128,
+		Seed:           11,
+	})
+
+	const writers = 8
+	const perWriter = 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			f := openflow.Fields{EthType: openflow.EthTypeIPv4}
+			for i := 0; i < perWriter; i++ {
+				f.IPDst = openflow.IPv4(10, 0, byte(w), byte(rng.Intn(16)))
+				sw.sketchObserve(f, 64, uint32(w))
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var flusher sync.WaitGroup
+	flusher.Add(1)
+	go func() {
+		defer flusher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sw.FlushSketch()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	flusher.Wait()
+	sw.FlushSketch() // drain the residual window
+
+	const wantPackets = writers * perWriter
+	var gotPackets, gotBytes uint64
+	deadline := time.After(5 * time.Second)
+	for gotPackets < wantPackets {
+		select {
+		case msg, ok := <-tc.msgs:
+			if !ok {
+				t.Fatalf("connection closed at %d/%d packets", gotPackets, wantPackets)
+			}
+			if rep, isRep := msg.(*openflow.SketchAggregateReport); isRep {
+				gotPackets += rep.TotalPackets
+				gotBytes += rep.TotalBytes
+			}
+		case <-deadline:
+			t.Fatalf("reports account for %d/%d packets", gotPackets, wantPackets)
+		}
+	}
+	if gotPackets != wantPackets || gotBytes != uint64(wantPackets)*64 {
+		t.Fatalf("accounting: %d packets / %d bytes, want %d / %d",
+			gotPackets, gotBytes, wantPackets, wantPackets*64)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/athena-sdn/athena/internal/openflow"
@@ -77,6 +78,11 @@ type Switch struct {
 	table *FlowTable
 	clock func() time.Time
 	fab   fabric // delivery fabric (set by Network)
+
+	// sk is the heavy-hitter pushdown state, nil unless a controller
+	// pushed a sketch config. The forwarding hot path pays one atomic
+	// load when pushdown is off.
+	sk atomic.Pointer[switchSketch]
 
 	mu      sync.Mutex
 	ports   map[uint32]*Port
@@ -181,6 +187,9 @@ func (s *Switch) Input(pkt *Packet, inPort uint32) {
 		s.packetIn(pkt, inPort, openflow.ReasonNoMatch)
 		return
 	}
+	// Matched packets are forwarded below the controller's sight line;
+	// the sketch is what keeps their aggregates observable.
+	s.sketchObserve(f, pkt.Size, inPort)
 	s.applyActions(entry.Actions, pkt, inPort)
 }
 
@@ -363,6 +372,8 @@ func (s *Switch) handleControl(conn *openflow.Conn, msg openflow.Message, h open
 		return conn.SendXID(s.statsReply(m), h.XID)
 	case *openflow.BarrierRequest:
 		return conn.SendXID(&openflow.BarrierReply{}, h.XID)
+	case *openflow.SketchThresholdPush:
+		return s.handleSketchPush(m)
 	default:
 		return conn.SendXID(&openflow.ErrorMsg{ErrType: openflow.ErrTypeBadRequest}, h.XID)
 	}
@@ -550,5 +561,6 @@ func (s *Switch) Close() {
 		close(stop)
 		<-done
 	}
+	s.stopSketch()
 	s.Disconnect()
 }

@@ -120,6 +120,33 @@ func (g *TrafficGen) DDoSFlow(attackers []*Host, victim *Host) FlowSpec {
 	}
 }
 
+// VolumetricFlow draws one L3 volumetric-flood flow toward a victim
+// chosen with power-law skew from the candidate list (index 0 is the
+// hottest target): spoofed sources, large unidirectional packets, and
+// per-flow byte volumes heavy enough that a handful of victim keys
+// carry most of the window's bytes — the regime the dataplane sketch
+// pushdown is built to summarize.
+func (g *TrafficGen) VolumetricFlow(attackers, victims []*Host) FlowSpec {
+	src := attackers[g.rng.Intn(len(attackers))]
+	// Power-law victim pick: repeated halving concentrates the mass on
+	// the low indices without ever excluding the tail.
+	idx := 0
+	for idx < len(victims)-1 && g.rng.Intn(2) == 0 {
+		idx++
+	}
+	dst := victims[idx]
+	return FlowSpec{
+		Src:        src,
+		Dst:        dst,
+		Proto:      openflow.ProtoUDP,
+		SrcPort:    uint16(1024 + g.rng.Intn(60000)),
+		DstPort:    uint16([]int{53, 123, 19, 1900}[g.rng.Intn(4)]), // amplification-style services
+		Packets:    20 + g.rng.Intn(60),
+		PacketSize: 1000 + g.rng.Intn(500), // large frames: byte-volumetric
+		SpoofedSrc: openflow.IPv4(203, byte(g.rng.Intn(64)), byte(g.rng.Intn(256)), byte(1+g.rng.Intn(254))),
+	}
+}
+
 // LFAFlow draws one low-rate bot flow between a bot and a decoy server,
 // designed so that (with suitable topology placement) many such flows
 // converge on and saturate a single target link while each flow stays

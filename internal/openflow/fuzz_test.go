@@ -18,7 +18,7 @@ func TestDecodeRandomBytesNeverPanics(t *testing.T) {
 			// body decoders get exercised too.
 			if rng.Intn(2) == 0 {
 				buf[0] = Version
-				buf[1] = byte(rng.Intn(24))
+				buf[1] = byte(rng.Intn(30)) // covers the sketch types (28/29) too
 				buf[2] = byte(n >> 8)
 				buf[3] = byte(n)
 			}

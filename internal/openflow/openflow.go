@@ -47,6 +47,8 @@ const (
 	TypeMultipartReply   Type = 19
 	TypeBarrierRequest   Type = 20
 	TypeBarrierReply     Type = 21
+	// Experimenter-style sketch pushdown pair: see sketchmsg.go for
+	// TypeSketchThresholdPush (28) and TypeSketchAggregateReport (29).
 )
 
 var typeNames = map[Type]string{
@@ -65,6 +67,9 @@ var typeNames = map[Type]string{
 	TypeMultipartReply:   "MULTIPART_REPLY",
 	TypeBarrierRequest:   "BARRIER_REQUEST",
 	TypeBarrierReply:     "BARRIER_REPLY",
+
+	TypeSketchThresholdPush:   "SKETCH_THRESHOLD_PUSH",
+	TypeSketchAggregateReport: "SKETCH_AGGREGATE_REPORT",
 }
 
 func (t Type) String() string {
@@ -190,6 +195,10 @@ func newMessage(t Type) (Message, error) {
 		return &BarrierRequest{}, nil
 	case TypeBarrierReply:
 		return &BarrierReply{}, nil
+	case TypeSketchThresholdPush:
+		return &SketchThresholdPush{}, nil
+	case TypeSketchAggregateReport:
+		return &SketchAggregateReport{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}

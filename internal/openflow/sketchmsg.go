@@ -1,0 +1,226 @@
+package openflow
+
+import "fmt"
+
+// Experimenter-style sketch pushdown messages. Values sit above the
+// OpenFlow 1.3 standard range (0–29 is EXPERIMENTER territory in
+// spirit; 28/29 are unused by this codec) so captures keep reading
+// naturally next to the standard types.
+const (
+	TypeSketchThresholdPush   Type = 28
+	TypeSketchAggregateReport Type = 29
+)
+
+// SketchKeyKind selects what a dataplane sketch keys on.
+type SketchKeyKind uint8
+
+// Key kinds.
+const (
+	// SketchKeyIPDst keys on destination IPv4 address — the natural
+	// choice for volumetric (DDoS victim) detection.
+	SketchKeyIPDst SketchKeyKind = 0
+	// SketchKeyIPPair keys on the (src,dst) IPv4 pair.
+	SketchKeyIPPair SketchKeyKind = 1
+	// SketchKeyFlow keys on the full 5-tuple-style header hash.
+	SketchKeyFlow SketchKeyKind = 2
+)
+
+func (k SketchKeyKind) String() string {
+	switch k {
+	case SketchKeyIPDst:
+		return "ip_dst"
+	case SketchKeyIPPair:
+		return "ip_pair"
+	case SketchKeyFlow:
+		return "flow"
+	default:
+		return fmt.Sprintf("KEY(%d)", uint8(k))
+	}
+}
+
+// SketchKeyOf projects packet header fields onto the sketch key space
+// for the given kind. IPDst and IPPair keys are reversible (the
+// controller can recover addresses from the key); Flow keys are an
+// FNV-64a hash of the 5-tuple.
+func SketchKeyOf(kind SketchKeyKind, f Fields) uint64 {
+	switch kind {
+	case SketchKeyIPPair:
+		return uint64(f.IPSrc)<<32 | uint64(f.IPDst)
+	case SketchKeyFlow:
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		for _, v := range [...]uint64{uint64(f.IPSrc), uint64(f.IPDst),
+			uint64(f.TPSrc), uint64(f.TPDst), uint64(f.IPProto)} {
+			for i := 0; i < 8; i++ {
+				h ^= (v >> (8 * i)) & 0xff
+				h *= prime64
+			}
+		}
+		return h
+	default: // SketchKeyIPDst
+		return uint64(f.IPDst)
+	}
+}
+
+// SketchKeyString renders a sketch key for display and for feature
+// flow-key labeling. Reversible kinds render as dotted quads.
+func SketchKeyString(kind SketchKeyKind, key uint64) string {
+	ip := func(v uint32) string {
+		return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	switch kind {
+	case SketchKeyIPDst:
+		return ip(uint32(key))
+	case SketchKeyIPPair:
+		return ip(uint32(key>>32)) + ">" + ip(uint32(key))
+	default:
+		return fmt.Sprintf("%s:%016x", kind, key)
+	}
+}
+
+// SketchThresholdPush configures (or disables) heavy-hitter pushdown on
+// a switch: sketch geometry, the report window, and the thresholds an
+// aggregate must cross to be reported. Controller → switch.
+type SketchThresholdPush struct {
+	// Enable turns sketching on; false tears it down entirely (the
+	// dataplane hot path pays a single atomic load when disabled).
+	Enable bool
+	// KeyKind selects the aggregation key.
+	KeyKind SketchKeyKind
+	// WindowMillis is the report window length. 0 means no automatic
+	// window roll: windows close only on explicit flush (tests, bench).
+	WindowMillis uint32
+	// ThresholdBytes / ThresholdPackets gate reporting: an aggregate is
+	// reported when it crosses either non-zero threshold within a
+	// window. Both zero → only window totals are reported.
+	ThresholdBytes   uint64
+	ThresholdPackets uint64
+	// Count-min geometry and space-saving capacity pushed to the
+	// switch. Zero values select the dataplane defaults.
+	CMWidth  uint16
+	CMDepth  uint8
+	Capacity uint16
+	// Seed is the shared hash seed; all switches a controller intends
+	// to cross-merge must receive the same seed.
+	Seed uint64
+}
+
+// MsgType implements Message.
+func (*SketchThresholdPush) MsgType() Type { return TypeSketchThresholdPush }
+
+func (m *SketchThresholdPush) appendBody(b []byte) []byte {
+	var enable uint8
+	if m.Enable {
+		enable = 1
+	}
+	b = append(b, enable, uint8(m.KeyKind), m.CMDepth, 0) // pad to 4
+	b = appendU32(b, m.WindowMillis)
+	b = appendU64(b, m.ThresholdBytes)
+	b = appendU64(b, m.ThresholdPackets)
+	b = appendU16(b, m.CMWidth)
+	b = appendU16(b, m.Capacity)
+	b = appendU32(b, 0) // pad to 8
+	b = appendU64(b, m.Seed)
+	return b
+}
+
+func (m *SketchThresholdPush) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Enable = r.u8() != 0
+	m.KeyKind = SketchKeyKind(r.u8())
+	m.CMDepth = r.u8()
+	r.u8() // pad
+	m.WindowMillis = r.u32()
+	m.ThresholdBytes = r.u64()
+	m.ThresholdPackets = r.u64()
+	m.CMWidth = r.u16()
+	m.Capacity = r.u16()
+	r.u32() // pad
+	m.Seed = r.u64()
+	return r.err
+}
+
+// SketchAggregate is one reported heavy hitter.
+type SketchAggregate struct {
+	Key      uint64
+	Packets  uint64
+	Bytes    uint64
+	ErrBytes uint64
+}
+
+// maxSketchAggregates bounds a report's entry count: decode validates
+// the declared count against both this cap and the remaining frame
+// bytes before allocating.
+const maxSketchAggregates = (MaxMessageLen - HeaderLen) / 32
+
+// SketchAggregateReport carries one closed window's heavy hitters plus
+// the window totals. Switch → controller. Totals are always present,
+// so the controller sees window-rate features even when nothing
+// crossed a threshold.
+type SketchAggregateReport struct {
+	DPID             uint64
+	KeyKind          SketchKeyKind
+	WindowStartNanos uint64
+	WindowEndNanos   uint64
+	TotalPackets     uint64
+	TotalBytes       uint64
+	// DroppedEntries counts space-saving evictions in the window — a
+	// saturation signal for sizing the candidate table.
+	DroppedEntries uint64
+	Aggregates     []SketchAggregate
+}
+
+// MsgType implements Message.
+func (*SketchAggregateReport) MsgType() Type { return TypeSketchAggregateReport }
+
+func (m *SketchAggregateReport) appendBody(b []byte) []byte {
+	b = appendU64(b, m.DPID)
+	b = append(b, uint8(m.KeyKind), 0, 0, 0) // pad to 4
+	b = appendU32(b, uint32(len(m.Aggregates)))
+	b = appendU64(b, m.WindowStartNanos)
+	b = appendU64(b, m.WindowEndNanos)
+	b = appendU64(b, m.TotalPackets)
+	b = appendU64(b, m.TotalBytes)
+	b = appendU64(b, m.DroppedEntries)
+	for i := range m.Aggregates {
+		a := &m.Aggregates[i]
+		b = appendU64(b, a.Key)
+		b = appendU64(b, a.Packets)
+		b = appendU64(b, a.Bytes)
+		b = appendU64(b, a.ErrBytes)
+	}
+	return b
+}
+
+func (m *SketchAggregateReport) decodeBody(b []byte) error {
+	r := reader{b: b}
+	m.DPID = r.u64()
+	m.KeyKind = SketchKeyKind(r.u8())
+	r.take(3) // pad
+	n := int(r.u32())
+	m.WindowStartNanos = r.u64()
+	m.WindowEndNanos = r.u64()
+	m.TotalPackets = r.u64()
+	m.TotalBytes = r.u64()
+	m.DroppedEntries = r.u64()
+	if r.err != nil {
+		return r.err
+	}
+	if n < 0 || n > maxSketchAggregates || n*32 > r.remain() {
+		return fmt.Errorf("openflow: implausible sketch aggregate count %d", n)
+	}
+	if n > 0 {
+		m.Aggregates = make([]SketchAggregate, n)
+		for i := range m.Aggregates {
+			a := &m.Aggregates[i]
+			a.Key = r.u64()
+			a.Packets = r.u64()
+			a.Bytes = r.u64()
+			a.ErrBytes = r.u64()
+		}
+	}
+	return r.err
+}

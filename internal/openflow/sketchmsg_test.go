@@ -1,0 +1,167 @@
+package openflow
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleSketchPush() *SketchThresholdPush {
+	return &SketchThresholdPush{
+		Enable:           true,
+		KeyKind:          SketchKeyIPDst,
+		WindowMillis:     250,
+		ThresholdBytes:   1 << 20,
+		ThresholdPackets: 10_000,
+		CMWidth:          1024,
+		CMDepth:          4,
+		Capacity:         512,
+		Seed:             0xdeadbeefcafe,
+	}
+}
+
+func sampleSketchReport() *SketchAggregateReport {
+	return &SketchAggregateReport{
+		DPID:             7,
+		KeyKind:          SketchKeyIPPair,
+		WindowStartNanos: 1_000_000_000,
+		WindowEndNanos:   1_250_000_000,
+		TotalPackets:     123_456,
+		TotalBytes:       98_765_432,
+		DroppedEntries:   17,
+		Aggregates: []SketchAggregate{
+			{Key: 0x0a000001_0a000002, Packets: 50_000, Bytes: 60_000_000, ErrBytes: 1200},
+			{Key: 42, Packets: 9, Bytes: 900, ErrBytes: 0},
+		},
+	}
+}
+
+func TestSketchPushRoundTrip(t *testing.T) {
+	for _, m := range []*SketchThresholdPush{
+		sampleSketchPush(),
+		{}, // zero config (disable)
+		{Enable: true, KeyKind: SketchKeyFlow, Seed: 1},
+	} {
+		frame := Encode(m, 77)
+		got, h, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if h.Type != TypeSketchThresholdPush || h.XID != 77 {
+			t.Fatalf("header %+v", h)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+func TestSketchReportRoundTrip(t *testing.T) {
+	for _, m := range []*SketchAggregateReport{
+		sampleSketchReport(),
+		{}, // empty window
+		{DPID: 1, KeyKind: SketchKeyIPDst, TotalPackets: 5, TotalBytes: 500},
+	} {
+		frame := Encode(m, 88)
+		got, h, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if h.Type != TypeSketchAggregateReport {
+			t.Fatalf("header %+v", h)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+func TestSketchReportImplausibleCount(t *testing.T) {
+	m := sampleSketchReport()
+	frame := Encode(m, 1)
+	// The aggregate count lives 12 bytes into the body (after DPID and
+	// the kind/pad bytes). Inflate it without supplying the entries.
+	off := HeaderLen + 8 + 4
+	frame[off] = 0xff
+	frame[off+1] = 0xff
+	frame[off+2] = 0xff
+	frame[off+3] = 0xff
+	if _, _, err := Decode(frame); err == nil {
+		t.Fatal("implausible aggregate count decoded successfully")
+	}
+}
+
+// FuzzDecodeSketchPush: threshold-push body decode never panics, and
+// anything that decodes re-encodes canonically (decode∘encode is the
+// identity on decoded values).
+func FuzzDecodeSketchPush(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sampleSketchPush().appendBody(nil))
+	f.Add((&SketchThresholdPush{}).appendBody(nil))
+	f.Add(bytes.Repeat([]byte{0xff}, 44))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var m SketchThresholdPush
+		if err := m.decodeBody(body); err != nil {
+			return
+		}
+		enc := m.appendBody(nil)
+		var m2 SketchThresholdPush
+		if err := m2.decodeBody(enc); err != nil {
+			t.Fatalf("canonical re-encode failed to decode: %v", err)
+		}
+		if m2 != m {
+			t.Fatalf("round trip changed value:\n got %+v\nwant %+v", m2, m)
+		}
+		if !bytes.Equal(m2.appendBody(nil), enc) {
+			t.Fatal("re-encode is not canonical")
+		}
+	})
+}
+
+// FuzzDecodeSketchReport: aggregate-report body decode never panics
+// (including hostile aggregate counts), and decoded values round-trip.
+func FuzzDecodeSketchReport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sampleSketchReport().appendBody(nil))
+	f.Add((&SketchAggregateReport{}).appendBody(nil))
+	f.Add(bytes.Repeat([]byte{0xff}, 52))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var m SketchAggregateReport
+		if err := m.decodeBody(body); err != nil {
+			return
+		}
+		enc := m.appendBody(nil)
+		var m2 SketchAggregateReport
+		if err := m2.decodeBody(enc); err != nil {
+			t.Fatalf("canonical re-encode failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(&m2, &m) {
+			t.Fatalf("round trip changed value:\n got %+v\nwant %+v", m2, m)
+		}
+		if !bytes.Equal(m2.appendBody(nil), enc) {
+			t.Fatal("re-encode is not canonical")
+		}
+	})
+}
+
+func TestSketchKeyOf(t *testing.T) {
+	f := Fields{IPSrc: IPv4(10, 0, 0, 1), IPDst: IPv4(10, 0, 0, 2), TPSrc: 1234, TPDst: 80, IPProto: ProtoTCP}
+	if got := SketchKeyOf(SketchKeyIPDst, f); got != uint64(f.IPDst) {
+		t.Fatalf("ip_dst key %#x", got)
+	}
+	if got := SketchKeyOf(SketchKeyIPPair, f); got != uint64(f.IPSrc)<<32|uint64(f.IPDst) {
+		t.Fatalf("ip_pair key %#x", got)
+	}
+	// Flow keys must separate flows differing only in ports.
+	g := f
+	g.TPSrc = 1235
+	if SketchKeyOf(SketchKeyFlow, f) == SketchKeyOf(SketchKeyFlow, g) {
+		t.Fatal("flow keys collide across ports")
+	}
+	if SketchKeyString(SketchKeyIPDst, uint64(f.IPDst)) != "10.0.0.2" {
+		t.Fatalf("key string: %s", SketchKeyString(SketchKeyIPDst, uint64(f.IPDst)))
+	}
+	if SketchKeyString(SketchKeyIPPair, SketchKeyOf(SketchKeyIPPair, f)) != "10.0.0.1>10.0.0.2" {
+		t.Fatal("pair key string")
+	}
+}

@@ -1,0 +1,221 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Count-min geometry limits. The sketch lives inside every software
+// switch, so a misconfigured (or wire-corrupted) geometry must not be
+// able to demand unbounded memory.
+const (
+	MaxCMWidth = 1 << 16
+	MaxCMDepth = 16
+)
+
+// Errors returned by the sketch package.
+var (
+	ErrGeometry     = errors.New("sketch: invalid geometry")
+	ErrIncompatible = errors.New("sketch: incompatible sketches")
+	ErrCorrupt      = errors.New("sketch: corrupt encoding")
+)
+
+// CountMin is a count-min sketch over uint64 keys: a depth×width matrix
+// of uint64 counters where each row hashes the key with an independent
+// seed. Estimates overestimate only — for any key,
+//
+//	true ≤ Estimate ≤ true + ε·N  with probability ≥ 1−δ
+//
+// where ε = e/width, δ = exp(−depth) and N is the total weight added.
+//
+// Merge is element-wise integer addition over identically-seeded
+// matrices, which is commutative and associative: splitting a stream
+// across any number of shards and merging in any order yields a
+// bit-identical matrix. The differential oracle and the
+// shard-determinism tests pin both properties.
+type CountMin struct {
+	width uint32
+	depth uint32
+	seed  uint64
+	rows  [][]uint64 // depth slices of width counters
+	total uint64     // N: total weight added (survives Merge)
+}
+
+// NewCountMin sizes a sketch for the requested error bound: estimates
+// exceed the true count by at most eps·N with probability at least
+// 1−delta. Width and depth are clamped to the package limits.
+func NewCountMin(eps, delta float64, seed uint64) (*CountMin, error) {
+	if !(eps > 0 && eps < 1) || !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("%w: eps=%v delta=%v", ErrGeometry, eps, delta)
+	}
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	return NewCountMinGeometry(width, depth, seed)
+}
+
+// NewCountMinGeometry builds a sketch with an explicit counter matrix.
+// Controllers push geometry over the wire, so it is validated here.
+func NewCountMinGeometry(width, depth int, seed uint64) (*CountMin, error) {
+	if width < 1 || width > MaxCMWidth || depth < 1 || depth > MaxCMDepth {
+		return nil, fmt.Errorf("%w: width=%d depth=%d", ErrGeometry, width, depth)
+	}
+	c := &CountMin{width: uint32(width), depth: uint32(depth), seed: seed}
+	c.rows = make([][]uint64, depth)
+	for i := range c.rows {
+		c.rows[i] = make([]uint64, width)
+	}
+	return c, nil
+}
+
+// Width reports the per-row counter count.
+func (c *CountMin) Width() int { return int(c.width) }
+
+// Depth reports the number of hash rows.
+func (c *CountMin) Depth() int { return int(c.depth) }
+
+// Seed reports the base hash seed.
+func (c *CountMin) Seed() uint64 { return c.seed }
+
+// Total reports N, the total weight added across all keys.
+func (c *CountMin) Total() uint64 { return c.total }
+
+// EpsilonN reports the additive error bound ε·N = (e/width)·N for the
+// current total, rounded up.
+func (c *CountMin) EpsilonN() uint64 {
+	return uint64(math.Ceil(math.E / float64(c.width) * float64(c.total)))
+}
+
+// mix64 is the SplitMix64 finalizer: a fast, well-distributed 64-bit
+// mixer. Fixed constants keep hashing deterministic across processes,
+// which the bit-identity guarantees depend on.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rowIndex hashes key into row i's counter index.
+func (c *CountMin) rowIndex(i uint32, key uint64) uint32 {
+	// Derive per-row seeds from the base seed with an odd stride so no
+	// two rows share a seed.
+	h := mix64(key ^ mix64(c.seed+uint64(i)*0x9e3779b97f4a7c15+1))
+	return uint32(h % uint64(c.width))
+}
+
+// Update adds weight n to key.
+func (c *CountMin) Update(key uint64, n uint64) {
+	for i := uint32(0); i < c.depth; i++ {
+		c.rows[i][c.rowIndex(i, key)] += n
+	}
+	c.total += n
+}
+
+// Estimate returns the minimum counter across rows — an overestimate of
+// the true weight added for key.
+func (c *CountMin) Estimate(key uint64) uint64 {
+	est := c.rows[0][c.rowIndex(0, key)]
+	for i := uint32(1); i < c.depth; i++ {
+		if v := c.rows[i][c.rowIndex(i, key)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Merge adds o's counters into c element-wise. Both sketches must share
+// geometry and seed; the operation is commutative and associative, so
+// shard merge order never changes the result.
+func (c *CountMin) Merge(o *CountMin) error {
+	if o.width != c.width || o.depth != c.depth || o.seed != c.seed {
+		return fmt.Errorf("%w: count-min %dx%d/%#x vs %dx%d/%#x",
+			ErrIncompatible, c.depth, c.width, c.seed, o.depth, o.width, o.seed)
+	}
+	for i := range c.rows {
+		dst, src := c.rows[i], o.rows[i]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	c.total += o.total
+	return nil
+}
+
+// Reset zeroes every counter, retaining geometry and seed.
+func (c *CountMin) Reset() {
+	for i := range c.rows {
+		row := c.rows[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	c.total = 0
+}
+
+// Clone returns a deep copy.
+func (c *CountMin) Clone() *CountMin {
+	n := &CountMin{width: c.width, depth: c.depth, seed: c.seed, total: c.total}
+	n.rows = make([][]uint64, len(c.rows))
+	for i := range c.rows {
+		n.rows[i] = append([]uint64(nil), c.rows[i]...)
+	}
+	return n
+}
+
+// AppendBinary appends a deterministic binary encoding of c to b:
+// width, depth, seed, total, then the counter matrix row-major, all
+// big-endian fixed-width integers (no floats, so the encoding is
+// NaN-free by construction).
+func (c *CountMin) AppendBinary(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, c.width)
+	b = binary.BigEndian.AppendUint32(b, c.depth)
+	b = binary.BigEndian.AppendUint64(b, c.seed)
+	b = binary.BigEndian.AppendUint64(b, c.total)
+	for i := range c.rows {
+		for _, v := range c.rows[i] {
+			b = binary.BigEndian.AppendUint64(b, v)
+		}
+	}
+	return b
+}
+
+// DecodeCountMin parses an AppendBinary encoding, validating geometry
+// before allocating, and returns the sketch plus the bytes consumed.
+func DecodeCountMin(b []byte) (*CountMin, int, error) {
+	const head = 4 + 4 + 8 + 8
+	if len(b) < head {
+		return nil, 0, ErrCorrupt
+	}
+	width := binary.BigEndian.Uint32(b[0:4])
+	depth := binary.BigEndian.Uint32(b[4:8])
+	seed := binary.BigEndian.Uint64(b[8:16])
+	total := binary.BigEndian.Uint64(b[16:24])
+	if width < 1 || width > MaxCMWidth || depth < 1 || depth > MaxCMDepth {
+		return nil, 0, fmt.Errorf("%w: width=%d depth=%d", ErrCorrupt, width, depth)
+	}
+	need := head + int(width)*int(depth)*8
+	if len(b) < need {
+		return nil, 0, ErrCorrupt
+	}
+	c, err := NewCountMinGeometry(int(width), int(depth), seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.total = total
+	off := head
+	for i := range c.rows {
+		row := c.rows[i]
+		for j := range row {
+			row[j] = binary.BigEndian.Uint64(b[off:])
+			off += 8
+		}
+	}
+	return c, need, nil
+}

@@ -1,0 +1,254 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential sketch oracle (the PR-5 store-oracle pattern):
+// replay randomized packet streams through the sketches AND an exact
+// map counter, then assert the probabilistic contracts against ground
+// truth — count-min overestimates only and stays within ε·N at
+// confidence δ, space-saving tracks a superset of every sufficiently
+// heavy key with correctly bounded estimates.
+
+// oracleStream is one randomized round's input: a packet stream plus
+// its exact per-key totals.
+type oracleStream struct {
+	packets int
+	keys    []uint64 // one entry per packet
+	weights []uint64 // bytes per packet
+	exact   map[uint64]uint64
+	total   uint64
+	planted []uint64 // keys guaranteed heavy by construction
+}
+
+// genStream draws one round: a Zipf-skewed or uniform key mix, plus a
+// handful of planted heavy keys that concentrate a known share of the
+// round's bytes (the ground-truth heavy hitters).
+func genStream(rng *rand.Rand, packets, plantedHeavies int) *oracleStream {
+	st := &oracleStream{packets: packets, exact: make(map[uint64]uint64)}
+
+	// Background mix: half the rounds Zipf-skewed, half uniform.
+	var draw func() uint64
+	if rng.Intn(2) == 0 {
+		z := rand.NewZipf(rng, 1.1+rng.Float64(), 1, 1<<20)
+		draw = func() uint64 { return 0x10_0000 + z.Uint64() }
+	} else {
+		space := uint64(1 + rng.Intn(1<<16))
+		draw = func() uint64 { return 0x10_0000 + rng.Uint64()%space }
+	}
+
+	background := packets * 2 / 3
+	for i := 0; i < background; i++ {
+		st.add(draw(), uint64(40+rng.Intn(1460)))
+	}
+
+	// Planted heavies: the remaining third of the packets split across
+	// a few keys outside the background key range, each fat enough to
+	// dwarf any background key.
+	if plantedHeavies > 0 {
+		per := (packets - background) / plantedHeavies
+		for h := 0; h < plantedHeavies; h++ {
+			key := uint64(h + 1) // background keys start at 0x10_0000
+			st.planted = append(st.planted, key)
+			for i := 0; i < per; i++ {
+				st.add(key, uint64(1000+rng.Intn(500)))
+			}
+		}
+	}
+	st.packets = len(st.keys)
+	return st
+}
+
+func (st *oracleStream) add(key, w uint64) {
+	st.keys = append(st.keys, key)
+	st.weights = append(st.weights, w)
+	st.exact[key] += w
+	st.total += w
+}
+
+// TestCountMinOracle replays ≥300 randomized rounds (well over 100k
+// packets in total) and checks, per round, that every estimate
+// overestimates and that the fraction of keys exceeding the ε·N bound
+// stays within the configured δ.
+func TestCountMinOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const rounds = 300
+	totalPackets := 0
+	for round := 0; round < rounds; round++ {
+		eps := 0.002 + rng.Float64()*0.02
+		delta := 0.01 + rng.Float64()*0.05
+		cm, err := NewCountMin(eps, delta, rng.Uint64())
+		if err != nil {
+			t.Fatalf("round %d: NewCountMin: %v", round, err)
+		}
+		st := genStream(rng, 350+rng.Intn(300), 1+rng.Intn(4))
+		totalPackets += st.packets
+		for i, k := range st.keys {
+			cm.Update(k, st.weights[i])
+		}
+		if cm.Total() != st.total {
+			t.Fatalf("round %d: total %d, want %d", round, cm.Total(), st.total)
+		}
+
+		// The constructed width ⌈e/ε⌉ gives an actual ε' = e/width ≤ ε,
+		// so the sketch's own bound is at least as tight as requested —
+		// and it is the bound the δ guarantee attaches to.
+		bound := cm.EpsilonN()
+		if requested := uint64(math.Ceil(eps * float64(st.total))); bound > requested {
+			t.Fatalf("round %d: sketch bound %d looser than requested eps*N %d", round, bound, requested)
+		}
+		violations, distinct := 0, 0
+		for key, want := range st.exact {
+			est := cm.Estimate(key)
+			if est < want {
+				t.Fatalf("round %d: key %#x underestimated: est %d < true %d", round, key, est, want)
+			}
+			distinct++
+			if est > want+bound {
+				violations++
+			}
+		}
+		// Per-key failure probability is ≤ δ by construction (depth =
+		// ⌈ln 1/δ⌉ independent rows, Markov per row); the empirical
+		// fraction gets binomial slack for small rounds.
+		slack := 3.0*math.Sqrt(delta*float64(distinct)) + 1
+		if float64(violations) > delta*float64(distinct)+slack {
+			t.Fatalf("round %d: %d/%d estimates exceeded eps*N (eps=%.4f delta=%.4f)",
+				round, violations, distinct, eps, delta)
+		}
+	}
+	if totalPackets < 100_000 {
+		t.Fatalf("oracle replayed only %d packets, want >= 100k", totalPackets)
+	}
+}
+
+// TestSpaceSavingOracle replays ≥300 randomized rounds and checks the
+// space-saving contracts against the exact counter: every key heavier
+// than N/capacity is tracked, estimates bracket the true count
+// (true ≤ Count and Count − Err ≤ true), and the reported top keys are
+// a superset of the planted true heavy hitters.
+func TestSpaceSavingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const rounds = 300
+	totalPackets := 0
+	for round := 0; round < rounds; round++ {
+		capacity := 16 + rng.Intn(112)
+		ss, err := NewSpaceSaving(capacity)
+		if err != nil {
+			t.Fatalf("round %d: NewSpaceSaving: %v", round, err)
+		}
+		heavies := 1 + rng.Intn(4)
+		st := genStream(rng, 350+rng.Intn(300), heavies)
+		totalPackets += st.packets
+		for i, k := range st.keys {
+			ss.Update(k, st.weights[i], 1)
+		}
+		if ss.Total() != st.total {
+			t.Fatalf("round %d: total %d, want %d", round, ss.Total(), st.total)
+		}
+
+		// Superset guarantee: every key with true weight > N/m is in
+		// the candidate table.
+		guarantee := st.total / uint64(capacity)
+		for key, want := range st.exact {
+			if want <= guarantee {
+				continue
+			}
+			e, ok := ss.Lookup(key)
+			if !ok {
+				t.Fatalf("round %d: heavy key %#x (true %d > N/m %d) evicted", round, key, want, guarantee)
+			}
+			if e.Count < want {
+				t.Fatalf("round %d: key %#x count %d < true %d", round, key, e.Count, want)
+			}
+			if e.Count-e.Err > want {
+				t.Fatalf("round %d: key %#x lower bound %d > true %d", round, key, e.Count-e.Err, want)
+			}
+		}
+		// Estimate bracketing for every tracked key.
+		for _, e := range ss.Entries() {
+			want := st.exact[e.Key]
+			if e.Count < want || e.Count-e.Err > want {
+				t.Fatalf("round %d: key %#x est [%d−%d] does not bracket true %d",
+					round, e.Key, e.Count-e.Err, e.Count, want)
+			}
+		}
+		// Top-k superset: the planted heavies each carry far more than
+		// N/m bytes, so the reported top 2·H must contain all H.
+		top := ss.TopK(2 * len(st.planted))
+		inTop := make(map[uint64]bool, len(top))
+		for _, e := range top {
+			inTop[e.Key] = true
+		}
+		for _, key := range st.planted {
+			if !inTop[key] {
+				t.Fatalf("round %d: planted heavy %#x missing from top-%d", round, key, 2*len(st.planted))
+			}
+		}
+	}
+	if totalPackets < 100_000 {
+		t.Fatalf("oracle replayed only %d packets, want >= 100k", totalPackets)
+	}
+}
+
+// TestCombinedSketchOracle drives the combined dataplane sketch and
+// checks the report path end to end against exact counts: Aggregates
+// returns exactly the keys whose (overestimated) weight crosses the
+// threshold, never misses a key whose TRUE weight crosses it, and the
+// per-aggregate error bound brackets the truth.
+func TestCombinedSketchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for round := 0; round < 60; round++ {
+		cfg := Config{
+			CMWidth:  512 + rng.Intn(1024),
+			CMDepth:  3 + rng.Intn(3),
+			Capacity: 128 + rng.Intn(128),
+			Seed:     rng.Uint64(),
+		}
+		sk, err := New(cfg)
+		if err != nil {
+			t.Fatalf("round %d: New: %v", round, err)
+		}
+		st := genStream(rng, 1500+rng.Intn(1000), 2+rng.Intn(3))
+		for i, k := range st.keys {
+			sk.Update(k, st.weights[i])
+		}
+		if sk.Bytes() != st.total || sk.Packets() != uint64(st.packets) {
+			t.Fatalf("round %d: totals bytes=%d pkts=%d, want %d/%d",
+				round, sk.Bytes(), sk.Packets(), st.total, st.packets)
+		}
+
+		// Threshold at ~2% of round bytes: planted heavies cross it,
+		// most background keys don't.
+		threshold := st.total / 50
+		aggs := sk.Aggregates(threshold, 0)
+		reported := make(map[uint64]Aggregate, len(aggs))
+		for _, a := range aggs {
+			reported[a.Key] = a
+			if a.Bytes < threshold {
+				t.Fatalf("round %d: reported aggregate %#x below threshold (%d < %d)",
+					round, a.Key, a.Bytes, threshold)
+			}
+			want := st.exact[a.Key]
+			if a.Bytes < want && a.Bytes+a.ErrBytes < want {
+				t.Fatalf("round %d: aggregate %#x est %d (+err %d) below true %d",
+					round, a.Key, a.Bytes, a.ErrBytes, want)
+			}
+		}
+		// No false negatives: overestimate-only means every key whose
+		// TRUE bytes cross the threshold must be reported, provided it
+		// survived in the candidate table (planted heavies always do —
+		// they exceed N/capacity by a wide margin).
+		for key, want := range st.exact {
+			if want < threshold {
+				continue
+			}
+			if _, ok := reported[key]; !ok {
+				t.Fatalf("round %d: true heavy %#x (%d >= %d) not reported", round, key, want, threshold)
+			}
+		}
+	}
+}

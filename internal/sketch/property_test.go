@@ -1,0 +1,332 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+var shardCounts = []int{1, 2, 3, 4, 8, 16}
+
+// TestCountMinDeterministicAcrossShardCounts pins the bit-identity
+// guarantee: a stream split across any number of shards — with items
+// assigned to shards at random — merges back to the exact counter
+// matrix of the single-shard reference, at every shard count and under
+// a random merge order.
+func TestCountMinDeterministicAcrossShardCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const items = 20_000
+	keys := make([]uint64, items)
+	weights := make([]uint64, items)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 5000
+		weights[i] = uint64(1 + rng.Intn(1500))
+	}
+
+	ref, err := NewCountMinGeometry(512, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		ref.Update(keys[i], weights[i])
+	}
+	refBytes := ref.AppendBinary(nil)
+
+	for _, shards := range shardCounts {
+		parts := make([]*CountMin, shards)
+		for s := range parts {
+			if parts[s], err = NewCountMinGeometry(512, 4, 99); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range keys {
+			parts[rng.Intn(shards)].Update(keys[i], weights[i])
+		}
+		merged, err := NewCountMinGeometry(512, 4, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range rng.Perm(shards) {
+			if err := merged.Merge(parts[idx]); err != nil {
+				t.Fatalf("shards=%d: merge: %v", shards, err)
+			}
+		}
+		if !bytes.Equal(merged.AppendBinary(nil), refBytes) {
+			t.Fatalf("shards=%d: merged count-min differs from single-shard reference", shards)
+		}
+	}
+}
+
+// TestSpaceSavingDeterministicAcrossShardCounts pins the space-saving
+// half: with items partitioned by key (each shard unsaturated, the
+// regime where space-saving is exact), every shard count and merge
+// order reproduces the single-shard table bit-for-bit. The saturated
+// regime is covered by the oracle's superset guarantee instead —
+// bit-identity under eviction is impossible for any counter-based
+// summary, because eviction depends on co-resident keys.
+func TestSpaceSavingDeterministicAcrossShardCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const items, distinct = 20_000, 400
+	keys := make([]uint64, items)
+	weights := make([]uint64, items)
+	for i := range keys {
+		keys[i] = rng.Uint64() % distinct
+		weights[i] = uint64(1 + rng.Intn(1500))
+	}
+
+	ref, err := NewSpaceSaving(distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		ref.Update(keys[i], weights[i], 1)
+	}
+	refBytes := ref.AppendBinary(nil)
+
+	for _, shards := range shardCounts {
+		parts := make([]*SpaceSaving, shards)
+		for s := range parts {
+			if parts[s], err = NewSpaceSaving(distinct); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range keys {
+			parts[keys[i]%uint64(shards)].Update(keys[i], weights[i], 1)
+		}
+		merged, err := NewSpaceSaving(distinct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range rng.Perm(shards) {
+			if err := merged.Merge(parts[idx]); err != nil {
+				t.Fatalf("shards=%d: merge: %v", shards, err)
+			}
+		}
+		if !bytes.Equal(merged.AppendBinary(nil), refBytes) {
+			t.Fatalf("shards=%d: merged space-saving differs from single-shard reference", shards)
+		}
+	}
+}
+
+// TestCombinedSketchDeterministicAcrossShardCounts runs the full
+// dataplane structure (count-min + space-saving + totals) through the
+// same shard/merge matrix.
+func TestCombinedSketchDeterministicAcrossShardCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := Config{CMWidth: 256, CMDepth: 4, Capacity: 300, Seed: 5}
+	const items, distinct = 15_000, 300
+
+	keys := make([]uint64, items)
+	sizes := make([]uint64, items)
+	for i := range keys {
+		keys[i] = rng.Uint64() % distinct
+		sizes[i] = uint64(40 + rng.Intn(1460))
+	}
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		ref.Update(keys[i], sizes[i])
+	}
+	refBytes := ref.AppendBinary(nil)
+
+	for _, shards := range shardCounts {
+		parts := make([]*Sketch, shards)
+		for s := range parts {
+			if parts[s], err = New(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range keys {
+			parts[keys[i]%uint64(shards)].Update(keys[i], sizes[i])
+		}
+		merged, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range rng.Perm(shards) {
+			if err := merged.Merge(parts[idx]); err != nil {
+				t.Fatalf("shards=%d: merge: %v", shards, err)
+			}
+		}
+		if !bytes.Equal(merged.AppendBinary(nil), refBytes) {
+			t.Fatalf("shards=%d: merged sketch differs from single-shard reference", shards)
+		}
+	}
+}
+
+// TestSpaceSavingMergeOrderFree checks commutativity/associativity in
+// the saturated regime too: merge never truncates, so any merge tree
+// over the same saturated shards must agree (even though the shards
+// themselves are not exact).
+func TestSpaceSavingMergeOrderFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const shards = 5
+	parts := make([]*SpaceSaving, shards)
+	for s := range parts {
+		ss, err := NewSpaceSaving(32) // far below distinct keys: saturated
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4000; i++ {
+			ss.Update(rng.Uint64()%600, uint64(1+rng.Intn(1500)), 1)
+		}
+		parts[s] = ss
+	}
+	var want []byte
+	for trial := 0; trial < 6; trial++ {
+		merged, err := NewSpaceSaving(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range rng.Perm(shards) {
+			if err := merged.Merge(parts[idx].Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := merged.AppendBinary(nil)
+		if want == nil {
+			want = got
+			// Sanity: merge grew past capacity rather than truncating.
+			if merged.Len() <= merged.Capacity() {
+				t.Fatalf("expected saturated merge to exceed capacity, len=%d", merged.Len())
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: merge order changed the result", trial)
+		}
+	}
+}
+
+// TestSketchSerializationRoundTrip pins exact round-trips: encode →
+// decode → re-encode is byte-identical for randomized sketches of all
+// three kinds (counters are unsigned integers throughout, so there is
+// no NaN or float rounding to lose).
+func TestSketchSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for round := 0; round < 50; round++ {
+		cfg := Config{
+			CMWidth:  1 + rng.Intn(512),
+			CMDepth:  1 + rng.Intn(6),
+			Capacity: 1 + rng.Intn(256),
+			Seed:     rng.Uint64(),
+		}
+		sk, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rng.Intn(3000); i++ {
+			sk.Update(rng.Uint64()%1000, uint64(rng.Intn(100_000)))
+		}
+
+		enc := sk.AppendBinary(nil)
+		dec, n, err := DecodeSketch(enc)
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("round %d: decode consumed %d of %d bytes", round, n, len(enc))
+		}
+		if !bytes.Equal(dec.AppendBinary(nil), enc) {
+			t.Fatalf("round %d: re-encode differs", round)
+		}
+		if dec.Packets() != sk.Packets() || dec.Bytes() != sk.Bytes() {
+			t.Fatalf("round %d: totals lost in round trip", round)
+		}
+		// Estimates must survive exactly.
+		for k := uint64(0); k < 1000; k += 37 {
+			if dec.CM().Estimate(k) != sk.CM().Estimate(k) {
+				t.Fatalf("round %d: estimate for %d changed", round, k)
+			}
+		}
+	}
+}
+
+// TestSketchDecodeCorrupt feeds truncations and bit-flips of a valid
+// encoding to the decoder: every outcome must be a clean error or a
+// successful parse — never a panic or an absurd allocation.
+func TestSketchDecodeCorrupt(t *testing.T) {
+	sk, err := New(Config{CMWidth: 64, CMDepth: 3, Capacity: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		sk.Update(rng.Uint64()%100, uint64(rng.Intn(1000)))
+	}
+	enc := sk.AppendBinary(nil)
+
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, _, err := DecodeSketch(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), enc...)
+		for flips := 0; flips < 1+rng.Intn(8); flips++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		dec, _, err := DecodeSketch(mut) // must not panic
+		_ = err
+		if dec != nil {
+			_ = dec.AppendBinary(nil) // decoded state must be usable
+		}
+	}
+}
+
+// TestSpaceSavingDeterministicEviction pins the eviction tie-break:
+// with equal counts the smallest key is evicted, making saturation
+// behavior a pure function of the input stream.
+func TestSpaceSavingDeterministicEviction(t *testing.T) {
+	ss, err := NewSpaceSaving(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Update(10, 5, 1)
+	ss.Update(20, 5, 1)
+	ss.Update(30, 1, 1) // evicts key 10 (count tie 5/5 → smaller key)
+	if _, ok := ss.Lookup(10); ok {
+		t.Fatal("expected key 10 evicted on tie-break")
+	}
+	if e, ok := ss.Lookup(30); !ok || e.Count != 6 || e.Err != 5 {
+		t.Fatalf("newcomer inherited wrong state: %+v ok=%v", e, ok)
+	}
+	if ss.Evictions() != 1 {
+		t.Fatalf("evictions=%d, want 1", ss.Evictions())
+	}
+}
+
+// TestAggregatesThresholds covers the report-gating semantics: either
+// dimension crosses independently, zero disables a dimension, both
+// zero reports nothing.
+func TestAggregatesThresholds(t *testing.T) {
+	sk, err := New(Config{CMWidth: 128, CMDepth: 3, Capacity: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1: few huge packets. Key 2: many tiny packets.
+	for i := 0; i < 3; i++ {
+		sk.Update(1, 100_000)
+	}
+	for i := 0; i < 500; i++ {
+		sk.Update(2, 40)
+	}
+
+	byBytes := sk.Aggregates(200_000, 0)
+	if len(byBytes) != 1 || byBytes[0].Key != 1 {
+		t.Fatalf("byte threshold: got %+v, want only key 1", byBytes)
+	}
+	byPkts := sk.Aggregates(0, 400)
+	if len(byPkts) != 1 || byPkts[0].Key != 2 {
+		t.Fatalf("packet threshold: got %+v, want only key 2", byPkts)
+	}
+	either := sk.Aggregates(200_000, 400)
+	if len(either) != 2 {
+		t.Fatalf("either threshold: got %d aggregates, want 2", len(either))
+	}
+	if got := sk.Aggregates(0, 0); got != nil {
+		t.Fatalf("zero thresholds reported %d aggregates", len(got))
+	}
+}

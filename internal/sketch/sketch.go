@@ -1,0 +1,179 @@
+// Package sketch implements the probabilistic counting structures
+// behind Athena's dataplane heavy-hitter pushdown: a count-min sketch
+// (overestimate-only frequency estimates within ε·N at confidence
+// 1−δ) and a space-saving summary (bounded candidate table with a
+// superset-of-heavy-keys guarantee), combined into a per-window Sketch
+// that software switches maintain over forwarded packets.
+//
+// Every structure merges order-free: count-min by element-wise integer
+// addition, space-saving by union-with-summation (truncation deferred
+// to report time). Per-port or per-shard sketches therefore combine
+// into the same result at any shard count and in any order — the same
+// discipline the stream accumulators follow — which is what makes the
+// differential oracle and shard-determinism tests meaningful.
+//
+// All counters are unsigned integers end to end; serialization is
+// fixed-width big-endian with validated geometry, so encodings are
+// NaN-free and round-trip exactly.
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Config sizes one combined sketch.
+type Config struct {
+	// CMWidth and CMDepth give the count-min geometry directly. The
+	// dataplane protocol carries geometry, not ε/δ, so switches never
+	// do float math to size a sketch.
+	CMWidth int
+	CMDepth int
+	// Capacity is the space-saving candidate table size.
+	Capacity int
+	// Seed is the shared hash seed. Every shard that will ever merge
+	// must use the same seed.
+	Seed uint64
+}
+
+// DefaultConfig is a reasonable dataplane geometry: ε≈0.27% of window
+// bytes (width 1024), δ≈1.8% (depth 4), 512 candidate heavy hitters.
+func DefaultConfig() Config {
+	return Config{CMWidth: 1024, CMDepth: 4, Capacity: 512, Seed: 0xa7e4a}
+}
+
+// Aggregate is one heavy-hitter report entry: a key whose estimated
+// weight crossed the pushed threshold within a window.
+type Aggregate struct {
+	Key     uint64
+	Packets uint64
+	Bytes   uint64
+	// ErrBytes bounds the byte overestimate: true ≥ Bytes − ErrBytes.
+	ErrBytes uint64
+}
+
+// Sketch is one window's combined summary: a count-min over bytes for
+// tight per-key estimates plus a space-saving table that tracks which
+// keys are worth estimating. It is not goroutine-safe; the dataplane
+// shards sketches per port-group and serializes access per shard.
+type Sketch struct {
+	cm *CountMin
+	ss *SpaceSaving
+
+	packets uint64
+	bytes   uint64
+}
+
+// New builds a combined sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	cm, err := NewCountMinGeometry(cfg.CMWidth, cfg.CMDepth, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := NewSpaceSaving(cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{cm: cm, ss: ss}, nil
+}
+
+// CM exposes the count-min half (tests and the oracle).
+func (s *Sketch) CM() *CountMin { return s.cm }
+
+// SS exposes the space-saving half (tests and the oracle).
+func (s *Sketch) SS() *SpaceSaving { return s.ss }
+
+// Packets reports total packets observed this window.
+func (s *Sketch) Packets() uint64 { return s.packets }
+
+// Bytes reports total bytes observed this window.
+func (s *Sketch) Bytes() uint64 { return s.bytes }
+
+// Update records one packet of size bytes for key.
+func (s *Sketch) Update(key uint64, bytes uint64) {
+	s.cm.Update(key, bytes)
+	s.ss.Update(key, bytes, 1)
+	s.packets++
+	s.bytes += bytes
+}
+
+// Merge folds o into s. Order-free: any merge tree over the same shard
+// set yields the same state.
+func (s *Sketch) Merge(o *Sketch) error {
+	if err := s.cm.Merge(o.cm); err != nil {
+		return err
+	}
+	if err := s.ss.Merge(o.ss); err != nil {
+		return err
+	}
+	s.packets += o.packets
+	s.bytes += o.bytes
+	return nil
+}
+
+// Reset clears all counters, retaining geometry.
+func (s *Sketch) Reset() {
+	s.cm.Reset()
+	s.ss.Reset()
+	s.packets = 0
+	s.bytes = 0
+}
+
+// Aggregates extracts the heavy hitters of the window: every
+// space-saving candidate whose estimated weight crosses either pushed
+// threshold (a threshold of 0 disables that dimension). The byte
+// estimate is the tighter of the space-saving count and the count-min
+// estimate — both overestimate, so their min still overestimates.
+// Results are in deterministic report order.
+func (s *Sketch) Aggregates(thresholdBytes, thresholdPackets uint64) []Aggregate {
+	if thresholdBytes == 0 && thresholdPackets == 0 {
+		return nil
+	}
+	var out []Aggregate
+	for _, e := range s.ss.Entries() {
+		bytes := e.Count
+		if cmEst := s.cm.Estimate(e.Key); cmEst < bytes {
+			bytes = cmEst
+		}
+		hit := (thresholdBytes > 0 && bytes >= thresholdBytes) ||
+			(thresholdPackets > 0 && e.Packets >= thresholdPackets)
+		if !hit {
+			continue
+		}
+		out = append(out, Aggregate{Key: e.Key, Packets: e.Packets, Bytes: bytes, ErrBytes: e.Err})
+	}
+	return out
+}
+
+// AppendBinary appends both halves plus the window totals.
+func (s *Sketch) AppendBinary(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, s.packets)
+	b = binary.BigEndian.AppendUint64(b, s.bytes)
+	b = s.cm.AppendBinary(b)
+	b = s.ss.AppendBinary(b)
+	return b
+}
+
+// DecodeSketch parses an AppendBinary encoding and returns the sketch
+// plus the bytes consumed.
+func DecodeSketch(b []byte) (*Sketch, int, error) {
+	if len(b) < 16 {
+		return nil, 0, ErrCorrupt
+	}
+	s := &Sketch{}
+	s.packets = binary.BigEndian.Uint64(b[0:8])
+	s.bytes = binary.BigEndian.Uint64(b[8:16])
+	off := 16
+	cm, n, err := DecodeCountMin(b[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("count-min half: %w", err)
+	}
+	off += n
+	ss, n, err := DecodeSpaceSaving(b[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("space-saving half: %w", err)
+	}
+	off += n
+	s.cm, s.ss = cm, ss
+	return s, off, nil
+}

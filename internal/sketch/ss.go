@@ -1,0 +1,252 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// MaxSSCapacity bounds a space-saving table so a corrupted or hostile
+// wire config cannot demand unbounded memory.
+const MaxSSCapacity = 1 << 16
+
+// SSEntry is one tracked candidate heavy hitter. Count is the primary
+// (threshold) weight, conventionally bytes in Athena's dataplane
+// embedding; Packets piggybacks the secondary weight so reports carry
+// both without a second sketch. Err is the inherited count from the
+// entry evicted when this key took its slot:
+//
+//	true ≤ Count, and Count − Err ≤ true
+//
+// so Count overestimates by at most Err.
+type SSEntry struct {
+	Key     uint64
+	Count   uint64
+	Packets uint64
+	Err     uint64
+}
+
+// SpaceSaving is a Metwally-style space-saving heavy-hitter summary
+// with a deterministic eviction rule (minimum count, ties broken by
+// smallest key) so identical inputs yield identical tables on every
+// process.
+//
+// Guarantee: with capacity m after total weight N, every key with true
+// weight > N/m is present in the table.
+//
+// Merge is a union with per-key addition of counts, packets, and
+// errors, and never evicts: the table may temporarily exceed capacity
+// after merging, and callers truncate at report time (TopK). Because
+// union+addition is commutative and associative, shard merges are
+// order-free — the property tests pin this.
+type SpaceSaving struct {
+	capacity  int
+	entries   map[uint64]*SSEntry
+	total     uint64
+	evictions uint64
+}
+
+// NewSpaceSaving builds a summary tracking at most capacity keys
+// between merges.
+func NewSpaceSaving(capacity int) (*SpaceSaving, error) {
+	if capacity < 1 || capacity > MaxSSCapacity {
+		return nil, fmt.Errorf("%w: space-saving capacity=%d", ErrGeometry, capacity)
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		entries:  make(map[uint64]*SSEntry, capacity),
+	}, nil
+}
+
+// Capacity reports the configured slot count.
+func (s *SpaceSaving) Capacity() int { return s.capacity }
+
+// Len reports the number of keys currently tracked (may exceed
+// Capacity transiently after Merge).
+func (s *SpaceSaving) Len() int { return len(s.entries) }
+
+// Total reports N, the total primary weight added.
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// Evictions reports how many slot replacements have occurred — a
+// saturation signal the dataplane exports as telemetry.
+func (s *SpaceSaving) Evictions() uint64 { return s.evictions }
+
+// Update adds weight (count primary, packets secondary) to key,
+// evicting the deterministic minimum entry if the table is full.
+func (s *SpaceSaving) Update(key uint64, count, packets uint64) {
+	s.total += count
+	if e, ok := s.entries[key]; ok {
+		e.Count += count
+		e.Packets += packets
+		return
+	}
+	if len(s.entries) < s.capacity {
+		s.entries[key] = &SSEntry{Key: key, Count: count, Packets: packets}
+		return
+	}
+	// Evict the minimum-count entry; ties break toward the smallest key
+	// so eviction order is a pure function of table contents.
+	var min *SSEntry
+	for _, e := range s.entries {
+		if min == nil || e.Count < min.Count || (e.Count == min.Count && e.Key < min.Key) {
+			min = e
+		}
+	}
+	delete(s.entries, min.Key)
+	s.evictions++
+	// The newcomer inherits the evicted count as its error bound: the
+	// classic space-saving over-estimate.
+	s.entries[key] = &SSEntry{Key: key, Count: min.Count + count, Packets: packets, Err: min.Count}
+}
+
+// Lookup returns the tracked entry for key, if present.
+func (s *SpaceSaving) Lookup(key uint64) (SSEntry, bool) {
+	if e, ok := s.entries[key]; ok {
+		return *e, true
+	}
+	return SSEntry{}, false
+}
+
+// Merge unions o into s, adding counts, packets, and errors per key.
+// No eviction happens during merge — the table grows past capacity if
+// needed and is truncated only at report time — so merging shards is
+// commutative and associative regardless of shard count or order.
+func (s *SpaceSaving) Merge(o *SpaceSaving) error {
+	if o.capacity != s.capacity {
+		return fmt.Errorf("%w: space-saving capacity %d vs %d", ErrIncompatible, s.capacity, o.capacity)
+	}
+	for k, oe := range o.entries {
+		if e, ok := s.entries[k]; ok {
+			e.Count += oe.Count
+			e.Packets += oe.Packets
+			e.Err += oe.Err
+		} else {
+			cp := *oe
+			s.entries[k] = &cp
+		}
+	}
+	s.total += o.total
+	s.evictions += o.evictions
+	return nil
+}
+
+// Entries returns all tracked entries in the deterministic report
+// order: count descending, then error ascending, then key ascending.
+func (s *SpaceSaving) Entries() []SSEntry {
+	out := make([]SSEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	sortEntries(out)
+	return out
+}
+
+// TopK returns the k largest entries in deterministic report order.
+// This is where post-merge truncation back to capacity happens.
+func (s *SpaceSaving) TopK(k int) []SSEntry {
+	out := s.Entries()
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func sortEntries(es []SSEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		if es[i].Err != es[j].Err {
+			return es[i].Err < es[j].Err
+		}
+		return es[i].Key < es[j].Key
+	})
+}
+
+// Reset empties the table, retaining capacity.
+func (s *SpaceSaving) Reset() {
+	clear(s.entries)
+	s.total = 0
+	s.evictions = 0
+}
+
+// Clone returns a deep copy.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	n := &SpaceSaving{
+		capacity:  s.capacity,
+		entries:   make(map[uint64]*SSEntry, len(s.entries)),
+		total:     s.total,
+		evictions: s.evictions,
+	}
+	for k, e := range s.entries {
+		cp := *e
+		n.entries[k] = &cp
+	}
+	return n
+}
+
+// AppendBinary appends a deterministic binary encoding: capacity,
+// total, evictions, entry count, then entries in report order as
+// fixed-width big-endian integers (NaN-free by construction).
+func (s *SpaceSaving) AppendBinary(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(s.capacity))
+	b = binary.BigEndian.AppendUint64(b, s.total)
+	b = binary.BigEndian.AppendUint64(b, s.evictions)
+	es := s.Entries()
+	b = binary.BigEndian.AppendUint32(b, uint32(len(es)))
+	for _, e := range es {
+		b = binary.BigEndian.AppendUint64(b, e.Key)
+		b = binary.BigEndian.AppendUint64(b, e.Count)
+		b = binary.BigEndian.AppendUint64(b, e.Packets)
+		b = binary.BigEndian.AppendUint64(b, e.Err)
+	}
+	return b
+}
+
+// DecodeSpaceSaving parses an AppendBinary encoding, validating
+// capacity and entry count before allocating, and returns the summary
+// plus the bytes consumed.
+func DecodeSpaceSaving(b []byte) (*SpaceSaving, int, error) {
+	const head = 4 + 8 + 8 + 4
+	if len(b) < head {
+		return nil, 0, ErrCorrupt
+	}
+	capacity := binary.BigEndian.Uint32(b[0:4])
+	total := binary.BigEndian.Uint64(b[4:12])
+	evictions := binary.BigEndian.Uint64(b[12:20])
+	n := binary.BigEndian.Uint32(b[20:24])
+	if capacity < 1 || capacity > MaxSSCapacity {
+		return nil, 0, fmt.Errorf("%w: space-saving capacity=%d", ErrCorrupt, capacity)
+	}
+	// Merged tables can exceed capacity, but never beyond one table per
+	// merge source; 16× is far above any real shard count.
+	if n > 16*MaxSSCapacity {
+		return nil, 0, fmt.Errorf("%w: space-saving entries=%d", ErrCorrupt, n)
+	}
+	need := head + int(n)*32
+	if len(b) < need {
+		return nil, 0, ErrCorrupt
+	}
+	s, err := NewSpaceSaving(int(capacity))
+	if err != nil {
+		return nil, 0, err
+	}
+	s.total = total
+	s.evictions = evictions
+	off := head
+	for i := uint32(0); i < n; i++ {
+		e := &SSEntry{
+			Key:     binary.BigEndian.Uint64(b[off:]),
+			Count:   binary.BigEndian.Uint64(b[off+8:]),
+			Packets: binary.BigEndian.Uint64(b[off+16:]),
+			Err:     binary.BigEndian.Uint64(b[off+24:]),
+		}
+		off += 32
+		if _, dup := s.entries[e.Key]; dup {
+			return nil, 0, fmt.Errorf("%w: duplicate space-saving key %#x", ErrCorrupt, e.Key)
+		}
+		s.entries[e.Key] = e
+	}
+	return s, need, nil
+}

@@ -330,6 +330,19 @@ func (s *Stack) ConnectNetwork(net *Network) error {
 	return nil
 }
 
+// PushSketchThresholds sends a heavy-hitter pushdown config to every
+// switch connected anywhere in the deployment, returning the first
+// error after attempting all controllers.
+func (s *Stack) PushSketchThresholds(push *SketchConfig) error {
+	var firstErr error
+	for _, c := range s.controllers {
+		if err := c.PushSketchThresholdAll(push); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // WaitForDevices blocks until every controller session is up (total
 // device count across instances reaches n) or the timeout lapses.
 func (s *Stack) WaitForDevices(n int, timeout time.Duration) error {
