@@ -436,7 +436,11 @@ func (s *cbenchSwitch) flood(window time.Duration, maxOutstanding int) error {
 					TPDst:   80,
 				},
 			}
-			frames = openflow.AppendMessage(frames, pi, s.seq)
+			var err error
+			frames, err = openflow.AppendMessage(frames, pi, s.seq)
+			if err != nil {
+				return err
+			}
 		}
 		if err := s.conn.SendBatch(frames); err != nil {
 			return err

@@ -204,7 +204,11 @@ func driveFlowEvents(n, perMessage int, withAthena bool) (time.Duration, error) 
 				}),
 			})
 		}
-		frames[mi] = openflow.AppendMessage(nil, reply, uint32(mi+10))
+		frame, err := openflow.AppendMessage(nil, reply, uint32(mi+10))
+		if err != nil {
+			return 0, err
+		}
+		frames[mi] = frame
 	}
 
 	start := time.Now()

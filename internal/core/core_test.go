@@ -151,6 +151,78 @@ func TestGeneratorFlowStatsFeatures(t *testing.T) {
 	}
 }
 
+func sketchReportMsg(dpid uint64, t time.Time, rep *openflow.SketchAggregateReport) controller.ControlMessage {
+	return controller.ControlMessage{
+		Time:         t,
+		ControllerID: "c0",
+		DPID:         dpid,
+		Marked:       true,
+		Msg:          rep,
+	}
+}
+
+// TestGeneratorSketchReportFeatures covers the dataplane report family,
+// including the clamp on attacker-influenced window stamps: an inverted
+// window (end before start) must read as zero-length — no wrapped
+// ~1.8e19 ms duration, no rate features derived from it.
+func TestGeneratorSketchReportFeatures(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	now := time.Now()
+
+	feats := g.Process(sketchReportMsg(1, now, &openflow.SketchAggregateReport{
+		DPID:             1,
+		KeyKind:          openflow.SketchKeyIPDst,
+		WindowStartNanos: 1_000_000_000,
+		WindowEndNanos:   1_500_000_000, // 500 ms window
+		TotalBytes:       200_000,
+		Aggregates:       []openflow.SketchAggregate{{Key: 9, Packets: 100, Bytes: 100_000, ErrBytes: 10}},
+	}))
+	if len(feats) != 1 {
+		t.Fatalf("features = %d", len(feats))
+	}
+	f := feats[0]
+	if f.Origin != OriginSketch {
+		t.Fatalf("origin = %q", f.Origin)
+	}
+	checks := map[string]float64{
+		FAggPackets:        100,
+		FAggBytes:          100_000,
+		FAggErrBytes:       10,
+		FAggShare:          0.5,
+		FSketchWindowMs:    500,
+		FPacketPerDuration: 200,
+		FBytePerDuration:   200_000,
+	}
+	for name, want := range checks {
+		if got := f.Value(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	// Inverted window: duration clamps to zero and the per-duration
+	// rates are absent rather than absurd.
+	feats = g.Process(sketchReportMsg(1, now, &openflow.SketchAggregateReport{
+		DPID:             1,
+		WindowStartNanos: 2_000_000_000,
+		WindowEndNanos:   1_000_000_000,
+		TotalBytes:       1000,
+		Aggregates:       []openflow.SketchAggregate{{Key: 9, Packets: 10, Bytes: 1000}},
+	}))
+	if len(feats) != 1 {
+		t.Fatalf("inverted window features = %d", len(feats))
+	}
+	f = feats[0]
+	if got := f.Value(FSketchWindowMs); got != 0 {
+		t.Errorf("inverted window sketch_window_ms = %v, want 0", got)
+	}
+	if _, ok := f.Lookup(FPacketPerDuration); ok {
+		t.Error("inverted window produced packet_per_duration")
+	}
+	if _, ok := f.Lookup(FBytePerDuration); ok {
+		t.Error("inverted window produced byte_per_duration")
+	}
+}
+
 func TestGeneratorPairFlowTracking(t *testing.T) {
 	g := NewGenerator(GeneratorConfig{})
 	now := time.Now()

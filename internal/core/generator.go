@@ -360,7 +360,13 @@ func (g *Generator) packetIn(dst []*Feature, msg controller.ControlMessage, m *o
 // pair-flow state is tracked; the record's FlowKey is the rendered
 // aggregation key (e.g. the victim address for ip_dst sketches).
 func (g *Generator) sketchReport(dst []*Feature, msg controller.ControlMessage, m *openflow.SketchAggregateReport) []*Feature {
-	windowMs := float64(m.WindowEndNanos-m.WindowStartNanos) / 1e6
+	// The window stamps ride an attacker-influenced report; an inverted
+	// window must clamp to zero length (suppressing the rate features
+	// below), not wrap the uint64 subtraction into an absurd duration.
+	var windowMs float64
+	if m.WindowEndNanos > m.WindowStartNanos {
+		windowMs = float64(m.WindowEndNanos-m.WindowStartNanos) / 1e6
+	}
 	for i := range m.Aggregates {
 		a := &m.Aggregates[i]
 		f := &Feature{

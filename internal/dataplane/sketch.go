@@ -229,7 +229,15 @@ func (s *Switch) flushSketchWindow(ss *switchSketch) bool {
 		TotalBytes:       merged.Bytes(),
 		DroppedEntries:   merged.SS().Evictions(),
 	}
-	for _, a := range merged.Aggregates(ss.cfg.ThresholdBytes, ss.cfg.ThresholdPackets) {
+	aggs := merged.Aggregates(ss.cfg.ThresholdBytes, ss.cfg.ThresholdPackets)
+	// The report must fit the 16-bit OpenFlow length field. Aggregates
+	// are in count-descending report order, so truncating keeps the
+	// heaviest hitters; the tail is folded into DroppedEntries.
+	if len(aggs) > openflow.MaxSketchAggregates {
+		report.DroppedEntries += uint64(len(aggs) - openflow.MaxSketchAggregates)
+		aggs = aggs[:openflow.MaxSketchAggregates]
+	}
+	for _, a := range aggs {
 		report.Aggregates = append(report.Aggregates, openflow.SketchAggregate{
 			Key: a.Key, Packets: a.Packets, Bytes: a.Bytes, ErrBytes: a.ErrBytes,
 		})
@@ -244,7 +252,11 @@ func (s *Switch) flushSketchWindow(ss *switchSketch) bool {
 	}
 	// Encode explicitly (rather than conn.Send) so the report's exact
 	// wire footprint feeds the control-plane byte accounting.
-	frame := openflow.Encode(report, conn.NextXID())
+	frame, err := openflow.AppendMessage(nil, report, conn.NextXID())
+	if err != nil {
+		ss.m.sendErrors.Inc()
+		return false
+	}
 	if err := conn.SendBatch(frame); err != nil {
 		ss.m.sendErrors.Inc()
 		s.dropController(conn)

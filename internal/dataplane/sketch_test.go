@@ -176,6 +176,49 @@ func TestSketchReconfigureReplacesGeometry(t *testing.T) {
 	}
 }
 
+// TestSketchReportTruncatesToFrameCap pins the report-size bound: when
+// more aggregates cross the threshold than one OpenFlow frame can
+// carry (16-bit length field), the report keeps the heaviest
+// openflow.MaxSketchAggregates entries, folds the rest into
+// DroppedEntries, and still travels the control channel intact.
+func TestSketchReportTruncatesToFrameCap(t *testing.T) {
+	sw, tc := sketchSwitch(t, &openflow.SketchThresholdPush{
+		Enable:         true,
+		KeyKind:        openflow.SketchKeyIPDst,
+		ThresholdBytes: 1, // every key reports
+		CMWidth:        4096,
+		CMDepth:        3,
+		Capacity:       4096,
+		Seed:           5,
+	})
+
+	// More distinct keys than one frame can carry, all on one ingress
+	// port (a single shard, so the table never saturates and
+	// DroppedEntries counts only the frame truncation).
+	distinct := openflow.MaxSketchAggregates + 500
+	f := openflow.Fields{EthType: openflow.EthTypeIPv4}
+	for i := 0; i < distinct; i++ {
+		f.IPDst = uint32(i + 1)
+		sw.sketchObserve(f, 100, 0)
+	}
+
+	if !sw.FlushSketch() {
+		t.Fatal("flush produced no report")
+	}
+	rep := tc.expect(t, openflow.TypeSketchAggregateReport).(*openflow.SketchAggregateReport)
+	if len(rep.Aggregates) != openflow.MaxSketchAggregates {
+		t.Fatalf("report carries %d aggregates, want the frame cap %d",
+			len(rep.Aggregates), openflow.MaxSketchAggregates)
+	}
+	if want := uint64(distinct - openflow.MaxSketchAggregates); rep.DroppedEntries != want {
+		t.Fatalf("DroppedEntries = %d, want %d truncated aggregates", rep.DroppedEntries, want)
+	}
+	if rep.TotalPackets != uint64(distinct) || rep.TotalBytes != uint64(distinct)*100 {
+		t.Fatalf("window totals survived truncation wrong: %d pkts / %d bytes",
+			rep.TotalPackets, rep.TotalBytes)
+	}
+}
+
 // TestSketchStressConcurrentWritersAndReporter is the -race stress
 // gate (make sketch-stress): 8 writers hammer per-port sketches while
 // a reader concurrently snapshots, merges, and reports windows. Exact

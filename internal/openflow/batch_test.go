@@ -189,7 +189,7 @@ func TestReceiveBatchOversizeFrame(t *testing.T) {
 func TestReceiveBatchCapAndDrain(t *testing.T) {
 	var whole []byte
 	for i := 0; i < 10; i++ {
-		whole = AppendMessage(whole, &EchoRequest{Data: []byte{byte(i)}}, uint32(i+1))
+		whole = append(whole, Encode(&EchoRequest{Data: []byte{byte(i)}}, uint32(i+1))...)
 	}
 	c := NewConn(&scriptConn{chunks: [][]byte{whole}}, WithMaxBatch(4))
 	defer c.Close()
@@ -274,7 +274,7 @@ func TestReceiveBatchEchoZeroAllocs(t *testing.T) {
 	}
 	var stream []byte
 	for i := 0; i < 8; i++ {
-		stream = AppendMessage(stream, &EchoRequest{Data: []byte("ping-data")}, uint32(i+1))
+		stream = append(stream, Encode(&EchoRequest{Data: []byte("ping-data")}, uint32(i+1))...)
 	}
 	c := NewConn(&replayConn{stream: stream})
 	defer c.Close()
@@ -499,9 +499,9 @@ func BenchmarkConnReceiveBatch(b *testing.B) {
 	var stream []byte
 	const frames = 16
 	for i := 0; i < frames; i++ {
-		stream = AppendMessage(stream, &PacketIn{
+		stream = append(stream, Encode(&PacketIn{
 			Fields: sampleFields(), TotalLen: 64, Data: make([]byte, 64),
-		}, uint32(i+1))
+		}, uint32(i+1))...)
 	}
 	c := NewConn(&replayConn{stream: stream})
 	defer c.Close()

@@ -193,7 +193,11 @@ func (c *Conn) SendXID(msg Message, xid uint32) error {
 		c.cur = c.chunkLocked()
 	}
 	before := len(c.cur)
-	c.cur = AppendMessage(c.cur, msg, xid)
+	cur, err := AppendMessage(c.cur, msg, xid)
+	if err != nil {
+		return err
+	}
+	c.cur = cur
 	c.pending += len(c.cur) - before
 	if len(c.cur) >= chunkSize {
 		c.sealLocked()

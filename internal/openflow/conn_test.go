@@ -139,7 +139,7 @@ func TestConnSendBatch(t *testing.T) {
 	a, b := pipeConns(t)
 	var frames []byte
 	for i := 0; i < 5; i++ {
-		frames = AppendMessage(frames, &EchoRequest{Data: []byte{byte(i)}}, uint32(i+1))
+		frames = append(frames, Encode(&EchoRequest{Data: []byte{byte(i)}}, uint32(i+1))...)
 	}
 	go func() {
 		_ = a.SendBatch(frames)

@@ -22,9 +22,13 @@ const Version uint8 = 0x04
 // HeaderLen is the length in bytes of the fixed message header.
 const HeaderLen = 8
 
-// MaxMessageLen bounds a single framed message; longer frames are rejected
-// to keep a malformed peer from forcing unbounded allocation.
-const MaxMessageLen = 1 << 20
+// MaxFrameLen is the largest frame the 16-bit header length field can
+// describe. Encoders refuse (never wrap) frames past it: a wrapped
+// length would desynchronize the stream, with the receiver parsing
+// body bytes as the next header. Messages with unbounded repeated
+// sections (stats replies, sketch reports) must cap their payloads so
+// encodings fit.
+const MaxFrameLen = 1<<16 - 1
 
 // Type enumerates the supported message types. Values track the OpenFlow
 // 1.3 numbering so captures read naturally.
@@ -125,21 +129,34 @@ type Message interface {
 	decodeBody(b []byte) error
 }
 
-// Encode serializes msg with the given transaction id into a fresh buffer.
+// Encode serializes msg with the given transaction id into a fresh
+// buffer. It panics if the encoding exceeds MaxFrameLen — use it for
+// messages known to fit, and AppendMessage (which reports the error)
+// when encoding payloads whose size the caller does not control.
 func Encode(msg Message, xid uint32) []byte {
-	return AppendMessage(nil, msg, xid)
+	b, err := AppendMessage(nil, msg, xid)
+	if err != nil {
+		panic(fmt.Sprintf("openflow: Encode %v: %v", msg.MsgType(), err))
+	}
+	return b
 }
 
 // AppendMessage appends the framed encoding of msg to dst and returns the
-// extended slice. It is the allocation-friendly form of Encode.
-func AppendMessage(dst []byte, msg Message, xid uint32) []byte {
+// extended slice. It is the allocation-friendly form of Encode. If the
+// frame would exceed MaxFrameLen — which the 16-bit header length field
+// cannot represent — dst is returned unchanged with ErrTooLong instead
+// of wrapping the length and corrupting the stream.
+func AppendMessage(dst []byte, msg Message, xid uint32) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, Version, byte(msg.MsgType()), 0, 0, 0, 0, 0, 0)
 	dst = msg.appendBody(dst)
 	n := len(dst) - start
+	if n > MaxFrameLen {
+		return dst[:start], fmt.Errorf("%w: %v frame is %d bytes (max %d)", ErrTooLong, msg.MsgType(), n, MaxFrameLen)
+	}
 	binary.BigEndian.PutUint16(dst[start+2:start+4], uint16(n))
 	binary.BigEndian.PutUint32(dst[start+4:start+8], xid)
-	return dst
+	return dst, nil
 }
 
 // Decode parses one complete framed message. b must contain exactly the

@@ -427,7 +427,7 @@ func BenchmarkEncodePacketIn(b *testing.B) {
 	var buf []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf = AppendMessage(buf[:0], msg, uint32(i))
+		buf, _ = AppendMessage(buf[:0], msg, uint32(i))
 	}
 }
 

@@ -151,10 +151,18 @@ type SketchAggregate struct {
 	ErrBytes uint64
 }
 
-// maxSketchAggregates bounds a report's entry count: decode validates
-// the declared count against both this cap and the remaining frame
-// bytes before allocating.
-const maxSketchAggregates = (MaxMessageLen - HeaderLen) / 32
+// sketchReportFixedLen is the encoded size of a SketchAggregateReport
+// body before the aggregate records: DPID, kind+pad, count, window
+// bounds, totals, and dropped-entry counter.
+const sketchReportFixedLen = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8
+
+// MaxSketchAggregates is the most aggregate records one report frame
+// can carry within the 16-bit OpenFlow length field (56 fixed body
+// bytes + 32 per record). Producers must truncate to this cap (the
+// dataplane keeps the heaviest entries and folds the rest into
+// DroppedEntries); decode validates the declared count against both
+// this cap and the remaining frame bytes before allocating.
+const MaxSketchAggregates = (MaxFrameLen - HeaderLen - sketchReportFixedLen) / 32
 
 // SketchAggregateReport carries one closed window's heavy hitters plus
 // the window totals. Switch → controller. Totals are always present,
@@ -209,7 +217,7 @@ func (m *SketchAggregateReport) decodeBody(b []byte) error {
 	if r.err != nil {
 		return r.err
 	}
-	if n < 0 || n > maxSketchAggregates || n*32 > r.remain() {
+	if n < 0 || n > MaxSketchAggregates || n*32 > r.remain() {
 		return fmt.Errorf("openflow: implausible sketch aggregate count %d", n)
 	}
 	if n > 0 {

@@ -2,6 +2,7 @@ package openflow
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -73,6 +74,41 @@ func TestSketchReportRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got, m) {
 			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
 		}
+	}
+}
+
+// TestSketchReportFrameCap pins the framing bound: a report with
+// MaxSketchAggregates entries is the largest that fits the 16-bit
+// length field, and one more must be refused (never length-wrapped,
+// which would desynchronize the control stream).
+func TestSketchReportFrameCap(t *testing.T) {
+	m := &SketchAggregateReport{DPID: 1, Aggregates: make([]SketchAggregate, MaxSketchAggregates)}
+	for i := range m.Aggregates {
+		m.Aggregates[i] = SketchAggregate{Key: uint64(i), Packets: 1, Bytes: 1}
+	}
+	frame, err := AppendMessage(nil, m, 9)
+	if err != nil {
+		t.Fatalf("max-size report refused: %v", err)
+	}
+	if len(frame) > MaxFrameLen {
+		t.Fatalf("frame is %d bytes, exceeds MaxFrameLen %d", len(frame), MaxFrameLen)
+	}
+	got, _, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("decode max-size report: %v", err)
+	}
+	if len(got.(*SketchAggregateReport).Aggregates) != MaxSketchAggregates {
+		t.Fatal("max-size report lost aggregates in round trip")
+	}
+
+	m.Aggregates = append(m.Aggregates, SketchAggregate{Key: 99})
+	prefix := []byte{0xaa, 0xbb}
+	out, err := AppendMessage(prefix, m, 9)
+	if !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversized report: err = %v, want ErrTooLong", err)
+	}
+	if !bytes.Equal(out, prefix) {
+		t.Fatalf("oversized encode left %d bytes in dst, want it unchanged", len(out))
 	}
 }
 

@@ -200,6 +200,107 @@ func TestSpaceSavingMergeOrderFree(t *testing.T) {
 	}
 }
 
+// TestSpaceSavingMergeOverestimatesUnderEviction pins the mergeable-
+// summaries floor rule with the exact failure the plain union+sum
+// merge had: a key evicted from one shard but tracked in another must
+// not lose the evicting shard's contribution, or its merged Count
+// underestimates the true global weight and threshold gating can miss
+// a real heavy hitter.
+func TestSpaceSavingMergeOverestimatesUnderEviction(t *testing.T) {
+	// Shard A, capacity 2: key 1 and key 2 reach count 10, then key 3
+	// arrives and evicts key 1 (tie → smallest key). Key 1's 10 bytes
+	// survive only via A's floor.
+	a, err := NewSpaceSaving(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Update(1, 10, 1)
+	a.Update(2, 10, 1)
+	a.Update(3, 1, 1)
+	if _, ok := a.Lookup(1); ok {
+		t.Fatal("expected key 1 evicted from shard A")
+	}
+	if a.Floor() != 10 {
+		t.Fatalf("shard A floor = %d, want 10", a.Floor())
+	}
+
+	// Shard B tracks key 1 with 5 bytes. True global weight: 15.
+	b, err := NewSpaceSaving(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Update(1, 5, 1)
+
+	merged, err := NewSpaceSaving(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range []*SpaceSaving{a, b} {
+		if err := merged.Merge(sh.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, ok := merged.Lookup(1)
+	if !ok {
+		t.Fatal("key 1 missing from merged table")
+	}
+	const trueWeight = 15
+	if e.Count < trueWeight {
+		t.Fatalf("merged count %d underestimates true weight %d", e.Count, trueWeight)
+	}
+	if e.Count-e.Err > trueWeight {
+		t.Fatalf("merged lower bound %d exceeds true weight %d", e.Count-e.Err, trueWeight)
+	}
+}
+
+// TestSpaceSavingMergedEstimatesBracketTruth runs the merge contract
+// through the oracle pattern in the saturated regime: random streams
+// sharded across saturated tables must merge into estimates that still
+// bracket the exact per-key totals (true ≤ Count, Count − Err ≤ true)
+// — the invariant the dataplane's min(space-saving, count-min) report
+// estimate and the bench gate's recall-1.0 claim both lean on.
+func TestSpaceSavingMergedEstimatesBracketTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for round := 0; round < 50; round++ {
+		shards := 2 + rng.Intn(7)
+		capacity := 8 + rng.Intn(48)
+		parts := make([]*SpaceSaving, shards)
+		for s := range parts {
+			ss, err := NewSpaceSaving(capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts[s] = ss
+		}
+		exact := make(map[uint64]uint64)
+		for i := 0; i < 3000; i++ {
+			key := rng.Uint64() % 400 // far above capacity: heavy churn
+			w := uint64(1 + rng.Intn(1500))
+			exact[key] += w
+			parts[rng.Intn(shards)].Update(key, w, 1)
+		}
+		merged, err := NewSpaceSaving(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range rng.Perm(shards) {
+			if err := merged.Merge(parts[idx]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range merged.Entries() {
+			want := exact[e.Key]
+			if e.Count < want {
+				t.Fatalf("round %d: key %#x merged count %d < true %d", round, e.Key, e.Count, want)
+			}
+			if e.Count-e.Err > want {
+				t.Fatalf("round %d: key %#x merged lower bound %d > true %d",
+					round, e.Key, e.Count-e.Err, want)
+			}
+		}
+	}
+}
+
 // TestSketchSerializationRoundTrip pins exact round-trips: encode →
 // decode → re-encode is byte-identical for randomized sketches of all
 // three kinds (counters are unsigned integers throughout, so there is
@@ -290,11 +391,16 @@ func TestSpaceSavingDeterministicEviction(t *testing.T) {
 	if _, ok := ss.Lookup(10); ok {
 		t.Fatal("expected key 10 evicted on tie-break")
 	}
-	if e, ok := ss.Lookup(30); !ok || e.Count != 6 || e.Err != 5 {
+	// The newcomer inherits the evicted count (the classic overestimate)
+	// and the evicted packet weight (best-effort under churn).
+	if e, ok := ss.Lookup(30); !ok || e.Count != 6 || e.Err != 5 || e.Packets != 2 {
 		t.Fatalf("newcomer inherited wrong state: %+v ok=%v", e, ok)
 	}
 	if ss.Evictions() != 1 {
 		t.Fatalf("evictions=%d, want 1", ss.Evictions())
+	}
+	if ss.Floor() != 5 {
+		t.Fatalf("floor=%d, want the evicted minimum 5", ss.Floor())
 	}
 }
 

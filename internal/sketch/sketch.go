@@ -6,8 +6,10 @@
 // that software switches maintain over forwarded packets.
 //
 // Every structure merges order-free: count-min by element-wise integer
-// addition, space-saving by union-with-summation (truncation deferred
-// to report time). Per-port or per-shard sketches therefore combine
+// addition, space-saving by the mergeable-summaries union — keys
+// absent from one operand pick up that operand's floor (its bound on
+// untracked keys), keeping merged counts overestimates; truncation is
+// deferred to report time. Per-port or per-shard sketches therefore combine
 // into the same result at any shard count and in any order — the same
 // discipline the stream accumulators follow — which is what makes the
 // differential oracle and shard-determinism tests meaningful.

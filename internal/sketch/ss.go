@@ -14,11 +14,15 @@ const MaxSSCapacity = 1 << 16
 // (threshold) weight, conventionally bytes in Athena's dataplane
 // embedding; Packets piggybacks the secondary weight so reports carry
 // both without a second sketch. Err is the inherited count from the
-// entry evicted when this key took its slot:
+// entry evicted when this key took its slot (plus, after merges, the
+// floors of shards that did not track the key):
 //
 //	true ≤ Count, and Count − Err ≤ true
 //
-// so Count overestimates by at most Err.
+// so Count overestimates by at most Err. Packets carries no such
+// bound: the packet weight inherited on eviction follows the slot
+// lineage, not the key, so per-key packet counts are best-effort under
+// table churn and packet-threshold gating is advisory.
 type SSEntry struct {
 	Key     uint64
 	Count   uint64
@@ -26,24 +30,47 @@ type SSEntry struct {
 	Err     uint64
 }
 
+// ssSlot is the internal entry representation: the reported SSEntry
+// plus its position in the eviction heap.
+type ssSlot struct {
+	SSEntry
+	idx int
+}
+
 // SpaceSaving is a Metwally-style space-saving heavy-hitter summary
 // with a deterministic eviction rule (minimum count, ties broken by
 // smallest key) so identical inputs yield identical tables on every
-// process.
+// process. The minimum is tracked in a binary heap, so Update is
+// O(log m) even when every packet is a new key (spoofed-source
+// floods), never an O(m) scan on the forwarding hot path.
 //
 // Guarantee: with capacity m after total weight N, every key with true
 // weight > N/m is present in the table.
 //
-// Merge is a union with per-key addition of counts, packets, and
-// errors, and never evicts: the table may temporarily exceed capacity
-// after merging, and callers truncate at report time (TopK). Because
-// union+addition is commutative and associative, shard merges are
-// order-free — the property tests pin this.
+// Merge follows the mergeable-summaries construction: each summary
+// carries a floor — an upper bound on the true weight of any key it
+// does NOT track (the minimum count at the last eviction; 0 until the
+// table saturates). Merging unions the tables, and a key absent from
+// one operand picks up that operand's floor in both Count and Err, so
+// merged counts remain overestimates with valid error bounds even for
+// keys evicted from some shards. Merged counts are per-key sums of
+// per-shard bounds and floors add, so shard merges stay commutative
+// and associative — order-free, as the property tests pin. Merge never
+// evicts: the table may temporarily exceed capacity after merging, and
+// callers truncate at report time (TopK).
 type SpaceSaving struct {
-	capacity  int
-	entries   map[uint64]*SSEntry
+	capacity int
+	entries  map[uint64]*ssSlot
+	// heap is a min-heap over entries ordered by (Count, Key); heap[0]
+	// is the deterministic eviction victim.
+	heap      []*ssSlot
 	total     uint64
 	evictions uint64
+	// floor bounds the true weight of any untracked key: a key absent
+	// from the table either never appeared (true weight 0) or was
+	// evicted when its count — itself an overestimate — was the table
+	// minimum, and the minimum only grows.
+	floor uint64
 }
 
 // NewSpaceSaving builds a summary tracking at most capacity keys
@@ -54,7 +81,7 @@ func NewSpaceSaving(capacity int) (*SpaceSaving, error) {
 	}
 	return &SpaceSaving{
 		capacity: capacity,
-		entries:  make(map[uint64]*SSEntry, capacity),
+		entries:  make(map[uint64]*ssSlot, capacity),
 	}, nil
 }
 
@@ -72,6 +99,68 @@ func (s *SpaceSaving) Total() uint64 { return s.total }
 // saturation signal the dataplane exports as telemetry.
 func (s *SpaceSaving) Evictions() uint64 { return s.evictions }
 
+// Floor reports the current upper bound on the true weight of any key
+// the table does not track (0 until the first eviction).
+func (s *SpaceSaving) Floor() uint64 { return s.floor }
+
+// less orders the eviction heap: minimum count first, ties broken
+// toward the smallest key. Keys are unique, so this is a strict total
+// order and heap[0] is THE minimum — eviction stays a pure function of
+// table contents.
+func (s *SpaceSaving) less(a, b *ssSlot) bool {
+	return a.Count < b.Count || (a.Count == b.Count && a.Key < b.Key)
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].idx = i
+	s.heap[j].idx = j
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[p]) {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		m := i
+		if l := 2*i + 1; l < n && s.less(s.heap[l], s.heap[m]) {
+			m = l
+		}
+		if r := 2*i + 2; r < n && s.less(s.heap[r], s.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}
+
+// rebuildHeap re-heapifies from the entry map (after Merge, Decode, or
+// Clone). Heap array layout depends on map iteration order, but the
+// strict total order in less means the eviction sequence — the only
+// observable — is still deterministic.
+func (s *SpaceSaving) rebuildHeap() {
+	s.heap = s.heap[:0]
+	for _, e := range s.entries {
+		e.idx = len(s.heap)
+		s.heap = append(s.heap, e)
+	}
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
 // Update adds weight (count primary, packets secondary) to key,
 // evicting the deterministic minimum entry if the table is full.
 func (s *SpaceSaving) Update(key uint64, count, packets uint64) {
@@ -79,55 +168,82 @@ func (s *SpaceSaving) Update(key uint64, count, packets uint64) {
 	if e, ok := s.entries[key]; ok {
 		e.Count += count
 		e.Packets += packets
+		s.siftDown(e.idx) // count grew: may sink in the min-heap
 		return
 	}
 	if len(s.entries) < s.capacity {
-		s.entries[key] = &SSEntry{Key: key, Count: count, Packets: packets}
+		e := &ssSlot{SSEntry: SSEntry{Key: key, Count: count, Packets: packets}, idx: len(s.heap)}
+		s.entries[key] = e
+		s.heap = append(s.heap, e)
+		s.siftUp(e.idx)
 		return
 	}
-	// Evict the minimum-count entry; ties break toward the smallest key
-	// so eviction order is a pure function of table contents.
-	var min *SSEntry
-	for _, e := range s.entries {
-		if min == nil || e.Count < min.Count || (e.Count == min.Count && e.Key < min.Key) {
-			min = e
-		}
-	}
+	// Evict the heap minimum. The newcomer inherits the evicted count
+	// as its error bound (the classic space-saving overestimate) and
+	// the evicted packet weight (best-effort, see SSEntry); the evicted
+	// count also becomes the floor for every key not in the table.
+	min := s.heap[0]
 	delete(s.entries, min.Key)
 	s.evictions++
-	// The newcomer inherits the evicted count as its error bound: the
-	// classic space-saving over-estimate.
-	s.entries[key] = &SSEntry{Key: key, Count: min.Count + count, Packets: packets, Err: min.Count}
+	s.floor = min.Count
+	e := &ssSlot{SSEntry: SSEntry{
+		Key:     key,
+		Count:   min.Count + count,
+		Packets: min.Packets + packets,
+		Err:     min.Count,
+	}}
+	s.entries[key] = e
+	s.heap[0] = e
+	s.siftDown(0)
 }
 
 // Lookup returns the tracked entry for key, if present.
 func (s *SpaceSaving) Lookup(key uint64) (SSEntry, bool) {
 	if e, ok := s.entries[key]; ok {
-		return *e, true
+		return e.SSEntry, true
 	}
 	return SSEntry{}, false
 }
 
-// Merge unions o into s, adding counts, packets, and errors per key.
+// Merge folds o into s with the mergeable-summaries rule: keys present
+// in both add Count/Packets/Err; a key absent from one operand picks
+// up that operand's floor in Count and Err (its true weight there is
+// at most the floor), and the floors add. Merged counts are therefore
+// still overestimates with valid error bounds — a key evicted from one
+// shard but tracked in another cannot underestimate its global weight.
 // No eviction happens during merge — the table grows past capacity if
-// needed and is truncated only at report time — so merging shards is
+// needed and is truncated only at report time — and because each
+// merged count is a per-key sum of per-shard bounds, merging shards is
 // commutative and associative regardless of shard count or order.
 func (s *SpaceSaving) Merge(o *SpaceSaving) error {
 	if o.capacity != s.capacity {
 		return fmt.Errorf("%w: space-saving capacity %d vs %d", ErrIncompatible, s.capacity, o.capacity)
 	}
+	sf, of := s.floor, o.floor
 	for k, oe := range o.entries {
 		if e, ok := s.entries[k]; ok {
 			e.Count += oe.Count
 			e.Packets += oe.Packets
 			e.Err += oe.Err
 		} else {
-			cp := *oe
-			s.entries[k] = &cp
+			e := &ssSlot{SSEntry: oe.SSEntry}
+			e.Count += sf
+			e.Err += sf
+			s.entries[k] = e
 		}
 	}
+	if of > 0 {
+		for k, e := range s.entries {
+			if _, ok := o.entries[k]; !ok {
+				e.Count += of
+				e.Err += of
+			}
+		}
+	}
+	s.floor = sf + of
 	s.total += o.total
 	s.evictions += o.evictions
+	s.rebuildHeap()
 	return nil
 }
 
@@ -136,7 +252,7 @@ func (s *SpaceSaving) Merge(o *SpaceSaving) error {
 func (s *SpaceSaving) Entries() []SSEntry {
 	out := make([]SSEntry, 0, len(s.entries))
 	for _, e := range s.entries {
-		out = append(out, *e)
+		out = append(out, e.SSEntry)
 	}
 	sortEntries(out)
 	return out
@@ -167,32 +283,37 @@ func sortEntries(es []SSEntry) {
 // Reset empties the table, retaining capacity.
 func (s *SpaceSaving) Reset() {
 	clear(s.entries)
+	s.heap = s.heap[:0]
 	s.total = 0
 	s.evictions = 0
+	s.floor = 0
 }
 
 // Clone returns a deep copy.
 func (s *SpaceSaving) Clone() *SpaceSaving {
 	n := &SpaceSaving{
 		capacity:  s.capacity,
-		entries:   make(map[uint64]*SSEntry, len(s.entries)),
+		entries:   make(map[uint64]*ssSlot, len(s.entries)),
 		total:     s.total,
 		evictions: s.evictions,
+		floor:     s.floor,
 	}
 	for k, e := range s.entries {
-		cp := *e
-		n.entries[k] = &cp
+		cp := &ssSlot{SSEntry: e.SSEntry}
+		n.entries[k] = cp
 	}
+	n.rebuildHeap()
 	return n
 }
 
 // AppendBinary appends a deterministic binary encoding: capacity,
-// total, evictions, entry count, then entries in report order as
-// fixed-width big-endian integers (NaN-free by construction).
+// total, evictions, floor, entry count, then entries in report order
+// as fixed-width big-endian integers (NaN-free by construction).
 func (s *SpaceSaving) AppendBinary(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(s.capacity))
 	b = binary.BigEndian.AppendUint64(b, s.total)
 	b = binary.BigEndian.AppendUint64(b, s.evictions)
+	b = binary.BigEndian.AppendUint64(b, s.floor)
 	es := s.Entries()
 	b = binary.BigEndian.AppendUint32(b, uint32(len(es)))
 	for _, e := range es {
@@ -208,14 +329,15 @@ func (s *SpaceSaving) AppendBinary(b []byte) []byte {
 // capacity and entry count before allocating, and returns the summary
 // plus the bytes consumed.
 func DecodeSpaceSaving(b []byte) (*SpaceSaving, int, error) {
-	const head = 4 + 8 + 8 + 4
+	const head = 4 + 8 + 8 + 8 + 4
 	if len(b) < head {
 		return nil, 0, ErrCorrupt
 	}
 	capacity := binary.BigEndian.Uint32(b[0:4])
 	total := binary.BigEndian.Uint64(b[4:12])
 	evictions := binary.BigEndian.Uint64(b[12:20])
-	n := binary.BigEndian.Uint32(b[20:24])
+	floor := binary.BigEndian.Uint64(b[20:28])
+	n := binary.BigEndian.Uint32(b[28:32])
 	if capacity < 1 || capacity > MaxSSCapacity {
 		return nil, 0, fmt.Errorf("%w: space-saving capacity=%d", ErrCorrupt, capacity)
 	}
@@ -234,19 +356,21 @@ func DecodeSpaceSaving(b []byte) (*SpaceSaving, int, error) {
 	}
 	s.total = total
 	s.evictions = evictions
+	s.floor = floor
 	off := head
 	for i := uint32(0); i < n; i++ {
-		e := &SSEntry{
+		e := &ssSlot{SSEntry: SSEntry{
 			Key:     binary.BigEndian.Uint64(b[off:]),
 			Count:   binary.BigEndian.Uint64(b[off+8:]),
 			Packets: binary.BigEndian.Uint64(b[off+16:]),
 			Err:     binary.BigEndian.Uint64(b[off+24:]),
-		}
+		}}
 		off += 32
 		if _, dup := s.entries[e.Key]; dup {
 			return nil, 0, fmt.Errorf("%w: duplicate space-saving key %#x", ErrCorrupt, e.Key)
 		}
 		s.entries[e.Key] = e
 	}
+	s.rebuildHeap()
 	return s, need, nil
 }
